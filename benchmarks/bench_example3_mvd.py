@@ -1,0 +1,70 @@
+"""EX3 — Example 3: MVDs and fixedness of irreducible forms.
+
+Paper claim (Theorem 4 + Example 3): under MVD A ->-> B | C, there is an
+irreducible form fixed on A (R7) — obtained by nesting the dependent
+attributes first — but also an irreducible form that is NOT fixed on A
+(R8, from nesting A first).
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.core.canonical import canonical_form
+from repro.core.cardinality import Cardinality, classify_attribute
+from repro.core.fixedness import is_fixed
+from repro.workloads import paper_examples as pe
+
+
+def _both_forms():
+    r7 = canonical_form(pe.EXAMPLE3_R5, ["B", "C", "A"])
+    r8 = canonical_form(pe.EXAMPLE3_R5, ["A", "B", "C"])
+    return r7, r8
+
+
+def test_example3_fixedness(benchmark, report_sink):
+    r7, r8 = benchmark(_both_forms)
+
+    report = ExperimentReport(
+        "EX3",
+        "Example 3: MVD A->->B|C and fixedness",
+        "R7 (dependents nested first) is fixed on A; R8 (A nested "
+        "first) is not",
+        headers=["form", "nest order", "tuples", "fixed on A"],
+    )
+    report.add_row("R7", "B->C->A", r7.cardinality, is_fixed(r7, ["A"]))
+    report.add_row("R8", "A->B->C", r8.cardinality, is_fixed(r8, ["A"]))
+    report.add_check("R7 matches the printed form", r7 == pe.EXAMPLE3_R7)
+    report.add_check("R8 matches the printed form", r8 == pe.EXAMPLE3_R8)
+    report.add_check("R7 fixed on A", is_fixed(r7, ["A"]))
+    report.add_check("R8 not fixed on A", not is_fixed(r8, ["A"]))
+    report.add_check(
+        "MVD holds in R5", pe.EXAMPLE3_MVD.holds_in(pe.EXAMPLE3_R5)
+    )
+    report_sink(report)
+    assert report.passed
+
+
+def test_example3_cardinality_classes(benchmark, report_sink):
+    """Theorem 4's classification: under the MVD the dependent domains
+    of the fixed form classify as m:n (Definition 6)."""
+
+    def classify():
+        return {
+            a: classify_attribute(pe.EXAMPLE3_R7, a) for a in ("A", "B", "C")
+        }
+
+    classes = benchmark(classify)
+    report = ExperimentReport(
+        "EX3-CARD",
+        "Example 3: Definition 6 classes of R7",
+        "Ei:R' = m:n for MVD right-sides in the fixed irreducible form",
+        headers=["domain", "class"],
+    )
+    for a, c in classes.items():
+        report.add_row(a, str(c))
+    report.add_check("B is m:n", classes["B"] is Cardinality.M_N)
+    report.add_check("C is m:n", classes["C"] is Cardinality.M_N)
+    report.add_check(
+        "A stays at/below 1:n (each value one tuple)",
+        classes["A"].le(Cardinality.ONE_N),
+    )
+    report_sink(report)
+    assert report.passed

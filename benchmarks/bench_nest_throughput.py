@@ -1,0 +1,41 @@
+"""PERF-NEST — substrate throughput: nest/unnest and canonical forms.
+
+Not a paper figure; supporting measurements showing the operator costs
+that every experiment above is built on, across relation sizes.
+"""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.core.nest import nest, unnest
+from repro.core.nfr_relation import NFRelation
+from repro.workloads.synthetic import random_relation
+
+SIZES = (200, 1000, 5000)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_nest_throughput(benchmark, size):
+    rel = random_relation(["A", "B", "C"], size, domain_size=20, seed=91)
+    nfr = NFRelation.from_1nf(rel)
+    benchmark(nest, nfr, "A")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_unnest_throughput(benchmark, size):
+    rel = random_relation(["A", "B", "C"], size, domain_size=20, seed=92)
+    nested = nest(NFRelation.from_1nf(rel), "A")
+    benchmark(unnest, nested, "A")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_canonical_form_throughput(benchmark, size):
+    rel = random_relation(["A", "B", "C"], size, domain_size=20, seed=93)
+    benchmark(canonical_form, rel, ["A", "B", "C"])
+
+
+def test_r_star_expansion_throughput(benchmark):
+    rel = random_relation(["A", "B", "C"], 2000, domain_size=20, seed=94)
+    form = canonical_form(rel, ["A", "B", "C"])
+    result = benchmark(form.to_1nf)
+    assert result == rel

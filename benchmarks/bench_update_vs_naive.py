@@ -1,0 +1,79 @@
+"""ABL-NAIVE — ablation: §4 maintenance vs naive re-nest.
+
+The contrast class for Theorem A-4: maintaining the canonical form by
+unnesting to R* and re-nesting costs O(|R*|) compositions per update;
+the paper's algorithm costs O(f(degree)).  Both must produce identical
+relations.
+"""
+
+from repro.analysis.report import ExperimentReport, monotone_nondecreasing
+from repro.core.update import CanonicalNFR, NaiveCanonicalNFR
+from repro.workloads.synthetic import random_relation, update_stream
+
+SIZES = (100, 400, 1600)
+
+
+def _cost_pair(size):
+    rel = random_relation(["A", "B", "C"], size, domain_size=16, seed=51)
+    ins, dels = update_stream(rel, 5, 5, seed=52)
+    fast = CanonicalNFR(rel, ["A", "B", "C"])
+    naive = NaiveCanonicalNFR(rel, ["A", "B", "C"])
+    fast.counter.reset()
+    naive.counter.reset()
+    for f in ins:
+        fast.insert_flat(f)
+        naive.insert_flat(f)
+    for f in dels:
+        fast.delete_flat(f)
+        naive.delete_flat(f)
+    agree = fast.relation == naive.relation
+    return (
+        fast.counter.total_structural / 10,
+        naive.counter.total_structural / 10,
+        agree,
+    )
+
+
+def test_maintenance_vs_naive(benchmark, report_sink):
+    def sweep():
+        return [(s, *_cost_pair(s)) for s in SIZES]
+
+    rows = benchmark(sweep)
+    report = ExperimentReport(
+        "ABL-NAIVE",
+        "Canonical maintenance (§4) vs naive re-nest baseline",
+        "maintenance cost flat in |R|; naive baseline grows linearly; "
+        "identical results",
+        headers=["|R|", "maintenance ops/update", "naive ops/update", "agree"],
+    )
+    for size, fast_cost, naive_cost, agree in rows:
+        report.add_row(size, f"{fast_cost:.2f}", f"{naive_cost:.0f}", agree)
+    naive_costs = [r[2] for r in rows]
+    fast_costs = [r[1] for r in rows]
+    report.add_check("both algorithms agree", all(r[3] for r in rows))
+    report.add_check(
+        "naive cost grows with |R|", monotone_nondecreasing(naive_costs)
+        and naive_costs[-1] > naive_costs[0] * 4,
+    )
+    report.add_check(
+        "maintenance beats naive by >=10x on the largest size",
+        fast_costs[-1] * 10 <= naive_costs[-1],
+    )
+    report_sink(report)
+    assert report.passed
+
+
+def test_naive_single_insert_latency(benchmark):
+    """Wall-clock for the baseline, for comparison with the THM-A4
+    latency benchmarks."""
+    rel = random_relation(["A", "B", "C"], 2000, domain_size=20, seed=53)
+    naive = NaiveCanonicalNFR(rel, ["A", "B", "C"])
+    ins, _ = update_stream(rel, 50, 0, seed=54)
+    state = {"i": 0}
+
+    def one_insert():
+        f = ins[state["i"] % len(ins)]
+        state["i"] += 1
+        naive.insert_flat(f)
+
+    benchmark(one_insert)

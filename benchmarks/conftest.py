@@ -1,0 +1,31 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark both *times* its computation (pytest-benchmark) and
+*checks* the paper's qualitative claim, rendering an
+:class:`~repro.analysis.report.ExperimentReport` to
+``benchmarks/results/<experiment_id>.txt`` so EXPERIMENTS.md can cite
+the measured rows.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write rendered experiment reports under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(report: ExperimentReport) -> ExperimentReport:
+        path = RESULTS_DIR / f"{report.experiment_id}.txt"
+        path.write_text(report.render() + "\n")
+        return report
+
+    return sink

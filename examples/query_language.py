@@ -1,0 +1,92 @@
+"""The NF2 query language — the DML the paper deferred (§5).
+
+Registers the Fig. 1 relations in a catalog and runs a tour of the
+language: selection over set-valued components, nest/unnest, canonical
+forms, NF2 and flat joins, and canonical-maintained INSERT/DELETE.
+
+Run:  python examples/query_language.py
+"""
+
+from repro.query import Catalog, run
+from repro.workloads import paper_examples as pe
+
+
+def show(title: str, text: str, catalog: Catalog) -> None:
+    result = run(text, catalog)
+    print(f"-- {title}")
+    print(f"   {text}")
+    print(result.to_table())
+    print()
+
+
+def main() -> None:
+    catalog = Catalog()
+    catalog.register(
+        "Enrollment",
+        pe.FIG1_R1,
+        order=["Course", "Club", "Student"],
+    )
+    catalog.register(
+        "Registration",
+        pe.FIG1_R2,
+        order=["Course", "Semester", "Student"],
+    )
+
+    show(
+        "who is in club b1?",
+        "SELECT Enrollment WHERE Club CONTAINS 'b1'",
+        catalog,
+    )
+    show(
+        "flat view of registrations",
+        "FLATTEN Registration",
+        catalog,
+    )
+    show(
+        "nest registrations by student (course lists per semester)",
+        "NEST (FLATTEN Registration) BY (Course)",
+        catalog,
+    )
+    show(
+        "canonical form, semester-major order",
+        "CANONICAL Registration ORDER (Student, Course, Semester)",
+        catalog,
+    )
+    show(
+        "students whose course set is exactly {c1, c2, c3}",
+        "SELECT (NEST (FLATTEN Enrollment) BY (Course)) "
+        "WHERE Course = {'c1', 'c2', 'c3'}",
+        catalog,
+    )
+    show(
+        "NF2 join: enrollment with registration on equal Student sets",
+        "JOIN (PROJECT Enrollment ON (Student, Course)), "
+        "(PROJECT Enrollment ON (Student, Club))",
+        catalog,
+    )
+    show(
+        "flat join (classical natural join of the R*s)",
+        "FLATJOIN (PROJECT (FLATTEN Enrollment) ON (Student, Course)), "
+        "(PROJECT (FLATTEN Enrollment) ON (Student, Club))",
+        catalog,
+    )
+
+    # DML: the update of Fig. 2, expressed as statements.  Each delete
+    # goes through the §4 canonical-maintenance algorithm.
+    print("-- the Fig. 2 update as DML")
+    for club in ("b1",):
+        stmt = f"DELETE FROM Enrollment VALUES ('s1', 'c1', '{club}')"
+        print(f"   {stmt}")
+        run(stmt, catalog)
+    print(run("Enrollment", catalog).to_table())
+    store = catalog.store_for("Enrollment")
+    print("   still canonical:", store.is_canonical())
+    print()
+
+    print("-- LET binds intermediate results")
+    run("LET Clubs = PROJECT Enrollment ON (Student, Club)", catalog)
+    show("bound relation 'Clubs'", "Clubs", catalog)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""The realization view: NFRs as a physical representation (§2).
+
+Stores the same registrar data twice — flat (one record per fact) and
+nested (one record per student) — in the instrumented page-based engine,
+then runs identical queries against both and prints the I/O accounting.
+
+Run:  python examples/storage_engine.py
+"""
+
+from repro.core.canonical import canonical_form
+from repro.storage.engine import NFRStore
+from repro.util.text import format_table
+from repro.workloads.university import UniversityConfig, enrollment
+
+
+def main() -> None:
+    rel = enrollment(
+        UniversityConfig(students=150, courses=40, clubs=12, seed=9)
+    )
+    order = ["Course", "Club", "Student"]
+    nfr = canonical_form(rel, order)
+
+    flat_store = NFRStore.from_relation(rel)
+    nfr_store = NFRStore.from_nfr(nfr)
+
+    print("storage footprint")
+    rows = []
+    f, n = flat_store.storage_summary(), nfr_store.storage_summary()
+    for key in ("records", "pages", "payload_bytes", "index_postings"):
+        rows.append([key, f[key], n[key]])
+    print(format_table(["metric", "1NF store", "NFR store"], rows))
+    print()
+
+    queries = [
+        ("club lookup", [("Club", "b3")]),
+        ("student lookup", [("Student", "s10")]),
+        ("student+course", [("Student", "s10"), ("Course", "c1")]),
+    ]
+
+    print("query costs (sequential scan)")
+    rows = []
+    for name, conditions in queries:
+        r1, s1 = flat_store.lookup(conditions, use_index=False)
+        r2, s2 = nfr_store.lookup(conditions, use_index=False)
+        assert set(r1) == set(r2)
+        rows.append(
+            [
+                name,
+                s1.records_visited,
+                s2.records_visited,
+                s1.page_reads,
+                s2.page_reads,
+                s1.flats_produced,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "query",
+                "records (1NF)",
+                "records (NFR)",
+                "pages (1NF)",
+                "pages (NFR)",
+                "answers",
+            ],
+            rows,
+        )
+    )
+    print()
+
+    print("query costs (inverted atom index)")
+    rows = []
+    for name, conditions in queries:
+        r1, s1 = flat_store.lookup(conditions, use_index=True)
+        r2, s2 = nfr_store.lookup(conditions, use_index=True)
+        assert set(r1) == set(r2)
+        rows.append(
+            [name, s1.records_visited, s2.records_visited, s1.flats_produced]
+        )
+    print(
+        format_table(
+            ["query", "records (1NF)", "records (NFR)", "answers"], rows
+        )
+    )
+    print()
+    print(
+        "Same answers from both representations; the NFR store touches"
+    )
+    print(
+        "a fraction of the records — the paper's 'reduction of logical"
+    )
+    print("search space' made concrete.")
+
+
+if __name__ == "__main__":
+    main()

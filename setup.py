@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+The legacy ``setup.py`` path is kept (instead of a ``[build-system]``
+table in pyproject.toml) so ``pip install -e .`` works in offline
+environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Arisawa, Moriya & Miura (VLDB 1983): Operations "
+        "and the Properties on Non-First-Normal-Form Relational Databases"
+    ),
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

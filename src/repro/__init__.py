@@ -1,0 +1,98 @@
+"""repro — Non-First-Normal-Form relational databases (VLDB 1983).
+
+A complete, from-scratch reproduction of Arisawa, Moriya & Miura,
+*Operations and the Properties on Non-First-Normal-Form Relational
+Databases* (VLDB 1983): NFR tuples and relations, composition and
+decomposition, nest/unnest, irreducible and canonical forms, fixedness
+and the FD/MVD theorems, and the canonical-form-maintaining update
+algorithms with tuple-count-independent cost — plus the 1NF relational
+substrate, dependency theory (closure, chase, 3NF synthesis, 4NF),
+an instrumented storage engine ("realization view") and a small NF2
+query language.
+
+Quickstart::
+
+    from repro import Relation, canonical_form, CanonicalNFR
+
+    flat = Relation.from_rows(
+        ["Student", "Course", "Club"],
+        [("s1", "c1", "b1"), ("s1", "c2", "b1"), ("s2", "c1", "b2")],
+    )
+    nfr = canonical_form(flat, ["Course", "Club", "Student"])
+    print(nfr.to_table())
+
+    store = CanonicalNFR(flat, ["Course", "Club", "Student"])
+    store.insert_values("s2", "c2", "b2")
+    print(store.relation.to_table())
+"""
+
+from repro.core.canonical import (
+    all_canonical_forms,
+    canonical_form,
+    distinct_canonical_forms,
+    minimum_canonical_form,
+)
+from repro.core.composition import compose, decompose
+from repro.core.irreducible import (
+    enumerate_irreducible_forms,
+    is_irreducible,
+    minimum_irreducible,
+    reduce_greedy,
+)
+from repro.core.nest import nest, nest_sequence, unnest, unnest_fully
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.fixedness import (
+    determinant_fixed_order,
+    fixed_domains,
+    is_fixed,
+)
+from repro.core.update import CanonicalNFR, NaiveCanonicalNFR
+from repro.core.values import ValueSet
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.errors import ReproError
+from repro.relational.attribute import Attribute, Domain
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # relational substrate
+    "Attribute",
+    "Domain",
+    "RelationSchema",
+    "FlatTuple",
+    "Relation",
+    # dependencies
+    "FunctionalDependency",
+    "MultivaluedDependency",
+    # NF2 core
+    "ValueSet",
+    "NFRTuple",
+    "NFRelation",
+    "compose",
+    "decompose",
+    "nest",
+    "unnest",
+    "unnest_fully",
+    "nest_sequence",
+    "canonical_form",
+    "all_canonical_forms",
+    "distinct_canonical_forms",
+    "minimum_canonical_form",
+    "is_irreducible",
+    "reduce_greedy",
+    "enumerate_irreducible_forms",
+    "minimum_irreducible",
+    "is_fixed",
+    "fixed_domains",
+    "determinant_fixed_order",
+    "CanonicalNFR",
+    "NaiveCanonicalNFR",
+    # errors
+    "ReproError",
+]

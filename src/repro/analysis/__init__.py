@@ -1,0 +1,6 @@
+"""Analysis helpers: compression metrics, complexity bounds, reporting."""
+
+from repro.analysis.compression import CompressionReport, compression_report
+from repro.analysis.complexity import theorem_a4_bound
+
+__all__ = ["CompressionReport", "compression_report", "theorem_a4_bound"]

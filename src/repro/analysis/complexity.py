@@ -1,0 +1,65 @@
+"""Theorem A-4: the composition-count bound for updates.
+
+The Appendix bounds the number of compositions performed by the §4
+insertion/deletion algorithms by a function of the degree ``n`` alone —
+"the complexity of the algorithm does not depend on the number of tuples
+in R" — via the recurrence (maximum counts)::
+
+    P(n)   = 0
+    P(n-1) = 1
+    P(j)   = (n - k) + 2 * (P(j+2) + ... + P(n))
+
+where ``k`` is the number of fixed domains involved (we evaluate the
+worst case ``k = 0``).  Summing the recurrence gives growth on the order
+of ``e^n`` — exponential in the *degree*, constant in the *cardinality*,
+which is the shape the benchmarks verify (real counts sit far below the
+worst case).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def recurrence_p(j: int, n: int, k: int = 0) -> int:
+    """The paper's P(j) for degree ``n`` and ``k`` fixed domains."""
+    if not 1 <= j <= n:
+        raise ValueError(f"j must be in [1, {n}], got {j}")
+
+    @lru_cache(maxsize=None)
+    def p(i: int) -> int:
+        if i >= n:
+            return 0
+        if i == n - 1:
+            return 1
+        return (n - k) + 2 * sum(p(m) for m in range(i + 2, n + 1))
+
+    return p(j)
+
+
+def theorem_a4_bound(n: int, k: int = 0) -> int:
+    """Worst-case composition count for one update on a degree-``n``
+    canonical NFR: the total over the recurrence levels,
+    ``P(1) + ... + P(n) + n`` (the ``+ n`` covers the top-level peel of
+    the target tuple itself)."""
+    if n < 1:
+        raise ValueError("degree must be >= 1")
+    return sum(recurrence_p(j, n, k) for j in range(1, n + 1)) + n
+
+
+def bound_table(max_n: int, k: int = 0) -> list[tuple[int, int]]:
+    """(degree, bound) rows for degrees 1..max_n."""
+    return [(n, theorem_a4_bound(n, k)) for n in range(1, max_n + 1)]
+
+
+def growth_is_exponential(max_n: int = 8) -> bool:
+    """Sanity check used in tests: the bound's growth ratio
+    bound(n+1)/bound(n) stays >= 2 from some small n on (the 'O(e^n)'
+    shape)."""
+    rows = bound_table(max_n)
+    ratios = [
+        rows[i + 1][1] / rows[i][1]
+        for i in range(2, len(rows) - 1)
+        if rows[i][1] > 0
+    ]
+    return all(r >= 2.0 for r in ratios)

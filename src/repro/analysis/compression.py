@@ -1,0 +1,98 @@
+"""Tuple-count and storage compression of NFRs versus 1NF (§2 claim).
+
+"NFR may have much less tuples than 1NF by putting a group of tuples
+into one by means of composition.  In practice, the reduction of the
+number of tuples will contribute to the reduction of logical search
+space."  These helpers quantify that for a relation and a set of nest
+orders, at both the logical level (tuple counts) and the physical level
+(encoded bytes via :mod:`repro.storage.encoding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Iterable, Sequence
+
+from repro.core.canonical import canonical_form
+from repro.core.nfr_relation import NFRelation
+from repro.relational.relation import Relation
+from repro.storage.encoding import encode_flat_tuple, encode_nfr_tuple
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Compression of one NFR against its underlying 1NF relation."""
+
+    order: tuple[str, ...]
+    flat_tuples: int
+    nfr_tuples: int
+    flat_bytes: int
+    nfr_bytes: int
+
+    @property
+    def tuple_ratio(self) -> float:
+        """1NF tuples per NFR tuple (>= 1; higher is better compression)."""
+        if self.nfr_tuples == 0:
+            return 1.0
+        return self.flat_tuples / self.nfr_tuples
+
+    @property
+    def byte_ratio(self) -> float:
+        """Encoded 1NF bytes per encoded NFR byte."""
+        if self.nfr_bytes == 0:
+            return 1.0
+        return self.flat_bytes / self.nfr_bytes
+
+    def row(self) -> list:
+        return [
+            "->".join(self.order),
+            self.flat_tuples,
+            self.nfr_tuples,
+            f"{self.tuple_ratio:.2f}x",
+            self.flat_bytes,
+            self.nfr_bytes,
+            f"{self.byte_ratio:.2f}x",
+        ]
+
+
+def measure(relation: Relation, nfr: NFRelation, order: Sequence[str]) -> CompressionReport:
+    """Compression report for an explicit NFR form of ``relation``."""
+    flat_bytes = sum(len(encode_flat_tuple(t)) for t in relation)
+    nfr_bytes = sum(len(encode_nfr_tuple(t)) for t in nfr)
+    return CompressionReport(
+        order=tuple(order),
+        flat_tuples=relation.cardinality,
+        nfr_tuples=nfr.cardinality,
+        flat_bytes=flat_bytes,
+        nfr_bytes=nfr_bytes,
+    )
+
+
+def compression_report(
+    relation: Relation, order: Sequence[str]
+) -> CompressionReport:
+    """Compression of the canonical form under one nest order."""
+    return measure(relation, canonical_form(relation, order), order)
+
+
+def compression_sweep(
+    relation: Relation,
+    orders: Iterable[Sequence[str]] | None = None,
+) -> list[CompressionReport]:
+    """Compression across nest orders (default: all n! permutations),
+    sorted best-first by tuple ratio."""
+    if orders is None:
+        orders = permutations(relation.schema.names)
+    reports = [compression_report(relation, list(o)) for o in orders]
+    return sorted(reports, key=lambda r: (-r.tuple_ratio, r.order))
+
+
+def best_order(relation: Relation) -> CompressionReport:
+    """The nest order with the highest tuple compression."""
+    return compression_sweep(relation)[0]
+
+
+def worst_order(relation: Relation) -> CompressionReport:
+    """The nest order with the lowest tuple compression."""
+    return compression_sweep(relation)[-1]

@@ -1,0 +1,75 @@
+"""Paper-vs-measured reporting for the benchmark harness.
+
+Benchmarks print an :class:`ExperimentReport` per figure/table: the
+paper's qualitative claim, the measured rows, and a pass/fail verdict on
+the claim's *shape* (who wins, monotonicity, crossover) rather than
+absolute numbers — our substrate is a simulator, not the authors'
+testbed (which, for this 1983 theory paper, never existed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.util.text import format_table
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's output block."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: Sequence[str] = ()
+    rows: list[Sequence[object]] = field(default_factory=list)
+    checks: list[tuple[str, bool]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def add_check(self, label: str, passed: bool) -> None:
+        self.checks.append((label, passed))
+
+    @property
+    def passed(self) -> bool:
+        return all(ok for _, ok in self.checks)
+
+    def render(self) -> str:
+        out = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim : {self.paper_claim}",
+        ]
+        if self.rows:
+            out.append(format_table(self.headers, self.rows))
+        for label, ok in self.checks:
+            out.append(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        out.append(
+            f"verdict     : {'REPRODUCED' if self.passed else 'NOT REPRODUCED'}"
+        )
+        return "\n".join(out)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())
+
+
+def monotone_nondecreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """Is the sequence non-decreasing (within ``tolerance``)?"""
+    return all(
+        b >= a - tolerance for a, b in zip(values, values[1:])
+    )
+
+
+def roughly_flat(values: Sequence[float], factor: float = 2.0) -> bool:
+    """Is max/min within ``factor`` (treating empty/zero safely)?
+
+    Used for "independent of |R|" claims: measured composition counts may
+    wobble with workload noise but must not scale with size.
+    """
+    if not values:
+        return True
+    lo, hi = min(values), max(values)
+    if lo <= 0:
+        return hi <= factor
+    return hi / lo <= factor

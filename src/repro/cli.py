@@ -1,0 +1,154 @@
+"""Command-line interface: run NF2 query-language statements.
+
+Usage::
+
+    python -m repro load Enrollment data.txt        # pipe-text format
+    python -m repro query "SELECT Enrollment WHERE Club CONTAINS 'b1'" \
+        --load Enrollment=data.txt
+    python -m repro repl --load Enrollment=data.txt
+    python -m repro demo                            # Fig. 1 walkthrough
+
+The pipe-text relation format is one header line of attribute names and
+one ``|``-separated line per tuple (see :mod:`repro.relational.io`).
+Loaded relations are registered with their schema order as the nest
+order; ``NEST``/``CANONICAL`` in the language restructure on demand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.query import Catalog, run
+from repro.relational import io as rio
+
+
+def _load_into(catalog: Catalog, name: str, path: str) -> None:
+    relation = rio.loads(Path(path).read_text())
+    catalog.register(name, relation)
+
+
+def _parse_load_args(catalog: Catalog, specs: list[str]) -> None:
+    for spec in specs:
+        if "=" not in spec:
+            raise SystemExit(f"--load expects NAME=PATH, got {spec!r}")
+        name, _, path = spec.partition("=")
+        _load_into(catalog, name, path)
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    catalog = Catalog()
+    _load_into(catalog, args.name, args.path)
+    relation = catalog.get(args.name)
+    print(relation.to_table(title=args.name))
+    print(f"{relation.flat_count} flat tuples")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    catalog = Catalog()
+    _parse_load_args(catalog, args.load or [])
+    try:
+        result = run(args.statement, catalog)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.to_table())
+    return 0
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    catalog = Catalog()
+    _parse_load_args(catalog, args.load or [])
+    print("NF2 query REPL — end statements with Enter; 'quit' to exit.")
+    print(f"catalog: {', '.join(catalog.names()) or '(empty)'}")
+    while True:
+        try:
+            line = input("nf2> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            continue
+        if line.lower() in ("quit", "exit", r"\q"):
+            return 0
+        if line.lower() in ("catalog", r"\d"):
+            for name in catalog.names():
+                rel = catalog.get(name)
+                print(
+                    f"  {name}{rel.schema} — {rel.cardinality} tuples, "
+                    f"{rel.flat_count} flats"
+                )
+            continue
+        try:
+            result = run(line, catalog)
+            print(result.to_table())
+        except ReproError as exc:
+            print(f"error: {exc}")
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    del args
+    from repro.workloads import paper_examples as pe
+
+    catalog = Catalog()
+    catalog.register(
+        "Enrollment", pe.FIG1_R1, order=["Course", "Club", "Student"]
+    )
+    statements = [
+        "Enrollment",
+        "FLATTEN Enrollment",
+        "SELECT Enrollment WHERE Club CONTAINS 'b1'",
+        "DELETE FROM Enrollment VALUES ('s1', 'c1', 'b1')",
+        "Enrollment",
+    ]
+    for stmt in statements:
+        print(f"nf2> {stmt}")
+        print(run(stmt, catalog).to_table())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NF2 relational databases (VLDB 1983 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_load = sub.add_parser("load", help="load and display a relation file")
+    p_load.add_argument("name")
+    p_load.add_argument("path")
+    p_load.set_defaults(fn=_cmd_load)
+
+    p_query = sub.add_parser("query", help="run one statement")
+    p_query.add_argument("statement")
+    p_query.add_argument(
+        "--load", action="append", metavar="NAME=PATH",
+        help="register a relation before running (repeatable)",
+    )
+    p_query.set_defaults(fn=_cmd_query)
+
+    p_repl = sub.add_parser("repl", help="interactive statement loop")
+    p_repl.add_argument(
+        "--load", action="append", metavar="NAME=PATH",
+        help="register a relation before starting (repeatable)",
+    )
+    p_repl.set_defaults(fn=_cmd_repl)
+
+    p_demo = sub.add_parser("demo", help="run the Fig. 1 walkthrough")
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

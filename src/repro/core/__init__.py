@@ -1,0 +1,43 @@
+"""NF2 core — the paper's primary contribution.
+
+Non-first-normal-form relations (NFRs) over simple domains, exactly as
+defined in Arisawa, Moriya & Miura (VLDB 1983):
+
+- :mod:`values` / :mod:`nfr_tuple` / :mod:`nfr_relation` — §3.1 basic
+  notation: tuples with set-valued components and their unique underlying
+  1NF relation ``R*`` (Theorem 1);
+- :mod:`composition` — Definition 1 (composition) and Definition 2
+  (decomposition);
+- :mod:`nest` — Definition 4 nest/unnest operators;
+- :mod:`canonical` — Definition 5 canonical forms and Theorem 2;
+- :mod:`irreducible` — Definition 3 irreducible forms, greedy and
+  exhaustive reduction (Examples 1-2);
+- :mod:`cardinality` — Definition 6 value-to-tuple cardinalities;
+- :mod:`fixedness` — Definition 7 and Theorems 3-5 (FD/MVD interaction,
+  nest-order design strategy);
+- :mod:`classify` — the Fig. 3 taxonomy of NFR forms;
+- :mod:`update` — §4 insertion/deletion maintaining a canonical form with
+  tuple-count-independent cost (Theorem A-4), plus the naive baseline;
+- :mod:`invariants` — executable statements of the paper's theorems used
+  by tests and benchmarks.
+"""
+
+from repro.core.composition import compose, decompose
+from repro.core.nest import nest, nest_sequence, unnest, unnest_fully
+from repro.core.canonical import canonical_form
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.update import CanonicalNFR
+
+__all__ = [
+    "NFRTuple",
+    "NFRelation",
+    "compose",
+    "decompose",
+    "nest",
+    "unnest",
+    "unnest_fully",
+    "nest_sequence",
+    "canonical_form",
+    "CanonicalNFR",
+]

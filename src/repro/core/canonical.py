@@ -1,0 +1,146 @@
+"""Canonical forms (Definition 5) and Theorem 2.
+
+A canonical form ``V_P(R)`` applies the nest operator for every attribute
+of the schema, in the order given by a permutation ``P``.  The paper
+proves (Theorem 2) that the result is unique for a given ``P`` —
+independent of the order in which individual tuple-pair compositions are
+applied inside each nest — and that every canonical form is irreducible.
+With ``n`` attributes there are ``n!`` canonical forms.
+
+Convention (see DESIGN.md): a nest order is the explicit list
+``[first-nested, ..., last-nested]``.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import permutations
+from typing import Iterator, Sequence
+
+from repro.core.nest import (
+    nest,
+    nest_by_compositions,
+    nest_sequence,
+    require_same_universe,
+)
+from repro.core.nfr_relation import NFRelation
+from repro.relational.relation import Relation
+from repro.util.counters import OperationCounter
+
+
+def canonical_form(
+    relation: NFRelation | Relation,
+    order: Sequence[str],
+    counter: OperationCounter | None = None,
+) -> NFRelation:
+    """``V_P(R)`` — Def. 5: nest every attribute in ``order``.
+
+    Accepts a 1NF relation (lifted first) or any NFR.  ``order`` must be
+    a permutation of the schema.  Applying ``V_P`` to an arbitrary NFR is
+    legal (nests compose); the canonical forms *of a 1NF relation* are
+    obtained by passing that relation directly.
+
+    >>> r = Relation.from_rows(["A", "B"], [("a1", "b1"), ("a2", "b1")])
+    >>> canonical_form(r, ["A", "B"]).cardinality
+    1
+    """
+    nfr = (
+        NFRelation.from_1nf(relation)
+        if isinstance(relation, Relation)
+        else relation
+    )
+    require_same_universe(nfr, order)
+    return nest_sequence(nfr, order, counter=counter)
+
+
+def canonical_form_randomized(
+    relation: NFRelation | Relation,
+    order: Sequence[str],
+    rng: random.Random,
+) -> NFRelation:
+    """``V_P(R)`` computed with literal successive compositions applied in
+    random order inside each nest — the Theorem 2 test subject.  Must
+    always equal :func:`canonical_form`."""
+    nfr = (
+        NFRelation.from_1nf(relation)
+        if isinstance(relation, Relation)
+        else relation
+    )
+    require_same_universe(nfr, order)
+    out = nfr
+    for a in order:
+        out = nest_by_compositions(out, a, rng=rng)
+    return out
+
+
+def all_canonical_forms(
+    relation: NFRelation | Relation,
+) -> dict[tuple[str, ...], NFRelation]:
+    """All ``n!`` canonical forms, keyed by nest order.
+
+    Distinct orders may coincide on the same form; the mapping keeps every
+    order so callers can study which orders collapse together.
+    """
+    nfr = (
+        NFRelation.from_1nf(relation)
+        if isinstance(relation, Relation)
+        else relation
+    )
+    return {
+        perm: nest_sequence(nfr, perm)
+        for perm in permutations(nfr.schema.names)
+    }
+
+
+def distinct_canonical_forms(
+    relation: NFRelation | Relation,
+) -> dict[NFRelation, list[tuple[str, ...]]]:
+    """Group the ``n!`` nest orders by the form they produce."""
+    groups: dict[NFRelation, list[tuple[str, ...]]] = {}
+    for order, form in all_canonical_forms(relation).items():
+        groups.setdefault(form, []).append(order)
+    return groups
+
+
+def minimum_canonical_form(
+    relation: NFRelation | Relation,
+) -> tuple[tuple[str, ...], NFRelation]:
+    """The canonical form with the fewest tuples (ties broken by order).
+
+    Example 2 of the paper shows this may still exceed the global minimum
+    over *all* irreducible forms.
+    """
+    best: tuple[tuple[str, ...], NFRelation] | None = None
+    for order, form in sorted(all_canonical_forms(relation).items()):
+        if best is None or form.cardinality < best[1].cardinality:
+            best = (order, form)
+    assert best is not None
+    return best
+
+
+def is_canonical_for(
+    relation: NFRelation,
+    order: Sequence[str],
+) -> bool:
+    """Is ``relation`` the canonical form of its own R* under ``order``?"""
+    require_same_universe(relation, order)
+    return canonical_form(relation.to_1nf(), order) == relation
+
+
+def canonical_orders_matching(
+    relation: NFRelation,
+) -> Iterator[tuple[str, ...]]:
+    """Yield every nest order whose canonical form equals ``relation``.
+
+    Empty iff the relation is not canonical under any order (e.g. the
+    non-canonical irreducible form R4 of Example 2).
+    """
+    flat = relation.to_1nf()
+    for perm in permutations(relation.schema.names):
+        if canonical_form(flat, perm) == relation:
+            yield perm
+
+
+def is_canonical(relation: NFRelation) -> bool:
+    """Is ``relation`` canonical under *some* nest order?"""
+    return next(canonical_orders_matching(relation), None) is not None

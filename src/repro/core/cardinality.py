@@ -1,0 +1,119 @@
+"""Cardinality classification of domains in an NFR (Definition 6).
+
+For each atomic value ``e`` of a domain ``Ei`` appearing in ``R``, two
+booleans matter: does ``e`` appear in more than one tuple, and does it
+appear inside a non-singleton component?  Definition 6 names the four
+combinations::
+
+    1:1  each value in at most one tuple, always as a singleton component
+    n:1  each value in at most one tuple, (some) inside a set component
+    1:n  values may recur across tuples, always as singletons
+    m:n  values may recur across tuples, inside set components
+
+The classes form a lattice (1:1 below everything, m:n on top); the
+classification of a domain is the least class covering every value's
+observed pattern.  Theorem 3 asserts FD right-sides stay at or below
+``1:n`` in every irreducible form; Theorem 4 exhibits ``m:n`` for MVD
+right-sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.core.nfr_relation import NFRelation
+
+
+class Cardinality(Enum):
+    """Definition 6 classes, ordered as a lattice."""
+
+    ONE_ONE = "1:1"
+    N_ONE = "n:1"
+    ONE_N = "1:n"
+    M_N = "m:n"
+
+    @classmethod
+    def from_flags(cls, multi_tuple: bool, in_set: bool) -> "Cardinality":
+        if multi_tuple and in_set:
+            return cls.M_N
+        if multi_tuple:
+            return cls.ONE_N
+        if in_set:
+            return cls.N_ONE
+        return cls.ONE_ONE
+
+    @property
+    def multi_tuple(self) -> bool:
+        return self in (Cardinality.ONE_N, Cardinality.M_N)
+
+    @property
+    def in_set(self) -> bool:
+        return self in (Cardinality.N_ONE, Cardinality.M_N)
+
+    def join(self, other: "Cardinality") -> "Cardinality":
+        """Least upper bound in the lattice."""
+        return Cardinality.from_flags(
+            self.multi_tuple or other.multi_tuple,
+            self.in_set or other.in_set,
+        )
+
+    def le(self, other: "Cardinality") -> bool:
+        """Lattice order: self below-or-equal other."""
+        return (not self.multi_tuple or other.multi_tuple) and (
+            not self.in_set or other.in_set
+        )
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ValueOccurrence:
+    """How one atomic value occurs in one domain of an NFR."""
+
+    value: Any
+    tuple_count: int
+    max_component_size: int
+
+    @property
+    def cardinality(self) -> Cardinality:
+        return Cardinality.from_flags(
+            self.tuple_count > 1, self.max_component_size > 1
+        )
+
+
+def value_occurrences(
+    relation: NFRelation, attribute: str
+) -> dict[Any, ValueOccurrence]:
+    """Occurrence statistics for every value of ``attribute``."""
+    relation.schema.require([attribute])
+    counts: dict[Any, int] = {}
+    max_size: dict[Any, int] = {}
+    for t in relation:
+        comp = t[attribute]
+        for v in comp:
+            counts[v] = counts.get(v, 0) + 1
+            max_size[v] = max(max_size.get(v, 0), len(comp))
+    return {
+        v: ValueOccurrence(v, counts[v], max_size[v]) for v in counts
+    }
+
+
+def classify_attribute(relation: NFRelation, attribute: str) -> Cardinality:
+    """Definition 6 classification of one domain (lattice join over
+    value patterns; 1:1 for an empty relation)."""
+    result = Cardinality.ONE_ONE
+    for occ in value_occurrences(relation, attribute).values():
+        result = result.join(occ.cardinality)
+        if result is Cardinality.M_N:
+            break
+    return result
+
+
+def classify_all(relation: NFRelation) -> dict[str, Cardinality]:
+    """Classification of every domain of the relation."""
+    return {
+        n: classify_attribute(relation, n) for n in relation.schema.names
+    }

@@ -1,0 +1,155 @@
+"""The Fig. 3 taxonomy: canonical, fixed and irreducible NFRs.
+
+Fig. 3 of the paper is a containment diagram: inside the universe of
+NFRs sits the region of *irreducible* forms; *canonical* forms are a
+sub-region of it; *fixed* forms straddle the regions (a form can be
+fixed without being irreducible, irreducible without being fixed, and
+canonical forms are fixed on n-1 domains by Theorem 5).
+
+:func:`classify_form` labels a single NFR with its region memberships;
+:func:`census` enumerates every irreducible form of a (small) relation
+and counts the regions, producing the empirical version of Fig. 3 used
+by ``benchmarks/bench_fig3_classification.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.canonical import canonical_orders_matching
+from repro.core.fixedness import fixed_domains
+from repro.core.irreducible import enumerate_irreducible_forms, is_irreducible
+from repro.core.nfr_relation import NFRelation
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class FormClassification:
+    """Region memberships of one NFR form (Fig. 3).
+
+    Two grades of Definition 7 fixedness are reported: ``fixed_on`` (the
+    single domains the form is fixed on) and ``fixed_proper`` (fixed on
+    *some* proper subset of the schema — the grade under which Theorem 5
+    places every canonical form inside the fixed region).
+    """
+
+    irreducible: bool
+    canonical_orders: tuple[tuple[str, ...], ...]
+    fixed_on: frozenset[str]
+    fixed_proper: bool
+    cardinality: int
+
+    @property
+    def canonical(self) -> bool:
+        return bool(self.canonical_orders)
+
+    @property
+    def fixed(self) -> bool:
+        """Fixed on some proper subset of the domains (Def. 7)."""
+        return self.fixed_proper
+
+    def region(self) -> str:
+        """Short label for reporting: combinations of C/F/I."""
+        parts = []
+        if self.canonical:
+            parts.append("canonical")
+        if self.fixed:
+            parts.append("fixed")
+        if self.irreducible:
+            parts.append("irreducible")
+        return "+".join(parts) if parts else "plain"
+
+
+def _fixed_on_proper_subset(relation: NFRelation) -> bool:
+    from itertools import combinations
+
+    from repro.core.fixedness import is_fixed
+
+    names = relation.schema.names
+    for size in range(1, len(names)):
+        for combo in combinations(names, size):
+            if is_fixed(relation, combo):
+                return True
+    return False
+
+
+def classify_form(relation: NFRelation) -> FormClassification:
+    """Classify one NFR form against the Fig. 3 regions."""
+    return FormClassification(
+        irreducible=is_irreducible(relation),
+        canonical_orders=tuple(canonical_orders_matching(relation)),
+        fixed_on=fixed_domains(relation),
+        fixed_proper=_fixed_on_proper_subset(relation),
+        cardinality=relation.cardinality,
+    )
+
+
+@dataclass(frozen=True)
+class CensusResult:
+    """Empirical Fig. 3: counts over all irreducible forms of a relation."""
+
+    total_irreducible: int
+    canonical: int
+    fixed: int
+    canonical_and_fixed: int
+    fixed_not_canonical: int
+    canonical_not_fixed: int
+    min_cardinality: int
+    min_canonical_cardinality: int
+
+    @property
+    def canonical_subset_of_irreducible(self) -> bool:
+        """Fig. 3 containment: every canonical form is irreducible (always
+        true by construction here; reported for the record)."""
+        return self.canonical <= self.total_irreducible
+
+    @property
+    def minimum_below_canonical(self) -> bool:
+        """Example 2's phenomenon: some irreducible form beats every
+        canonical form."""
+        return self.min_cardinality < self.min_canonical_cardinality
+
+
+def census(relation: Relation, state_limit: int = 200_000) -> CensusResult:
+    """Enumerate all irreducible forms of ``relation`` and count the
+    Fig. 3 regions.  Exponential; for small relations."""
+    forms = enumerate_irreducible_forms(relation, state_limit=state_limit)
+    return census_of_forms(forms)
+
+
+def census_of_forms(forms: Iterable[NFRelation]) -> CensusResult:
+    """Count Fig. 3 regions over an explicit collection of forms."""
+    total = 0
+    canonical = 0
+    fixed = 0
+    both = 0
+    min_card: int | None = None
+    min_canon: int | None = None
+    for form in forms:
+        total += 1
+        cls = classify_form(form)
+        if min_card is None or cls.cardinality < min_card:
+            min_card = cls.cardinality
+        if cls.canonical:
+            canonical += 1
+            if min_canon is None or cls.cardinality < min_canon:
+                min_canon = cls.cardinality
+        if cls.fixed:
+            fixed += 1
+        if cls.canonical and cls.fixed:
+            both += 1
+    if total == 0:
+        raise ValueError("census needs at least one form")
+    return CensusResult(
+        total_irreducible=total,
+        canonical=canonical,
+        fixed=fixed,
+        canonical_and_fixed=both,
+        fixed_not_canonical=fixed - both,
+        canonical_not_fixed=canonical - both,
+        min_cardinality=min_card if min_card is not None else 0,
+        min_canonical_cardinality=(
+            min_canon if min_canon is not None else (min_card or 0)
+        ),
+    )

@@ -1,0 +1,158 @@
+"""Composition and decomposition of NFR tuples (Definitions 1-2).
+
+**Composition** (Def. 1): given tuples ``r`` and ``s`` that are
+set-theoretically equal on every attribute except ``Ec``, the composition
+``v_Ec(r, s)`` is the tuple equal to both elsewhere with the ``Ec``
+components unioned.  The paper's example::
+
+    t1 = [A(a1, a2) B(b1, b2) C(c1)]
+    t2 = [A(a1, a2) B(b3)     C(c1)]
+    v_B(t1, t2) = [A(a1, a2) B(b1, b2, b3) C(c1)]
+
+Composition "cannot lose or add any information": the flats of the
+result are exactly ``flats(r) | flats(s)``.
+
+**Decomposition** (Def. 2): ``u_Ed(ex)(t)`` splits one value ``ex`` out
+of the ``Ed`` component, producing ``te`` (component without ``ex``) and
+``tr`` (component exactly ``{ex}``).  Again ``flats(te) | flats(tr) ==
+flats(t)``.  The ``Ed`` component must contain ``ex`` plus at least one
+other value, so neither side is empty.
+
+Both operations are purely syntactic ("defined syntactically depending
+upon only tuples") and are the sole primitives from which nests,
+canonical forms and the §4 update algorithms are built.  Pass an
+:class:`~repro.util.counters.OperationCounter` to have applications
+tallied for the Theorem A-4 complexity accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import CompositionError, DecompositionValueError
+from repro.util.counters import OperationCounter
+
+
+def composable_on(r: NFRTuple, s: NFRTuple, attribute: str) -> bool:
+    """Def. 1 precondition: distinct tuples, set-equal everywhere except
+    ``attribute``."""
+    if r.schema.names != s.schema.names:
+        return False
+    if attribute not in r.schema:
+        return False
+    if r == s:
+        return False
+    return r.differs_only_on(s, attribute)
+
+
+def composable_attributes(r: NFRTuple, s: NFRTuple) -> list[str]:
+    """Attributes over which ``r`` and ``s`` can be composed.
+
+    For distinct tuples this is either empty or a single attribute: if
+    they are set-equal on all but one attribute, that attribute is the
+    only candidate; if they differ on two or more, none qualifies.
+    """
+    if r.schema.names != s.schema.names or r == s:
+        return []
+    differing = [
+        n for n in r.schema.names if r[n] != s[n]
+    ]
+    if len(differing) == 1:
+        return differing
+    return []
+
+
+def compose(
+    r: NFRTuple,
+    s: NFRTuple,
+    attribute: str,
+    counter: OperationCounter | None = None,
+) -> NFRTuple:
+    """``v_attribute(r, s)`` — Def. 1 composition.
+
+    Raises :class:`CompositionError` when the precondition fails.
+    """
+    if not composable_on(r, s, attribute):
+        raise CompositionError(
+            f"tuples are not composable over {attribute!r}: {r} vs {s}"
+        )
+    if counter is not None:
+        counter.compositions += 1
+    return r.with_component(attribute, r[attribute].union(s[attribute]))
+
+
+def decompose(
+    t: NFRTuple,
+    attribute: str,
+    value: Any,
+    counter: OperationCounter | None = None,
+) -> tuple[NFRTuple, NFRTuple]:
+    """``u_attribute(value)(t)`` — Def. 2 decomposition.
+
+    Returns ``(te, tr)``: ``te`` has the ``attribute`` component without
+    ``value``; ``tr`` has it as exactly ``{value}``.  Raises when
+    ``value`` is absent or is the only member (which would leave an empty
+    component).
+    """
+    component = t[attribute]
+    if value not in component:
+        raise DecompositionValueError(
+            f"value {value!r} not in component {attribute}({component.render()})"
+        )
+    if component.is_singleton:
+        raise DecompositionValueError(
+            f"cannot decompose singleton component {attribute}({component.render()})"
+        )
+    if counter is not None:
+        counter.decompositions += 1
+    te = t.with_component(attribute, component.without(value))
+    tr = t.with_component(attribute, ValueSet.single(value))
+    return te, tr
+
+
+def split_subset(
+    t: NFRTuple,
+    attribute: str,
+    values: ValueSet,
+    counter: OperationCounter | None = None,
+) -> tuple[NFRTuple | None, NFRTuple]:
+    """Split a whole *subset* of the ``attribute`` component out of ``t``.
+
+    Returns ``(remainder, extracted)`` where ``extracted`` has the
+    component exactly ``values`` and ``remainder`` the rest (None when
+    ``values`` is the whole component, i.e. nothing to split).
+
+    This is a derived operation: extracting k values costs k Def. 2
+    decompositions plus k-1 Def. 1 compositions to reassemble the
+    extracted piece, and the counter is charged accordingly — the §4
+    algorithms use it and Theorem A-4's accounting stays honest.
+    """
+    component = t[attribute]
+    if not values.issubset(component):
+        raise DecompositionValueError(
+            f"{values} is not a subset of component "
+            f"{attribute}({component.render()})"
+        )
+    if values == component:
+        return None, t
+    k = len(values)
+    if counter is not None:
+        counter.decompositions += k
+        counter.compositions += k - 1
+    remainder = t.with_component(attribute, component.difference(values))
+    extracted = t.with_component(attribute, values)
+    return remainder, extracted
+
+
+def all_composable_pairs(
+    tuples: frozenset[NFRTuple] | set[NFRTuple],
+) -> Iterator[tuple[NFRTuple, NFRTuple, str]]:
+    """Enumerate ``(r, s, attribute)`` triples with ``r`` composable with
+    ``s`` (each unordered pair reported once, in deterministic order)."""
+    ordered = sorted(tuples, key=lambda t: t.sort_key())
+    for i, r in enumerate(ordered):
+        for s in ordered[i + 1 :]:
+            for attribute in composable_attributes(r, s):
+                yield r, s, attribute

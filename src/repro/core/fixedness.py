@@ -1,0 +1,215 @@
+"""Fixedness (Definition 7) and the dependency theorems (Theorems 3-5).
+
+``R`` is *fixed* on domains ``F1, ..., Fk`` when every combination of
+atomic values ``(f1, ..., fk)`` (one from each ``Fi``) is contained "as a
+part" by at most one tuple — the NFR counterpart of a key.  Note the
+containment is member-wise against set-valued components, so fixedness on
+a *smaller* attribute set is a *stronger* property.
+
+The theorems reproduced here:
+
+- **Theorem 3**: if FD ``F -> E`` holds, every irreducible form derived
+  from R is fixed on F, and each ``Ei`` classifies at or below ``1:n``.
+- **Theorem 4**: if MVD ``F ->-> E1 | ... | Em`` holds, *some* irreducible
+  form is fixed on F (with ``Ei`` possibly ``m:n``); Example 3 shows not
+  all are.
+- **Theorem 5**: every canonical form of a 1NF relation is fixed on the
+  n-1 domains other than the first-nested attribute, and that fixedness
+  survives all later nests.
+
+The *design strategy* of §3.4 ("nesting on leftside attributes of FDs or
+MVDs allows us to get to 'better' NFR") is implemented as
+:func:`determinant_fixed_order`: nest the dependent attributes first and
+the determinant attributes last; the resulting canonical form is fixed on
+the determinant whenever the dependency holds (verified against the
+paper's Example 3 and by property tests).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.core.canonical import canonical_form
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.errors import NFRError
+from repro.relational.relation import Relation
+
+
+def is_fixed(relation: NFRelation, attributes: Iterable[str]) -> bool:
+    """Definition 7: at most one tuple contains each value combination
+    over ``attributes`` as a part."""
+    attrs = list(attributes)
+    if not attrs:
+        raise NFRError("fixedness needs at least one attribute")
+    relation.schema.require(attrs)
+    seen: dict[tuple, NFRTuple] = {}
+    for t in relation:
+        for combo in product(*(t[a].sorted() for a in attrs)):
+            prior = seen.get(combo)
+            if prior is not None and prior != t:
+                return False
+            seen[combo] = t
+    return True
+
+
+def fixedness_witness(
+    relation: NFRelation, attributes: Iterable[str]
+) -> tuple[tuple, NFRTuple, NFRTuple] | None:
+    """A (combo, tuple1, tuple2) violation of fixedness, or None."""
+    attrs = list(attributes)
+    relation.schema.require(attrs)
+    seen: dict[tuple, NFRTuple] = {}
+    for t in relation.sorted_tuples():
+        for combo in product(*(t[a].sorted() for a in attrs)):
+            prior = seen.get(combo)
+            if prior is not None and prior != t:
+                return combo, prior, t
+            seen[combo] = t
+    return None
+
+
+def fixed_domains(relation: NFRelation) -> frozenset[str]:
+    """The single domains the relation is fixed on.
+
+    (Example 1: the 1NF original is fixed on none; R1 is fixed on B and
+    R2 on A — the paper's prose swaps the two in what is evidently a
+    typesetting slip; the executable check here is definitive for
+    Definition 7 as stated.)
+    """
+    return frozenset(
+        n for n in relation.schema.names if is_fixed(relation, [n])
+    )
+
+
+def maximal_fixed_sets(relation: NFRelation) -> frozenset[frozenset[str]]:
+    """All minimal attribute sets the relation is fixed on.
+
+    Because fixedness on S implies fixedness on every superset of S, the
+    minimal fixed sets characterise the whole family (they are the NFR
+    "keys").  Exponential scan over subsets; for design-sized schemas.
+    """
+    names = relation.schema.names
+    n = len(names)
+    fixed: list[frozenset[str]] = []
+    for size in range(1, n + 1):
+        from itertools import combinations
+
+        for combo in combinations(names, size):
+            s = frozenset(combo)
+            if any(f <= s for f in fixed):
+                continue  # superset of a known fixed set
+            if is_fixed(relation, combo):
+                fixed.append(s)
+    return frozenset(fixed)
+
+
+# ---------------------------------------------------------------------------
+# §3.4 design strategy
+# ---------------------------------------------------------------------------
+
+
+def determinant_fixed_order(
+    universe: Sequence[str],
+    determinant: Iterable[str],
+) -> list[str]:
+    """Nest order that makes the canonical form fixed on ``determinant``
+    (when an FD or MVD with that determinant holds): dependent attributes
+    first, determinant attributes last, each group in schema order."""
+    det = set(determinant)
+    unknown = det - set(universe)
+    if unknown:
+        raise NFRError(f"determinant attributes {sorted(unknown)} not in schema")
+    if not det:
+        raise NFRError("determinant must be non-empty")
+    dependents = [a for a in universe if a not in det]
+    determinants = [a for a in universe if a in det]
+    if not dependents:
+        raise NFRError("determinant covers the whole schema; nothing to nest first")
+    return dependents + determinants
+
+
+def canonical_fixed_on_determinant(
+    relation: Relation,
+    dependency: FunctionalDependency | MultivaluedDependency,
+) -> tuple[list[str], NFRelation]:
+    """Apply the §3.4 strategy for one dependency.
+
+    Returns (nest order, canonical form).  The caller should verify the
+    dependency actually holds in the instance (``dependency.holds_in``);
+    the fixedness guarantee of Theorems 3-4 only applies then.
+    """
+    order = determinant_fixed_order(relation.schema.names, dependency.lhs)
+    return order, canonical_form(relation, order)
+
+
+def theorem5_fixed_set(order: Sequence[str]) -> list[str]:
+    """Theorem 5: a canonical form with nest order ``order`` (first
+    element nested first) is fixed on all domains except the first-nested
+    one — i.e. on ``order[1:]`` (as a set)."""
+    if len(order) < 2:
+        raise NFRError("Theorem 5 needs a schema of degree >= 2")
+    return list(order[1:])
+
+
+def check_theorem3(
+    relation: Relation,
+    fd: FunctionalDependency,
+    irreducible: NFRelation,
+) -> dict[str, bool]:
+    """Executable statement of Theorem 3 for one irreducible form.
+
+    The theorem's proof starts from "R* is fixed on F1, ..., Fk", i.e.
+    the determinant is a *key* of the flat instance (the FD reaches every
+    other attribute).  For a partial FD (``A -> B`` inside ``{A, B, C}``)
+    the conclusion genuinely fails — an irreducible form can merge two
+    tuples sharing an ``A`` value along ``C`` — so the precondition flag
+    ``determinant_is_key`` is part of the statement.
+
+    Returns flags: the FD holds in the 1NF instance, the determinant is
+    a key there, the form is information-equivalent, the form is fixed
+    on the determinant, and every rhs attribute classifies at or below
+    1:n.
+    """
+    from repro.core.cardinality import Cardinality, classify_attribute
+
+    det = sorted(fd.lhs)
+    key_groups: set[tuple] = set()
+    determinant_is_key = True
+    for t in relation:
+        combo = tuple(t[a] for a in det)
+        if combo in key_groups:
+            determinant_is_key = False
+            break
+        key_groups.add(combo)
+
+    flags = {
+        "fd_holds": fd.holds_in(relation),
+        "determinant_is_key": determinant_is_key,
+        "same_information": irreducible.to_1nf() == relation,
+        "fixed_on_determinant": is_fixed(irreducible, fd.lhs),
+    }
+    flags["rhs_at_most_1n"] = all(
+        classify_attribute(irreducible, a).le(Cardinality.ONE_N)
+        for a in fd.rhs
+        if a in irreducible.schema
+    )
+    return flags
+
+
+def check_theorem4_exists(
+    relation: Relation,
+    mvd: MultivaluedDependency,
+) -> tuple[NFRelation, dict[str, bool]]:
+    """Executable statement of Theorem 4: produce an irreducible form
+    fixed on the MVD determinant (via the §3.4 order) and report flags."""
+    order, form = canonical_fixed_on_determinant(relation, mvd)
+    flags = {
+        "mvd_holds": mvd.holds_in(relation),
+        "same_information": form.to_1nf() == relation,
+        "fixed_on_determinant": is_fixed(form, mvd.lhs),
+    }
+    return form, flags

@@ -1,0 +1,162 @@
+"""Irreducible forms (Definition 3) and their enumeration.
+
+"After applying a sequence of compositions, if no more composition is
+possible without decomposing and re-composing, then the result relation
+is called an irreducible form relation."
+
+Key facts reproduced here:
+
+- a 1NF relation generally has *several* irreducible forms (Example 1);
+- irreducible means locally minimal tuple count, "though it may not be
+  minimum";
+- some irreducible forms are smaller than every canonical form
+  (Example 2) — found by :func:`enumerate_irreducible_forms` /
+  :func:`minimum_irreducible`, which search the composition DAG
+  exhaustively (exponential; guarded, intended for design-sized inputs
+  like the paper's examples).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+from repro.core.composition import all_composable_pairs, compose
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.errors import NFRError
+from repro.relational.relation import Relation
+from repro.util.counters import OperationCounter
+
+#: Default cap on distinct states explored by the exhaustive searches.
+_DEFAULT_STATE_LIMIT = 200_000
+
+
+def is_irreducible(relation: NFRelation) -> bool:
+    """No pair of distinct tuples is composable over any attribute."""
+    return next(all_composable_pairs(relation.tuples), None) is None
+
+
+def reducibility_witness(
+    relation: NFRelation,
+) -> tuple[NFRTuple, NFRTuple, str] | None:
+    """A composable (r, s, attribute) triple, or None when irreducible."""
+    return next(all_composable_pairs(relation.tuples), None)
+
+
+PairChooser = Callable[[list[tuple[NFRTuple, NFRTuple, str]]], int]
+
+
+def reduce_greedy(
+    relation: NFRelation | Relation,
+    chooser: PairChooser | None = None,
+    rng: random.Random | None = None,
+    counter: OperationCounter | None = None,
+) -> NFRelation:
+    """Apply compositions until irreducible.
+
+    ``chooser`` picks which composable triple to apply next (index into
+    the candidate list); default is the deterministic first candidate, or
+    a random one when ``rng`` is given.  Different choosers reach
+    different irreducible forms — exactly the paper's Example 1.
+    """
+    nfr = (
+        NFRelation.from_1nf(relation)
+        if isinstance(relation, Relation)
+        else relation
+    )
+    if chooser is None:
+        if rng is not None:
+            chooser = lambda cands: rng.randrange(len(cands))  # noqa: E731
+        else:
+            chooser = lambda cands: 0  # noqa: E731
+
+    tuples = set(nfr.tuples)
+    while True:
+        candidates = list(
+            all_composable_pairs(tuples)
+        )
+        if not candidates:
+            break
+        r, s, attribute = candidates[chooser(candidates)]
+        merged = compose(r, s, attribute, counter=counter)
+        tuples.discard(r)
+        tuples.discard(s)
+        tuples.add(merged)
+    return NFRelation(nfr.schema, tuples)
+
+
+def enumerate_irreducible_forms(
+    relation: NFRelation | Relation,
+    state_limit: int = _DEFAULT_STATE_LIMIT,
+) -> frozenset[NFRelation]:
+    """All irreducible forms reachable from ``relation`` by compositions.
+
+    Exhaustive DFS over the composition choices with memoisation on the
+    tuple-set state.  Exponential in general; raises
+    :class:`NFRError` when ``state_limit`` distinct states are exceeded.
+    """
+    nfr = (
+        NFRelation.from_1nf(relation)
+        if isinstance(relation, Relation)
+        else relation
+    )
+    seen: set[frozenset[NFRTuple]] = set()
+    results: set[NFRelation] = set()
+    stack: list[frozenset[NFRTuple]] = [nfr.tuples]
+
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        if len(seen) > state_limit:
+            raise NFRError(
+                f"irreducible-form enumeration exceeded {state_limit} states"
+            )
+        candidates = list(all_composable_pairs(state))
+        if not candidates:
+            results.add(NFRelation(nfr.schema, state))
+            continue
+        for r, s, attribute in candidates:
+            merged = compose(r, s, attribute)
+            stack.append((state - {r, s}) | {merged})
+    return frozenset(results)
+
+
+def minimum_irreducible(
+    relation: NFRelation | Relation,
+    state_limit: int = _DEFAULT_STATE_LIMIT,
+) -> NFRelation:
+    """An irreducible form with the globally minimum tuple count.
+
+    The paper notes finding the "minimum NFR" is hard; this exhaustive
+    search is exponential and intended for small inputs (Example 2's
+    6-tuple relation, the census benchmark's random relations).
+    """
+    forms = enumerate_irreducible_forms(relation, state_limit=state_limit)
+    return min(
+        forms,
+        key=lambda f: (f.cardinality, [t.render() for t in f.sorted_tuples()]),
+    )
+
+
+def irreducible_cardinality_range(
+    relation: NFRelation | Relation,
+    state_limit: int = _DEFAULT_STATE_LIMIT,
+) -> tuple[int, int]:
+    """(min, max) tuple counts over all irreducible forms."""
+    forms = enumerate_irreducible_forms(relation, state_limit=state_limit)
+    sizes = [f.cardinality for f in forms]
+    return min(sizes), max(sizes)
+
+
+def greedy_forms_sample(
+    relation: NFRelation | Relation,
+    samples: int,
+    seed: int = 0,
+) -> Iterator[NFRelation]:
+    """Yield irreducible forms from randomized greedy runs (cheap way to
+    exhibit multiplicity on inputs too large for exhaustive search)."""
+    for i in range(samples):
+        yield reduce_greedy(relation, rng=random.Random(seed + i))

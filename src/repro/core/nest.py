@@ -1,0 +1,163 @@
+"""Nest and unnest operators (Definition 4).
+
+``nest_Ei(R)`` ("v_Ei" in the paper) performs "the successive
+compositions over Ei as many as possible".  Because composition over
+``Ei`` merges tuples that are set-equal on every other attribute, the
+fixpoint is exactly: group tuples by their components on ``U - {Ei}`` and
+union the ``Ei`` components within each group.  That grouping view makes
+the Theorem 2 uniqueness obvious and gives an O(|R|) implementation; the
+literal pairwise-composition process is also provided
+(:func:`nest_by_compositions`) so tests can *demonstrate* confluence
+rather than assume it.
+
+``unnest_Ei(R)`` splits every ``Ei`` component back into singletons (the
+inverse used by the §4 algorithms and by the Jaeschke-Schek algebra).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.composition import compose, composable_attributes
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import NFRError
+from repro.util.counters import OperationCounter
+
+
+def nest(
+    relation: NFRelation,
+    attribute: str,
+    counter: OperationCounter | None = None,
+) -> NFRelation:
+    """``v_attribute(R)`` — Def. 4 nest, via grouping.
+
+    The counter is charged one composition per merge performed (a group
+    of k tuples costs k-1 compositions), matching what the literal
+    successive-composition process would do.
+    """
+    relation.schema.require([attribute])
+    groups: dict[tuple, list[NFRTuple]] = {}
+    other = [n for n in relation.schema.names if n != attribute]
+    for t in relation:
+        key = tuple(t[n] for n in other)
+        groups.setdefault(key, []).append(t)
+
+    out: set[NFRTuple] = set()
+    for members in groups.values():
+        if len(members) == 1:
+            out.add(members[0])
+            continue
+        if counter is not None:
+            counter.compositions += len(members) - 1
+        union = members[0][attribute]
+        for m in members[1:]:
+            union = union.union(m[attribute])
+        out.add(members[0].with_component(attribute, union))
+    return NFRelation(relation.schema, out)
+
+
+def nest_by_compositions(
+    relation: NFRelation,
+    attribute: str,
+    rng: random.Random | None = None,
+    counter: OperationCounter | None = None,
+) -> NFRelation:
+    """Def. 4 nest performed literally: repeatedly pick a composable pair
+    over ``attribute`` (in random order when ``rng`` is given) and compose
+    it, until no pair remains.
+
+    Exists to *test* Theorem 2: the result equals :func:`nest` for every
+    composition order.
+    """
+    tuples = set(relation.tuples)
+    order = rng if rng is not None else random.Random(0)
+    while True:
+        candidates: list[tuple[NFRTuple, NFRTuple]] = []
+        ordered = sorted(tuples, key=lambda t: t.sort_key())
+        for i, r in enumerate(ordered):
+            for s in ordered[i + 1 :]:
+                if attribute in composable_attributes(r, s):
+                    candidates.append((r, s))
+        if not candidates:
+            break
+        r, s = candidates[order.randrange(len(candidates))]
+        merged = compose(r, s, attribute, counter=counter)
+        tuples.discard(r)
+        tuples.discard(s)
+        tuples.add(merged)
+    return NFRelation(relation.schema, tuples)
+
+
+def nest_sequence(
+    relation: NFRelation,
+    attributes: Sequence[str],
+    counter: OperationCounter | None = None,
+) -> NFRelation:
+    """Apply nests left to right: ``nest_sequence(R, [A, B])`` is
+    ``v_B(v_A(R))`` — nest on ``A`` first, then on ``B``.
+
+    This is the explicit-order normalisation of the paper's
+    ``v_{Ei Ej}(R) = v_Ei(v_Ej(R))`` abbreviation (see DESIGN.md,
+    "Nest-order convention").
+    """
+    out = relation
+    for a in attributes:
+        out = nest(out, a, counter=counter)
+    return out
+
+
+def unnest(
+    relation: NFRelation,
+    attribute: str,
+    counter: OperationCounter | None = None,
+) -> NFRelation:
+    """``unnest_attribute(R)``: split every ``attribute`` component into
+    singletons (|component| - 1 Def. 2 decompositions per tuple).
+
+    Note unnesting can merge tuples that differed only inside the
+    ``attribute`` component with overlapping values — set semantics apply.
+    """
+    relation.schema.require([attribute])
+    out: set[NFRTuple] = set()
+    for t in relation:
+        comp = t[attribute]
+        if counter is not None and len(comp) > 1:
+            counter.decompositions += len(comp) - 1
+        for v in comp:
+            out.add(t.with_component(attribute, ValueSet.single(v)))
+    return NFRelation(relation.schema, out)
+
+
+def unnest_fully(
+    relation: NFRelation, counter: OperationCounter | None = None
+) -> NFRelation:
+    """Unnest every attribute: the all-singleton NFR equivalent of R*."""
+    out = relation
+    for a in relation.schema.names:
+        out = unnest(out, a, counter=counter)
+    return out
+
+
+def is_nested_on(relation: NFRelation, attribute: str) -> bool:
+    """Is ``relation`` a fixpoint of ``nest(attribute)``?  (No two tuples
+    agree on all other components.)"""
+    other = [n for n in relation.schema.names if n != attribute]
+    seen: set[tuple] = set()
+    for t in relation:
+        key = tuple(t[n] for n in other)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def require_same_universe(relation: NFRelation, attributes: Sequence[str]) -> None:
+    """Validate that ``attributes`` is a permutation of the schema."""
+    if sorted(attributes) != sorted(relation.schema.names):
+        raise NFRError(
+            f"{list(attributes)} is not a permutation of schema "
+            f"{list(relation.schema.names)}"
+        )

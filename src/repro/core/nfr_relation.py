@@ -1,0 +1,217 @@
+"""NFR relations (§3.1) and the ``R*`` correspondence (Theorem 1).
+
+An NFR is a *set* of NFR tuples over simple domains.  Every NFR ``R``
+derived from a 1NF relation by compositions and decompositions represents
+exactly one underlying 1NF relation ``R*`` — the union of the flat
+expansions of its tuples (Theorem 1).  ``R*`` is the semantic identity of
+an NFR: two NFRs are *information-equivalent* iff their ``R*`` agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.nfr_tuple import NFRTuple
+from repro.errors import NFRError, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+from repro.util.text import format_table
+
+
+class NFRelation:
+    """An immutable non-first-normal-form relation."""
+
+    __slots__ = ("_schema", "_tuples", "_hash")
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[NFRTuple] = ()):
+        self._schema = schema
+        tups = frozenset(tuples)
+        for t in tups:
+            if t.schema.names != schema.names:
+                raise SchemaError(
+                    f"tuple schema {t.schema.names} does not match relation "
+                    f"schema {schema.names}"
+                )
+        self._tuples: frozenset[NFRTuple] = tups
+        self._hash = hash((schema.names, self._tuples))
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_1nf(cls, relation: Relation) -> "NFRelation":
+        """Lift a 1NF relation: one all-singleton NFR tuple per flat tuple.
+
+        This is the identity embedding; ``lifted.to_1nf() == relation``.
+        """
+        return cls(
+            relation.schema,
+            (NFRTuple.from_flat(t) for t in relation),
+        )
+
+    @classmethod
+    def from_components(
+        cls,
+        schema: RelationSchema | Sequence[str],
+        rows: Iterable[Sequence[Iterable[Any]]],
+    ) -> "NFRelation":
+        """Build from rows of component value collections.
+
+        >>> r = NFRelation.from_components(
+        ...     ["A", "B"], [(["a1", "a2"], ["b1"])])
+        >>> len(r)
+        1
+        """
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        return cls(schema, (NFRTuple(schema, row) for row in rows))
+
+    @classmethod
+    def from_records(
+        cls,
+        schema: RelationSchema | Sequence[str],
+        records: Iterable[Mapping[str, Iterable[Any]]],
+    ) -> "NFRelation":
+        """Build from attribute-name -> value-collection mappings."""
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        return cls(
+            schema, (NFRTuple.from_mapping(schema, r) for r in records)
+        )
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def tuples(self) -> frozenset[NFRTuple]:
+        return self._tuples
+
+    @property
+    def cardinality(self) -> int:
+        """Number of NFR tuples (the quantity compositions minimize)."""
+        return len(self._tuples)
+
+    @property
+    def degree(self) -> int:
+        return self._schema.degree
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[NFRTuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._tuples
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def sorted_tuples(self) -> list[NFRTuple]:
+        return sorted(self._tuples, key=lambda t: t.sort_key())
+
+    # -- R* (Theorem 1) -----------------------------------------------------------
+
+    def to_1nf(self) -> Relation:
+        """``R*`` — the unique underlying 1NF relation (Theorem 1).
+
+        The union of the flat expansions of all tuples.  Well-defined for
+        every NFR; distinct NFR tuples may expand to overlapping flat
+        sets in general, but NFRs *derived from a 1NF relation by
+        compositions/decompositions* always expand disjointly (their
+        flat-set partition is refined/merged, never duplicated).
+        """
+        flats: set[FlatTuple] = set()
+        for t in self._tuples:
+            flats.update(t.flats())
+        return Relation(self._schema, flats)
+
+    @property
+    def flat_count(self) -> int:
+        """|R*| — distinct flat tuples represented."""
+        return len(self.to_1nf())
+
+    def total_expansion_count(self) -> int:
+        """Sum over tuples of represented flat counts (>= |R*|; equality
+        iff expansions are pairwise disjoint)."""
+        return sum(t.flat_count for t in self._tuples)
+
+    def expansions_disjoint(self) -> bool:
+        """Do the tuples' flat expansions partition R*?
+
+        Holds for every NFR reachable from a 1NF relation via Def. 1/2
+        operations; checked explicitly by the invariant tests.
+        """
+        return self.total_expansion_count() == self.flat_count
+
+    def represents(self, flat: FlatTuple) -> bool:
+        """Is ``flat`` in R*?"""
+        return any(t.contains_flat(flat) for t in self._tuples)
+
+    def tuples_containing(self, flat: FlatTuple) -> list[NFRTuple]:
+        """All NFR tuples whose expansion includes ``flat``."""
+        return [t for t in self._tuples if t.contains_flat(flat)]
+
+    def information_equivalent(self, other: "NFRelation") -> bool:
+        """Same R* (the paper's notion of carrying the same information)."""
+        return self.to_1nf() == other.to_1nf()
+
+    # -- derivation -------------------------------------------------------------
+
+    def with_tuple(self, t: NFRTuple) -> "NFRelation":
+        return NFRelation(self._schema, self._tuples | {t})
+
+    def without_tuple(self, t: NFRTuple) -> "NFRelation":
+        if t not in self._tuples:
+            raise NFRError(f"tuple {t} not in relation")
+        return NFRelation(self._schema, self._tuples - {t})
+
+    def replace_tuples(
+        self,
+        remove: Iterable[NFRTuple],
+        add: Iterable[NFRTuple],
+    ) -> "NFRelation":
+        removed = frozenset(remove)
+        missing = removed - self._tuples
+        if missing:
+            raise NFRError(f"tuples not in relation: {[str(t) for t in missing]}")
+        return NFRelation(self._schema, (self._tuples - removed) | frozenset(add))
+
+    def reorder(self, names: Sequence[str]) -> "NFRelation":
+        schema = self._schema.reorder(names)
+        return NFRelation(schema, (t.reorder(schema.names) for t in self._tuples))
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NFRelation):
+            return NotImplemented
+        return (
+            self._schema.names == other._schema.names
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- rendering ----------------------------------------------------------------
+
+    def to_table(self, title: str | None = None) -> str:
+        """ASCII rendering in the style of the paper's Figs. 1-2."""
+        return format_table(
+            self._schema.names,
+            (
+                [c.render() for c in t.components]
+                for t in self.sorted_tuples()
+            ),
+            title=title,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NFRelation(schema={list(self._schema.names)!r}, "
+            f"tuples={len(self._tuples)})"
+        )

@@ -1,0 +1,213 @@
+"""NFR tuples (§3.1).
+
+An NFR tuple over domains ``D1, ..., Dn`` is written
+``[D1(e11, ..., e1m1) ... Dn(en1, ..., enmn)]`` and *represents* the set
+of flat tuples obtained by choosing one value per component — the
+Cartesian expansion::
+
+    [A(a1, a2) B(b1)]  means  {[A(a1) B(b1)], [A(a2) B(b1)]}
+
+:class:`NFRTuple` stores one :class:`~repro.core.values.ValueSet` per
+attribute against a :class:`~repro.relational.schema.RelationSchema`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.values import ValueSet
+from repro.errors import NFRError, SchemaError
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+
+class NFRTuple:
+    """An immutable NFR tuple: one non-empty value set per attribute."""
+
+    __slots__ = ("_schema", "_components", "_hash")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        components: Sequence[ValueSet | Iterable[Any]],
+    ):
+        if len(components) != schema.degree:
+            raise SchemaError(
+                f"expected {schema.degree} components for schema "
+                f"{schema.names}, got {len(components)}"
+            )
+        comps = tuple(
+            c if isinstance(c, ValueSet) else ValueSet(c) for c in components
+        )
+        for attr, comp in zip(schema.attributes, comps):
+            for v in comp:
+                attr.validate(v)
+        self._schema = schema
+        self._components = comps
+        self._hash = hash((schema.names, comps))
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_mapping(
+        cls,
+        schema: RelationSchema,
+        mapping: Mapping[str, ValueSet | Iterable[Any]],
+    ) -> "NFRTuple":
+        missing = [n for n in schema.names if n not in mapping]
+        if missing:
+            raise SchemaError(f"mapping missing attributes: {missing}")
+        return cls(schema, [mapping[n] for n in schema.names])
+
+    @classmethod
+    def from_flat(cls, flat: FlatTuple) -> "NFRTuple":
+        """Lift a 1NF tuple to an NFR tuple with singleton components."""
+        return cls(
+            flat.schema, [ValueSet.single(v) for v in flat.values]
+        )
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def components(self) -> tuple[ValueSet, ...]:
+        return self._components
+
+    def __getitem__(self, name: str) -> ValueSet:
+        return self._components[self._schema.index_of(name)]
+
+    def component_at(self, index: int) -> ValueSet:
+        return self._components[index]
+
+    def as_mapping(self) -> dict[str, ValueSet]:
+        return dict(zip(self._schema.names, self._components))
+
+    @property
+    def degree(self) -> int:
+        return self._schema.degree
+
+    # -- expansion (the semantics of §3.1) ---------------------------------------
+
+    @property
+    def flat_count(self) -> int:
+        """Number of flat tuples represented (product of component sizes)."""
+        n = 1
+        for c in self._components:
+            n *= len(c)
+        return n
+
+    def flats(self) -> Iterator[FlatTuple]:
+        """Enumerate the represented flat tuples (Cartesian expansion).
+
+        The paper: "the above NFR tuple means the set of tuples
+        { [D1(e1) ... Dn(en)] | ei in (ei1 ... eimi) }".
+        """
+        for values in product(*(c.sorted() for c in self._components)):
+            yield FlatTuple(self._schema, values)
+
+    def contains_flat(self, flat: FlatTuple) -> bool:
+        """Does this NFR tuple represent ``flat``?  (All atoms member-wise.)"""
+        if flat.schema.names != self._schema.names:
+            return False
+        return all(
+            v in comp for v, comp in zip(flat.values, self._components)
+        )
+
+    def is_all_singleton(self) -> bool:
+        """True when this tuple is effectively a 1NF tuple."""
+        return all(c.is_singleton for c in self._components)
+
+    def to_flat(self) -> FlatTuple:
+        """Convert an all-singleton NFR tuple back to a 1NF tuple."""
+        if not self.is_all_singleton():
+            raise NFRError(f"{self} has non-singleton components")
+        return FlatTuple(self._schema, [c.only for c in self._components])
+
+    # -- structural relations -----------------------------------------------------
+
+    def agrees_with(
+        self, other: "NFRTuple", names: Iterable[str]
+    ) -> bool:
+        """Set-theoretic equality of components on every name in ``names``."""
+        return all(self[n] == other[n] for n in names)
+
+    def differs_only_on(self, other: "NFRTuple", name: str) -> bool:
+        """Def. 1 precondition: set-equal on every attribute except
+        ``name`` (where they may or may not differ)."""
+        if self._schema.names != other._schema.names:
+            return False
+        return self.agrees_with(
+            other, (n for n in self._schema.names if n != name)
+        )
+
+    def covers(self, other: "NFRTuple") -> bool:
+        """Component-wise superset: every flat of ``other`` is a flat of
+        ``self``."""
+        if self._schema.names != other._schema.names:
+            return False
+        return all(
+            mine.issuperset(theirs)
+            for mine, theirs in zip(self._components, other._components)
+        )
+
+    # -- derivation -------------------------------------------------------------
+
+    def with_component(
+        self, name: str, component: ValueSet | Iterable[Any]
+    ) -> "NFRTuple":
+        idx = self._schema.index_of(name)
+        comps = list(self._components)
+        comps[idx] = component if isinstance(component, ValueSet) else ValueSet(component)
+        return NFRTuple(self._schema, comps)
+
+    def project(self, names: Sequence[str]) -> "NFRTuple":
+        sub = self._schema.project(names)
+        return NFRTuple(sub, [self[n] for n in sub.names])
+
+    def reorder(self, names: Sequence[str]) -> "NFRTuple":
+        sub = self._schema.reorder(names)
+        return NFRTuple(sub, [self[n] for n in sub.names])
+
+    def rename(self, mapping: Mapping[str, str]) -> "NFRTuple":
+        return NFRTuple(self._schema.rename(mapping), self._components)
+
+    # -- comparisons ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NFRTuple):
+            return NotImplemented
+        return (
+            self._schema.names == other._schema.names
+            and self._components == other._components
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self) -> str:
+        """The paper's bracket notation: ``[A(a1, a2) B(b1)]``."""
+        inner = " ".join(
+            f"{n}({c.render()})"
+            for n, c in zip(self._schema.names, self._components)
+        )
+        return f"[{inner}]"
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key for rendering relations."""
+        from repro.util.ordering import sort_key as value_key
+
+        return tuple(
+            tuple(value_key(v) for v in c.sorted()) for c in self._components
+        )
+
+    def __repr__(self) -> str:
+        return f"NFRTuple({self.render()})"
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,452 @@
+"""Insertion and deletion on canonical NFRs (§4 and the Appendix).
+
+The *update problem* (§4.1): maintain the canonical form ``V_P(R*)``
+under single flat-tuple insertions and deletions, applying the algorithm
+to ``R`` itself (never materialising ``R*``), with a number of
+compositions that depends only on the degree ``n`` — not on the number
+of tuples (Theorem A-4).
+
+The implementation follows the paper's procedures:
+
+- ``searcht`` — find the unique NFR tuple whose expansion contains a
+  given flat tuple (:meth:`CanonicalNFR._tuple_containing`);
+- ``candt`` — find the *candidate tuple* for a working tuple ``t``: the
+  unique tuple composable with ``t`` on the earliest possible nest
+  position after peeling (:meth:`CanonicalNFR._find_candidate`,
+  Lemma A-1 asserts uniqueness);
+- ``unnest`` — Def. 2 decompositions that peel the candidate down to the
+  piece that composes with ``t`` (:meth:`CanonicalNFR._peel`);
+- ``compo`` — the Def. 1 composition itself;
+- ``recons`` — the recursive re-canonicalisation of displaced remainder
+  tuples (:meth:`CanonicalNFR._recons`).
+
+Positions refer to the nest order ``[first-nested, ..., last-nested]``.
+A working tuple is *complete at level L* when its components at
+positions ``< L`` hold final group value-sets and its components at
+positions ``>= L`` are singletons.  ``recons(t, L)`` scans compose
+positions ``m = L, ..., n-1``: a candidate at position ``m`` agrees with
+``t`` set-theoretically on every position ``< m`` and contains ``t``'s
+atoms on every position ``> m``.  This is exactly the paper's "composed
+with t on Ei and no other tuple ... on Ej for any j<i" condition; the
+equality ``maintained == full re-nest`` is enforced by the
+property-based test-suite.
+
+All Def. 1/2 applications are tallied in an
+:class:`~repro.util.counters.OperationCounter`; candidate lookups go
+through per-position inverted indexes so search cost is also
+tuple-count independent in practice (probes are counted separately).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.canonical import canonical_form
+from repro.core.composition import compose, decompose
+from repro.core.nest import require_same_universe, unnest_fully
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import FlatTupleNotFoundError, NFRError, UpdateError
+from repro.relational.relation import Relation
+from repro.relational.tuples import FlatTuple
+from repro.util.counters import OperationCounter
+
+
+class CanonicalNFR:
+    """A canonical NFR ``V_P(R*)`` maintained under flat-tuple updates.
+
+    Parameters
+    ----------
+    relation:
+        Initial contents: a 1NF relation, an NFR (its ``R*`` is used), or
+        None/empty for an empty store.
+    order:
+        Nest order ``[first-nested, ..., last-nested]``; must be a
+        permutation of the schema.
+    validate:
+        When True, every mutation re-checks the canonical invariant
+        against a full re-nest (O(|R|) — for tests, not production).
+    """
+
+    def __init__(
+        self,
+        relation: Relation | NFRelation | None,
+        order: Sequence[str],
+        validate: bool = False,
+    ):
+        if relation is None:
+            raise NFRError("CanonicalNFR needs a relation (may be empty)")
+        if isinstance(relation, NFRelation):
+            flat = relation.to_1nf()
+        else:
+            flat = relation
+        self._schema = flat.schema
+        self._order = tuple(order)
+        require_same_universe(NFRelation(self._schema), self._order)
+        self._positions = {a: i for i, a in enumerate(self._order)}
+        self._n = len(self._order)
+        self.counter = OperationCounter()
+        self._validate = validate
+
+        self._tuples: set[NFRTuple] = set()
+        # Inverted indexes per nest position:
+        #   _by_atom[j][v]   = tuples whose position-j component contains v
+        #   _by_comp[j][set] = tuples whose position-j component equals set
+        self._by_atom: list[dict[Any, set[NFRTuple]]] = [
+            {} for _ in range(self._n)
+        ]
+        self._by_comp: list[dict[ValueSet, set[NFRTuple]]] = [
+            {} for _ in range(self._n)
+        ]
+
+        initial = canonical_form(flat, self._order, counter=self.counter)
+        for t in initial:
+            self._index_add(t)
+
+    # -- public views ---------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self._schema
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        return self._order
+
+    @property
+    def relation(self) -> NFRelation:
+        """Immutable snapshot of the current NFR."""
+        return NFRelation(self._schema, self._tuples)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._tuples)
+
+    def to_1nf(self) -> Relation:
+        return self.relation.to_1nf()
+
+    def represents(self, flat: FlatTuple) -> bool:
+        """Is ``flat`` in R*?  Index-intersection lookup."""
+        flat = self._normalize_flat(flat)
+        return self._tuple_containing(flat) is not None
+
+    def is_canonical(self) -> bool:
+        """Does the maintained form equal the from-scratch canonical form?"""
+        snapshot = self.relation
+        return canonical_form(snapshot.to_1nf(), self._order) == snapshot
+
+    # -- §4.2 insertion ---------------------------------------------------------
+
+    def insert_flat(self, flat: FlatTuple) -> bool:
+        """Insert one flat tuple; returns False when already present.
+
+        Implements procedure ``insertion``: lift the flat tuple and hand
+        it to ``recons`` at completion level 0.
+        """
+        flat = self._normalize_flat(flat)
+        if self._tuple_containing(flat) is not None:
+            return False
+        t = NFRTuple.from_flat(flat)
+        self._recons(t, 0)
+        if self._validate:
+            self._assert_canonical("insert")
+        return True
+
+    def insert_values(self, *values: Any) -> bool:
+        """Convenience: insert a flat tuple given positionally
+        (in schema order)."""
+        return self.insert_flat(FlatTuple(self._schema, list(values)))
+
+    # -- §4.3 deletion -----------------------------------------------------------
+
+    def delete_flat(self, flat: FlatTuple) -> None:
+        """Delete one flat tuple from R*.
+
+        Implements procedure ``deletion``: ``searcht`` locates the unique
+        tuple ``q`` containing the flat tuple, ``unnest`` peels it from
+        the last nest position down to the first (each remainder is
+        re-canonicalised with ``recons``), and the fully peeled singleton
+        tuple is dropped by ``deletet``.
+        """
+        flat = self._normalize_flat(flat)
+        q = self._tuple_containing(flat)
+        if q is None:
+            raise FlatTupleNotFoundError(f"{flat} is not represented")
+        self._index_remove(q)
+        core = q
+        for j in range(self._n - 1, -1, -1):
+            attr = self._order[j]
+            value = flat[attr]
+            if core[attr].is_singleton:
+                continue
+            remainder, core = decompose(core, attr, value, counter=self.counter)
+            self._recons(remainder, j + 1)
+        # core is now exactly the lifted flat tuple: deletet(q).
+        if self._validate:
+            self._assert_canonical("delete")
+
+    def delete_values(self, *values: Any) -> None:
+        """Convenience: delete a flat tuple given positionally."""
+        self.delete_flat(FlatTuple(self._schema, list(values)))
+
+    # -- batch updates (§5: "the optimization strategy is another problem") --
+
+    def insert_batch(self, flats: Iterable[FlatTuple]) -> int:
+        """Insert many flat tuples; returns how many were new.
+
+        Flats are applied in nest-order-major sorted order, which groups
+        consecutive inserts into the same candidate region so the
+        recursive `recons`` chains stay short (fewer splits get undone
+        by the very next insert).  Semantically identical to one-by-one
+        insertion in any order.
+        """
+        inserted = 0
+        for flat in self._sorted_for_locality(flats):
+            inserted += self.insert_flat(flat)
+        return inserted
+
+    def delete_batch(self, flats: Iterable[FlatTuple]) -> int:
+        """Delete many flat tuples; returns how many were removed.
+        Raises on the first flat that is not represented."""
+        removed = 0
+        for flat in self._sorted_for_locality(flats):
+            self.delete_flat(flat)
+            removed += 1
+        return removed
+
+    def _sorted_for_locality(
+        self, flats: Iterable[FlatTuple]
+    ) -> list[FlatTuple]:
+        from repro.util.ordering import sort_key
+
+        normalized = [self._normalize_flat(f) for f in flats]
+        return sorted(
+            normalized,
+            key=lambda f: tuple(sort_key(f[a]) for a in self._order),
+        )
+
+    # -- procedure recons --------------------------------------------------------
+
+    def _recons(self, t: NFRTuple, level: int) -> None:
+        """Re-canonicalise working tuple ``t``, complete at ``level``.
+
+        Scan compose positions ``m = level..n-1`` for the candidate tuple
+        (``candt``); peel it (``unnest``), compose (``compo``) and recurse
+        on the composed result; remainders recurse at their own levels.
+        When no position yields a candidate, ``t`` is itself a canonical
+        tuple and is added.
+        """
+        for m in range(level, self._n):
+            p = self._find_candidate(t, m)
+            if p is None:
+                continue
+            self._index_remove(p)
+            core = p
+            for j in range(self._n - 1, m, -1):
+                attr = self._order[j]
+                atom = t[attr].only
+                if core[attr].is_singleton:
+                    continue
+                remainder, core = decompose(
+                    core, attr, atom, counter=self.counter
+                )
+                self._recons(remainder, j + 1)
+            merged = compose(core, t, self._order[m], counter=self.counter)
+            self._recons(merged, m + 1)
+            return
+        self._add_tuple(t)
+
+    def _find_candidate(self, t: NFRTuple, m: int) -> NFRTuple | None:
+        """``candt`` at position ``m``: the unique tuple set-equal to
+        ``t`` on positions < m and containing ``t``'s atoms on
+        positions > m (Lemma A-1)."""
+        constraint_sets: list[set[NFRTuple]] = []
+        for j in range(m):
+            comp = t[self._order[j]]
+            bucket = self._by_comp[j].get(comp)
+            if not bucket:
+                return None
+            constraint_sets.append(bucket)
+        for j in range(m + 1, self._n):
+            atom = t[self._order[j]].only
+            bucket = self._by_atom[j].get(atom)
+            if not bucket:
+                return None
+            constraint_sets.append(bucket)
+
+        if not constraint_sets:
+            # Degree-1 schema: every tuple qualifies (Def. 1 with no
+            # other attributes); the canonical store holds at most one.
+            candidates = set(self._tuples)
+        else:
+            constraint_sets.sort(key=len)
+            candidates = set(constraint_sets[0])
+            for s in constraint_sets[1:]:
+                candidates &= s
+                if not candidates:
+                    return None
+        self.counter.tuple_probes += len(candidates)
+        candidates.discard(t)
+        if not candidates:
+            return None
+        if len(candidates) > 1:
+            raise UpdateError(
+                f"Lemma A-1 violated: {len(candidates)} candidates for "
+                f"{t} at position {m}"
+            )
+        return next(iter(candidates))
+
+    # -- searcht -------------------------------------------------------------------
+
+    def _tuple_containing(self, flat: FlatTuple) -> NFRTuple | None:
+        """``searcht``: the unique tuple whose expansion contains
+        ``flat`` (None when absent)."""
+        buckets: list[set[NFRTuple]] = []
+        for j in range(self._n):
+            bucket = self._by_atom[j].get(flat[self._order[j]])
+            if not bucket:
+                return None
+            buckets.append(bucket)
+        buckets.sort(key=len)
+        result = set(buckets[0])
+        for s in buckets[1:]:
+            result &= s
+            if not result:
+                return None
+        self.counter.tuple_probes += len(result)
+        if len(result) > 1:
+            raise UpdateError(
+                f"canonical invariant violated: {flat} contained in "
+                f"{len(result)} tuples"
+            )
+        return next(iter(result)) if result else None
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _normalize_flat(self, flat: FlatTuple) -> FlatTuple:
+        if flat.schema.names == self._schema.names:
+            return flat
+        if sorted(flat.schema.names) != sorted(self._schema.names):
+            raise UpdateError(
+                f"flat tuple schema {flat.schema.names} does not match "
+                f"{self._schema.names}"
+            )
+        return flat.reorder(self._schema.names)
+
+    def _add_tuple(self, t: NFRTuple) -> None:
+        if t in self._tuples:
+            raise UpdateError(
+                f"internal error: adding duplicate canonical tuple {t}"
+            )
+        self._index_add(t)
+
+    def _index_add(self, t: NFRTuple) -> None:
+        self._tuples.add(t)
+        for j, attr in enumerate(self._order):
+            comp = t[attr]
+            self._by_comp[j].setdefault(comp, set()).add(t)
+            atoms = self._by_atom[j]
+            for v in comp:
+                atoms.setdefault(v, set()).add(t)
+
+    def _index_remove(self, t: NFRTuple) -> None:
+        self._tuples.discard(t)
+        for j, attr in enumerate(self._order):
+            comp = t[attr]
+            bucket = self._by_comp[j].get(comp)
+            if bucket is not None:
+                bucket.discard(t)
+                if not bucket:
+                    del self._by_comp[j][comp]
+            atoms = self._by_atom[j]
+            for v in comp:
+                vb = atoms.get(v)
+                if vb is not None:
+                    vb.discard(t)
+                    if not vb:
+                        del atoms[v]
+
+    def _assert_canonical(self, operation: str) -> None:
+        if not self.is_canonical():
+            raise UpdateError(
+                f"canonical invariant broken after {operation}; "
+                f"state={sorted(t.render() for t in self._tuples)}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Naive baseline (the algorithm the paper's Theorem A-4 improves upon)
+# ---------------------------------------------------------------------------
+
+
+class NaiveCanonicalNFR:
+    """Baseline: maintain ``V_P(R*)`` by unnesting to R* and re-nesting
+    from scratch on every update.
+
+    Costs O(|R*|) compositions per update — the contrast class for
+    Theorem A-4's tuple-count-independent bound.  Same public surface as
+    :class:`CanonicalNFR` (insert/delete/relation/counter).
+    """
+
+    def __init__(self, relation: Relation | NFRelation, order: Sequence[str]):
+        if isinstance(relation, NFRelation):
+            relation = relation.to_1nf()
+        self._schema = relation.schema
+        self._order = tuple(order)
+        self.counter = OperationCounter()
+        self._current = canonical_form(relation, self._order, counter=self.counter)
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        return self._order
+
+    @property
+    def relation(self) -> NFRelation:
+        return self._current
+
+    @property
+    def cardinality(self) -> int:
+        return self._current.cardinality
+
+    def to_1nf(self) -> Relation:
+        return self._current.to_1nf()
+
+    def represents(self, flat: FlatTuple) -> bool:
+        return self._current.represents(flat)
+
+    def insert_flat(self, flat: FlatTuple) -> bool:
+        if self._current.represents(flat):
+            return False
+        flats = unnest_fully(self._current, counter=self.counter)
+        star = Relation(
+            self._schema,
+            {t.to_flat() for t in flats} | {flat},
+        )
+        self._current = canonical_form(star, self._order, counter=self.counter)
+        return True
+
+    def delete_flat(self, flat: FlatTuple) -> None:
+        if not self._current.represents(flat):
+            raise FlatTupleNotFoundError(f"{flat} is not represented")
+        flats = unnest_fully(self._current, counter=self.counter)
+        star = Relation(
+            self._schema,
+            {t.to_flat() for t in flats} - {flat},
+        )
+        self._current = canonical_form(star, self._order, counter=self.counter)
+
+
+def replay_updates(
+    store: CanonicalNFR | NaiveCanonicalNFR,
+    inserts: Iterable[FlatTuple] = (),
+    deletes: Iterable[FlatTuple] = (),
+) -> OperationCounter:
+    """Apply a batch of updates and return the store's counter (marked
+    before/after so callers can read the delta with ``since``)."""
+    store.counter.mark("replay")
+    for f in inserts:
+        store.insert_flat(f)
+    for f in deletes:
+        store.delete_flat(f)
+    return store.counter

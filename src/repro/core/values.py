@@ -1,0 +1,133 @@
+"""Set-valued tuple components.
+
+A :class:`ValueSet` is the non-empty finite set of atomic values held in
+one component of an NFR tuple — the ``(e_i1, ..., e_im_i)`` of §3.1.  It
+is immutable and hashable so NFR tuples (and hence NFR relations) can be
+sets, and it renders in the paper's ``A(a1, a2)`` style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import EmptyComponentError, NFRError
+from repro.relational.attribute import is_atomic
+from repro.util.ordering import sorted_values
+
+
+class ValueSet:
+    """A non-empty frozen set of atomic values."""
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Iterable[Any]):
+        if isinstance(values, ValueSet):
+            vals = values._values
+        else:
+            if is_atomic(values) and not isinstance(values, str):
+                raise NFRError(
+                    f"ValueSet expects an iterable of atomics, got {values!r}; "
+                    f"wrap single values in a list or use ValueSet.single"
+                )
+            if isinstance(values, str):
+                # A bare string is treated as ONE atomic value, not as its
+                # characters: ValueSet("c1") == ValueSet(["c1"]).
+                vals = frozenset([values])
+            else:
+                members = list(values)
+                for v in members:
+                    if not is_atomic(v):
+                        raise NFRError(f"non-atomic value {v!r} in component")
+                vals = frozenset(members)
+        if not vals:
+            raise EmptyComponentError("a tuple component cannot be empty")
+        self._values = vals
+        self._hash = hash(vals)
+
+    @classmethod
+    def single(cls, value: Any) -> "ValueSet":
+        """The singleton component {value}."""
+        return cls([value])
+
+    # -- set protocol -----------------------------------------------------------
+
+    @property
+    def values(self) -> frozenset:
+        return self._values
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._values
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self._values) == 1
+
+    @property
+    def only(self) -> Any:
+        """The sole value of a singleton component."""
+        if len(self._values) != 1:
+            raise NFRError(f"component {self} is not a singleton")
+        return next(iter(self._values))
+
+    def union(self, other: "ValueSet | Iterable[Any]") -> "ValueSet":
+        other_vals = other._values if isinstance(other, ValueSet) else frozenset(other)
+        return ValueSet(self._values | other_vals)
+
+    def without(self, value: Any) -> "ValueSet":
+        """Component minus one value; raises if absent or if it would
+        empty the component (Def. 2 never creates empty components)."""
+        if value not in self._values:
+            raise NFRError(f"value {value!r} not in component {self}")
+        rest = self._values - {value}
+        if not rest:
+            raise EmptyComponentError(
+                f"removing {value!r} would empty the component"
+            )
+        return ValueSet(rest)
+
+    def difference(self, other: "ValueSet | Iterable[Any]") -> "ValueSet":
+        other_vals = other._values if isinstance(other, ValueSet) else frozenset(other)
+        rest = self._values - other_vals
+        if not rest:
+            raise EmptyComponentError("difference would empty the component")
+        return ValueSet(rest)
+
+    def issubset(self, other: "ValueSet") -> bool:
+        return self._values <= other._values
+
+    def issuperset(self, other: "ValueSet") -> bool:
+        return self._values >= other._values
+
+    def isdisjoint(self, other: "ValueSet") -> bool:
+        return self._values.isdisjoint(other._values)
+
+    # -- comparisons ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ValueSet):
+            return self._values == other._values
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- rendering ----------------------------------------------------------------
+
+    def sorted(self) -> list:
+        return sorted_values(self._values)
+
+    def render(self) -> str:
+        """Comma-joined values in deterministic order: ``a1, a2``."""
+        return ", ".join(str(v) for v in self.sorted())
+
+    def __repr__(self) -> str:
+        return f"ValueSet({self.sorted()!r})"
+
+    def __str__(self) -> str:
+        return "{" + self.render() + "}"

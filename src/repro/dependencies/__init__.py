@@ -1,0 +1,31 @@
+"""Dependency theory substrate: FDs, MVDs, closure, chase and design.
+
+Section 3.4 of the paper reasons about NFRs "in terms of FDs and MVDs" and
+supposes "all the relations are in 3NF, which are mechanically obtained
+[13]" (Bernstein's synthesis).  This subpackage supplies that machinery:
+
+- dependency objects (:mod:`fd`, :mod:`mvd`),
+- attribute closure / implication / Armstrong derivations (:mod:`closure`),
+- candidate keys (:mod:`keys`) and minimal covers (:mod:`cover`),
+- the chase, for MVD implication and lossless-join tests (:mod:`chase`),
+- normal-form predicates 2NF/3NF/BCNF/4NF (:mod:`normalforms`),
+- Bernstein 3NF synthesis (:mod:`synthesis`) and BCNF/4NF decomposition
+  (:mod:`decomposition`),
+- instance-level FD/MVD discovery (:mod:`discovery`), used to verify that
+  the synthetic workloads really plant the dependencies they claim.
+"""
+
+from repro.dependencies.closure import attribute_closure, fd_implies, fds_equivalent
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.keys import candidate_keys, is_superkey
+from repro.dependencies.mvd import MultivaluedDependency
+
+__all__ = [
+    "FunctionalDependency",
+    "MultivaluedDependency",
+    "attribute_closure",
+    "fd_implies",
+    "fds_equivalent",
+    "candidate_keys",
+    "is_superkey",
+]

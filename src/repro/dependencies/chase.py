@@ -1,0 +1,339 @@
+"""The chase procedure over tableaux, for FDs and MVDs.
+
+Used for three classical jobs the paper leans on implicitly:
+
+- implication testing: does a set of FDs/MVDs logically imply another FD
+  or MVD (Beeri's chase-based decision procedure);
+- the lossless-join test for a schema decomposition (needed to validate
+  Bernstein 3NF synthesis and the 4NF decomposition that NFRs "throw
+  away");
+- computing the dependency basis of an attribute set.
+
+A tableau row maps each attribute to an integer symbol.  FD rules equate
+symbols (union-find, smaller symbol wins, so the chase is confluent); MVD
+rules add swapped rows.  The chase with FDs and MVDs always terminates:
+symbols only decrease and rows are drawn from a finite product space.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.mvd import MultivaluedDependency
+
+Dependency = FunctionalDependency | MultivaluedDependency
+
+#: Hard cap on tableau growth; the chase terminates in theory, but a
+#: runaway bug should fail loudly instead of looping.
+_MAX_ROWS = 100_000
+
+
+class Tableau:
+    """A chase tableau: a set of symbol rows over a fixed attribute list.
+
+    ``substitution`` accumulates the symbol merges performed by FD steps,
+    mapping original symbols to their current representatives.
+    """
+
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Sequence[int]]):
+        self.attributes = tuple(attributes)
+        self.rows: set[tuple[int, ...]] = {tuple(r) for r in rows}
+        self._index = {a: i for i, a in enumerate(self.attributes)}
+        self.substitution: dict[int, int] = {}
+
+    def column(self, attribute: str) -> int:
+        return self._index[attribute]
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self._index
+
+    def resolve(self, symbol: int) -> int:
+        """Current representative of an (original or merged) symbol."""
+        while symbol in self.substitution:
+            symbol = self.substitution[symbol]
+        return symbol
+
+    def resolve_row(self, row: Sequence[int]) -> tuple[int, ...]:
+        return tuple(self.resolve(s) for s in row)
+
+    def copy(self) -> "Tableau":
+        t = Tableau(self.attributes, self.rows)
+        t.substitution = dict(self.substitution)
+        return t
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def chase(
+    tableau: Tableau,
+    dependencies: Iterable[Dependency],
+    max_rows: int = _MAX_ROWS,
+) -> Tableau:
+    """Run the chase to fixpoint and return the chased tableau (a copy)."""
+    deps = list(dependencies)
+    t = tableau.copy()
+    changed = True
+    while changed:
+        changed = False
+        for dep in deps:
+            if isinstance(dep, FunctionalDependency):
+                changed |= _apply_fd(t, dep)
+            else:
+                changed |= _apply_mvd(t, dep)
+            if len(t) > max_rows:
+                raise RuntimeError(
+                    f"chase exceeded {max_rows} rows — runaway tableau"
+                )
+    return t
+
+
+def _apply_fd(t: Tableau, fd: FunctionalDependency) -> bool:
+    """Equate symbols forced by ``fd``.  Returns True when anything changed.
+
+    One pass; the outer chase loop iterates to fixpoint.
+    """
+    if not all(t.has_attribute(a) for a in fd.lhs):
+        return False
+    lhs_idx = [t.column(a) for a in sorted(fd.lhs)]
+    rhs_idx = [t.column(a) for a in sorted(fd.rhs) if t.has_attribute(a)]
+    if not rhs_idx:
+        return False
+
+    merged = False
+    groups: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+    for row in t.rows:
+        groups.setdefault(tuple(row[i] for i in lhs_idx), []).append(row)
+
+    for rows in groups.values():
+        for r1, r2 in combinations(rows, 2):
+            for i in rhs_idx:
+                a, b = t.resolve(r1[i]), t.resolve(r2[i])
+                if a != b:
+                    lo, hi = (a, b) if a < b else (b, a)
+                    t.substitution[hi] = lo
+                    merged = True
+
+    if not merged:
+        return False
+    t.rows = {t.resolve_row(row) for row in t.rows}
+    return True
+
+
+def _apply_mvd(t: Tableau, mvd: MultivaluedDependency) -> bool:
+    """Add the swap rows required by ``mvd``.  Returns True when rows
+    were added."""
+    universe = set(t.attributes)
+    if not mvd.lhs <= universe:
+        return False
+    y = (mvd.rhs & universe) - mvd.lhs
+    z = universe - mvd.lhs - mvd.rhs
+    if not y or not z:
+        return False  # trivial over this tableau
+    lhs_idx = [t.column(a) for a in sorted(mvd.lhs)]
+    y_idx = [t.column(a) for a in sorted(y)]
+
+    groups: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+    for row in t.rows:
+        groups.setdefault(tuple(row[i] for i in lhs_idx), []).append(row)
+
+    added = False
+    for rows in groups.values():
+        if len(rows) < 2:
+            continue
+        for r1 in rows:
+            for r2 in rows:
+                if r1 is r2:
+                    continue
+                swapped = list(r1)
+                for i in y_idx:
+                    swapped[i] = r2[i]
+                srow = tuple(swapped)
+                if srow not in t.rows:
+                    t.rows.add(srow)
+                    added = True
+    return added
+
+
+# ---------------------------------------------------------------------------
+# Implication tests
+# ---------------------------------------------------------------------------
+
+
+def _two_row_tableau(
+    universe: Sequence[str], agree_on: frozenset[str]
+) -> tuple[Tableau, tuple[int, ...], tuple[int, ...]]:
+    """Implication tableau: two rows agreeing exactly on ``agree_on``.
+
+    Returns (tableau, row1, row2) with row1 all-distinguished.
+    """
+    n = len(universe)
+    row1 = tuple(range(n))
+    row2 = tuple(
+        row1[i] if a in agree_on else n + i for i, a in enumerate(universe)
+    )
+    return Tableau(universe, [row1, row2]), row1, row2
+
+
+def implies_fd(
+    dependencies: Iterable[Dependency],
+    candidate: FunctionalDependency,
+    universe: Sequence[str],
+) -> bool:
+    """Does the mixed FD/MVD set imply ``candidate`` (an FD)?
+
+    The candidate holds iff, after chasing the two-row tableau, the two
+    original rows have been equated on every rhs attribute.
+    """
+    universe = tuple(universe)
+    t, row1, row2 = _two_row_tableau(universe, candidate.lhs)
+    chased = chase(t, dependencies)
+    for a in candidate.rhs:
+        i = chased.column(a)
+        if chased.resolve(row1[i]) != chased.resolve(row2[i]):
+            return False
+    return True
+
+
+def implies_mvd(
+    dependencies: Iterable[Dependency],
+    candidate: MultivaluedDependency,
+    universe: Sequence[str],
+) -> bool:
+    """Does the mixed FD/MVD set imply ``candidate`` (an MVD)?
+
+    Chase the two-row tableau; the MVD is implied iff the row equal to
+    row1 with its Y-components swapped from row2 appears (up to the
+    substitution accumulated by FD steps).
+    """
+    universe = tuple(universe)
+    if candidate.is_trivial_in(universe):
+        return True
+    t, row1, row2 = _two_row_tableau(universe, candidate.lhs)
+    y = sorted((candidate.rhs - candidate.lhs) & set(universe))
+    y_idx = [t.column(a) for a in y]
+    target = list(row1)
+    for i in y_idx:
+        target[i] = row2[i]
+
+    chased = chase(t, dependencies)
+    normal_target = chased.resolve_row(target)
+    return normal_target in chased.rows
+
+
+def implies(
+    dependencies: Iterable[Dependency],
+    candidate: Dependency,
+    universe: Sequence[str],
+) -> bool:
+    """Uniform implication test for an FD or MVD candidate."""
+    if isinstance(candidate, FunctionalDependency):
+        return implies_fd(dependencies, candidate, universe)
+    return implies_mvd(dependencies, candidate, universe)
+
+
+# ---------------------------------------------------------------------------
+# Lossless-join test
+# ---------------------------------------------------------------------------
+
+
+def is_lossless_join(
+    universe: Sequence[str],
+    components: Sequence[Iterable[str]],
+    dependencies: Iterable[Dependency],
+) -> bool:
+    """Chase-based lossless-join test for a decomposition of ``universe``.
+
+    Build one row per component with distinguished symbols on the
+    component's attributes, chase, and test for an all-distinguished row.
+    Works with mixed FD/MVD sets.
+    """
+    universe = tuple(universe)
+    n = len(universe)
+    comp_sets = [frozenset(c) for c in components]
+    if not comp_sets:
+        return False
+    covered = frozenset().union(*comp_sets)
+    if covered != frozenset(universe):
+        return False
+
+    rows = []
+    next_symbol = n
+    for comp in comp_sets:
+        row = []
+        for i, a in enumerate(universe):
+            if a in comp:
+                row.append(i)  # distinguished
+            else:
+                row.append(next_symbol)
+                next_symbol += 1
+        rows.append(row)
+    t = Tableau(universe, rows)
+    chased = chase(t, dependencies)
+    goal = tuple(range(n))
+    return goal in chased.rows
+
+
+# ---------------------------------------------------------------------------
+# Dependency basis
+# ---------------------------------------------------------------------------
+
+
+def dependency_basis(
+    lhs: Iterable[str],
+    dependencies: Iterable[Dependency],
+    universe: Sequence[str],
+) -> frozenset[frozenset[str]]:
+    """The dependency basis of ``lhs`` over ``universe``: the unique
+    partition of U − X such that X ->-> Y holds iff Y − X is a union of
+    partition blocks (Beeri).
+
+    Computed by refinement from the coarsest partition {U − X}: a block B
+    is split by a set S when both B ∩ S and B − S are non-empty and
+    X ->-> B ∩ S is implied (checked with the chase, so FDs participate).
+    Candidate splitters are the rhs/complements of the declared
+    dependencies plus singletons from implied FDs; iterate to fixpoint.
+    """
+    universe = tuple(universe)
+    x = frozenset(lhs)
+    deps = list(dependencies)
+    rest = frozenset(universe) - x
+    if not rest:
+        return frozenset()
+
+    candidates: set[frozenset[str]] = set()
+    for dep in deps:
+        if isinstance(dep, MultivaluedDependency):
+            candidates.add(dep.rhs - x)
+            candidates.add(rest - dep.rhs)
+        else:
+            for a in dep.rhs - x:
+                candidates.add(frozenset({a}))
+            candidates.add(dep.lhs - x)
+    candidates.discard(frozenset())
+
+    blocks: set[frozenset[str]] = {rest}
+    changed = True
+    while changed:
+        changed = False
+        for b in list(blocks):
+            if len(b) == 1:
+                continue
+            for s in candidates:
+                inter = b & s
+                diff = b - s
+                if not inter or not diff:
+                    continue
+                if implies_mvd(
+                    deps, MultivaluedDependency(x, inter), universe
+                ):
+                    blocks.remove(b)
+                    blocks.add(inter)
+                    blocks.add(diff)
+                    changed = True
+                    break
+            if changed:
+                break
+    return frozenset(blocks)

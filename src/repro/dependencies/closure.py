@@ -1,0 +1,145 @@
+"""Attribute closure, FD implication, and Armstrong-axiom derivations.
+
+The linear-ish closure algorithm is the standard one (Ullman [4], Beeri &
+Bernstein): saturate the attribute set with every FD whose lhs is covered.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dependencies.fd import FunctionalDependency
+
+
+def attribute_closure(
+    attributes: Iterable[str],
+    fds: Iterable[FunctionalDependency],
+) -> frozenset[str]:
+    """X+ — the set of attributes functionally determined by ``attributes``.
+
+    >>> fds = [FunctionalDependency.parse("A -> B"),
+    ...        FunctionalDependency.parse("B -> C")]
+    >>> sorted(attribute_closure({"A"}, fds))
+    ['A', 'B', 'C']
+    """
+    closure = set(attributes)
+    pending = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        remaining: list[FunctionalDependency] = []
+        for fd in pending:
+            if fd.lhs <= closure:
+                if not fd.rhs <= closure:
+                    closure |= fd.rhs
+                    changed = True
+                # fd fully absorbed either way; drop it
+            else:
+                remaining.append(fd)
+        pending = remaining
+    return frozenset(closure)
+
+
+def fd_implies(
+    fds: Iterable[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """Does ``fds`` logically imply ``candidate`` (membership test)?"""
+    return candidate.rhs <= attribute_closure(candidate.lhs, fds)
+
+
+def fds_equivalent(
+    first: Iterable[FunctionalDependency],
+    second: Iterable[FunctionalDependency],
+) -> bool:
+    """Are two FD sets equivalent (each implies every FD of the other)?"""
+    first = list(first)
+    second = list(second)
+    return all(fd_implies(first, f) for f in second) and all(
+        fd_implies(second, f) for f in first
+    )
+
+
+def project_fds(
+    fds: Iterable[FunctionalDependency], attributes: Iterable[str]
+) -> frozenset[FunctionalDependency]:
+    """Project an FD set onto a sub-schema.
+
+    Returns the nontrivial FDs X -> (X+ ∩ S) − X for X ⊆ S.  Exponential in
+    |S| (unavoidable in general); fine for design-sized schemas.
+    """
+    fds = list(fds)
+    attrs = sorted(set(attributes))
+    out: set[FunctionalDependency] = set()
+    for mask in range(1, 1 << len(attrs)):
+        lhs = frozenset(a for i, a in enumerate(attrs) if mask >> i & 1)
+        closed = attribute_closure(lhs, fds)
+        rhs = (closed & set(attrs)) - lhs
+        if rhs:
+            out.add(FunctionalDependency(lhs, rhs))
+    return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
+# Armstrong derivations (explanatory; closure above is the fast path)
+# ---------------------------------------------------------------------------
+
+
+class DerivationStep:
+    """One application of an Armstrong axiom in a derivation trace."""
+
+    __slots__ = ("rule", "premises", "conclusion")
+
+    def __init__(
+        self,
+        rule: str,
+        premises: Sequence[FunctionalDependency],
+        conclusion: FunctionalDependency,
+    ):
+        self.rule = rule
+        self.premises = tuple(premises)
+        self.conclusion = conclusion
+
+    def __repr__(self) -> str:
+        prem = "; ".join(str(p) for p in self.premises) or "(axiom)"
+        return f"{self.rule}: {prem} |- {self.conclusion}"
+
+
+def derive(
+    fds: Sequence[FunctionalDependency],
+    goal: FunctionalDependency,
+    universe: Iterable[str],
+) -> list[DerivationStep] | None:
+    """Produce an Armstrong-axiom derivation of ``goal`` from ``fds``.
+
+    Returns the step list, or None when ``goal`` is not implied.  The
+    derivation mirrors the closure computation: reflexivity gives
+    ``X -> X``, then each FD used by the closure loop is brought in with
+    augmentation + transitivity, and a final projection (decomposition)
+    step yields the goal.
+    """
+    universe = frozenset(universe)
+    if not fd_implies(fds, goal):
+        return None
+
+    steps: list[DerivationStep] = []
+    x = goal.lhs
+    # Reflexivity: X -> X.
+    current = FunctionalDependency(x, x)
+    steps.append(DerivationStep("reflexivity", [], current))
+    closure = set(x)
+    changed = True
+    while changed and not goal.rhs <= closure:
+        changed = False
+        for fd in fds:
+            if fd.lhs <= closure and not fd.rhs <= closure:
+                # Augmentation: from fd.lhs -> fd.rhs derive X -> fd.rhs ∪ closure.
+                augmented = FunctionalDependency(x, closure | fd.rhs)
+                steps.append(
+                    DerivationStep("augment+transitivity", [current, fd], augmented)
+                )
+                closure |= fd.rhs
+                current = augmented
+                changed = True
+    # Decomposition: X -> closure gives X -> goal.rhs since goal.rhs ⊆ closure.
+    steps.append(DerivationStep("decomposition", [current], goal))
+    return steps

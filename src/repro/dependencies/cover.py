@@ -1,0 +1,64 @@
+"""Minimal (canonical) covers of FD sets — preprocessing for Bernstein's
+3NF synthesis [13], which the paper cites for "mechanically obtained" 3NF
+schemas."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dependencies.closure import attribute_closure, fd_implies
+from repro.dependencies.fd import FunctionalDependency
+
+
+def minimal_cover(
+    fds: Iterable[FunctionalDependency],
+) -> frozenset[FunctionalDependency]:
+    """Compute a minimal cover: singleton rhs, no extraneous lhs
+    attributes, no redundant FDs.
+
+    The result is equivalent to the input (same closure) and canonical up
+    to the deterministic iteration order used below.
+    """
+    # 1. Singleton right-hand sides, trivial parts removed.
+    work: list[FunctionalDependency] = []
+    for fd in fds:
+        nontrivial = fd.nontrivial_part()
+        if nontrivial is None:
+            continue
+        work.extend(nontrivial.split())
+    # Deduplicate, deterministic order.
+    work = sorted(set(work), key=lambda f: (sorted(f.lhs), sorted(f.rhs)))
+
+    # 2. Remove extraneous lhs attributes: a is extraneous in X -> y when
+    #    y is in (X - a)+ under the current FD set (the set may include
+    #    X -> y itself: that FD can only fire after a is re-derived, in
+    #    which case y was derivable anyway, so the test stays sound).
+    current: list[FunctionalDependency] = list(work)
+    for i, fd in enumerate(current):
+        lhs = set(fd.lhs)
+        for a in sorted(fd.lhs):
+            if len(lhs) == 1:
+                break
+            if fd.rhs <= attribute_closure(lhs - {a}, current):
+                lhs -= {a}
+                current[i] = FunctionalDependency(lhs, fd.rhs)
+                fd = current[i]
+    work = sorted(set(current), key=lambda f: (sorted(f.lhs), sorted(f.rhs)))
+
+    # 3. Remove redundant FDs: drop fd when the rest still implies it.
+    result: list[FunctionalDependency] = list(work)
+    for fd in list(work):
+        rest = [f for f in result if f != fd]
+        if rest and fd_implies(rest, fd):
+            result = rest
+    return frozenset(result)
+
+
+def group_by_lhs(
+    fds: Iterable[FunctionalDependency],
+) -> dict[frozenset[str], frozenset[str]]:
+    """Merge FDs sharing a left-hand side: {X: union of rhs}."""
+    groups: dict[frozenset[str], set[str]] = {}
+    for fd in fds:
+        groups.setdefault(fd.lhs, set()).update(fd.rhs)
+    return {lhs: frozenset(rhs) for lhs, rhs in groups.items()}

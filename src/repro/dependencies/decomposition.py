@@ -1,0 +1,188 @@
+"""BCNF and 4NF decomposition.
+
+Section 2 of the paper argues that NFRs let the designer avoid exactly
+the decompositions 4NF forces: an MVD ``X ->-> Y`` that would split a
+schema can instead be *absorbed* by making Y set-valued.  These
+decomposers build the classical flat alternative so benchmarks can
+compare "decompose and join" (1NF + 4NF) against "compose into one NFR".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.dependencies.chase import Dependency
+from repro.dependencies.closure import attribute_closure, project_fds
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.dependencies.normalforms import violates_4nf, violates_bcnf
+from repro.errors import DecompositionError
+from repro.relational.algebra import natural_join, project
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class DecompositionStep:
+    """One split in a decomposition trace."""
+
+    schema: frozenset[str]
+    violation: object  # FD or MVD used
+    left: frozenset[str]
+    right: frozenset[str]
+
+    def __repr__(self) -> str:
+        return (
+            f"split {sorted(self.schema)} on {self.violation} -> "
+            f"{sorted(self.left)} + {sorted(self.right)}"
+        )
+
+
+@dataclass(frozen=True)
+class DecompositionResult:
+    schemas: tuple[frozenset[str], ...]
+    steps: tuple[DecompositionStep, ...]
+
+    def as_sorted_lists(self) -> list[list[str]]:
+        return [sorted(s) for s in self.schemas]
+
+
+def decompose_bcnf(
+    universe: Sequence[str],
+    fds: Iterable[FunctionalDependency],
+) -> DecompositionResult:
+    """Classical BCNF decomposition (lossless, not necessarily
+    dependency-preserving)."""
+    fds = list(fds)
+    final: list[frozenset[str]] = []
+    steps: list[DecompositionStep] = []
+    work: list[frozenset[str]] = [frozenset(universe)]
+    guard = 0
+    while work:
+        guard += 1
+        if guard > 10_000:
+            raise DecompositionError("BCNF decomposition did not terminate")
+        schema = work.pop()
+        local = sorted(schema)
+        local_fds = project_fds(fds, schema)
+        violations = violates_bcnf(local, local_fds)
+        if not violations:
+            final.append(schema)
+            continue
+        fd = sorted(
+            violations, key=lambda f: (sorted(f.lhs), sorted(f.rhs))
+        )[0]
+        closure = attribute_closure(fd.lhs, list(local_fds)) & schema
+        left = frozenset(fd.lhs) | (closure - fd.lhs)
+        right = frozenset(fd.lhs) | (schema - closure)
+        if left == schema or right == schema:
+            final.append(schema)  # degenerate; cannot split further
+            continue
+        steps.append(DecompositionStep(schema, fd, left, right))
+        work.extend([left, right])
+    final = _drop_contained(final)
+    return DecompositionResult(tuple(final), tuple(steps))
+
+
+def decompose_4nf(
+    universe: Sequence[str],
+    dependencies: Iterable[Dependency],
+) -> DecompositionResult:
+    """Fagin's 4NF decomposition: split on nontrivial MVDs (and FDs, which
+    are MVDs) whose lhs is not a superkey."""
+    deps = list(dependencies)
+    fds = [d for d in deps if isinstance(d, FunctionalDependency)]
+    final: list[frozenset[str]] = []
+    steps: list[DecompositionStep] = []
+    work: list[frozenset[str]] = [frozenset(universe)]
+    guard = 0
+    while work:
+        guard += 1
+        if guard > 10_000:
+            raise DecompositionError("4NF decomposition did not terminate")
+        schema = work.pop()
+        local = sorted(schema)
+        local_deps: list[Dependency] = list(project_fds(fds, schema))
+        for d in deps:
+            if isinstance(d, MultivaluedDependency) and d.lhs <= schema:
+                rhs = d.rhs & schema
+                if rhs:
+                    local_deps.append(MultivaluedDependency(d.lhs, rhs))
+        mvd_violations = violates_4nf(local, local_deps)
+        fd_violations = violates_bcnf(
+            local, [d for d in local_deps if isinstance(d, FunctionalDependency)]
+        )
+        if not mvd_violations and not fd_violations:
+            final.append(schema)
+            continue
+        if mvd_violations:
+            m = sorted(
+                mvd_violations, key=lambda v: (sorted(v.lhs), sorted(v.rhs))
+            )[0]
+            y = (m.rhs - m.lhs) & schema
+            left = frozenset(m.lhs) | y
+            right = schema - y
+            violation: object = m
+        else:
+            fd = sorted(
+                fd_violations, key=lambda f: (sorted(f.lhs), sorted(f.rhs))
+            )[0]
+            closure = (
+                attribute_closure(
+                    fd.lhs,
+                    [d for d in local_deps if isinstance(d, FunctionalDependency)],
+                )
+                & schema
+            )
+            left = frozenset(fd.lhs) | (closure - fd.lhs)
+            right = frozenset(fd.lhs) | (schema - closure)
+            violation = fd
+        if left == schema or right == schema:
+            final.append(schema)
+            continue
+        steps.append(DecompositionStep(schema, violation, left, right))
+        work.extend([left, right])
+    final = _drop_contained(final)
+    return DecompositionResult(tuple(final), tuple(steps))
+
+
+def _drop_contained(schemas: list[frozenset[str]]) -> list[frozenset[str]]:
+    out = [
+        s for s in schemas if not any(s < other for other in schemas)
+    ]
+    unique: list[frozenset[str]] = []
+    for s in sorted(out, key=lambda s: (sorted(s), len(s))):
+        if s not in unique:
+            unique.append(s)
+    return unique
+
+
+# ---------------------------------------------------------------------------
+# Instance-level helpers
+# ---------------------------------------------------------------------------
+
+
+def apply_decomposition(
+    relation: Relation, schemas: Sequence[Iterable[str]]
+) -> list[Relation]:
+    """Project a relation instance onto each sub-schema."""
+    return [project(relation, sorted(s)) for s in schemas]
+
+
+def rejoin(components: Sequence[Relation]) -> Relation:
+    """Natural-join a list of component relations back together."""
+    if not components:
+        raise DecompositionError("nothing to rejoin")
+    result = components[0]
+    for comp in components[1:]:
+        result = natural_join(result, comp)
+    return result
+
+
+def is_lossless_on_instance(
+    relation: Relation, schemas: Sequence[Iterable[str]]
+) -> bool:
+    """Check losslessness on one concrete instance (necessary condition)."""
+    rejoined = rejoin(apply_decomposition(relation, schemas))
+    reordered = project(rejoined, relation.schema.names)
+    return reordered == relation

@@ -1,0 +1,130 @@
+"""Instance-level FD and MVD discovery.
+
+The synthetic workloads (:mod:`repro.workloads.synthetic`) plant
+dependencies by construction; this module discovers the dependencies that
+actually hold in a generated instance, so tests can confirm the plant and
+benchmarks can report the dependency structure of their inputs.
+
+The search is the straightforward lattice scan (a small-scale cousin of
+TANE): every candidate lhs up to a size bound, minimized by pruning
+supersets of found lhs's.  Exponential in the schema degree — appropriate
+for design-sized schemas (the paper's relations have 2-6 attributes).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.relational.relation import Relation
+
+
+def discover_fds(
+    relation: Relation,
+    max_lhs: int | None = None,
+) -> frozenset[FunctionalDependency]:
+    """All minimal nontrivial FDs ``X -> a`` holding in ``relation``.
+
+    ``max_lhs`` bounds the lhs size (default: degree − 1).
+    """
+    names = relation.schema.names
+    n = len(names)
+    if max_lhs is None:
+        max_lhs = n - 1
+    found: set[FunctionalDependency] = set()
+    # minimal lhs's per rhs attribute, for superset pruning
+    minimal: dict[str, list[frozenset[str]]] = {a: [] for a in names}
+
+    for size in range(1, max_lhs + 1):
+        for lhs in combinations(names, size):
+            lhs_set = frozenset(lhs)
+            for a in names:
+                if a in lhs_set:
+                    continue
+                if any(m <= lhs_set for m in minimal[a]):
+                    continue  # a smaller lhs already determines a
+                fd = FunctionalDependency(lhs_set, [a])
+                if fd.holds_in(relation):
+                    found.add(fd)
+                    minimal[a].append(lhs_set)
+    return frozenset(found)
+
+
+def discover_mvds(
+    relation: Relation,
+    max_lhs: int | None = None,
+    include_fd_implied: bool = False,
+) -> frozenset[MultivaluedDependency]:
+    """Minimal nontrivial MVDs ``X ->-> Y`` holding in ``relation``.
+
+    Scans every lhs up to ``max_lhs`` and every rhs that is a nonempty
+    proper subset of the remaining attributes (up to complementation: only
+    the lexicographically smaller of Y and its complement is reported).
+    When ``include_fd_implied`` is False (default), MVDs that follow from
+    a discovered FD with the same lhs are filtered out, leaving the
+    "genuine" multivalued structure.
+    """
+    names = relation.schema.names
+    n = len(names)
+    if max_lhs is None:
+        max_lhs = n - 2  # need at least 2 attributes outside the lhs
+    fds = discover_fds(relation) if not include_fd_implied else frozenset()
+
+    found: set[MultivaluedDependency] = set()
+    for size in range(1, max(max_lhs, 0) + 1):
+        for lhs in combinations(names, size):
+            lhs_set = frozenset(lhs)
+            rest = [a for a in names if a not in lhs_set]
+            if len(rest) < 2:
+                continue
+            seen_pairs: set[frozenset[frozenset[str]]] = set()
+            for rsize in range(1, len(rest)):
+                for rhs in combinations(rest, rsize):
+                    rhs_set = frozenset(rhs)
+                    comp = frozenset(rest) - rhs_set
+                    pair = frozenset({rhs_set, comp})
+                    if pair in seen_pairs:
+                        continue
+                    seen_pairs.add(pair)
+                    mvd = MultivaluedDependency(lhs_set, rhs_set)
+                    if not mvd.holds_in(relation):
+                        continue
+                    if not include_fd_implied and _fd_implies_mvd(
+                        fds, lhs_set, rhs_set
+                    ):
+                        continue
+                    canonical = min(
+                        (sorted(rhs_set), rhs_set),
+                        (sorted(comp), comp),
+                    )[1]
+                    found.add(MultivaluedDependency(lhs_set, canonical))
+    return frozenset(found)
+
+
+def _fd_implies_mvd(
+    fds: Iterable[FunctionalDependency],
+    lhs: frozenset[str],
+    rhs: frozenset[str],
+) -> bool:
+    """True when some discovered FD lhs' -> rhs with lhs' ⊆ lhs covers the
+    MVD (every FD is an MVD)."""
+    for fd in fds:
+        if fd.lhs <= lhs and rhs <= fd.rhs:
+            return True
+    return False
+
+
+def verify_planted(
+    relation: Relation,
+    fds: Sequence[FunctionalDependency] = (),
+    mvds: Sequence[MultivaluedDependency] = (),
+) -> dict[str, bool]:
+    """Check that each claimed dependency holds in the instance."""
+    report: dict[str, bool] = {}
+    for fd in fds:
+        report[str(fd)] = fd.holds_in(relation)
+    for mvd in mvds:
+        report[str(mvd)] = mvd.holds_in(relation)
+    return report

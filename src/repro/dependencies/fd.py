@@ -1,0 +1,111 @@
+"""Functional dependencies X -> Y.
+
+An FD ``F1,...,Fk -> E1,...,Em`` (paper Section 3.4) holds in a 1NF
+relation when any two tuples agreeing on all of ``F1..Fk`` also agree on
+all of ``E1..Em``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import DependencyError
+from repro.relational.relation import Relation
+
+
+class FunctionalDependency:
+    """An FD with frozen left-hand side (lhs) and right-hand side (rhs)."""
+
+    __slots__ = ("_lhs", "_rhs", "_hash")
+
+    def __init__(self, lhs: Iterable[str], rhs: Iterable[str]):
+        self._lhs = frozenset(lhs)
+        self._rhs = frozenset(rhs)
+        if not self._lhs:
+            raise DependencyError("FD left-hand side must be non-empty")
+        if not self._rhs:
+            raise DependencyError("FD right-hand side must be non-empty")
+        for side in (self._lhs, self._rhs):
+            for a in side:
+                if not isinstance(a, str) or not a:
+                    raise DependencyError(f"bad attribute name {a!r} in FD")
+        self._hash = hash((self._lhs, self._rhs))
+
+    @classmethod
+    def parse(cls, text: str) -> "FunctionalDependency":
+        """Parse ``"A, B -> C"`` notation.
+
+        >>> FunctionalDependency.parse("A, B -> C").lhs == {"A", "B"}
+        True
+        """
+        if "->" not in text:
+            raise DependencyError(f"no '->' in FD text {text!r}")
+        left, _, right = text.partition("->")
+        lhs = [a.strip() for a in left.split(",") if a.strip()]
+        rhs = [a.strip() for a in right.split(",") if a.strip()]
+        return cls(lhs, rhs)
+
+    @property
+    def lhs(self) -> frozenset[str]:
+        return self._lhs
+
+    @property
+    def rhs(self) -> frozenset[str]:
+        return self._rhs
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """All attributes mentioned by the FD."""
+        return self._lhs | self._rhs
+
+    def is_trivial(self) -> bool:
+        """An FD X -> Y is trivial iff Y ⊆ X."""
+        return self._rhs <= self._lhs
+
+    def nontrivial_part(self) -> "FunctionalDependency | None":
+        """The FD with lhs attributes dropped from the rhs (None if empty)."""
+        rhs = self._rhs - self._lhs
+        if not rhs:
+            return None
+        return FunctionalDependency(self._lhs, rhs)
+
+    def split(self) -> list["FunctionalDependency"]:
+        """Singleton-rhs decomposition: X -> {a} for each a in rhs."""
+        return [FunctionalDependency(self._lhs, [a]) for a in sorted(self._rhs)]
+
+    def holds_in(self, relation: Relation) -> bool:
+        """Instance-level test: does this FD hold in ``relation``?"""
+        relation.schema.require(self._lhs | self._rhs)
+        lhs = sorted(self._lhs)
+        rhs = sorted(self._rhs)
+        seen: dict[tuple, tuple] = {}
+        for t in relation:
+            key = tuple(t[a] for a in lhs)
+            val = tuple(t[a] for a in rhs)
+            if key in seen:
+                if seen[key] != val:
+                    return False
+            else:
+                seen[key] = val
+        return True
+
+    def rename(self, mapping: dict[str, str]) -> "FunctionalDependency":
+        """FD with attributes renamed per ``mapping``."""
+        return FunctionalDependency(
+            (mapping.get(a, a) for a in self._lhs),
+            (mapping.get(a, a) for a in self._rhs),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return self._lhs == other._lhs and self._rhs == other._rhs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"FD({sorted(self._lhs)} -> {sorted(self._rhs)})"
+
+    def __str__(self) -> str:
+        return f"{', '.join(sorted(self._lhs))} -> {', '.join(sorted(self._rhs))}"

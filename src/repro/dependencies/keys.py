@@ -1,0 +1,85 @@
+"""Candidate keys of a schema under a set of FDs."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FunctionalDependency
+
+
+def is_superkey(
+    attributes: Iterable[str],
+    universe: Iterable[str],
+    fds: Iterable[FunctionalDependency],
+) -> bool:
+    """Does ``attributes`` functionally determine the whole universe?"""
+    universe = frozenset(universe)
+    return universe <= attribute_closure(attributes, list(fds))
+
+
+def is_candidate_key(
+    attributes: Iterable[str],
+    universe: Iterable[str],
+    fds: Iterable[FunctionalDependency],
+) -> bool:
+    """Superkey no proper subset of which is a superkey."""
+    attrs = frozenset(attributes)
+    fds = list(fds)
+    if not is_superkey(attrs, universe, fds):
+        return False
+    return all(
+        not is_superkey(attrs - {a}, universe, fds) for a in attrs
+    )
+
+
+def candidate_keys(
+    universe: Iterable[str],
+    fds: Iterable[FunctionalDependency],
+) -> frozenset[frozenset[str]]:
+    """All candidate keys, found by pruned lattice search.
+
+    Attributes never appearing on any rhs must belong to every key (the
+    "core"); attributes appearing only on rhs sides never need to.  The
+    remaining middle attributes are searched smallest-first, skipping
+    supersets of keys already found.
+    """
+    universe = frozenset(universe)
+    fds = [fd for fd in list(fds) if not fd.is_trivial()]
+    rhs_attrs = frozenset().union(*(fd.rhs for fd in fds)) if fds else frozenset()
+    lhs_attrs = frozenset().union(*(fd.lhs for fd in fds)) if fds else frozenset()
+    core = universe - rhs_attrs           # must be in every key
+    useless = universe - lhs_attrs - core  # never needed beyond the core
+    middle = sorted(universe - core - useless)
+
+    if is_superkey(core, universe, fds):
+        return frozenset({frozenset(core)})
+
+    keys: set[frozenset[str]] = set()
+    for size in range(1, len(middle) + 1):
+        for extra in combinations(middle, size):
+            cand = core | frozenset(extra)
+            if any(k <= cand for k in keys):
+                continue
+            if is_superkey(cand, universe, fds):
+                keys.add(cand)
+        # keep scanning larger sizes: incomparable keys can be longer
+    if not keys:
+        # No combination worked (can only happen when fds don't reach the
+        # whole universe even with all attributes — impossible since the
+        # full universe is trivially a superkey; keep as a safety net).
+        keys.add(universe)
+    return frozenset(keys)
+
+
+def prime_attributes(
+    universe: Iterable[str],
+    fds: Iterable[FunctionalDependency],
+) -> frozenset[str]:
+    """Attributes that are a member of at least one candidate key."""
+    keys = candidate_keys(universe, fds)
+    out: set[str] = set()
+    for k in keys:
+        out |= k
+    return frozenset(out)

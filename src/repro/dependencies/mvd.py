@@ -1,0 +1,147 @@
+"""Multivalued dependencies X ->-> Y (Fagin [2]).
+
+The paper's running motivation (Fig. 1) is the MVD
+``Student ->-> Course | Club``: for each student, the set of courses and
+the set of clubs vary independently.  An MVD ``X ->-> Y`` holds in R over
+U when, for every pair of tuples agreeing on X, swapping their
+Y-components (keeping Z = U − X − Y) yields tuples also in R.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import DependencyError
+from repro.relational.relation import Relation
+
+
+class MultivaluedDependency:
+    """An MVD with frozen lhs and rhs.
+
+    The complementary side Z = U − X − Y is derived from a concrete schema
+    at evaluation time, since MVDs are schema-relative (unlike FDs).
+    """
+
+    __slots__ = ("_lhs", "_rhs", "_hash")
+
+    def __init__(self, lhs: Iterable[str], rhs: Iterable[str]):
+        self._lhs = frozenset(lhs)
+        self._rhs = frozenset(rhs)
+        if not self._lhs:
+            raise DependencyError("MVD left-hand side must be non-empty")
+        if not self._rhs:
+            raise DependencyError("MVD right-hand side must be non-empty")
+        for side in (self._lhs, self._rhs):
+            for a in side:
+                if not isinstance(a, str) or not a:
+                    raise DependencyError(f"bad attribute name {a!r} in MVD")
+        self._hash = hash(("MVD", self._lhs, self._rhs))
+
+    @classmethod
+    def parse(cls, text: str) -> "MultivaluedDependency":
+        """Parse ``"A ->-> B"`` notation (also accepts ``"A ->> B"``)."""
+        for arrow in ("->->", "->>"):
+            if arrow in text:
+                left, _, right = text.partition(arrow)
+                lhs = [a.strip() for a in left.split(",") if a.strip()]
+                rhs = [a.strip() for a in right.split(",") if a.strip()]
+                return cls(lhs, rhs)
+        raise DependencyError(f"no '->->' in MVD text {text!r}")
+
+    @property
+    def lhs(self) -> frozenset[str]:
+        return self._lhs
+
+    @property
+    def rhs(self) -> frozenset[str]:
+        return self._rhs
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        return self._lhs | self._rhs
+
+    def complement_in(self, universe: Iterable[str]) -> frozenset[str]:
+        """Z = U − X − Y.  By Fagin's complementation rule,
+        X ->-> Y implies X ->-> Z over universe U."""
+        u = frozenset(universe)
+        missing = (self._lhs | self._rhs) - u
+        if missing:
+            raise DependencyError(
+                f"MVD attributes {sorted(missing)} outside universe {sorted(u)}"
+            )
+        return u - self._lhs - self._rhs
+
+    def complemented(self, universe: Iterable[str]) -> "MultivaluedDependency":
+        """The complementary MVD X ->-> (U − X − Y)."""
+        z = self.complement_in(universe)
+        if not z:
+            raise DependencyError(
+                "complement is empty: MVD is trivial over this universe"
+            )
+        return MultivaluedDependency(self._lhs, z)
+
+    def is_trivial_in(self, universe: Iterable[str]) -> bool:
+        """X ->-> Y is trivial over U iff Y ⊆ X or X ∪ Y = U."""
+        u = frozenset(universe)
+        return self._rhs <= self._lhs or (self._lhs | self._rhs) == u
+
+    def holds_in(self, relation: Relation) -> bool:
+        """Instance-level test of the swap property.
+
+        Implemented via the product characterization: group tuples by their
+        X-value; within a group the set of (Y, Z) combinations must equal
+        the Cartesian product of the projections onto Y and onto Z.
+        """
+        universe = relation.schema.names
+        z_attrs = sorted(self.complement_in(universe))
+        x_attrs = sorted(self._lhs)
+        y_attrs = sorted(self._rhs - self._lhs)
+        if not y_attrs or not z_attrs:
+            return True  # trivial MVD
+
+        groups: dict[tuple, set[tuple[tuple, tuple]]] = {}
+        for t in relation:
+            x = tuple(t[a] for a in x_attrs)
+            y = tuple(t[a] for a in y_attrs)
+            z = tuple(t[a] for a in z_attrs)
+            groups.setdefault(x, set()).add((y, z))
+        for pairs in groups.values():
+            ys = {y for y, _ in pairs}
+            zs = {z for _, z in pairs}
+            if len(pairs) != len(ys) * len(zs):
+                return False
+        return True
+
+    def rename(self, mapping: dict[str, str]) -> "MultivaluedDependency":
+        return MultivaluedDependency(
+            (mapping.get(a, a) for a in self._lhs),
+            (mapping.get(a, a) for a in self._rhs),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultivaluedDependency):
+            return NotImplemented
+        return self._lhs == other._lhs and self._rhs == other._rhs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"MVD({sorted(self._lhs)} ->-> {sorted(self._rhs)})"
+
+    def __str__(self) -> str:
+        return (
+            f"{', '.join(sorted(self._lhs))} ->-> {', '.join(sorted(self._rhs))}"
+        )
+
+
+def mvd_partition_notation(
+    lhs: Sequence[str], groups: Sequence[Sequence[str]]
+) -> list[MultivaluedDependency]:
+    """Expand the paper's ``F ->-> E1 | E2 | ...`` partition notation into
+    individual MVDs (one per group).
+
+    >>> [str(m) for m in mvd_partition_notation(["A"], [["B"], ["C"]])]
+    ['A ->-> B', 'A ->-> C']
+    """
+    return [MultivaluedDependency(lhs, g) for g in groups]

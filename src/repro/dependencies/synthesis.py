@@ -1,0 +1,124 @@
+"""Bernstein's 3NF synthesis [13] — the paper's reference for
+"mechanically obtained" 3NF schemas (Section 3.4).
+
+Given a universe and an FD set, synthesize a lossless, dependency-
+preserving decomposition into 3NF sub-schemas:
+
+1. compute a minimal cover,
+2. group FDs by left-hand side, one sub-schema per group (lhs ∪ rhs),
+3. drop sub-schemas contained in others,
+4. if no sub-schema contains a candidate key of the universe, add one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.dependencies.chase import is_lossless_join
+from repro.dependencies.closure import fds_equivalent, project_fds
+from repro.dependencies.cover import group_by_lhs, minimal_cover
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.keys import candidate_keys
+from repro.dependencies.normalforms import is_3nf
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Outcome of 3NF synthesis.
+
+    Attributes
+    ----------
+    schemas:
+        The synthesized sub-schemas (attribute sets, deterministic order).
+    cover:
+        The minimal cover used.
+    added_key:
+        The candidate key added as an extra schema, or None.
+    """
+
+    schemas: tuple[frozenset[str], ...]
+    cover: frozenset[FunctionalDependency]
+    added_key: frozenset[str] | None
+
+    def as_sorted_lists(self) -> list[list[str]]:
+        return [sorted(s) for s in self.schemas]
+
+
+def synthesize_3nf(
+    universe: Sequence[str],
+    fds: Iterable[FunctionalDependency],
+) -> SynthesisResult:
+    """Bernstein 3NF synthesis.  Deterministic for a given input.
+
+    >>> fds = [FunctionalDependency.parse("A -> B"),
+    ...        FunctionalDependency.parse("B -> C")]
+    >>> synthesize_3nf(["A", "B", "C"], fds).as_sorted_lists()
+    [['A', 'B'], ['B', 'C']]
+    """
+    universe = tuple(universe)
+    fds = list(fds)
+    cover = minimal_cover(fds)
+    grouped = group_by_lhs(cover)
+
+    schemas: list[frozenset[str]] = [
+        lhs | rhs for lhs, rhs in grouped.items()
+    ]
+    # Attributes mentioned by no FD still need a home: attach them as one
+    # all-key schema (Bernstein's completion step).
+    mentioned = frozenset().union(*schemas) if schemas else frozenset()
+    orphans = frozenset(universe) - mentioned
+    if orphans:
+        schemas.append(orphans)
+
+    # Drop sub-schemas strictly contained in another.
+    schemas = [
+        s
+        for s in schemas
+        if not any(s < other for other in schemas)
+    ]
+    # Deduplicate while keeping deterministic order.
+    unique: list[frozenset[str]] = []
+    for s in sorted(schemas, key=lambda s: (sorted(s), len(s))):
+        if s not in unique:
+            unique.append(s)
+    schemas = unique
+
+    # Ensure some schema contains a candidate key (lossless join).
+    keys = candidate_keys(universe, fds)
+    added_key: frozenset[str] | None = None
+    if not any(any(k <= s for s in schemas) for k in keys):
+        added_key = sorted(keys, key=lambda k: (len(k), sorted(k)))[0]
+        schemas.append(added_key)
+
+    return SynthesisResult(tuple(schemas), cover, added_key)
+
+
+def verify_synthesis(
+    universe: Sequence[str],
+    fds: Iterable[FunctionalDependency],
+    result: SynthesisResult,
+) -> dict[str, bool]:
+    """Check the three guarantees of 3NF synthesis.
+
+    Returns flags for: lossless join, dependency preservation, and every
+    sub-schema being in 3NF (under its projected FDs).
+    """
+    universe = tuple(universe)
+    fds = list(fds)
+    lossless = is_lossless_join(universe, [sorted(s) for s in result.schemas], fds)
+
+    preserved_union: list[FunctionalDependency] = []
+    per_schema_3nf = True
+    for s in result.schemas:
+        projected = project_fds(fds, s)
+        preserved_union.extend(projected)
+        if not is_3nf(sorted(s), projected):
+            per_schema_3nf = False
+    preserving = fds_equivalent(preserved_union, fds)
+
+    return {
+        "lossless_join": lossless,
+        "dependency_preserving": preserving,
+        "all_3nf": per_schema_3nf,
+    }

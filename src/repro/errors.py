@@ -1,0 +1,143 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the package
+layout: schema/relational errors, dependency-theory errors, NF2 core
+errors, storage errors and query-language errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# Relational (1NF) substrate
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible."""
+
+
+class DomainError(SchemaError):
+    """A value does not belong to the declared domain of an attribute."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was used that the schema does not define."""
+
+    def __init__(self, attribute: str, known: tuple[str, ...] = ()):
+        self.attribute = attribute
+        self.known = tuple(known)
+        msg = f"unknown attribute {attribute!r}"
+        if known:
+            msg += f" (schema has {', '.join(known)})"
+        super().__init__(msg)
+
+
+class AlgebraError(ReproError):
+    """A relational-algebra operation was applied to incompatible inputs."""
+
+
+# ---------------------------------------------------------------------------
+# Dependency theory substrate
+# ---------------------------------------------------------------------------
+
+
+class DependencyError(ReproError):
+    """A functional or multivalued dependency is malformed."""
+
+
+class DecompositionError(DependencyError):
+    """A schema decomposition step could not be carried out."""
+
+
+# ---------------------------------------------------------------------------
+# NF2 core
+# ---------------------------------------------------------------------------
+
+
+class NFRError(ReproError):
+    """Base class for NF2 (non-first-normal-form) errors."""
+
+
+class EmptyComponentError(NFRError):
+    """An NFR tuple component would become empty (Def. 2 forbids this)."""
+
+
+class CompositionError(NFRError):
+    """Two tuples are not composable over the requested attribute (Def. 1)."""
+
+
+class DecompositionValueError(NFRError):
+    """Decomposition (Def. 2) was asked to extract a value that is absent
+    or would leave an empty component."""
+
+
+class NotCanonicalError(NFRError):
+    """An operation that requires a canonical form received a relation that
+    is not canonical for the stated nest order."""
+
+
+class UpdateError(NFRError):
+    """Insertion/deletion of a flat tuple failed (e.g. deleting a tuple
+    that is not represented by the relation)."""
+
+
+class FlatTupleNotFoundError(UpdateError):
+    """The flat tuple to delete is not represented in R*."""
+
+
+# ---------------------------------------------------------------------------
+# Storage engine
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for realization-view storage errors."""
+
+
+class PageOverflowError(StorageError):
+    """A record does not fit into a page."""
+
+
+class RecordNotFoundError(StorageError):
+    """A record id does not exist in the heap file."""
+
+
+# ---------------------------------------------------------------------------
+# Query language
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for NF2 query-language errors."""
+
+
+class LexError(QueryError):
+    """The query text contains an unrecognised token."""
+
+    def __init__(self, message: str, position: int):
+        self.position = position
+        super().__init__(f"{message} (at offset {position})")
+
+
+class ParseError(QueryError):
+    """The query text is not syntactically valid."""
+
+    def __init__(self, message: str, position: int = -1):
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class EvaluationError(QueryError):
+    """A syntactically valid query failed during evaluation."""
+
+
+class CatalogError(QueryError):
+    """A named relation is missing from (or duplicated in) the catalog."""

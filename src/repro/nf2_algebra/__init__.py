@@ -1,0 +1,40 @@
+"""NF2 algebra: composable operator trees and a rule-based optimizer.
+
+The paper builds on Jaeschke & Schek's algebra of non-first-normal-form
+relations [7] and defers "the optimization strategy" to future work
+(§5).  This subpackage supplies both:
+
+- :mod:`operators` — an operator-tree representation of NF2 queries
+  (scan, select, project, nest, unnest, join, union, difference) with
+  direct evaluation and cost accounting;
+- :mod:`laws` — executable statements of the algebra's identities
+  (unnest inverts nest; nest inverts unnest only on nested inputs;
+  selection/nest commutation conditions);
+- :mod:`rewrite` — a rule-based optimizer applying those laws
+  (selection pushdown through nest, unnest-of-nest elimination,
+  projection merging), with before/after cost measurement.
+"""
+
+from repro.nf2_algebra.operators import (
+    Difference,
+    Join,
+    Nest,
+    Project,
+    Scan,
+    Select,
+    Union,
+    Unnest,
+)
+from repro.nf2_algebra.rewrite import optimize
+
+__all__ = [
+    "Scan",
+    "Select",
+    "Project",
+    "Nest",
+    "Unnest",
+    "Join",
+    "Union",
+    "Difference",
+    "optimize",
+]

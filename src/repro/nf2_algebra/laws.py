@@ -1,0 +1,124 @@
+"""Executable identities of the NF2 algebra (Jaeschke-Schek [7]).
+
+Each function checks one law on a concrete relation and returns a bool;
+the test suite runs them over hypothesis-generated inputs, and
+counterexample finders document where the *non*-laws fail (the algebra
+is famously not free: nests do not commute in general, and nest does not
+invert unnest on arbitrary NFRs).
+"""
+
+from __future__ import annotations
+
+from repro.core.nest import is_nested_on, nest, unnest
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.relational.schema import RelationSchema
+
+
+def unnest_inverts_nest(relation: NFRelation, attribute: str) -> bool:
+    """unnest_A(nest_A(R)) == R — holds whenever R is *flat on A*
+    (every A-component a singleton), in particular for lifted 1NF
+    relations.  This is the J&S identity the paper relies on for
+    Theorem 1."""
+    return unnest(nest(relation, attribute), attribute) == relation
+
+
+def nest_inverts_unnest(relation: NFRelation, attribute: str) -> bool:
+    """nest_A(unnest_A(R)) == R — holds iff R is already nested on A
+    (a fixpoint of nest_A).  False in general."""
+    return nest(unnest(relation, attribute), attribute) == relation
+
+
+def nest_inverts_unnest_iff_nested(
+    relation: NFRelation, attribute: str
+) -> bool:
+    """The two sides of the iff, checked against each other."""
+    return nest_inverts_unnest(relation, attribute) == is_nested_on(
+        relation, attribute
+    )
+
+
+def nests_commute(relation: NFRelation, a: str, b: str) -> bool:
+    """Does v_A(v_B(R)) == v_B(v_A(R)) for this input?  NOT a law —
+    see :func:`nest_commutation_counterexample`."""
+    return nest(nest(relation, b), a) == nest(nest(relation, a), b)
+
+
+def nest_commutation_counterexample() -> tuple[NFRelation, str, str]:
+    """A concrete (R, A, B) with v_A(v_B(R)) != v_B(v_A(R)).
+
+    Example 1's relation works: nesting A first merges along A-groups
+    that nesting B first destroys.
+    """
+    schema = RelationSchema(["A", "B"])
+    relation = NFRelation(
+        schema,
+        [
+            NFRTuple(schema, [ValueSet(["a1"]), ValueSet(["b1"])]),
+            NFRTuple(schema, [ValueSet(["a2"]), ValueSet(["b1"])]),
+            NFRTuple(schema, [ValueSet(["a2"]), ValueSet(["b2"])]),
+            NFRTuple(schema, [ValueSet(["a3"]), ValueSet(["b2"])]),
+        ],
+    )
+    assert not nests_commute(relation, "A", "B")
+    return relation, "A", "B"
+
+
+def unnests_commute(relation: NFRelation, a: str, b: str) -> bool:
+    """unnest_A(unnest_B(R)) == unnest_B(unnest_A(R)) — a genuine law
+    (unnesting different attributes is confluent)."""
+    return unnest(unnest(relation, b), a) == unnest(
+        unnest(relation, a), b
+    )
+
+
+def select_commutes_with_nest(
+    relation: NFRelation,
+    attribute: str,
+    predicate,
+) -> bool:
+    """σ_p(v_A(R)) == v_A(σ_p(R)) for an atom-stable predicate ``p``
+    that does not touch A.
+
+    This is the optimizer's pushdown rule.  Atom-stability matters: a
+    component-equality predicate is sensitive to how much has been
+    merged into the component, so it does not commute.
+    """
+    lhs = NFRelation(
+        relation.schema,
+        (t for t in nest(relation, attribute) if predicate(t)),
+    )
+    rhs = nest(
+        NFRelation(relation.schema, (t for t in relation if predicate(t))),
+        attribute,
+    )
+    return lhs == rhs
+
+
+def select_nest_noncommutation_example() -> bool:
+    """Shows the pushdown rule's side condition is necessary: an
+    atom-stable predicate touching the *nested* attribute still commutes
+    with nest only in one direction (filter-then-nest loses the merge
+    partners).  Returns True when the counterexample behaves as
+    documented."""
+    from repro.nf2_algebra.operators import contains
+
+    schema = RelationSchema(["A", "B"])
+    relation = NFRelation(
+        schema,
+        [
+            NFRTuple(schema, [ValueSet(["a1"]), ValueSet(["b1"])]),
+            NFRTuple(schema, [ValueSet(["a2"]), ValueSet(["b1"])]),
+        ],
+    )
+    p = contains("A", "a1")
+    nested_then_filtered = NFRelation(
+        schema, (t for t in nest(relation, "A") if p(t))
+    )
+    filtered_then_nested = nest(
+        NFRelation(schema, (t for t in relation if p(t))), "A"
+    )
+    # nest-then-filter keeps [A(a1,a2) B(b1)]; filter-then-nest keeps
+    # [A(a1) B(b1)] — different relations, *different R**.
+    return nested_then_filtered != filtered_then_nested

@@ -1,0 +1,289 @@
+"""Operator trees for the NF2 algebra.
+
+Each node evaluates to an :class:`~repro.core.nfr_relation.NFRelation`;
+``evaluate`` threads an :class:`EvalStats` collector so optimizations
+are measurable as "NFR tuples materialised by intermediate results" —
+the logical-search-space currency of the paper's §2.
+
+Component predicates for :class:`Select` are callables
+``NFRTuple -> bool``; the helpers :func:`contains` / :func:`component_eq`
+build the two forms the paper's examples need while recording which
+attributes they *touch* (the optimizer's pushdown rules depend on that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.nest import nest as nest_op
+from repro.core.nest import unnest as unnest_op
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import AlgebraError
+
+
+@dataclass
+class EvalStats:
+    """Tuples materialised per operator application."""
+
+    tuples_materialised: int = 0
+    operator_applications: int = 0
+
+    def record(self, relation: NFRelation) -> NFRelation:
+        self.tuples_materialised += relation.cardinality
+        self.operator_applications += 1
+        return relation
+
+
+class ComponentPredicate:
+    """A predicate over NFR tuples that knows which attributes it reads
+    and whether it is *atom-stable* (decided by atom membership only, so
+    it commutes with nest/unnest on other attributes)."""
+
+    def __init__(
+        self,
+        fn: Callable[[NFRTuple], bool],
+        touches: Sequence[str],
+        atom_stable: bool,
+        description: str,
+    ):
+        self.fn = fn
+        self.touches = frozenset(touches)
+        self.atom_stable = atom_stable
+        self.description = description
+
+    def __call__(self, t: NFRTuple) -> bool:
+        return self.fn(t)
+
+    def __repr__(self) -> str:
+        return self.description
+
+
+def contains(attribute: str, value: Any) -> ComponentPredicate:
+    """``value in t[attribute]`` — atom-stable: unaffected by how other
+    attributes are nested, and preserved by unnesting this one."""
+    return ComponentPredicate(
+        lambda t: value in t[attribute],
+        [attribute],
+        atom_stable=True,
+        description=f"{attribute} CONTAINS {value!r}",
+    )
+
+
+def component_eq(attribute: str, values: Sequence[Any]) -> ComponentPredicate:
+    """``t[attribute] == {values}`` — NOT atom-stable: nesting changes
+    component sets, so this never commutes past a nest on ``attribute``."""
+    target = ValueSet(list(values))
+    return ComponentPredicate(
+        lambda t: t[attribute] == target,
+        [attribute],
+        atom_stable=False,
+        description=f"{attribute} = {target}",
+    )
+
+
+def conjunction(*predicates: ComponentPredicate) -> ComponentPredicate:
+    """AND of component predicates (touches the union, atom-stable iff
+    all conjuncts are)."""
+    touches: set[str] = set()
+    for p in predicates:
+        touches |= p.touches
+    return ComponentPredicate(
+        lambda t: all(p(t) for p in predicates),
+        sorted(touches),
+        atom_stable=all(p.atom_stable for p in predicates),
+        description=" AND ".join(p.description for p in predicates),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Operator nodes
+# ---------------------------------------------------------------------------
+
+
+class AlgebraOp:
+    """Base class of operator-tree nodes."""
+
+    def evaluate(self, stats: EvalStats | None = None) -> NFRelation:
+        stats = stats if stats is not None else EvalStats()
+        return self._eval(stats)
+
+    def _eval(self, stats: EvalStats) -> NFRelation:  # pragma: no cover
+        raise NotImplementedError
+
+    def children(self) -> tuple["AlgebraOp", ...]:
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        """Render the operator tree, one node per line."""
+        line = " " * indent + self.describe()
+        parts = [line]
+        for child in self.children():
+            parts.append(child.explain(indent + 2))
+        return "\n".join(parts)
+
+    def describe(self) -> str:  # pragma: no cover
+        return type(self).__name__
+
+
+@dataclass
+class Scan(AlgebraOp):
+    """Leaf: a named NFR."""
+
+    relation: NFRelation
+    name: str = "R"
+
+    def _eval(self, stats: EvalStats) -> NFRelation:
+        return stats.record(self.relation)
+
+    def describe(self) -> str:
+        return f"Scan({self.name}: {self.relation.cardinality} tuples)"
+
+
+@dataclass
+class Select(AlgebraOp):
+    """σ over NFR tuples with a :class:`ComponentPredicate`."""
+
+    source: AlgebraOp
+    predicate: ComponentPredicate
+
+    def _eval(self, stats: EvalStats) -> NFRelation:
+        src = self.source._eval(stats)
+        return stats.record(
+            NFRelation(src.schema, (t for t in src if self.predicate(t)))
+        )
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"Select[{self.predicate.description}]"
+
+
+@dataclass
+class Project(AlgebraOp):
+    """π onto a subset of attributes (set semantics on NFR tuples)."""
+
+    source: AlgebraOp
+    attributes: tuple[str, ...]
+
+    def _eval(self, stats: EvalStats) -> NFRelation:
+        src = self.source._eval(stats)
+        sub = src.schema.project(list(self.attributes))
+        return stats.record(
+            NFRelation(sub, (t.project(sub.names) for t in src))
+        )
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"Project[{', '.join(self.attributes)}]"
+
+
+@dataclass
+class Nest(AlgebraOp):
+    """v_attribute (Def. 4)."""
+
+    source: AlgebraOp
+    attribute: str
+
+    def _eval(self, stats: EvalStats) -> NFRelation:
+        return stats.record(nest_op(self.source._eval(stats), self.attribute))
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"Nest[{self.attribute}]"
+
+
+@dataclass
+class Unnest(AlgebraOp):
+    """unnest_attribute."""
+
+    source: AlgebraOp
+    attribute: str
+
+    def _eval(self, stats: EvalStats) -> NFRelation:
+        return stats.record(unnest_op(self.source._eval(stats), self.attribute))
+
+    def children(self):
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"Unnest[{self.attribute}]"
+
+
+@dataclass
+class Join(AlgebraOp):
+    """Jaeschke-Schek NF2 natural join: shared components set-equal."""
+
+    left: AlgebraOp
+    right: AlgebraOp
+
+    def _eval(self, stats: EvalStats) -> NFRelation:
+        from repro.query.evaluator import _nf2_join
+
+        return stats.record(
+            _nf2_join(self.left._eval(stats), self.right._eval(stats))
+        )
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "Join[nf2-natural]"
+
+
+@dataclass
+class Union(AlgebraOp):
+    """Tuple-set union over a shared schema."""
+
+    left: AlgebraOp
+    right: AlgebraOp
+
+    def _eval(self, stats: EvalStats) -> NFRelation:
+        lhs = self.left._eval(stats)
+        rhs = self.right._eval(stats)
+        if lhs.schema.names != rhs.schema.names:
+            raise AlgebraError(
+                f"union-incompatible: {lhs.schema.names} vs {rhs.schema.names}"
+            )
+        return stats.record(NFRelation(lhs.schema, lhs.tuples | rhs.tuples))
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "Union"
+
+
+@dataclass
+class Difference(AlgebraOp):
+    """R* difference, returned in all-singleton form (information-level)."""
+
+    left: AlgebraOp
+    right: AlgebraOp
+
+    def _eval(self, stats: EvalStats) -> NFRelation:
+        from repro.relational.algebra import difference
+
+        lhs = self.left._eval(stats)
+        rhs = self.right._eval(stats)
+        if lhs.schema.names != rhs.schema.names:
+            raise AlgebraError(
+                f"difference-incompatible: {lhs.schema.names} vs "
+                f"{rhs.schema.names}"
+            )
+        return stats.record(
+            NFRelation.from_1nf(difference(lhs.to_1nf(), rhs.to_1nf()))
+        )
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "Difference"

@@ -1,0 +1,29 @@
+"""A small NF2 data-manipulation language.
+
+The paper defers its DML: "We didn't address the data manipulation
+language which we will show elsewhere" (§5, citing [9]).  This package
+supplies a working one in the spirit of the Jaeschke-Schek NF2 algebra
+the paper builds on: functional, composable expressions over a catalog
+of named NFRs::
+
+    NEST Enrollment BY (Course, Club)
+    SELECT Enrollment WHERE Student CONTAINS 's1' AND Club = {'b1'}
+    PROJECT (UNNEST Enrollment ON Course) ON (Student, Course)
+    CANONICAL Enrollment ORDER (Course, Club, Student)
+    JOIN Enrollment, Registration
+    INSERT INTO Registration VALUES ('s9', 'c1', 't2')
+
+See :mod:`repro.query.parser` for the grammar and
+:mod:`repro.query.evaluator` for operator semantics.
+"""
+
+from repro.query.catalog import Catalog
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse
+
+__all__ = ["Catalog", "parse", "evaluate"]
+
+
+def run(text: str, catalog: "Catalog"):
+    """Parse and evaluate one statement against ``catalog``."""
+    return evaluate(parse(text), catalog)

@@ -1,0 +1,179 @@
+"""AST node types for the NF2 query language.
+
+Expressions evaluate to :class:`~repro.core.nfr_relation.NFRelation`;
+statements (LET / INSERT / DELETE) mutate the catalog and return the
+affected relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class Node:
+    """Marker base class for AST nodes."""
+
+
+# -- conditions ---------------------------------------------------------------
+
+
+class Condition(Node):
+    """Marker base class for WHERE conditions."""
+
+
+@dataclass(frozen=True)
+class Contains(Condition):
+    """``attribute CONTAINS literal`` — membership in the component set."""
+
+    attribute: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class ComponentEquals(Condition):
+    """``attribute = {v1, v2}`` — set equality of the whole component."""
+
+    attribute: str
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class SingletonEquals(Condition):
+    """``attribute = literal`` — component is exactly the singleton."""
+
+    attribute: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+class Expression(Node):
+    """Marker base class for relation-valued expressions."""
+
+
+@dataclass(frozen=True)
+class Name(Expression):
+    """A catalog lookup."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Select(Expression):
+    """``SELECT expr WHERE condition``."""
+
+    source: Expression
+    condition: Condition
+
+
+@dataclass(frozen=True)
+class Project(Expression):
+    """``PROJECT expr ON (names)`` — NF2 projection (set semantics)."""
+
+    source: Expression
+    attributes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Nest(Expression):
+    """``NEST expr BY (names)`` — nest sequence, first name nested first."""
+
+    source: Expression
+    attributes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Unnest(Expression):
+    """``UNNEST expr ON name``."""
+
+    source: Expression
+    attribute: str
+
+
+@dataclass(frozen=True)
+class Canonical(Expression):
+    """``CANONICAL expr ORDER (names)`` — V_P of the source's R*."""
+
+    source: Expression
+    order: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Flatten(Expression):
+    """``FLATTEN expr`` — fully unnest (the all-singleton form of R*)."""
+
+    source: Expression
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    """``JOIN left, right`` — NF2 natural join: shared components must be
+    set-theoretically equal (Jaeschke-Schek semantics)."""
+
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class FlatJoin(Expression):
+    """``FLATJOIN left, right`` — natural join of the underlying R*s,
+    returned flat (all-singleton)."""
+
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Union(Expression):
+    """``UNION left, right`` — union of NFR tuple sets (same schema)."""
+
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Difference(Expression):
+    """``DIFFERENCE left, right`` — R* difference, returned flat."""
+
+    left: Expression
+    right: Expression
+
+
+# -- statements ------------------------------------------------------------------
+
+
+class Statement(Node):
+    """Marker base class for catalog-mutating statements."""
+
+
+@dataclass(frozen=True)
+class Let(Statement):
+    """``LET name = expr`` — bind a result in the catalog."""
+
+    name: str
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class InsertValues(Statement):
+    """``INSERT INTO name VALUES (v1, ..., vn)`` — flat-tuple insert,
+    maintained canonically under the relation's registered nest order."""
+
+    name: str
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class DeleteValues(Statement):
+    """``DELETE FROM name VALUES (v1, ..., vn)`` — flat-tuple delete."""
+
+    name: str
+    values: tuple[Any, ...]

@@ -1,0 +1,107 @@
+"""Named-relation catalog for the query language.
+
+Each entry stores an :class:`~repro.core.nfr_relation.NFRelation` plus an
+optional *registered nest order*; INSERT/DELETE statements maintain the
+relation canonically under that order (defaulting to schema order) using
+the §4 update algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.nfr_relation import NFRelation
+from repro.core.update import CanonicalNFR
+from repro.errors import CatalogError
+from repro.relational.relation import Relation
+
+
+class Catalog:
+    """A mutable mapping of names to NFRs with per-relation nest orders."""
+
+    def __init__(self):
+        self._entries: dict[str, NFRelation] = {}
+        self._orders: dict[str, tuple[str, ...]] = {}
+        self._stores: dict[str, CanonicalNFR] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        relation: NFRelation | Relation,
+        order: Sequence[str] | None = None,
+    ) -> None:
+        """Bind ``name``; a 1NF relation is lifted.  ``order`` sets the
+        nest order used by INSERT/DELETE maintenance (default: schema
+        order)."""
+        if isinstance(relation, Relation):
+            relation = NFRelation.from_1nf(relation)
+        self._entries[name] = relation
+        self._orders[name] = tuple(order) if order else relation.schema.names
+        self._stores.pop(name, None)
+
+    def set(self, name: str, relation: NFRelation) -> None:
+        """Rebind ``name`` to a computed result (keeps any registered
+        order if schemas agree, else resets to schema order)."""
+        old_order = self._orders.get(name)
+        self._entries[name] = relation
+        if old_order is None or sorted(old_order) != sorted(
+            relation.schema.names
+        ):
+            self._orders[name] = relation.schema.names
+        self._stores.pop(name, None)
+
+    def remove(self, name: str) -> None:
+        if name not in self._entries:
+            raise CatalogError(f"no relation named {name!r}")
+        del self._entries[name]
+        self._orders.pop(name, None)
+        self._stores.pop(name, None)
+
+    # -- access --------------------------------------------------------------------
+
+    def get(self, name: str) -> NFRelation:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "(empty catalog)"
+            raise CatalogError(
+                f"no relation named {name!r}; catalog has: {known}"
+            ) from None
+
+    def order_of(self, name: str) -> tuple[str, ...]:
+        self.get(name)
+        return self._orders[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- canonical update stores --------------------------------------------------
+
+    def store_for(self, name: str) -> CanonicalNFR:
+        """The canonical-maintenance store for ``name`` (created lazily
+        from the current contents and registered order)."""
+        store = self._stores.get(name)
+        if store is None:
+            relation = self.get(name)
+            store = CanonicalNFR(relation.to_1nf(), self._orders[name])
+            self._stores[name] = store
+            # The catalog entry becomes the canonical form so that query
+            # results and subsequent updates agree on the representation.
+            self._entries[name] = store.relation
+        return store
+
+    def sync_from_store(self, name: str) -> NFRelation:
+        """Refresh the catalog entry from the maintenance store."""
+        store = self._stores.get(name)
+        if store is None:
+            raise CatalogError(f"no update store open for {name!r}")
+        self._entries[name] = store.relation
+        return self._entries[name]

@@ -1,0 +1,197 @@
+"""Evaluator for the NF2 query language.
+
+Operator semantics:
+
+- ``SELECT``: keep NFR tuples satisfying the condition.  ``CONTAINS``
+  tests set membership in a component; ``= {..}`` tests component set
+  equality; ``= literal`` tests equality with the singleton component.
+- ``PROJECT``: NF2 projection — restrict components, collapse duplicate
+  NFR tuples (set semantics; components are *not* re-merged — follow
+  with NEST for that).
+- ``NEST`` / ``UNNEST`` / ``CANONICAL`` / ``FLATTEN``: the Def. 4/5
+  operators from :mod:`repro.core`.
+- ``JOIN``: Jaeschke-Schek NF2 natural join — tuples combine when their
+  shared components are *set-theoretically equal*.
+- ``FLATJOIN``: natural join of the underlying R*s (classical 1NF join),
+  returned in all-singleton form.
+- ``UNION``: NFR tuple-set union (schemas must match).
+- ``DIFFERENCE``: R* difference, returned in all-singleton form (the
+  well-defined information-level difference).
+- ``LET`` binds results; ``INSERT``/``DELETE`` maintain the named
+  relation canonically via the §4 algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.canonical import canonical_form
+from repro.core.nest import nest_sequence, unnest, unnest_fully
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import EvaluationError
+from repro.query import ast
+from repro.query.catalog import Catalog
+from repro.relational.algebra import natural_join
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+
+def evaluate(node: ast.Node, catalog: Catalog) -> NFRelation:
+    """Evaluate an expression or statement; returns the resulting (or
+    affected) relation."""
+    if isinstance(node, ast.Statement):
+        return _execute(node, catalog)
+    if isinstance(node, ast.Expression):
+        return _eval(node, catalog)
+    raise EvaluationError(f"cannot evaluate node {node!r}")
+
+
+# -- statements --------------------------------------------------------------
+
+
+def _execute(node: ast.Statement, catalog: Catalog) -> NFRelation:
+    if isinstance(node, ast.Let):
+        result = _eval(node.expression, catalog)
+        catalog.set(node.name, result)
+        return result
+    if isinstance(node, ast.InsertValues):
+        store = catalog.store_for(node.name)
+        flat = FlatTuple(store.schema, list(node.values))
+        store.insert_flat(flat)
+        return catalog.sync_from_store(node.name)
+    if isinstance(node, ast.DeleteValues):
+        store = catalog.store_for(node.name)
+        flat = FlatTuple(store.schema, list(node.values))
+        store.delete_flat(flat)
+        return catalog.sync_from_store(node.name)
+    raise EvaluationError(f"unknown statement {node!r}")
+
+
+# -- expressions --------------------------------------------------------------
+
+
+def _eval(node: ast.Expression, catalog: Catalog) -> NFRelation:
+    if isinstance(node, ast.Name):
+        return catalog.get(node.name)
+    if isinstance(node, ast.Select):
+        source = _eval(node.source, catalog)
+        predicate = _compile_condition(node.condition, source.schema)
+        return NFRelation(
+            source.schema, (t for t in source if predicate(t))
+        )
+    if isinstance(node, ast.Project):
+        source = _eval(node.source, catalog)
+        sub = source.schema.project(list(node.attributes))
+        return NFRelation(sub, (t.project(sub.names) for t in source))
+    if isinstance(node, ast.Nest):
+        source = _eval(node.source, catalog)
+        source.schema.require(node.attributes)
+        return nest_sequence(source, list(node.attributes))
+    if isinstance(node, ast.Unnest):
+        source = _eval(node.source, catalog)
+        return unnest(source, node.attribute)
+    if isinstance(node, ast.Canonical):
+        source = _eval(node.source, catalog)
+        return canonical_form(source.to_1nf(), list(node.order))
+    if isinstance(node, ast.Flatten):
+        source = _eval(node.source, catalog)
+        return unnest_fully(source)
+    if isinstance(node, ast.Join):
+        return _nf2_join(
+            _eval(node.left, catalog), _eval(node.right, catalog)
+        )
+    if isinstance(node, ast.FlatJoin):
+        left = _eval(node.left, catalog).to_1nf()
+        right = _eval(node.right, catalog).to_1nf()
+        return NFRelation.from_1nf(natural_join(left, right))
+    if isinstance(node, ast.Union):
+        left = _eval(node.left, catalog)
+        right = _eval(node.right, catalog)
+        if left.schema.names != right.schema.names:
+            raise EvaluationError(
+                f"UNION schemas differ: {left.schema.names} vs "
+                f"{right.schema.names}"
+            )
+        return NFRelation(left.schema, left.tuples | right.tuples)
+    if isinstance(node, ast.Difference):
+        left = _eval(node.left, catalog)
+        right = _eval(node.right, catalog)
+        if left.schema.names != right.schema.names:
+            raise EvaluationError(
+                f"DIFFERENCE schemas differ: {left.schema.names} vs "
+                f"{right.schema.names}"
+            )
+        from repro.relational.algebra import difference
+
+        return NFRelation.from_1nf(difference(left.to_1nf(), right.to_1nf()))
+    raise EvaluationError(f"unknown expression {node!r}")
+
+
+def _nf2_join(left: NFRelation, right: NFRelation) -> NFRelation:
+    """Jaeschke-Schek NF2 natural join: combine tuples whose shared
+    components are set-equal; non-shared components pass through."""
+    shared = left.schema.common_names(right.schema)
+    right_only = [n for n in right.schema.names if n not in shared]
+    schema = (
+        left.schema.concat(right.schema.project(right_only))
+        if right_only
+        else left.schema
+    )
+    if not shared:
+        out = []
+        for lt in left:
+            for rt in right:
+                out.append(
+                    NFRTuple(
+                        schema,
+                        list(lt.components)
+                        + [rt[n] for n in right_only],
+                    )
+                )
+        return NFRelation(schema, out)
+
+    buckets: dict[tuple[ValueSet, ...], list[NFRTuple]] = {}
+    for rt in right:
+        buckets.setdefault(tuple(rt[n] for n in shared), []).append(rt)
+    out = []
+    for lt in left:
+        key = tuple(lt[n] for n in shared)
+        for rt in buckets.get(key, ()):
+            out.append(
+                NFRTuple(
+                    schema,
+                    list(lt.components) + [rt[n] for n in right_only],
+                )
+            )
+    return NFRelation(schema, out)
+
+
+# -- conditions --------------------------------------------------------------
+
+
+def _compile_condition(cond: ast.Condition, schema: RelationSchema):
+    if isinstance(cond, ast.And):
+        left = _compile_condition(cond.left, schema)
+        right = _compile_condition(cond.right, schema)
+        return lambda t: left(t) and right(t)
+    if isinstance(cond, ast.Contains):
+        schema.require([cond.attribute])
+        attribute, value = cond.attribute, cond.value
+        return lambda t: value in t[attribute]
+    if isinstance(cond, ast.ComponentEquals):
+        schema.require([cond.attribute])
+        attribute = cond.attribute
+        target = _as_value_set(cond.values)
+        return lambda t: t[attribute] == target
+    if isinstance(cond, ast.SingletonEquals):
+        schema.require([cond.attribute])
+        attribute = cond.attribute
+        target = _as_value_set([cond.value])
+        return lambda t: t[attribute] == target
+    raise EvaluationError(f"unknown condition {cond!r}")
+
+
+def _as_value_set(values: Any) -> ValueSet:
+    return ValueSet(list(values))

@@ -1,0 +1,125 @@
+"""Tokenizer for the NF2 query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "PROJECT",
+        "NEST",
+        "UNNEST",
+        "CANONICAL",
+        "FLATTEN",
+        "JOIN",
+        "FLATJOIN",
+        "UNION",
+        "DIFFERENCE",
+        "WHERE",
+        "BY",
+        "ON",
+        "ORDER",
+        "AND",
+        "CONTAINS",
+        "LET",
+        "INSERT",
+        "DELETE",
+        "INTO",
+        "FROM",
+        "VALUES",
+    }
+)
+
+_SYMBOLS = {"(", ")", "{", "}", ",", "="}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is KEYWORD, IDENT, STRING, NUMBER or a
+    literal symbol character."""
+
+    kind: str
+    value: str | int | float
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`LexError` on bad input.
+
+    Identifiers are ``[A-Za-z_][A-Za-z0-9_]*``; keywords are
+    case-insensitive; strings use single quotes with ``''`` escaping;
+    numbers are ints or simple floats.
+    """
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _SYMBOLS:
+            yield Token(ch, ch, i)
+            i += 1
+            continue
+        if ch == "'":
+            value, i2 = _scan_string(text, i)
+            yield Token("STRING", value, i)
+            i = i2
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            value, i2 = _scan_number(text, i)
+            yield Token("NUMBER", value, i)
+            i = i2
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                yield Token("KEYWORD", word.upper(), i)
+            else:
+                yield Token("IDENT", word, i)
+            i = j
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+
+
+def _scan_string(text: str, start: int) -> tuple[str, int]:
+    i = start + 1
+    out: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", start)
+
+
+def _scan_number(text: str, start: int) -> tuple[int | float, int]:
+    i = start
+    if text[i] == "-":
+        i += 1
+    n = len(text)
+    while i < n and text[i].isdigit():
+        i += 1
+    if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+        return float(text[start:i]), i
+    return int(text[start:i]), i

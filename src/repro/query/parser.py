@@ -1,0 +1,248 @@
+"""Recursive-descent parser for the NF2 query language.
+
+Grammar (keywords case-insensitive)::
+
+    statement  := LET IDENT '=' expr
+                | INSERT INTO IDENT VALUES '(' literals ')'
+                | DELETE FROM IDENT VALUES '(' literals ')'
+                | expr
+
+    expr       := SELECT expr WHERE condition
+                | PROJECT expr ON '(' names ')'
+                | NEST expr BY '(' names ')'
+                | UNNEST expr ON IDENT
+                | CANONICAL expr ORDER '(' names ')'
+                | FLATTEN expr
+                | JOIN expr ',' expr
+                | FLATJOIN expr ',' expr
+                | UNION expr ',' expr
+                | DIFFERENCE expr ',' expr
+                | '(' expr ')'
+                | IDENT
+
+    condition  := atom (AND atom)*
+    atom       := IDENT CONTAINS literal
+                | IDENT '=' '{' literals '}'
+                | IDENT '=' literal
+
+    names      := IDENT (',' IDENT)*
+    literals   := literal (',' literal)*
+    literal    := STRING | NUMBER
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ParseError
+from repro.query import ast
+from repro.query.lexer import Token, tokenize
+
+
+def parse(text: str) -> ast.Node:
+    """Parse one statement or expression."""
+    parser = _Parser(tokenize(text))
+    node = parser.parse_statement()
+    parser.expect_end()
+    return node
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def _at_keyword(self, *words: str) -> bool:
+        tok = self._peek()
+        return tok is not None and tok.kind == "KEYWORD" and tok.value in words
+
+    def _eat_keyword(self, word: str) -> None:
+        tok = self._next()
+        if tok.kind != "KEYWORD" or tok.value != word:
+            raise ParseError(f"expected {word}, got {tok.value!r}", tok.position)
+
+    def _eat_symbol(self, symbol: str) -> None:
+        tok = self._next()
+        if tok.kind != symbol:
+            raise ParseError(
+                f"expected {symbol!r}, got {tok.value!r}", tok.position
+            )
+
+    def _eat_ident(self) -> str:
+        tok = self._next()
+        if tok.kind != "IDENT":
+            raise ParseError(
+                f"expected identifier, got {tok.value!r}", tok.position
+            )
+        return str(tok.value)
+
+    def expect_end(self) -> None:
+        tok = self._peek()
+        if tok is not None:
+            raise ParseError(
+                f"unexpected trailing input {tok.value!r}", tok.position
+            )
+
+    # -- grammar -------------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Node:
+        if self._at_keyword("LET"):
+            self._next()
+            name = self._eat_ident()
+            self._eat_symbol("=")
+            return ast.Let(name, self.parse_expression())
+        if self._at_keyword("INSERT"):
+            self._next()
+            self._eat_keyword("INTO")
+            name = self._eat_ident()
+            self._eat_keyword("VALUES")
+            return ast.InsertValues(name, self._parse_literal_list())
+        if self._at_keyword("DELETE"):
+            self._next()
+            self._eat_keyword("FROM")
+            name = self._eat_ident()
+            self._eat_keyword("VALUES")
+            return ast.DeleteValues(name, self._parse_literal_list())
+        return self.parse_expression()
+
+    def parse_expression(self) -> ast.Expression:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        if tok.kind == "KEYWORD":
+            word = str(tok.value)
+            if word == "SELECT":
+                self._next()
+                source = self.parse_expression()
+                self._eat_keyword("WHERE")
+                return ast.Select(source, self._parse_condition())
+            if word == "PROJECT":
+                self._next()
+                source = self.parse_expression()
+                self._eat_keyword("ON")
+                return ast.Project(source, self._parse_name_list())
+            if word == "NEST":
+                self._next()
+                source = self.parse_expression()
+                self._eat_keyword("BY")
+                return ast.Nest(source, self._parse_name_list())
+            if word == "UNNEST":
+                self._next()
+                source = self.parse_expression()
+                self._eat_keyword("ON")
+                return ast.Unnest(source, self._eat_ident())
+            if word == "CANONICAL":
+                self._next()
+                source = self.parse_expression()
+                self._eat_keyword("ORDER")
+                return ast.Canonical(source, self._parse_name_list())
+            if word == "FLATTEN":
+                self._next()
+                return ast.Flatten(self.parse_expression())
+            if word in ("JOIN", "FLATJOIN", "UNION", "DIFFERENCE"):
+                self._next()
+                left = self.parse_expression()
+                self._eat_symbol(",")
+                right = self.parse_expression()
+                node_type = {
+                    "JOIN": ast.Join,
+                    "FLATJOIN": ast.FlatJoin,
+                    "UNION": ast.Union,
+                    "DIFFERENCE": ast.Difference,
+                }[word]
+                return node_type(left, right)
+            raise ParseError(f"unexpected keyword {word}", tok.position)
+        if tok.kind == "(":
+            self._next()
+            inner = self.parse_expression()
+            self._eat_symbol(")")
+            return inner
+        if tok.kind == "IDENT":
+            self._next()
+            return ast.Name(str(tok.value))
+        raise ParseError(f"unexpected token {tok.value!r}", tok.position)
+
+    # -- conditions -----------------------------------------------------------------
+
+    def _parse_condition(self) -> ast.Condition:
+        cond = self._parse_condition_atom()
+        while self._at_keyword("AND"):
+            self._next()
+            cond = ast.And(cond, self._parse_condition_atom())
+        return cond
+
+    def _parse_condition_atom(self) -> ast.Condition:
+        attribute = self._eat_ident()
+        if self._at_keyword("CONTAINS"):
+            self._next()
+            return ast.Contains(attribute, self._parse_literal())
+        tok = self._next()
+        if tok.kind != "=":
+            raise ParseError(
+                f"expected CONTAINS or '=', got {tok.value!r}", tok.position
+            )
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "{":
+            self._next()
+            values: list[Any] = [self._parse_literal()]
+            while True:
+                tok = self._next()
+                if tok.kind == "}":
+                    break
+                if tok.kind != ",":
+                    raise ParseError(
+                        f"expected ',' or '}}', got {tok.value!r}", tok.position
+                    )
+                values.append(self._parse_literal())
+            return ast.ComponentEquals(attribute, tuple(values))
+        return ast.SingletonEquals(attribute, self._parse_literal())
+
+    # -- shared pieces ----------------------------------------------------------------
+
+    def _parse_name_list(self) -> tuple[str, ...]:
+        self._eat_symbol("(")
+        names = [self._eat_ident()]
+        while True:
+            tok = self._next()
+            if tok.kind == ")":
+                break
+            if tok.kind != ",":
+                raise ParseError(
+                    f"expected ',' or ')', got {tok.value!r}", tok.position
+                )
+            names.append(self._eat_ident())
+        return tuple(names)
+
+    def _parse_literal_list(self) -> tuple[Any, ...]:
+        self._eat_symbol("(")
+        values = [self._parse_literal()]
+        while True:
+            tok = self._next()
+            if tok.kind == ")":
+                break
+            if tok.kind != ",":
+                raise ParseError(
+                    f"expected ',' or ')', got {tok.value!r}", tok.position
+                )
+            values.append(self._parse_literal())
+        return tuple(values)
+
+    def _parse_literal(self) -> Any:
+        tok = self._next()
+        if tok.kind in ("STRING", "NUMBER"):
+            return tok.value
+        raise ParseError(f"expected a literal, got {tok.value!r}", tok.position)

@@ -1,0 +1,16 @@
+"""1NF relational substrate.
+
+The paper defines NFRs as an extension of the classical (Codd) relational
+model "using the notation in [4]" (Ullman's *Principles of Database
+Systems*).  This subpackage is that substrate: typed attributes, schemas,
+immutable flat tuples, set-semantics relations and a complete relational
+algebra.  The NF2 core (:mod:`repro.core`) converts to and from these
+relations; every NFR invariant is ultimately checked against them.
+"""
+
+from repro.relational.attribute import Attribute, Domain
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+__all__ = ["Attribute", "Domain", "RelationSchema", "FlatTuple", "Relation"]

@@ -1,0 +1,227 @@
+"""Classical relational algebra over :class:`~repro.relational.relation.Relation`.
+
+The complete operator set from Ullman [4] (the paper's reference
+notation): selection, projection, renaming, set operations, Cartesian
+product, theta/natural/semi/anti joins, division and grouping helpers.
+These are the 1NF operations the paper's NFRs are designed to subsume —
+Section 5 notes NFRs let users "discard join operations which originate
+from the decomposition".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import AlgebraError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+Predicate = Callable[[FlatTuple], bool]
+JoinCondition = Callable[[FlatTuple, FlatTuple], bool]
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+
+def select(relation: Relation, predicate: Predicate) -> Relation:
+    """σ_predicate(R): tuples satisfying ``predicate``."""
+    return Relation(relation.schema, (t for t in relation if predicate(t)))
+
+
+def project(relation: Relation, names: Sequence[str]) -> Relation:
+    """π_names(R): restrict to ``names`` (duplicates collapse, set semantics)."""
+    schema = relation.schema.project(names)
+    return Relation(schema, (t.project(schema.names) for t in relation))
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """ρ(R): rename attributes per ``mapping`` (old -> new)."""
+    schema = relation.schema.rename(mapping)
+    return Relation(schema, (t.rename(mapping) for t in relation))
+
+
+def reorder(relation: Relation, names: Sequence[str]) -> Relation:
+    """Permute the column order (no information change)."""
+    schema = relation.schema.reorder(names)
+    return Relation(schema, (t.reorder(schema.names) for t in relation))
+
+
+def extend(
+    relation: Relation,
+    name: str,
+    fn: Callable[[FlatTuple], Any],
+) -> Relation:
+    """Add a computed attribute ``name`` = ``fn(tuple)`` to every tuple."""
+    if name in relation.schema:
+        raise AlgebraError(f"attribute {name!r} already exists")
+    schema = relation.schema.concat(RelationSchema([name]))
+    return Relation(
+        schema,
+        (FlatTuple(schema, t.values + (fn(t),)) for t in relation),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Set operators (union-compatible inputs)
+# ---------------------------------------------------------------------------
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """R ∪ S."""
+    left._require_compatible(right)
+    return Relation(left.schema, left.tuples | right.tuples)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """R − S."""
+    left._require_compatible(right)
+    return Relation(left.schema, left.tuples - right.tuples)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """R ∩ S."""
+    left._require_compatible(right)
+    return Relation(left.schema, left.tuples & right.tuples)
+
+
+# ---------------------------------------------------------------------------
+# Product and joins
+# ---------------------------------------------------------------------------
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """R × S (schemas must have disjoint attribute names)."""
+    schema = left.schema.concat(right.schema)
+    return Relation(
+        schema,
+        (lt.concat(rt) for lt in left for rt in right),
+    )
+
+
+def theta_join(
+    left: Relation, right: Relation, condition: JoinCondition
+) -> Relation:
+    """R ⋈_θ S: product filtered by an arbitrary two-tuple condition."""
+    schema = left.schema.concat(right.schema)
+    return Relation(
+        schema,
+        (
+            lt.concat(rt)
+            for lt in left
+            for rt in right
+            if condition(lt, rt)
+        ),
+    )
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """R ⋈ S on all shared attribute names (hash join on the shared key)."""
+    shared = left.schema.common_names(right.schema)
+    if not shared:
+        return product(left, right)
+    right_only = [n for n in right.schema.names if n not in shared]
+    out_schema = (
+        left.schema.concat(right.schema.project(right_only))
+        if right_only
+        else left.schema
+    )
+
+    buckets: dict[tuple, list[FlatTuple]] = {}
+    for rt in right:
+        buckets.setdefault(tuple(rt[n] for n in shared), []).append(rt)
+
+    out: list[FlatTuple] = []
+    for lt in left:
+        key = tuple(lt[n] for n in shared)
+        for rt in buckets.get(key, ()):
+            values = lt.values + tuple(rt[n] for n in right_only)
+            out.append(FlatTuple(out_schema, values))
+    return Relation(out_schema, out)
+
+
+def semi_join(left: Relation, right: Relation) -> Relation:
+    """R ⋉ S: tuples of R with a natural-join partner in S."""
+    shared = left.schema.common_names(right.schema)
+    if not shared:
+        return left if len(right) else Relation(left.schema)
+    keys = {tuple(rt[n] for n in shared) for rt in right}
+    return Relation(
+        left.schema,
+        (t for t in left if tuple(t[n] for n in shared) in keys),
+    )
+
+
+def anti_join(left: Relation, right: Relation) -> Relation:
+    """R ▷ S: tuples of R with no natural-join partner in S."""
+    shared = left.schema.common_names(right.schema)
+    if not shared:
+        return Relation(left.schema) if len(right) else left
+    keys = {tuple(rt[n] for n in shared) for rt in right}
+    return Relation(
+        left.schema,
+        (t for t in left if tuple(t[n] for n in shared) not in keys),
+    )
+
+
+def division(dividend: Relation, divisor: Relation) -> Relation:
+    """R ÷ S: the largest T over (attrs(R) − attrs(S)) with T × S ⊆ R."""
+    divisor_names = divisor.schema.names
+    for n in divisor_names:
+        if n not in dividend.schema:
+            raise AlgebraError(
+                f"division: divisor attribute {n!r} missing from dividend"
+            )
+    quotient_names = [n for n in dividend.schema.names if n not in divisor_names]
+    if not quotient_names:
+        raise AlgebraError("division: dividend adds no attributes over divisor")
+    if not len(divisor):
+        return project(dividend, quotient_names)
+
+    groups: dict[tuple, set[tuple]] = {}
+    for t in dividend:
+        q = tuple(t[n] for n in quotient_names)
+        d = tuple(t[n] for n in divisor_names)
+        groups.setdefault(q, set()).add(d)
+    needed = {tuple(t[n] for n in divisor_names) for t in divisor}
+    schema = dividend.schema.project(quotient_names)
+    return Relation(
+        schema,
+        (FlatTuple(schema, q) for q, have in groups.items() if needed <= have),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Grouping helpers (used by nest and by the workload generators)
+# ---------------------------------------------------------------------------
+
+
+def group_by(
+    relation: Relation, names: Sequence[str]
+) -> dict[tuple, frozenset[FlatTuple]]:
+    """Partition tuples by their values on ``names``.
+
+    Returns a mapping from the key tuple (values in the order of ``names``)
+    to the group of full tuples.
+    """
+    relation.schema.require(names)
+    groups: dict[tuple, set[FlatTuple]] = {}
+    for t in relation:
+        groups.setdefault(tuple(t[n] for n in names), set()).add(t)
+    return {k: frozenset(v) for k, v in groups.items()}
+
+
+def aggregate(
+    relation: Relation,
+    keys: Sequence[str],
+    name: str,
+    fn: Callable[[Iterable[FlatTuple]], Any],
+) -> Relation:
+    """γ: group by ``keys`` and compute one aggregate column ``name``."""
+    schema = relation.schema.project(keys).concat(RelationSchema([name]))
+    rows = [
+        key + (fn(group),) for key, group in group_by(relation, keys).items()
+    ]
+    return Relation(schema, (FlatTuple(schema, row) for row in rows))

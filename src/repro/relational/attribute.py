@@ -1,0 +1,122 @@
+"""Attributes and simple domains.
+
+The paper restricts itself to NFRs "defined on simple domains" (Section 2):
+domains are sets of *atomic* elements — no nested sets, lists or relations
+inside a domain value.  :class:`Domain` captures that notion with an
+optional type constraint and an optional finite universe;
+:class:`Attribute` pairs a name with its domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet
+
+from repro.errors import DomainError
+
+#: Python types accepted as atomic values.  ``bool`` is included because it
+#: is hashable and atomic; nested containers are rejected.  Extended at
+#: import time by :func:`register_atomic_type` (e.g. for the power-set
+#: :class:`~repro.relational.setvalue.SetValue`).
+_ATOMIC_TYPES: tuple[type, ...] = (str, int, float, bool, type(None))
+
+
+def register_atomic_type(new_type: type) -> None:
+    """Admit ``new_type`` as an atomic value type.
+
+    Used by :mod:`repro.relational.setvalue` to let whole sets act as
+    single domain elements (the paper's power-set domains, §2).  The
+    type must be hashable and immutable.
+    """
+    global _ATOMIC_TYPES
+    if new_type not in _ATOMIC_TYPES:
+        _ATOMIC_TYPES = _ATOMIC_TYPES + (new_type,)
+
+
+def is_atomic(value: Any) -> bool:
+    """Return True when ``value`` is an atomic (simple-domain) element."""
+    return isinstance(value, _ATOMIC_TYPES)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A simple domain: a (possibly unbounded) set of atomic elements.
+
+    Parameters
+    ----------
+    name:
+        Human-readable domain name (e.g. ``"Course"``).
+    base_type:
+        Optional Python type every element must be an instance of.
+    universe:
+        Optional finite universe.  When given, membership is checked
+        against it exactly; when omitted the domain is open.
+    """
+
+    name: str
+    base_type: type | None = None
+    universe: FrozenSet[Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.universe is not None:
+            object.__setattr__(self, "universe", frozenset(self.universe))
+            for element in self.universe:  # type: ignore[union-attr]
+                if not is_atomic(element):
+                    raise DomainError(
+                        f"domain {self.name!r} universe contains non-atomic "
+                        f"element {element!r}"
+                    )
+
+    def contains(self, value: Any) -> bool:
+        """Membership test for a candidate value."""
+        if not is_atomic(value):
+            return False
+        if self.base_type is not None and not isinstance(value, self.base_type):
+            return False
+        if self.universe is not None and value not in self.universe:
+            return False
+        return True
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` if it belongs to the domain, else raise."""
+        if not self.contains(value):
+            raise DomainError(f"value {value!r} is not in domain {self.name!r}")
+        return value
+
+    @property
+    def is_finite(self) -> bool:
+        return self.universe is not None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: An unconstrained domain accepting any atomic value.  Used as the default
+#: so callers can build relations quickly without declaring domains.
+ANY = Domain("Any")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named column with a simple domain."""
+
+    name: str
+    domain: Domain = ANY
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise DomainError(f"attribute name must be a non-empty string, got {self.name!r}")
+
+    def validate(self, value: Any) -> Any:
+        """Validate ``value`` against this attribute's domain."""
+        try:
+            return self.domain.validate(value)
+        except DomainError as exc:
+            raise DomainError(f"attribute {self.name!r}: {exc}") from exc
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute under a different name."""
+        return Attribute(new_name, self.domain)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

@@ -1,0 +1,75 @@
+"""Round-tripping relations through plain-text and record formats.
+
+Used by the examples and benchmark harnesses to load fixture data and to
+emit results in a form that can be diffed against the paper's figures.
+The text format is deliberately simple: one header line of attribute
+names, then one line per tuple with ``|``-separated cells.  Values are
+parsed back as int, then float, then left as strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def to_records(relation: Relation) -> list[dict[str, Any]]:
+    """Relation -> list of attribute->value dicts (deterministic order)."""
+    return [t.as_mapping() for t in relation.sorted_tuples()]
+
+
+def from_records(
+    schema: RelationSchema | list[str], records: Iterable[Mapping[str, Any]]
+) -> Relation:
+    """Inverse of :func:`to_records`."""
+    return Relation.from_records(schema, records)
+
+
+def dumps(relation: Relation) -> str:
+    """Serialize a relation to the pipe-separated text format."""
+    lines = ["|".join(relation.schema.names)]
+    for t in relation.sorted_tuples():
+        cells = []
+        for v in t.values:
+            cell = "" if v is None else str(v)
+            if "|" in cell or "\n" in cell:
+                raise SchemaError(
+                    f"value {cell!r} cannot be serialized in pipe format"
+                )
+            cells.append(cell)
+        lines.append("|".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Relation:
+    """Parse the pipe-separated text format back into a relation."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise SchemaError("empty relation text")
+    schema = RelationSchema(lines[0].split("|"))
+    rows = []
+    for ln in lines[1:]:
+        cells = ln.split("|")
+        if len(cells) != schema.degree:
+            raise SchemaError(
+                f"row {ln!r} has {len(cells)} cells, schema has {schema.degree}"
+            )
+        rows.append([_parse_cell(c) for c in cells])
+    return Relation.from_rows(schema, rows)
+
+
+def _parse_cell(cell: str) -> Any:
+    if cell == "":
+        return None
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        pass
+    return cell

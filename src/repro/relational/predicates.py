@@ -1,0 +1,76 @@
+"""Predicate combinators for selection.
+
+Selections take any ``FlatTuple -> bool`` callable; these helpers build the
+common comparisons declaratively so examples and the query evaluator do not
+need lambdas everywhere::
+
+    select(r, where(eq("Student", "s1"), gt("Year", 1980)))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Container
+
+from repro.relational.tuples import FlatTuple
+
+Predicate = Callable[[FlatTuple], bool]
+
+
+def eq(attribute: str, value: Any) -> Predicate:
+    """``t[attribute] == value``"""
+    return lambda t: t[attribute] == value
+
+
+def ne(attribute: str, value: Any) -> Predicate:
+    """``t[attribute] != value``"""
+    return lambda t: t[attribute] != value
+
+
+def lt(attribute: str, value: Any) -> Predicate:
+    """``t[attribute] < value``"""
+    return lambda t: t[attribute] < value
+
+
+def le(attribute: str, value: Any) -> Predicate:
+    """``t[attribute] <= value``"""
+    return lambda t: t[attribute] <= value
+
+
+def gt(attribute: str, value: Any) -> Predicate:
+    """``t[attribute] > value``"""
+    return lambda t: t[attribute] > value
+
+
+def ge(attribute: str, value: Any) -> Predicate:
+    """``t[attribute] >= value``"""
+    return lambda t: t[attribute] >= value
+
+
+def isin(attribute: str, values: Container[Any]) -> Predicate:
+    """``t[attribute] in values``"""
+    return lambda t: t[attribute] in values
+
+
+def attr_eq(left: str, right: str) -> Predicate:
+    """``t[left] == t[right]`` (attribute-to-attribute comparison)."""
+    return lambda t: t[left] == t[right]
+
+
+def where(*predicates: Predicate) -> Predicate:
+    """Conjunction of predicates (empty conjunction is True)."""
+    return lambda t: all(p(t) for p in predicates)
+
+
+def any_of(*predicates: Predicate) -> Predicate:
+    """Disjunction of predicates (empty disjunction is False)."""
+    return lambda t: any(p(t) for p in predicates)
+
+
+def negate(predicate: Predicate) -> Predicate:
+    """Logical negation."""
+    return lambda t: not predicate(t)
+
+
+def always() -> Predicate:
+    """Predicate accepting every tuple."""
+    return lambda t: True

@@ -1,0 +1,168 @@
+"""1NF relations: a schema plus a set of flat tuples.
+
+Set semantics throughout — "Of course R* has no duplicate tuple" (Section
+3.2).  Relations are immutable; algebra operations in
+:mod:`repro.relational.algebra` return new relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import AlgebraError, SchemaError
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+from repro.util.ordering import sort_key
+from repro.util.text import format_table
+
+
+class Relation:
+    """An immutable 1NF relation (schema + frozenset of :class:`FlatTuple`)."""
+
+    __slots__ = ("_schema", "_tuples", "_hash")
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[FlatTuple] = ()):
+        self._schema = schema
+        tups = frozenset(tuples)
+        for t in tups:
+            if t.schema.names != schema.names:
+                raise SchemaError(
+                    f"tuple schema {t.schema.names} does not match relation "
+                    f"schema {schema.names}"
+                )
+        self._tuples: frozenset[FlatTuple] = tups
+        self._hash = hash((schema.names, self._tuples))
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: RelationSchema | Sequence[str],
+        rows: Iterable[Sequence[Any]],
+    ) -> "Relation":
+        """Build a relation from positional value rows.
+
+        >>> r = Relation.from_rows(["A", "B"], [("a1", "b1"), ("a2", "b1")])
+        >>> len(r)
+        2
+        """
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        return cls(schema, (FlatTuple(schema, row) for row in rows))
+
+    @classmethod
+    def from_records(
+        cls,
+        schema: RelationSchema | Sequence[str],
+        records: Iterable[Mapping[str, Any]],
+    ) -> "Relation":
+        """Build a relation from attribute-name -> value mappings."""
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        return cls(schema, (FlatTuple.from_mapping(schema, r) for r in records))
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def tuples(self) -> frozenset[FlatTuple]:
+        return self._tuples
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._tuples)
+
+    @property
+    def degree(self) -> int:
+        return self._schema.degree
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[FlatTuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._tuples
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def sorted_tuples(self) -> list[FlatTuple]:
+        """Tuples in the deterministic library-wide order (for rendering)."""
+        return sorted(
+            self._tuples, key=lambda t: tuple(sort_key(v) for v in t.values)
+        )
+
+    def column(self, name: str) -> frozenset[Any]:
+        """The active domain of one attribute (distinct values appearing)."""
+        return frozenset(t[name] for t in self._tuples)
+
+    def active_domains(self) -> dict[str, frozenset[Any]]:
+        """Active domain of every attribute."""
+        return {n: self.column(n) for n in self._schema.names}
+
+    # -- simple derivations ------------------------------------------------------
+
+    def with_tuple(self, t: FlatTuple) -> "Relation":
+        """Relation with ``t`` added (no-op if already present)."""
+        return Relation(self._schema, self._tuples | {t})
+
+    def without_tuple(self, t: FlatTuple) -> "Relation":
+        """Relation with ``t`` removed (no-op if absent)."""
+        return Relation(self._schema, self._tuples - {t})
+
+    def filter(self, predicate: Callable[[FlatTuple], bool]) -> "Relation":
+        return Relation(self._schema, (t for t in self._tuples if predicate(t)))
+
+    def map_rows(self, fn: Callable[[FlatTuple], FlatTuple]) -> "Relation":
+        """Apply ``fn`` to every tuple; all results must share a schema."""
+        out = [fn(t) for t in self._tuples]
+        if not out:
+            return Relation(self._schema)
+        schema = out[0].schema
+        return Relation(schema, out)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self._schema.names == other._schema.names
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def is_subset_of(self, other: "Relation") -> bool:
+        self._require_compatible(other)
+        return self._tuples <= other._tuples
+
+    def _require_compatible(self, other: "Relation") -> None:
+        if self._schema.names != other._schema.names:
+            raise AlgebraError(
+                f"union-incompatible schemas {self._schema.names} vs "
+                f"{other._schema.names}"
+            )
+
+    # -- rendering ----------------------------------------------------------------
+
+    def to_table(self, title: str | None = None) -> str:
+        """ASCII rendering in the paper's boxed style."""
+        return format_table(
+            self._schema.names,
+            (t.values for t in self.sorted_tuples()),
+            title=title,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation(schema={list(self._schema.names)!r}, "
+            f"cardinality={len(self._tuples)})"
+        )

@@ -1,0 +1,169 @@
+"""Relation schemas: ordered sequences of distinct attributes."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.relational.attribute import ANY, Attribute, Domain
+
+
+class RelationSchema:
+    """An ordered list of distinctly named attributes.
+
+    Attribute order matters for rendering and for the paper's permutation
+    machinery (Definition 5 enumerates the ``n!`` canonical forms by
+    attribute permutations), but two schemas with the same attributes in a
+    different order describe the same *set* of columns; use
+    :meth:`same_attributes` for order-insensitive comparison.
+
+    Schemas may be built from :class:`Attribute` objects or from bare
+    strings (which get the unconstrained ``Any`` domain)::
+
+        >>> RelationSchema(["Student", "Course"]).names
+        ('Student', 'Course')
+    """
+
+    __slots__ = ("_attributes", "_by_name", "_hash")
+
+    def __init__(self, attributes: Iterable[Attribute | str]):
+        attrs: list[Attribute] = []
+        for a in attributes:
+            if isinstance(a, Attribute):
+                attrs.append(a)
+            elif isinstance(a, str):
+                attrs.append(Attribute(a, ANY))
+            else:
+                raise SchemaError(f"expected Attribute or str, got {a!r}")
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        by_name = {a.name: a for a in attrs}
+        if len(by_name) != len(attrs):
+            seen: set[str] = set()
+            dupes = sorted({a.name for a in attrs if a.name in seen or seen.add(a.name)})
+            raise SchemaError(f"duplicate attribute names: {', '.join(dupes)}")
+        self._attributes: tuple[Attribute, ...] = tuple(attrs)
+        self._by_name: dict[str, Attribute] = by_name
+        self._hash = hash(self._attributes)
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def degree(self) -> int:
+        """Number of attributes — the paper's ``n``."""
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self.names) from None
+
+    def domain_of(self, name: str) -> Domain:
+        return self.attribute(name).domain
+
+    def index_of(self, name: str) -> int:
+        self.attribute(name)  # raise uniformly on unknown names
+        return self.names.index(name)
+
+    def require(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Validate that every name exists; return them as a tuple."""
+        out = tuple(names)
+        for n in out:
+            self.attribute(n)
+        return out
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def same_attributes(self, other: "RelationSchema") -> bool:
+        """Order-insensitive schema equality (same name->domain mapping)."""
+        return self._by_name == other._by_name
+
+    # -- derivation ----------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "RelationSchema":
+        """Schema restricted to ``names`` in the *given* order."""
+        picked = self.require(names)
+        if len(set(picked)) != len(picked):
+            raise SchemaError(f"projection names repeat: {picked}")
+        return RelationSchema([self.attribute(n) for n in picked])
+
+    def drop(self, names: Iterable[str]) -> "RelationSchema":
+        """Schema without ``names`` (original order kept)."""
+        dropped = set(self.require(names))
+        remaining = [a for a in self._attributes if a.name not in dropped]
+        if not remaining:
+            raise SchemaError("cannot drop every attribute of a schema")
+        return RelationSchema(remaining)
+
+    def rename(self, mapping: Mapping[str, str]) -> "RelationSchema":
+        """Schema with attributes renamed per ``mapping`` (old -> new)."""
+        self.require(mapping.keys())
+        return RelationSchema(
+            [a.renamed(mapping.get(a.name, a.name)) for a in self._attributes]
+        )
+
+    def reorder(self, names: Sequence[str]) -> "RelationSchema":
+        """Same attributes, permuted into the order of ``names``."""
+        picked = self.require(names)
+        if sorted(picked) != sorted(self.names):
+            raise SchemaError(
+                f"reorder needs a permutation of {self.names}, got {tuple(names)}"
+            )
+        return RelationSchema([self.attribute(n) for n in picked])
+
+    def concat(self, other: "RelationSchema") -> "RelationSchema":
+        """Concatenate two schemas with disjoint attribute names."""
+        overlap = set(self.names) & set(other.names)
+        if overlap:
+            raise SchemaError(f"schemas share attributes: {sorted(overlap)}")
+        return RelationSchema(list(self._attributes) + list(other._attributes))
+
+    def common_names(self, other: "RelationSchema") -> tuple[str, ...]:
+        """Names present in both schemas, in this schema's order."""
+        other_names = set(other.names)
+        return tuple(n for n in self.names if n in other_names)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_values(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Check a value sequence against the schema, positionally."""
+        if len(values) != self.degree:
+            raise SchemaError(
+                f"expected {self.degree} values for schema {self.names}, "
+                f"got {len(values)}"
+            )
+        return tuple(
+            attr.validate(v) for attr, v in zip(self._attributes, values)
+        )
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({list(self.names)!r})"
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(self.names) + ")"

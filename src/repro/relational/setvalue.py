@@ -1,0 +1,95 @@
+"""Atomic set values — the paper's power-set domains (§2).
+
+Section 2 contrasts two kinds of "compoundness":
+
+- ``SC[Student, Course]`` holding ``(a, {c1, c2})`` *means* the two flat
+  tuples ``(a, c1)`` and ``(a, c2)`` — "the {c1, c2} has no special
+  meaning".  That is the NFR semantics of :mod:`repro.core`.
+- ``CP[Course, Prerequisite]`` holding ``(co, {c1, c2})`` means the
+  prerequisite *set as a whole*: "As Prerequisite is defined on power
+  set of Course, we can not split those tuples like above.  Moreover, we
+  may have ``(co, {{c1, c2}, {c1, c3}})``."
+
+:class:`SetValue` models the second kind: a frozen set wrapped as ONE
+atomic value.  It participates in 1NF relations and NFR components like
+any other atom — composition and decomposition treat it as indivisible,
+and nesting a ``SetValue``-valued attribute produces sets *of* sets
+(exactly the paper's ``{{c1, c2}, {c1, c3}}``).  Members may themselves
+be :class:`SetValue`, giving arbitrary finite power-set towers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import DomainError
+from repro.relational.attribute import is_atomic, register_atomic_type
+from repro.util.ordering import sort_key
+
+
+class SetValue:
+    """An immutable set treated as a single atomic value."""
+
+    __slots__ = ("_members", "_hash")
+
+    def __init__(self, members: Iterable[Any]):
+        items = list(members)
+        for m in items:
+            if not is_atomic(m):
+                raise DomainError(
+                    f"SetValue member {m!r} is not atomic; wrap nested "
+                    f"sets in SetValue"
+                )
+        self._members = frozenset(items)
+        self._hash = hash(("SetValue", self._members))
+
+    @property
+    def members(self) -> frozenset:
+        return self._members
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._members
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SetValue):
+            return self._members == other._members
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "SetValue") -> bool:
+        """Deterministic ordering (for table rendering)."""
+        if not isinstance(other, SetValue):
+            return NotImplemented
+        return self._sorted_key() < other._sorted_key()
+
+    def _sorted_key(self) -> tuple:
+        return tuple(
+            sort_key(m) if not isinstance(m, SetValue) else (9, "SetValue", repr(m))
+            for m in self.sorted_members()
+        )
+
+    def sorted_members(self) -> list:
+        inner, nested = [], []
+        for m in self._members:
+            (nested if isinstance(m, SetValue) else inner).append(m)
+        from repro.util.ordering import sorted_values
+
+        return sorted_values(inner) + sorted(nested, key=repr)
+
+    def __repr__(self) -> str:
+        return f"SetValue({self.sorted_members()!r})"
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(m) for m in self.sorted_members()) + "}"
+
+
+# SetValue participates anywhere an atomic value can appear.
+register_atomic_type(SetValue)

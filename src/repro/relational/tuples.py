@@ -1,0 +1,122 @@
+"""Immutable flat (1NF) tuples.
+
+A :class:`FlatTuple` is the classical n-tuple ``(e1, ..., en)`` over simple
+domains — what the paper denotes ``[D1(e1) ... Dn(en)]`` with singleton
+components.  Values are stored positionally against a schema; tuples are
+hashable so relations can be sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import RelationSchema
+
+
+class FlatTuple:
+    """An immutable tuple of atomic values over a schema."""
+
+    __slots__ = ("_schema", "_values", "_hash")
+
+    def __init__(self, schema: RelationSchema, values: Sequence[Any]):
+        self._schema = schema
+        self._values: tuple[Any, ...] = schema.validate_values(values)
+        self._hash = hash((schema.names, self._values))
+
+    @classmethod
+    def from_mapping(
+        cls, schema: RelationSchema, mapping: Mapping[str, Any]
+    ) -> "FlatTuple":
+        """Build a tuple from an attribute-name -> value mapping."""
+        missing = [n for n in schema.names if n not in mapping]
+        if missing:
+            raise SchemaError(f"mapping missing attributes: {missing}")
+        extra = [n for n in mapping if n not in schema]
+        if extra:
+            raise SchemaError(f"mapping has unknown attributes: {sorted(extra)}")
+        return cls(schema, [mapping[n] for n in schema.names])
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    def __getitem__(self, name: str) -> Any:
+        return self._values[self._schema.index_of(name)]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if name in self._schema:
+            return self[name]
+        return default
+
+    def as_mapping(self) -> dict[str, Any]:
+        return dict(zip(self._schema.names, self._values))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- derivation -------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "FlatTuple":
+        sub = self._schema.project(names)
+        return FlatTuple(sub, [self[n] for n in sub.names])
+
+    def drop(self, names: Sequence[str]) -> "FlatTuple":
+        sub = self._schema.drop(names)
+        return FlatTuple(sub, [self[n] for n in sub.names])
+
+    def rename(self, mapping: Mapping[str, str]) -> "FlatTuple":
+        return FlatTuple(self._schema.rename(mapping), self._values)
+
+    def reorder(self, names: Sequence[str]) -> "FlatTuple":
+        sub = self._schema.reorder(names)
+        return FlatTuple(sub, [self[n] for n in sub.names])
+
+    def concat(self, other: "FlatTuple") -> "FlatTuple":
+        schema = self._schema.concat(other._schema)
+        return FlatTuple(schema, self._values + other._values)
+
+    def with_value(self, name: str, value: Any) -> "FlatTuple":
+        """Return a copy with one component replaced."""
+        idx = self._schema.index_of(name)
+        vals = list(self._values)
+        vals[idx] = value
+        return FlatTuple(self._schema, vals)
+
+    def matches(self, other: "FlatTuple", names: Sequence[str]) -> bool:
+        """True when both tuples agree on every attribute in ``names``."""
+        return all(self[n] == other[n] for n in names)
+
+    # -- comparisons ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlatTuple):
+            return NotImplemented
+        return (
+            self._schema.names == other._schema.names
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = " ".join(
+            f"{n}({v!r})" for n, v in zip(self._schema.names, self._values)
+        )
+        return f"[{inner}]"
+
+    def __str__(self) -> str:
+        inner = " ".join(
+            f"{n}({v})" for n, v in zip(self._schema.names, self._values)
+        )
+        return f"[{inner}]"

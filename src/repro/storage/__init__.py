@@ -1,0 +1,19 @@
+"""Realization-view storage substrate.
+
+Section 2 of the paper claims NFRs pay off "not only as user view but
+also as internal view": "the reduction of the number of tuples will
+contribute to the reduction of logical search space.  We call this level
+of view as realization view."
+
+This subpackage is an instrumented in-memory storage engine that makes
+the claim measurable: relations (1NF or NFR) are serialized into slotted
+pages in a heap file whose page reads and record visits are counted, and
+an optional inverted atom index accelerates point lookups.  Benchmarks
+compare the same logical queries against 1NF storage and NFR storage.
+"""
+
+from repro.storage.engine import NFRStore, ScanStats
+from repro.storage.heap import HeapFile
+from repro.storage.pages import Page, PAGE_SIZE
+
+__all__ = ["NFRStore", "ScanStats", "HeapFile", "Page", "PAGE_SIZE"]

@@ -1,0 +1,123 @@
+"""Binary record encoding for flat and NFR tuples.
+
+Records are length-prefixed UTF-8 with a tiny tag system — a realistic
+(if simple) physical layout so page occupancy and record sizes reflect
+actual data volume, not Python object overhead.
+
+Layout::
+
+    record      := component*
+    component   := u16 value_count, value*
+    value       := u8 type_tag, u32 byte_length, payload
+
+Type tags: 0 = str (utf-8), 1 = int (signed 8-byte), 2 = float (repr),
+3 = None, 4 = bool.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import StorageError
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+_TAG_STR = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_NONE = 3
+_TAG_BOOL = 4
+
+
+def _encode_value(value: Any) -> bytes:
+    if value is None:
+        return struct.pack(">BI", _TAG_NONE, 0)
+    if isinstance(value, bool):
+        payload = b"\x01" if value else b"\x00"
+        return struct.pack(">BI", _TAG_BOOL, 1) + payload
+    if isinstance(value, int):
+        payload = struct.pack(">q", value)
+        return struct.pack(">BI", _TAG_INT, len(payload)) + payload
+    if isinstance(value, float):
+        payload = repr(value).encode()
+        return struct.pack(">BI", _TAG_FLOAT, len(payload)) + payload
+    if isinstance(value, str):
+        payload = value.encode()
+        return struct.pack(">BI", _TAG_STR, len(payload)) + payload
+    raise StorageError(f"cannot encode value {value!r}")
+
+
+def _decode_value(data: bytes, offset: int) -> tuple[Any, int]:
+    tag, length = struct.unpack_from(">BI", data, offset)
+    offset += 5
+    payload = data[offset : offset + length]
+    offset += length
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_BOOL:
+        return payload == b"\x01", offset
+    if tag == _TAG_INT:
+        return struct.unpack(">q", payload)[0], offset
+    if tag == _TAG_FLOAT:
+        return float(payload.decode()), offset
+    if tag == _TAG_STR:
+        return payload.decode(), offset
+    raise StorageError(f"unknown type tag {tag}")
+
+
+def encode_components(components: Sequence[Sequence[Any]]) -> bytes:
+    """Encode a sequence of value collections (one per attribute)."""
+    out = bytearray()
+    for comp in components:
+        values = list(comp)
+        if len(values) > 0xFFFF:
+            raise StorageError("component too large to encode")
+        out += struct.pack(">H", len(values))
+        for v in values:
+            out += _encode_value(v)
+    return bytes(out)
+
+
+def decode_components(data: bytes, degree: int) -> list[list[Any]]:
+    """Inverse of :func:`encode_components`."""
+    offset = 0
+    components: list[list[Any]] = []
+    for _ in range(degree):
+        (count,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        values = []
+        for _ in range(count):
+            v, offset = _decode_value(data, offset)
+            values.append(v)
+        components.append(values)
+    if offset != len(data):
+        raise StorageError(
+            f"trailing bytes in record ({len(data) - offset} unread)"
+        )
+    return components
+
+
+def encode_nfr_tuple(t: NFRTuple) -> bytes:
+    """Serialize an NFR tuple (components in schema order, sorted)."""
+    return encode_components([c.sorted() for c in t.components])
+
+
+def decode_nfr_tuple(data: bytes, schema: RelationSchema) -> NFRTuple:
+    comps = decode_components(data, schema.degree)
+    return NFRTuple(schema, [ValueSet(c) for c in comps])
+
+
+def encode_flat_tuple(t: FlatTuple) -> bytes:
+    """Serialize a flat tuple as single-value components."""
+    return encode_components([[v] for v in t.values])
+
+
+def decode_flat_tuple(data: bytes, schema: RelationSchema) -> FlatTuple:
+    comps = decode_components(data, schema.degree)
+    for c in comps:
+        if len(c) != 1:
+            raise StorageError("flat record has a multi-valued component")
+    return FlatTuple(schema, [c[0] for c in comps])

@@ -1,0 +1,198 @@
+"""NFRStore: the instrumented realization-view engine.
+
+Stores a relation in either representation —
+
+- ``mode="1nf"``: one record per flat tuple of R*;
+- ``mode="nfr"``: one record per NFR tuple (of a supplied NFR, e.g. a
+  canonical form);
+
+and answers the same logical queries against both, with page-read /
+record-visit accounting.  This is the measurable version of §2's claim
+that NFRs shrink the *logical search space* at the physical level.
+
+Queries:
+
+- :meth:`lookup` — all flat tuples matching ``attribute = value``
+  conjunctions (scan or index strategy);
+- :meth:`contains` — point membership of one flat tuple;
+- :meth:`scan_stats` / ``heap.stats`` expose the accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.errors import StorageError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+from repro.storage.encoding import (
+    decode_flat_tuple,
+    decode_nfr_tuple,
+    encode_flat_tuple,
+    encode_nfr_tuple,
+)
+from repro.storage.heap import HeapFile, RecordId
+from repro.storage.index import AtomIndex
+
+
+@dataclass(frozen=True)
+class ScanStats:
+    """I/O accounting snapshot for one query."""
+
+    page_reads: int
+    records_visited: int
+    flats_produced: int
+    index_lookups: int
+
+
+class NFRStore:
+    """A stored relation (1NF or NFR representation) with I/O counting."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        mode: str,
+        indexed: bool = True,
+    ):
+        if mode not in ("1nf", "nfr"):
+            raise StorageError(f"mode must be '1nf' or 'nfr', got {mode!r}")
+        self.schema = schema
+        self.mode = mode
+        self.heap = HeapFile()
+        self.index: AtomIndex | None = (
+            AtomIndex(schema.names) if indexed else None
+        )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_relation(cls, relation: Relation, indexed: bool = True) -> "NFRStore":
+        """Store a 1NF relation flat (one record per tuple)."""
+        store = cls(relation.schema, "1nf", indexed=indexed)
+        for t in relation.sorted_tuples():
+            store._insert_flat_record(t)
+        store.heap.stats.reset()
+        return store
+
+    @classmethod
+    def from_nfr(cls, relation: NFRelation, indexed: bool = True) -> "NFRStore":
+        """Store an NFR (one record per NFR tuple)."""
+        store = cls(relation.schema, "nfr", indexed=indexed)
+        for t in relation.sorted_tuples():
+            store._insert_nfr_record(t)
+        store.heap.stats.reset()
+        return store
+
+    # -- ingestion ----------------------------------------------------------------
+
+    def _insert_flat_record(self, t: FlatTuple) -> RecordId:
+        rid = self.heap.insert(encode_flat_tuple(t))
+        if self.index is not None:
+            for name in self.schema.names:
+                self.index.add(name, t[name], rid)
+        return rid
+
+    def _insert_nfr_record(self, t: NFRTuple) -> RecordId:
+        rid = self.heap.insert(encode_nfr_tuple(t))
+        if self.index is not None:
+            for name in self.schema.names:
+                self.index.add_component(name, t[name], rid)
+        return rid
+
+    # -- decoding --------------------------------------------------------------
+
+    def _decode(self, record: bytes) -> NFRTuple | FlatTuple:
+        if self.mode == "nfr":
+            return decode_nfr_tuple(record, self.schema)
+        return decode_flat_tuple(record, self.schema)
+
+    def _record_flats(self, record: bytes) -> Iterator[FlatTuple]:
+        decoded = self._decode(record)
+        if isinstance(decoded, NFRTuple):
+            yield from decoded.flats()
+        else:
+            yield decoded
+
+    def _record_matches(
+        self, record: bytes, conditions: Sequence[tuple[str, Any]]
+    ) -> bool:
+        decoded = self._decode(record)
+        if isinstance(decoded, NFRTuple):
+            return all(v in decoded[a] for a, v in conditions)
+        return all(decoded[a] == v for a, v in conditions)
+
+    # -- queries -----------------------------------------------------------------
+
+    def lookup(
+        self,
+        conditions: Sequence[tuple[str, Any]],
+        use_index: bool | None = None,
+    ) -> tuple[list[FlatTuple], ScanStats]:
+        """All flat tuples of R* satisfying every ``attribute = value``
+        condition; returns (results, per-query stats).
+
+        ``use_index`` defaults to True when an index exists.
+        """
+        for a, _ in conditions:
+            self.schema.require([a])
+        if use_index is None:
+            use_index = self.index is not None
+        if use_index and self.index is None:
+            raise StorageError("store was built without an index")
+
+        before = (
+            self.heap.stats.page_reads,
+            self.heap.stats.records_visited,
+            self.index.lookups if self.index else 0,
+        )
+        results: list[FlatTuple] = []
+        if use_index and conditions:
+            rids = sorted(self.index.lookup_all(conditions))  # type: ignore[union-attr]
+            for record in self.heap.read_many(list(rids)):
+                if self._record_matches(record, conditions):
+                    for flat in self._record_flats(record):
+                        if all(flat[a] == v for a, v in conditions):
+                            results.append(flat)
+        else:
+            for _, record in self.heap.scan():
+                if self._record_matches(record, conditions):
+                    for flat in self._record_flats(record):
+                        if all(flat[a] == v for a, v in conditions):
+                            results.append(flat)
+        after = (
+            self.heap.stats.page_reads,
+            self.heap.stats.records_visited,
+            self.index.lookups if self.index else 0,
+        )
+        stats = ScanStats(
+            page_reads=after[0] - before[0],
+            records_visited=after[1] - before[1],
+            flats_produced=len(results),
+            index_lookups=after[2] - before[2],
+        )
+        return results, stats
+
+    def contains(self, flat: FlatTuple) -> tuple[bool, ScanStats]:
+        """Point membership of one flat tuple in R*."""
+        conditions = [(a, flat[a]) for a in self.schema.names]
+        results, stats = self.lookup(conditions)
+        return bool(results), stats
+
+    def full_scan(self) -> tuple[list[FlatTuple], ScanStats]:
+        """Materialise R* by scanning everything."""
+        return self.lookup([], use_index=False)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def storage_summary(self) -> dict[str, int]:
+        return {
+            "records": self.heap.record_count,
+            "pages": self.heap.page_count,
+            "payload_bytes": self.heap.used_bytes(),
+            "allocated_bytes": self.heap.allocated_bytes(),
+            "index_postings": self.index.entry_count() if self.index else 0,
+        }

@@ -1,0 +1,118 @@
+"""Heap file: an append-friendly collection of slotted pages with I/O
+accounting.
+
+Record ids are ``(page_id, slot)``.  Every page access (read or write
+path touching a page) increments ``page_reads`` exactly once per call —
+the unit the search-space benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import PageOverflowError, RecordNotFoundError
+from repro.storage.pages import PAGE_SIZE, Page
+
+RecordId = tuple[int, int]
+
+
+@dataclass
+class HeapStats:
+    """Cumulative I/O counters for a heap file."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    records_visited: int = 0
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.records_visited = 0
+
+
+class HeapFile:
+    """A list of pages with first-fit insertion and full-scan iteration."""
+
+    def __init__(self):
+        self._pages: list[Page] = []
+        self.stats = HeapStats()
+
+    # -- capacity ----------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def record_count(self) -> int:
+        return sum(p.live_count for p in self._pages)
+
+    def used_bytes(self) -> int:
+        """Bytes of live record payloads (excludes slot bookkeeping)."""
+        return sum(
+            len(r) for p in self._pages for _, r in p.records()
+        )
+
+    def allocated_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, record: bytes) -> RecordId:
+        """First-fit insert; allocates a new page when nothing fits."""
+        if len(record) + 8 > PAGE_SIZE:
+            raise PageOverflowError(
+                f"record of {len(record)} bytes exceeds page size {PAGE_SIZE}"
+            )
+        for page in reversed(self._pages):  # last page usually has room
+            if page.fits(record):
+                slot = page.insert(record)
+                self.stats.page_writes += 1
+                return (page.page_id, slot)
+        page = Page(len(self._pages))
+        self._pages.append(page)
+        slot = page.insert(record)
+        self.stats.page_writes += 1
+        return (page.page_id, slot)
+
+    def delete(self, rid: RecordId) -> None:
+        page = self._page(rid[0])
+        self.stats.page_writes += 1
+        page.delete(rid[1])
+
+    # -- access -------------------------------------------------------------------
+
+    def read(self, rid: RecordId) -> bytes:
+        page = self._page(rid[0])
+        self.stats.page_reads += 1
+        self.stats.records_visited += 1
+        return page.read(rid[1])
+
+    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
+        """Full scan; charges one page read per page and one record visit
+        per live record."""
+        for page in self._pages:
+            self.stats.page_reads += 1
+            for slot, record in page.records():
+                self.stats.records_visited += 1
+                yield (page.page_id, slot), record
+
+    def read_many(self, rids: list[RecordId]) -> list[bytes]:
+        """Batched point reads: each distinct page is charged once."""
+        by_page: dict[int, list[int]] = {}
+        for pid, slot in rids:
+            by_page.setdefault(pid, []).append(slot)
+        out: list[bytes] = []
+        for pid in sorted(by_page):
+            page = self._page(pid)
+            self.stats.page_reads += 1
+            for slot in by_page[pid]:
+                self.stats.records_visited += 1
+                out.append(page.read(slot))
+        return out
+
+    def _page(self, page_id: int) -> Page:
+        if not 0 <= page_id < len(self._pages):
+            raise RecordNotFoundError(f"page {page_id} does not exist")
+        return self._pages[page_id]

@@ -1,0 +1,71 @@
+"""Inverted atom index over stored records.
+
+Maps ``(attribute, atomic value) -> set of record ids`` whose component
+for that attribute *contains* the value.  For 1NF storage this is an
+ordinary secondary index; for NFR storage one entry covers every flat
+tuple the component represents — the indexed embodiment of the paper's
+"reduction of logical search space".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.storage.heap import RecordId
+
+
+class AtomIndex:
+    """In-memory inverted index with lookup accounting."""
+
+    def __init__(self, attributes: Iterable[str]):
+        self._maps: dict[str, dict[Any, set[RecordId]]] = {
+            a: {} for a in attributes
+        }
+        self.lookups = 0
+
+    def add(self, attribute: str, value: Any, rid: RecordId) -> None:
+        self._maps[attribute].setdefault(value, set()).add(rid)
+
+    def add_component(
+        self, attribute: str, values: Iterable[Any], rid: RecordId
+    ) -> None:
+        for v in values:
+            self.add(attribute, v, rid)
+
+    def remove(self, attribute: str, value: Any, rid: RecordId) -> None:
+        bucket = self._maps[attribute].get(value)
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self._maps[attribute][value]
+
+    def remove_component(
+        self, attribute: str, values: Iterable[Any], rid: RecordId
+    ) -> None:
+        for v in values:
+            self.remove(attribute, v, rid)
+
+    def lookup(self, attribute: str, value: Any) -> frozenset[RecordId]:
+        self.lookups += 1
+        return frozenset(self._maps[attribute].get(value, frozenset()))
+
+    def lookup_all(self, pairs: Iterable[tuple[str, Any]]) -> frozenset[RecordId]:
+        """Record ids matching *every* (attribute, value) pair."""
+        result: frozenset[RecordId] | None = None
+        for attribute, value in pairs:
+            bucket = self.lookup(attribute, value)
+            result = bucket if result is None else (result & bucket)
+            if not result:
+                return frozenset()
+        return result if result is not None else frozenset()
+
+    def entry_count(self) -> int:
+        """Total (value -> rid) postings across all attributes."""
+        return sum(
+            len(rids)
+            for attr_map in self._maps.values()
+            for rids in attr_map.values()
+        )
+
+    def distinct_keys(self) -> int:
+        return sum(len(m) for m in self._maps.values())

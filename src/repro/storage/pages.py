@@ -1,0 +1,85 @@
+"""Fixed-size slotted pages.
+
+A page holds variable-length records in the classic slotted layout:
+records grow from the end of the page towards the front while the slot
+directory grows from the front; a slot is (offset, length) and deleted
+records leave a tombstone slot.  Pages never move live records between
+pages (no compaction across pages), matching the simple heap-file model
+the scan statistics assume.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageOverflowError, RecordNotFoundError
+
+#: Page payload size in bytes.  Deliberately small so design-sized
+#: experiments still span multiple pages and I/O counting is meaningful.
+PAGE_SIZE = 4096
+
+_SLOT_COST = 8  # bookkeeping charge per slot (offset + length, 2 x u32)
+
+
+class Page:
+    """One slotted page of records."""
+
+    __slots__ = ("page_id", "_records", "_free")
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        self._records: list[bytes | None] = []
+        self._free = PAGE_SIZE
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for r in self._records if r is not None)
+
+    @property
+    def free_space(self) -> int:
+        return self._free
+
+    def fits(self, record: bytes) -> bool:
+        return len(record) + _SLOT_COST <= self._free
+
+    def insert(self, record: bytes) -> int:
+        """Store a record; returns its slot number."""
+        if not self.fits(record):
+            raise PageOverflowError(
+                f"record of {len(record)} bytes does not fit "
+                f"({self._free} free)"
+            )
+        self._records.append(record)
+        self._free -= len(record) + _SLOT_COST
+        return len(self._records) - 1
+
+    def read(self, slot: int) -> bytes:
+        record = self._get(slot)
+        return record
+
+    def delete(self, slot: int) -> None:
+        """Tombstone a slot (space for the record body is reclaimed,
+        the slot itself is not)."""
+        record = self._get(slot)
+        self._records[slot] = None
+        self._free += len(record)
+
+    def records(self) -> list[tuple[int, bytes]]:
+        """Live (slot, record) pairs in slot order."""
+        return [
+            (i, r) for i, r in enumerate(self._records) if r is not None
+        ]
+
+    def _get(self, slot: int) -> bytes:
+        if not 0 <= slot < len(self._records):
+            raise RecordNotFoundError(
+                f"slot {slot} out of range on page {self.page_id}"
+            )
+        record = self._records[slot]
+        if record is None:
+            raise RecordNotFoundError(
+                f"slot {slot} on page {self.page_id} is deleted"
+            )
+        return record

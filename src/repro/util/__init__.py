@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic ordering, table rendering, counters."""
+
+from repro.util.counters import OperationCounter
+from repro.util.ordering import sort_key, sorted_values
+from repro.util.text import format_table
+
+__all__ = ["OperationCounter", "sort_key", "sorted_values", "format_table"]

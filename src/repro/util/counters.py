@@ -1,0 +1,82 @@
+"""Operation counters used to reproduce the paper's complexity accounting.
+
+The paper (Appendix, Theorem A-4) measures update complexity as the *number
+of compositions*, explicitly not wall-clock time, "because the latter
+depends heavily on physical representation of NFRs".  The
+:class:`OperationCounter` records every primitive operation the NF2 core
+performs so benchmarks can report exactly the quantity the paper bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperationCounter:
+    """Mutable tally of NF2 primitive operations.
+
+    Attributes
+    ----------
+    compositions:
+        Def. 1 compositions performed (each merges two tuples into one).
+    decompositions:
+        Def. 2 decompositions performed (each splits one value out of a
+        component).
+    tuple_probes:
+        Tuples examined while searching for candidate tuples (``candt`` /
+        ``searcht``).  Not part of the paper's bound, but reported so the
+        search cost is visible too.
+    """
+
+    compositions: int = 0
+    decompositions: int = 0
+    tuple_probes: int = 0
+    _marks: dict[str, tuple[int, int, int]] = field(default_factory=dict, repr=False)
+
+    def reset(self) -> None:
+        """Zero all tallies and forget marks."""
+        self.compositions = 0
+        self.decompositions = 0
+        self.tuple_probes = 0
+        self._marks.clear()
+
+    @property
+    def total_structural(self) -> int:
+        """Compositions + decompositions — the paper's complexity measure
+        extended to count both structural edits."""
+        return self.compositions + self.decompositions
+
+    def mark(self, label: str) -> None:
+        """Remember the current tallies under ``label`` (see :meth:`since`)."""
+        self._marks[label] = (self.compositions, self.decompositions, self.tuple_probes)
+
+    def since(self, label: str) -> "OperationDelta":
+        """Return the change in tallies since :meth:`mark` was called."""
+        base = self._marks.get(label, (0, 0, 0))
+        return OperationDelta(
+            compositions=self.compositions - base[0],
+            decompositions=self.decompositions - base[1],
+            tuple_probes=self.tuple_probes - base[2],
+        )
+
+    def snapshot(self) -> "OperationDelta":
+        """Return an immutable copy of the current tallies."""
+        return OperationDelta(
+            compositions=self.compositions,
+            decompositions=self.decompositions,
+            tuple_probes=self.tuple_probes,
+        )
+
+
+@dataclass(frozen=True)
+class OperationDelta:
+    """Immutable view of counter values (or a difference of two views)."""
+
+    compositions: int
+    decompositions: int
+    tuple_probes: int
+
+    @property
+    def total_structural(self) -> int:
+        return self.compositions + self.decompositions

@@ -1,0 +1,47 @@
+"""Deterministic ordering of heterogeneous atomic values.
+
+Relations and NFR tuples hold atomic values that may be strings, numbers,
+booleans or ``None``.  Python refuses to compare values of mixed types, but
+the library needs a *total*, *deterministic* order so that rendered tables,
+canonical iteration orders and test expectations are stable across runs.
+
+The order used everywhere is: values are first grouped by a type rank
+(``None`` < bool < numbers < str < everything else by type name), then
+compared within the group by their natural order (falling back to ``repr``
+for exotic types).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+_TYPE_RANK = {
+    type(None): 0,
+    bool: 1,
+    int: 2,
+    float: 2,  # ints and floats compare naturally with each other
+    str: 3,
+}
+
+
+def sort_key(value: Any) -> tuple:
+    """Return a sort key giving a total order over mixed atomic values.
+
+    >>> sorted([3, "a", 1, "b", None], key=sort_key)
+    [None, 1, 3, 'a', 'b']
+    """
+    rank = _TYPE_RANK.get(type(value))
+    if rank is None:
+        return (9, type(value).__name__, repr(value))
+    if rank == 1:
+        return (1, "", int(value))
+    if rank == 2:
+        return (2, "", value)
+    if rank == 3:
+        return (3, "", value)
+    return (0, "", 0)
+
+
+def sorted_values(values: Iterable[Any]) -> list:
+    """Sort mixed atomic values deterministically (see :func:`sort_key`)."""
+    return sorted(values, key=sort_key)

@@ -1,0 +1,72 @@
+"""ASCII table rendering for relations, NFRs and experiment reports.
+
+The paper presents its relations as boxed tables (Figs. 1-2); examples and
+benchmark harnesses use :func:`format_table` to print the same layout, so a
+reader can diff program output against the paper's figures by eye.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an ASCII box table.
+
+    >>> print(format_table(["A", "B"], [["a1", "b1"], ["a2, a3", "b2"]]))
+    +--------+----+
+    | A      | B  |
+    +--------+----+
+    | a1     | b1 |
+    | a2, a3 | b2 |
+    +--------+----+
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def rule() -> str:
+        return "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def line(cells: Sequence[str]) -> str:
+        padded = (f" {c.ljust(w)} " for c, w in zip(cells, widths))
+        return "|" + "|".join(padded) + "|"
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(rule())
+    out.append(line(list(headers)))
+    out.append(rule())
+    for row in str_rows:
+        out.append(line(row))
+    out.append(rule())
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_kv(pairs: Iterable[tuple[str, object]], indent: int = 2) -> str:
+    """Render key/value pairs as aligned ``key : value`` lines."""
+    items = [(k, _cell(v)) for k, v in pairs]
+    if not items:
+        return ""
+    width = max(len(k) for k, _ in items)
+    pad = " " * indent
+    return "\n".join(f"{pad}{k.ljust(width)} : {v}" for k, v in items)

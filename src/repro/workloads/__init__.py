@@ -1,0 +1,5 @@
+"""Workloads: the paper's exact examples plus synthetic generators."""
+
+from repro.workloads import paper_examples, synthetic, university
+
+__all__ = ["paper_examples", "synthetic", "university"]

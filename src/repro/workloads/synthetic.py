@@ -1,0 +1,230 @@
+"""Synthetic 1NF workloads with planted dependency structure.
+
+Every generator is deterministic given a seed and returns a plain
+:class:`~repro.relational.relation.Relation`; the planted structure is
+verifiable with :mod:`repro.dependencies.discovery`.
+
+Generators
+----------
+- :func:`random_relation` — uniform random tuples (no structure);
+- :func:`with_planted_fd` — FD ``X -> Y`` holds by construction;
+- :func:`with_planted_mvd` — MVD ``X ->-> Y | Z`` holds by construction
+  (per-key Cartesian blocks, the Fig. 1 pattern);
+- :func:`product_blocks` — disjoint full products (maximal NFR
+  compressibility: each block composes to a single tuple);
+- :func:`skewed_relation` — Zipf-ish frequency skew over one attribute
+  (moderate, uneven compressibility).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def _values(prefix: str, count: int) -> list[str]:
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+def random_relation(
+    attributes: Sequence[str],
+    cardinality: int,
+    domain_size: int = 8,
+    seed: int = 0,
+) -> Relation:
+    """Uniform random relation: ``cardinality`` distinct tuples with each
+    value drawn from a ``domain_size`` active domain per attribute."""
+    rng = random.Random(seed)
+    schema = RelationSchema(list(attributes))
+    domains = {
+        a: _values(a.lower()[:1] or "v", domain_size) for a in schema.names
+    }
+    rows: set[tuple] = set()
+    space = domain_size ** schema.degree
+    target = min(cardinality, space)
+    while len(rows) < target:
+        rows.add(tuple(rng.choice(domains[a]) for a in schema.names))
+    return Relation.from_rows(schema, rows)
+
+
+def with_planted_fd(
+    attributes: Sequence[str],
+    determinant: Sequence[str],
+    cardinality: int,
+    domain_size: int = 8,
+    seed: int = 0,
+) -> Relation:
+    """Random relation in which the FD ``determinant -> rest`` holds: each
+    determinant combination is assigned one fixed value per dependent
+    attribute."""
+    rng = random.Random(seed)
+    schema = RelationSchema(list(attributes))
+    det = list(determinant)
+    schema.require(det)
+    dep = [a for a in schema.names if a not in det]
+    domains = {
+        a: _values(a.lower()[:1] or "v", domain_size) for a in schema.names
+    }
+    assignment: dict[tuple, dict[str, str]] = {}
+    rows: set[tuple] = set()
+    space = domain_size ** len(det)
+    target = min(cardinality, space)
+    while len(rows) < target:
+        key = tuple(rng.choice(domains[a]) for a in det)
+        if key not in assignment:
+            assignment[key] = {a: rng.choice(domains[a]) for a in dep}
+        values = dict(zip(det, key)) | assignment[key]
+        rows.add(tuple(values[a] for a in schema.names))
+    return Relation.from_rows(schema, rows)
+
+
+def with_planted_mvd(
+    attributes: Sequence[str],
+    determinant: Sequence[str],
+    group: Sequence[str],
+    keys: int = 10,
+    group_size: int = 4,
+    complement_size: int = 4,
+    domain_size: int = 12,
+    seed: int = 0,
+) -> Relation:
+    """Relation in which MVD ``determinant ->-> group`` holds: for each
+    determinant combination, emit the full product of a random ``group``
+    value-set and a random complement value-set (the Fig. 1 structure).
+
+    The complement is every attribute outside determinant and group.
+    """
+    rng = random.Random(seed)
+    schema = RelationSchema(list(attributes))
+    det = list(determinant)
+    grp = list(group)
+    schema.require(det)
+    schema.require(grp)
+    comp = [a for a in schema.names if a not in det and a not in grp]
+    if not comp:
+        raise ValueError("MVD needs a non-empty complement to be nontrivial")
+    domains = {
+        a: _values(a.lower()[:1] or "v", domain_size) for a in schema.names
+    }
+    rows: set[tuple] = set()
+    seen_keys: set[tuple] = set()
+    while len(seen_keys) < keys:
+        key = tuple(rng.choice(domains[a]) for a in det)
+        if key in seen_keys:
+            continue
+        seen_keys.add(key)
+        group_tuples = {
+            tuple(rng.choice(domains[a]) for a in grp)
+            for _ in range(group_size)
+        }
+        comp_tuples = {
+            tuple(rng.choice(domains[a]) for a in comp)
+            for _ in range(complement_size)
+        }
+        for g in group_tuples:
+            for c in comp_tuples:
+                values = dict(zip(det, key)) | dict(zip(grp, g)) | dict(
+                    zip(comp, c)
+                )
+                rows.add(tuple(values[a] for a in schema.names))
+    return Relation.from_rows(schema, rows)
+
+
+def product_blocks(
+    attributes: Sequence[str],
+    blocks: int = 5,
+    block_side: int = 3,
+    seed: int = 0,
+) -> Relation:
+    """Disjoint full-product blocks: block ``i`` contributes the product
+    of ``block_side`` fresh values per attribute.  Each block composes to
+    exactly one NFR tuple under any nest order — the best case for the
+    §2 compression claim (``block_side**degree : 1``)."""
+    del seed  # fully deterministic; kept for interface uniformity
+    schema = RelationSchema(list(attributes))
+    rows = []
+    for b in range(blocks):
+        per_attr = {
+            a: [f"{a.lower()[:1]}{b}_{i}" for i in range(block_side)]
+            for a in schema.names
+        }
+        block_rows = [()]
+        for a in schema.names:
+            block_rows = [r + (v,) for r in block_rows for v in per_attr[a]]
+        rows.extend(block_rows)
+    return Relation.from_rows(schema, rows)
+
+
+def skewed_relation(
+    attributes: Sequence[str],
+    cardinality: int,
+    domain_size: int = 16,
+    skew: float = 1.2,
+    seed: int = 0,
+) -> Relation:
+    """Zipf-skewed relation: the first attribute's values follow a
+    power-law frequency (rank^-skew), others are uniform.  Hot values
+    compose into large components; cold ones stay near-flat."""
+    rng = random.Random(seed)
+    schema = RelationSchema(list(attributes))
+    domains = {
+        a: _values(a.lower()[:1] or "v", domain_size) for a in schema.names
+    }
+    hot = schema.names[0]
+    weights = [1.0 / (rank + 1) ** skew for rank in range(domain_size)]
+    rows: set[tuple] = set()
+    attempts = 0
+    max_attempts = cardinality * 50
+    while len(rows) < cardinality and attempts < max_attempts:
+        attempts += 1
+        values = {
+            a: (
+                rng.choices(domains[a], weights=weights)[0]
+                if a == hot
+                else rng.choice(domains[a])
+            )
+            for a in schema.names
+        }
+        rows.add(tuple(values[a] for a in schema.names))
+    return Relation.from_rows(schema, rows)
+
+
+def update_stream(
+    relation: Relation,
+    inserts: int,
+    deletes: int,
+    domain_size: int = 8,
+    seed: int = 0,
+) -> tuple[list, list]:
+    """A reproducible update workload against ``relation``: fresh flat
+    tuples to insert (drawn from the same value pools, not already
+    present) and existing flat tuples to delete."""
+    rng = random.Random(seed)
+    schema = relation.schema
+    existing = set(t.values for t in relation)
+    pools = {a: sorted(relation.column(a)) for a in schema.names}
+    for a, pool in pools.items():
+        if len(pool) < domain_size:
+            pool.extend(
+                f"{a.lower()[:1]}x{i}" for i in range(domain_size - len(pool))
+            )
+    to_insert = []
+    guard = 0
+    while len(to_insert) < inserts and guard < inserts * 100:
+        guard += 1
+        row = tuple(rng.choice(pools[a]) for a in schema.names)
+        if row not in existing:
+            existing.add(row)
+            to_insert.append(row)
+    ordered = sorted(relation, key=lambda t: t.values)
+    rng.shuffle(ordered)
+    to_delete = ordered[: min(deletes, len(ordered))]
+    from repro.relational.tuples import FlatTuple
+
+    return (
+        [FlatTuple(schema, r) for r in to_insert],
+        list(to_delete),
+    )

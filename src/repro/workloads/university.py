@@ -1,0 +1,95 @@
+"""University-registrar workload — the paper's running example, scaled.
+
+Fig. 1 motivates NFRs with Student/Course/Club and
+Student/Course/Semester relations.  This module generates arbitrarily
+large instances with the same dependency structure:
+
+- ``enrollment`` — entity-style: the MVD
+  ``Student ->-> Course | Club`` holds (each student's courses and clubs
+  vary independently), so the student-nested NFR is maximally compact;
+- ``registration`` — relationship-style: no MVD is planted, so
+  compression and update behaviour are workload-driven (the paper's R2).
+
+Generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+ENROLLMENT_SCHEMA = RelationSchema(["Student", "Course", "Club"])
+REGISTRATION_SCHEMA = RelationSchema(["Student", "Course", "Semester"])
+
+ENROLLMENT_MVD = MultivaluedDependency(["Student"], ["Course"])
+
+
+@dataclass(frozen=True)
+class UniversityConfig:
+    """Size knobs for the generated registrar."""
+
+    students: int = 50
+    courses: int = 20
+    clubs: int = 8
+    semesters: int = 4
+    courses_per_student: int = 4
+    clubs_per_student: int = 2
+    seed: int = 0
+
+
+def enrollment(config: UniversityConfig = UniversityConfig()) -> Relation:
+    """Entity-style Student/Course/Club relation with the Fig. 1 MVD.
+
+    For each student, pick a course set and a club set and emit their
+    full product — exactly the structure making
+    ``Student ->-> Course | Club`` hold.
+    """
+    rng = random.Random(config.seed)
+    rows = []
+    for s in range(config.students):
+        student = f"s{s}"
+        n_courses = max(1, min(config.courses, _jitter(rng, config.courses_per_student)))
+        n_clubs = max(1, min(config.clubs, _jitter(rng, config.clubs_per_student)))
+        courses = rng.sample(range(config.courses), n_courses)
+        clubs = rng.sample(range(config.clubs), n_clubs)
+        for c in courses:
+            for b in clubs:
+                rows.append((student, f"c{c}", f"b{b}"))
+    return Relation.from_rows(ENROLLMENT_SCHEMA, rows)
+
+
+def registration(config: UniversityConfig = UniversityConfig()) -> Relation:
+    """Relationship-style Student/Course/Semester relation (no MVD
+    planted): each student takes each chosen course in one specific
+    semester, so courses and semesters are entangled (the paper's R2)."""
+    rng = random.Random(config.seed + 1)
+    rows = []
+    for s in range(config.students):
+        student = f"s{s}"
+        n_courses = max(1, min(config.courses, _jitter(rng, config.courses_per_student)))
+        courses = rng.sample(range(config.courses), n_courses)
+        for c in courses:
+            semester = rng.randrange(config.semesters)
+            rows.append((student, f"c{c}", f"t{semester}"))
+    return Relation.from_rows(REGISTRATION_SCHEMA, rows)
+
+
+def drop_course_updates(
+    relation: Relation, student: str, course: str
+) -> list:
+    """The Fig. 1 -> Fig. 2 update: all flat tuples (student, course, *)
+    to delete from a relation (any schema with Student and Course)."""
+    return [
+        f
+        for f in relation
+        if f["Student"] == student and f["Course"] == course
+    ]
+
+
+def _jitter(rng: random.Random, mean: int) -> int:
+    """Small integer jitter around a mean (mean-1 .. mean+1)."""
+    return mean + rng.choice((-1, 0, 1))

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture
+def ab_schema() -> RelationSchema:
+    return RelationSchema(["A", "B"])
+
+
+@pytest.fixture
+def abc_schema() -> RelationSchema:
+    return RelationSchema(["A", "B", "C"])
+
+
+@pytest.fixture
+def small_ab(ab_schema) -> Relation:
+    """The Example 1 relation: 4 tuples over {A, B}."""
+    return Relation.from_rows(
+        ab_schema,
+        [("a1", "b1"), ("a2", "b1"), ("a2", "b2"), ("a3", "b2")],
+    )
+
+
+@pytest.fixture
+def product_abc(abc_schema) -> Relation:
+    """A 2x2x2 product block: maximally compressible."""
+    rows = [
+        (a, b, c)
+        for a in ("a1", "a2")
+        for b in ("b1", "b2")
+        for c in ("c1", "c2")
+    ]
+    return Relation.from_rows(abc_schema, rows)

@@ -1,0 +1,112 @@
+"""Tests for repro.analysis (compression, complexity, report)."""
+
+from repro.analysis.complexity import (
+    bound_table,
+    growth_is_exponential,
+    recurrence_p,
+    theorem_a4_bound,
+)
+from repro.analysis.compression import (
+    best_order,
+    compression_report,
+    compression_sweep,
+    worst_order,
+)
+from repro.analysis.report import (
+    ExperimentReport,
+    monotone_nondecreasing,
+    roughly_flat,
+)
+from repro.workloads.synthetic import product_blocks, with_planted_mvd
+
+
+class TestCompression:
+    def test_ratio_at_least_one(self):
+        rel = with_planted_mvd(["A", "B", "C"], ["A"], ["B"], keys=6, seed=1)
+        for report in compression_sweep(rel):
+            assert report.tuple_ratio >= 1.0
+
+    def test_product_blocks_best_case(self):
+        rel = product_blocks(["A", "B"], blocks=4, block_side=3)
+        report = compression_report(rel, ["A", "B"])
+        assert report.tuple_ratio == 9.0  # 9 flats per block -> 1 tuple
+
+    def test_best_not_worse_than_worst(self):
+        rel = with_planted_mvd(["A", "B", "C"], ["A"], ["B"], keys=6, seed=2)
+        assert best_order(rel).tuple_ratio >= worst_order(rel).tuple_ratio
+
+    def test_byte_ratio_positive(self):
+        rel = product_blocks(["A", "B"], blocks=2, block_side=2)
+        assert compression_report(rel, ["A", "B"]).byte_ratio > 1.0
+
+    def test_row_shape(self):
+        rel = product_blocks(["A", "B"], blocks=2, block_side=2)
+        row = compression_report(rel, ["A", "B"]).row()
+        assert len(row) == 7
+
+
+class TestComplexityBound:
+    def test_base_cases(self):
+        assert recurrence_p(4, 4) == 0
+        assert recurrence_p(3, 4) == 1
+
+    def test_recurrence_value(self):
+        # P(2) for n=4, k=0: (4-0) + 2*(P(4)) = 4
+        assert recurrence_p(2, 4) == 4
+
+    def test_bound_monotone_in_degree(self):
+        values = [theorem_a4_bound(n) for n in range(1, 9)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_bound_independent_inputs_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            theorem_a4_bound(0)
+        with pytest.raises(ValueError):
+            recurrence_p(9, 4)
+
+    def test_growth_shape(self):
+        assert growth_is_exponential()
+
+    def test_bound_table(self):
+        table = bound_table(4)
+        assert table[0] == (1, theorem_a4_bound(1))
+        assert len(table) == 4
+
+    def test_k_reduces_bound(self):
+        assert theorem_a4_bound(5, k=2) <= theorem_a4_bound(5, k=0)
+
+
+class TestReport:
+    def test_render_contains_all_parts(self):
+        rep = ExperimentReport(
+            "EX", "title", "claim", headers=["a"], rows=[[1]]
+        )
+        rep.add_check("works", True)
+        text = rep.render()
+        assert "EX" in text and "claim" in text and "PASS" in text
+        assert "REPRODUCED" in text
+
+    def test_verdict_fails_when_any_check_fails(self):
+        rep = ExperimentReport("EX", "t", "c")
+        rep.add_check("ok", True)
+        rep.add_check("broken", False)
+        assert not rep.passed
+        assert "NOT REPRODUCED" in rep.render()
+
+    def test_add_row(self):
+        rep = ExperimentReport("EX", "t", "c", headers=["x", "y"])
+        rep.add_row(1, 2)
+        assert rep.rows == [[1, 2]]
+
+    def test_monotone(self):
+        assert monotone_nondecreasing([1, 1, 2, 3])
+        assert not monotone_nondecreasing([2, 1])
+        assert monotone_nondecreasing([2.0, 1.9], tolerance=0.2)
+
+    def test_roughly_flat(self):
+        assert roughly_flat([10, 12, 11])
+        assert not roughly_flat([1, 10])
+        assert roughly_flat([])
+        assert roughly_flat([0, 1], factor=2)

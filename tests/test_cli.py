@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.relational import io as rio
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    rel = Relation.from_rows(
+        ["Student", "Course", "Club"],
+        [("s1", "c1", "b1"), ("s1", "c2", "b1"), ("s2", "c1", "b2")],
+    )
+    path = tmp_path / "enrollment.txt"
+    path.write_text(rio.dumps(rel))
+    return str(path)
+
+
+class TestLoad:
+    def test_load_prints_table(self, data_file, capsys):
+        assert main(["load", "Enrollment", data_file]) == 0
+        out = capsys.readouterr().out
+        assert "Enrollment" in out
+        assert "s1" in out
+        assert "3 flat tuples" in out
+
+
+class TestQuery:
+    def test_query_select(self, data_file, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT E WHERE Club CONTAINS 'b1'",
+                "--load",
+                f"E={data_file}",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s1" in out
+        assert "s2" not in out
+
+    def test_query_nest(self, data_file, capsys):
+        main(["query", "NEST E BY (Course)", "--load", f"E={data_file}"])
+        out = capsys.readouterr().out
+        assert "c1, c2" in out
+
+    def test_query_error_reported(self, data_file, capsys):
+        code = main(
+            ["query", "SELECT Nope WHERE A CONTAINS 'x'",
+             "--load", f"E={data_file}"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_load_spec_exits(self, data_file):
+        with pytest.raises(SystemExit):
+            main(["query", "E", "--load", "no-equals-sign"])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "DELETE FROM Enrollment" in out
+        assert "Student" in out
+
+
+class TestRepl:
+    def test_repl_quits_and_lists_catalog(self, data_file, capsys, monkeypatch):
+        inputs = iter(["catalog", "E", "quit"])
+        monkeypatch.setattr(
+            "builtins.input", lambda prompt="": next(inputs)
+        )
+        assert main(["repl", "--load", f"E={data_file}"]) == 0
+        out = capsys.readouterr().out
+        assert "3 tuples" in out or "3 flats" in out
+
+    def test_repl_reports_errors_and_continues(self, capsys, monkeypatch):
+        inputs = iter(["SELECT Missing WHERE A CONTAINS 'x'", "exit"])
+        monkeypatch.setattr(
+            "builtins.input", lambda prompt="": next(inputs)
+        )
+        assert main(["repl"]) == 0
+        assert "error" in capsys.readouterr().out
+
+    def test_repl_eof_exits(self, capsys, monkeypatch):
+        def raise_eof(prompt=""):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        assert main(["repl"]) == 0

@@ -1,0 +1,113 @@
+"""Tests for repro.core.canonical (Definition 5, Theorem 2)."""
+
+import random
+
+import pytest
+
+from repro.core.canonical import (
+    all_canonical_forms,
+    canonical_form,
+    canonical_form_randomized,
+    canonical_orders_matching,
+    distinct_canonical_forms,
+    is_canonical,
+    is_canonical_for,
+    minimum_canonical_form,
+)
+from repro.core.irreducible import is_irreducible
+from repro.core.nfr_relation import NFRelation
+from repro.errors import NFRError
+from repro.relational.relation import Relation
+
+
+class TestCanonicalForm:
+    def test_accepts_1nf_or_nfr(self, small_ab):
+        via_flat = canonical_form(small_ab, ["A", "B"])
+        via_nfr = canonical_form(NFRelation.from_1nf(small_ab), ["A", "B"])
+        assert via_flat == via_nfr
+
+    def test_preserves_r_star(self, small_ab):
+        assert canonical_form(small_ab, ["B", "A"]).to_1nf() == small_ab
+
+    def test_requires_permutation(self, small_ab):
+        with pytest.raises(NFRError):
+            canonical_form(small_ab, ["A"])
+
+    def test_canonical_forms_are_irreducible(self, small_ab):
+        for order in (["A", "B"], ["B", "A"]):
+            assert is_irreducible(canonical_form(small_ab, order))
+
+    def test_product_composes_to_single_tuple(self, product_abc):
+        for order in (["A", "B", "C"], ["C", "A", "B"]):
+            assert canonical_form(product_abc, order).cardinality == 1
+
+    def test_empty_relation(self, ab_schema):
+        empty = Relation(ab_schema)
+        assert canonical_form(empty, ["A", "B"]).cardinality == 0
+
+
+class TestTheorem2:
+    """V_P(R) is independent of the composition order inside nests."""
+
+    def test_randomized_equals_grouped(self, small_ab):
+        expected = canonical_form(small_ab, ["A", "B"])
+        for seed in range(8):
+            got = canonical_form_randomized(
+                small_ab, ["A", "B"], random.Random(seed)
+            )
+            assert got == expected
+
+    def test_on_three_attributes(self):
+        from repro.workloads.paper_examples import EXAMPLE2_R3
+
+        expected = canonical_form(EXAMPLE2_R3, ["B", "A", "C"])
+        for seed in range(5):
+            got = canonical_form_randomized(
+                EXAMPLE2_R3, ["B", "A", "C"], random.Random(seed)
+            )
+            assert got == expected
+
+
+class TestEnumeration:
+    def test_all_forms_has_factorial_entries(self, small_ab):
+        forms = all_canonical_forms(small_ab)
+        assert len(forms) == 2  # 2! orders
+
+    def test_distinct_forms_grouping(self, product_abc):
+        groups = distinct_canonical_forms(product_abc)
+        # A full product nests to the same single tuple under all orders.
+        assert len(groups) == 1
+        assert sum(len(v) for v in groups.values()) == 6
+
+    def test_minimum_canonical(self, small_ab):
+        order, form = minimum_canonical_form(small_ab)
+        assert form.cardinality == 2
+        assert order == ("A", "B")  # vA then vB gives the 2-tuple form
+
+
+class TestRecognition:
+    def test_is_canonical_for(self, small_ab):
+        form = canonical_form(small_ab, ["A", "B"])
+        assert is_canonical_for(form, ["A", "B"])
+        assert not is_canonical_for(form, ["B", "A"])
+
+    def test_canonical_orders_matching(self, small_ab):
+        form = canonical_form(small_ab, ["A", "B"])
+        assert ("A", "B") in set(canonical_orders_matching(form))
+
+    def test_is_canonical_true_and_false(self):
+        from repro.workloads.paper_examples import (
+            EXAMPLE2_R3,
+            EXAMPLE2_R4,
+            EXAMPLE2_RB,
+        )
+
+        assert is_canonical(EXAMPLE2_RB)
+        # R4 is irreducible but not canonical under any order (Example 2).
+        assert not is_canonical(EXAMPLE2_R4)
+
+    def test_lifted_1nf_may_or_may_not_be_canonical(self, small_ab):
+        lifted = NFRelation.from_1nf(small_ab)
+        # small_ab composes under both orders, so its lifted form is not
+        # canonical for either.
+        assert not is_canonical(lifted)

@@ -1,0 +1,97 @@
+"""Tests for repro.core.cardinality (Definition 6)."""
+
+from repro.core.cardinality import (
+    Cardinality,
+    classify_all,
+    classify_attribute,
+    value_occurrences,
+)
+from repro.core.nfr_relation import NFRelation
+
+
+def nfr(rows):
+    return NFRelation.from_components(["A", "B"], rows)
+
+
+class TestLattice:
+    def test_from_flags(self):
+        assert Cardinality.from_flags(False, False) is Cardinality.ONE_ONE
+        assert Cardinality.from_flags(False, True) is Cardinality.N_ONE
+        assert Cardinality.from_flags(True, False) is Cardinality.ONE_N
+        assert Cardinality.from_flags(True, True) is Cardinality.M_N
+
+    def test_join(self):
+        assert (
+            Cardinality.N_ONE.join(Cardinality.ONE_N) is Cardinality.M_N
+        )
+        assert (
+            Cardinality.ONE_ONE.join(Cardinality.ONE_ONE)
+            is Cardinality.ONE_ONE
+        )
+
+    def test_order(self):
+        assert Cardinality.ONE_ONE.le(Cardinality.M_N)
+        assert Cardinality.ONE_N.le(Cardinality.M_N)
+        assert not Cardinality.M_N.le(Cardinality.ONE_N)
+        assert not Cardinality.N_ONE.le(Cardinality.ONE_N)
+
+    def test_str_uses_paper_notation(self):
+        assert str(Cardinality.M_N) == "m:n"
+
+
+class TestClassification:
+    def test_one_one(self):
+        # every value in exactly one tuple, all singleton components
+        r = nfr([(["a1"], ["b1"]), (["a2"], ["b2"])])
+        assert classify_attribute(r, "A") is Cardinality.ONE_ONE
+
+    def test_n_one(self):
+        # a1, a2 share one tuple inside a set component
+        r = nfr([(["a1", "a2"], ["b1"])])
+        assert classify_attribute(r, "A") is Cardinality.N_ONE
+        assert classify_attribute(r, "B") is Cardinality.ONE_ONE
+
+    def test_one_n(self):
+        # b1 appears in two tuples, always as a singleton
+        r = nfr([(["a1"], ["b1"]), (["a2"], ["b1"])])
+        assert classify_attribute(r, "B") is Cardinality.ONE_N
+
+    def test_m_n(self):
+        # b1 appears in two tuples, once inside a set
+        r = nfr([(["a1"], ["b1", "b2"]), (["a2"], ["b1"])])
+        assert classify_attribute(r, "B") is Cardinality.M_N
+
+    def test_example3_r7_is_mn_on_dependents(self):
+        from repro.workloads.paper_examples import EXAMPLE3_R7
+
+        assert classify_attribute(EXAMPLE3_R7, "B") is Cardinality.M_N
+        assert classify_attribute(EXAMPLE3_R7, "C") is Cardinality.M_N
+        # A values each in exactly one tuple as singletons:
+        assert classify_attribute(EXAMPLE3_R7, "A") is Cardinality.ONE_ONE
+
+    def test_classify_all(self):
+        r = nfr([(["a1", "a2"], ["b1"]), (["a3"], ["b1"])])
+        out = classify_all(r)
+        assert out["A"] is Cardinality.N_ONE
+        assert out["B"] is Cardinality.ONE_N
+
+    def test_empty_relation_classifies_one_one(self, ab_schema):
+        assert (
+            classify_attribute(NFRelation(ab_schema), "A")
+            is Cardinality.ONE_ONE
+        )
+
+
+class TestOccurrences:
+    def test_counts(self):
+        r = nfr([(["a1", "a2"], ["b1"]), (["a1"], ["b2"])])
+        occ = value_occurrences(r, "A")
+        assert occ["a1"].tuple_count == 2
+        assert occ["a1"].max_component_size == 2
+        assert occ["a2"].tuple_count == 1
+
+    def test_occurrence_cardinality(self):
+        r = nfr([(["a1", "a2"], ["b1"]), (["a1"], ["b2"])])
+        occ = value_occurrences(r, "A")
+        assert occ["a1"].cardinality is Cardinality.M_N
+        assert occ["a2"].cardinality is Cardinality.N_ONE

@@ -1,0 +1,76 @@
+"""Tests for repro.core.classify (the Fig. 3 taxonomy)."""
+
+from repro.core.classify import census, classify_form
+from repro.core.nfr_relation import NFRelation
+from repro.workloads.paper_examples import (
+    EXAMPLE2_R3,
+    EXAMPLE2_R4,
+    EXAMPLE2_RB,
+    EXAMPLE3_R7,
+    EXAMPLE3_R8,
+)
+
+
+class TestClassifyForm:
+    def test_canonical_form_classified(self):
+        cls = classify_form(EXAMPLE2_RB)
+        assert cls.canonical
+        assert cls.irreducible
+        assert ("A", "B", "C") in cls.canonical_orders
+
+    def test_non_canonical_irreducible(self):
+        cls = classify_form(EXAMPLE2_R4)
+        assert cls.irreducible
+        assert not cls.canonical
+        assert cls.cardinality == 3
+
+    def test_fixed_flag(self):
+        assert "A" in classify_form(EXAMPLE3_R7).fixed_on
+        assert "A" not in classify_form(EXAMPLE3_R8).fixed_on
+
+    def test_region_label(self):
+        assert "canonical" in classify_form(EXAMPLE2_RB).region()
+        assert "irreducible" in classify_form(EXAMPLE2_R4).region()
+
+    def test_plain_region(self):
+        # The lifted 2x2 product: reducible, and fixed on no single
+        # domain (every value recurs across tuples).
+        nfr = NFRelation.from_components(
+            ["A", "B"],
+            [
+                (["a1"], ["b1"]),
+                (["a1"], ["b2"]),
+                (["a2"], ["b1"]),
+                (["a2"], ["b2"]),
+            ],
+        )
+        cls = classify_form(nfr)
+        assert not cls.irreducible
+        assert cls.region() == "plain"
+
+
+class TestCensus:
+    def test_example2_census(self):
+        result = census(EXAMPLE2_R3)
+        # Fig. 3 containments, empirically:
+        assert result.canonical <= result.total_irreducible
+        assert result.canonical >= 1
+        # Example 2's punchline: the minimum irreducible beats every
+        # canonical form.
+        assert result.min_cardinality == 3
+        assert result.min_canonical_cardinality == 4
+        assert result.minimum_below_canonical
+
+    def test_example1_census(self, small_ab):
+        result = census(small_ab)
+        assert result.total_irreducible == 2
+        # Both Example 1 forms are canonical (one per order), and each is
+        # fixed on one domain.
+        assert result.canonical == 2
+        assert result.fixed == 2
+        assert not result.minimum_below_canonical
+
+    def test_census_regions_sum(self, small_ab):
+        r = census(small_ab)
+        assert r.fixed_not_canonical == r.fixed - r.canonical_and_fixed
+        assert r.canonical_not_fixed == r.canonical - r.canonical_and_fixed

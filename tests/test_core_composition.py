@@ -1,0 +1,163 @@
+"""Tests for repro.core.composition (Definitions 1-2)."""
+
+import pytest
+
+from repro.core.composition import (
+    all_composable_pairs,
+    composable_attributes,
+    composable_on,
+    compose,
+    decompose,
+    split_subset,
+)
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import CompositionError, DecompositionValueError
+from repro.relational.schema import RelationSchema
+from repro.util.counters import OperationCounter
+
+ABC = RelationSchema(["A", "B", "C"])
+
+
+def make(a, b, c):
+    return NFRTuple(ABC, [a, b, c])
+
+
+class TestPaperExample:
+    """The exact §3.2 example."""
+
+    def test_vb_composition(self):
+        t1 = make(["a1", "a2"], ["b1", "b2"], ["c1"])
+        t2 = make(["a1", "a2"], ["b3"], ["c1"])
+        t3 = compose(t1, t2, "B")
+        assert t3 == make(["a1", "a2"], ["b1", "b2", "b3"], ["c1"])
+
+    def test_ub_decomposition_inverts(self):
+        t3 = make(["a1", "a2"], ["b1", "b2", "b3"], ["c1"])
+        te, tr = decompose(t3, "B", "b3")
+        assert te == make(["a1", "a2"], ["b1", "b2"], ["c1"])
+        assert tr == make(["a1", "a2"], ["b3"], ["c1"])
+
+    def test_ua_decomposition_other_axis(self):
+        # "we also have other two tuples ... by uA(a1)(t3)"
+        t3 = make(["a1", "a2"], ["b1", "b2", "b3"], ["c1"])
+        te, tr = decompose(t3, "A", "a1")
+        assert te == make(["a2"], ["b1", "b2", "b3"], ["c1"])
+        assert tr == make(["a1"], ["b1", "b2", "b3"], ["c1"])
+
+
+class TestComposability:
+    def test_composable_on(self):
+        r = make(["a1"], ["b1"], ["c1"])
+        s = make(["a1"], ["b2"], ["c1"])
+        assert composable_on(r, s, "B")
+        assert not composable_on(r, s, "A")
+
+    def test_identical_tuples_not_composable(self):
+        r = make(["a1"], ["b1"], ["c1"])
+        assert not composable_on(r, r, "B")
+
+    def test_two_differences_not_composable(self):
+        r = make(["a1"], ["b1"], ["c1"])
+        s = make(["a2"], ["b2"], ["c1"])
+        assert composable_attributes(r, s) == []
+
+    def test_composable_attributes_single(self):
+        r = make(["a1"], ["b1"], ["c1"])
+        s = make(["a1"], ["b2", "b3"], ["c1"])
+        assert composable_attributes(r, s) == ["B"]
+
+    def test_compose_error_message(self):
+        r = make(["a1"], ["b1"], ["c1"])
+        s = make(["a2"], ["b2"], ["c1"])
+        with pytest.raises(CompositionError):
+            compose(r, s, "B")
+
+    def test_unknown_attribute_not_composable(self):
+        r = make(["a1"], ["b1"], ["c1"])
+        s = make(["a1"], ["b2"], ["c1"])
+        assert not composable_on(r, s, "Z")
+
+
+class TestInformationPreservation:
+    """Composition "cannot lose or add any information"."""
+
+    def test_compose_preserves_flats(self):
+        r = make(["a1"], ["b1", "b2"], ["c1"])
+        s = make(["a1"], ["b3"], ["c1"])
+        merged = compose(r, s, "B")
+        assert set(merged.flats()) == set(r.flats()) | set(s.flats())
+
+    def test_compose_with_overlapping_components(self):
+        r = make(["a1"], ["b1", "b2"], ["c1"])
+        s = make(["a1"], ["b2", "b3"], ["c1"])
+        merged = compose(r, s, "B")
+        assert set(merged.flats()) == set(r.flats()) | set(s.flats())
+
+    def test_decompose_partitions_flats(self):
+        t = make(["a1", "a2"], ["b1", "b2"], ["c1"])
+        te, tr = decompose(t, "A", "a1")
+        assert set(te.flats()) | set(tr.flats()) == set(t.flats())
+        assert set(te.flats()).isdisjoint(set(tr.flats()))
+
+
+class TestDecompositionErrors:
+    def test_absent_value_raises(self):
+        with pytest.raises(DecompositionValueError):
+            decompose(make(["a1", "a2"], ["b1"], ["c1"]), "A", "zz")
+
+    def test_singleton_component_raises(self):
+        with pytest.raises(DecompositionValueError):
+            decompose(make(["a1"], ["b1"], ["c1"]), "A", "a1")
+
+
+class TestCounterCharging:
+    def test_compose_counts_one(self):
+        c = OperationCounter()
+        r = make(["a1"], ["b1"], ["c1"])
+        s = make(["a1"], ["b2"], ["c1"])
+        compose(r, s, "B", counter=c)
+        assert c.compositions == 1
+
+    def test_decompose_counts_one(self):
+        c = OperationCounter()
+        decompose(make(["a1", "a2"], ["b1"], ["c1"]), "A", "a1", counter=c)
+        assert c.decompositions == 1
+
+    def test_split_subset_charges_k_and_k_minus_1(self):
+        c = OperationCounter()
+        t = make(["a1", "a2", "a3", "a4"], ["b1"], ["c1"])
+        remainder, extracted = split_subset(
+            t, "A", ValueSet(["a1", "a2"]), counter=c
+        )
+        assert c.decompositions == 2
+        assert c.compositions == 1
+        assert remainder == make(["a3", "a4"], ["b1"], ["c1"])
+        assert extracted == make(["a1", "a2"], ["b1"], ["c1"])
+
+    def test_split_subset_whole_component_free(self):
+        c = OperationCounter()
+        t = make(["a1", "a2"], ["b1"], ["c1"])
+        remainder, extracted = split_subset(
+            t, "A", ValueSet(["a1", "a2"]), counter=c
+        )
+        assert remainder is None
+        assert extracted == t
+        assert c.total_structural == 0
+
+    def test_split_subset_not_subset_raises(self):
+        t = make(["a1"], ["b1"], ["c1"])
+        with pytest.raises(DecompositionValueError):
+            split_subset(t, "A", ValueSet(["zz"]))
+
+
+class TestPairEnumeration:
+    def test_all_composable_pairs_deterministic(self):
+        r = make(["a1"], ["b1"], ["c1"])
+        s = make(["a1"], ["b2"], ["c1"])
+        u = make(["a2"], ["b9"], ["c9"])
+        pairs1 = list(all_composable_pairs({r, s, u}))
+        pairs2 = list(all_composable_pairs({u, s, r}))
+        assert pairs1 == pairs2
+        assert len(pairs1) == 1
+        assert pairs1[0][2] == "B"

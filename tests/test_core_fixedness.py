@@ -1,0 +1,174 @@
+"""Tests for repro.core.fixedness (Definition 7, Theorems 3-5)."""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.core.fixedness import (
+    canonical_fixed_on_determinant,
+    check_theorem3,
+    check_theorem4_exists,
+    determinant_fixed_order,
+    fixed_domains,
+    fixedness_witness,
+    is_fixed,
+    maximal_fixed_sets,
+    theorem5_fixed_set,
+)
+from repro.core.irreducible import enumerate_irreducible_forms
+from repro.core.nfr_relation import NFRelation
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.mvd import MultivaluedDependency as MVD
+from repro.errors import NFRError
+from repro.relational.relation import Relation
+from repro.workloads.paper_examples import (
+    EXAMPLE1_R,
+    EXAMPLE1_R1,
+    EXAMPLE1_R2,
+    EXAMPLE3_MVD,
+    EXAMPLE3_R5,
+    EXAMPLE3_R7,
+    EXAMPLE3_R8,
+)
+
+
+class TestDefinition7:
+    def test_example1_original_not_fixed_on_any_domain(self):
+        lifted = NFRelation.from_1nf(EXAMPLE1_R)
+        assert fixed_domains(lifted) == frozenset()
+
+    def test_example1_r1_fixed_on_b(self):
+        assert is_fixed(EXAMPLE1_R1, ["B"])
+        assert not is_fixed(EXAMPLE1_R1, ["A"])  # a2 is in both tuples
+
+    def test_example1_r2_fixed_on_a(self):
+        assert is_fixed(EXAMPLE1_R2, ["A"])
+        assert not is_fixed(EXAMPLE1_R2, ["B"])
+
+    def test_fixedness_on_smaller_set_is_stronger(self):
+        # fixed on {A} implies fixed on {A, B}
+        assert is_fixed(EXAMPLE1_R2, ["A", "B"])
+
+    def test_witness(self):
+        witness = fixedness_witness(EXAMPLE1_R1, ["A"])
+        assert witness is not None
+        combo, t1, t2 = witness
+        assert combo == ("a2",)
+        assert t1 != t2
+
+    def test_no_witness_when_fixed(self):
+        assert fixedness_witness(EXAMPLE1_R2, ["A"]) is None
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(NFRError):
+            is_fixed(EXAMPLE1_R1, [])
+
+    def test_maximal_fixed_sets(self):
+        sets = maximal_fixed_sets(EXAMPLE1_R2)
+        assert frozenset({"A"}) in sets
+
+
+class TestTheorem3:
+    def test_key_fd_makes_every_irreducible_form_fixed(self):
+        # FD A -> B, C over {A, B, C}: the determinant is a key, the
+        # setting of the theorem's proof ("R* is fixed on F1..Fk").
+        rel = Relation.from_rows(
+            ["A", "B", "C"],
+            [
+                ("a1", "b1", "c1"),
+                ("a2", "b1", "c1"),
+                ("a3", "b1", "c2"),
+                ("a4", "b2", "c1"),
+            ],
+        )
+        fd = FD(["A"], ["B", "C"])
+        assert fd.holds_in(rel)
+        for form in enumerate_irreducible_forms(rel):
+            flags = check_theorem3(rel, fd, form)
+            assert all(flags.values()), (form.to_table(), flags)
+
+    def test_partial_fd_precondition_flag_goes_false(self):
+        # With a *partial* FD (A -> B but A not a key) the theorem's
+        # precondition fails and so may the conclusion; the checker
+        # reports the precondition honestly.
+        rel = Relation.from_rows(
+            ["A", "B", "C"],
+            [
+                ("a1", "b1", "c1"),
+                ("a1", "b1", "c2"),
+                ("a2", "b1", "c1"),
+                ("a3", "b2", "c1"),
+            ],
+        )
+        fd = FD(["A"], ["B"])
+        assert fd.holds_in(rel)
+        flags_seen = [
+            check_theorem3(rel, fd, form)
+            for form in enumerate_irreducible_forms(rel)
+        ]
+        assert all(not f["determinant_is_key"] for f in flags_seen)
+        # ... and indeed some irreducible form is NOT fixed on A:
+        assert any(not f["fixed_on_determinant"] for f in flags_seen)
+
+
+class TestTheorem4:
+    def test_some_irreducible_form_fixed_under_mvd(self):
+        form, flags = check_theorem4_exists(EXAMPLE3_R5, EXAMPLE3_MVD)
+        assert all(flags.values())
+        assert form == EXAMPLE3_R7
+
+    def test_not_all_forms_fixed_example3(self):
+        # R8 is irreducible but not fixed on A — the theorem's "may exist
+        # an irreducible form which is not fixed".
+        assert EXAMPLE3_R8.to_1nf() == EXAMPLE3_R5
+        assert not is_fixed(EXAMPLE3_R8, ["A"])
+
+
+class TestTheorem5:
+    def test_canonical_fixed_on_all_but_first_nested(self):
+        rel = EXAMPLE3_R5
+        for order in (["A", "B", "C"], ["B", "C", "A"], ["C", "A", "B"]):
+            form = canonical_form(rel, order)
+            assert is_fixed(form, theorem5_fixed_set(order))
+
+    def test_theorem5_fixed_set(self):
+        assert theorem5_fixed_set(["A", "B", "C"]) == ["B", "C"]
+
+    def test_degree_one_rejected(self):
+        with pytest.raises(NFRError):
+            theorem5_fixed_set(["A"])
+
+
+class TestDesignStrategy:
+    def test_determinant_fixed_order_shape(self):
+        order = determinant_fixed_order(("A", "B", "C"), {"A"})
+        assert order == ["B", "C", "A"]
+
+    def test_composite_determinant(self):
+        order = determinant_fixed_order(("A", "B", "C", "D"), {"A", "C"})
+        assert order == ["B", "D", "A", "C"]
+
+    def test_unknown_determinant_rejected(self):
+        with pytest.raises(NFRError):
+            determinant_fixed_order(("A", "B"), {"Z"})
+
+    def test_determinant_covering_universe_rejected(self):
+        with pytest.raises(NFRError):
+            determinant_fixed_order(("A", "B"), {"A", "B"})
+
+    def test_strategy_on_example3(self):
+        order, form = canonical_fixed_on_determinant(
+            EXAMPLE3_R5, EXAMPLE3_MVD
+        )
+        assert order == ["B", "C", "A"]
+        assert form == EXAMPLE3_R7
+        assert is_fixed(form, ["A"])
+
+    def test_strategy_with_fd(self):
+        rel = Relation.from_rows(
+            ["A", "B", "C"],
+            [("a1", "b1", "c1"), ("a1", "b1", "c2"), ("a2", "b2", "c1")],
+        )
+        fd = FD(["A"], ["B"])
+        order, form = canonical_fixed_on_determinant(rel, fd)
+        assert is_fixed(form, ["A"])
+        assert form.to_1nf() == rel

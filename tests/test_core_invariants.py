@@ -1,0 +1,67 @@
+"""Tests for repro.core.invariants (executable theorem statements)."""
+
+from repro.core import invariants as inv
+from repro.core.composition import compose
+from repro.core.nfr_relation import NFRelation
+from repro.relational.relation import Relation
+
+
+class TestTheorem1:
+    def test_lifted_form(self, small_ab):
+        nfr = NFRelation.from_1nf(small_ab)
+        assert inv.theorem1_r_star_unique(nfr, small_ab)
+
+    def test_canonical_form(self, small_ab):
+        from repro.core.canonical import canonical_form
+
+        form = canonical_form(small_ab, ["B", "A"])
+        assert inv.theorem1_r_star_unique(form, small_ab)
+
+    def test_fails_for_wrong_original(self, small_ab):
+        nfr = NFRelation.from_1nf(small_ab)
+        other = Relation.from_rows(["A", "B"], [("x", "y")])
+        assert not inv.theorem1_r_star_unique(nfr, other)
+
+
+class TestTheorem2:
+    def test_confluence_small(self, small_ab):
+        assert inv.theorem2_confluence(small_ab, ["A", "B"], trials=6)
+
+    def test_confluence_three_attrs(self, product_abc):
+        assert inv.theorem2_confluence(product_abc, ["C", "A", "B"], trials=4)
+
+
+class TestCanonicalIrreducible:
+    def test_all_orders(self, small_ab):
+        for order in (["A", "B"], ["B", "A"]):
+            assert inv.canonical_is_irreducible(small_ab, order)
+
+
+class TestTheorem5:
+    def test_fixedness_of_canonical_forms(self):
+        from repro.workloads.paper_examples import EXAMPLE2_R3
+
+        for order in (["A", "B", "C"], ["B", "A", "C"], ["C", "B", "A"]):
+            assert inv.theorem5_canonical_fixedness(EXAMPLE2_R3, order)
+
+    def test_degree_one_vacuous(self):
+        r = Relation.from_rows(["A"], [("a1",), ("a2",)])
+        assert inv.theorem5_canonical_fixedness(r, ["A"])
+
+
+class TestCompositionInvariants:
+    def test_information_preserved(self, small_ab):
+        nfr = NFRelation.from_1nf(small_ab)
+        tuples = nfr.sorted_tuples()
+        # compose (a1,b1) with (a2,b1) over A
+        r = tuples[0]
+        s = next(t for t in tuples if t != r and t.differs_only_on(r, "A"))
+        merged = compose(r, s, "A")
+        after = nfr.replace_tuples([r, s], [merged])
+        assert inv.information_preserved(nfr, after)
+        assert inv.composition_monotone(nfr, after)
+
+    def test_monotone_fails_on_unrelated_edit(self, small_ab):
+        nfr = NFRelation.from_1nf(small_ab)
+        smaller = nfr.without_tuple(nfr.sorted_tuples()[0])
+        assert not inv.composition_monotone(nfr, smaller)

@@ -1,0 +1,91 @@
+"""Tests for repro.core.irreducible (Definition 3, Examples 1-2)."""
+
+import random
+
+import pytest
+
+from repro.core.irreducible import (
+    enumerate_irreducible_forms,
+    greedy_forms_sample,
+    irreducible_cardinality_range,
+    is_irreducible,
+    minimum_irreducible,
+    reduce_greedy,
+    reducibility_witness,
+)
+from repro.core.nfr_relation import NFRelation
+from repro.errors import NFRError
+from repro.relational.relation import Relation
+
+
+class TestIsIrreducible:
+    def test_lifted_reducible_relation(self, small_ab):
+        assert not is_irreducible(NFRelation.from_1nf(small_ab))
+
+    def test_witness_returned(self, small_ab):
+        witness = reducibility_witness(NFRelation.from_1nf(small_ab))
+        assert witness is not None
+        r, s, attr = witness
+        assert attr in ("A", "B")
+
+    def test_singleton_relation_irreducible(self):
+        nfr = NFRelation.from_components(["A", "B"], [(["a"], ["b"])])
+        assert is_irreducible(nfr)
+        assert reducibility_witness(nfr) is None
+
+
+class TestReduceGreedy:
+    def test_result_is_irreducible(self, small_ab):
+        assert is_irreducible(reduce_greedy(small_ab))
+
+    def test_preserves_r_star(self, small_ab):
+        assert reduce_greedy(small_ab).to_1nf() == small_ab
+
+    def test_seeded_runs_reach_multiple_forms(self, small_ab):
+        forms = set(greedy_forms_sample(small_ab, samples=20, seed=0))
+        assert len(forms) >= 2  # Example 1: at least two irreducible forms
+
+    def test_custom_chooser(self, small_ab):
+        last = reduce_greedy(small_ab, chooser=lambda cands: len(cands) - 1)
+        assert is_irreducible(last)
+
+
+class TestEnumeration:
+    def test_example1_exactly_two_forms(self, small_ab):
+        forms = enumerate_irreducible_forms(small_ab)
+        assert {f.cardinality for f in forms} == {2, 3}
+        assert len(forms) == 2
+
+    def test_all_enumerated_forms_irreducible_and_equivalent(self, small_ab):
+        for form in enumerate_irreducible_forms(small_ab):
+            assert is_irreducible(form)
+            assert form.to_1nf() == small_ab
+
+    def test_state_limit_enforced(self, product_abc):
+        with pytest.raises(NFRError):
+            enumerate_irreducible_forms(product_abc, state_limit=2)
+
+    def test_cardinality_range(self, small_ab):
+        assert irreducible_cardinality_range(small_ab) == (2, 3)
+
+
+class TestMinimum:
+    def test_example2_minimum_is_three(self):
+        from repro.workloads.paper_examples import EXAMPLE2_R3
+
+        minimal = minimum_irreducible(EXAMPLE2_R3)
+        assert minimal.cardinality == 3
+
+    def test_minimum_deterministic(self, small_ab):
+        assert minimum_irreducible(small_ab) == minimum_irreducible(small_ab)
+
+    def test_irreducible_local_not_global(self, small_ab):
+        """Definition 3's caveat: "the number of tuples is minimal in a
+        sense though it may not be minimum" — the greedy reduction can
+        land on the 3-tuple form while the minimum is 2."""
+        sizes = {
+            reduce_greedy(small_ab, rng=random.Random(seed)).cardinality
+            for seed in range(20)
+        }
+        assert 3 in sizes  # some greedy runs land on the non-minimum
+        assert minimum_irreducible(small_ab).cardinality == 2

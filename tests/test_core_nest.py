@@ -1,0 +1,124 @@
+"""Tests for repro.core.nest (Definition 4)."""
+
+import random
+
+import pytest
+
+from repro.core.nest import (
+    is_nested_on,
+    nest,
+    nest_by_compositions,
+    nest_sequence,
+    unnest,
+    unnest_fully,
+)
+from repro.core.nfr_relation import NFRelation
+from repro.errors import NFRError
+from repro.relational.relation import Relation
+from repro.util.counters import OperationCounter
+
+
+@pytest.fixture
+def lifted(small_ab):
+    return NFRelation.from_1nf(small_ab)
+
+
+class TestNest:
+    def test_nest_groups_by_other_attributes(self, lifted):
+        out = nest(lifted, "A")
+        assert out.cardinality == 2  # one tuple per b value
+        assert {t["B"].only for t in out} == {"b1", "b2"}
+
+    def test_nest_preserves_r_star(self, lifted, small_ab):
+        assert nest(lifted, "A").to_1nf() == small_ab
+
+    def test_nest_is_idempotent(self, lifted):
+        once = nest(lifted, "A")
+        assert nest(once, "A") == once
+
+    def test_nest_result_is_nested(self, lifted):
+        assert is_nested_on(nest(lifted, "A"), "A")
+        assert not is_nested_on(lifted, "A")
+
+    def test_nest_counts_merges(self, lifted):
+        c = OperationCounter()
+        nest(lifted, "A", counter=c)
+        # 4 tuples -> 2 tuples: 2 compositions
+        assert c.compositions == 2
+
+    def test_nest_unknown_attribute_raises(self, lifted):
+        with pytest.raises(Exception):
+            nest(lifted, "Z")
+
+    def test_nest_on_empty_relation(self, ab_schema):
+        empty = NFRelation(ab_schema)
+        assert nest(empty, "A").cardinality == 0
+
+
+class TestNestByCompositions:
+    """Theorem 2's subject: the literal process equals the fixpoint."""
+
+    def test_matches_grouped_nest(self, lifted):
+        expected = nest(lifted, "A")
+        for seed in range(5):
+            got = nest_by_compositions(lifted, "A", rng=random.Random(seed))
+            assert got == expected
+
+    def test_counts_same_compositions(self, lifted):
+        c1, c2 = OperationCounter(), OperationCounter()
+        nest(lifted, "A", counter=c1)
+        nest_by_compositions(lifted, "A", counter=c2)
+        assert c1.compositions == c2.compositions
+
+
+class TestNestSequence:
+    def test_left_to_right_order(self, product_abc):
+        lifted = NFRelation.from_1nf(product_abc)
+        out = nest_sequence(lifted, ["A", "B", "C"])
+        assert out.cardinality == 1  # full product composes to one tuple
+
+    def test_order_matters_for_result(self):
+        from repro.workloads.paper_examples import EXAMPLE3_R5
+
+        lifted = NFRelation.from_1nf(EXAMPLE3_R5)
+        bca = nest_sequence(lifted, ["B", "C", "A"])
+        abc = nest_sequence(lifted, ["A", "B", "C"])
+        assert bca != abc
+
+
+class TestUnnest:
+    def test_unnest_splits_components(self, lifted):
+        nested = nest(lifted, "A")
+        back = unnest(nested, "A")
+        assert back == lifted
+
+    def test_unnest_counts_decompositions(self, lifted):
+        nested = nest(lifted, "A")
+        c = OperationCounter()
+        unnest(nested, "A", counter=c)
+        assert c.decompositions == 2  # reverse of the 2 compositions
+
+    def test_unnest_fully_equals_lifted_r_star(self, product_abc):
+        lifted = NFRelation.from_1nf(product_abc)
+        nested = nest_sequence(lifted, ["A", "B", "C"])
+        assert unnest_fully(nested) == lifted
+
+    def test_nest_unnest_roundtrip_arbitrary(self):
+        rel = Relation.from_rows(
+            ["A", "B", "C"],
+            [("a1", "b1", "c1"), ("a1", "b2", "c1"), ("a2", "b1", "c2")],
+        )
+        lifted = NFRelation.from_1nf(rel)
+        for attr in ("A", "B", "C"):
+            assert unnest(nest(lifted, attr), attr) == lifted
+
+
+class TestValidation:
+    def test_require_same_universe(self, lifted):
+        from repro.core.nest import require_same_universe
+
+        require_same_universe(lifted, ["B", "A"])  # OK
+        with pytest.raises(NFRError):
+            require_same_universe(lifted, ["A"])
+        with pytest.raises(NFRError):
+            require_same_universe(lifted, ["A", "B", "C"])

@@ -1,0 +1,124 @@
+"""Tests for repro.core.nfr_relation (NFRelation, Theorem 1)."""
+
+import pytest
+
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.errors import NFRError, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+
+class TestConstruction:
+    def test_from_1nf_roundtrip(self, small_ab):
+        nfr = NFRelation.from_1nf(small_ab)
+        assert nfr.cardinality == 4
+        assert nfr.to_1nf() == small_ab
+
+    def test_from_components(self):
+        nfr = NFRelation.from_components(
+            ["A", "B"], [(["a1", "a2"], ["b1"])]
+        )
+        assert nfr.cardinality == 1
+        assert nfr.flat_count == 2
+
+    def test_from_records(self):
+        nfr = NFRelation.from_records(
+            ["A", "B"], [{"A": ["a"], "B": ["b1", "b2"]}]
+        )
+        assert nfr.flat_count == 2
+
+    def test_schema_mismatch_rejected(self):
+        t = NFRTuple(RelationSchema(["X"]), [["x"]])
+        with pytest.raises(SchemaError):
+            NFRelation(RelationSchema(["A"]), [t])
+
+
+class TestRStar:
+    """Theorem 1: R* is unique and well-defined."""
+
+    def test_r_star_union_of_expansions(self):
+        nfr = NFRelation.from_components(
+            ["A", "B"],
+            [(["a1", "a2"], ["b1"]), (["a3"], ["b2"])],
+        )
+        assert nfr.flat_count == 3
+
+    def test_expansions_disjoint_for_derived_forms(self, small_ab):
+        from repro.core.canonical import canonical_form
+
+        form = canonical_form(small_ab, ["A", "B"])
+        assert form.expansions_disjoint()
+
+    def test_overlapping_expansions_detected(self):
+        # Hand-built (not derivable by composition) overlapping NFR.
+        nfr = NFRelation.from_components(
+            ["A", "B"],
+            [(["a1", "a2"], ["b1"]), (["a1"], ["b1", "b2"])],
+        )
+        assert not nfr.expansions_disjoint()
+        assert nfr.total_expansion_count() == 4
+        assert nfr.flat_count == 3
+
+    def test_represents(self):
+        nfr = NFRelation.from_components(["A", "B"], [(["a1", "a2"], ["b1"])])
+        schema = nfr.schema
+        assert nfr.represents(FlatTuple(schema, ["a1", "b1"]))
+        assert not nfr.represents(FlatTuple(schema, ["a1", "b2"]))
+
+    def test_tuples_containing(self):
+        nfr = NFRelation.from_components(
+            ["A", "B"],
+            [(["a1", "a2"], ["b1"]), (["a1"], ["b1", "b2"])],
+        )
+        flat = FlatTuple(nfr.schema, ["a1", "b1"])
+        assert len(nfr.tuples_containing(flat)) == 2
+
+    def test_information_equivalence(self, small_ab):
+        from repro.workloads.paper_examples import EXAMPLE1_R1, EXAMPLE1_R2
+
+        assert EXAMPLE1_R1.information_equivalent(EXAMPLE1_R2)
+
+
+class TestDerivation:
+    def test_with_without_tuple(self):
+        nfr = NFRelation.from_components(["A"], [(["a1"],)])
+        t = NFRTuple(nfr.schema, [["a2"]])
+        assert nfr.with_tuple(t).cardinality == 2
+        assert nfr.with_tuple(t).without_tuple(t) == nfr
+
+    def test_without_absent_tuple_raises(self):
+        nfr = NFRelation.from_components(["A"], [(["a1"],)])
+        with pytest.raises(NFRError):
+            nfr.without_tuple(NFRTuple(nfr.schema, [["zz"]]))
+
+    def test_replace_tuples(self):
+        nfr = NFRelation.from_components(["A"], [(["a1"],), (["a2"],)])
+        old = [t for t in nfr if "a1" in t["A"]][0]
+        new = NFRTuple(nfr.schema, [["a1", "a3"]])
+        out = nfr.replace_tuples([old], [new])
+        assert out.cardinality == 2
+        assert new in out
+
+    def test_reorder(self):
+        nfr = NFRelation.from_components(["A", "B"], [(["a"], ["b"])])
+        out = nfr.reorder(["B", "A"])
+        assert out.schema.names == ("B", "A")
+        assert out.flat_count == 1
+
+
+class TestRendering:
+    def test_to_table(self):
+        nfr = NFRelation.from_components(
+            ["A", "B"], [(["a1", "a2"], ["b1"])]
+        )
+        table = nfr.to_table()
+        assert "a1, a2" in table
+
+    def test_sorted_tuples_stable(self):
+        nfr = NFRelation.from_components(
+            ["A"], [(["a2"],), (["a1"],), (["a3"],)]
+        )
+        rendered = [t.render() for t in nfr.sorted_tuples()]
+        assert rendered == ["[A(a1)]", "[A(a2)]", "[A(a3)]"]

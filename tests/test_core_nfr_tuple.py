@@ -1,0 +1,121 @@
+"""Tests for repro.core.nfr_tuple."""
+
+import pytest
+
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import NFRError, SchemaError
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+SCHEMA = RelationSchema(["A", "B"])
+
+
+@pytest.fixture
+def t():
+    return NFRTuple(SCHEMA, [["a1", "a2"], ["b1"]])
+
+
+class TestConstruction:
+    def test_components_coerced_to_value_sets(self, t):
+        assert isinstance(t["A"], ValueSet)
+
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            NFRTuple(SCHEMA, [["a"]])
+
+    def test_from_mapping(self):
+        t = NFRTuple.from_mapping(SCHEMA, {"B": ["b"], "A": ["a"]})
+        assert t["A"] == ValueSet(["a"])
+
+    def test_from_mapping_missing_raises(self):
+        with pytest.raises(SchemaError):
+            NFRTuple.from_mapping(SCHEMA, {"A": ["a"]})
+
+    def test_from_flat(self):
+        flat = FlatTuple(SCHEMA, ["a", "b"])
+        t = NFRTuple.from_flat(flat)
+        assert t.is_all_singleton()
+        assert t.to_flat() == flat
+
+
+class TestExpansion:
+    """The §3.1 semantics: [A(a1,a2) B(b1)] means {(a1,b1), (a2,b1)}."""
+
+    def test_flat_count(self, t):
+        assert t.flat_count == 2
+
+    def test_flats_enumerated(self, t):
+        flats = {f.values for f in t.flats()}
+        assert flats == {("a1", "b1"), ("a2", "b1")}
+
+    def test_paper_exact_example(self):
+        # "[A(a1, a2) B(b1)] means the set of two tuples [A(a1) B(b1)]
+        # and [A(a2) B(b1)]"
+        t = NFRTuple(SCHEMA, [["a1", "a2"], ["b1"]])
+        rendered = sorted(str(f) for f in t.flats())
+        assert rendered == ["[A(a1) B(b1)]", "[A(a2) B(b1)]"]
+
+    def test_contains_flat(self, t):
+        assert t.contains_flat(FlatTuple(SCHEMA, ["a1", "b1"]))
+        assert not t.contains_flat(FlatTuple(SCHEMA, ["a1", "bX"]))
+
+    def test_contains_flat_schema_mismatch(self, t):
+        other = FlatTuple(RelationSchema(["X", "Y"]), ["a1", "b1"])
+        assert not t.contains_flat(other)
+
+    def test_to_flat_requires_singletons(self, t):
+        with pytest.raises(NFRError):
+            t.to_flat()
+
+
+class TestStructuralRelations:
+    def test_agrees_with(self, t):
+        other = NFRTuple(SCHEMA, [["a1", "a2"], ["bX"]])
+        assert t.agrees_with(other, ["A"])
+        assert not t.agrees_with(other, ["B"])
+
+    def test_differs_only_on(self, t):
+        other = NFRTuple(SCHEMA, [["a1", "a2"], ["bX"]])
+        assert t.differs_only_on(other, "B")
+        assert not t.differs_only_on(other, "A")
+
+    def test_covers(self, t):
+        smaller = NFRTuple(SCHEMA, [["a1"], ["b1"]])
+        assert t.covers(smaller)
+        assert not smaller.covers(t)
+
+
+class TestDerivation:
+    def test_with_component(self, t):
+        out = t.with_component("B", ["b1", "b2"])
+        assert out["B"] == ValueSet(["b1", "b2"])
+        assert t["B"] == ValueSet(["b1"])  # original untouched
+
+    def test_project(self, t):
+        assert t.project(["A"]).schema.names == ("A",)
+
+    def test_reorder(self, t):
+        out = t.reorder(["B", "A"])
+        assert out.schema.names == ("B", "A")
+        assert out["A"] == t["A"]
+
+    def test_rename(self, t):
+        assert t.rename({"A": "X"})["X"] == t["A"]
+
+
+class TestRendering:
+    def test_paper_notation(self, t):
+        assert t.render() == "[A(a1, a2) B(b1)]"
+
+    def test_hashable(self):
+        a = NFRTuple(SCHEMA, [["a1", "a2"], ["b1"]])
+        b = NFRTuple(SCHEMA, [["a2", "a1"], ["b1"]])
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_sort_key_total_order(self, t):
+        other = NFRTuple(SCHEMA, [["a1"], ["b1", "b2"]])
+        assert sorted([t, other], key=lambda x: x.sort_key()) == sorted(
+            [other, t], key=lambda x: x.sort_key()
+        )

@@ -1,0 +1,201 @@
+"""Tests for repro.core.update (§4 insertion/deletion, Theorem A-4)."""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.core.update import CanonicalNFR, NaiveCanonicalNFR, replay_updates
+from repro.errors import FlatTupleNotFoundError, UpdateError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+from repro.workloads.synthetic import random_relation, update_stream
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_rows(
+        ["A", "B", "C"],
+        [
+            ("a1", "b1", "c1"),
+            ("a1", "b2", "c1"),
+            ("a2", "b1", "c1"),
+            ("a2", "b1", "c2"),
+        ],
+    )
+
+
+@pytest.fixture
+def store(rel):
+    return CanonicalNFR(rel, ["A", "B", "C"], validate=True)
+
+
+class TestConstruction:
+    def test_initial_state_is_canonical(self, rel, store):
+        assert store.relation == canonical_form(rel, ["A", "B", "C"])
+        assert store.is_canonical()
+
+    def test_accepts_nfr_input(self, rel):
+        from repro.core.nfr_relation import NFRelation
+
+        store = CanonicalNFR(NFRelation.from_1nf(rel), ["B", "C", "A"])
+        assert store.to_1nf() == rel
+
+    def test_empty_relation(self):
+        schema = RelationSchema(["A", "B"])
+        store = CanonicalNFR(Relation(schema), ["A", "B"], validate=True)
+        assert store.cardinality == 0
+        store.insert_values("a", "b")
+        assert store.cardinality == 1
+
+    def test_order_must_be_permutation(self, rel):
+        with pytest.raises(Exception):
+            CanonicalNFR(rel, ["A", "B"])
+
+
+class TestInsertion:
+    def test_insert_fresh_flat(self, store):
+        assert store.insert_values("a9", "b9", "c9")
+        assert store.represents(
+            FlatTuple(store.schema, ["a9", "b9", "c9"])
+        )
+
+    def test_insert_duplicate_is_noop(self, store, rel):
+        before = store.relation
+        assert not store.insert_values("a1", "b1", "c1")
+        assert store.relation == before
+        assert store.counter.since("nothing").compositions >= 0
+
+    def test_insert_matches_full_renest(self, rel, store):
+        flat = FlatTuple(store.schema, ["a1", "b1", "c2"])
+        store.insert_flat(flat)
+        expected = canonical_form(rel.with_tuple(flat), ["A", "B", "C"])
+        assert store.relation == expected
+
+    def test_insert_reorders_flat_schema(self, store):
+        other = FlatTuple(
+            RelationSchema(["C", "A", "B"]), ["c7", "a7", "b7"]
+        )
+        assert store.insert_flat(other)
+        assert store.represents(
+            FlatTuple(store.schema, ["a7", "b7", "c7"])
+        )
+
+    def test_insert_wrong_schema_rejected(self, store):
+        bad = FlatTuple(RelationSchema(["X", "Y", "Z"]), ["x", "y", "z"])
+        with pytest.raises(UpdateError):
+            store.insert_flat(bad)
+
+
+class TestDeletion:
+    def test_delete_then_absent(self, store):
+        store.delete_values("a1", "b1", "c1")
+        assert not store.represents(
+            FlatTuple(store.schema, ["a1", "b1", "c1"])
+        )
+
+    def test_delete_matches_full_renest(self, rel, store):
+        flat = FlatTuple(store.schema, ["a2", "b1", "c2"])
+        store.delete_flat(flat)
+        expected = canonical_form(rel.without_tuple(flat), ["A", "B", "C"])
+        assert store.relation == expected
+
+    def test_delete_absent_raises(self, store):
+        with pytest.raises(FlatTupleNotFoundError):
+            store.delete_values("zz", "zz", "zz")
+
+    def test_delete_everything(self, rel, store):
+        for flat in list(rel):
+            store.delete_flat(flat)
+        assert store.cardinality == 0
+        assert store.to_1nf().cardinality == 0
+
+    def test_insert_delete_roundtrip(self, rel, store):
+        before = store.relation
+        store.insert_values("aX", "bX", "cX")
+        store.delete_values("aX", "bX", "cX")
+        assert store.relation == before
+
+
+class TestCounters:
+    def test_counters_track_update_work(self, store):
+        store.counter.mark("op")
+        store.insert_values("a9", "b9", "c9")
+        delta = store.counter.since("op")
+        assert delta.total_structural >= 0  # fresh tuple may need no ops
+
+    def test_replay_updates(self, rel, store):
+        ins, dels = update_stream(rel, 3, 2, seed=1)
+        counter = replay_updates(store, inserts=ins, deletes=dels)
+        assert counter.since("replay").tuple_probes >= 0
+        assert store.is_canonical()
+
+
+class TestNaiveBaseline:
+    def test_naive_agrees_with_maintenance(self, rel):
+        fast = CanonicalNFR(rel, ["B", "A", "C"])
+        naive = NaiveCanonicalNFR(rel, ["B", "A", "C"])
+        ins, dels = update_stream(rel, 5, 3, seed=3)
+        for f in ins:
+            assert fast.insert_flat(f) == naive.insert_flat(f)
+        for f in dels:
+            fast.delete_flat(f)
+            naive.delete_flat(f)
+        assert fast.relation == naive.relation
+
+    def test_naive_insert_duplicate_noop(self, rel):
+        naive = NaiveCanonicalNFR(rel, ["A", "B", "C"])
+        assert not naive.insert_flat(
+            FlatTuple(naive.relation.schema, ["a1", "b1", "c1"])
+        )
+
+    def test_naive_delete_absent_raises(self, rel):
+        naive = NaiveCanonicalNFR(rel, ["A", "B", "C"])
+        with pytest.raises(FlatTupleNotFoundError):
+            naive.delete_flat(
+                FlatTuple(naive.relation.schema, ["z", "z", "z"])
+            )
+
+    def test_naive_cost_scales_with_relation(self):
+        small = random_relation(["A", "B", "C"], 30, domain_size=4, seed=1)
+        large = random_relation(["A", "B", "C"], 300, domain_size=8, seed=1)
+        cost = {}
+        for name, rel in (("small", small), ("large", large)):
+            naive = NaiveCanonicalNFR(rel, ["A", "B", "C"])
+            naive.counter.reset()
+            ins, _ = update_stream(rel, 1, 0, seed=9)
+            naive.insert_flat(ins[0])
+            cost[name] = naive.counter.total_structural
+        assert cost["large"] > cost["small"] * 3
+
+
+class TestTheoremA4Shape:
+    """The headline: maintenance cost independent of |R|."""
+
+    def test_cost_flat_across_sizes(self):
+        costs = []
+        for card in (50, 200, 800):
+            rel = random_relation(
+                ["A", "B", "C"], card, domain_size=12, seed=5
+            )
+            store = CanonicalNFR(rel, ["A", "B", "C"])
+            store.counter.reset()
+            ins, dels = update_stream(rel, 20, 20, seed=6)
+            for f in ins:
+                store.insert_flat(f)
+            for f in dels:
+                store.delete_flat(f)
+            costs.append(store.counter.total_structural / 40)
+        # Mean per-update structural ops must not grow with |R|:
+        assert max(costs) <= max(4 * min(costs), min(costs) + 6)
+
+    def test_maintained_cheaper_than_naive_on_large(self):
+        rel = random_relation(["A", "B", "C"], 500, domain_size=10, seed=7)
+        fast = CanonicalNFR(rel, ["A", "B", "C"])
+        naive = NaiveCanonicalNFR(rel, ["A", "B", "C"])
+        fast.counter.reset()
+        naive.counter.reset()
+        ins, _ = update_stream(rel, 5, 0, seed=8)
+        for f in ins:
+            fast.insert_flat(f)
+            naive.insert_flat(f)
+        assert fast.counter.total_structural < naive.counter.total_structural / 10

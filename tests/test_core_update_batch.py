@@ -1,0 +1,86 @@
+"""Tests for the batch-update extension of CanonicalNFR."""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.core.update import CanonicalNFR
+from repro.errors import FlatTupleNotFoundError
+from repro.relational.relation import Relation
+from repro.relational.tuples import FlatTuple
+from repro.workloads.synthetic import (
+    product_blocks,
+    random_relation,
+    update_stream,
+)
+
+
+@pytest.fixture
+def rel():
+    return random_relation(["A", "B", "C"], 80, domain_size=6, seed=17)
+
+
+class TestBatchSemantics:
+    def test_insert_batch_equals_sequential(self, rel):
+        ins, _ = update_stream(rel, 20, 0, seed=18)
+        batched = CanonicalNFR(rel, ["A", "B", "C"])
+        sequential = CanonicalNFR(rel, ["A", "B", "C"])
+        count = batched.insert_batch(ins)
+        for f in ins:
+            sequential.insert_flat(f)
+        assert batched.relation == sequential.relation
+        assert count == 20
+
+    def test_delete_batch_equals_sequential(self, rel):
+        _, dels = update_stream(rel, 0, 20, seed=19)
+        batched = CanonicalNFR(rel, ["A", "B", "C"])
+        sequential = CanonicalNFR(rel, ["A", "B", "C"])
+        removed = batched.delete_batch(dels)
+        for f in dels:
+            sequential.delete_flat(f)
+        assert batched.relation == sequential.relation
+        assert removed == 20
+
+    def test_batch_result_is_canonical(self, rel):
+        ins, dels = update_stream(rel, 15, 15, seed=20)
+        store = CanonicalNFR(rel, ["B", "A", "C"])
+        store.insert_batch(ins)
+        store.delete_batch(dels)
+        expected_flats = (set(rel.tuples) | set(ins)) - set(dels)
+        assert store.relation == canonical_form(
+            Relation(rel.schema, expected_flats), ["B", "A", "C"]
+        )
+
+    def test_insert_batch_counts_only_new(self, rel):
+        some_existing = rel.sorted_tuples()[:5]
+        ins, _ = update_stream(rel, 5, 0, seed=21)
+        store = CanonicalNFR(rel, ["A", "B", "C"])
+        assert store.insert_batch(ins + some_existing) == 5
+
+    def test_delete_batch_raises_on_missing(self, rel):
+        store = CanonicalNFR(rel, ["A", "B", "C"])
+        missing = FlatTuple(rel.schema, ["zz", "zz", "zz"])
+        with pytest.raises(FlatTupleNotFoundError):
+            store.delete_batch([missing])
+
+    def test_batch_on_dense_product_blocks(self):
+        """Product blocks force the deepest recons cascades: deleting a
+        corner of a block splits it into up to n pieces."""
+        rel = product_blocks(["A", "B", "C"], blocks=4, block_side=3)
+        store = CanonicalNFR(rel, ["A", "B", "C"], validate=True)
+        victims = rel.sorted_tuples()[:10]
+        store.delete_batch(victims)
+        store.insert_batch(victims)
+        assert store.to_1nf() == rel
+
+
+class TestLocalityOrdering:
+    def test_sorted_for_locality_is_deterministic(self, rel):
+        ins, _ = update_stream(rel, 10, 0, seed=22)
+        store = CanonicalNFR(rel, ["C", "B", "A"])
+        import random
+
+        shuffled = list(ins)
+        random.Random(0).shuffle(shuffled)
+        assert store._sorted_for_locality(ins) == store._sorted_for_locality(
+            shuffled
+        )

@@ -1,0 +1,96 @@
+"""Tests for repro.core.values (ValueSet)."""
+
+import pytest
+
+from repro.core.values import ValueSet
+from repro.errors import EmptyComponentError, NFRError
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        assert len(ValueSet(["a", "b"])) == 2
+
+    def test_string_is_one_value_not_chars(self):
+        vs = ValueSet("c1")
+        assert len(vs) == 1
+        assert "c1" in vs
+
+    def test_single(self):
+        assert ValueSet.single(5).only == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyComponentError):
+            ValueSet([])
+
+    def test_non_atomic_member_rejected(self):
+        with pytest.raises(NFRError):
+            ValueSet([["nested"]])
+
+    def test_bare_int_rejected_with_hint(self):
+        with pytest.raises(NFRError, match="single"):
+            ValueSet(5)
+
+    def test_from_valueset_is_identity(self):
+        vs = ValueSet(["a"])
+        assert ValueSet(vs) == vs
+
+    def test_duplicates_collapse(self):
+        assert len(ValueSet(["a", "a"])) == 1
+
+
+class TestSetOps:
+    def test_union(self):
+        assert ValueSet(["a"]).union(ValueSet(["b"])) == ValueSet(["a", "b"])
+
+    def test_union_with_iterable(self):
+        assert ValueSet(["a"]).union(["b"]) == ValueSet(["a", "b"])
+
+    def test_without(self):
+        assert ValueSet(["a", "b"]).without("a") == ValueSet(["b"])
+
+    def test_without_absent_raises(self):
+        with pytest.raises(NFRError):
+            ValueSet(["a"]).without("z")
+
+    def test_without_last_value_raises(self):
+        with pytest.raises(EmptyComponentError):
+            ValueSet(["a"]).without("a")
+
+    def test_difference(self):
+        assert ValueSet(["a", "b", "c"]).difference(["a"]) == ValueSet(
+            ["b", "c"]
+        )
+
+    def test_difference_to_empty_raises(self):
+        with pytest.raises(EmptyComponentError):
+            ValueSet(["a"]).difference(["a"])
+
+    def test_subset_superset_disjoint(self):
+        small, big = ValueSet(["a"]), ValueSet(["a", "b"])
+        assert small.issubset(big)
+        assert big.issuperset(small)
+        assert ValueSet(["x"]).isdisjoint(big)
+
+
+class TestSingleton:
+    def test_is_singleton(self):
+        assert ValueSet(["a"]).is_singleton
+        assert not ValueSet(["a", "b"]).is_singleton
+
+    def test_only_on_non_singleton_raises(self):
+        with pytest.raises(NFRError):
+            ValueSet(["a", "b"]).only
+
+
+class TestRendering:
+    def test_render_sorted(self):
+        assert ValueSet(["b", "a"]).render() == "a, b"
+
+    def test_render_mixed_types(self):
+        assert ValueSet(["x", 1]).render() == "1, x"
+
+    def test_str(self):
+        assert str(ValueSet(["a"])) == "{a}"
+
+    def test_hashable_value_object(self):
+        assert len({ValueSet(["a", "b"]), ValueSet(["b", "a"])}) == 1

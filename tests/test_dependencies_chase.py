@@ -1,0 +1,123 @@
+"""Tests for repro.dependencies.chase."""
+
+from repro.dependencies.chase import (
+    Tableau,
+    chase,
+    dependency_basis,
+    implies,
+    implies_fd,
+    implies_mvd,
+    is_lossless_join,
+)
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.mvd import MultivaluedDependency as MVD
+
+U = ("A", "B", "C", "D")
+
+
+class TestFdImplication:
+    def test_transitivity(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C")]
+        assert implies_fd(fds, FD.parse("A -> C"), U)
+
+    def test_not_implied(self):
+        fds = [FD.parse("A -> B")]
+        assert not implies_fd(fds, FD.parse("B -> A"), U)
+
+    def test_mvd_plus_fd_gives_fd(self):
+        # X ->-> Y and Y' -> Z interplay: A ->-> B with B -> C over ABC
+        # implies A -> C (classical inference rule).
+        deps = [MVD(["A"], ["B"]), FD.parse("B -> C")]
+        assert implies_fd(deps, FD.parse("A -> C"), ("A", "B", "C"))
+
+    def test_uniform_interface(self):
+        fds = [FD.parse("A -> B")]
+        assert implies(fds, FD.parse("A -> B"), U)
+        assert implies(fds, MVD(["A"], ["B"]), U)
+
+
+class TestMvdImplication:
+    def test_fd_implies_mvd(self):
+        assert implies_mvd([FD.parse("A -> B")], MVD(["A"], ["B"]), U)
+
+    def test_complementation_rule(self):
+        deps = [MVD(["A"], ["B"])]
+        assert implies_mvd(deps, MVD(["A"], ["C", "D"]), U)
+
+    def test_trivial_mvd(self):
+        assert implies_mvd([], MVD(["A"], ["A"]), U)
+        assert implies_mvd([], MVD(["A"], ["B", "C", "D"]), U)
+
+    def test_unrelated_mvd_not_implied(self):
+        deps = [MVD(["A"], ["B"])]
+        assert not implies_mvd(deps, MVD(["B"], ["C"]), U)
+
+    def test_augmentation(self):
+        deps = [MVD(["A"], ["B"])]
+        assert implies_mvd(deps, MVD(["A", "C"], ["B"]), U)
+
+
+class TestLosslessJoin:
+    def test_classic_lossless(self):
+        fds = [FD.parse("A -> B")]
+        assert is_lossless_join(
+            ("A", "B", "C"), [("A", "B"), ("A", "C")], fds
+        )
+
+    def test_lossy_without_fd(self):
+        assert not is_lossless_join(
+            ("A", "B", "C"), [("A", "B"), ("A", "C")], []
+        )
+
+    def test_mvd_makes_binary_split_lossless(self):
+        deps = [MVD(["A"], ["B"])]
+        assert is_lossless_join(
+            ("A", "B", "C"), [("A", "B"), ("A", "C")], deps
+        )
+
+    def test_uncovered_attribute_is_lossy(self):
+        assert not is_lossless_join(("A", "B", "C"), [("A", "B")], [])
+
+    def test_single_component_always_lossless(self):
+        assert is_lossless_join(("A", "B"), [("A", "B")], [])
+
+
+class TestChaseMechanics:
+    def test_fd_step_equates_symbols(self):
+        t = Tableau(("A", "B"), [(0, 2), (0, 3)])
+        chased = chase(t, [FD.parse("A -> B")])
+        assert len(chased.rows) == 1
+
+    def test_mvd_step_adds_rows(self):
+        t = Tableau(("A", "B", "C"), [(0, 1, 2), (0, 3, 4)])
+        chased = chase(t, [MVD(["A"], ["B"])])
+        assert (0, 1, 4) in chased.rows
+        assert (0, 3, 2) in chased.rows
+
+    def test_chase_is_idempotent(self):
+        t = Tableau(("A", "B", "C"), [(0, 1, 2), (0, 3, 4)])
+        once = chase(t, [MVD(["A"], ["B"])])
+        twice = chase(once, [MVD(["A"], ["B"])])
+        assert once.rows == twice.rows
+
+
+class TestDependencyBasis:
+    def test_single_mvd_splits_complement(self):
+        deps = [MVD(["A"], ["B"])]
+        basis = dependency_basis({"A"}, deps, ("A", "B", "C"))
+        assert basis == {frozenset({"B"}), frozenset({"C"})}
+
+    def test_fd_gives_singletons(self):
+        deps = [FD.parse("A -> B")]
+        basis = dependency_basis({"A"}, deps, ("A", "B", "C"))
+        assert frozenset({"B"}) in basis
+
+    def test_no_dependencies_coarse_basis(self):
+        basis = dependency_basis({"A"}, [], ("A", "B", "C"))
+        assert basis == {frozenset({"B", "C"})}
+
+    def test_basis_covers_complement(self):
+        deps = [MVD(["A"], ["B"]), FD.parse("A -> C")]
+        basis = dependency_basis({"A"}, deps, ("A", "B", "C", "D"))
+        union = frozenset().union(*basis)
+        assert union == {"B", "C", "D"}

@@ -1,0 +1,77 @@
+"""Tests for repro.dependencies.closure."""
+
+from repro.dependencies.closure import (
+    attribute_closure,
+    derive,
+    fd_implies,
+    fds_equivalent,
+    project_fds,
+)
+from repro.dependencies.fd import FunctionalDependency as FD
+
+CHAIN = [FD.parse("A -> B"), FD.parse("B -> C"), FD.parse("C -> D")]
+
+
+class TestClosure:
+    def test_chain(self):
+        assert attribute_closure({"A"}, CHAIN) == {"A", "B", "C", "D"}
+
+    def test_middle_of_chain(self):
+        assert attribute_closure({"C"}, CHAIN) == {"C", "D"}
+
+    def test_no_fds(self):
+        assert attribute_closure({"A"}, []) == {"A"}
+
+    def test_composite_lhs_needed(self):
+        fds = [FD.parse("A, B -> C")]
+        assert attribute_closure({"A"}, fds) == {"A"}
+        assert attribute_closure({"A", "B"}, fds) == {"A", "B", "C"}
+
+    def test_cyclic_fds_terminate(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> A")]
+        assert attribute_closure({"A"}, fds) == {"A", "B"}
+
+
+class TestImplication:
+    def test_implied_transitively(self):
+        assert fd_implies(CHAIN, FD.parse("A -> D"))
+
+    def test_not_implied(self):
+        assert not fd_implies(CHAIN, FD.parse("B -> A"))
+
+    def test_equivalence(self):
+        merged = [FD.parse("A -> B, C, D"), FD.parse("B -> C"), FD.parse("C -> D")]
+        assert fds_equivalent(CHAIN, merged)
+
+    def test_non_equivalence(self):
+        assert not fds_equivalent(CHAIN, [FD.parse("A -> B")])
+
+
+class TestProjection:
+    def test_transitive_fd_appears(self):
+        projected = project_fds(CHAIN, {"A", "C"})
+        assert any(
+            fd.lhs == {"A"} and "C" in fd.rhs for fd in projected
+        )
+
+    def test_projection_drops_outside_attributes(self):
+        projected = project_fds(CHAIN, {"A", "C"})
+        for fd in projected:
+            assert fd.attributes <= {"A", "C"}
+
+
+class TestDerivation:
+    def test_derivation_exists_for_implied(self):
+        steps = derive(CHAIN, FD.parse("A -> D"), "ABCD")
+        assert steps is not None
+        assert steps[0].rule == "reflexivity"
+        assert steps[-1].conclusion == FD.parse("A -> D")
+
+    def test_derivation_none_for_unimplied(self):
+        assert derive(CHAIN, FD.parse("D -> A"), "ABCD") is None
+
+    def test_derivation_steps_are_sound(self):
+        # every step's conclusion must itself be implied by the base FDs
+        steps = derive(CHAIN, FD.parse("A -> C"), "ABCD")
+        for step in steps:
+            assert fd_implies(CHAIN, step.conclusion)

@@ -1,0 +1,48 @@
+"""Tests for repro.dependencies.cover."""
+
+from repro.dependencies.closure import fds_equivalent
+from repro.dependencies.cover import group_by_lhs, minimal_cover
+from repro.dependencies.fd import FunctionalDependency as FD
+
+
+class TestMinimalCover:
+    def test_cover_is_equivalent(self):
+        fds = [FD.parse("A -> B, C"), FD.parse("B -> C"), FD.parse("A -> B")]
+        cover = minimal_cover(fds)
+        assert fds_equivalent(cover, fds)
+
+    def test_redundant_fd_removed(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C"), FD.parse("A -> C")]
+        cover = minimal_cover(fds)
+        assert FD.parse("A -> C") not in cover
+        assert len(cover) == 2
+
+    def test_extraneous_lhs_attribute_removed(self):
+        fds = [FD.parse("A -> B"), FD.parse("A, B -> C")]
+        cover = minimal_cover(fds)
+        assert FD.parse("A -> C") in cover
+
+    def test_singleton_rhs(self):
+        cover = minimal_cover([FD.parse("A -> B, C")])
+        assert all(len(fd.rhs) == 1 for fd in cover)
+
+    def test_trivial_fds_dropped(self):
+        cover = minimal_cover([FD.parse("A -> A"), FD.parse("A -> B")])
+        assert cover == {FD.parse("A -> B")}
+
+    def test_deterministic(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C"), FD.parse("C -> A")]
+        assert minimal_cover(fds) == minimal_cover(list(reversed(fds)))
+
+    def test_empty_input(self):
+        assert minimal_cover([]) == frozenset()
+
+
+class TestGroupByLhs:
+    def test_merges_same_lhs(self):
+        groups = group_by_lhs([FD.parse("A -> B"), FD.parse("A -> C")])
+        assert groups == {frozenset({"A"}): frozenset({"B", "C"})}
+
+    def test_distinct_lhs_stay_separate(self):
+        groups = group_by_lhs([FD.parse("A -> B"), FD.parse("B -> C")])
+        assert len(groups) == 2

@@ -1,0 +1,93 @@
+"""Tests for repro.dependencies.decomposition (BCNF / 4NF)."""
+
+from repro.dependencies.chase import is_lossless_join
+from repro.dependencies.decomposition import (
+    apply_decomposition,
+    decompose_4nf,
+    decompose_bcnf,
+    is_lossless_on_instance,
+    rejoin,
+)
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.mvd import MultivaluedDependency as MVD
+from repro.dependencies.normalforms import is_bcnf
+from repro.dependencies.closure import project_fds
+from repro.relational.relation import Relation
+
+
+class TestBcnfDecomposition:
+    def test_transitive_chain_splits(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C")]
+        result = decompose_bcnf(["A", "B", "C"], fds)
+        assert sorted(result.as_sorted_lists()) == [["A", "B"], ["B", "C"]]
+
+    def test_each_component_is_bcnf(self):
+        fds = [FD.parse("City, Street -> Zip"), FD.parse("Zip -> City")]
+        result = decompose_bcnf(["City", "Street", "Zip"], fds)
+        for schema in result.schemas:
+            assert is_bcnf(sorted(schema), project_fds(fds, schema))
+
+    def test_decomposition_is_lossless(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C")]
+        result = decompose_bcnf(["A", "B", "C"], fds)
+        assert is_lossless_join(
+            ("A", "B", "C"), [sorted(s) for s in result.schemas], fds
+        )
+
+    def test_already_bcnf_untouched(self):
+        fds = [FD.parse("A -> B")]
+        result = decompose_bcnf(["A", "B"], fds)
+        assert result.as_sorted_lists() == [["A", "B"]]
+        assert not result.steps
+
+    def test_steps_recorded(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C")]
+        result = decompose_bcnf(["A", "B", "C"], fds)
+        assert len(result.steps) >= 1
+
+
+class Test4nfDecomposition:
+    def test_mvd_splits_fig1_style_schema(self):
+        deps = [MVD(["Student"], ["Course"])]
+        result = decompose_4nf(["Student", "Course", "Club"], deps)
+        assert sorted(result.as_sorted_lists()) == [
+            ["Club", "Student"],
+            ["Course", "Student"],
+        ]
+
+    def test_key_mvd_does_not_split(self):
+        deps = [FD.parse("A -> B, C"), MVD(["A"], ["B"])]
+        result = decompose_4nf(["A", "B", "C"], deps)
+        assert result.as_sorted_lists() == [["A", "B", "C"]]
+
+    def test_fd_violations_also_split(self):
+        deps = [FD.parse("B -> C")]
+        result = decompose_4nf(["A", "B", "C"], deps)
+        assert sorted(result.as_sorted_lists()) == [["A", "B"], ["B", "C"]]
+
+
+class TestInstanceLevel:
+    def test_rejoin_recovers_instance_with_mvd(self):
+        rows = [
+            ("s1", c, b)
+            for c in ("c1", "c2", "c3")
+            for b in ("b1", "b2")
+        ]
+        r = Relation.from_rows(["Student", "Course", "Club"], rows)
+        schemas = [["Student", "Course"], ["Student", "Club"]]
+        assert is_lossless_on_instance(r, schemas)
+
+    def test_lossy_decomposition_detected_on_instance(self):
+        r = Relation.from_rows(
+            ["A", "B", "C"],
+            [("a1", "b1", "c1"), ("a2", "b1", "c2")],
+        )
+        # splitting on B loses which A went with which C
+        assert not is_lossless_on_instance(r, [["A", "B"], ["B", "C"]])
+
+    def test_apply_and_rejoin_shapes(self):
+        r = Relation.from_rows(["A", "B", "C"], [("a", "b", "c")])
+        comps = apply_decomposition(r, [["A", "B"], ["B", "C"]])
+        assert [c.schema.names for c in comps] == [("A", "B"), ("B", "C")]
+        joined = rejoin(comps)
+        assert set(joined.schema.names) == {"A", "B", "C"}

@@ -1,0 +1,72 @@
+"""Tests for repro.dependencies.discovery."""
+
+from repro.dependencies.discovery import (
+    discover_fds,
+    discover_mvds,
+    verify_planted,
+)
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.mvd import MultivaluedDependency as MVD
+from repro.relational.relation import Relation
+from repro.workloads.synthetic import with_planted_fd, with_planted_mvd
+
+
+class TestDiscoverFds:
+    def test_finds_planted_fd(self):
+        r = with_planted_fd(["A", "B", "C"], ["A"], 40, seed=1)
+        fds = discover_fds(r)
+        assert any(fd.lhs == {"A"} and fd.rhs == {"B"} for fd in fds)
+        assert any(fd.lhs == {"A"} and fd.rhs == {"C"} for fd in fds)
+
+    def test_minimality_pruning(self):
+        r = with_planted_fd(["A", "B", "C"], ["A"], 40, seed=1)
+        fds = discover_fds(r)
+        # A -> B discovered, so {A, C} -> B must not be reported.
+        assert not any(fd.lhs == {"A", "C"} and fd.rhs == {"B"} for fd in fds)
+
+    def test_no_fds_in_product(self):
+        rows = [(a, b) for a in "xy" for b in "uv"]
+        r = Relation.from_rows(["A", "B"], rows)
+        assert discover_fds(r) == frozenset()
+
+    def test_key_discovered(self):
+        r = Relation.from_rows(
+            ["Id", "Name"], [(1, "x"), (2, "y"), (3, "x")]
+        )
+        assert FD(["Id"], ["Name"]) in discover_fds(r)
+
+
+class TestDiscoverMvds:
+    def test_finds_planted_mvd(self):
+        r = with_planted_mvd(
+            ["A", "B", "C"], ["A"], ["B"], keys=6, seed=2
+        )
+        mvds = discover_mvds(r)
+        assert any(m.lhs == {"A"} for m in mvds)
+
+    def test_fd_implied_mvds_filtered(self):
+        r = with_planted_fd(["A", "B", "C"], ["A"], 40, seed=3)
+        mvds = discover_mvds(r)
+        # A -> B holds, so A ->-> B must be filtered as FD-implied.
+        assert not any(
+            m.lhs == {"A"} and m.rhs in ({"B"}, {"C"}) for m in mvds
+        )
+
+    def test_reports_one_side_of_complement_pair(self):
+        r = with_planted_mvd(["A", "B", "C"], ["A"], ["B"], keys=5, seed=4)
+        mvds = [m for m in discover_mvds(r) if m.lhs == {"A"}]
+        sides = {frozenset(m.rhs) for m in mvds}
+        assert not (
+            frozenset({"B"}) in sides and frozenset({"C"}) in sides
+        )
+
+
+class TestVerifyPlanted:
+    def test_report_flags(self):
+        r = with_planted_mvd(["A", "B", "C"], ["A"], ["B"], keys=4, seed=5)
+        report = verify_planted(
+            r, mvds=[MVD(["A"], ["B"])], fds=[FD(["A"], ["B"])]
+        )
+        assert report["A ->-> B"] is True
+        # the FD will generally not hold in an MVD workload
+        assert report["A -> B"] in (True, False)

@@ -1,0 +1,82 @@
+"""Tests for repro.dependencies.fd."""
+
+import pytest
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.errors import DependencyError
+from repro.relational.relation import Relation
+
+
+class TestConstruction:
+    def test_parse(self):
+        fd = FD.parse("A, B -> C, D")
+        assert fd.lhs == {"A", "B"}
+        assert fd.rhs == {"C", "D"}
+
+    def test_parse_without_arrow_rejected(self):
+        with pytest.raises(DependencyError):
+            FD.parse("A B C")
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            FD([], ["A"])
+        with pytest.raises(DependencyError):
+            FD(["A"], [])
+
+    def test_bad_attribute_rejected(self):
+        with pytest.raises(DependencyError):
+            FD([""], ["A"])
+
+    def test_value_equality_and_hash(self):
+        assert FD(["A"], ["B"]) == FD(["A"], ["B"])
+        assert len({FD(["A"], ["B"]), FD(["A"], ["B"])}) == 1
+
+    def test_str(self):
+        assert str(FD(["B", "A"], ["C"])) == "A, B -> C"
+
+
+class TestStructure:
+    def test_trivial(self):
+        assert FD(["A", "B"], ["A"]).is_trivial()
+        assert not FD(["A"], ["B"]).is_trivial()
+
+    def test_nontrivial_part(self):
+        fd = FD(["A"], ["A", "B"])
+        assert fd.nontrivial_part() == FD(["A"], ["B"])
+        assert FD(["A"], ["A"]).nontrivial_part() is None
+
+    def test_split(self):
+        parts = FD(["A"], ["B", "C"]).split()
+        assert FD(["A"], ["B"]) in parts
+        assert FD(["A"], ["C"]) in parts
+        assert len(parts) == 2
+
+    def test_attributes(self):
+        assert FD(["A"], ["B"]).attributes == {"A", "B"}
+
+    def test_rename(self):
+        assert FD(["A"], ["B"]).rename({"A": "X"}) == FD(["X"], ["B"])
+
+
+class TestHoldsIn:
+    def test_holds(self):
+        r = Relation.from_rows(
+            ["A", "B"], [("a1", "b1"), ("a2", "b2"), ("a1", "b1")]
+        )
+        assert FD(["A"], ["B"]).holds_in(r)
+
+    def test_violated(self):
+        r = Relation.from_rows(["A", "B"], [("a1", "b1"), ("a1", "b2")])
+        assert not FD(["A"], ["B"]).holds_in(r)
+
+    def test_composite_lhs(self):
+        r = Relation.from_rows(
+            ["A", "B", "C"],
+            [("a", "b", "c1"), ("a", "b2", "c2"), ("a2", "b", "c3")],
+        )
+        assert FD(["A", "B"], ["C"]).holds_in(r)
+
+    def test_unknown_attribute_rejected(self):
+        r = Relation.from_rows(["A"], [("a",)])
+        with pytest.raises(Exception):
+            FD(["Z"], ["A"]).holds_in(r)

@@ -1,0 +1,66 @@
+"""Tests for repro.dependencies.keys."""
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.keys import (
+    candidate_keys,
+    is_candidate_key,
+    is_superkey,
+    prime_attributes,
+)
+
+
+class TestSuperkey:
+    def test_whole_universe_is_superkey(self):
+        assert is_superkey({"A", "B"}, {"A", "B"}, [])
+
+    def test_fd_gives_smaller_superkey(self):
+        fds = [FD.parse("A -> B")]
+        assert is_superkey({"A"}, {"A", "B"}, fds)
+        assert not is_superkey({"B"}, {"A", "B"}, fds)
+
+
+class TestCandidateKeys:
+    def test_simple_chain(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C")]
+        assert candidate_keys({"A", "B", "C"}, fds) == {frozenset({"A"})}
+
+    def test_cycle_gives_multiple_keys(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> A")]
+        keys = candidate_keys({"A", "B"}, fds)
+        assert keys == {frozenset({"A"}), frozenset({"B"})}
+
+    def test_no_fds_key_is_universe(self):
+        assert candidate_keys({"A", "B"}, []) == {frozenset({"A", "B"})}
+
+    def test_core_attribute_in_every_key(self):
+        # C never appears on a rhs, so every key contains C.
+        fds = [FD.parse("A -> B")]
+        keys = candidate_keys({"A", "B", "C"}, fds)
+        assert all("C" in k for k in keys)
+
+    def test_classic_two_key_example(self):
+        # city,street -> zip; zip -> city
+        fds = [FD.parse("City, Street -> Zip"), FD.parse("Zip -> City")]
+        keys = candidate_keys({"City", "Street", "Zip"}, fds)
+        assert frozenset({"City", "Street"}) in keys
+        assert frozenset({"Street", "Zip"}) in keys
+        assert len(keys) == 2
+
+    def test_is_candidate_key_rejects_superset(self):
+        fds = [FD.parse("A -> B")]
+        assert is_candidate_key({"A"}, {"A", "B"}, fds)
+        assert not is_candidate_key({"A", "B"}, {"A", "B"}, fds)
+
+
+class TestPrimeAttributes:
+    def test_prime(self):
+        fds = [FD.parse("City, Street -> Zip"), FD.parse("Zip -> City")]
+        assert prime_attributes({"City", "Street", "Zip"}, fds) == {
+            "City",
+            "Street",
+            "Zip",
+        }
+
+    def test_non_prime(self):
+        fds = [FD.parse("A -> B")]
+        assert prime_attributes({"A", "B"}, fds) == {"A"}

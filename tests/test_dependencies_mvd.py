@@ -1,0 +1,85 @@
+"""Tests for repro.dependencies.mvd."""
+
+import pytest
+
+from repro.dependencies.mvd import MultivaluedDependency as MVD
+from repro.dependencies.mvd import mvd_partition_notation
+from repro.errors import DependencyError
+from repro.relational.relation import Relation
+
+
+class TestConstruction:
+    def test_parse(self):
+        m = MVD.parse("A ->-> B, C")
+        assert m.lhs == {"A"}
+        assert m.rhs == {"B", "C"}
+
+    def test_parse_short_arrow(self):
+        assert MVD.parse("A ->> B") == MVD(["A"], ["B"])
+
+    def test_parse_without_arrow_rejected(self):
+        with pytest.raises(DependencyError):
+            MVD.parse("A -> B")
+
+    def test_partition_notation(self):
+        mvds = mvd_partition_notation(["A"], [["B"], ["C"]])
+        assert MVD(["A"], ["B"]) in mvds
+        assert MVD(["A"], ["C"]) in mvds
+
+
+class TestComplement:
+    def test_complement(self):
+        m = MVD(["A"], ["B"])
+        assert m.complement_in(["A", "B", "C", "D"]) == {"C", "D"}
+
+    def test_complemented_mvd(self):
+        m = MVD(["A"], ["B"]).complemented(["A", "B", "C"])
+        assert m == MVD(["A"], ["C"])
+
+    def test_attribute_outside_universe_rejected(self):
+        with pytest.raises(DependencyError):
+            MVD(["A"], ["B"]).complement_in(["A"])
+
+    def test_trivial_detection(self):
+        assert MVD(["A"], ["A"]).is_trivial_in(["A", "B"])
+        assert MVD(["A"], ["B"]).is_trivial_in(["A", "B"])  # covers U
+        assert not MVD(["A"], ["B"]).is_trivial_in(["A", "B", "C"])
+
+
+class TestHoldsIn:
+    def test_product_structure_holds(self):
+        # For a1: courses {c1,c2} x clubs {b1,b2}; the Fig. 1 pattern.
+        rows = [
+            ("a1", c, b)
+            for c in ("c1", "c2")
+            for b in ("b1", "b2")
+        ] + [("a2", "c1", "b1")]
+        r = Relation.from_rows(["A", "C", "B"], rows)
+        assert MVD(["A"], ["C"]).holds_in(r)
+
+    def test_missing_swap_tuple_violates(self):
+        r = Relation.from_rows(
+            ["A", "B", "C"],
+            [("a", "b1", "c1"), ("a", "b2", "c2")],
+        )
+        assert not MVD(["A"], ["B"]).holds_in(r)
+
+    def test_example3_relation_satisfies_paper_mvd(self):
+        from repro.workloads.paper_examples import EXAMPLE3_MVD, EXAMPLE3_R5
+
+        assert EXAMPLE3_MVD.holds_in(EXAMPLE3_R5)
+
+    def test_trivial_mvd_always_holds(self):
+        r = Relation.from_rows(["A", "B"], [("a", "b")])
+        assert MVD(["A"], ["B"]).holds_in(r)
+
+    def test_fd_implies_mvd_on_instance(self):
+        # Whenever A -> B holds, A ->-> B holds.
+        r = Relation.from_rows(
+            ["A", "B", "C"],
+            [("a", "b", "c1"), ("a", "b", "c2"), ("a2", "b2", "c1")],
+        )
+        assert MVD(["A"], ["B"]).holds_in(r)
+
+    def test_rename(self):
+        assert MVD(["A"], ["B"]).rename({"B": "Y"}) == MVD(["A"], ["Y"])

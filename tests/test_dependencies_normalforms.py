@@ -1,0 +1,77 @@
+"""Tests for repro.dependencies.normalforms."""
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.mvd import MultivaluedDependency as MVD
+from repro.dependencies.normalforms import (
+    is_2nf,
+    is_3nf,
+    is_4nf,
+    is_bcnf,
+    violates_3nf,
+    violates_4nf,
+    violates_bcnf,
+)
+
+
+class Test2NF:
+    def test_partial_dependency_violates(self):
+        # key {A, B}; B -> C is a partial dependency on a non-prime attr.
+        fds = [FD.parse("A, B -> C"), FD.parse("B -> C")]
+        assert not is_2nf(("A", "B", "C"), fds)
+
+    def test_full_dependency_ok(self):
+        fds = [FD.parse("A, B -> C")]
+        assert is_2nf(("A", "B", "C"), fds)
+
+
+class Test3NF:
+    def test_transitive_dependency_violates(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C")]
+        assert not is_3nf(("A", "B", "C"), fds)
+        violations = violates_3nf(("A", "B", "C"), fds)
+        assert any(v.lhs == {"B"} for v in violations)
+
+    def test_key_dependencies_ok(self):
+        fds = [FD.parse("A -> B"), FD.parse("A -> C")]
+        assert is_3nf(("A", "B", "C"), fds)
+
+    def test_prime_rhs_allowed(self):
+        # city/street/zip: zip -> city has prime rhs: 3NF holds.
+        fds = [FD.parse("City, Street -> Zip"), FD.parse("Zip -> City")]
+        assert is_3nf(("City", "Street", "Zip"), fds)
+
+
+class TestBCNF:
+    def test_prime_rhs_still_violates_bcnf(self):
+        fds = [FD.parse("City, Street -> Zip"), FD.parse("Zip -> City")]
+        assert not is_bcnf(("City", "Street", "Zip"), fds)
+        assert violates_bcnf(("City", "Street", "Zip"), fds)
+
+    def test_single_key_schema_is_bcnf(self):
+        fds = [FD.parse("A -> B"), FD.parse("A -> C")]
+        assert is_bcnf(("A", "B", "C"), fds)
+
+    def test_trivial_fds_ignored(self):
+        assert is_bcnf(("A", "B"), [FD.parse("A, B -> A")])
+
+
+class Test4NF:
+    def test_nonkey_mvd_violates(self):
+        deps = [MVD(["A"], ["B"])]
+        assert not is_4nf(("A", "B", "C"), deps)
+        assert violates_4nf(("A", "B", "C"), deps)
+
+    def test_key_mvd_ok(self):
+        # A -> B, C makes A a superkey, so A ->-> B doesn't violate 4NF.
+        deps = [FD.parse("A -> B, C"), MVD(["A"], ["B"])]
+        assert is_4nf(("A", "B", "C"), deps)
+
+    def test_trivial_mvd_ok(self):
+        deps = [MVD(["A"], ["B"])]
+        assert is_4nf(("A", "B"), deps)  # rhs covers U - lhs
+
+    def test_paper_fig1_enrollment_not_4nf(self):
+        # Student ->-> Course | Club with key {Student, Course, Club}:
+        # the classic 4NF violation the paper says NFRs absorb.
+        deps = [MVD(["Student"], ["Course"])]
+        assert not is_4nf(("Student", "Course", "Club"), deps)

@@ -1,0 +1,57 @@
+"""Tests for repro.dependencies.synthesis (Bernstein 3NF)."""
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.synthesis import synthesize_3nf, verify_synthesis
+
+
+class TestSynthesis:
+    def test_chain_produces_two_schemas(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C")]
+        result = synthesize_3nf(["A", "B", "C"], fds)
+        assert result.as_sorted_lists() == [["A", "B"], ["B", "C"]]
+
+    def test_guarantees_hold_for_chain(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C")]
+        result = synthesize_3nf(["A", "B", "C"], fds)
+        flags = verify_synthesis(["A", "B", "C"], fds, result)
+        assert flags == {
+            "lossless_join": True,
+            "dependency_preserving": True,
+            "all_3nf": True,
+        }
+
+    def test_key_schema_added_when_missing(self):
+        # B -> C over {A, B, C}: key is {A, B}, not contained in {B, C}.
+        fds = [FD.parse("B -> C")]
+        result = synthesize_3nf(["A", "B", "C"], fds)
+        assert result.added_key == frozenset({"A", "B"})
+        assert frozenset({"A", "B"}) in result.schemas
+
+    def test_orphan_attributes_get_a_home(self):
+        fds = [FD.parse("A -> B")]
+        result = synthesize_3nf(["A", "B", "Z"], fds)
+        covered = frozenset().union(*result.schemas)
+        assert "Z" in covered
+
+    def test_no_fds(self):
+        result = synthesize_3nf(["A", "B"], [])
+        assert result.as_sorted_lists() == [["A", "B"]]
+
+    def test_contained_schema_dropped(self):
+        fds = [FD.parse("A -> B"), FD.parse("A -> C")]
+        result = synthesize_3nf(["A", "B", "C"], fds)
+        assert result.as_sorted_lists() == [["A", "B", "C"]]
+
+    def test_city_street_zip(self):
+        fds = [FD.parse("City, Street -> Zip"), FD.parse("Zip -> City")]
+        result = synthesize_3nf(["City", "Street", "Zip"], fds)
+        flags = verify_synthesis(["City", "Street", "Zip"], fds, result)
+        assert flags["lossless_join"]
+        assert flags["dependency_preserving"]
+        assert flags["all_3nf"]
+
+    def test_synthesis_deterministic(self):
+        fds = [FD.parse("A -> B"), FD.parse("B -> C"), FD.parse("C -> D")]
+        r1 = synthesize_3nf(["A", "B", "C", "D"], fds)
+        r2 = synthesize_3nf(["A", "B", "C", "D"], list(reversed(fds)))
+        assert r1.schemas == r2.schemas

@@ -1,0 +1,188 @@
+"""Edge cases and failure injection across subsystems.
+
+These tests pin behaviours at the boundaries: degree-1 schemas, empty
+relations, oversized records, exhausted stores, and the error paths a
+downstream user will eventually hit.
+"""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.core.cardinality import Cardinality, classify_attribute
+from repro.core.irreducible import is_irreducible
+from repro.core.nest import nest
+from repro.core.nfr_relation import NFRelation
+from repro.core.update import CanonicalNFR
+from repro.errors import (
+    FlatTupleNotFoundError,
+    PageOverflowError,
+    StorageError,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+
+class TestDegreeOne:
+    """Degree-1 NFRs: every pair of distinct tuples is composable
+    (Def. 1 with no other attributes), so the canonical form is a single
+    tuple holding the whole active domain."""
+
+    def test_canonical_is_single_tuple(self):
+        rel = Relation.from_rows(["A"], [("a1",), ("a2",), ("a3",)])
+        form = canonical_form(rel, ["A"])
+        assert form.cardinality == 1
+        assert form.to_1nf() == rel
+
+    def test_updates_on_degree_one(self):
+        rel = Relation.from_rows(["A"], [("a1",), ("a2",)])
+        store = CanonicalNFR(rel, ["A"], validate=True)
+        store.insert_values("a3")
+        store.delete_values("a1")
+        assert store.cardinality == 1
+        assert store.to_1nf().column("A") == {"a2", "a3"}
+
+    def test_drain_degree_one_to_empty(self):
+        rel = Relation.from_rows(["A"], [("a1",), ("a2",)])
+        store = CanonicalNFR(rel, ["A"], validate=True)
+        store.delete_values("a1")
+        store.delete_values("a2")
+        assert store.cardinality == 0
+
+    def test_cardinality_classification(self):
+        form = canonical_form(
+            Relation.from_rows(["A"], [("a1",), ("a2",)]), ["A"]
+        )
+        assert classify_attribute(form, "A") is Cardinality.N_ONE
+
+
+class TestEmptyRelations:
+    def test_empty_canonical(self, ab_schema):
+        empty = Relation(ab_schema)
+        assert canonical_form(empty, ["A", "B"]).cardinality == 0
+
+    def test_empty_is_irreducible(self, ab_schema):
+        assert is_irreducible(NFRelation(ab_schema))
+
+    def test_empty_store_delete_raises(self, ab_schema):
+        store = CanonicalNFR(Relation(ab_schema), ["A", "B"])
+        with pytest.raises(FlatTupleNotFoundError):
+            store.delete_flat(FlatTuple(ab_schema, ["x", "y"]))
+
+    def test_empty_r_star(self, ab_schema):
+        assert NFRelation(ab_schema).to_1nf().cardinality == 0
+
+
+class TestSingleFlatLifecycle:
+    def test_insert_then_delete_everything_repeatedly(self, ab_schema):
+        store = CanonicalNFR(Relation(ab_schema), ["B", "A"], validate=True)
+        for round_no in range(3):
+            store.insert_values("a", "b")
+            assert store.cardinality == 1
+            store.delete_values("a", "b")
+            assert store.cardinality == 0
+
+
+class TestStorageFailureInjection:
+    def test_record_larger_than_page_rejected_at_engine_level(self):
+        from repro.storage.engine import NFRStore
+
+        schema = RelationSchema(["Blob"])
+        store = NFRStore(schema, "1nf")
+        huge = FlatTuple(schema, ["x" * 10_000])
+        with pytest.raises(PageOverflowError):
+            store._insert_flat_record(huge)
+
+    def test_corrupt_record_rejected(self):
+        from repro.storage.encoding import decode_components
+
+        with pytest.raises(Exception):
+            decode_components(b"\x00\x05junk!", 1)
+
+    def test_engine_rejects_unknown_mode(self):
+        from repro.storage.engine import NFRStore
+
+        with pytest.raises(StorageError):
+            NFRStore(RelationSchema(["A"]), "columnar")
+
+    def test_heap_delete_then_read_raises(self):
+        from repro.storage.heap import HeapFile
+
+        heap = HeapFile()
+        rid = heap.insert(b"x")
+        heap.delete(rid)
+        from repro.errors import RecordNotFoundError
+
+        with pytest.raises(RecordNotFoundError):
+            heap.read(rid)
+
+
+class TestUpdateProbeScaling:
+    """Candidate search is index-backed: probe counts per update must
+    not scale with |R| (wall-clock independence, not just composition
+    independence)."""
+
+    def test_probes_flat_across_sizes(self):
+        from repro.workloads.synthetic import random_relation, update_stream
+
+        probes = []
+        for size in (100, 800):
+            rel = random_relation(
+                ["A", "B", "C"], size, domain_size=16, seed=27
+            )
+            store = CanonicalNFR(rel, ["A", "B", "C"])
+            store.counter.reset()
+            ins, dels = update_stream(rel, 15, 15, seed=28)
+            for f in ins:
+                store.insert_flat(f)
+            for f in dels:
+                store.delete_flat(f)
+            probes.append(store.counter.tuple_probes / 30)
+        assert probes[1] <= probes[0] * 3 + 5
+
+
+class TestMixedTypeValues:
+    def test_nfr_with_mixed_atomic_types(self):
+        nfr = NFRelation.from_components(
+            ["K", "V"], [([1, 2], ["x"]), (["s"], [3.5])]
+        )
+        assert nfr.flat_count == 3
+        table = nfr.to_table()
+        assert "1, 2" in table
+
+    def test_update_with_mixed_types(self):
+        rel = Relation.from_rows(["K", "V"], [(1, "x"), (2, "y")])
+        store = CanonicalNFR(rel, ["K", "V"], validate=True)
+        store.insert_values(3, "x")
+        store.delete_values(1, "x")
+        assert store.to_1nf().column("K") == {2, 3}
+
+    def test_none_values_supported(self):
+        rel = Relation.from_rows(["A", "B"], [(None, "b"), ("a", None)])
+        form = canonical_form(rel, ["A", "B"])
+        assert form.to_1nf() == rel
+
+
+class TestNestEdgeCases:
+    def test_nest_single_tuple_is_identity(self):
+        nfr = NFRelation.from_components(["A", "B"], [(["a"], ["b"])])
+        assert nest(nfr, "A") == nfr
+
+    def test_nest_all_identical_groups(self):
+        # all tuples share B -> one merged tuple
+        nfr = NFRelation.from_components(
+            ["A", "B"],
+            [(["a1"], ["b"]), (["a2"], ["b"]), (["a3"], ["b"])],
+        )
+        out = nest(nfr, "A")
+        assert out.cardinality == 1
+        assert len(out.sorted_tuples()[0]["A"]) == 3
+
+    def test_nest_overlapping_components_union(self):
+        nfr = NFRelation.from_components(
+            ["A", "B"],
+            [(["a1", "a2"], ["b"]), (["a2", "a3"], ["b"])],
+        )
+        out = nest(nfr, "A")
+        assert out.cardinality == 1
+        assert set(out.sorted_tuples()[0]["A"]) == {"a1", "a2", "a3"}

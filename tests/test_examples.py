@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public surface; they must keep working as the
+library evolves.  Each is executed in-process (imported as a module and
+``main()`` called) with stdout captured.
+"""
+
+import importlib.util
+import io
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    captured = io.StringIO()
+    old_stdout = sys.stdout
+    sys.stdout = captured
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.stdout = old_stdout
+    return captured.getvalue()
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = _run_example(name)
+    assert output.strip(), f"example {name} produced no output"
+
+
+def test_expected_examples_present():
+    assert set(EXAMPLES) >= {
+        "quickstart",
+        "university_registrar",
+        "schema_design",
+        "query_language",
+        "storage_engine",
+    }
+
+
+def test_quickstart_shows_compression():
+    output = _run_example("quickstart")
+    assert "flat tuples ->" in output
+
+
+def test_registrar_reproduces_fig2():
+    output = _run_example("university_registrar")
+    assert "canonical form maintained: True" in output

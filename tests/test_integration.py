@@ -1,0 +1,157 @@
+"""Cross-module integration tests: full workflows a downstream user
+would run, exercising several subsystems together."""
+
+from repro.analysis.compression import compression_report
+from repro.core.canonical import canonical_form
+from repro.core.fixedness import (
+    canonical_fixed_on_determinant,
+    is_fixed,
+)
+from repro.core.update import CanonicalNFR
+from repro.dependencies.decomposition import (
+    apply_decomposition,
+    decompose_4nf,
+    rejoin,
+)
+from repro.dependencies.discovery import discover_mvds
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.mvd import MultivaluedDependency as MVD
+from repro.dependencies.normalforms import is_4nf
+from repro.dependencies.synthesis import synthesize_3nf, verify_synthesis
+from repro.query import Catalog, run
+from repro.relational.algebra import project
+from repro.relational.relation import Relation
+from repro.storage.engine import NFRStore
+from repro.workloads.university import UniversityConfig, enrollment
+
+
+class TestDesignPipeline:
+    """The §3.4 workflow: discover dependencies, choose the nest order,
+    build the fixed canonical NFR, maintain it under updates."""
+
+    def test_end_to_end_design(self):
+        rel = enrollment(UniversityConfig(students=12, seed=21))
+
+        # 1. Discover the dependency structure from the instance.
+        mvds = discover_mvds(rel)
+        assert any(m.lhs == {"Student"} for m in mvds)
+
+        # 2. The flat schema violates 4NF — the paper's motivation.
+        deps = [MVD(["Student"], ["Course"])]
+        assert not is_4nf(rel.schema.names, deps)
+
+        # 3. Instead of decomposing, absorb the MVD: nest dependents
+        #    first, determinant last.
+        order, form = canonical_fixed_on_determinant(
+            rel, MVD(["Student"], ["Course"])
+        )
+        assert is_fixed(form, ["Student"])
+        assert form.to_1nf() == rel
+
+        # 4. The NFR is one tuple per student (entity view).
+        assert form.cardinality == len(rel.column("Student"))
+
+        # 5. Maintain it under the Fig. 1 -> Fig. 2 style update.
+        store = CanonicalNFR(rel, order, validate=True)
+        victim = rel.sorted_tuples()[0]
+        drops = [
+            f
+            for f in rel
+            if f["Student"] == victim["Student"]
+            and f["Course"] == victim["Course"]
+        ]
+        for f in drops:
+            store.delete_flat(f)
+        assert store.is_canonical()
+        assert store.to_1nf().cardinality == rel.cardinality - len(drops)
+
+
+class TestNFRVersus4NF:
+    """§2/§5: the NFR absorbs the decomposition 4NF forces, with no
+    information loss and fewer stored units."""
+
+    def test_nfr_matches_4nf_decomposition_information(self):
+        rel = enrollment(UniversityConfig(students=10, seed=22))
+        deps = [MVD(["Student"], ["Course"])]
+
+        # Flat route: 4NF decomposition + join to answer queries.
+        result = decompose_4nf(rel.schema.names, deps)
+        components = apply_decomposition(rel, result.as_sorted_lists())
+        rejoined = rejoin(components)
+        assert project(rejoined, rel.schema.names) == rel
+
+        # NFR route: one nested relation, same information.
+        form = canonical_form(
+            rel, ["Course", "Club", "Student"]
+        )
+        assert form.to_1nf() == rel
+
+        # The NFR needs fewer tuples than the two 4NF components
+        # combined.
+        total_flat = sum(c.cardinality for c in components)
+        assert form.cardinality < total_flat
+
+    def test_compression_report_quantifies_the_win(self):
+        rel = enrollment(UniversityConfig(students=10, seed=23))
+        report = compression_report(rel, ["Course", "Club", "Student"])
+        assert report.tuple_ratio > 2.0
+        assert report.byte_ratio > 1.0
+
+
+class TestStorageQueryAgreement:
+    """The realization view and the query language answer alike."""
+
+    def test_store_and_query_language_agree(self):
+        rel = enrollment(UniversityConfig(students=8, seed=24))
+        order = ["Course", "Club", "Student"]
+        form = canonical_form(rel, order)
+
+        store = NFRStore.from_nfr(form)
+        catalog = Catalog()
+        catalog.register("E", rel, order=order)
+
+        student = rel.sorted_tuples()[0]["Student"]
+        via_store, _ = store.lookup([("Student", student)])
+        via_query = run(
+            f"SELECT (FLATTEN E) WHERE Student CONTAINS '{student}'",
+            catalog,
+        )
+        assert {f.values for f in via_store} == {
+            t.to_flat().values for t in via_query
+        }
+
+    def test_query_insert_visible_in_new_store(self):
+        rel = enrollment(UniversityConfig(students=5, seed=25))
+        catalog = Catalog()
+        catalog.register("E", rel, order=["Course", "Club", "Student"])
+        run("INSERT INTO E VALUES ('sNew', 'c0', 'b0')", catalog)
+        updated = catalog.get("E")
+        store = NFRStore.from_nfr(updated)
+        found, _ = store.lookup([("Student", "sNew")])
+        assert len(found) == 1
+
+
+class TestSynthesisIntoNFR:
+    """3NF synthesis (the paper's §3.4 precondition) feeding the NFR
+    design strategy."""
+
+    def test_synthesize_then_nest(self):
+        universe = ["Emp", "Dept", "Mgr", "Skill"]
+        fds = [FD(["Emp"], ["Dept"]), FD(["Dept"], ["Mgr"])]
+        result = synthesize_3nf(universe, fds)
+        flags = verify_synthesis(universe, fds, result)
+        assert all(flags.values())
+
+        # Build an instance of the Emp-Dept component and nest it on the
+        # FD determinant.
+        rows = [
+            ("e1", "d1"),
+            ("e2", "d1"),
+            ("e3", "d2"),
+        ]
+        emp_dept = Relation.from_rows(["Emp", "Dept"], rows)
+        order, form = canonical_fixed_on_determinant(
+            emp_dept, FD(["Emp"], ["Dept"])
+        )
+        assert is_fixed(form, ["Emp"])
+        assert form.to_1nf() == emp_dept

@@ -1,0 +1,77 @@
+"""Tests for repro.nf2_algebra.laws — the algebra's identities and
+documented non-identities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nest import is_nested_on, nest
+from repro.core.nfr_relation import NFRelation
+from repro.nf2_algebra import laws
+from repro.nf2_algebra.operators import contains
+from repro.relational.relation import Relation
+
+ATTRS = ["A", "B", "C"]
+
+
+def relations(max_rows=8, domain=3):
+    value = st.integers(min_value=0, max_value=domain - 1)
+    row = st.tuples(*[value for _ in ATTRS])
+    return st.lists(row, min_size=1, max_size=max_rows).map(
+        lambda rows: NFRelation.from_1nf(Relation.from_rows(ATTRS, rows))
+    )
+
+
+class TestUnnestNest:
+    @given(relations(), st.sampled_from(ATTRS))
+    @settings(max_examples=50, deadline=None)
+    def test_unnest_inverts_nest_on_flat_inputs(self, rel, attr):
+        assert laws.unnest_inverts_nest(rel, attr)
+
+    @given(relations(), st.sampled_from(ATTRS), st.sampled_from(ATTRS))
+    @settings(max_examples=50, deadline=None)
+    def test_unnest_inverts_nest_even_after_other_nest(self, rel, a, b):
+        # components of b are still singletons after nesting a != b
+        if a == b:
+            return
+        nested = nest(rel, a)
+        assert laws.unnest_inverts_nest(nested, b)
+
+
+class TestNestUnnest:
+    @given(relations(), st.sampled_from(ATTRS))
+    @settings(max_examples=50, deadline=None)
+    def test_iff_characterisation(self, rel, attr):
+        nested = nest(rel, attr)
+        assert laws.nest_inverts_unnest_iff_nested(rel, attr)
+        assert laws.nest_inverts_unnest_iff_nested(nested, attr)
+
+    def test_nest_does_not_invert_unnest_in_general(self):
+        # two tuples that unnest-then-nest merges
+        rel = NFRelation.from_components(
+            ["A", "B"],
+            [(["a1"], ["b1"]), (["a1"], ["b2"])],
+        )
+        assert not is_nested_on(rel, "B")
+        assert not laws.nest_inverts_unnest(rel, "B")
+
+
+class TestCommutation:
+    def test_nests_do_not_commute_in_general(self):
+        rel, a, b = laws.nest_commutation_counterexample()
+        assert not laws.nests_commute(rel, a, b)
+
+    @given(relations(), st.sampled_from(ATTRS), st.sampled_from(ATTRS))
+    @settings(max_examples=50, deadline=None)
+    def test_unnests_always_commute(self, rel, a, b):
+        nested = nest(nest(rel, a), b)
+        assert laws.unnests_commute(nested, a, b)
+
+    @given(relations())
+    @settings(max_examples=50, deadline=None)
+    def test_select_pushdown_through_nest(self, rel):
+        # atom-stable predicate touching B, nest on A: must commute.
+        p = contains("B", 0)
+        assert laws.select_commutes_with_nest(rel, "A", p)
+
+    def test_select_nest_side_condition_is_necessary(self):
+        assert laws.select_nest_noncommutation_example()

@@ -1,0 +1,122 @@
+"""Tests for repro.nf2_algebra.operators."""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.core.nfr_relation import NFRelation
+from repro.errors import AlgebraError
+from repro.nf2_algebra.operators import (
+    Difference,
+    EvalStats,
+    Join,
+    Nest,
+    Project,
+    Scan,
+    Select,
+    Union,
+    Unnest,
+    component_eq,
+    conjunction,
+    contains,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_rows(
+        ["Student", "Course", "Club"],
+        [
+            ("s1", "c1", "b1"),
+            ("s1", "c2", "b1"),
+            ("s2", "c1", "b2"),
+        ],
+    )
+
+
+@pytest.fixture
+def scan(rel):
+    return Scan(NFRelation.from_1nf(rel), name="E")
+
+
+class TestPredicates:
+    def test_contains_is_atom_stable(self):
+        p = contains("A", "x")
+        assert p.atom_stable
+        assert p.touches == {"A"}
+
+    def test_component_eq_not_atom_stable(self):
+        p = component_eq("A", ["x", "y"])
+        assert not p.atom_stable
+
+    def test_conjunction_combines(self):
+        p = conjunction(contains("A", "x"), contains("B", "y"))
+        assert p.touches == {"A", "B"}
+        assert p.atom_stable
+
+    def test_conjunction_atom_stability_degrades(self):
+        p = conjunction(contains("A", "x"), component_eq("B", ["y"]))
+        assert not p.atom_stable
+
+
+class TestEvaluation:
+    def test_scan(self, scan, rel):
+        assert scan.evaluate().to_1nf() == rel
+
+    def test_select(self, scan):
+        out = Select(scan, contains("Student", "s1")).evaluate()
+        assert out.flat_count == 2
+
+    def test_project(self, scan):
+        out = Project(scan, ("Student",)).evaluate()
+        assert out.cardinality == 2
+
+    def test_nest_unnest(self, scan, rel):
+        nested = Nest(scan, "Course")
+        assert nested.evaluate().to_1nf() == rel
+        back = Unnest(nested, "Course")
+        assert back.evaluate() == NFRelation.from_1nf(rel)
+
+    def test_join(self, scan):
+        left = Project(scan, ("Student", "Course"))
+        right = Project(scan, ("Student", "Club"))
+        out = Join(left, right).evaluate()
+        assert set(out.schema.names) == {"Student", "Course", "Club"}
+
+    def test_union_and_difference(self, scan, rel):
+        u = Union(scan, scan).evaluate()
+        assert u.to_1nf() == rel
+        d = Difference(scan, scan).evaluate()
+        assert d.cardinality == 0
+
+    def test_union_incompatible_raises(self, scan):
+        other = Scan(
+            NFRelation.from_components(["X"], [(["x"],)]), name="X"
+        )
+        with pytest.raises(AlgebraError):
+            Union(scan, other).evaluate()
+
+    def test_canonical_pipeline(self, scan, rel):
+        tree = Nest(Nest(Nest(scan, "Course"), "Club"), "Student")
+        assert tree.evaluate() == canonical_form(
+            rel, ["Course", "Club", "Student"]
+        )
+
+
+class TestStats:
+    def test_stats_count_materialised_tuples(self, scan):
+        stats = EvalStats()
+        Select(scan, contains("Student", "s1")).evaluate(stats)
+        # scan materialises 3, select materialises 2
+        assert stats.tuples_materialised == 5
+        assert stats.operator_applications == 2
+
+
+class TestExplain:
+    def test_explain_tree(self, scan):
+        tree = Select(Nest(scan, "Course"), contains("Club", "b1"))
+        text = tree.explain()
+        lines = text.splitlines()
+        assert lines[0].startswith("Select")
+        assert lines[1].strip().startswith("Nest")
+        assert lines[2].strip().startswith("Scan")

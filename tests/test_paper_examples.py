@@ -1,0 +1,176 @@
+"""End-to-end verification of every figure and example in the paper.
+
+Each test class corresponds to a printed artifact; assertions are the
+paper's own statements, executed.
+"""
+
+from repro.core.canonical import all_canonical_forms, canonical_form
+from repro.core.composition import compose, decompose
+from repro.core.fixedness import is_fixed
+from repro.core.irreducible import (
+    enumerate_irreducible_forms,
+    is_irreducible,
+)
+from repro.core.nfr_relation import NFRelation
+from repro.core.update import CanonicalNFR
+from repro.workloads import paper_examples as pe
+
+
+class TestFig1Fig2:
+    """"Assume a student s1 stops taking a course c1. ... This
+    corresponds to removing the value c1 of the first tuple in R1, and
+    to removing the first tuple in R2 and adding ({s2,s3},{c1,c2},t1)
+    and (s1,c2,t1) to R2."
+    """
+
+    def test_r1_and_r2_carry_the_stated_information(self):
+        assert pe.FIG1_R1.flat_count == 9  # 3 students x 3 courses
+        assert pe.FIG1_R2.flat_count == 9
+
+    def test_fig1_r1_satisfies_the_mvd(self):
+        assert pe.FIG1_MVD.holds_in(pe.FIG1_R1.to_1nf())
+
+    def test_fig2_r1_is_fig1_r1_minus_the_deleted_flats(self):
+        expected = pe.FIG1_R1.to_1nf()
+        for f in pe.fig1_deleted_flats_r1():
+            expected = expected.without_tuple(f)
+        assert pe.FIG2_R1.to_1nf() == expected
+
+    def test_fig2_r2_is_fig1_r2_minus_the_deleted_flats(self):
+        expected = pe.FIG1_R2.to_1nf()
+        for f in pe.fig1_deleted_flats_r2():
+            expected = expected.without_tuple(f)
+        assert pe.FIG2_R2.to_1nf() == expected
+
+    def test_r1_update_is_a_single_component_edit(self):
+        """In R1 the deletion touches one tuple: drop c1 from s1's
+        Course component."""
+        [target] = [
+            t for t in pe.FIG1_R1 if "s1" in t["Student"]
+        ]
+        edited = target.with_component(
+            "Course", target["Course"].without("c1")
+        )
+        updated = pe.FIG1_R1.replace_tuples([target], [edited])
+        assert updated == pe.FIG2_R1
+
+    def test_r2_update_splits_and_recombines(self):
+        """In R2 the same logical deletion removes one tuple and adds
+        two — reproduced with Def. 1/2 operations only."""
+        [first] = [
+            t
+            for t in pe.FIG1_R2
+            if t["Course"].values == frozenset({"c1", "c2"})
+        ]
+        # u_Student(s1): split s1 out of the first tuple
+        keep, s1_part = decompose(first, "Student", "s1")
+        # u_Course(c1) on the s1 piece: isolate (s1, c1, t1)
+        s1_keep, _s1_c1 = decompose(s1_part, "Course", "c1")
+        updated = pe.FIG1_R2.replace_tuples([first], [keep, s1_keep])
+        assert updated == pe.FIG2_R2
+
+    def test_fig2_r2_is_irreducible_but_not_canonical(self):
+        assert is_irreducible(pe.FIG2_R2)
+        flat = pe.FIG2_R2.to_1nf()
+        assert all(
+            canonical_form(flat, order) != pe.FIG2_R2
+            for order in all_canonical_forms(flat)
+        )
+
+    def test_canonical_maintenance_handles_the_same_update(self):
+        """Running the §4 deletion on canonical forms of R1*/R2* keeps
+        them canonical and removes exactly the (s1, c1, *) flats."""
+        for fig1, deleted in (
+            (pe.FIG1_R1, pe.fig1_deleted_flats_r1()),
+            (pe.FIG1_R2, pe.fig1_deleted_flats_r2()),
+        ):
+            order = list(fig1.schema.names)
+            store = CanonicalNFR(fig1.to_1nf(), order, validate=True)
+            for f in deleted:
+                store.delete_flat(f)
+            expected = fig1.to_1nf()
+            for f in deleted:
+                expected = expected.without_tuple(f)
+            assert store.to_1nf() == expected
+
+
+class TestExample1:
+    def test_both_printed_forms_are_reachable_and_irreducible(self):
+        forms = enumerate_irreducible_forms(pe.EXAMPLE1_R)
+        assert pe.EXAMPLE1_R1 in forms
+        assert pe.EXAMPLE1_R2 in forms
+
+    def test_r1_via_va_twice(self):
+        lifted = NFRelation.from_1nf(pe.EXAMPLE1_R)
+        tuples = {t.render(): t for t in lifted}
+        r1 = tuples["[A(a1) B(b1)]"]
+        r2 = tuples["[A(a2) B(b1)]"]
+        r3 = tuples["[A(a2) B(b2)]"]
+        r4 = tuples["[A(a3) B(b2)]"]
+        merged = lifted.replace_tuples(
+            [r1, r2, r3, r4],
+            [compose(r1, r2, "A"), compose(r3, r4, "A")],
+        )
+        assert merged == pe.EXAMPLE1_R1
+
+    def test_r2_via_vb_once(self):
+        lifted = NFRelation.from_1nf(pe.EXAMPLE1_R)
+        tuples = {t.render(): t for t in lifted}
+        merged = lifted.replace_tuples(
+            [tuples["[A(a2) B(b1)]"], tuples["[A(a2) B(b2)]"]],
+            [compose(tuples["[A(a2) B(b1)]"], tuples["[A(a2) B(b2)]"], "B")],
+        )
+        assert merged == pe.EXAMPLE1_R2
+
+    def test_tuple_counts_match_paper(self):
+        assert pe.EXAMPLE1_R1.cardinality == 2
+        assert pe.EXAMPLE1_R2.cardinality == 3
+
+
+class TestExample2:
+    def test_r4_is_irreducible_with_three_tuples(self):
+        assert pe.EXAMPLE2_R4.cardinality == 3
+        assert is_irreducible(pe.EXAMPLE2_R4)
+        assert pe.EXAMPLE2_R4.to_1nf() == pe.EXAMPLE2_R3
+
+    def test_r4_not_derivable_by_nest_operations(self):
+        forms = set(all_canonical_forms(pe.EXAMPLE2_R3).values())
+        assert pe.EXAMPLE2_R4 not in forms
+
+    def test_every_canonical_form_has_four_tuples(self):
+        """Paper: "Thinking over the symmetricity of R3, every canonical
+        form contains 4 tuples." """
+        for form in all_canonical_forms(pe.EXAMPLE2_R3).values():
+            assert form.cardinality == 4
+
+    def test_printed_rb_is_a_canonical_form(self):
+        assert (
+            canonical_form(pe.EXAMPLE2_R3, ["A", "B", "C"]) == pe.EXAMPLE2_RB
+        )
+
+
+class TestExample3:
+    def test_mvd_holds(self):
+        assert pe.EXAMPLE3_MVD.holds_in(pe.EXAMPLE3_R5)
+
+    def test_r7_and_r8_are_irreducible_equivalents(self):
+        for form in (pe.EXAMPLE3_R7, pe.EXAMPLE3_R8):
+            assert is_irreducible(form)
+            assert form.to_1nf() == pe.EXAMPLE3_R5
+
+    def test_r7_fixed_on_a_r8_not(self):
+        assert is_fixed(pe.EXAMPLE3_R7, ["A"])
+        assert not is_fixed(pe.EXAMPLE3_R8, ["A"])
+
+    def test_both_reachable_by_exhaustive_reduction(self):
+        forms = enumerate_irreducible_forms(pe.EXAMPLE3_R5)
+        assert pe.EXAMPLE3_R7 in forms
+        assert pe.EXAMPLE3_R8 in forms
+
+
+class TestSection32CompositionExample:
+    def test_t1_t2_compose_to_t3(self):
+        assert (
+            compose(pe.COMPOSITION_T1, pe.COMPOSITION_T2, "B")
+            == pe.COMPOSITION_T3
+        )

@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the NF2 core invariants.
+
+Strategies generate small random 1NF relations; properties are the
+paper's theorems stated over arbitrary inputs rather than the worked
+examples.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import canonical_form, canonical_form_randomized
+from repro.core.composition import all_composable_pairs, compose, decompose
+from repro.core.irreducible import is_irreducible, reduce_greedy
+from repro.core.nest import nest, nest_sequence, unnest, unnest_fully
+from repro.core.nfr_relation import NFRelation
+from repro.core.fixedness import is_fixed
+from repro.relational.relation import Relation
+
+ATTRS2 = ["A", "B"]
+ATTRS3 = ["A", "B", "C"]
+
+
+def relations(attrs, max_rows=10, domain=4):
+    """Strategy: a small 1NF relation over ``attrs``."""
+    value = st.integers(min_value=0, max_value=domain - 1)
+    row = st.tuples(*[value for _ in attrs])
+    return st.lists(row, min_size=1, max_size=max_rows).map(
+        lambda rows: Relation.from_rows(attrs, rows)
+    )
+
+
+def orders(attrs):
+    return st.permutations(attrs).map(list)
+
+
+class TestRStarPreservation:
+    """Theorem 1 / §3.2: compositions and decompositions never change R*."""
+
+    @given(relations(ATTRS3), orders(ATTRS3))
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_preserves_r_star(self, rel, order):
+        assert canonical_form(rel, order).to_1nf() == rel
+
+    @given(relations(ATTRS3), orders(ATTRS3))
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_expansions_disjoint(self, rel, order):
+        assert canonical_form(rel, order).expansions_disjoint()
+
+    @given(relations(ATTRS2), st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_greedy_reduction_preserves_r_star(self, rel, rng):
+        form = reduce_greedy(rel, rng=rng)
+        assert form.to_1nf() == rel
+        assert is_irreducible(form)
+
+    @given(relations(ATTRS3))
+    @settings(max_examples=40, deadline=None)
+    def test_single_composition_preserves_r_star(self, rel):
+        nfr = NFRelation.from_1nf(rel)
+        witness = next(all_composable_pairs(nfr.tuples), None)
+        if witness is None:
+            return
+        r, s, attr = witness
+        merged = nfr.replace_tuples([r, s], [compose(r, s, attr)])
+        assert merged.to_1nf() == rel
+
+    @given(relations(ATTRS3), orders(ATTRS3))
+    @settings(max_examples=40, deadline=None)
+    def test_decomposition_preserves_r_star(self, rel, order):
+        form = canonical_form(rel, order)
+        for t in form.sorted_tuples():
+            for attr in ATTRS3:
+                if len(t[attr]) > 1:
+                    value = t[attr].sorted()[0]
+                    te, tr = decompose(t, attr, value)
+                    split = form.replace_tuples([t], [te, tr])
+                    assert split.to_1nf() == rel
+                    return
+
+
+class TestNestProperties:
+    @given(relations(ATTRS3), st.sampled_from(ATTRS3))
+    @settings(max_examples=60, deadline=None)
+    def test_nest_idempotent(self, rel, attr):
+        nfr = NFRelation.from_1nf(rel)
+        once = nest(nfr, attr)
+        assert nest(once, attr) == once
+
+    @given(relations(ATTRS3), st.sampled_from(ATTRS3))
+    @settings(max_examples=60, deadline=None)
+    def test_unnest_inverts_nest_on_flat(self, rel, attr):
+        nfr = NFRelation.from_1nf(rel)
+        assert unnest(nest(nfr, attr), attr) == nfr
+
+    @given(relations(ATTRS3), orders(ATTRS3))
+    @settings(max_examples=40, deadline=None)
+    def test_unnest_fully_recovers_lifted_form(self, rel, order):
+        form = nest_sequence(NFRelation.from_1nf(rel), order)
+        assert unnest_fully(form) == NFRelation.from_1nf(rel)
+
+    @given(relations(ATTRS3), st.sampled_from(ATTRS3))
+    @settings(max_examples=40, deadline=None)
+    def test_nest_never_increases_tuples(self, rel, attr):
+        nfr = NFRelation.from_1nf(rel)
+        assert nest(nfr, attr).cardinality <= nfr.cardinality
+
+
+class TestTheorem2Confluence:
+    @given(
+        relations(ATTRS2, max_rows=8, domain=3),
+        orders(ATTRS2),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_composition_order_irrelevant(self, rel, order, seed):
+        expected = canonical_form(rel, order)
+        got = canonical_form_randomized(rel, order, random.Random(seed))
+        assert got == expected
+
+    @given(
+        relations(ATTRS3, max_rows=7, domain=3),
+        orders(ATTRS3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_composition_order_irrelevant_degree3(self, rel, order, seed):
+        expected = canonical_form(rel, order)
+        got = canonical_form_randomized(rel, order, random.Random(seed))
+        assert got == expected
+
+
+class TestCanonicalStructure:
+    @given(relations(ATTRS3), orders(ATTRS3))
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_is_irreducible(self, rel, order):
+        assert is_irreducible(canonical_form(rel, order))
+
+    @given(relations(ATTRS3), orders(ATTRS3))
+    @settings(max_examples=50, deadline=None)
+    def test_theorem5_fixed_on_all_but_first(self, rel, order):
+        form = canonical_form(rel, order)
+        assert is_fixed(form, order[1:])
+
+    @given(relations(ATTRS3), orders(ATTRS3))
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_no_bigger_than_flat(self, rel, order):
+        assert canonical_form(rel, order).cardinality <= rel.cardinality

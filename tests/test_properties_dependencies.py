@@ -1,0 +1,131 @@
+"""Property-based tests for the dependency-theory substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies.chase import implies_fd, implies_mvd, is_lossless_join
+from repro.dependencies.closure import (
+    attribute_closure,
+    fd_implies,
+    fds_equivalent,
+)
+from repro.dependencies.cover import minimal_cover
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.mvd import MultivaluedDependency as MVD
+from repro.dependencies.synthesis import synthesize_3nf, verify_synthesis
+
+ATTRS = ["A", "B", "C", "D"]
+
+
+def attr_sets(min_size=1):
+    return st.sets(
+        st.sampled_from(ATTRS), min_size=min_size, max_size=len(ATTRS)
+    )
+
+
+fds_strategy = st.lists(
+    st.builds(
+        FD,
+        attr_sets(),
+        attr_sets(),
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+class TestClosureProperties:
+    @given(attr_sets(), fds_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_closure_is_extensive(self, attrs, fds):
+        assert attrs <= attribute_closure(attrs, fds)
+
+    @given(attr_sets(), fds_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_closure_is_idempotent(self, attrs, fds):
+        once = attribute_closure(attrs, fds)
+        assert attribute_closure(once, fds) == once
+
+    @given(attr_sets(), attr_sets(), fds_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_closure_is_monotone(self, a, b, fds):
+        union = a | b
+        assert attribute_closure(a, fds) <= attribute_closure(union, fds)
+
+    @given(fds_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_every_fd_implies_itself(self, fds):
+        for fd in fds:
+            assert fd_implies(fds, fd)
+
+
+class TestMinimalCoverProperties:
+    @given(fds_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_cover_equivalent_to_input(self, fds):
+        cover = minimal_cover(fds)
+        assert fds_equivalent(cover, fds)
+
+    @given(fds_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_cover_has_singleton_rhs_and_no_trivial(self, fds):
+        for fd in minimal_cover(fds):
+            assert len(fd.rhs) == 1
+            assert not fd.is_trivial()
+
+    @given(fds_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_cover_has_no_redundant_fd(self, fds):
+        cover = list(minimal_cover(fds))
+        for fd in cover:
+            rest = [f for f in cover if f != fd]
+            assert not (rest and fd_implies(rest, fd)) or not rest
+
+
+class TestChaseAgreesWithClosure:
+    """For pure-FD inputs the chase must agree with attribute closure."""
+
+    @given(fds_strategy, attr_sets(), attr_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_fd_implication_agrees(self, fds, lhs, rhs):
+        candidate = FD(lhs, rhs)
+        assert implies_fd(fds, candidate, ATTRS) == fd_implies(
+            fds, candidate
+        )
+
+    @given(fds_strategy, attr_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_fd_implies_corresponding_mvd(self, fds, lhs):
+        closed = attribute_closure(lhs, fds)
+        extra = closed - lhs
+        if extra:
+            assert implies_mvd(fds, MVD(lhs, extra), ATTRS)
+
+
+class TestSynthesisProperties:
+    @given(fds_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_synthesis_guarantees(self, fds):
+        result = synthesize_3nf(ATTRS, fds)
+        flags = verify_synthesis(ATTRS, fds, result)
+        assert flags["lossless_join"]
+        assert flags["dependency_preserving"]
+        assert flags["all_3nf"]
+
+    @given(fds_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_schemas_cover_universe(self, fds):
+        result = synthesize_3nf(ATTRS, fds)
+        covered = frozenset().union(*result.schemas)
+        assert covered == frozenset(ATTRS)
+
+    @given(fds_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_binary_split_lossless_iff_chase_says_so(self, fds):
+        components = [("A", "B"), ("A", "C", "D")]
+        verdict = is_lossless_join(ATTRS, components, fds)
+        # cross-check against closure: split on A is lossless iff
+        # A -> B or A -> CD holds.
+        closed = attribute_closure({"A"}, fds)
+        expected = {"B"} <= closed or {"C", "D"} <= closed
+        assert verdict == expected

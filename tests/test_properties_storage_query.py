@@ -1,0 +1,102 @@
+"""Property-based tests for the storage engine and query language.
+
+The storage invariant: both representations of any relation answer any
+conjunctive lookup identically.  The query invariant: parser round-trips
+and evaluator agreement with the direct core operators.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import canonical_form
+from repro.core.nest import nest_sequence
+from repro.core.nfr_relation import NFRelation
+from repro.query import Catalog, run
+from repro.relational.relation import Relation
+from repro.storage.encoding import (
+    decode_components,
+    encode_components,
+)
+from repro.storage.engine import NFRStore
+
+ATTRS = ["A", "B", "C"]
+
+atom = st.one_of(
+    st.integers(min_value=-5, max_value=5),
+    st.text(
+        alphabet="abcxyz",
+        min_size=1,
+        max_size=4,
+    ),
+)
+
+
+def relations(max_rows=10):
+    row = st.tuples(*[atom for _ in ATTRS])
+    return st.lists(row, min_size=1, max_size=max_rows).map(
+        lambda rows: Relation.from_rows(ATTRS, rows)
+    )
+
+
+class TestEncodingRoundtrip:
+    @given(
+        st.lists(
+            st.lists(atom, min_size=1, max_size=4),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_components_roundtrip(self, components):
+        data = encode_components(components)
+        assert decode_components(data, len(components)) == components
+
+
+class TestStorageEquivalence:
+    @given(relations(), st.integers(min_value=0, max_value=2), atom)
+    @settings(max_examples=40, deadline=None)
+    def test_flat_and_nfr_stores_agree(self, rel, attr_idx, value):
+        attr = ATTRS[attr_idx]
+        nfr = canonical_form(rel, ATTRS)
+        flat_store = NFRStore.from_relation(rel)
+        nfr_store = NFRStore.from_nfr(nfr)
+        conditions = [(attr, value)]
+        r1, _ = flat_store.lookup(conditions, use_index=False)
+        r2, _ = nfr_store.lookup(conditions, use_index=False)
+        r3, _ = flat_store.lookup(conditions, use_index=True)
+        r4, _ = nfr_store.lookup(conditions, use_index=True)
+        assert set(r1) == set(r2) == set(r3) == set(r4)
+
+    @given(relations())
+    @settings(max_examples=30, deadline=None)
+    def test_full_scan_recovers_r_star(self, rel):
+        nfr_store = NFRStore.from_nfr(canonical_form(rel, ATTRS))
+        flats, _ = nfr_store.full_scan()
+        assert set(flats) == set(rel.tuples)
+
+
+class TestQueryAgainstCore:
+    @given(relations())
+    @settings(max_examples=30, deadline=None)
+    def test_nest_statement_matches_core(self, rel):
+        catalog = Catalog()
+        catalog.register("R", rel)
+        via_query = run("NEST R BY (A, B)", catalog)
+        via_core = nest_sequence(NFRelation.from_1nf(rel), ["A", "B"])
+        assert via_query == via_core
+
+    @given(relations())
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_statement_matches_core(self, rel):
+        catalog = Catalog()
+        catalog.register("R", rel)
+        via_query = run("CANONICAL R ORDER (C, B, A)", catalog)
+        assert via_query == canonical_form(rel, ["C", "B", "A"])
+
+    @given(relations())
+    @settings(max_examples=30, deadline=None)
+    def test_flatten_is_identity_on_information(self, rel):
+        catalog = Catalog()
+        catalog.register("R", rel)
+        flat = run("FLATTEN (NEST R BY (A))", catalog)
+        assert flat == NFRelation.from_1nf(rel)

@@ -1,0 +1,128 @@
+"""Property-based tests for the §4 update algorithms.
+
+The central property — stronger than the paper's elided proofs — is that
+the maintained store always equals the from-scratch canonical form after
+any sequence of inserts and deletes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import canonical_form
+from repro.core.update import CanonicalNFR
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+ATTRS = ["A", "B", "C"]
+SCHEMA = RelationSchema(ATTRS)
+
+
+def flat(values):
+    return FlatTuple(SCHEMA, list(values))
+
+
+rows = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+@st.composite
+def update_scenarios(draw):
+    """An initial relation plus an interleaved update script."""
+    initial = draw(st.lists(rows, min_size=0, max_size=8))
+    script = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), rows),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    order = draw(st.permutations(ATTRS))
+    return initial, script, list(order)
+
+
+class TestMaintenanceEqualsRenest:
+    @given(update_scenarios())
+    @settings(max_examples=120, deadline=None)
+    def test_interleaved_updates(self, scenario):
+        initial, script, order = scenario
+        relation = Relation.from_rows(SCHEMA, initial)
+        store = CanonicalNFR(relation, order)
+        shadow = set(relation.tuples)
+        for action, values in script:
+            f = flat(values)
+            if action == "insert":
+                inserted = store.insert_flat(f)
+                assert inserted == (f not in shadow)
+                shadow.add(f)
+            else:
+                if f in shadow:
+                    store.delete_flat(f)
+                    shadow.discard(f)
+                else:
+                    try:
+                        store.delete_flat(f)
+                        raise AssertionError("expected delete to fail")
+                    except Exception:
+                        pass
+            expected = canonical_form(
+                Relation(SCHEMA, shadow), order
+            )
+            assert store.relation == expected, (
+                action,
+                values,
+                store.relation.to_table(),
+                expected.to_table(),
+            )
+
+    @given(update_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_r_star_tracks_shadow_set(self, scenario):
+        initial, script, order = scenario
+        relation = Relation.from_rows(SCHEMA, initial)
+        store = CanonicalNFR(relation, order)
+        shadow = set(relation.tuples)
+        for action, values in script:
+            f = flat(values)
+            if action == "insert":
+                store.insert_flat(f)
+                shadow.add(f)
+            elif f in shadow:
+                store.delete_flat(f)
+                shadow.discard(f)
+        assert set(store.to_1nf().tuples) == shadow
+
+    @given(
+        st.lists(rows, min_size=1, max_size=8),
+        st.permutations(ATTRS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_build_by_insertion_equals_batch_canonical(self, data, order):
+        """Inserting flats one by one into an empty store yields exactly
+        the canonical form of the whole set."""
+        empty = Relation(SCHEMA)
+        store = CanonicalNFR(empty, list(order))
+        for values in data:
+            store.insert_flat(flat(values))
+        expected = canonical_form(
+            Relation.from_rows(SCHEMA, data), list(order)
+        )
+        assert store.relation == expected
+
+    @given(
+        st.lists(rows, min_size=1, max_size=8, unique=True),
+        st.permutations(ATTRS),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_drain_by_deletion_reaches_empty(self, data, order, rng):
+        relation = Relation.from_rows(SCHEMA, data)
+        store = CanonicalNFR(relation, list(order))
+        flats = list(relation.tuples)
+        rng.shuffle(flats)
+        for f in flats:
+            store.delete_flat(f)
+        assert store.cardinality == 0

@@ -1,0 +1,64 @@
+"""Contract tests for the public API surface.
+
+Everything exported from ``repro`` must exist, be importable, and carry
+a docstring; the version must be a sane semver string; and the package
+docstring's quickstart snippet must actually run.
+"""
+
+import repro
+
+
+class TestExports:
+    def test_all_names_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_exports_have_docstrings(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__"
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"undocumented exports: {undocumented}"
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_no_private_exports(self):
+        assert all(
+            not name.startswith("_") or name == "__version__"
+            for name in repro.__all__
+        )
+
+
+class TestPackageQuickstart:
+    def test_docstring_snippet_runs(self):
+        flat = repro.Relation.from_rows(
+            ["Student", "Course", "Club"],
+            [("s1", "c1", "b1"), ("s1", "c2", "b1"), ("s2", "c1", "b2")],
+        )
+        nfr = repro.canonical_form(flat, ["Course", "Club", "Student"])
+        assert nfr.to_table()
+
+        store = repro.CanonicalNFR(flat, ["Course", "Club", "Student"])
+        store.insert_values("s2", "c2", "b2")
+        assert store.relation.to_table()
+        assert store.is_canonical()
+
+
+class TestSubpackageDocstrings:
+    def test_every_module_documented(self):
+        import importlib
+        import pathlib
+        import pkgutil
+
+        root = pathlib.Path(repro.__file__).parent
+        undocumented = []
+        for info in pkgutil.walk_packages([str(root)], prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                undocumented.append(info.name)
+        assert not undocumented, f"undocumented modules: {undocumented}"

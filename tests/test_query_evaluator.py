@@ -1,0 +1,184 @@
+"""Tests for repro.query.evaluator and catalog."""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.core.nfr_relation import NFRelation
+from repro.errors import CatalogError, EvaluationError
+from repro.query import Catalog, run
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_rows(
+        ["Student", "Course", "Club"],
+        [
+            ("s1", "c1", "b1"),
+            ("s1", "c2", "b1"),
+            ("s2", "c1", "b2"),
+            ("s2", "c2", "b2"),
+        ],
+    )
+
+
+@pytest.fixture
+def catalog(rel):
+    cat = Catalog()
+    cat.register("R", rel, order=["Course", "Club", "Student"])
+    return cat
+
+
+class TestBasicOperators:
+    def test_name_lookup(self, catalog, rel):
+        out = run("R", catalog)
+        assert out.to_1nf() == rel
+
+    def test_unknown_name(self, catalog):
+        with pytest.raises(CatalogError, match="catalog has"):
+            run("Nope", catalog)
+
+    def test_select_contains(self, catalog):
+        out = run("SELECT R WHERE Student CONTAINS 's1'", catalog)
+        assert out.flat_count == 2
+
+    def test_select_singleton_equals(self, catalog):
+        out = run("SELECT R WHERE Course = 'c1'", catalog)
+        assert out.flat_count == 2
+
+    def test_select_component_equals_after_nest(self, catalog):
+        out = run(
+            "SELECT (NEST R BY (Course)) WHERE Course = {'c1', 'c2'}",
+            catalog,
+        )
+        assert out.cardinality == 2  # both students take both courses
+
+    def test_project(self, catalog):
+        out = run("PROJECT R ON (Student)", catalog)
+        assert out.cardinality == 2
+
+    def test_nest_then_unnest_roundtrip(self, catalog, rel):
+        nested = run("NEST R BY (Course)", catalog)
+        flat = run("UNNEST (NEST R BY (Course)) ON Course", catalog)
+        assert nested.to_1nf() == rel
+        assert flat.to_1nf() == rel
+
+    def test_canonical(self, catalog, rel):
+        out = run("CANONICAL R ORDER (Course, Club, Student)", catalog)
+        assert out == canonical_form(rel, ["Course", "Club", "Student"])
+
+    def test_flatten(self, catalog, rel):
+        out = run("FLATTEN (NEST R BY (Course))", catalog)
+        assert out == NFRelation.from_1nf(rel)
+
+
+class TestJoins:
+    def test_flatjoin(self, catalog):
+        other = Relation.from_rows(
+            ["Course", "Title"], [("c1", "DB"), ("c2", "OS")]
+        )
+        catalog.register("Courses", other)
+        out = run("FLATJOIN R, Courses", catalog)
+        assert out.schema.names == (
+            "Student",
+            "Course",
+            "Club",
+            "Title",
+        )
+        assert out.flat_count == 4
+
+    def test_nf2_join_requires_component_equality(self, catalog):
+        nested = run("LET N = NEST R BY (Course)", catalog)
+        assert nested.cardinality == 2
+        other = NFRelation.from_components(
+            ["Course", "Semester"], [(["c1", "c2"], ["t1"])]
+        )
+        catalog.register("Sem", other)
+        out = run("JOIN N, Sem", catalog)
+        # both student tuples have Course = {c1, c2}, matching Sem's set
+        assert out.cardinality == 2
+        assert "Semester" in out.schema.names
+
+    def test_nf2_join_no_shared_attributes_is_product(self, catalog):
+        a = NFRelation.from_components(["X"], [(["x1"],), (["x2"],)])
+        b = NFRelation.from_components(["Y"], [(["y1"],)])
+        catalog.register("X1", a)
+        catalog.register("Y1", b)
+        assert run("JOIN X1, Y1", catalog).cardinality == 2
+
+
+class TestSetOperators:
+    def test_union(self, catalog):
+        out = run("UNION R, R", catalog)
+        assert out == run("R", catalog)
+
+    def test_union_schema_mismatch(self, catalog):
+        catalog.register(
+            "Other", Relation.from_rows(["X"], [("x",)])
+        )
+        with pytest.raises(EvaluationError):
+            run("UNION R, Other", catalog)
+
+    def test_difference(self, catalog):
+        out = run(
+            "DIFFERENCE R, (SELECT R WHERE Student CONTAINS 's1')",
+            catalog,
+        )
+        assert out.flat_count == 2
+        assert all("s2" in t["Student"] for t in out)
+
+
+class TestStatements:
+    def test_let_binds(self, catalog):
+        run("LET Nested = NEST R BY (Course)", catalog)
+        assert "Nested" in catalog
+        assert run("Nested", catalog).cardinality == 2
+
+    def test_insert_maintains_canonical(self, catalog):
+        out = run("INSERT INTO R VALUES ('s3', 'c1', 'b1')", catalog)
+        store = catalog.store_for("R")
+        assert store.is_canonical()
+        assert out.flat_count == 5
+
+    def test_delete_maintains_canonical(self, catalog):
+        run("DELETE FROM R VALUES ('s1', 'c1', 'b1')", catalog)
+        store = catalog.store_for("R")
+        assert store.is_canonical()
+        assert store.to_1nf().cardinality == 3
+
+    def test_insert_then_query_sees_new_data(self, catalog):
+        run("INSERT INTO R VALUES ('s9', 'c9', 'b9')", catalog)
+        out = run("SELECT R WHERE Student CONTAINS 's9'", catalog)
+        assert out.flat_count == 1
+
+
+class TestCatalog:
+    def test_register_and_names(self, rel):
+        cat = Catalog()
+        cat.register("A1", rel)
+        assert cat.names() == ["A1"]
+        assert len(cat) == 1
+
+    def test_remove(self, rel):
+        cat = Catalog()
+        cat.register("A1", rel)
+        cat.remove("A1")
+        assert "A1" not in cat
+        with pytest.raises(CatalogError):
+            cat.remove("A1")
+
+    def test_order_of_defaults_to_schema(self, rel):
+        cat = Catalog()
+        cat.register("A1", rel)
+        assert cat.order_of("A1") == rel.schema.names
+
+    def test_set_resets_store(self, catalog, rel):
+        catalog.store_for("R")
+        catalog.set("R", NFRelation.from_1nf(rel))
+        # store must be rebuilt lazily after a set
+        store = catalog.store_for("R")
+        assert store.to_1nf() == rel
+
+    def test_sync_without_store_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.sync_from_store("Nope")

@@ -1,0 +1,63 @@
+"""Tests for repro.query.lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.query.lexer import Token, tokenize
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select WHERE Nest")
+        assert [t.kind for t in toks] == ["KEYWORD"] * 3
+        assert [t.value for t in toks] == ["SELECT", "WHERE", "NEST"]
+
+    def test_identifiers(self):
+        toks = tokenize("Enrollment my_rel R2")
+        assert all(t.kind == "IDENT" for t in toks)
+
+    def test_string_literal(self):
+        [tok] = tokenize("'hello world'")
+        assert tok.kind == "STRING"
+        assert tok.value == "hello world"
+
+    def test_string_escape(self):
+        [tok] = tokenize("'it''s'")
+        assert tok.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        toks = tokenize("42 -3 2.5")
+        assert [t.value for t in toks] == [42, -3, 2.5]
+        assert toks[2].kind == "NUMBER"
+
+    def test_symbols(self):
+        toks = tokenize("( ) { } , =")
+        assert [t.kind for t in toks] == ["(", ")", "{", "}", ",", "="]
+
+    def test_positions_recorded(self):
+        toks = tokenize("A = 'x'")
+        assert toks[0].position == 0
+        assert toks[1].position == 2
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("A @ B")
+
+    def test_mixed_statement(self):
+        toks = tokenize("SELECT R WHERE A CONTAINS 'a1'")
+        kinds = [t.kind for t in toks]
+        assert kinds == [
+            "KEYWORD",
+            "IDENT",
+            "KEYWORD",
+            "IDENT",
+            "KEYWORD",
+            "STRING",
+        ]
+
+    def test_empty_input(self):
+        assert tokenize("   ") == []

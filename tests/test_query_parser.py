@@ -1,0 +1,115 @@
+"""Tests for repro.query.parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import ast
+from repro.query.parser import parse
+
+
+class TestExpressions:
+    def test_name(self):
+        assert parse("R") == ast.Name("R")
+
+    def test_parenthesised(self):
+        assert parse("(R)") == ast.Name("R")
+
+    def test_select_contains(self):
+        node = parse("SELECT R WHERE A CONTAINS 'a1'")
+        assert node == ast.Select(ast.Name("R"), ast.Contains("A", "a1"))
+
+    def test_select_component_equals(self):
+        node = parse("SELECT R WHERE A = {'a1', 'a2'}")
+        assert node == ast.Select(
+            ast.Name("R"), ast.ComponentEquals("A", ("a1", "a2"))
+        )
+
+    def test_select_singleton_equals(self):
+        node = parse("SELECT R WHERE A = 'a1'")
+        assert node == ast.Select(
+            ast.Name("R"), ast.SingletonEquals("A", "a1")
+        )
+
+    def test_select_and_chain(self):
+        node = parse("SELECT R WHERE A CONTAINS 'x' AND B CONTAINS 2")
+        assert isinstance(node.condition, ast.And)
+        assert node.condition.right == ast.Contains("B", 2)
+
+    def test_project(self):
+        node = parse("PROJECT R ON (A, B)")
+        assert node == ast.Project(ast.Name("R"), ("A", "B"))
+
+    def test_nest(self):
+        node = parse("NEST R BY (A)")
+        assert node == ast.Nest(ast.Name("R"), ("A",))
+
+    def test_unnest(self):
+        assert parse("UNNEST R ON A") == ast.Unnest(ast.Name("R"), "A")
+
+    def test_canonical(self):
+        node = parse("CANONICAL R ORDER (B, A)")
+        assert node == ast.Canonical(ast.Name("R"), ("B", "A"))
+
+    def test_flatten(self):
+        assert parse("FLATTEN R") == ast.Flatten(ast.Name("R"))
+
+    def test_binary_operators(self):
+        assert parse("JOIN R, S") == ast.Join(ast.Name("R"), ast.Name("S"))
+        assert parse("FLATJOIN R, S") == ast.FlatJoin(
+            ast.Name("R"), ast.Name("S")
+        )
+        assert parse("UNION R, S") == ast.Union(ast.Name("R"), ast.Name("S"))
+        assert parse("DIFFERENCE R, S") == ast.Difference(
+            ast.Name("R"), ast.Name("S")
+        )
+
+    def test_nested_composition(self):
+        node = parse("NEST (SELECT R WHERE A CONTAINS 'x') BY (B)")
+        assert isinstance(node, ast.Nest)
+        assert isinstance(node.source, ast.Select)
+
+    def test_join_of_parenthesised_expressions(self):
+        node = parse("JOIN (NEST R BY (A)), (NEST S BY (B))")
+        assert isinstance(node.left, ast.Nest)
+        assert isinstance(node.right, ast.Nest)
+
+
+class TestStatements:
+    def test_let(self):
+        node = parse("LET X = NEST R BY (A)")
+        assert isinstance(node, ast.Let)
+        assert node.name == "X"
+
+    def test_insert(self):
+        node = parse("INSERT INTO R VALUES ('s1', 'c1', 42)")
+        assert node == ast.InsertValues("R", ("s1", "c1", 42))
+
+    def test_delete(self):
+        node = parse("DELETE FROM R VALUES ('s1', 'c1', 42)")
+        assert node == ast.DeleteValues("R", ("s1", "c1", 42))
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("R R")
+
+    def test_missing_where(self):
+        with pytest.raises(ParseError):
+            parse("SELECT R")
+
+    def test_missing_name_list_paren(self):
+        with pytest.raises(ParseError):
+            parse("PROJECT R ON A")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_bad_condition(self):
+        with pytest.raises(ParseError):
+            parse("SELECT R WHERE A LIKE 'x'")
+
+    def test_number_as_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse("42")

@@ -1,0 +1,141 @@
+"""Tests for repro.relational.algebra."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.relational import algebra as ra
+from repro.relational.predicates import eq
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def r():
+    return Relation.from_rows(
+        ["A", "B"], [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]
+    )
+
+
+@pytest.fixture
+def s():
+    return Relation.from_rows(
+        ["B", "C"], [("b1", "c1"), ("b2", "c1"), ("b3", "c2")]
+    )
+
+
+class TestUnary:
+    def test_select(self, r):
+        assert len(ra.select(r, eq("A", "a1"))) == 2
+
+    def test_project_collapses_duplicates(self, r):
+        assert len(ra.project(r, ["A"])) == 2
+
+    def test_rename(self, r):
+        out = ra.rename(r, {"A": "X"})
+        assert out.schema.names == ("X", "B")
+        assert out.column("X") == {"a1", "a2"}
+
+    def test_reorder(self, r):
+        out = ra.reorder(r, ["B", "A"])
+        assert out.schema.names == ("B", "A")
+        assert len(out) == len(r)
+
+    def test_extend(self, r):
+        out = ra.extend(r, "AB", lambda t: t["A"] + t["B"])
+        assert "a1b1" in out.column("AB")
+
+    def test_extend_existing_name_rejected(self, r):
+        with pytest.raises(AlgebraError):
+            ra.extend(r, "A", lambda t: "x")
+
+
+class TestSetOps:
+    def test_union(self, r):
+        other = Relation.from_rows(["A", "B"], [("a9", "b9"), ("a1", "b1")])
+        assert len(ra.union(r, other)) == 4
+
+    def test_difference(self, r):
+        other = Relation.from_rows(["A", "B"], [("a1", "b1")])
+        assert len(ra.difference(r, other)) == 2
+
+    def test_intersection(self, r):
+        other = Relation.from_rows(["A", "B"], [("a1", "b1"), ("a9", "b9")])
+        assert len(ra.intersection(r, other)) == 1
+
+    def test_incompatible_schemas_raise(self, r, s):
+        with pytest.raises(AlgebraError):
+            ra.union(r, s)
+
+
+class TestJoins:
+    def test_product(self, r):
+        other = Relation.from_rows(["C"], [("c1",), ("c2",)])
+        assert len(ra.product(r, other)) == 6
+
+    def test_product_shared_names_rejected(self, r):
+        with pytest.raises(Exception):
+            ra.product(r, r)
+
+    def test_natural_join(self, r, s):
+        out = ra.natural_join(r, s)
+        assert out.schema.names == ("A", "B", "C")
+        assert len(out) == 3  # b3 never matches
+
+    def test_natural_join_no_shared_is_product(self, r):
+        other = Relation.from_rows(["C"], [("c1",)])
+        assert len(ra.natural_join(r, other)) == 3
+
+    def test_theta_join(self, r, s):
+        renamed = ra.rename(s, {"B": "B2"})
+        out = ra.theta_join(r, renamed, lambda lt, rt: lt["B"] == rt["B2"])
+        assert len(out) == 3
+
+    def test_semi_join(self, r, s):
+        out = ra.semi_join(r, s)
+        assert out == r  # every B value of r appears in s
+
+    def test_anti_join(self, r, s):
+        extra = Relation.from_rows(["A", "B"], [("a9", "bZ")])
+        out = ra.anti_join(ra.union(r, extra), s)
+        assert out == extra
+
+    def test_division(self):
+        dividend = Relation.from_rows(
+            ["S", "P"],
+            [("s1", "p1"), ("s1", "p2"), ("s2", "p1")],
+        )
+        divisor = Relation.from_rows(["P"], [("p1",), ("p2",)])
+        out = ra.division(dividend, divisor)
+        assert out.column("S") == {"s1"}
+
+    def test_division_by_empty_returns_all(self):
+        dividend = Relation.from_rows(["S", "P"], [("s1", "p1")])
+        divisor = Relation(Relation.from_rows(["P"], [("p1",)]).schema)
+        assert ra.division(dividend, divisor).column("S") == {"s1"}
+
+    def test_division_missing_attribute_rejected(self, r):
+        divisor = Relation.from_rows(["Z"], [("z",)])
+        with pytest.raises(AlgebraError):
+            ra.division(r, divisor)
+
+
+class TestGrouping:
+    def test_group_by(self, r):
+        groups = ra.group_by(r, ["A"])
+        assert len(groups[("a1",)]) == 2
+
+    def test_aggregate(self, r):
+        out = ra.aggregate(r, ["A"], "n", lambda g: len(list(g)))
+        values = {t["A"]: t["n"] for t in out}
+        assert values == {"a1": 2, "a2": 1}
+
+
+class TestAlgebraicIdentities:
+    def test_join_after_project_roundtrip_lossless_case(self, r, s):
+        joined = ra.natural_join(r, s)
+        left = ra.project(joined, ["A", "B"])
+        assert left.is_subset_of(r)
+
+    def test_select_commutes_with_project(self, r):
+        a = ra.project(ra.select(r, eq("A", "a1")), ["A"])
+        b = ra.select(ra.project(r, ["A"]), eq("A", "a1"))
+        assert a == b

@@ -1,0 +1,72 @@
+"""Tests for repro.relational.attribute."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.relational.attribute import ANY, Attribute, Domain, is_atomic
+
+
+class TestIsAtomic:
+    def test_accepts_scalars(self):
+        for v in ("x", 1, 1.5, True, None):
+            assert is_atomic(v)
+
+    def test_rejects_containers(self):
+        for v in ([1], {1}, (1,), {"a": 1}):
+            assert not is_atomic(v)
+
+
+class TestDomain:
+    def test_open_domain_accepts_any_atomic(self):
+        d = Domain("D")
+        assert d.contains("x")
+        assert d.contains(42)
+
+    def test_open_domain_rejects_containers(self):
+        assert not Domain("D").contains([1, 2])
+
+    def test_typed_domain(self):
+        d = Domain("Num", base_type=int)
+        assert d.contains(3)
+        assert not d.contains("3")
+
+    def test_finite_universe(self):
+        d = Domain("Course", universe=frozenset({"c1", "c2"}))
+        assert d.contains("c1")
+        assert not d.contains("c3")
+        assert d.is_finite
+
+    def test_universe_with_non_atomic_element_raises(self):
+        with pytest.raises(DomainError):
+            Domain("Bad", universe=frozenset({("a",)}))
+
+    def test_validate_returns_value(self):
+        assert Domain("D").validate("x") == "x"
+
+    def test_validate_raises_with_domain_name(self):
+        with pytest.raises(DomainError, match="Course"):
+            Domain("Course", universe=frozenset({"c1"})).validate("zz")
+
+
+class TestAttribute:
+    def test_default_domain_is_any(self):
+        assert Attribute("A").domain is ANY
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DomainError):
+            Attribute("")
+
+    def test_validate_mentions_attribute(self):
+        a = Attribute("Year", Domain("Y", base_type=int))
+        with pytest.raises(DomainError, match="Year"):
+            a.validate("not-a-year")
+
+    def test_renamed_keeps_domain(self):
+        d = Domain("D", base_type=str)
+        a = Attribute("A", d).renamed("B")
+        assert a.name == "B"
+        assert a.domain is d
+
+    def test_attributes_are_value_objects(self):
+        assert Attribute("A") == Attribute("A")
+        assert hash(Attribute("A")) == hash(Attribute("A"))

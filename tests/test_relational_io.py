@@ -1,0 +1,55 @@
+"""Tests for repro.relational.io."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import io
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def r():
+    return Relation.from_rows(
+        ["Name", "Year"], [("ada", 1843), ("grace", 1952)]
+    )
+
+
+class TestRecords:
+    def test_roundtrip(self, r):
+        records = io.to_records(r)
+        back = io.from_records(["Name", "Year"], records)
+        assert back == r
+
+    def test_records_sorted(self, r):
+        records = io.to_records(r)
+        assert records[0]["Name"] == "ada"
+
+
+class TestText:
+    def test_roundtrip(self, r):
+        assert io.loads(io.dumps(r)) == r
+
+    def test_numbers_parse_back_as_numbers(self, r):
+        back = io.loads(io.dumps(r))
+        assert back.column("Year") == {1843, 1952}
+
+    def test_floats(self):
+        r = Relation.from_rows(["X"], [(1.5,)])
+        assert io.loads(io.dumps(r)).column("X") == {1.5}
+
+    def test_none_roundtrips_as_none(self):
+        r = Relation.from_rows(["X", "Y"], [(None, "y")])
+        assert io.loads(io.dumps(r)).column("X") == {None}
+
+    def test_pipe_in_value_rejected(self):
+        r = Relation.from_rows(["X"], [("a|b",)])
+        with pytest.raises(SchemaError):
+            io.dumps(r)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(SchemaError):
+            io.loads("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SchemaError):
+            io.loads("A|B\nonly-one")

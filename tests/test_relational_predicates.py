@@ -1,0 +1,57 @@
+"""Tests for repro.relational.predicates."""
+
+from repro.relational import predicates as p
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+SCHEMA = RelationSchema(["A", "N", "M"])
+T = FlatTuple(SCHEMA, ["x", 5, 5])
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert p.eq("A", "x")(T)
+        assert not p.eq("A", "y")(T)
+
+    def test_ne(self):
+        assert p.ne("A", "y")(T)
+
+    def test_lt_le_gt_ge(self):
+        assert p.lt("N", 6)(T)
+        assert p.le("N", 5)(T)
+        assert p.gt("N", 4)(T)
+        assert p.ge("N", 5)(T)
+
+    def test_isin(self):
+        assert p.isin("N", {4, 5})(T)
+        assert not p.isin("N", [])(T)
+
+    def test_attr_eq(self):
+        assert p.attr_eq("N", "M")(T)
+        assert not p.attr_eq("A", "N")(T)
+
+
+class TestCombinators:
+    def test_where_conjunction(self):
+        assert p.where(p.eq("A", "x"), p.gt("N", 1))(T)
+        assert not p.where(p.eq("A", "x"), p.gt("N", 10))(T)
+
+    def test_empty_where_is_true(self):
+        assert p.where()(T)
+
+    def test_any_of(self):
+        assert p.any_of(p.eq("A", "nope"), p.eq("N", 5))(T)
+        assert not p.any_of()(T)
+
+    def test_negate(self):
+        assert p.negate(p.eq("A", "nope"))(T)
+
+    def test_always(self):
+        assert p.always()(T)
+
+    def test_with_select(self):
+        r = Relation.from_rows(["A", "N", "M"], [("x", 5, 5), ("y", 1, 2)])
+        from repro.relational.algebra import select
+
+        assert len(select(r, p.attr_eq("N", "M"))) == 1

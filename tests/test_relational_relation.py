@@ -1,0 +1,96 @@
+"""Tests for repro.relational.relation."""
+
+import pytest
+
+from repro.errors import AlgebraError, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+
+class TestConstruction:
+    def test_from_rows(self, ab_schema):
+        r = Relation.from_rows(ab_schema, [("a", "b"), ("a", "b")])
+        assert len(r) == 1  # set semantics
+
+    def test_from_rows_with_string_schema(self):
+        r = Relation.from_rows(["A"], [("x",)])
+        assert r.schema.names == ("A",)
+
+    def test_from_records(self, ab_schema):
+        r = Relation.from_records(ab_schema, [{"A": "a", "B": "b"}])
+        assert len(r) == 1
+
+    def test_mismatched_tuple_schema_rejected(self, ab_schema):
+        t = FlatTuple(RelationSchema(["X", "Y"]), ["a", "b"])
+        with pytest.raises(SchemaError):
+            Relation(ab_schema, [t])
+
+
+class TestAccess:
+    def test_cardinality_and_degree(self, small_ab):
+        assert small_ab.cardinality == 4
+        assert small_ab.degree == 2
+
+    def test_contains(self, small_ab, ab_schema):
+        assert FlatTuple(ab_schema, ["a1", "b1"]) in small_ab
+        assert FlatTuple(ab_schema, ["a9", "b9"]) not in small_ab
+
+    def test_column(self, small_ab):
+        assert small_ab.column("A") == {"a1", "a2", "a3"}
+
+    def test_active_domains(self, small_ab):
+        doms = small_ab.active_domains()
+        assert doms["B"] == {"b1", "b2"}
+
+    def test_sorted_tuples_deterministic(self, small_ab):
+        first = [t.values for t in small_ab.sorted_tuples()]
+        second = [t.values for t in small_ab.sorted_tuples()]
+        assert first == second
+        assert first[0] == ("a1", "b1")
+
+    def test_bool(self, ab_schema, small_ab):
+        assert small_ab
+        assert not Relation(ab_schema)
+
+
+class TestDerivation:
+    def test_with_and_without_tuple(self, small_ab, ab_schema):
+        t = FlatTuple(ab_schema, ["a9", "b9"])
+        bigger = small_ab.with_tuple(t)
+        assert len(bigger) == 5
+        assert len(bigger.without_tuple(t)) == 4
+
+    def test_filter(self, small_ab):
+        assert len(small_ab.filter(lambda t: t["B"] == "b1")) == 2
+
+    def test_map_rows(self, small_ab):
+        upper = small_ab.map_rows(
+            lambda t: t.with_value("A", t["A"].upper())
+        )
+        assert upper.column("A") == {"A1", "A2", "A3"}
+
+
+class TestEquality:
+    def test_equality_ignores_insertion_order(self, ab_schema):
+        r1 = Relation.from_rows(ab_schema, [("a", "b"), ("c", "d")])
+        r2 = Relation.from_rows(ab_schema, [("c", "d"), ("a", "b")])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+    def test_is_subset_of(self, small_ab, ab_schema):
+        sub = Relation.from_rows(ab_schema, [("a1", "b1")])
+        assert sub.is_subset_of(small_ab)
+        assert not small_ab.is_subset_of(sub)
+
+    def test_incompatible_comparison_raises(self, small_ab):
+        other = Relation.from_rows(["X"], [("x",)])
+        with pytest.raises(AlgebraError):
+            small_ab.is_subset_of(other)
+
+
+class TestRendering:
+    def test_to_table_contains_values(self, small_ab):
+        table = small_ab.to_table(title="R")
+        assert table.startswith("R")
+        assert "a1" in table and "b2" in table

@@ -1,0 +1,119 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.relational.attribute import Attribute, Domain
+from repro.relational.schema import RelationSchema
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        s = RelationSchema(["A", "B"])
+        assert s.names == ("A", "B")
+        assert s.degree == 2
+
+    def test_from_attributes(self):
+        s = RelationSchema([Attribute("A", Domain("D", base_type=int))])
+        assert s.domain_of("A").base_type is int
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema(["A", "A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([])
+
+    def test_bad_member_type_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([42])
+
+
+class TestLookup:
+    def test_contains_and_attribute(self):
+        s = RelationSchema(["A", "B"])
+        assert "A" in s
+        assert s.attribute("B").name == "B"
+
+    def test_unknown_attribute_error_lists_known(self):
+        s = RelationSchema(["A", "B"])
+        with pytest.raises(UnknownAttributeError, match="A, B"):
+            s.attribute("Z")
+
+    def test_index_of(self):
+        s = RelationSchema(["A", "B", "C"])
+        assert s.index_of("B") == 1
+
+
+class TestDerivation:
+    def test_project_keeps_given_order(self):
+        s = RelationSchema(["A", "B", "C"])
+        assert s.project(["C", "A"]).names == ("C", "A")
+
+    def test_project_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A", "B"]).project(["A", "A"])
+
+    def test_drop(self):
+        s = RelationSchema(["A", "B", "C"]).drop(["B"])
+        assert s.names == ("A", "C")
+
+    def test_drop_all_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A"]).drop(["A"])
+
+    def test_rename(self):
+        s = RelationSchema(["A", "B"]).rename({"A": "X"})
+        assert s.names == ("X", "B")
+
+    def test_rename_unknown_rejected(self):
+        with pytest.raises(UnknownAttributeError):
+            RelationSchema(["A"]).rename({"Z": "X"})
+
+    def test_reorder(self):
+        s = RelationSchema(["A", "B", "C"]).reorder(["C", "B", "A"])
+        assert s.names == ("C", "B", "A")
+
+    def test_reorder_requires_permutation(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A", "B"]).reorder(["A"])
+
+    def test_concat_disjoint(self):
+        s = RelationSchema(["A"]).concat(RelationSchema(["B"]))
+        assert s.names == ("A", "B")
+
+    def test_concat_overlap_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A"]).concat(RelationSchema(["A"]))
+
+    def test_common_names_in_left_order(self):
+        left = RelationSchema(["A", "B", "C"])
+        right = RelationSchema(["C", "B", "Z"])
+        assert left.common_names(right) == ("B", "C")
+
+
+class TestEquality:
+    def test_order_sensitive_equality(self):
+        assert RelationSchema(["A", "B"]) == RelationSchema(["A", "B"])
+        assert RelationSchema(["A", "B"]) != RelationSchema(["B", "A"])
+
+    def test_same_attributes_ignores_order(self):
+        assert RelationSchema(["A", "B"]).same_attributes(
+            RelationSchema(["B", "A"])
+        )
+
+    def test_hashable(self):
+        assert len({RelationSchema(["A"]), RelationSchema(["A"])}) == 1
+
+
+class TestValidation:
+    def test_validate_values_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A", "B"]).validate_values(["x"])
+
+    def test_validate_values_domains(self):
+        s = RelationSchema([Attribute("N", Domain("D", base_type=int))])
+        assert s.validate_values([3]) == (3,)
+        with pytest.raises(Exception):
+            s.validate_values(["three"])

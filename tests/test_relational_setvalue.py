@@ -1,0 +1,142 @@
+"""Tests for repro.relational.setvalue — the §2 power-set domains.
+
+The paper's own example drives these tests: SC[Student, Course] where a
+course *set* is just shorthand for several flat tuples, versus
+CP[Course, Prerequisite] where the prerequisite set is one indivisible
+value and "we may have (co, {{c1, c2}, {c1, c3}})".
+"""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.core.nest import nest
+from repro.core.nfr_relation import NFRelation
+from repro.core.update import CanonicalNFR
+from repro.errors import DomainError
+from repro.relational.attribute import is_atomic
+from repro.relational.relation import Relation
+from repro.relational.setvalue import SetValue
+
+
+class TestSetValueBasics:
+    def test_is_atomic(self):
+        assert is_atomic(SetValue(["c1", "c2"]))
+
+    def test_value_semantics(self):
+        assert SetValue(["c1", "c2"]) == SetValue(["c2", "c1"])
+        assert len({SetValue(["c1"]), SetValue(["c1"])}) == 1
+
+    def test_membership_and_len(self):
+        sv = SetValue(["c1", "c2"])
+        assert "c1" in sv
+        assert len(sv) == 2
+
+    def test_nested_set_values(self):
+        outer = SetValue([SetValue(["c1", "c2"]), SetValue(["c1", "c3"])])
+        assert len(outer) == 2
+        assert SetValue(["c1", "c2"]) in outer
+
+    def test_raw_containers_rejected(self):
+        with pytest.raises(DomainError):
+            SetValue([{"c1", "c2"}])
+
+    def test_rendering_deterministic(self):
+        assert str(SetValue(["c2", "c1"])) == "{c1, c2}"
+
+    def test_ordering_for_tables(self):
+        a, b = SetValue(["c1"]), SetValue(["c2"])
+        assert (a < b) or (b < a)
+
+
+class TestPaperSection2:
+    """The SC-vs-CP contrast, exactly as §2 describes it."""
+
+    def test_sc_sets_split_into_flat_tuples(self):
+        # SC contains (a, {c1, c2}): "two tuples (a, c1) and (a, c2) are
+        # in SC.  In this case the {c1, c2} has no special meaning."
+        sc = NFRelation.from_components(
+            ["Student", "Course"], [(["a"], ["c1", "c2"])]
+        )
+        flats = {tuple(f.values) for f in sc.to_1nf()}
+        assert flats == {("a", "c1"), ("a", "c2")}
+
+    def test_cp_sets_do_not_split(self):
+        # CP contains (co, {c1, c2}) and (co, {c1, c3}): two DISTINCT
+        # flat tuples, because Prerequisite ranges over a power set.
+        cp = Relation.from_rows(
+            ["Course", "Prerequisite"],
+            [
+                ("co", SetValue(["c1", "c2"])),
+                ("co", SetValue(["c1", "c3"])),
+            ],
+        )
+        assert cp.cardinality == 2  # nothing merged, nothing split
+
+    def test_cp_nests_into_sets_of_sets(self):
+        # "Moreover, we may have (co, {{c1, c2}, {c1, c3}})" — that is
+        # exactly what nesting CP on Prerequisite produces.
+        cp = Relation.from_rows(
+            ["Course", "Prerequisite"],
+            [
+                ("co", SetValue(["c1", "c2"])),
+                ("co", SetValue(["c1", "c3"])),
+            ],
+        )
+        nested = nest(NFRelation.from_1nf(cp), "Prerequisite")
+        assert nested.cardinality == 1
+        [tuple_] = nested.sorted_tuples()
+        component = tuple_["Prerequisite"]
+        assert set(component) == {
+            SetValue(["c1", "c2"]),
+            SetValue(["c1", "c3"]),
+        }
+
+    def test_canonical_and_updates_work_over_setvalues(self):
+        cp = Relation.from_rows(
+            ["Course", "Prerequisite"],
+            [
+                ("co", SetValue(["c1", "c2"])),
+                ("co", SetValue(["c1", "c3"])),
+                ("cx", SetValue(["c1", "c2"])),
+            ],
+        )
+        form = canonical_form(cp, ["Course", "Prerequisite"])
+        assert form.to_1nf() == cp
+
+        store = CanonicalNFR(cp, ["Course", "Prerequisite"], validate=True)
+        store.insert_values("cy", SetValue(["c9"]))
+        store.delete_values("co", SetValue(["c1", "c3"]))
+        expected = (
+            cp.with_tuple(
+                next(iter(Relation.from_rows(
+                    ["Course", "Prerequisite"],
+                    [("cy", SetValue(["c9"]))],
+                )))
+            ).without_tuple(
+                next(iter(Relation.from_rows(
+                    ["Course", "Prerequisite"],
+                    [("co", SetValue(["c1", "c3"]))],
+                )))
+            )
+        )
+        assert store.to_1nf() == expected
+
+    def test_deleting_a_prerequisite_alternative_is_tuple_level(self):
+        # §2's point: dropping one prerequisite ALTERNATIVE of co is a
+        # flat-tuple deletion (the set value is the unit), unlike SC
+        # where dropping one course edits inside a component.
+        cp = Relation.from_rows(
+            ["Course", "Prerequisite"],
+            [
+                ("co", SetValue(["c1", "c2"])),
+                ("co", SetValue(["c1", "c3"])),
+            ],
+        )
+        smaller = cp.without_tuple(
+            next(
+                t
+                for t in cp
+                if t["Prerequisite"] == SetValue(["c1", "c3"])
+            )
+        )
+        assert smaller.cardinality == 1

@@ -1,0 +1,102 @@
+"""Tests for repro.relational.tuples."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(["A", "B", "C"])
+
+
+@pytest.fixture
+def t(schema):
+    return FlatTuple(schema, ["a1", "b1", "c1"])
+
+
+class TestConstruction:
+    def test_positional(self, t):
+        assert t.values == ("a1", "b1", "c1")
+
+    def test_from_mapping(self, schema):
+        t = FlatTuple.from_mapping(schema, {"B": "b", "A": "a", "C": "c"})
+        assert t.values == ("a", "b", "c")
+
+    def test_from_mapping_missing_raises(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            FlatTuple.from_mapping(schema, {"A": "a"})
+
+    def test_from_mapping_extra_raises(self, schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            FlatTuple.from_mapping(
+                schema, {"A": "a", "B": "b", "C": "c", "Z": "z"}
+            )
+
+    def test_arity_mismatch_raises(self, schema):
+        with pytest.raises(SchemaError):
+            FlatTuple(schema, ["a"])
+
+
+class TestAccess:
+    def test_getitem_by_name(self, t):
+        assert t["B"] == "b1"
+
+    def test_get_with_default(self, t):
+        assert t.get("Z", "dflt") == "dflt"
+
+    def test_as_mapping(self, t):
+        assert t.as_mapping() == {"A": "a1", "B": "b1", "C": "c1"}
+
+    def test_iter_and_len(self, t):
+        assert list(t) == ["a1", "b1", "c1"]
+        assert len(t) == 3
+
+
+class TestDerivation:
+    def test_project(self, t):
+        assert t.project(["C", "A"]).values == ("c1", "a1")
+
+    def test_drop(self, t):
+        assert t.drop(["B"]).values == ("a1", "c1")
+
+    def test_rename(self, t):
+        renamed = t.rename({"A": "X"})
+        assert renamed["X"] == "a1"
+
+    def test_reorder(self, t):
+        assert t.reorder(["C", "B", "A"]).values == ("c1", "b1", "a1")
+
+    def test_concat(self, t):
+        other = FlatTuple(RelationSchema(["D"]), ["d1"])
+        assert t.concat(other).values == ("a1", "b1", "c1", "d1")
+
+    def test_with_value(self, t):
+        assert t.with_value("B", "bX")["B"] == "bX"
+
+    def test_matches(self, t, schema):
+        other = FlatTuple(schema, ["a1", "bZ", "c1"])
+        assert t.matches(other, ["A", "C"])
+        assert not t.matches(other, ["B"])
+
+
+class TestEquality:
+    def test_value_equality(self, schema):
+        assert FlatTuple(schema, ["a", "b", "c"]) == FlatTuple(
+            schema, ["a", "b", "c"]
+        )
+
+    def test_schema_sensitive(self, schema):
+        other_schema = RelationSchema(["X", "B", "C"])
+        assert FlatTuple(schema, ["a", "b", "c"]) != FlatTuple(
+            other_schema, ["a", "b", "c"]
+        )
+
+    def test_hashable_in_sets(self, schema):
+        s = {FlatTuple(schema, ["a", "b", "c"]), FlatTuple(schema, ["a", "b", "c"])}
+        assert len(s) == 1
+
+    def test_str_uses_paper_notation(self, t):
+        assert str(t) == "[A(a1) B(b1) C(c1)]"

@@ -1,0 +1,64 @@
+"""Tests for repro.storage.encoding."""
+
+import pytest
+
+from repro.core.nfr_tuple import NFRTuple
+from repro.errors import StorageError
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+from repro.storage.encoding import (
+    decode_components,
+    decode_flat_tuple,
+    decode_nfr_tuple,
+    encode_components,
+    encode_flat_tuple,
+    encode_nfr_tuple,
+)
+
+SCHEMA = RelationSchema(["A", "B"])
+
+
+class TestComponents:
+    def test_roundtrip_strings(self):
+        data = encode_components([["a1", "a2"], ["b"]])
+        assert decode_components(data, 2) == [["a1", "a2"], ["b"]]
+
+    def test_roundtrip_mixed_types(self):
+        comps = [[1, -5], [2.5], [None], [True, False], ["s"]]
+        data = encode_components(comps)
+        assert decode_components(data, 5) == comps
+
+    def test_unicode(self):
+        comps = [["café", "naïve"]]
+        data = encode_components(comps)
+        assert decode_components(data, 1) == comps
+
+    def test_trailing_bytes_detected(self):
+        data = encode_components([["a"]]) + b"junk"
+        with pytest.raises(StorageError, match="trailing"):
+            decode_components(data, 1)
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(StorageError):
+            encode_components([[object()]])
+
+
+class TestTuples:
+    def test_flat_roundtrip(self):
+        t = FlatTuple(SCHEMA, ["a", 7])
+        assert decode_flat_tuple(encode_flat_tuple(t), SCHEMA) == t
+
+    def test_nfr_roundtrip(self):
+        t = NFRTuple(SCHEMA, [["a1", "a2"], ["b"]])
+        assert decode_nfr_tuple(encode_nfr_tuple(t), SCHEMA) == t
+
+    def test_flat_decoder_rejects_nfr_record(self):
+        t = NFRTuple(SCHEMA, [["a1", "a2"], ["b"]])
+        with pytest.raises(StorageError):
+            decode_flat_tuple(encode_nfr_tuple(t), SCHEMA)
+
+    def test_nfr_encoding_smaller_than_expanded_flats(self):
+        t = NFRTuple(SCHEMA, [["a1", "a2", "a3"], ["b"]])
+        nfr_bytes = len(encode_nfr_tuple(t))
+        flat_bytes = sum(len(encode_flat_tuple(f)) for f in t.flats())
+        assert nfr_bytes < flat_bytes

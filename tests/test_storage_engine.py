@@ -1,0 +1,115 @@
+"""Tests for repro.storage.engine (NFRStore, the realization view)."""
+
+import pytest
+
+from repro.core.canonical import canonical_form
+from repro.errors import StorageError
+from repro.relational.tuples import FlatTuple
+from repro.storage.engine import NFRStore
+from repro.workloads.university import UniversityConfig, enrollment
+
+
+@pytest.fixture(scope="module")
+def rel():
+    return enrollment(UniversityConfig(students=12, seed=11))
+
+
+@pytest.fixture(scope="module")
+def nfr(rel):
+    return canonical_form(rel, ["Course", "Club", "Student"])
+
+
+@pytest.fixture
+def flat_store(rel):
+    return NFRStore.from_relation(rel)
+
+
+@pytest.fixture
+def nfr_store(nfr):
+    return NFRStore.from_nfr(nfr)
+
+
+class TestConstruction:
+    def test_modes(self, flat_store, nfr_store):
+        assert flat_store.mode == "1nf"
+        assert nfr_store.mode == "nfr"
+
+    def test_bad_mode_rejected(self, rel):
+        with pytest.raises(StorageError):
+            NFRStore(rel.schema, "weird")
+
+    def test_record_counts(self, rel, nfr, flat_store, nfr_store):
+        assert flat_store.heap.record_count == rel.cardinality
+        assert nfr_store.heap.record_count == nfr.cardinality
+
+
+class TestQueryEquivalence:
+    """Both representations answer identically — only the cost differs."""
+
+    def test_full_scan_agrees(self, rel, flat_store, nfr_store):
+        flats1, _ = flat_store.full_scan()
+        flats2, _ = nfr_store.full_scan()
+        assert set(flats1) == set(flats2) == set(rel.tuples)
+
+    def test_point_lookup_agrees(self, rel, flat_store, nfr_store):
+        some = rel.sorted_tuples()[0]
+        conditions = [("Student", some["Student"])]
+        r1, _ = flat_store.lookup(conditions)
+        r2, _ = nfr_store.lookup(conditions)
+        assert set(r1) == set(r2)
+
+    def test_contains(self, rel, flat_store, nfr_store):
+        present = rel.sorted_tuples()[0]
+        absent = FlatTuple(rel.schema, ["sZZZ", "cZZZ", "bZZZ"])
+        assert flat_store.contains(present)[0]
+        assert nfr_store.contains(present)[0]
+        assert not flat_store.contains(absent)[0]
+        assert not nfr_store.contains(absent)[0]
+
+    def test_multi_condition_lookup(self, rel, flat_store, nfr_store):
+        some = rel.sorted_tuples()[0]
+        conditions = [
+            ("Student", some["Student"]),
+            ("Course", some["Course"]),
+        ]
+        r1, _ = flat_store.lookup(conditions)
+        r2, _ = nfr_store.lookup(conditions)
+        assert set(r1) == set(r2)
+        assert some in set(r1)
+
+
+class TestSearchSpaceReduction:
+    """§2: the NFR representation visits fewer records."""
+
+    def test_scan_visits_fewer_records(self, flat_store, nfr_store):
+        _, s1 = flat_store.lookup([("Club", "b1")], use_index=False)
+        _, s2 = nfr_store.lookup([("Club", "b1")], use_index=False)
+        assert s2.records_visited < s1.records_visited
+        assert s2.flats_produced == s1.flats_produced
+
+    def test_storage_smaller(self, flat_store, nfr_store):
+        assert (
+            nfr_store.storage_summary()["payload_bytes"]
+            < flat_store.storage_summary()["payload_bytes"]
+        )
+
+    def test_indexed_lookup_touches_fewer_pages_than_scan(self, flat_store):
+        _, indexed = flat_store.lookup([("Student", "s1")], use_index=True)
+        _, scanned = flat_store.lookup([("Student", "s1")], use_index=False)
+        assert indexed.records_visited <= scanned.records_visited
+
+
+class TestIndexRequirement:
+    def test_unindexed_store_rejects_index_strategy(self, rel):
+        store = NFRStore.from_relation(rel, indexed=False)
+        with pytest.raises(StorageError):
+            store.lookup([("Student", "s1")], use_index=True)
+
+    def test_unindexed_store_scans_fine(self, rel):
+        store = NFRStore.from_relation(rel, indexed=False)
+        results, _ = store.lookup([("Student", "s1")], use_index=False)
+        assert all(f["Student"] == "s1" for f in results)
+
+    def test_unknown_attribute_rejected(self, flat_store):
+        with pytest.raises(Exception):
+            flat_store.lookup([("Nope", "x")])

@@ -1,0 +1,57 @@
+"""Tests for repro.storage.index."""
+
+from repro.storage.index import AtomIndex
+
+
+class TestAtomIndex:
+    def test_add_and_lookup(self):
+        idx = AtomIndex(["A", "B"])
+        idx.add("A", "a1", (0, 0))
+        assert idx.lookup("A", "a1") == {(0, 0)}
+
+    def test_lookup_missing_is_empty(self):
+        idx = AtomIndex(["A"])
+        assert idx.lookup("A", "zz") == frozenset()
+
+    def test_add_component(self):
+        idx = AtomIndex(["A"])
+        idx.add_component("A", ["a1", "a2"], (1, 0))
+        assert idx.lookup("A", "a2") == {(1, 0)}
+
+    def test_lookup_all_intersects(self):
+        idx = AtomIndex(["A", "B"])
+        idx.add("A", "a", (0, 0))
+        idx.add("B", "b", (0, 0))
+        idx.add("A", "a", (0, 1))
+        assert idx.lookup_all([("A", "a"), ("B", "b")]) == {(0, 0)}
+
+    def test_lookup_all_short_circuits_empty(self):
+        idx = AtomIndex(["A", "B"])
+        idx.add("A", "a", (0, 0))
+        assert idx.lookup_all([("A", "a"), ("B", "zz")]) == frozenset()
+
+    def test_remove(self):
+        idx = AtomIndex(["A"])
+        idx.add("A", "a", (0, 0))
+        idx.remove("A", "a", (0, 0))
+        assert idx.lookup("A", "a") == frozenset()
+
+    def test_remove_component(self):
+        idx = AtomIndex(["A"])
+        idx.add_component("A", ["a1", "a2"], (0, 0))
+        idx.remove_component("A", ["a1", "a2"], (0, 0))
+        assert idx.entry_count() == 0
+
+    def test_entry_and_key_counts(self):
+        idx = AtomIndex(["A", "B"])
+        idx.add("A", "a", (0, 0))
+        idx.add("A", "a", (0, 1))
+        idx.add("B", "b", (0, 0))
+        assert idx.entry_count() == 3
+        assert idx.distinct_keys() == 2
+
+    def test_lookup_counter(self):
+        idx = AtomIndex(["A"])
+        idx.lookup("A", "x")
+        idx.lookup("A", "y")
+        assert idx.lookups == 2

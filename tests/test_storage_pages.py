@@ -1,0 +1,108 @@
+"""Tests for repro.storage.pages and heap."""
+
+import pytest
+
+from repro.errors import PageOverflowError, RecordNotFoundError
+from repro.storage.heap import HeapFile
+from repro.storage.pages import PAGE_SIZE, Page
+
+
+class TestPage:
+    def test_insert_and_read(self):
+        p = Page(0)
+        slot = p.insert(b"hello")
+        assert p.read(slot) == b"hello"
+
+    def test_free_space_decreases(self):
+        p = Page(0)
+        before = p.free_space
+        p.insert(b"x" * 100)
+        assert p.free_space == before - 108  # record + slot cost
+
+    def test_overflow_raises(self):
+        p = Page(0)
+        with pytest.raises(PageOverflowError):
+            p.insert(b"x" * PAGE_SIZE)
+
+    def test_fits_predicate(self):
+        p = Page(0)
+        assert p.fits(b"x" * 100)
+        assert not p.fits(b"x" * PAGE_SIZE)
+
+    def test_delete_tombstones(self):
+        p = Page(0)
+        slot = p.insert(b"gone")
+        p.delete(slot)
+        with pytest.raises(RecordNotFoundError):
+            p.read(slot)
+        assert p.live_count == 0
+        assert p.slot_count == 1
+
+    def test_delete_reclaims_body_space(self):
+        p = Page(0)
+        slot = p.insert(b"x" * 100)
+        free_after_insert = p.free_space
+        p.delete(slot)
+        assert p.free_space == free_after_insert + 100
+
+    def test_records_iterates_live_only(self):
+        p = Page(0)
+        a = p.insert(b"a")
+        p.insert(b"b")
+        p.delete(a)
+        assert [r for _, r in p.records()] == [b"b"]
+
+    def test_bad_slot_raises(self):
+        with pytest.raises(RecordNotFoundError):
+            Page(0).read(3)
+
+
+class TestHeapFile:
+    def test_insert_allocates_pages(self):
+        h = HeapFile()
+        big = b"x" * 2000
+        for _ in range(5):
+            h.insert(big)
+        assert h.page_count >= 3  # two 2000-byte records per 4K page
+
+    def test_read_by_rid(self):
+        h = HeapFile()
+        rid = h.insert(b"data")
+        assert h.read(rid) == b"data"
+
+    def test_record_larger_than_page_rejected(self):
+        h = HeapFile()
+        with pytest.raises(PageOverflowError):
+            h.insert(b"x" * (PAGE_SIZE + 1))
+
+    def test_scan_counts_pages_and_records(self):
+        h = HeapFile()
+        for i in range(10):
+            h.insert(f"rec{i}".encode())
+        h.stats.reset()
+        records = list(h.scan())
+        assert len(records) == 10
+        assert h.stats.page_reads == h.page_count
+        assert h.stats.records_visited == 10
+
+    def test_delete_removes_from_scan(self):
+        h = HeapFile()
+        rid = h.insert(b"dead")
+        h.insert(b"alive")
+        h.delete(rid)
+        assert [r for _, r in h.scan()] == [b"alive"]
+        assert h.record_count == 1
+
+    def test_read_many_charges_distinct_pages_once(self):
+        h = HeapFile()
+        rids = [h.insert(b"r%d" % i) for i in range(5)]
+        h.stats.reset()
+        out = h.read_many(rids)
+        assert len(out) == 5
+        assert h.stats.page_reads == 1  # all on one page
+
+    def test_used_and_allocated_bytes(self):
+        h = HeapFile()
+        h.insert(b"x" * 10)
+        assert h.used_bytes() == 10
+        assert h.allocated_bytes() == PAGE_SIZE

@@ -1,0 +1,48 @@
+"""Tests for repro.util.counters."""
+
+from repro.util.counters import OperationCounter
+
+
+class TestOperationCounter:
+    def test_starts_at_zero(self):
+        c = OperationCounter()
+        assert c.compositions == 0
+        assert c.decompositions == 0
+        assert c.tuple_probes == 0
+
+    def test_total_structural(self):
+        c = OperationCounter()
+        c.compositions = 3
+        c.decompositions = 2
+        assert c.total_structural == 5
+
+    def test_mark_and_since(self):
+        c = OperationCounter()
+        c.compositions = 5
+        c.mark("x")
+        c.compositions = 9
+        c.decompositions = 1
+        delta = c.since("x")
+        assert delta.compositions == 4
+        assert delta.decompositions == 1
+
+    def test_since_unknown_mark_is_absolute(self):
+        c = OperationCounter()
+        c.compositions = 7
+        assert c.since("nope").compositions == 7
+
+    def test_reset_clears_everything(self):
+        c = OperationCounter()
+        c.compositions = 5
+        c.mark("x")
+        c.reset()
+        assert c.compositions == 0
+        assert c.since("x").compositions == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        c = OperationCounter()
+        c.compositions = 2
+        snap = c.snapshot()
+        c.compositions = 10
+        assert snap.compositions == 2
+        assert snap.total_structural == 2

@@ -1,0 +1,40 @@
+"""Tests for repro.util.ordering."""
+
+from repro.util.ordering import sort_key, sorted_values
+
+
+class TestSortKey:
+    def test_orders_mixed_types_without_error(self):
+        values = [3, "a", 1.5, None, True, "b", 0]
+        out = sorted_values(values)
+        assert out[0] is None
+
+    def test_none_before_bool_before_numbers_before_strings(self):
+        out = sorted_values(["x", 2, False, None])
+        assert out == [None, False, 2, "x"]
+
+    def test_numbers_compare_naturally(self):
+        assert sorted_values([3, 1.5, 2]) == [1.5, 2, 3]
+
+    def test_strings_compare_lexicographically(self):
+        assert sorted_values(["b", "a", "ab"]) == ["a", "ab", "b"]
+
+    def test_deterministic_for_equal_inputs(self):
+        vals = ["z", 10, None, "a", 3.5]
+        assert sorted_values(vals) == sorted_values(list(reversed(vals)))
+
+    def test_bools_ordered_false_true(self):
+        assert sorted_values([True, False]) == [False, True]
+
+    def test_exotic_types_fall_back_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "weird"
+
+        w = Weird()
+        key = sort_key(w)
+        assert key[0] == 9
+        assert "weird" in key[2]
+
+    def test_stable_key_is_tuple(self):
+        assert isinstance(sort_key("x"), tuple)

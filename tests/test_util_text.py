@@ -1,0 +1,50 @@
+"""Tests for repro.util.text."""
+
+import pytest
+
+from repro.util.text import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["A", "B"], [["a1", "b1"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| A " in lines[1]
+        assert "| a1" in lines[3]
+
+    def test_column_width_tracks_widest_cell(self):
+        out = format_table(["A"], [["short"], ["a-much-longer-cell"]])
+        width = len(out.splitlines()[0])
+        for line in out.splitlines():
+            assert len(line) == width
+
+    def test_title_prepended(self):
+        out = format_table(["A"], [["x"]], title="R1")
+        assert out.splitlines()[0] == "R1"
+
+    def test_row_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_none_renders_empty(self):
+        out = format_table(["A"], [[None]])
+        assert "None" not in out
+
+    def test_float_renders_compactly(self):
+        out = format_table(["A"], [[1.5]])
+        assert "1.5" in out
+
+    def test_empty_rows_renders_header_only(self):
+        out = format_table(["A", "B"], [])
+        assert out.count("\n") == 3  # rule, header, rule, rule
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        out = format_kv([("a", 1), ("long-key", 2)])
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv([]) == ""

@@ -1,0 +1,113 @@
+"""Tests for repro.workloads (generators plant what they claim)."""
+
+from repro.dependencies.fd import FunctionalDependency as FD
+from repro.dependencies.mvd import MultivaluedDependency as MVD
+from repro.workloads.synthetic import (
+    product_blocks,
+    random_relation,
+    skewed_relation,
+    update_stream,
+    with_planted_fd,
+    with_planted_mvd,
+)
+from repro.workloads.university import (
+    ENROLLMENT_MVD,
+    UniversityConfig,
+    drop_course_updates,
+    enrollment,
+    registration,
+)
+
+
+class TestUniversity:
+    def test_enrollment_mvd_holds(self):
+        rel = enrollment(UniversityConfig(students=15, seed=2))
+        assert ENROLLMENT_MVD.holds_in(rel)
+
+    def test_enrollment_deterministic(self):
+        cfg = UniversityConfig(students=10, seed=4)
+        assert enrollment(cfg) == enrollment(cfg)
+
+    def test_registration_schema(self):
+        rel = registration(UniversityConfig(students=10, seed=2))
+        assert rel.schema.names == ("Student", "Course", "Semester")
+        assert rel.cardinality > 0
+
+    def test_drop_course_updates_selects_matching(self):
+        rel = enrollment(UniversityConfig(students=10, seed=2))
+        some = rel.sorted_tuples()[0]
+        updates = drop_course_updates(
+            rel, some["Student"], some["Course"]
+        )
+        assert some in updates
+        assert all(
+            f["Student"] == some["Student"]
+            and f["Course"] == some["Course"]
+            for f in updates
+        )
+
+
+class TestSynthetic:
+    def test_random_relation_cardinality(self):
+        rel = random_relation(["A", "B"], 30, domain_size=10, seed=1)
+        assert rel.cardinality == 30
+
+    def test_random_relation_caps_at_space(self):
+        rel = random_relation(["A"], 100, domain_size=5, seed=1)
+        assert rel.cardinality == 5
+
+    def test_planted_fd_holds(self):
+        rel = with_planted_fd(["A", "B", "C"], ["A"], 50, seed=2)
+        assert FD(["A"], ["B"]).holds_in(rel)
+        assert FD(["A"], ["C"]).holds_in(rel)
+
+    def test_planted_composite_fd(self):
+        rel = with_planted_fd(["A", "B", "C"], ["A", "B"], 50, seed=2)
+        assert FD(["A", "B"], ["C"]).holds_in(rel)
+
+    def test_planted_mvd_holds(self):
+        rel = with_planted_mvd(
+            ["A", "B", "C"], ["A"], ["B"], keys=8, seed=3
+        )
+        assert MVD(["A"], ["B"]).holds_in(rel)
+
+    def test_planted_mvd_needs_complement(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            with_planted_mvd(["A", "B"], ["A"], ["B"])
+
+    def test_product_blocks_compress_fully(self):
+        from repro.core.canonical import canonical_form
+
+        rel = product_blocks(["A", "B", "C"], blocks=3, block_side=2)
+        assert rel.cardinality == 3 * 8
+        form = canonical_form(rel, ["A", "B", "C"])
+        assert form.cardinality == 3  # one NFR tuple per block
+
+    def test_skewed_relation_has_skew(self):
+        # keep the key space sparse (60 rows in a 20x20 space) so the
+        # zipf head can actually dominate
+        rel = skewed_relation(["A", "B"], 60, domain_size=20, seed=4)
+        counts = sorted(
+            (
+                len([t for t in rel if t["A"] == v])
+                for v in rel.column("A")
+            ),
+            reverse=True,
+        )
+        assert counts[0] >= 3 * counts[-1]
+
+    def test_update_stream_disjoint_and_valid(self):
+        rel = random_relation(["A", "B"], 40, domain_size=8, seed=5)
+        ins, dels = update_stream(rel, 10, 10, seed=6)
+        assert len(ins) == 10
+        assert len(dels) == 10
+        assert all(f not in rel for f in ins)
+        assert all(f in rel for f in dels)
+
+    def test_update_stream_deterministic(self):
+        rel = random_relation(["A", "B"], 40, domain_size=8, seed=5)
+        assert update_stream(rel, 5, 5, seed=7) == update_stream(
+            rel, 5, 5, seed=7
+        )
