@@ -42,6 +42,11 @@ def _encode_value(value: Any) -> bytes:
         payload = struct.pack(">q", value)
         return struct.pack(">BI", _TAG_INT, len(payload)) + payload
     if isinstance(value, float):
+        if value != value:  # NaN breaks record equality and index lookups
+            raise StorageError(
+                "cannot encode float NaN: NaN != NaN would corrupt "
+                "record equality and index membership"
+            )
         payload = repr(value).encode()
         return struct.pack(">BI", _TAG_FLOAT, len(payload)) + payload
     if isinstance(value, str):

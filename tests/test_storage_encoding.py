@@ -42,6 +42,15 @@ class TestComponents:
         with pytest.raises(StorageError):
             encode_components([[object()]])
 
+    def test_nan_rejected_at_encode_time(self):
+        with pytest.raises(StorageError, match="NaN"):
+            encode_components([[float("nan")]])
+
+    def test_infinities_roundtrip(self):
+        comps = [[float("inf")], [float("-inf")], [1.5e308]]
+        data = encode_components(comps)
+        assert decode_components(data, 3) == comps
+
 
 class TestTuples:
     def test_flat_roundtrip(self):
