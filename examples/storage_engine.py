@@ -21,7 +21,7 @@ def main() -> None:
     nfr = canonical_form(rel, order)
 
     flat_store = NFRStore.from_relation(rel)
-    nfr_store = NFRStore.from_nfr(nfr)
+    nfr_store = NFRStore.from_nfr(nfr, order=order)
 
     print("storage footprint")
     rows = []
@@ -90,6 +90,36 @@ def main() -> None:
         "a fraction of the records — the paper's 'reduction of logical"
     )
     print("search space' made concrete.")
+    print()
+
+    print("mutation costs (§4 maintenance on pages)")
+    victim = rel.sorted_tuples()[0]
+    from repro.relational.tuples import FlatTuple
+
+    new_flat = FlatTuple(rel.schema, ["s9999", "c1", "b3"])
+    rows = []
+    _, s = flat_store.insert_flat(new_flat)
+    rows.append(["1NF insert", s.records_touched, s.page_writes])
+    _, s = nfr_store.insert_flat(new_flat)
+    rows.append(["NFR insert", s.records_touched, s.page_writes])
+    s = flat_store.delete_flat(victim)
+    rows.append(["1NF delete", s.records_touched, s.page_writes])
+    s = nfr_store.delete_flat(victim)
+    rows.append(["NFR delete", s.records_touched, s.page_writes])
+    print(
+        format_table(
+            ["operation", "records touched", "page writes"], rows
+        )
+    )
+    print()
+    print(
+        f"{flat_store.heap.record_count} flat records vs "
+        f"{nfr_store.heap.record_count} NFR records, yet each flat"
+    )
+    print(
+        "update rewrites only O(degree) records (Theorem A-4) — no"
+    )
+    print("rebuild, and the atom index stays maintained throughout.")
 
 
 if __name__ == "__main__":

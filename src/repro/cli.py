@@ -47,6 +47,31 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_io(catalog: Catalog) -> None:
+    io = catalog.last_io
+    if io is None:
+        return
+    print(
+        f"-- io: {io.page_reads} page reads, {io.page_writes} page "
+        f"writes, {io.records_visited} records touched, "
+        f"{io.flats_produced} flats affected"
+    )
+
+
+def _print_storage(catalog: Catalog) -> None:
+    for name in catalog.names():
+        store = catalog.store_if_open(name)
+        if store is None:
+            print(f"  {name}: (no paged store yet — run INSERT/DELETE)")
+            continue
+        summary = store.storage_summary()
+        print(
+            f"  {name}: {summary['records']} records on "
+            f"{summary['pages']} pages, {summary['payload_bytes']} "
+            f"payload bytes, {summary['index_postings']} index postings"
+        )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     catalog = Catalog()
     _parse_load_args(catalog, args.load or [])
@@ -56,13 +81,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(result.to_table())
+    if args.stats:
+        _print_io(catalog)
     return 0
 
 
 def _cmd_repl(args: argparse.Namespace) -> int:
     catalog = Catalog()
     _parse_load_args(catalog, args.load or [])
-    print("NF2 query REPL — end statements with Enter; 'quit' to exit.")
+    print(
+        "NF2 query REPL — end statements with Enter; 'quit' to exit, "
+        "'catalog' lists relations, 'storage' shows the paged stores, "
+        "'io' shows the last mutation's page I/O."
+    )
     print(f"catalog: {', '.join(catalog.names()) or '(empty)'}")
     while True:
         try:
@@ -82,9 +113,18 @@ def _cmd_repl(args: argparse.Namespace) -> int:
                     f"{rel.flat_count} flats"
                 )
             continue
+        if line.lower() in ("storage", r"\s"):
+            _print_storage(catalog)
+            continue
+        if line.lower() in ("io", r"\io"):
+            _print_io(catalog)
+            continue
         try:
+            previous_io = catalog.last_io
             result = run(line, catalog)
             print(result.to_table())
+            if args.stats and catalog.last_io is not previous_io:
+                _print_io(catalog)
         except ReproError as exc:
             print(f"error: {exc}")
 
@@ -129,12 +169,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", action="append", metavar="NAME=PATH",
         help="register a relation before running (repeatable)",
     )
+    p_query.add_argument(
+        "--stats", action="store_true",
+        help="print page-I/O accounting after mutating statements",
+    )
     p_query.set_defaults(fn=_cmd_query)
 
     p_repl = sub.add_parser("repl", help="interactive statement loop")
     p_repl.add_argument(
         "--load", action="append", metavar="NAME=PATH",
         help="register a relation before starting (repeatable)",
+    )
+    p_repl.add_argument(
+        "--stats", action="store_true",
+        help="print page-I/O accounting after every statement",
     )
     p_repl.set_defaults(fn=_cmd_repl)
 

@@ -39,7 +39,7 @@ tuple-count independent in practice (probes are counted separately).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.canonical import canonical_form
 from repro.core.composition import compose, decompose
@@ -88,6 +88,12 @@ class CanonicalNFR:
         self._n = len(self._order)
         self.counter = OperationCounter()
         self._validate = validate
+        # Write-through observers: fired whenever a canonical tuple
+        # enters/leaves the maintained set (including transient tuples
+        # created and destroyed mid-algorithm).  Physical stores attach
+        # these to keep page-level records in sync with §4 maintenance.
+        self.on_add: Callable[[NFRTuple], None] | None = None
+        self.on_remove: Callable[[NFRTuple], None] | None = None
 
         self._tuples: set[NFRTuple] = set()
         # Inverted indexes per nest position:
@@ -349,6 +355,8 @@ class CanonicalNFR:
             atoms = self._by_atom[j]
             for v in comp:
                 atoms.setdefault(v, set()).add(t)
+        if self.on_add is not None:
+            self.on_add(t)
 
     def _index_remove(self, t: NFRTuple) -> None:
         self._tuples.discard(t)
@@ -366,6 +374,8 @@ class CanonicalNFR:
                     vb.discard(t)
                     if not vb:
                         del atoms[v]
+        if self.on_remove is not None:
+            self.on_remove(t)
 
     def _assert_canonical(self, operation: str) -> None:
         if not self.is_canonical():

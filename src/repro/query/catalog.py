@@ -1,9 +1,13 @@
 """Named-relation catalog for the query language.
 
 Each entry stores an :class:`~repro.core.nfr_relation.NFRelation` plus an
-optional *registered nest order*; INSERT/DELETE statements maintain the
-relation canonically under that order (defaulting to schema order) using
-the §4 update algorithms.
+optional *registered nest order* and storage mode; INSERT/DELETE
+statements execute against a paged
+:class:`~repro.storage.engine.NFRStore` backing the relation (created
+lazily).  In ``nfr`` mode (the default) the store maintains the
+canonical form under that order using the §4 update algorithms with
+write-through page maintenance; in ``1nf`` mode it stores R* flat.  The
+I/O cost of the latest mutation is exposed as :attr:`Catalog.last_io`.
 """
 
 from __future__ import annotations
@@ -11,18 +15,22 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.nfr_relation import NFRelation
-from repro.core.update import CanonicalNFR
 from repro.errors import CatalogError
 from repro.relational.relation import Relation
+from repro.storage.engine import MutationStats, NFRStore, ScanStats
 
 
 class Catalog:
-    """A mutable mapping of names to NFRs with per-relation nest orders."""
+    """A mutable mapping of names to NFRs with per-relation nest orders
+    and paged backing stores."""
 
     def __init__(self):
         self._entries: dict[str, NFRelation] = {}
         self._orders: dict[str, tuple[str, ...]] = {}
-        self._stores: dict[str, CanonicalNFR] = {}
+        self._modes: dict[str, str] = {}
+        self._stores: dict[str, NFRStore] = {}
+        #: I/O accounting of the most recent INSERT/DELETE statement.
+        self.last_io: ScanStats | None = None
 
     # -- registration -----------------------------------------------------------
 
@@ -31,14 +39,18 @@ class Catalog:
         name: str,
         relation: NFRelation | Relation,
         order: Sequence[str] | None = None,
+        mode: str = "nfr",
     ) -> None:
         """Bind ``name``; a 1NF relation is lifted.  ``order`` sets the
         nest order used by INSERT/DELETE maintenance (default: schema
-        order)."""
+        order); ``mode`` picks the backing-store representation."""
+        if mode not in ("1nf", "nfr"):
+            raise CatalogError(f"mode must be '1nf' or 'nfr', got {mode!r}")
         if isinstance(relation, Relation):
             relation = NFRelation.from_1nf(relation)
         self._entries[name] = relation
         self._orders[name] = tuple(order) if order else relation.schema.names
+        self._modes[name] = mode
         self._stores.pop(name, None)
 
     def set(self, name: str, relation: NFRelation) -> None:
@@ -50,6 +62,7 @@ class Catalog:
             relation.schema.names
         ):
             self._orders[name] = relation.schema.names
+        self._modes.setdefault(name, "nfr")
         self._stores.pop(name, None)
 
     def remove(self, name: str) -> None:
@@ -57,6 +70,7 @@ class Catalog:
             raise CatalogError(f"no relation named {name!r}")
         del self._entries[name]
         self._orders.pop(name, None)
+        self._modes.pop(name, None)
         self._stores.pop(name, None)
 
     # -- access --------------------------------------------------------------------
@@ -83,25 +97,51 @@ class Catalog:
     def __len__(self) -> int:
         return len(self._entries)
 
-    # -- canonical update stores --------------------------------------------------
+    # -- paged backing stores -----------------------------------------------------
 
-    def store_for(self, name: str) -> CanonicalNFR:
-        """The canonical-maintenance store for ``name`` (created lazily
-        from the current contents and registered order)."""
+    def store_for(self, name: str) -> NFRStore:
+        """The paged store backing ``name`` (created lazily from the
+        current contents, registered order and mode)."""
         store = self._stores.get(name)
         if store is None:
             relation = self.get(name)
-            store = CanonicalNFR(relation.to_1nf(), self._orders[name])
+            order = self._orders[name]
+            if self._modes.get(name, "nfr") == "1nf":
+                store = NFRStore.from_relation(
+                    relation.to_1nf(), order=order
+                )
+            else:
+                store = NFRStore.from_nfr(
+                    relation, order=order
+                ).canonicalize()
             self._stores[name] = store
-            # The catalog entry becomes the canonical form so that query
-            # results and subsequent updates agree on the representation.
+            # The catalog entry becomes the stored representation so that
+            # query results and subsequent updates agree on it.
             self._entries[name] = store.relation
         return store
 
+    def store_if_open(self, name: str) -> NFRStore | None:
+        """The backing store for ``name`` if one already exists.  Unlike
+        :meth:`store_for` this never creates one (creation replaces the
+        catalog entry with the stored representation)."""
+        self.get(name)
+        return self._stores.get(name)
+
     def sync_from_store(self, name: str) -> NFRelation:
-        """Refresh the catalog entry from the maintenance store."""
+        """Refresh the catalog entry from the backing store."""
         store = self._stores.get(name)
         if store is None:
-            raise CatalogError(f"no update store open for {name!r}")
+            raise CatalogError(f"no backing store open for {name!r}")
         self._entries[name] = store.relation
         return self._entries[name]
+
+    def record_io(self, stats: MutationStats) -> ScanStats:
+        """Fold one mutation's I/O accounting into :attr:`last_io`."""
+        self.last_io = ScanStats(
+            page_reads=stats.page_reads,
+            records_visited=stats.records_touched,
+            flats_produced=stats.flats_applied,
+            index_lookups=0,
+            page_writes=stats.page_writes,
+        )
+        return self.last_io

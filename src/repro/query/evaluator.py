@@ -14,11 +14,14 @@ Operator semantics:
   shared components are *set-theoretically equal*.
 - ``FLATJOIN``: natural join of the underlying R*s (classical 1NF join),
   returned in all-singleton form.
-- ``UNION``: NFR tuple-set union (schemas must match).
+- ``UNION``: NFR tuple-set union (schemas must be name-permutations of
+  each other; the right side is reordered onto the left schema).
 - ``DIFFERENCE``: R* difference, returned in all-singleton form (the
-  well-defined information-level difference).
-- ``LET`` binds results; ``INSERT``/``DELETE`` maintain the named
-  relation canonically via the §4 algorithms.
+  well-defined information-level difference); schemas align like UNION.
+- ``LET`` binds results; ``INSERT``/``DELETE`` execute against the
+  paged :class:`~repro.storage.engine.NFRStore` backing the named
+  relation (§4 canonical maintenance with write-through pages in nfr
+  mode), recording page I/O in ``catalog.last_io``.
 """
 
 from __future__ import annotations
@@ -59,12 +62,14 @@ def _execute(node: ast.Statement, catalog: Catalog) -> NFRelation:
     if isinstance(node, ast.InsertValues):
         store = catalog.store_for(node.name)
         flat = FlatTuple(store.schema, list(node.values))
-        store.insert_flat(flat)
+        _, mstats = store.insert_flat(flat)
+        catalog.record_io(mstats)
         return catalog.sync_from_store(node.name)
     if isinstance(node, ast.DeleteValues):
         store = catalog.store_for(node.name)
         flat = FlatTuple(store.schema, list(node.values))
-        store.delete_flat(flat)
+        mstats = store.delete_flat(flat)
+        catalog.record_io(mstats)
         return catalog.sync_from_store(node.name)
     raise EvaluationError(f"unknown statement {node!r}")
 
@@ -108,25 +113,30 @@ def _eval(node: ast.Expression, catalog: Catalog) -> NFRelation:
         return NFRelation.from_1nf(natural_join(left, right))
     if isinstance(node, ast.Union):
         left = _eval(node.left, catalog)
-        right = _eval(node.right, catalog)
-        if left.schema.names != right.schema.names:
-            raise EvaluationError(
-                f"UNION schemas differ: {left.schema.names} vs "
-                f"{right.schema.names}"
-            )
+        right = _align_right(left, _eval(node.right, catalog), "UNION")
         return NFRelation(left.schema, left.tuples | right.tuples)
     if isinstance(node, ast.Difference):
         left = _eval(node.left, catalog)
-        right = _eval(node.right, catalog)
-        if left.schema.names != right.schema.names:
-            raise EvaluationError(
-                f"DIFFERENCE schemas differ: {left.schema.names} vs "
-                f"{right.schema.names}"
-            )
+        right = _align_right(left, _eval(node.right, catalog), "DIFFERENCE")
         from repro.relational.algebra import difference
 
         return NFRelation.from_1nf(difference(left.to_1nf(), right.to_1nf()))
     raise EvaluationError(f"unknown expression {node!r}")
+
+
+def _align_right(
+    left: NFRelation, right: NFRelation, opname: str
+) -> NFRelation:
+    """Reorder ``right`` onto ``left``'s schema for a set operator;
+    schemas that are not name-permutations of each other are rejected."""
+    if left.schema.names == right.schema.names:
+        return right
+    if sorted(left.schema.names) != sorted(right.schema.names):
+        raise EvaluationError(
+            f"{opname} schemas differ: {left.schema.names} vs "
+            f"{right.schema.names}"
+        )
+    return right.reorder(left.schema.names)
 
 
 def _nf2_join(left: NFRelation, right: NFRelation) -> NFRelation:

@@ -16,16 +16,37 @@ Queries:
   conjunctions (scan or index strategy);
 - :meth:`contains` — point membership of one flat tuple;
 - :meth:`scan_stats` / ``heap.stats`` expose the accounting.
+
+Mutation (§4 at the physical level):
+
+- :meth:`insert_flat` / :meth:`delete_flat` / :meth:`update_flat` apply
+  single flat-tuple updates.  In ``1nf`` mode each update touches one
+  record; in ``nfr`` mode the store delegates to the §4
+  :class:`~repro.core.update.CanonicalNFR` algorithms and mirrors every
+  canonical-tuple change onto pages through write-through hooks, so a
+  flat update touches O(degree) records (Theorem A-4), independent of
+  |R*|.
+- :meth:`insert_batch` / :meth:`delete_batch` buffer the write-through
+  so transient mid-algorithm tuples never reach pages and page writes
+  are batched per touched page.
+- :meth:`vacuum` compacts the heap and remaps record ids in the
+  directory and the :class:`~repro.storage.index.AtomIndex`.
+
+Every mutation returns a :class:`MutationStats` snapshot so callers
+(the query evaluator, benchmarks) can account for update I/O the same
+way :class:`ScanStats` accounts for query I/O.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.nfr_relation import NFRelation
 from repro.core.nfr_tuple import NFRTuple
-from repro.errors import StorageError
+from repro.core.update import CanonicalNFR
+from repro.errors import FlatTupleNotFoundError, StorageError
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import FlatTuple
@@ -41,22 +62,46 @@ from repro.storage.index import AtomIndex
 
 @dataclass(frozen=True)
 class ScanStats:
-    """I/O accounting snapshot for one query."""
+    """I/O accounting snapshot for one query (or one mutation, when
+    produced from :class:`MutationStats` by the query layer)."""
 
     page_reads: int
     records_visited: int
     flats_produced: int
     index_lookups: int
+    page_writes: int = 0
+
+
+@dataclass(frozen=True)
+class MutationStats:
+    """I/O accounting snapshot for one mutation.
+
+    ``records_written``/``records_deleted`` count heap records, the unit
+    Theorem A-4's bound governs in ``nfr`` mode: both stay O(degree) per
+    flat update no matter how many tuples the store holds.
+    """
+
+    flats_applied: int
+    records_written: int
+    records_deleted: int
+    page_reads: int
+    page_writes: int
+
+    @property
+    def records_touched(self) -> int:
+        return self.records_written + self.records_deleted
 
 
 class NFRStore:
-    """A stored relation (1NF or NFR representation) with I/O counting."""
+    """A stored relation (1NF or NFR representation) with I/O counting
+    and flat-tuple mutation."""
 
     def __init__(
         self,
         schema: RelationSchema,
         mode: str,
         indexed: bool = True,
+        order: Sequence[str] | None = None,
     ):
         if mode not in ("1nf", "nfr"):
             raise StorageError(f"mode must be '1nf' or 'nfr', got {mode!r}")
@@ -66,31 +111,105 @@ class NFRStore:
         self.index: AtomIndex | None = (
             AtomIndex(schema.names) if indexed else None
         )
+        self._order = tuple(order) if order else schema.names
+        if sorted(self._order) != sorted(schema.names):
+            raise StorageError(
+                f"nest order {self._order} is not a permutation of "
+                f"schema {schema.names}"
+            )
+        # Record directory: logical unit (FlatTuple in 1nf mode, NFRTuple
+        # in nfr mode) -> record id.  In-memory like the AtomIndex.
+        self._rids: dict[Any, RecordId] = {}
+        # §4 maintenance engine, built lazily on first nfr-mode mutation.
+        self._canon: CanonicalNFR | None = None
+        self._records_written = 0
+        self._records_deleted = 0
 
     # -- constructors ----------------------------------------------------------
 
     @classmethod
-    def from_relation(cls, relation: Relation, indexed: bool = True) -> "NFRStore":
+    def from_relation(
+        cls,
+        relation: Relation,
+        indexed: bool = True,
+        order: Sequence[str] | None = None,
+    ) -> "NFRStore":
         """Store a 1NF relation flat (one record per tuple)."""
-        store = cls(relation.schema, "1nf", indexed=indexed)
+        store = cls(relation.schema, "1nf", indexed=indexed, order=order)
         for t in relation.sorted_tuples():
             store._insert_flat_record(t)
         store.heap.stats.reset()
         return store
 
     @classmethod
-    def from_nfr(cls, relation: NFRelation, indexed: bool = True) -> "NFRStore":
+    def from_nfr(
+        cls,
+        relation: NFRelation,
+        indexed: bool = True,
+        order: Sequence[str] | None = None,
+    ) -> "NFRStore":
         """Store an NFR (one record per NFR tuple)."""
-        store = cls(relation.schema, "nfr", indexed=indexed)
+        store = cls(relation.schema, "nfr", indexed=indexed, order=order)
         for t in relation.sorted_tuples():
             store._insert_nfr_record(t)
         store.heap.stats.reset()
         return store
 
+    # -- logical views ----------------------------------------------------------
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """Nest order used by nfr-mode canonical maintenance."""
+        return self._order
+
+    @property
+    def relation(self) -> NFRelation:
+        """Snapshot of the stored relation as an NFR."""
+        if self.mode == "nfr":
+            return NFRelation(self.schema, self._rids.keys())
+        return NFRelation(
+            self.schema, (NFRTuple.from_flat(f) for f in self._rids)
+        )
+
+    def to_1nf(self) -> Relation:
+        """R* of the stored relation, from the record directory."""
+        if self.mode == "1nf":
+            return Relation(self.schema, self._rids.keys())
+        flats: set[FlatTuple] = set()
+        for t in self._rids:
+            flats.update(t.flats())
+        return Relation(self.schema, flats)
+
+    def is_canonical(self) -> bool:
+        """Is the stored representation canonical for ``order``?
+        (Trivially true in 1nf mode.)"""
+        if self.mode == "1nf":
+            return True
+        if self._canon is not None:
+            return self._canon.is_canonical()
+        from repro.core.canonical import canonical_form
+
+        snapshot = self.relation
+        return canonical_form(snapshot.to_1nf(), self._order) == snapshot
+
+    @property
+    def counter(self):
+        """The §4 OperationCounter (None until nfr-mode maintenance has
+        been activated)."""
+        return self._canon.counter if self._canon is not None else None
+
+    def canonicalize(self) -> "NFRStore":
+        """Activate §4 maintenance now (nfr mode): canonicalise the
+        stored tuples and rewrite any that change.  Returns self."""
+        self._canonical()
+        return self
+
     # -- ingestion ----------------------------------------------------------------
 
     def _insert_flat_record(self, t: FlatTuple) -> RecordId:
         rid = self.heap.insert(encode_flat_tuple(t))
+        self._rids[t] = rid
+        self._records_written += 1
         if self.index is not None:
             for name in self.schema.names:
                 self.index.add(name, t[name], rid)
@@ -98,10 +217,267 @@ class NFRStore:
 
     def _insert_nfr_record(self, t: NFRTuple) -> RecordId:
         rid = self.heap.insert(encode_nfr_tuple(t))
+        self._rids[t] = rid
+        self._records_written += 1
         if self.index is not None:
             for name in self.schema.names:
                 self.index.add_component(name, t[name], rid)
         return rid
+
+    def _insert_nfr_records_batch(self, tuples: Iterable[NFRTuple]) -> None:
+        ordered = sorted(tuples, key=lambda t: t.sort_key())
+        rids = self.heap.insert_many(encode_nfr_tuple(t) for t in ordered)
+        for t, rid in zip(ordered, rids):
+            self._rids[t] = rid
+            self._records_written += 1
+            if self.index is not None:
+                for name in self.schema.names:
+                    self.index.add_component(name, t[name], rid)
+
+    def _delete_flat_record(self, t: FlatTuple) -> None:
+        rid = self._rids.pop(t)
+        self.heap.delete(rid)
+        self._records_deleted += 1
+        if self.index is not None:
+            for name in self.schema.names:
+                self.index.remove(name, t[name], rid)
+
+    def _delete_nfr_record(self, t: NFRTuple) -> None:
+        rid = self._rids.pop(t)
+        self.heap.delete(rid)
+        self._records_deleted += 1
+        if self.index is not None:
+            for name in self.schema.names:
+                self.index.remove_component(name, t[name], rid)
+
+    def _delete_nfr_records_batch(self, tuples: Iterable[NFRTuple]) -> None:
+        ordered = sorted(tuples, key=lambda t: t.sort_key())
+        rids: list[RecordId] = []
+        for t in ordered:
+            rid = self._rids.pop(t)
+            rids.append(rid)
+            self._records_deleted += 1
+            if self.index is not None:
+                for name in self.schema.names:
+                    self.index.remove_component(name, t[name], rid)
+        self.heap.delete_many(rids)
+
+    # -- §4 maintenance plumbing --------------------------------------------------
+
+    def _canonical(self) -> CanonicalNFR:
+        """The write-through CanonicalNFR for this store, built on first
+        use.  Stored tuples that are not canonical for ``order`` are
+        rewritten once here (the §4 algorithms require the canonical
+        invariant)."""
+        if self.mode != "nfr":
+            raise StorageError(
+                "canonical maintenance requires mode='nfr'"
+            )
+        if self._canon is None:
+            stored = NFRelation(self.schema, self._rids.keys())
+            canon = CanonicalNFR(stored, self._order)
+            canonical = set(canon.relation.tuples)
+            current = set(self._rids)
+            self._delete_nfr_records_batch(current - canonical)
+            self._insert_nfr_records_batch(canonical - current)
+            canon.on_add = self._insert_nfr_record
+            canon.on_remove = self._delete_nfr_record
+            self._canon = canon
+        return self._canon
+
+    @contextmanager
+    def _buffered_writes(self, canon: CanonicalNFR):
+        """Batch mode for nfr-mode mutations: collect the net
+        canonical-tuple diff instead of writing through every transient
+        change, then apply it with batched page writes."""
+        added: set[NFRTuple] = set()
+        removed: set[NFRTuple] = set()
+
+        def on_add(t: NFRTuple) -> None:
+            if t in removed:
+                removed.discard(t)
+            else:
+                added.add(t)
+
+        def on_remove(t: NFRTuple) -> None:
+            if t in added:
+                added.discard(t)
+            else:
+                removed.add(t)
+
+        prev = (canon.on_add, canon.on_remove)
+        canon.on_add, canon.on_remove = on_add, on_remove
+        try:
+            yield
+        finally:
+            canon.on_add, canon.on_remove = prev
+            self._delete_nfr_records_batch(removed)
+            self._insert_nfr_records_batch(added)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _normalize_flat(self, flat: FlatTuple) -> FlatTuple:
+        if flat.schema.names == self.schema.names:
+            return flat
+        if sorted(flat.schema.names) != sorted(self.schema.names):
+            raise StorageError(
+                f"flat tuple schema {flat.schema.names} does not match "
+                f"store schema {self.schema.names}"
+            )
+        return flat.reorder(self.schema.names)
+
+    def _snapshot(self) -> tuple[int, int, int, int]:
+        s = self.heap.stats
+        return (
+            self._records_written,
+            self._records_deleted,
+            s.page_reads,
+            s.page_writes,
+        )
+
+    def _delta(
+        self, before: tuple[int, int, int, int], flats_applied: int
+    ) -> MutationStats:
+        s = self.heap.stats
+        return MutationStats(
+            flats_applied=flats_applied,
+            records_written=self._records_written - before[0],
+            records_deleted=self._records_deleted - before[1],
+            page_reads=s.page_reads - before[2],
+            page_writes=s.page_writes - before[3],
+        )
+
+    def insert_flat(self, flat: FlatTuple) -> tuple[bool, MutationStats]:
+        """Insert one flat tuple of R*; returns (inserted?, stats).
+        A tuple already present is a no-op."""
+        flat = self._normalize_flat(flat)
+        # Activate maintenance before the accounting window so a
+        # one-time canonicalization rewrite is not billed to this update.
+        canon = self._canonical() if self.mode == "nfr" else None
+        before = self._snapshot()
+        if canon is None:
+            applied = flat not in self._rids
+            if applied:
+                self._insert_flat_record(flat)
+        else:
+            applied = canon.insert_flat(flat)
+        return applied, self._delta(before, int(applied))
+
+    def delete_flat(self, flat: FlatTuple) -> MutationStats:
+        """Delete one flat tuple of R*; raises
+        :class:`FlatTupleNotFoundError` when absent."""
+        flat = self._normalize_flat(flat)
+        canon = self._canonical() if self.mode == "nfr" else None
+        before = self._snapshot()
+        if canon is None:
+            if flat not in self._rids:
+                raise FlatTupleNotFoundError(f"{flat} is not stored")
+            self._delete_flat_record(flat)
+        else:
+            canon.delete_flat(flat)
+        return self._delta(before, 1)
+
+    def update_flat(
+        self, old: FlatTuple, new: FlatTuple
+    ) -> tuple[bool, MutationStats]:
+        """Replace ``old`` with ``new`` (delete + insert); raises when
+        ``old`` is absent.  Returns (new tuple inserted?, stats) —
+        False when ``new`` was already represented elsewhere."""
+        old = self._normalize_flat(old)
+        new = self._normalize_flat(new)
+        canon = self._canonical() if self.mode == "nfr" else None
+        before = self._snapshot()
+        present = (
+            old in self._rids if canon is None else canon.represents(old)
+        )
+        if not present:
+            raise FlatTupleNotFoundError(f"{old} is not stored")
+        if old == new:
+            return False, self._delta(before, 0)
+        if canon is None:
+            self._delete_flat_record(old)
+            applied = new not in self._rids
+            if applied:
+                self._insert_flat_record(new)
+        else:
+            canon.delete_flat(old)
+            applied = canon.insert_flat(new)
+        return applied, self._delta(before, 1 + int(applied))
+
+    def insert_batch(
+        self, flats: Iterable[FlatTuple]
+    ) -> tuple[int, MutationStats]:
+        """Insert many flat tuples with batched page writes; returns
+        (how many were new, stats)."""
+        normalized = [self._normalize_flat(f) for f in flats]
+        canon = self._canonical() if self.mode == "nfr" else None
+        before = self._snapshot()
+        if canon is None:
+            fresh: list[FlatTuple] = []
+            seen: set[FlatTuple] = set()
+            for f in normalized:
+                if f not in self._rids and f not in seen:
+                    fresh.append(f)
+                    seen.add(f)
+            rids = self.heap.insert_many(
+                encode_flat_tuple(f) for f in fresh
+            )
+            for f, rid in zip(fresh, rids):
+                self._rids[f] = rid
+                self._records_written += 1
+                if self.index is not None:
+                    for name in self.schema.names:
+                        self.index.add(name, f[name], rid)
+            count = len(fresh)
+        else:
+            with self._buffered_writes(canon):
+                count = canon.insert_batch(normalized)
+        return count, self._delta(before, count)
+
+    def delete_batch(
+        self, flats: Iterable[FlatTuple]
+    ) -> tuple[int, MutationStats]:
+        """Delete many flat tuples; raises on the first absent one
+        (already-deleted work is kept, as with single deletes)."""
+        normalized = [self._normalize_flat(f) for f in flats]
+        canon = self._canonical() if self.mode == "nfr" else None
+        before = self._snapshot()
+        count = 0
+        if canon is None:
+            rids: list[RecordId] = []
+            try:
+                for f in normalized:
+                    if f not in self._rids:
+                        raise FlatTupleNotFoundError(f"{f} is not stored")
+                    rid = self._rids.pop(f)
+                    rids.append(rid)
+                    self._records_deleted += 1
+                    if self.index is not None:
+                        for name in self.schema.names:
+                            self.index.remove(name, f[name], rid)
+                    count += 1
+            finally:
+                self.heap.delete_many(rids)
+        else:
+            with self._buffered_writes(canon):
+                count = canon.delete_batch(normalized)
+        return count, self._delta(before, count)
+
+    def vacuum(self) -> dict[str, int]:
+        """Compact the heap (reclaim tombstones and empty pages) and
+        remap record ids in the directory and index."""
+        pages_before = self.heap.page_count
+        mapping = self.heap.vacuum()
+        if mapping:
+            for key, rid in list(self._rids.items()):
+                self._rids[key] = mapping.get(rid, rid)
+            if self.index is not None:
+                self.index.remap_rids(mapping)
+        return {
+            "records_moved": len(mapping),
+            "pages_before": pages_before,
+            "pages_after": self.heap.page_count,
+        }
 
     # -- decoding --------------------------------------------------------------
 
@@ -178,6 +554,7 @@ class NFRStore:
 
     def contains(self, flat: FlatTuple) -> tuple[bool, ScanStats]:
         """Point membership of one flat tuple in R*."""
+        flat = self._normalize_flat(flat)
         conditions = [(a, flat[a]) for a in self.schema.names]
         results, stats = self.lookup(conditions)
         return bool(results), stats

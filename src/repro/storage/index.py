@@ -45,6 +45,14 @@ class AtomIndex:
         for v in values:
             self.remove(attribute, v, rid)
 
+    def remap_rids(self, mapping: dict[RecordId, RecordId]) -> None:
+        """Rewrite record ids after the heap moved records (vacuum).
+        Ids absent from ``mapping`` are kept as-is."""
+        for attr_map in self._maps.values():
+            for value, rids in attr_map.items():
+                if any(r in mapping for r in rids):
+                    attr_map[value] = {mapping.get(r, r) for r in rids}
+
     def lookup(self, attribute: str, value: Any) -> frozenset[RecordId]:
         self.lookups += 1
         return frozenset(self._maps[attribute].get(value, frozenset()))

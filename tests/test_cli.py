@@ -59,6 +59,25 @@ class TestQuery:
         with pytest.raises(SystemExit):
             main(["query", "E", "--load", "no-equals-sign"])
 
+    def test_query_stats_prints_io(self, data_file, capsys):
+        code = main(
+            [
+                "query",
+                "INSERT INTO E VALUES ('s9', 'c9', 'b9')",
+                "--load",
+                f"E={data_file}",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "page writes" in out
+        assert "records touched" in out
+
+    def test_query_stats_silent_without_mutation(self, data_file, capsys):
+        main(["query", "E", "--load", f"E={data_file}", "--stats"])
+        assert "page writes" not in capsys.readouterr().out
+
 
 class TestDemo:
     def test_demo_runs(self, capsys):
@@ -77,6 +96,39 @@ class TestRepl:
         assert main(["repl", "--load", f"E={data_file}"]) == 0
         out = capsys.readouterr().out
         assert "3 tuples" in out or "3 flats" in out
+
+    def test_repl_storage_and_io_commands(
+        self, data_file, capsys, monkeypatch
+    ):
+        inputs = iter(
+            [
+                "INSERT INTO E VALUES ('s9', 'c9', 'b9')",
+                "storage",
+                "io",
+                "quit",
+            ]
+        )
+        monkeypatch.setattr(
+            "builtins.input", lambda prompt="": next(inputs)
+        )
+        assert main(["repl", "--load", f"E={data_file}"]) == 0
+        out = capsys.readouterr().out
+        assert "records on" in out
+        assert "page writes" in out
+
+    def test_repl_storage_command_is_read_only(
+        self, data_file, capsys, monkeypatch
+    ):
+        """'storage' must not build backing stores (which would replace
+        catalog entries with the canonical representation)."""
+        inputs = iter(["catalog", "storage", "catalog", "quit"])
+        monkeypatch.setattr(
+            "builtins.input", lambda prompt="": next(inputs)
+        )
+        assert main(["repl", "--load", f"E={data_file}"]) == 0
+        out = capsys.readouterr().out
+        assert "no paged store yet" in out
+        assert out.count("3 tuples") == 2  # unchanged before and after
 
     def test_repl_reports_errors_and_continues(self, capsys, monkeypatch):
         inputs = iter(["SELECT Missing WHERE A CONTAINS 'x'", "exit"])

@@ -75,6 +75,65 @@ class TestStorageEquivalence:
         assert set(flats) == set(rel.tuples)
 
 
+class TestMutationEquivalence:
+    """For random relations and random mutation sequences, both store
+    modes answer every lookup (index and scan strategy) exactly like an
+    in-memory filter of the logical relation — after every mutation."""
+
+    @given(
+        relations(max_rows=6),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.tuples(atom, atom, atom),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_stores_track_reference_under_mutation(self, rel, ops):
+        from repro.relational.tuples import FlatTuple
+
+        flat_store = NFRStore.from_relation(rel)
+        nfr_store = NFRStore.from_nfr(
+            canonical_form(rel, ATTRS), order=ATTRS
+        )
+        reference = set(rel.tuples)
+        for kind, row in ops:
+            flat = FlatTuple(rel.schema, list(row))
+            if kind == "insert":
+                a1, _ = flat_store.insert_flat(flat)
+                a2, _ = nfr_store.insert_flat(flat)
+                assert a1 == a2 == (flat not in reference)
+                reference.add(flat)
+            elif flat in reference:
+                flat_store.delete_flat(flat)
+                nfr_store.delete_flat(flat)
+                reference.discard(flat)
+            else:
+                continue
+            # every single-attribute condition derived from the mutated
+            # tuple, plus the full-tuple conjunction
+            conditions_list = [
+                [(a, flat[a])] for a in ATTRS
+            ] + [[(a, flat[a]) for a in ATTRS]]
+            for conditions in conditions_list:
+                expected = {
+                    t
+                    for t in reference
+                    if all(t[a] == v for a, v in conditions)
+                }
+                for store in (flat_store, nfr_store):
+                    via_index, _ = store.lookup(conditions, use_index=True)
+                    via_scan, _ = store.lookup(conditions, use_index=False)
+                    assert set(via_index) == expected
+                    assert set(via_scan) == expected
+            assert set(flat_store.full_scan()[0]) == reference
+            assert set(nfr_store.full_scan()[0]) == reference
+        assert nfr_store.is_canonical()
+
+
 class TestQueryAgainstCore:
     @given(relations())
     @settings(max_examples=30, deadline=None)

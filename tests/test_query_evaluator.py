@@ -4,9 +4,14 @@ import pytest
 
 from repro.core.canonical import canonical_form
 from repro.core.nfr_relation import NFRelation
-from repro.errors import CatalogError, EvaluationError
+from repro.errors import (
+    CatalogError,
+    EvaluationError,
+    FlatTupleNotFoundError,
+)
 from repro.query import Catalog, run
 from repro.relational.relation import Relation
+from repro.relational.tuples import FlatTuple
 
 
 @pytest.fixture
@@ -119,6 +124,23 @@ class TestSetOperators:
         with pytest.raises(EvaluationError):
             run("UNION R, Other", catalog)
 
+    def test_union_accepts_schema_permutation(self, catalog, rel):
+        permuted = NFRelation.from_1nf(rel).reorder(
+            ["Club", "Course", "Student"]
+        )
+        catalog.register("Perm", permuted)
+        out = run("UNION R, Perm", catalog)
+        assert out.schema.names == rel.schema.names
+        assert out.to_1nf() == rel
+
+    def test_difference_accepts_schema_permutation(self, catalog, rel):
+        permuted = NFRelation.from_1nf(rel).reorder(
+            ["Club", "Course", "Student"]
+        )
+        catalog.register("Perm", permuted)
+        out = run("DIFFERENCE R, Perm", catalog)
+        assert out.flat_count == 0
+
     def test_difference(self, catalog):
         out = run(
             "DIFFERENCE R, (SELECT R WHERE Student CONTAINS 's1')",
@@ -150,6 +172,42 @@ class TestStatements:
         run("INSERT INTO R VALUES ('s9', 'c9', 'b9')", catalog)
         out = run("SELECT R WHERE Student CONTAINS 's9'", catalog)
         assert out.flat_count == 1
+
+    def test_statements_hit_the_paged_store(self, catalog):
+        """INSERT/DELETE execute against the paged NFRStore: records
+        land on pages, page I/O is accounted, and a deleted flat is
+        gone from both lookup strategies."""
+        run("INSERT INTO R VALUES ('s3', 'c1', 'b1')", catalog)
+        store = catalog.store_for("R")
+        assert store.heap.record_count == store.relation.cardinality
+        assert catalog.last_io is not None
+        assert catalog.last_io.page_writes >= 1
+        assert catalog.last_io.records_visited >= 1
+
+        run("DELETE FROM R VALUES ('s3', 'c1', 'b1')", catalog)
+        flat = FlatTuple(store.schema, ["s3", "c1", "b1"])
+        assert not store.contains(flat)[0]
+        conditions = [(a, flat[a]) for a in store.schema.names]
+        assert flat not in store.lookup(conditions, use_index=True)[0]
+        assert flat not in store.lookup(conditions, use_index=False)[0]
+
+    def test_statements_in_1nf_mode(self, rel):
+        cat = Catalog()
+        cat.register("F", rel, mode="1nf")
+        run("INSERT INTO F VALUES ('s7', 'c7', 'b7')", cat)
+        assert run("F", cat).flat_count == 5
+        run("DELETE FROM F VALUES ('s7', 'c7', 'b7')", cat)
+        store = cat.store_for("F")
+        flat = FlatTuple(store.schema, ["s7", "c7", "b7"])
+        assert not store.contains(flat)[0]
+        conditions = [(a, flat[a]) for a in store.schema.names]
+        assert flat not in store.lookup(conditions, use_index=True)[0]
+        assert flat not in store.lookup(conditions, use_index=False)[0]
+        assert run("F", cat).to_1nf() == rel
+
+    def test_delete_absent_tuple_raises(self, catalog):
+        with pytest.raises(FlatTupleNotFoundError):
+            run("DELETE FROM R VALUES ('sZ', 'cZ', 'bZ')", catalog)
 
 
 class TestCatalog:

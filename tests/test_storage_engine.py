@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.canonical import canonical_form
-from repro.errors import StorageError
+from repro.errors import FlatTupleNotFoundError, StorageError
+from repro.relational.relation import Relation
 from repro.relational.tuples import FlatTuple
 from repro.storage.engine import NFRStore
 from repro.workloads.university import UniversityConfig, enrollment
@@ -97,6 +98,209 @@ class TestSearchSpaceReduction:
         _, indexed = flat_store.lookup([("Student", "s1")], use_index=True)
         _, scanned = flat_store.lookup([("Student", "s1")], use_index=False)
         assert indexed.records_visited <= scanned.records_visited
+
+
+def _store_pair(rel):
+    """A 1nf-mode and an nfr-mode store over the same relation."""
+    order = list(rel.schema.names)
+    flat_store = NFRStore.from_relation(rel)
+    nfr_store = NFRStore.from_nfr(canonical_form(rel, order), order=order)
+    return flat_store, nfr_store
+
+
+class TestMutation:
+    """§4 at the physical level: both modes stay queryable and agree
+    after every flat-tuple update."""
+
+    def test_insert_visible_in_both_modes(self, rel):
+        for store in _store_pair(rel):
+            fresh = FlatTuple(rel.schema, ["sNEW", "cNEW", "bNEW"])
+            applied, stats = store.insert_flat(fresh)
+            assert applied
+            assert stats.records_written >= 1
+            assert store.contains(fresh)[0]
+            assert set(store.full_scan()[0]) == set(rel.tuples) | {fresh}
+
+    def test_duplicate_insert_is_noop(self, rel):
+        for store in _store_pair(rel):
+            existing = rel.sorted_tuples()[0]
+            applied, stats = store.insert_flat(existing)
+            assert not applied
+            assert stats.records_touched == 0
+            assert store.to_1nf() == rel
+
+    def test_delete_not_found_in_lookup_either_strategy(self, rel):
+        for store in _store_pair(rel):
+            victim = rel.sorted_tuples()[0]
+            stats = store.delete_flat(victim)
+            assert stats.records_deleted >= 1
+            assert not store.contains(victim)[0]
+            conditions = [(a, victim[a]) for a in rel.schema.names]
+            via_index, _ = store.lookup(conditions, use_index=True)
+            via_scan, _ = store.lookup(conditions, use_index=False)
+            assert victim not in via_index
+            assert victim not in via_scan
+            assert set(store.full_scan()[0]) == set(rel.tuples) - {victim}
+
+    def test_delete_absent_raises(self, rel):
+        for store in _store_pair(rel):
+            with pytest.raises(FlatTupleNotFoundError):
+                store.delete_flat(
+                    FlatTuple(rel.schema, ["sZZZ", "cZZZ", "bZZZ"])
+                )
+
+    def test_update_flat(self, rel):
+        for store in _store_pair(rel):
+            old = rel.sorted_tuples()[0]
+            new = FlatTuple(rel.schema, ["sUPD", "cUPD", "bUPD"])
+            applied, _ = store.update_flat(old, new)
+            assert applied
+            assert not store.contains(old)[0]
+            assert store.contains(new)[0]
+
+    def test_update_to_self_is_noop(self, rel):
+        for store in _store_pair(rel):
+            t = rel.sorted_tuples()[0]
+            applied, stats = store.update_flat(t, t)
+            assert not applied
+            assert stats.records_touched == 0
+
+    def test_update_absent_raises_even_when_old_equals_new(self, rel):
+        absent = FlatTuple(rel.schema, ["sZZZ", "cZZZ", "bZZZ"])
+        for store in _store_pair(rel):
+            with pytest.raises(FlatTupleNotFoundError):
+                store.update_flat(absent, absent)
+            with pytest.raises(FlatTupleNotFoundError):
+                store.update_flat(
+                    absent, FlatTuple(rel.schema, ["sW", "cW", "bW"])
+                )
+
+    def test_nfr_mode_stays_canonical(self, rel):
+        _, store = _store_pair(rel)
+        store.insert_flat(FlatTuple(rel.schema, ["sX", "cX", "bX"]))
+        store.delete_flat(rel.sorted_tuples()[0])
+        assert store.is_canonical()
+
+    def test_nfr_update_touches_few_records(self, rel):
+        """Theorem A-4 at the page level: one flat insert rewrites
+        O(degree) records, not O(|R|)."""
+        _, store = _store_pair(rel)
+        _, stats = store.insert_flat(
+            FlatTuple(rel.schema, ["sY", "cY", "bY"])
+        )
+        assert stats.records_touched < store.heap.record_count
+
+    def test_mutation_on_permuted_flat_schema(self, rel):
+        for store in _store_pair(rel):
+            permuted = rel.sorted_tuples()[0].reorder(
+                ["Club", "Student", "Course"]
+            )
+            store.delete_flat(permuted)
+            assert not store.contains(permuted)[0]
+
+
+class TestBatchMutation:
+    def test_insert_batch_counts_new_only(self, rel):
+        for store in _store_pair(rel):
+            fresh = [
+                FlatTuple(rel.schema, [f"s{i}N", f"c{i}N", f"b{i}N"])
+                for i in range(4)
+            ]
+            batch = fresh + [rel.sorted_tuples()[0]]  # one duplicate
+            count, stats = store.insert_batch(batch)
+            assert count == 4
+            assert set(store.full_scan()[0]) == set(rel.tuples) | set(fresh)
+            assert stats.flats_applied == 4
+
+    def test_delete_batch(self, rel):
+        for store in _store_pair(rel):
+            victims = rel.sorted_tuples()[:3]
+            count, _ = store.delete_batch(victims)
+            assert count == 3
+            assert set(store.full_scan()[0]) == set(rel.tuples) - set(victims)
+
+    def test_delete_batch_page_writes_batched(self, rel):
+        """Deletes landing on the same page cost one page write, not
+        one per record."""
+        store = NFRStore.from_relation(rel)
+        victims = rel.sorted_tuples()[:10]
+        pages_holding = {store._rids[v][0] for v in victims}
+        _, stats = store.delete_batch(victims)
+        assert stats.page_writes == len(pages_holding)
+        assert stats.records_deleted == 10
+
+    def test_nfr_batch_buffers_transient_churn(self, rel):
+        """A batched insert must not write more records than the net
+        canonical-tuple diff (mid-algorithm tuples stay off pages)."""
+        order = list(rel.schema.names)
+        batched = NFRStore.from_nfr(canonical_form(rel, order), order=order)
+        single = NFRStore.from_nfr(canonical_form(rel, order), order=order)
+        fresh = [
+            FlatTuple(rel.schema, [f"s{i}B", "cB", "bB"]) for i in range(6)
+        ]
+        _, batch_stats = batched.insert_batch(fresh)
+        single_touched = 0
+        for f in fresh:
+            _, s = single.insert_flat(f)
+            single_touched += s.records_touched
+        assert batched.relation == single.relation
+        assert batch_stats.records_touched <= single_touched
+        assert batch_stats.page_writes <= single_touched
+
+
+class TestVacuum:
+    def test_vacuum_preserves_answers(self, rel):
+        for store in _store_pair(rel):
+            victims = rel.sorted_tuples()[: rel.cardinality // 2]
+            store.delete_batch(victims)
+            summary = store.vacuum()
+            assert summary["pages_after"] <= summary["pages_before"]
+            remaining = set(rel.tuples) - set(victims)
+            assert set(store.full_scan()[0]) == remaining
+            some = next(iter(remaining))
+            via_index, _ = store.lookup(
+                [("Student", some["Student"])], use_index=True
+            )
+            via_scan, _ = store.lookup(
+                [("Student", some["Student"])], use_index=False
+            )
+            assert set(via_index) == set(via_scan)
+
+    def test_mutations_continue_after_vacuum(self, rel):
+        for store in _store_pair(rel):
+            store.delete_batch(rel.sorted_tuples()[:5])
+            store.vacuum()
+            fresh = FlatTuple(rel.schema, ["sV", "cV", "bV"])
+            applied, _ = store.insert_flat(fresh)
+            assert applied
+            assert store.contains(fresh)[0]
+
+
+class TestNonCanonicalActivation:
+    def test_from_nfr_non_canonical_is_canonicalized_on_mutation(self):
+        """A store loaded with a non-canonical NFR is rewritten to the
+        canonical form the first time §4 maintenance is needed."""
+        rel = Relation.from_rows(
+            ["A", "B"],
+            [("a1", "b1"), ("a2", "b1"), ("a1", "b2"), ("a2", "b2")],
+        )
+        from repro.core.nfr_relation import NFRelation
+
+        lifted = NFRelation.from_1nf(rel)  # all-singleton: not canonical
+        store = NFRStore.from_nfr(lifted, order=["A", "B"])
+        applied, stats = store.insert_flat(
+            FlatTuple(rel.schema, ["a3", "b1"])
+        )
+        assert applied
+        assert store.is_canonical()
+        assert set(store.full_scan()[0]) == set(rel.tuples) | {
+            FlatTuple(rel.schema, ["a3", "b1"])
+        }
+        # the one-time canonicalization rewrite (4 singleton records
+        # deleted, 1 canonical record written) must not be billed to
+        # this insert's accounting
+        assert stats.records_deleted <= 2
+        assert stats.records_written <= 3
 
 
 class TestIndexRequirement:
