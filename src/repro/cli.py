@@ -5,8 +5,15 @@ Usage::
     python -m repro load Enrollment data.txt        # pipe-text format
     python -m repro query "SELECT Enrollment WHERE Club CONTAINS 'b1'" \
         --load Enrollment=data.txt
+    python -m repro query "EXPLAIN ANALYZE SELECT Enrollment WHERE \
+        Club CONTAINS 'b1'" --load Enrollment=data.txt
     python -m repro repl --load Enrollment=data.txt
     python -m repro demo                            # Fig. 1 walkthrough
+
+Queries are planned (see :mod:`repro.planner`): ``ANALYZE name``
+collects statistics and opens the paged store, ``EXPLAIN expr`` shows
+the chosen physical plan, ``EXPLAIN ANALYZE expr`` also executes it and
+reports estimated vs actual rows and page I/O.
 
 The pipe-text relation format is one header line of attribute names and
 one ``|``-separated line per tuple (see :mod:`repro.relational.io`).
@@ -92,7 +99,8 @@ def _cmd_repl(args: argparse.Namespace) -> int:
     print(
         "NF2 query REPL — end statements with Enter; 'quit' to exit, "
         "'catalog' lists relations, 'storage' shows the paged stores, "
-        "'io' shows the last mutation's page I/O."
+        "'io' shows the last statement's page I/O; EXPLAIN [ANALYZE] "
+        "shows query plans, ANALYZE <name> collects statistics."
     )
     print(f"catalog: {', '.join(catalog.names()) or '(empty)'}")
     while True:
@@ -143,6 +151,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         "SELECT Enrollment WHERE Club CONTAINS 'b1'",
         "DELETE FROM Enrollment VALUES ('s1', 'c1', 'b1')",
         "Enrollment",
+        "EXPLAIN ANALYZE SELECT Enrollment WHERE Club CONTAINS 'b1'",
     ]
     for stmt in statements:
         print(f"nf2> {stmt}")

@@ -117,26 +117,56 @@ class QueryError(ReproError):
     """Base class for NF2 query-language errors."""
 
 
+def _position_suffix(
+    position: int, line: int | None, column: int | None
+) -> str:
+    """Human-readable source location: line/column when known (the
+    lexer computes them for every token), character offset otherwise."""
+    if line is not None and column is not None:
+        return f" (at line {line}, column {column})"
+    if position >= 0:
+        return f" (at offset {position})"
+    return ""
+
+
 class LexError(QueryError):
     """The query text contains an unrecognised token."""
 
-    def __init__(self, message: str, position: int):
+    def __init__(
+        self,
+        message: str,
+        position: int,
+        line: int | None = None,
+        column: int | None = None,
+    ):
         self.position = position
-        super().__init__(f"{message} (at offset {position})")
+        self.line = line
+        self.column = column
+        super().__init__(message + _position_suffix(position, line, column))
 
 
 class ParseError(QueryError):
     """The query text is not syntactically valid."""
 
-    def __init__(self, message: str, position: int = -1):
+    def __init__(
+        self,
+        message: str,
+        position: int = -1,
+        line: int | None = None,
+        column: int | None = None,
+    ):
         self.position = position
-        if position >= 0:
-            message = f"{message} (at offset {position})"
-        super().__init__(message)
+        self.line = line
+        self.column = column
+        super().__init__(message + _position_suffix(position, line, column))
 
 
 class EvaluationError(QueryError):
     """A syntactically valid query failed during evaluation."""
+
+
+class PlanError(QueryError):
+    """The planner could not produce a physical plan for a query."""
 
 
 class CatalogError(QueryError):

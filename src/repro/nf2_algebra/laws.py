@@ -96,6 +96,35 @@ def select_commutes_with_nest(
     return lhs == rhs
 
 
+def select_commutes_with_unnest(
+    relation: NFRelation,
+    attribute: str,
+    predicate,
+) -> bool:
+    """σ_p(unnest_A(R)) == unnest_A(σ_p(R)) for an atom-stable ``p``
+    that does not touch A — the unnest-side pushdown rule the planner's
+    rewriter uses alongside :func:`select_commutes_with_nest`."""
+    lhs = NFRelation(
+        relation.schema,
+        (t for t in unnest(relation, attribute) if predicate(t)),
+    )
+    rhs = unnest(
+        NFRelation(relation.schema, (t for t in relation if predicate(t))),
+        attribute,
+    )
+    return lhs == rhs
+
+
+def select_idempotent(relation: NFRelation, predicate) -> bool:
+    """σ_p(σ_p(R)) == σ_p(R) — justifies collapsing duplicate selects
+    (and deduplicating conjuncts) in the optimizer."""
+    once = NFRelation(
+        relation.schema, (t for t in relation if predicate(t))
+    )
+    twice = NFRelation(once.schema, (t for t in once if predicate(t)))
+    return once == twice
+
+
 def select_nest_noncommutation_example() -> bool:
     """Shows the pushdown rule's side condition is necessary: an
     atom-stable predicate touching the *nested* attribute still commutes

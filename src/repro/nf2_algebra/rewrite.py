@@ -16,16 +16,22 @@ are the sound core any such strategy needs, justified by the laws in
    Join(Select_p(L), R)`` when p touches only L's attributes (and
    symmetrically) — sound because the NF2 join matches shared
    components by equality and p is evaluated component-wise.
+6. **Duplicate-select collapse**: ``Select_p(Select_p(X)) ->
+   Select_p(X)`` (selection is idempotent —
+   :func:`repro.nf2_algebra.laws.select_idempotent`).
 
 ``optimize`` applies rules to fixpoint, top down, and returns the
 rewritten tree; it never changes results (property-tested), only the
-intermediate tuple counts.
+intermediate tuple counts.  The query planner
+(:mod:`repro.planner.rules`) applies the same rule set on its logical
+IR, where conditions are analyzable conjunct lists.
 """
 
 from __future__ import annotations
 
 from repro.nf2_algebra.operators import (
     AlgebraOp,
+    Difference,
     Join,
     Nest,
     Project,
@@ -67,13 +73,14 @@ def _rewrite(node: AlgebraOp) -> tuple[AlgebraOp, bool]:
             )
             return pushed, True
 
-    # Rule 4: merge consecutive projections.
+    # Rule 6: collapse duplicate adjacent selects (σ is idempotent).
+    # Only the *same predicate object* is provably identical: rendered
+    # descriptions can collide across distinct atoms (1 vs '1').
     if isinstance(node, Select) and isinstance(node.source, Select):
-        # combine adjacent selects into one (conjunction) so pushdown
-        # can consider them individually afterwards? Keep separate but
-        # reorder: more selective atom-stable select first is unknown
-        # statically; leave as-is.
-        pass
+        if node.predicate is node.source.predicate:
+            return node.source, True
+
+    # Rule 4: merge consecutive projections.
     if isinstance(node, Project) and isinstance(node.source, Project):
         return Project(node.source.source, node.attributes), True
 
@@ -123,7 +130,7 @@ def _rewrite_children(node: AlgebraOp) -> tuple[AlgebraOp, bool]:
         if c:
             node = type(node)(new_source, node.attribute)
             changed = True
-    elif isinstance(node, (Join, Union)):
+    elif isinstance(node, (Join, Union, Difference)):
         new_left, c1 = _rewrite(node.left)
         new_right, c2 = _rewrite(node.right)
         if c1 or c2:
@@ -169,6 +176,6 @@ def _static_attributes(node: AlgebraOp) -> frozenset[str] | None:
         if left is None or right is None:
             return None
         return left | right
-    if isinstance(node, Union):
+    if isinstance(node, (Union, Difference)):
         return _static_attributes(node.left)
     return None

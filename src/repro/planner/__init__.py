@@ -1,0 +1,41 @@
+"""Cost-based query planner for the NF2 query language.
+
+The paper's algebraic laws (nest/unnest interaction, selection
+commutation — §3, reproduced executably in
+:mod:`repro.nf2_algebra.laws`) determine which evaluation orders are
+cheap; this subsystem consults them instead of executing the raw AST:
+
+- :mod:`repro.planner.logical` — the logical plan IR lowered from
+  :mod:`repro.query.ast`;
+- :mod:`repro.planner.rules` — the law-derived rewriter (selection
+  pushdown, projection pruning, constant folding);
+- :mod:`repro.planner.stats` / :mod:`repro.planner.cost` — catalog
+  statistics (the ``ANALYZE`` pass) and the page-I/O cost model;
+- :mod:`repro.planner.physical` — physical operators: index scan via
+  :class:`~repro.storage.index.AtomIndex`, filtered heap scan, hash
+  joins, pipelined nest/unnest;
+- :mod:`repro.planner.planner` — puts it together;
+- :mod:`repro.planner.explain` — ``EXPLAIN`` / ``EXPLAIN ANALYZE``
+  rendering.
+
+Entry point::
+
+    from repro.planner import plan
+    physical = plan(parsed_expression, catalog)
+    result = physical.execute()
+    print(physical.explain(analyze=True))
+"""
+
+from repro.planner.explain import ExplainResult, render_plan
+from repro.planner.planner import PhysicalPlan, plan
+from repro.planner.stats import AttributeStats, RelationStats, collect_stats
+
+__all__ = [
+    "AttributeStats",
+    "ExplainResult",
+    "PhysicalPlan",
+    "RelationStats",
+    "collect_stats",
+    "plan",
+    "render_plan",
+]

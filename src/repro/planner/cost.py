@@ -1,0 +1,136 @@
+"""Cost model for the NF2 planner.
+
+Costs are expressed in *page-read equivalents*, the unit the storage
+engine's :class:`~repro.storage.engine.ScanStats` reports and the
+currency of the paper's §2 search-space argument: a page read costs 1,
+touching a heap record a small fraction of that, and pure in-memory
+tuple work less still.  The model only has to rank alternatives (index
+scan vs heap scan, which join side to build), not predict wall time.
+
+Selectivity estimation works on the catalog statistics of
+:mod:`repro.planner.stats`:
+
+- ``A CONTAINS v`` matches the NFR tuples whose A-component holds the
+  atom ``v``.  With ``d`` distinct atoms and mean set size ``s``, an
+  average atom appears in ``count * s / d`` tuples, so the selectivity
+  is ``s / d``.
+- ``A = v`` (singleton equality) is at most CONTAINS selectivity and is
+  estimated as ``1 / d``.
+- ``A = {v1..vk}`` (component equality) requires all ``k`` atoms
+  together plus exact extent, estimated as the CONTAINS product capped
+  by ``1 / d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query import ast
+from repro.planner.stats import RelationStats
+
+#: Cost of reading one heap page.
+PAGE_READ_COST = 1.0
+#: Cost of decoding/visiting one heap record.
+RECORD_COST = 0.02
+#: Cost of processing one in-memory NFR tuple.
+TUPLE_CPU_COST = 0.005
+#: Cost of one AtomIndex probe.
+INDEX_LOOKUP_COST = 0.1
+#: Selectivity assumed when no statistics are available.
+DEFAULT_SELECTIVITY = 0.25
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated output rows, total cost and pages read of one operator
+    (inclusive of its inputs)."""
+
+    rows: float
+    cost: float
+    pages: float = 0.0
+
+
+def selectivity(cond: ast.Condition, stats: RelationStats | None) -> float:
+    """Estimated fraction of NFR tuples satisfying ``cond``."""
+    if isinstance(cond, ast.And):
+        return selectivity(cond.left, stats) * selectivity(
+            cond.right, stats
+        )
+    attr = stats.attribute(cond.attribute) if stats is not None else None
+    if attr is None or attr.distinct_atoms == 0:
+        return DEFAULT_SELECTIVITY
+    d = attr.distinct_atoms
+    if isinstance(cond, ast.Contains):
+        return min(1.0, max(attr.avg_set_size, 1.0) / d)
+    if isinstance(cond, ast.SingletonEquals):
+        return min(1.0, 1.0 / d)
+    if isinstance(cond, ast.ComponentEquals):
+        per_atom = min(1.0, max(attr.avg_set_size, 1.0) / d)
+        return min(per_atom ** len(cond.values), 1.0 / d)
+    return DEFAULT_SELECTIVITY
+
+
+def conjunct_selectivity(
+    conjuncts: tuple[ast.Condition, ...], stats: RelationStats | None
+) -> float:
+    """Product of the conjunct selectivities (independence assumption)."""
+    sel = 1.0
+    for c in conjuncts:
+        sel *= selectivity(c, stats)
+    return sel
+
+
+def memory_scan_cost(stats: RelationStats | None) -> CostEstimate:
+    rows = float(stats.tuple_count) if stats is not None else 100.0
+    return CostEstimate(rows=rows, cost=rows * TUPLE_CPU_COST, pages=0.0)
+
+
+def heap_scan_cost(stats: RelationStats) -> CostEstimate:
+    """Full heap scan: every page read, every record visited."""
+    return CostEstimate(
+        rows=float(stats.tuple_count),
+        cost=stats.pages * PAGE_READ_COST + stats.records * RECORD_COST,
+        pages=float(stats.pages),
+    )
+
+
+def index_scan_cost(
+    stats: RelationStats,
+    conjuncts: tuple[ast.Condition, ...],
+    probes: int,
+) -> CostEstimate:
+    """Index probe + candidate-page reads + residual recheck.
+
+    Matching records may each live on a distinct page, so the page
+    estimate is ``min(pages, expected matches)`` — the pessimistic
+    uniform-placement bound.
+    """
+    sel = conjunct_selectivity(conjuncts, stats)
+    matches = sel * stats.records
+    pages = min(float(stats.pages), matches) if stats.pages else 0.0
+    cost = (
+        probes * INDEX_LOOKUP_COST
+        + pages * PAGE_READ_COST
+        + matches * RECORD_COST
+    )
+    return CostEstimate(rows=sel * stats.tuple_count, cost=cost, pages=pages)
+
+
+def join_output_rows(
+    left_rows: float,
+    right_rows: float,
+    left_stats: RelationStats | None,
+    right_stats: RelationStats | None,
+    shared: tuple[str, ...],
+) -> float:
+    """Standard equi-join estimate: |L| * |R| / max distinct key count
+    over the shared attributes (cross product when nothing is shared)."""
+    if not shared:
+        return left_rows * right_rows
+    max_distinct = 1
+    for name in shared:
+        for stats in (left_stats, right_stats):
+            attr = stats.attribute(name) if stats is not None else None
+            if attr is not None and attr.distinct_atoms > max_distinct:
+                max_distinct = attr.distinct_atoms
+    return left_rows * right_rows / max_distinct

@@ -1,0 +1,67 @@
+"""Rendering of physical plans for ``EXPLAIN`` / ``EXPLAIN ANALYZE``.
+
+``EXPLAIN`` shows the chosen physical operators with the cost model's
+estimates; ``EXPLAIN ANALYZE`` additionally executes the plan and
+appends what actually happened — rows produced, pages read and index
+probes per operator, plus plan totals.  The result object renders
+through :meth:`ExplainResult.to_table` so the CLI prints it exactly
+like a relation.
+"""
+
+from __future__ import annotations
+
+from repro.planner.physical import PhysicalOp
+
+
+class ExplainResult:
+    """The textual outcome of an EXPLAIN statement."""
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def to_table(self, title: str | None = None) -> str:
+        del title
+        return self.text
+
+    def __str__(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"ExplainResult({self.text.splitlines()[0]!r}...)"
+
+
+def render_plan(root: PhysicalOp, analyze: bool = False) -> str:
+    """Render an operator tree, one node per line, estimates (and
+    actuals, after execution) in parentheses."""
+    lines = ["QUERY PLAN"]
+    _render(root, 0, analyze, lines)
+    if analyze:
+        lines.append(
+            f"total: pages read={root.total_pages_read()}, "
+            f"index lookups={root.total_index_lookups()}"
+        )
+    return "\n".join(lines)
+
+
+def _render(
+    op: PhysicalOp, depth: int, analyze: bool, lines: list[str]
+) -> None:
+    parts = [f"est rows≈{_fmt(op.est.rows)}", f"cost≈{op.est.cost:.2f}"]
+    if op.est.pages:
+        parts.append(f"est pages≈{_fmt(op.est.pages)}")
+    if analyze:
+        parts.append(f"actual rows={op.actual_rows}")
+        if op.actual_pages is not None:
+            parts.append(f"pages read={op.actual_pages}")
+        if op.actual_index_lookups:
+            parts.append(f"index lookups={op.actual_index_lookups}")
+    prefix = "  " * depth + ("-> " if depth else "")
+    lines.append(f"{prefix}{op.describe()} ({', '.join(parts)})")
+    for child in op.children():
+        _render(child, depth + 1, analyze, lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"

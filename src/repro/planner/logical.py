@@ -1,0 +1,339 @@
+"""Logical plan IR for the NF2 query planner.
+
+AST expression nodes (:mod:`repro.query.ast`) are *lowered* into a
+small algebra of logical operators that the rule-based rewriter
+(:mod:`repro.planner.rules`) and the physical planner
+(:mod:`repro.planner.planner`) share.  The IR differs from the AST in
+three ways that matter to planning:
+
+- ``WHERE`` conditions are kept as flat *conjunct lists* instead of
+  nested ``And`` trees, so individual conjuncts can be pushed, folded
+  or deduplicated independently;
+- every node is a frozen dataclass with child-first structural
+  equality, so rewrites can be compared for fixpoints;
+- a :class:`LEmpty` node exists for constant-folded contradictions
+  (``A = 'x' AND A = 'y'``), which has no AST counterpart.
+
+Conjunct analysis (which attributes a condition *touches*, whether it
+is *atom-stable* in the sense of
+:class:`repro.nf2_algebra.operators.ComponentPredicate`) lives here
+because both the rewriter and the cost model need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import EvaluationError
+from repro.nf2_algebra.operators import (
+    ComponentPredicate,
+    component_eq,
+    conjunction,
+    contains,
+)
+from repro.query import ast
+
+
+class LogicalPlan:
+    """Marker base class for logical plan nodes."""
+
+    def children(self) -> tuple["LogicalPlan", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class LScan(LogicalPlan):
+    """Read a named relation from the catalog (or its paged store)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LSelect(LogicalPlan):
+    """Filter by a conjunction of atomic WHERE conditions."""
+
+    source: LogicalPlan
+    conjuncts: tuple[ast.Condition, ...]
+
+    def children(self):
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class LProject(LogicalPlan):
+    source: LogicalPlan
+    attributes: tuple[str, ...]
+
+    def children(self):
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class LNest(LogicalPlan):
+    """Nest sequence (first attribute nested first)."""
+
+    source: LogicalPlan
+    attributes: tuple[str, ...]
+
+    def children(self):
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class LUnnest(LogicalPlan):
+    source: LogicalPlan
+    attribute: str
+
+    def children(self):
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class LCanonical(LogicalPlan):
+    source: LogicalPlan
+    order: tuple[str, ...]
+
+    def children(self):
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class LFlatten(LogicalPlan):
+    source: LogicalPlan
+
+    def children(self):
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class LJoin(LogicalPlan):
+    """Jaeschke-Schek NF2 natural join."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class LFlatJoin(LogicalPlan):
+    """Natural join of the underlying R*s, returned all-singleton."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class LUnion(LogicalPlan):
+    left: LogicalPlan
+    right: LogicalPlan
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class LDifference(LogicalPlan):
+    left: LogicalPlan
+    right: LogicalPlan
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class LEmpty(LogicalPlan):
+    """A constant-folded empty result with a known output schema."""
+
+    names: tuple[str, ...]
+
+
+# -- lowering -----------------------------------------------------------------
+
+
+def lower(node: ast.Expression) -> LogicalPlan:
+    """Lower an AST expression into the logical IR."""
+    if isinstance(node, ast.Name):
+        return LScan(node.name)
+    if isinstance(node, ast.Select):
+        return LSelect(
+            lower(node.source), tuple(conjuncts_of(node.condition))
+        )
+    if isinstance(node, ast.Project):
+        return LProject(lower(node.source), tuple(node.attributes))
+    if isinstance(node, ast.Nest):
+        return LNest(lower(node.source), tuple(node.attributes))
+    if isinstance(node, ast.Unnest):
+        return LUnnest(lower(node.source), node.attribute)
+    if isinstance(node, ast.Canonical):
+        return LCanonical(lower(node.source), tuple(node.order))
+    if isinstance(node, ast.Flatten):
+        return LFlatten(lower(node.source))
+    if isinstance(node, ast.Join):
+        return LJoin(lower(node.left), lower(node.right))
+    if isinstance(node, ast.FlatJoin):
+        return LFlatJoin(lower(node.left), lower(node.right))
+    if isinstance(node, ast.Union):
+        return LUnion(lower(node.left), lower(node.right))
+    if isinstance(node, ast.Difference):
+        return LDifference(lower(node.left), lower(node.right))
+    raise EvaluationError(f"cannot lower AST node {node!r}")
+
+
+# -- condition analysis --------------------------------------------------------
+
+
+def conjuncts_of(cond: ast.Condition) -> list[ast.Condition]:
+    """Flatten an ``And`` tree into its atomic conjuncts, in order."""
+    if isinstance(cond, ast.And):
+        return conjuncts_of(cond.left) + conjuncts_of(cond.right)
+    return [cond]
+
+
+def condition_touches(cond: ast.Condition) -> frozenset[str]:
+    """Attribute names the condition reads."""
+    if isinstance(cond, ast.And):
+        return condition_touches(cond.left) | condition_touches(cond.right)
+    if isinstance(
+        cond, (ast.Contains, ast.ComponentEquals, ast.SingletonEquals)
+    ):
+        return frozenset([cond.attribute])
+    raise EvaluationError(f"unknown condition {cond!r}")
+
+
+def condition_atom_stable(cond: ast.Condition) -> bool:
+    """Is the condition decided by atom membership alone (so it commutes
+    with nest/unnest on other attributes — the pushdown side condition of
+    :func:`repro.nf2_algebra.laws.select_commutes_with_nest`)?"""
+    if isinstance(cond, ast.And):
+        return condition_atom_stable(cond.left) and condition_atom_stable(
+            cond.right
+        )
+    if isinstance(cond, ast.Contains):
+        return True
+    if isinstance(cond, (ast.ComponentEquals, ast.SingletonEquals)):
+        return False
+    raise EvaluationError(f"unknown condition {cond!r}")
+
+
+def indexable_atoms(cond: ast.Condition) -> list[tuple[str, object]]:
+    """``(attribute, atom)`` pairs every matching NFR tuple's component
+    must *contain* — the candidate-generating probes an
+    :class:`~repro.storage.index.AtomIndex` can answer.  All three
+    condition forms are indexable this way (equality forms still need a
+    residual recheck on the candidates)."""
+    if isinstance(cond, ast.Contains):
+        return [(cond.attribute, cond.value)]
+    if isinstance(cond, ast.SingletonEquals):
+        return [(cond.attribute, cond.value)]
+    if isinstance(cond, ast.ComponentEquals):
+        return [(cond.attribute, v) for v in cond.values]
+    if isinstance(cond, ast.And):
+        return indexable_atoms(cond.left) + indexable_atoms(cond.right)
+    raise EvaluationError(f"unknown condition {cond!r}")
+
+
+def compile_conjuncts(
+    conjuncts: tuple[ast.Condition, ...]
+) -> ComponentPredicate:
+    """Compile a conjunct list into a single
+    :class:`~repro.nf2_algebra.operators.ComponentPredicate` (reusing the
+    nf2_algebra predicate constructors, so atom-stability metadata rides
+    along for free)."""
+    compiled = [_compile_one(c) for c in conjuncts]
+    if len(compiled) == 1:
+        return compiled[0]
+    return conjunction(*compiled)
+
+
+def _compile_one(cond: ast.Condition) -> ComponentPredicate:
+    if isinstance(cond, ast.Contains):
+        return contains(cond.attribute, cond.value)
+    if isinstance(cond, ast.SingletonEquals):
+        return component_eq(cond.attribute, [cond.value])
+    if isinstance(cond, ast.ComponentEquals):
+        return component_eq(cond.attribute, list(cond.values))
+    raise EvaluationError(f"unknown condition {cond!r}")
+
+
+# -- constant folding ----------------------------------------------------------
+
+#: Sentinel returned by :func:`fold_conjuncts` when the conjunction is
+#: statically unsatisfiable.
+CONTRADICTION = object()
+
+
+def fold_conjuncts(
+    conjuncts: tuple[ast.Condition, ...]
+) -> tuple[ast.Condition, ...] | object:
+    """Constant-fold a conjunct list: drop duplicates and conjuncts
+    subsumed by an equality on the same attribute; return
+    :data:`CONTRADICTION` when two conjuncts can never hold together.
+
+    Folds performed:
+
+    - duplicate conjuncts collapse to one;
+    - two different equality targets on the same attribute contradict;
+    - ``A CONTAINS v`` contradicts ``A = target`` when ``v`` is not in
+      the target set, and is subsumed by it (dropped) when it is.
+    """
+    equals: dict[str, frozenset] = {}
+    for c in conjuncts:
+        if isinstance(c, ast.SingletonEquals):
+            target = frozenset([c.value])
+        elif isinstance(c, ast.ComponentEquals):
+            target = frozenset(c.values)
+        else:
+            continue
+        prior = equals.get(c.attribute)
+        if prior is not None and prior != target:
+            return CONTRADICTION
+        equals[c.attribute] = target
+
+    folded: list[ast.Condition] = []
+    seen: set[ast.Condition] = set()
+    for c in conjuncts:
+        if c in seen:
+            continue
+        seen.add(c)
+        if isinstance(c, ast.Contains):
+            target = equals.get(c.attribute)
+            if target is not None:
+                if c.value not in target:
+                    return CONTRADICTION
+                continue  # subsumed by the equality conjunct
+        folded.append(c)
+    return tuple(folded)
+
+
+# -- static schema inference ---------------------------------------------------
+
+
+def output_names(
+    node: LogicalPlan, scan_names: Callable[[str], tuple[str, ...]]
+) -> tuple[str, ...]:
+    """The output attribute names of a logical subtree.
+
+    ``scan_names`` resolves a relation name to its schema names (the
+    planner passes a catalog lookup).
+    """
+    if isinstance(node, LScan):
+        return scan_names(node.name)
+    if isinstance(node, LEmpty):
+        return node.names
+    if isinstance(node, LProject):
+        return node.attributes
+    if isinstance(node, (LSelect, LNest, LUnnest, LCanonical, LFlatten)):
+        return output_names(node.source, scan_names)
+    if isinstance(node, (LJoin, LFlatJoin)):
+        left = output_names(node.left, scan_names)
+        right = output_names(node.right, scan_names)
+        return left + tuple(n for n in right if n not in left)
+    if isinstance(node, (LUnion, LDifference)):
+        return output_names(node.left, scan_names)
+    raise EvaluationError(f"unknown logical node {node!r}")

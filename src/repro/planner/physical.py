@@ -1,0 +1,433 @@
+"""Physical operators for the NF2 planner.
+
+Each operator materialises an
+:class:`~repro.core.nfr_relation.NFRelation` and records what actually
+happened (rows produced, pages read, index probes) next to the
+planner's estimates, so ``EXPLAIN ANALYZE`` can show estimated vs
+actual side by side.
+
+Access paths:
+
+- :class:`MemoryScan` — the catalog's in-memory relation (no page I/O);
+- :class:`HeapScan` — full scan of the relation's paged store, with an
+  optional residual filter applied while scanning;
+- :class:`IndexScan` — :class:`~repro.storage.index.AtomIndex` probes
+  produce candidate records, which are re-checked against the full
+  predicate (equality conditions need the residual check; CONTAINS
+  probes are exact).
+
+Joins are hash-based: :class:`HashJoin` buckets the smaller input on
+the shared component sets (set-equality is the Jaeschke-Schek join
+condition, so whole :class:`~repro.core.values.ValueSet` components are
+the hash keys); :class:`FlatHashJoin` hashes the flattened R* rows on
+their shared atomic values.  Both replace nested-loop evaluation with
+one build pass and one probe pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.canonical import canonical_form
+from repro.core.nest import nest_sequence, unnest, unnest_fully
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.nf2_algebra.operators import ComponentPredicate
+from repro.planner.cost import CostEstimate
+from repro.relational.algebra import difference, natural_join
+from repro.relational.schema import RelationSchema
+from repro.storage.engine import NFRStore
+
+
+class PhysicalOp:
+    """Base class: estimated numbers at plan time, actuals after
+    :meth:`execute`."""
+
+    def __init__(self, est: CostEstimate):
+        self.est = est
+        self.actual_rows: int | None = None
+        self.actual_pages: int | None = None
+        self.actual_index_lookups: int | None = None
+
+    def execute(self) -> NFRelation:
+        result = self._run()
+        self.actual_rows = result.cardinality
+        return result
+
+    def _run(self) -> NFRelation:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def children(self) -> tuple["PhysicalOp", ...]:
+        return ()
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        return type(self).__name__
+
+    def total_pages_read(self) -> int:
+        """Pages actually read by this subtree (0 before execution)."""
+        own = self.actual_pages or 0
+        return own + sum(c.total_pages_read() for c in self.children())
+
+    def total_index_lookups(self) -> int:
+        own = self.actual_index_lookups or 0
+        return own + sum(c.total_index_lookups() for c in self.children())
+
+
+# -- access paths --------------------------------------------------------------
+
+
+class MemoryScan(PhysicalOp):
+    """Scan the catalog's in-memory NFR (no page I/O)."""
+
+    def __init__(self, relation: NFRelation, name: str, est: CostEstimate):
+        super().__init__(est)
+        self.relation = relation
+        self.name = name
+
+    def _run(self) -> NFRelation:
+        return self.relation
+
+    def describe(self) -> str:
+        return f"MemoryScan {self.name}"
+
+
+class HeapScan(PhysicalOp):
+    """Full scan of the paged store, optionally filtering in-line."""
+
+    def __init__(
+        self,
+        store: NFRStore,
+        name: str,
+        est: CostEstimate,
+        predicate: ComponentPredicate | None = None,
+    ):
+        super().__init__(est)
+        self.store = store
+        self.name = name
+        self.predicate = predicate
+
+    def _run(self) -> NFRelation:
+        tuples, stats = self.store.scan_tuples()
+        self.actual_pages = stats.page_reads
+        self.actual_index_lookups = 0
+        if self.predicate is not None:
+            tuples = [t for t in tuples if self.predicate(t)]
+        return NFRelation(self.store.schema, tuples)
+
+    def describe(self) -> str:
+        if self.predicate is not None:
+            return f"HeapScan {self.name} [{self.predicate.description}]"
+        return f"HeapScan {self.name}"
+
+
+class IndexScan(PhysicalOp):
+    """AtomIndex candidate probes + residual predicate recheck."""
+
+    def __init__(
+        self,
+        store: NFRStore,
+        name: str,
+        atoms: Sequence[tuple[str, Any]],
+        predicate: ComponentPredicate,
+        est: CostEstimate,
+    ):
+        super().__init__(est)
+        self.store = store
+        self.name = name
+        self.atoms = list(atoms)
+        self.predicate = predicate
+
+    def _run(self) -> NFRelation:
+        candidates, stats = self.store.probe_tuples(self.atoms)
+        self.actual_pages = stats.page_reads
+        self.actual_index_lookups = stats.index_lookups
+        return NFRelation(
+            self.store.schema,
+            (t for t in candidates if self.predicate(t)),
+        )
+
+    def describe(self) -> str:
+        probes = ", ".join(f"{a}∋{v!r}" for a, v in self.atoms)
+        return (
+            f"IndexScan {self.name} via AtomIndex({probes}) "
+            f"[{self.predicate.description}]"
+        )
+
+
+class EmptyResult(PhysicalOp):
+    """A statically contradictory predicate: produce nothing."""
+
+    def __init__(self, names: tuple[str, ...]):
+        super().__init__(CostEstimate(rows=0.0, cost=0.0))
+        self.names = names
+
+    def _run(self) -> NFRelation:
+        return NFRelation(RelationSchema(list(self.names)))
+
+    def describe(self) -> str:
+        return "EmptyResult [contradictory predicate]"
+
+
+# -- tuple-at-a-time operators -------------------------------------------------
+
+
+class Filter(PhysicalOp):
+    def __init__(
+        self,
+        child: PhysicalOp,
+        predicate: ComponentPredicate,
+        est: CostEstimate,
+    ):
+        super().__init__(est)
+        self.child = child
+        self.predicate = predicate
+
+    def _run(self) -> NFRelation:
+        src = self.child.execute()
+        return NFRelation(
+            src.schema, (t for t in src if self.predicate(t))
+        )
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter [{self.predicate.description}]"
+
+
+class ProjectOp(PhysicalOp):
+    def __init__(
+        self,
+        child: PhysicalOp,
+        attributes: tuple[str, ...],
+        est: CostEstimate,
+    ):
+        super().__init__(est)
+        self.child = child
+        self.attributes = attributes
+
+    def _run(self) -> NFRelation:
+        src = self.child.execute()
+        sub = src.schema.project(list(self.attributes))
+        return NFRelation(sub, (t.project(sub.names) for t in src))
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project [{', '.join(self.attributes)}]"
+
+
+class NestOp(PhysicalOp):
+    def __init__(
+        self,
+        child: PhysicalOp,
+        attributes: tuple[str, ...],
+        est: CostEstimate,
+    ):
+        super().__init__(est)
+        self.child = child
+        self.attributes = attributes
+
+    def _run(self) -> NFRelation:
+        src = self.child.execute()
+        src.schema.require(self.attributes)
+        return nest_sequence(src, list(self.attributes))
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Nest [{', '.join(self.attributes)}]"
+
+
+class UnnestOp(PhysicalOp):
+    def __init__(
+        self, child: PhysicalOp, attribute: str, est: CostEstimate
+    ):
+        super().__init__(est)
+        self.child = child
+        self.attribute = attribute
+
+    def _run(self) -> NFRelation:
+        return unnest(self.child.execute(), self.attribute)
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Unnest [{self.attribute}]"
+
+
+class CanonicalOp(PhysicalOp):
+    def __init__(
+        self,
+        child: PhysicalOp,
+        order: tuple[str, ...],
+        est: CostEstimate,
+    ):
+        super().__init__(est)
+        self.child = child
+        self.order = order
+
+    def _run(self) -> NFRelation:
+        return canonical_form(
+            self.child.execute().to_1nf(), list(self.order)
+        )
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Canonical [{', '.join(self.order)}]"
+
+
+class FlattenOp(PhysicalOp):
+    def __init__(self, child: PhysicalOp, est: CostEstimate):
+        super().__init__(est)
+        self.child = child
+
+    def _run(self) -> NFRelation:
+        return unnest_fully(self.child.execute())
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Flatten"
+
+
+# -- joins and set operators ---------------------------------------------------
+
+
+def nf2_hash_join(left: NFRelation, right: NFRelation) -> NFRelation:
+    """Jaeschke-Schek NF2 natural join, hashing the *smaller* input on
+    its shared component sets and probing with the larger."""
+    shared = left.schema.common_names(right.schema)
+    right_only = [n for n in right.schema.names if n not in shared]
+    schema = (
+        left.schema.concat(right.schema.project(right_only))
+        if right_only
+        else left.schema
+    )
+
+    def emit(lt: NFRTuple, rt: NFRTuple) -> NFRTuple:
+        return NFRTuple(
+            schema, list(lt.components) + [rt[n] for n in right_only]
+        )
+
+    if not shared:
+        return NFRelation(
+            schema, (emit(lt, rt) for lt in left for rt in right)
+        )
+
+    if left.cardinality <= right.cardinality:
+        build, probe, probe_is_left = left, right, False
+    else:
+        build, probe, probe_is_left = right, left, True
+    buckets: dict[tuple, list[NFRTuple]] = {}
+    for bt in build:
+        buckets.setdefault(tuple(bt[n] for n in shared), []).append(bt)
+    out: list[NFRTuple] = []
+    for pt in probe:
+        key = tuple(pt[n] for n in shared)
+        for bt in buckets.get(key, ()):
+            out.append(emit(pt, bt) if probe_is_left else emit(bt, pt))
+    return NFRelation(schema, out)
+
+
+class HashJoin(PhysicalOp):
+    """NF2 natural join (shared components set-equal), hash-based."""
+
+    def __init__(
+        self, left: PhysicalOp, right: PhysicalOp, est: CostEstimate
+    ):
+        super().__init__(est)
+        self.left = left
+        self.right = right
+
+    def _run(self) -> NFRelation:
+        return nf2_hash_join(self.left.execute(), self.right.execute())
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "HashJoin [nf2-natural, set-equal components]"
+
+
+class FlatHashJoin(PhysicalOp):
+    """Natural join of the underlying R*s (hash join on shared atomic
+    keys), returned in all-singleton form."""
+
+    def __init__(
+        self, left: PhysicalOp, right: PhysicalOp, est: CostEstimate
+    ):
+        super().__init__(est)
+        self.left = left
+        self.right = right
+
+    def _run(self) -> NFRelation:
+        joined = natural_join(
+            self.left.execute().to_1nf(), self.right.execute().to_1nf()
+        )
+        return NFRelation.from_1nf(joined)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "FlatHashJoin [1nf-natural, atomic keys]"
+
+
+class UnionOp(PhysicalOp):
+    def __init__(
+        self, left: PhysicalOp, right: PhysicalOp, est: CostEstimate
+    ):
+        super().__init__(est)
+        self.left = left
+        self.right = right
+
+    def _run(self) -> NFRelation:
+        lhs = self.left.execute()
+        rhs = _aligned(lhs, self.right.execute(), "UNION")
+        return NFRelation(lhs.schema, lhs.tuples | rhs.tuples)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "Union"
+
+
+class DifferenceOp(PhysicalOp):
+    def __init__(
+        self, left: PhysicalOp, right: PhysicalOp, est: CostEstimate
+    ):
+        super().__init__(est)
+        self.left = left
+        self.right = right
+
+    def _run(self) -> NFRelation:
+        lhs = self.left.execute()
+        rhs = _aligned(lhs, self.right.execute(), "DIFFERENCE")
+        return NFRelation.from_1nf(
+            difference(lhs.to_1nf(), rhs.to_1nf())
+        )
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "Difference [R*-level]"
+
+
+def _aligned(
+    left: NFRelation, right: NFRelation, opname: str
+) -> NFRelation:
+    """Reorder ``right`` onto ``left``'s schema, sharing the naive
+    evaluator's alignment (imported lazily: the evaluator module only
+    imports the planner inside functions, so this cannot cycle)."""
+    from repro.query.evaluator import _align_right
+
+    return _align_right(left, right, opname)

@@ -1,0 +1,332 @@
+"""The planner: AST expression -> rewritten logical plan -> physical plan.
+
+Planning proceeds in the three classic stages:
+
+1. **Lower** the AST into the logical IR (:mod:`repro.planner.logical`);
+2. **Rewrite** with the law-derived rules (:mod:`repro.planner.rules`),
+   pushing selections toward the scans, pruning projections and folding
+   contradictions;
+3. **Choose physical operators** bottom-up with the statistics and cost
+   model: a ``Select`` sitting directly on a ``Scan`` becomes an
+   :class:`~repro.planner.physical.IndexScan` when the relation's paged
+   store has an :class:`~repro.storage.index.AtomIndex` and the model
+   prices the probe below a full
+   :class:`~repro.planner.physical.HeapScan`; joins become hash joins;
+   everything else pipelines.
+
+Relations without an open paged store are planned as
+:class:`~repro.planner.physical.MemoryScan` (no page I/O to save);
+``ANALYZE name`` opens the store and collects statistics, after which
+index plans become available.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.nfr_relation import NFRelation
+from repro.errors import PlanError
+from repro.planner import cost as costs
+from repro.planner import logical as L
+from repro.planner import physical as P
+from repro.planner.explain import render_plan
+from repro.planner.rules import RewriteContext, rewrite
+from repro.planner.stats import RelationStats
+from repro.storage.engine import ScanStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query import ast
+    from repro.query.catalog import Catalog
+
+
+class PhysicalPlan:
+    """A planned query: the physical operator tree plus its logical
+    ancestry, ready to execute."""
+
+    def __init__(self, root: P.PhysicalOp, logical: L.LogicalPlan):
+        self.root = root
+        self.logical = logical
+        self.executed = False
+
+    def execute(self) -> NFRelation:
+        result = self.root.execute()
+        self.executed = True
+        return result
+
+    def explain(self, analyze: bool = False) -> str:
+        return render_plan(self.root, analyze=analyze)
+
+    def scan_stats(self) -> ScanStats:
+        """Aggregate I/O accounting of the last execution."""
+        return ScanStats(
+            page_reads=self.root.total_pages_read(),
+            records_visited=0,
+            flats_produced=0,
+            index_lookups=self.root.total_index_lookups(),
+        )
+
+
+def plan(
+    node: "ast.Expression",
+    catalog: "Catalog",
+    use_index: bool | None = None,
+) -> PhysicalPlan:
+    """Plan an AST expression against ``catalog``.
+
+    ``use_index`` forces index scans on (True) or off (False); the
+    default lets the cost model decide.
+    """
+    logical = L.lower(node)
+    ctx = _context(catalog)
+    logical = rewrite(logical, ctx)
+    builder = _Builder(catalog, ctx, use_index)
+    return PhysicalPlan(builder.build(logical), logical)
+
+
+def _context(catalog: "Catalog") -> RewriteContext:
+    def scan_names(name: str) -> tuple[str, ...]:
+        return catalog.get(name).schema.names
+
+    def scan_flat_on(name: str, attribute: str) -> bool:
+        stats = catalog.stats_for(name)
+        attr = stats.attribute(attribute)
+        return attr is not None and attr.is_flat
+
+    return RewriteContext(scan_names, scan_flat_on)
+
+
+class _Builder:
+    """Bottom-up physical operator selection."""
+
+    def __init__(
+        self,
+        catalog: "Catalog",
+        ctx: RewriteContext,
+        use_index: bool | None,
+    ):
+        self.catalog = catalog
+        self.ctx = ctx
+        self.use_index = use_index
+
+    def build(self, node: L.LogicalPlan) -> P.PhysicalOp:
+        if isinstance(node, L.LEmpty):
+            return P.EmptyResult(node.names)
+        if isinstance(node, L.LScan):
+            return self._scan(node.name, conjuncts=())
+        if isinstance(node, L.LSelect) and isinstance(node.source, L.LScan):
+            return self._scan(node.source.name, node.conjuncts)
+        if isinstance(node, L.LSelect):
+            child = self.build(node.source)
+            predicate = L.compile_conjuncts(node.conjuncts)
+            sel = costs.conjunct_selectivity(
+                node.conjuncts, self._subtree_stats(node.source)
+            )
+            est = costs.CostEstimate(
+                rows=child.est.rows * sel,
+                cost=child.est.cost
+                + child.est.rows * costs.TUPLE_CPU_COST,
+                pages=child.est.pages,
+            )
+            return P.Filter(child, predicate, est)
+        if isinstance(node, L.LProject):
+            child = self.build(node.source)
+            est = costs.CostEstimate(
+                rows=child.est.rows,
+                cost=child.est.cost
+                + child.est.rows * costs.TUPLE_CPU_COST,
+                pages=child.est.pages,
+            )
+            return P.ProjectOp(child, node.attributes, est)
+        if isinstance(node, L.LNest):
+            child = self.build(node.source)
+            # Nesting merges tuples that agree elsewhere; without
+            # grouping statistics assume a mild reduction per attribute.
+            rows = child.est.rows * (0.7 ** len(node.attributes))
+            est = costs.CostEstimate(
+                rows=rows,
+                cost=child.est.cost
+                + child.est.rows
+                * costs.TUPLE_CPU_COST
+                * len(node.attributes),
+                pages=child.est.pages,
+            )
+            return P.NestOp(child, node.attributes, est)
+        if isinstance(node, L.LUnnest):
+            child = self.build(node.source)
+            stats = self._subtree_stats(node.source)
+            attr = (
+                stats.attribute(node.attribute)
+                if stats is not None
+                else None
+            )
+            factor = max(attr.avg_set_size, 1.0) if attr else 2.0
+            est = costs.CostEstimate(
+                rows=child.est.rows * factor,
+                cost=child.est.cost
+                + child.est.rows * factor * costs.TUPLE_CPU_COST,
+                pages=child.est.pages,
+            )
+            return P.UnnestOp(child, node.attribute, est)
+        if isinstance(node, L.LCanonical):
+            child = self.build(node.source)
+            stats = self._subtree_stats(node.source)
+            flats = (
+                float(stats.flat_count)
+                if stats is not None
+                else child.est.rows * 2
+            )
+            est = costs.CostEstimate(
+                rows=child.est.rows,
+                cost=child.est.cost + flats * costs.TUPLE_CPU_COST * 2,
+                pages=child.est.pages,
+            )
+            return P.CanonicalOp(child, node.order, est)
+        if isinstance(node, L.LFlatten):
+            child = self.build(node.source)
+            stats = self._subtree_stats(node.source)
+            flats = (
+                float(stats.flat_count)
+                if stats is not None
+                else child.est.rows * 2
+            )
+            est = costs.CostEstimate(
+                rows=flats,
+                cost=child.est.cost + flats * costs.TUPLE_CPU_COST,
+                pages=child.est.pages,
+            )
+            return P.FlattenOp(child, est)
+        if isinstance(node, (L.LJoin, L.LFlatJoin)):
+            left = self.build(node.left)
+            right = self.build(node.right)
+            shared = tuple(
+                n
+                for n in self.ctx.names(node.left)
+                if n in self.ctx.names(node.right)
+            )
+            rows = costs.join_output_rows(
+                left.est.rows,
+                right.est.rows,
+                self._subtree_stats(node.left),
+                self._subtree_stats(node.right),
+                shared,
+            )
+            est = costs.CostEstimate(
+                rows=rows,
+                cost=left.est.cost
+                + right.est.cost
+                + (left.est.rows + right.est.rows + rows)
+                * costs.TUPLE_CPU_COST,
+                pages=left.est.pages + right.est.pages,
+            )
+            op = P.HashJoin if isinstance(node, L.LJoin) else P.FlatHashJoin
+            return op(left, right, est)
+        if isinstance(node, (L.LUnion, L.LDifference)):
+            left = self.build(node.left)
+            right = self.build(node.right)
+            rows = (
+                left.est.rows + right.est.rows
+                if isinstance(node, L.LUnion)
+                else left.est.rows
+            )
+            est = costs.CostEstimate(
+                rows=rows,
+                cost=left.est.cost
+                + right.est.cost
+                + (left.est.rows + right.est.rows)
+                * costs.TUPLE_CPU_COST,
+                pages=left.est.pages + right.est.pages,
+            )
+            op = P.UnionOp if isinstance(node, L.LUnion) else P.DifferenceOp
+            return op(left, right, est)
+        raise PlanError(f"unknown logical node {node!r}")
+
+    # -- access-path selection -------------------------------------------------
+
+    def _scan(
+        self, name: str, conjuncts: tuple["ast.Condition", ...]
+    ) -> P.PhysicalOp:
+        store = self.catalog.store_if_open(name)
+        predicate = (
+            L.compile_conjuncts(conjuncts) if conjuncts else None
+        )
+
+        if predicate is None:
+            # No access-path decision to make: don't pay for (or
+            # trigger collection of) statistics.
+            if store is None:
+                relation = self.catalog.get(name)
+                rows = float(relation.cardinality)
+                return P.MemoryScan(
+                    relation,
+                    name,
+                    costs.CostEstimate(
+                        rows=rows, cost=rows * costs.TUPLE_CPU_COST
+                    ),
+                )
+            pages = store.heap.page_count
+            records = store.heap.record_count
+            return P.HeapScan(
+                store,
+                name,
+                costs.CostEstimate(
+                    rows=float(records),
+                    cost=pages * costs.PAGE_READ_COST
+                    + records * costs.RECORD_COST,
+                    pages=float(pages),
+                ),
+            )
+
+        stats = self.catalog.stats_for(name)
+        if store is None:
+            relation = self.catalog.get(name)
+            base = costs.memory_scan_cost(stats)
+            sel = costs.conjunct_selectivity(conjuncts, stats)
+            est = costs.CostEstimate(
+                rows=base.rows * sel, cost=base.cost, pages=0.0
+            )
+            scan = P.MemoryScan(relation, name, base)
+            return P.Filter(scan, predicate, est)
+
+        heap_est = costs.heap_scan_cost(stats)
+        index_allowed = (
+            store.index is not None
+            and conjuncts
+            and self.use_index is not False
+        )
+        if index_allowed:
+            atoms: list[tuple[str, object]] = []
+            for c in conjuncts:
+                atoms.extend(L.indexable_atoms(c))
+            idx_est = costs.index_scan_cost(stats, conjuncts, len(atoms))
+            if self.use_index or idx_est.cost < heap_est.cost:
+                assert predicate is not None
+                return P.IndexScan(store, name, atoms, predicate, idx_est)
+
+        if predicate is not None:
+            sel = costs.conjunct_selectivity(conjuncts, stats)
+            est = costs.CostEstimate(
+                rows=heap_est.rows * sel,
+                cost=heap_est.cost,
+                pages=heap_est.pages,
+            )
+            return P.HeapScan(store, name, est, predicate=predicate)
+        return P.HeapScan(store, name, heap_est)
+
+    # -- statistics plumbing ---------------------------------------------------
+
+    def _subtree_stats(self, node: L.LogicalPlan) -> RelationStats | None:
+        """Statistics of the unique base relation under ``node``, when
+        there is exactly one (estimates degrade gracefully otherwise)."""
+        scans = _scan_names_in(node)
+        if len(scans) == 1:
+            return self.catalog.stats_for(next(iter(scans)))
+        return None
+
+
+def _scan_names_in(node: L.LogicalPlan) -> set[str]:
+    if isinstance(node, L.LScan):
+        return {node.name}
+    out: set[str] = set()
+    for child in node.children():
+        out |= _scan_names_in(child)
+    return out

@@ -1,0 +1,298 @@
+"""Rule-based rewriter over the logical plan IR.
+
+The rules are the planner-side counterparts of the executable laws in
+:mod:`repro.nf2_algebra.laws` and the operator-tree rewrites of
+:mod:`repro.nf2_algebra.rewrite`, lifted onto the logical IR where
+conditions are conjunct lists and relation data is reachable only
+through catalog statistics:
+
+1. **Constant folding** — duplicate conjuncts collapse, conjuncts
+   subsumed by an equality are dropped, and contradictions
+   (``A = 'x' AND A = 'y'``) fold the whole subtree to :class:`LEmpty`.
+2. **Select merging** — adjacent selects combine into one conjunct
+   list (selection is idempotent and commutative).
+3. **Selection pushdown through Nest/Unnest** — atom-stable conjuncts
+   not touching the restructured attribute move below
+   (``select_commutes_with_nest`` / ``select_commutes_with_unnest``).
+4. **Selection pushdown through Project** — conjuncts touching only
+   projected attributes move below the projection.
+5. **Selection pushdown into Join sides** — a conjunct touching only
+   one side's attributes filters that side before joining; components
+   pass through the NF2 join unchanged, so any conjunct form is sound.
+   For FLATJOIN/DIFFERENCE (which return the flattened R*) the pushed
+   side must additionally be statically flat on the touched attributes.
+6. **Selection pushdown through Union** — always sound (both branches).
+7. **Projection pruning** — consecutive projects merge; an identity
+   projection disappears.
+8. **Unnest-of-nest elimination** — ``Unnest_A(Nest_A(X)) -> X`` when
+   ``X`` is statically flat on ``A`` (per the statistics' max component
+   cardinality, or by construction, e.g. below an ``Unnest_A``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.planner.logical import (
+    CONTRADICTION,
+    LCanonical,
+    LDifference,
+    LEmpty,
+    LFlatJoin,
+    LFlatten,
+    LJoin,
+    LNest,
+    LogicalPlan,
+    LProject,
+    LScan,
+    LSelect,
+    LUnion,
+    LUnnest,
+    condition_atom_stable,
+    condition_touches,
+    fold_conjuncts,
+    output_names,
+)
+
+
+class RewriteContext:
+    """What the rewriter may ask about base relations: schema names and
+    whether an attribute is flat (all components singleton)."""
+
+    def __init__(
+        self,
+        scan_names: Callable[[str], tuple[str, ...]],
+        scan_flat_on: Callable[[str, str], bool],
+    ):
+        self.scan_names = scan_names
+        self.scan_flat_on = scan_flat_on
+
+    def names(self, node: LogicalPlan) -> tuple[str, ...]:
+        return output_names(node, self.scan_names)
+
+
+def rewrite(node: LogicalPlan, ctx: RewriteContext) -> LogicalPlan:
+    """Apply the rules to fixpoint (bottom-up, then at this node)."""
+    changed = True
+    while changed:
+        node, changed = _rewrite_once(node, ctx)
+    return node
+
+
+def _rewrite_once(
+    node: LogicalPlan, ctx: RewriteContext
+) -> tuple[LogicalPlan, bool]:
+    node, child_changed = _rewrite_children(node, ctx)
+
+    if isinstance(node, LSelect):
+        rewritten = _rewrite_select(node, ctx)
+        if rewritten is not None:
+            return rewritten, True
+
+    # Rule 7: projection pruning.
+    if isinstance(node, LProject):
+        if isinstance(node.source, LProject):
+            return LProject(node.source.source, node.attributes), True
+        if node.attributes == ctx.names(node.source):
+            return node.source, True
+        if isinstance(node.source, LEmpty):
+            return LEmpty(node.attributes), True
+
+    # Rule 8: Unnest_A(Nest_A(X)) -> X when X statically flat on A.
+    if isinstance(node, LUnnest):
+        if isinstance(node.source, LEmpty):
+            return node.source, True
+        if (
+            isinstance(node.source, LNest)
+            and node.source.attributes == (node.attribute,)
+            and _statically_flat_on(node.source.source, node.attribute, ctx)
+        ):
+            return node.source.source, True
+
+    return node, child_changed
+
+
+def _rewrite_select(
+    node: LSelect, ctx: RewriteContext
+) -> LogicalPlan | None:
+    """The selection rules; returns a rewritten node or None."""
+    # Rule 1: constant folding.
+    folded = fold_conjuncts(node.conjuncts)
+    if folded is CONTRADICTION:
+        return LEmpty(ctx.names(node))
+    if folded != node.conjuncts:
+        return LSelect(node.source, folded)  # type: ignore[arg-type]
+    if not node.conjuncts:
+        return node.source
+    src = node.source
+
+    if isinstance(src, LEmpty):
+        return src
+
+    # Rule 2: merge adjacent selects.
+    if isinstance(src, LSelect):
+        return LSelect(src.source, src.conjuncts + node.conjuncts)
+
+    # Rule 3: push atom-stable conjuncts below nest/unnest.
+    if isinstance(src, (LNest, LUnnest)):
+        restructured = (
+            frozenset(src.attributes)
+            if isinstance(src, LNest)
+            else frozenset([src.attribute])
+        )
+        pushable = tuple(
+            c
+            for c in node.conjuncts
+            if condition_atom_stable(c)
+            and not (condition_touches(c) & restructured)
+        )
+        if pushable:
+            kept = tuple(c for c in node.conjuncts if c not in pushable)
+            inner = LSelect(src.source, pushable)
+            moved: LogicalPlan = (
+                LNest(inner, src.attributes)
+                if isinstance(src, LNest)
+                else LUnnest(inner, src.attribute)
+            )
+            return LSelect(moved, kept) if kept else moved
+
+    # Rule 4: push below a projection when only projected attrs are read.
+    if isinstance(src, LProject):
+        attrs = frozenset(src.attributes)
+        pushable = tuple(
+            c for c in node.conjuncts if condition_touches(c) <= attrs
+        )
+        if pushable:
+            kept = tuple(c for c in node.conjuncts if c not in pushable)
+            moved = LProject(LSelect(src.source, pushable), src.attributes)
+            return LSelect(moved, kept) if kept else moved
+
+    # Rule 5: push into join sides.
+    if isinstance(src, (LJoin, LFlatJoin)):
+        left_names = frozenset(ctx.names(src.left))
+        right_names = frozenset(ctx.names(src.right))
+        flat_only = isinstance(src, LFlatJoin)
+        to_left, to_right, kept = [], [], []
+        for c in node.conjuncts:
+            touches = condition_touches(c)
+            if touches <= left_names and _side_pushable(
+                c, src.left, flat_only, ctx
+            ):
+                to_left.append(c)
+            elif touches <= (right_names - left_names) and _side_pushable(
+                c, src.right, flat_only, ctx
+            ):
+                to_right.append(c)
+            else:
+                kept.append(c)
+        if to_left or to_right:
+            left = (
+                LSelect(src.left, tuple(to_left)) if to_left else src.left
+            )
+            right = (
+                LSelect(src.right, tuple(to_right))
+                if to_right
+                else src.right
+            )
+            joined = type(src)(left, right)
+            return LSelect(joined, tuple(kept)) if kept else joined
+
+    # Rule 6: push below union (both branches).
+    if isinstance(src, LUnion):
+        return LUnion(
+            LSelect(src.left, node.conjuncts),
+            LSelect(src.right, node.conjuncts),
+        )
+
+    # Rule 5 (difference): left side only, and only when flat-safe.
+    if isinstance(src, LDifference):
+        if all(
+            _side_pushable(c, src.left, True, ctx) for c in node.conjuncts
+        ):
+            return LDifference(
+                LSelect(src.left, node.conjuncts), src.right
+            )
+
+    return None
+
+
+def _side_pushable(
+    cond, side: LogicalPlan, flat_only: bool, ctx: RewriteContext
+) -> bool:
+    """May ``cond`` be evaluated on ``side`` before the parent operator
+    flattens its output?  For the NF2 join (``flat_only=False``)
+    components pass through unchanged, so always; for flattening parents
+    the touched attributes must already be singleton-only on that side
+    (an NF2 selection on a nested component would keep flats the
+    post-flatten selection rejects)."""
+    if not flat_only:
+        return True
+    return all(
+        _statically_flat_on(side, a, ctx) for a in condition_touches(cond)
+    )
+
+
+def _statically_flat_on(
+    node: LogicalPlan, attribute: str, ctx: RewriteContext
+) -> bool:
+    """Conservative static test: is every component of ``attribute`` in
+    the node's output guaranteed to be a singleton?"""
+    if isinstance(node, LScan):
+        return ctx.scan_flat_on(node.name, attribute)
+    if isinstance(node, LEmpty):
+        return True
+    if isinstance(node, LUnnest) and node.attribute == attribute:
+        return True
+    if isinstance(node, (LFlatten, LFlatJoin, LDifference)):
+        return True  # these return the all-singleton form of R*
+    if isinstance(node, (LSelect, LUnnest)):
+        return _statically_flat_on(node.source, attribute, ctx)
+    if isinstance(node, LProject) and attribute in node.attributes:
+        return _statically_flat_on(node.source, attribute, ctx)
+    if isinstance(node, LNest) and attribute not in node.attributes:
+        # Nesting other attributes only merges tuples whose A-components
+        # are set-equal; singletons stay singletons.
+        return _statically_flat_on(node.source, attribute, ctx)
+    if isinstance(node, LJoin):
+        # The output component comes from whichever side carries it
+        # (left wins for shared names, and shared components are
+        # set-equal across sides).
+        left_names = ctx.names(node.left)
+        if attribute in left_names:
+            return _statically_flat_on(node.left, attribute, ctx)
+        return _statically_flat_on(node.right, attribute, ctx)
+    if isinstance(node, LUnion):
+        return _statically_flat_on(
+            node.left, attribute, ctx
+        ) and _statically_flat_on(node.right, attribute, ctx)
+    return False
+
+
+def _rewrite_children(
+    node: LogicalPlan, ctx: RewriteContext
+) -> tuple[LogicalPlan, bool]:
+    if isinstance(node, LSelect):
+        src, c = _rewrite_once(node.source, ctx)
+        return (LSelect(src, node.conjuncts), True) if c else (node, False)
+    if isinstance(node, LProject):
+        src, c = _rewrite_once(node.source, ctx)
+        return (LProject(src, node.attributes), True) if c else (node, False)
+    if isinstance(node, LNest):
+        src, c = _rewrite_once(node.source, ctx)
+        return (LNest(src, node.attributes), True) if c else (node, False)
+    if isinstance(node, LUnnest):
+        src, c = _rewrite_once(node.source, ctx)
+        return (LUnnest(src, node.attribute), True) if c else (node, False)
+    if isinstance(node, LCanonical):
+        src, c = _rewrite_once(node.source, ctx)
+        return (LCanonical(src, node.order), True) if c else (node, False)
+    if isinstance(node, LFlatten):
+        src, c = _rewrite_once(node.source, ctx)
+        return (LFlatten(src), True) if c else (node, False)
+    if isinstance(node, (LJoin, LFlatJoin, LUnion, LDifference)):
+        left, c1 = _rewrite_once(node.left, ctx)
+        right, c2 = _rewrite_once(node.right, ctx)
+        if c1 or c2:
+            return type(node)(left, right), True
+        return node, False
+    return node, False

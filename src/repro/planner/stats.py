@@ -1,0 +1,130 @@
+"""Catalog statistics for the cost-based planner (the ``ANALYZE`` pass).
+
+:func:`collect_stats` walks one relation (and its paged
+:class:`~repro.storage.engine.NFRStore`, when open) and produces a
+:class:`RelationStats` snapshot: NFR tuple count, |R*|, per-attribute
+distinct-atom counts and set-value cardinalities, page/record counts and
+index availability.  These are exactly the quantities the paper's §2
+search-space analysis ranges over — degree, cardinality and how much
+composition has shrunk the tuple count — reused here as planner inputs.
+
+Statistics are cached on the :class:`~repro.query.catalog.Catalog` and
+invalidated by the store's mutation hook after every INSERT/DELETE/
+UPDATE, so estimates never go stale after DML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.nfr_relation import NFRelation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.engine import NFRStore
+
+
+@dataclass(frozen=True)
+class AttributeStats:
+    """Per-attribute facts of one relation."""
+
+    name: str
+    #: distinct atomic values appearing in any component
+    distinct_atoms: int
+    #: mean component (set-value) cardinality over NFR tuples
+    avg_set_size: float
+    #: largest component cardinality (1 == the relation is flat here)
+    max_set_size: int
+
+    @property
+    def is_flat(self) -> bool:
+        return self.max_set_size <= 1
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """One relation's planner-facing statistics snapshot."""
+
+    name: str
+    #: NFR tuples (records in nfr mode)
+    tuple_count: int
+    #: |R*| estimate — sum of per-tuple flat expansion counts.  Exact
+    #: for NFRs whose expansions partition R* (every relation reachable
+    #: by composition/decomposition from 1NF, i.e. everything the
+    #: catalog stores); an upper bound otherwise.  Computed
+    #: arithmetically so ANALYZE never materialises R*.
+    flat_count: int
+    degree: int
+    #: heap pages of the backing store (0 when none is open)
+    pages: int
+    #: heap records of the backing store (0 when none is open)
+    records: int
+    #: does an AtomIndex cover the backing store?
+    indexed: bool
+    #: backing-store mode ('1nf' / 'nfr'), or None when not paged
+    mode: str | None
+    attributes: Mapping[str, AttributeStats] = field(default_factory=dict)
+
+    def attribute(self, name: str) -> AttributeStats | None:
+        return self.attributes.get(name)
+
+    def render(self) -> str:
+        """Human-readable summary (the output of ``ANALYZE name``)."""
+        lines = [
+            f"ANALYZE {self.name}: {self.tuple_count} NFR tuples, "
+            f"{self.flat_count} flats, degree {self.degree}",
+        ]
+        if self.mode is not None:
+            index_note = "AtomIndex" if self.indexed else "no index"
+            lines.append(
+                f"  store: mode={self.mode}, {self.records} records on "
+                f"{self.pages} pages, {index_note}"
+            )
+        else:
+            lines.append("  store: (not paged — in-memory relation)")
+        for a in self.attributes.values():
+            lines.append(
+                f"  {a.name}: {a.distinct_atoms} distinct atoms, "
+                f"avg set size {a.avg_set_size:.2f}, "
+                f"max {a.max_set_size}"
+            )
+        return "\n".join(lines)
+
+
+def collect_stats(
+    name: str,
+    relation: NFRelation,
+    store: "NFRStore | None" = None,
+) -> RelationStats:
+    """Compute a fresh :class:`RelationStats` for ``relation``."""
+    atoms: dict[str, set] = {a: set() for a in relation.schema.names}
+    size_sum: dict[str, int] = {a: 0 for a in relation.schema.names}
+    size_max: dict[str, int] = {a: 0 for a in relation.schema.names}
+    count = relation.cardinality
+    for t in relation:
+        for a in relation.schema.names:
+            component = t[a]
+            atoms[a].update(component)
+            size_sum[a] += len(component)
+            if len(component) > size_max[a]:
+                size_max[a] = len(component)
+    attributes = {
+        a: AttributeStats(
+            name=a,
+            distinct_atoms=len(atoms[a]),
+            avg_set_size=(size_sum[a] / count) if count else 0.0,
+            max_set_size=size_max[a],
+        )
+        for a in relation.schema.names
+    }
+    return RelationStats(
+        name=name,
+        tuple_count=count,
+        flat_count=relation.total_expansion_count(),
+        degree=relation.degree,
+        pages=store.heap.page_count if store is not None else 0,
+        records=store.heap.record_count if store is not None else 0,
+        indexed=store is not None and store.index is not None,
+        mode=store.mode if store is not None else None,
+        attributes=attributes,
+    )

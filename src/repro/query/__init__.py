@@ -18,10 +18,10 @@ See :mod:`repro.query.parser` for the grammar and
 """
 
 from repro.query.catalog import Catalog
-from repro.query.evaluator import evaluate
+from repro.query.evaluator import evaluate, evaluate_naive
 from repro.query.parser import parse
 
-__all__ = ["Catalog", "parse", "evaluate"]
+__all__ = ["Catalog", "parse", "evaluate", "evaluate_naive"]
 
 
 def run(text: str, catalog: "Catalog"):

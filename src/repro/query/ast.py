@@ -1,8 +1,9 @@
 """AST node types for the NF2 query language.
 
 Expressions evaluate to :class:`~repro.core.nfr_relation.NFRelation`;
-statements (LET / INSERT / DELETE) mutate the catalog and return the
-affected relation.
+statements (LET / INSERT / DELETE / ANALYZE) mutate the catalog and
+return the affected relation, except ``EXPLAIN`` and ``ANALYZE`` which
+return textual planner output.
 """
 
 from __future__ import annotations
@@ -177,3 +178,23 @@ class DeleteValues(Statement):
 
     name: str
     values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN [ANALYZE] expr`` — show the planned physical operators
+    (with ``ANALYZE``: execute and show estimated vs actual rows and
+    page I/O).  Returns an
+    :class:`~repro.planner.explain.ExplainResult`, not a relation."""
+
+    target: Expression
+    analyze: bool = False
+
+
+@dataclass(frozen=True)
+class AnalyzeStmt(Statement):
+    """``ANALYZE name`` — open the paged store backing ``name`` and
+    collect planner statistics (tuple counts, per-attribute atom
+    cardinalities, page/index facts)."""
+
+    name: str

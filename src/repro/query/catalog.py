@@ -8,6 +8,12 @@ lazily).  In ``nfr`` mode (the default) the store maintains the
 canonical form under that order using the §4 update algorithms with
 write-through page maintenance; in ``1nf`` mode it stores R* flat.  The
 I/O cost of the latest mutation is exposed as :attr:`Catalog.last_io`.
+
+The catalog also caches planner statistics
+(:class:`~repro.planner.stats.RelationStats`) per relation.  Stores
+created here get a mutation hook that drops the cached statistics on
+every INSERT/DELETE/UPDATE, so cost estimates never go stale after DML;
+``ANALYZE name`` (or :meth:`Catalog.analyze`) refreshes them eagerly.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Sequence
 
 from repro.core.nfr_relation import NFRelation
 from repro.errors import CatalogError
+from repro.planner.stats import RelationStats, collect_stats
 from repro.relational.relation import Relation
 from repro.storage.engine import MutationStats, NFRStore, ScanStats
 
@@ -29,7 +36,9 @@ class Catalog:
         self._orders: dict[str, tuple[str, ...]] = {}
         self._modes: dict[str, str] = {}
         self._stores: dict[str, NFRStore] = {}
-        #: I/O accounting of the most recent INSERT/DELETE statement.
+        self._stats: dict[str, RelationStats] = {}
+        #: I/O accounting of the most recent statement that touched
+        #: pages or the index (INSERT/DELETE, or a planned query).
         self.last_io: ScanStats | None = None
 
     # -- registration -----------------------------------------------------------
@@ -52,6 +61,7 @@ class Catalog:
         self._orders[name] = tuple(order) if order else relation.schema.names
         self._modes[name] = mode
         self._stores.pop(name, None)
+        self._stats.pop(name, None)
 
     def set(self, name: str, relation: NFRelation) -> None:
         """Rebind ``name`` to a computed result (keeps any registered
@@ -64,6 +74,7 @@ class Catalog:
             self._orders[name] = relation.schema.names
         self._modes.setdefault(name, "nfr")
         self._stores.pop(name, None)
+        self._stats.pop(name, None)
 
     def remove(self, name: str) -> None:
         if name not in self._entries:
@@ -72,6 +83,7 @@ class Catalog:
         self._orders.pop(name, None)
         self._modes.pop(name, None)
         self._stores.pop(name, None)
+        self._stats.pop(name, None)
 
     # -- access --------------------------------------------------------------------
 
@@ -118,6 +130,11 @@ class Catalog:
             # The catalog entry becomes the stored representation so that
             # query results and subsequent updates agree on it.
             self._entries[name] = store.relation
+            # Stale-estimate guard: any mutation through this store
+            # (INSERT/DELETE/UPDATE, batches, vacuum) drops the cached
+            # statistics so the next plan re-collects them.
+            store.on_mutation = lambda: self.invalidate_stats(name)
+            self._stats.pop(name, None)
         return store
 
     def store_if_open(self, name: str) -> NFRStore | None:
@@ -134,6 +151,34 @@ class Catalog:
             raise CatalogError(f"no backing store open for {name!r}")
         self._entries[name] = store.relation
         return self._entries[name]
+
+    # -- planner statistics -------------------------------------------------------
+
+    def stats_for(self, name: str) -> RelationStats:
+        """Cached planner statistics for ``name`` (collected lazily on
+        first use; dropped whenever the relation is rebound or mutated
+        through its backing store)."""
+        cached = self._stats.get(name)
+        if cached is None:
+            cached = collect_stats(
+                name, self.get(name), self._stores.get(name)
+            )
+            self._stats[name] = cached
+        return cached
+
+    def invalidate_stats(self, name: str) -> None:
+        """Drop cached statistics for ``name`` (no-op when absent)."""
+        self._stats.pop(name, None)
+
+    def analyze(self, name: str) -> RelationStats:
+        """The ``ANALYZE name`` pass: open the paged backing store (so
+        index plans become available), collect fresh statistics and
+        cache them.  Like DML, this switches the catalog entry to the
+        stored representation."""
+        store = self.store_for(name)
+        stats = collect_stats(name, self.get(name), store)
+        self._stats[name] = stats
+        return stats
 
     def record_io(self, stats: MutationStats) -> ScanStats:
         """Fold one mutation's I/O accounting into :attr:`last_io`."""

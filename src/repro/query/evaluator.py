@@ -1,5 +1,13 @@
 """Evaluator for the NF2 query language.
 
+Expressions are *planned*: the AST is lowered to the logical IR,
+rewritten with the law-derived rules, costed against catalog
+statistics and executed through the physical operators of
+:mod:`repro.planner` (index scan, filtered heap scan, hash joins).
+The naive tree-walking interpreter is retained as
+:func:`evaluate_naive` — it is the semantic reference the planner is
+property-tested against, and the baseline the benchmarks compare to.
+
 Operator semantics:
 
 - ``SELECT``: keep NFR tuples satisfying the condition.  ``CONTAINS``
@@ -22,6 +30,10 @@ Operator semantics:
   paged :class:`~repro.storage.engine.NFRStore` backing the named
   relation (§4 canonical maintenance with write-through pages in nfr
   mode), recording page I/O in ``catalog.last_io``.
+- ``EXPLAIN [ANALYZE] expr`` returns the physical plan as text
+  (``ANALYZE`` also executes it and shows actual rows / page I/O);
+  ``ANALYZE name`` opens the paged store and collects planner
+  statistics.
 """
 
 from __future__ import annotations
@@ -40,23 +52,55 @@ from repro.relational.algebra import natural_join
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import FlatTuple
 
+if False:  # pragma: no cover - typing only, avoids a circular import
+    from repro.planner.explain import ExplainResult
 
-def evaluate(node: ast.Node, catalog: Catalog) -> NFRelation:
+
+def evaluate(
+    node: ast.Node, catalog: Catalog
+) -> "NFRelation | ExplainResult":
     """Evaluate an expression or statement; returns the resulting (or
-    affected) relation."""
+    affected) relation (an :class:`ExplainResult` for EXPLAIN/ANALYZE)."""
     if isinstance(node, ast.Statement):
         return _execute(node, catalog)
+    if isinstance(node, ast.Expression):
+        return _run_planned(node, catalog)
+    raise EvaluationError(f"cannot evaluate node {node!r}")
+
+
+def evaluate_naive(node: ast.Node, catalog: Catalog) -> NFRelation:
+    """Evaluate without the planner: walk the AST directly.  This is
+    the semantic reference implementation; planned execution must
+    produce exactly the same relation (property-tested)."""
+    if isinstance(node, ast.Statement):
+        return _execute(node, catalog, naive=True)
     if isinstance(node, ast.Expression):
         return _eval(node, catalog)
     raise EvaluationError(f"cannot evaluate node {node!r}")
 
 
+def _run_planned(node: ast.Expression, catalog: Catalog) -> NFRelation:
+    # Imported lazily: the planner subsystem itself imports query.ast,
+    # so a module-level import here would be circular.
+    from repro.planner import plan
+
+    physical = plan(node, catalog)
+    result = physical.execute()
+    io = physical.scan_stats()
+    if io.page_reads or io.index_lookups:
+        catalog.last_io = io
+    return result
+
+
 # -- statements --------------------------------------------------------------
 
 
-def _execute(node: ast.Statement, catalog: Catalog) -> NFRelation:
+def _execute(
+    node: ast.Statement, catalog: Catalog, naive: bool = False
+) -> "NFRelation | ExplainResult":
+    run_expr = _eval if naive else _run_planned
     if isinstance(node, ast.Let):
-        result = _eval(node.expression, catalog)
+        result = run_expr(node.expression, catalog)
         catalog.set(node.name, result)
         return result
     if isinstance(node, ast.InsertValues):
@@ -71,6 +115,20 @@ def _execute(node: ast.Statement, catalog: Catalog) -> NFRelation:
         mstats = store.delete_flat(flat)
         catalog.record_io(mstats)
         return catalog.sync_from_store(node.name)
+    if isinstance(node, ast.Explain):
+        from repro.planner import ExplainResult, plan
+
+        physical = plan(node.target, catalog)
+        if node.analyze:
+            physical.execute()
+            io = physical.scan_stats()
+            if io.page_reads or io.index_lookups:
+                catalog.last_io = io
+        return ExplainResult(physical.explain(analyze=node.analyze))
+    if isinstance(node, ast.AnalyzeStmt):
+        from repro.planner import ExplainResult
+
+        return ExplainResult(catalog.analyze(node.name).render())
     raise EvaluationError(f"unknown statement {node!r}")
 
 

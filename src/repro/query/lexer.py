@@ -1,7 +1,13 @@
-"""Tokenizer for the NF2 query language."""
+"""Tokenizer for the NF2 query language.
+
+Tokens carry both the absolute character offset and the (1-based)
+line/column position, so parser errors can point at the exact spot in
+multi-line statements.
+"""
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -31,6 +37,8 @@ KEYWORDS = frozenset(
         "INTO",
         "FROM",
         "VALUES",
+        "EXPLAIN",
+        "ANALYZE",
     }
 )
 
@@ -40,11 +48,14 @@ _SYMBOLS = {"(", ")", "{", "}", ",", "="}
 @dataclass(frozen=True)
 class Token:
     """One lexical token: kind is KEYWORD, IDENT, STRING, NUMBER or a
-    literal symbol character."""
+    literal symbol character.  ``position`` is the absolute character
+    offset; ``line``/``column`` are 1-based."""
 
     kind: str
     value: str | int | float
     position: int
+    line: int = 1
+    column: int = 1
 
 
 def tokenize(text: str) -> list[Token]:
@@ -57,7 +68,28 @@ def tokenize(text: str) -> list[Token]:
     return list(_scan(text))
 
 
+def line_starts(text: str) -> list[int]:
+    """Offsets at which each line begins (line 1 starts at 0)."""
+    starts = [0]
+    for i, ch in enumerate(text):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def offset_to_line_col(starts: list[int], offset: int) -> tuple[int, int]:
+    """Map a character offset to a 1-based (line, column) pair."""
+    line = bisect_right(starts, offset)
+    return line, offset - starts[line - 1] + 1
+
+
 def _scan(text: str) -> Iterator[Token]:
+    starts = line_starts(text)
+
+    def tok(kind: str, value, position: int) -> Token:
+        line, column = offset_to_line_col(starts, position)
+        return Token(kind, value, position, line, column)
+
     i = 0
     n = len(text)
     while i < n:
@@ -66,17 +98,17 @@ def _scan(text: str) -> Iterator[Token]:
             i += 1
             continue
         if ch in _SYMBOLS:
-            yield Token(ch, ch, i)
+            yield tok(ch, ch, i)
             i += 1
             continue
         if ch == "'":
-            value, i2 = _scan_string(text, i)
-            yield Token("STRING", value, i)
+            value, i2 = _scan_string(text, i, starts)
+            yield tok("STRING", value, i)
             i = i2
             continue
         if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
             value, i2 = _scan_number(text, i)
-            yield Token("NUMBER", value, i)
+            yield tok("NUMBER", value, i)
             i = i2
             continue
         if ch.isalpha() or ch == "_":
@@ -85,15 +117,20 @@ def _scan(text: str) -> Iterator[Token]:
                 j += 1
             word = text[i:j]
             if word.upper() in KEYWORDS:
-                yield Token("KEYWORD", word.upper(), i)
+                yield tok("KEYWORD", word.upper(), i)
             else:
-                yield Token("IDENT", word, i)
+                yield tok("IDENT", word, i)
             i = j
             continue
-        raise LexError(f"unexpected character {ch!r}", i)
+        line, column = offset_to_line_col(starts, i)
+        raise LexError(
+            f"unexpected character {ch!r}", i, line=line, column=column
+        )
 
 
-def _scan_string(text: str, start: int) -> tuple[str, int]:
+def _scan_string(
+    text: str, start: int, starts: list[int]
+) -> tuple[str, int]:
     i = start + 1
     out: list[str] = []
     n = len(text)
@@ -107,7 +144,10 @@ def _scan_string(text: str, start: int) -> tuple[str, int]:
             return "".join(out), i + 1
         out.append(ch)
         i += 1
-    raise LexError("unterminated string literal", start)
+    line, column = offset_to_line_col(starts, start)
+    raise LexError(
+        "unterminated string literal", start, line=line, column=column
+    )
 
 
 def _scan_number(text: str, start: int) -> tuple[int | float, int]:

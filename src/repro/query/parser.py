@@ -5,6 +5,8 @@ Grammar (keywords case-insensitive)::
     statement  := LET IDENT '=' expr
                 | INSERT INTO IDENT VALUES '(' literals ')'
                 | DELETE FROM IDENT VALUES '(' literals ')'
+                | EXPLAIN [ANALYZE] expr
+                | ANALYZE IDENT
                 | expr
 
     expr       := SELECT expr WHERE condition
@@ -70,31 +72,36 @@ class _Parser:
         tok = self._peek()
         return tok is not None and tok.kind == "KEYWORD" and tok.value in words
 
+    def _error(self, message: str, tok: Token) -> ParseError:
+        return ParseError(
+            message, tok.position, line=tok.line, column=tok.column
+        )
+
     def _eat_keyword(self, word: str) -> None:
         tok = self._next()
         if tok.kind != "KEYWORD" or tok.value != word:
-            raise ParseError(f"expected {word}, got {tok.value!r}", tok.position)
+            raise self._error(f"expected {word}, got {tok.value!r}", tok)
 
     def _eat_symbol(self, symbol: str) -> None:
         tok = self._next()
         if tok.kind != symbol:
-            raise ParseError(
-                f"expected {symbol!r}, got {tok.value!r}", tok.position
+            raise self._error(
+                f"expected {symbol!r}, got {tok.value!r}", tok
             )
 
     def _eat_ident(self) -> str:
         tok = self._next()
         if tok.kind != "IDENT":
-            raise ParseError(
-                f"expected identifier, got {tok.value!r}", tok.position
+            raise self._error(
+                f"expected identifier, got {tok.value!r}", tok
             )
         return str(tok.value)
 
     def expect_end(self) -> None:
         tok = self._peek()
         if tok is not None:
-            raise ParseError(
-                f"unexpected trailing input {tok.value!r}", tok.position
+            raise self._error(
+                f"unexpected trailing input {tok.value!r}", tok
             )
 
     # -- grammar -------------------------------------------------------------------
@@ -117,6 +124,16 @@ class _Parser:
             name = self._eat_ident()
             self._eat_keyword("VALUES")
             return ast.DeleteValues(name, self._parse_literal_list())
+        if self._at_keyword("EXPLAIN"):
+            self._next()
+            analyze = False
+            if self._at_keyword("ANALYZE"):
+                self._next()
+                analyze = True
+            return ast.Explain(self.parse_expression(), analyze=analyze)
+        if self._at_keyword("ANALYZE"):
+            self._next()
+            return ast.AnalyzeStmt(self._eat_ident())
         return self.parse_expression()
 
     def parse_expression(self) -> ast.Expression:
@@ -165,7 +182,7 @@ class _Parser:
                     "DIFFERENCE": ast.Difference,
                 }[word]
                 return node_type(left, right)
-            raise ParseError(f"unexpected keyword {word}", tok.position)
+            raise self._error(f"unexpected keyword {word}", tok)
         if tok.kind == "(":
             self._next()
             inner = self.parse_expression()
@@ -174,7 +191,7 @@ class _Parser:
         if tok.kind == "IDENT":
             self._next()
             return ast.Name(str(tok.value))
-        raise ParseError(f"unexpected token {tok.value!r}", tok.position)
+        raise self._error(f"unexpected token {tok.value!r}", tok)
 
     # -- conditions -----------------------------------------------------------------
 
@@ -192,8 +209,8 @@ class _Parser:
             return ast.Contains(attribute, self._parse_literal())
         tok = self._next()
         if tok.kind != "=":
-            raise ParseError(
-                f"expected CONTAINS or '=', got {tok.value!r}", tok.position
+            raise self._error(
+                f"expected CONTAINS or '=', got {tok.value!r}", tok
             )
         nxt = self._peek()
         if nxt is not None and nxt.kind == "{":
@@ -204,8 +221,8 @@ class _Parser:
                 if tok.kind == "}":
                     break
                 if tok.kind != ",":
-                    raise ParseError(
-                        f"expected ',' or '}}', got {tok.value!r}", tok.position
+                    raise self._error(
+                        f"expected ',' or '}}', got {tok.value!r}", tok
                     )
                 values.append(self._parse_literal())
             return ast.ComponentEquals(attribute, tuple(values))
@@ -221,8 +238,8 @@ class _Parser:
             if tok.kind == ")":
                 break
             if tok.kind != ",":
-                raise ParseError(
-                    f"expected ',' or ')', got {tok.value!r}", tok.position
+                raise self._error(
+                    f"expected ',' or ')', got {tok.value!r}", tok
                 )
             names.append(self._eat_ident())
         return tuple(names)
@@ -235,8 +252,8 @@ class _Parser:
             if tok.kind == ")":
                 break
             if tok.kind != ",":
-                raise ParseError(
-                    f"expected ',' or ')', got {tok.value!r}", tok.position
+                raise self._error(
+                    f"expected ',' or ')', got {tok.value!r}", tok
                 )
             values.append(self._parse_literal())
         return tuple(values)
@@ -245,4 +262,4 @@ class _Parser:
         tok = self._next()
         if tok.kind in ("STRING", "NUMBER"):
             return tok.value
-        raise ParseError(f"expected a literal, got {tok.value!r}", tok.position)
+        raise self._error(f"expected a literal, got {tok.value!r}", tok)

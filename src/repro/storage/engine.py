@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.nfr_relation import NFRelation
 from repro.core.nfr_tuple import NFRTuple
@@ -124,6 +124,14 @@ class NFRStore:
         self._canon: CanonicalNFR | None = None
         self._records_written = 0
         self._records_deleted = 0
+        #: Called after every mutation that changed stored state (the
+        #: catalog hangs statistics invalidation here, so planner
+        #: estimates never survive a DML they didn't see).
+        self.on_mutation: Callable[[], None] | None = None
+
+    def _notify_mutation(self) -> None:
+        if self.on_mutation is not None:
+            self.on_mutation()
 
     # -- constructors ----------------------------------------------------------
 
@@ -361,6 +369,8 @@ class NFRStore:
                 self._insert_flat_record(flat)
         else:
             applied = canon.insert_flat(flat)
+        if applied:
+            self._notify_mutation()
         return applied, self._delta(before, int(applied))
 
     def delete_flat(self, flat: FlatTuple) -> MutationStats:
@@ -375,6 +385,7 @@ class NFRStore:
             self._delete_flat_record(flat)
         else:
             canon.delete_flat(flat)
+        self._notify_mutation()
         return self._delta(before, 1)
 
     def update_flat(
@@ -402,6 +413,7 @@ class NFRStore:
         else:
             canon.delete_flat(old)
             applied = canon.insert_flat(new)
+        self._notify_mutation()
         return applied, self._delta(before, 1 + int(applied))
 
     def insert_batch(
@@ -432,6 +444,8 @@ class NFRStore:
         else:
             with self._buffered_writes(canon):
                 count = canon.insert_batch(normalized)
+        if count:
+            self._notify_mutation()
         return count, self._delta(before, count)
 
     def delete_batch(
@@ -458,9 +472,17 @@ class NFRStore:
                     count += 1
             finally:
                 self.heap.delete_many(rids)
+                if rids:
+                    # Partial work is kept on error, so invalidate even
+                    # when the batch raises mid-way.
+                    self._notify_mutation()
+            # The finally block above already notified (it must, to
+            # cover the partial-failure path).
         else:
             with self._buffered_writes(canon):
                 count = canon.delete_batch(normalized)
+            if count:
+                self._notify_mutation()
         return count, self._delta(before, count)
 
     def vacuum(self) -> dict[str, int]:
@@ -473,6 +495,7 @@ class NFRStore:
                 self._rids[key] = mapping.get(rid, rid)
             if self.index is not None:
                 self.index.remap_rids(mapping)
+            self._notify_mutation()
         return {
             "records_moved": len(mapping),
             "pages_before": pages_before,
@@ -551,6 +574,60 @@ class NFRStore:
             index_lookups=after[2] - before[2],
         )
         return results, stats
+
+    def _stats_window(self) -> tuple[int, int, int]:
+        return (
+            self.heap.stats.page_reads,
+            self.heap.stats.records_visited,
+            self.index.lookups if self.index else 0,
+        )
+
+    def _window_delta(
+        self, before: tuple[int, int, int], flats: int
+    ) -> ScanStats:
+        after = self._stats_window()
+        return ScanStats(
+            page_reads=after[0] - before[0],
+            records_visited=after[1] - before[1],
+            flats_produced=flats,
+            index_lookups=after[2] - before[2],
+        )
+
+    def scan_tuples(self) -> tuple[list[NFRTuple], ScanStats]:
+        """Full scan decoded at the NFR-tuple level (flat records are
+        lifted to all-singleton tuples): the planner's heap-scan access
+        path, which preserves component structure instead of expanding
+        to R* the way :meth:`lookup` does."""
+        before = self._stats_window()
+        tuples: list[NFRTuple] = []
+        for _, record in self.heap.scan():
+            decoded = self._decode(record)
+            if isinstance(decoded, FlatTuple):
+                decoded = NFRTuple.from_flat(decoded)
+            tuples.append(decoded)
+        return tuples, self._window_delta(before, len(tuples))
+
+    def probe_tuples(
+        self, atoms: Sequence[tuple[str, Any]]
+    ) -> tuple[list[NFRTuple], ScanStats]:
+        """Index-assisted candidate fetch at the NFR-tuple level: the
+        records whose component for each ``(attribute, atom)`` pair
+        *contains* the atom (exact for CONTAINS conditions; a superset
+        for equality conditions, which the caller rechecks).  Pages are
+        read batched, one read per distinct page."""
+        if self.index is None:
+            raise StorageError("store was built without an index")
+        for a, _ in atoms:
+            self.schema.require([a])
+        before = self._stats_window()
+        rids = sorted(self.index.lookup_all(atoms))
+        tuples: list[NFRTuple] = []
+        for record in self.heap.read_many(list(rids)):
+            decoded = self._decode(record)
+            if isinstance(decoded, FlatTuple):
+                decoded = NFRTuple.from_flat(decoded)
+            tuples.append(decoded)
+        return tuples, self._window_delta(before, len(tuples))
 
     def contains(self, flat: FlatTuple) -> tuple[bool, ScanStats]:
         """Point membership of one flat tuple in R*."""

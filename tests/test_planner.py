@@ -1,0 +1,389 @@
+"""Tests for the cost-based query planner (repro.planner)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.nf2_algebra import laws
+from repro.nf2_algebra.operators import Scan, Select, contains
+from repro.nf2_algebra.rewrite import optimize
+from repro.planner import collect_stats, plan
+from repro.planner import logical as L
+from repro.planner import physical as P
+from repro.planner.explain import ExplainResult
+from repro.planner.rules import RewriteContext, rewrite
+from repro.query import Catalog, evaluate_naive, parse, run
+from repro.relational.relation import Relation
+from repro.workloads import paper_examples as pe
+from repro.workloads.synthetic import random_relation
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_rows(
+        ["Student", "Course", "Club"],
+        [
+            ("s1", "c1", "b1"),
+            ("s1", "c2", "b1"),
+            ("s2", "c1", "b2"),
+            ("s2", "c2", "b2"),
+        ],
+    )
+
+
+@pytest.fixture
+def catalog(rel):
+    cat = Catalog()
+    cat.register("R", rel, order=["Course", "Club", "Student"])
+    return cat
+
+
+def _ctx(catalog):
+    def scan_names(name):
+        return catalog.get(name).schema.names
+
+    def scan_flat_on(name, attribute):
+        attr = catalog.stats_for(name).attribute(attribute)
+        return attr is not None and attr.is_flat
+
+    return RewriteContext(scan_names, scan_flat_on)
+
+
+class TestConditionAnalysis:
+    def test_conjuncts_flattened(self):
+        node = parse("SELECT R WHERE A CONTAINS 'x' AND B = 'y' AND C = {'z'}")
+        lowered = L.lower(node)
+        assert isinstance(lowered, L.LSelect)
+        assert len(lowered.conjuncts) == 3
+
+    def test_atom_stability(self):
+        from repro.query import ast
+
+        assert L.condition_atom_stable(ast.Contains("A", "x"))
+        assert not L.condition_atom_stable(ast.SingletonEquals("A", "x"))
+        assert not L.condition_atom_stable(
+            ast.ComponentEquals("A", ("x", "y"))
+        )
+
+    def test_indexable_atoms(self):
+        from repro.query import ast
+
+        assert L.indexable_atoms(ast.Contains("A", "x")) == [("A", "x")]
+        assert L.indexable_atoms(ast.ComponentEquals("A", ("x", "y"))) == [
+            ("A", "x"),
+            ("A", "y"),
+        ]
+
+
+class TestConstantFolding:
+    def test_duplicates_collapse(self):
+        from repro.query import ast
+
+        c = ast.Contains("A", "x")
+        assert L.fold_conjuncts((c, c)) == (c,)
+
+    def test_contains_subsumed_by_equality(self):
+        from repro.query import ast
+
+        folded = L.fold_conjuncts(
+            (ast.Contains("A", "x"), ast.SingletonEquals("A", "x"))
+        )
+        assert folded == (ast.SingletonEquals("A", "x"),)
+
+    def test_contradictory_equalities(self):
+        from repro.query import ast
+
+        folded = L.fold_conjuncts(
+            (ast.SingletonEquals("A", "x"), ast.SingletonEquals("A", "y"))
+        )
+        assert folded is L.CONTRADICTION
+
+    def test_contains_contradicts_equality(self):
+        from repro.query import ast
+
+        folded = L.fold_conjuncts(
+            (ast.Contains("A", "z"), ast.ComponentEquals("A", ("x", "y")))
+        )
+        assert folded is L.CONTRADICTION
+
+    def test_contradiction_plans_empty(self, catalog):
+        out = run(
+            "SELECT R WHERE Course = 'c1' AND Course = 'c2'", catalog
+        )
+        assert out.cardinality == 0
+        assert out.schema.names == ("Student", "Course", "Club")
+        text = run(
+            "EXPLAIN SELECT R WHERE Course = 'c1' AND Course = 'c2'",
+            catalog,
+        ).to_table()
+        assert "EmptyResult" in text
+
+
+class TestRewriteRules:
+    def test_select_pushdown_below_nest(self, catalog):
+        node = parse("SELECT (NEST R BY (Course)) WHERE Club CONTAINS 'b1'")
+        rewritten = rewrite(L.lower(node), _ctx(catalog))
+        # the atom-stable conjunct moves below the nest
+        assert isinstance(rewritten, L.LNest)
+        assert isinstance(rewritten.source, L.LSelect)
+
+    def test_equality_not_pushed_below_nest(self, catalog):
+        node = parse("SELECT (NEST R BY (Course)) WHERE Club = 'b1'")
+        rewritten = rewrite(L.lower(node), _ctx(catalog))
+        # component equality is not atom-stable: it must stay above
+        assert isinstance(rewritten, L.LSelect)
+        assert isinstance(rewritten.source, L.LNest)
+
+    def test_select_on_nested_attribute_not_pushed(self, catalog):
+        node = parse(
+            "SELECT (NEST R BY (Course)) WHERE Course CONTAINS 'c1'"
+        )
+        rewritten = rewrite(L.lower(node), _ctx(catalog))
+        assert isinstance(rewritten, L.LSelect)
+
+    def test_select_pushdown_into_join_side(self, catalog):
+        other = Relation.from_rows(
+            ["Course", "Teacher"], [("c1", "t1"), ("c2", "t2")]
+        )
+        catalog.register("T", other)
+        node = parse("SELECT (JOIN R, T) WHERE Teacher CONTAINS 't1'")
+        rewritten = rewrite(L.lower(node), _ctx(catalog))
+        assert isinstance(rewritten, L.LJoin)
+        assert isinstance(rewritten.right, L.LSelect)
+
+    def test_select_pushdown_through_union(self, catalog):
+        node = parse("SELECT (UNION R, R) WHERE Club CONTAINS 'b1'")
+        rewritten = rewrite(L.lower(node), _ctx(catalog))
+        assert isinstance(rewritten, L.LUnion)
+        assert isinstance(rewritten.left, L.LSelect)
+        assert isinstance(rewritten.right, L.LSelect)
+
+    def test_select_pushdown_below_project(self, catalog):
+        node = parse(
+            "SELECT (PROJECT R ON (Student, Club)) WHERE Club CONTAINS 'b1'"
+        )
+        rewritten = rewrite(L.lower(node), _ctx(catalog))
+        assert isinstance(rewritten, L.LProject)
+        assert isinstance(rewritten.source, L.LSelect)
+
+    def test_identity_projection_pruned(self, catalog):
+        node = parse("PROJECT R ON (Student, Course, Club)")
+        rewritten = rewrite(L.lower(node), _ctx(catalog))
+        assert isinstance(rewritten, L.LScan)
+
+    def test_unnest_of_nest_eliminated_on_flat_source(self, catalog):
+        # R is lifted 1NF: flat on every attribute.
+        node = parse("UNNEST (NEST R BY (Course)) ON Course")
+        rewritten = rewrite(L.lower(node), _ctx(catalog))
+        assert isinstance(rewritten, L.LScan)
+
+    def test_rewrites_preserve_results(self, catalog):
+        queries = [
+            "SELECT (NEST R BY (Course)) WHERE Club CONTAINS 'b1'",
+            "SELECT (PROJECT R ON (Student, Club)) WHERE Club CONTAINS 'b1'",
+            "SELECT (UNION R, R) WHERE Student CONTAINS 's1'",
+            "UNNEST (NEST R BY (Course)) ON Course",
+            "SELECT (FLATJOIN R, R) WHERE Club CONTAINS 'b1'",
+        ]
+        for q in queries:
+            assert run(q, catalog) == evaluate_naive(parse(q), catalog), q
+
+
+class TestStatistics:
+    def test_collect_stats_counts(self, catalog):
+        stats = catalog.stats_for("R")
+        assert stats.tuple_count == 4
+        assert stats.flat_count == 4
+        assert stats.attribute("Student").distinct_atoms == 2
+        assert stats.attribute("Student").is_flat
+
+    def test_stats_cached_and_invalidated_by_rebind(self, catalog, rel):
+        first = catalog.stats_for("R")
+        assert catalog.stats_for("R") is first  # cached
+        catalog.register("R", rel)
+        assert catalog.stats_for("R") is not first
+
+    def test_stats_invalidated_by_insert(self, catalog):
+        before = catalog.stats_for("R")
+        run("INSERT INTO R VALUES ('s3', 'c1', 'b3')", catalog)
+        after = catalog.stats_for("R")
+        assert after is not before
+        assert after.attribute("Club").distinct_atoms == 3
+
+    def test_stats_invalidated_by_delete(self, catalog):
+        run("ANALYZE R", catalog)
+        before = catalog.stats_for("R")
+        run("DELETE FROM R VALUES ('s1', 'c1', 'b1')", catalog)
+        assert catalog.stats_for("R") is not before
+
+    def test_stats_invalidated_by_direct_store_mutation(self, catalog):
+        from repro.relational.tuples import FlatTuple
+
+        store = catalog.store_for("R")
+        before = catalog.stats_for("R")
+        store.insert_flat(
+            FlatTuple(store.schema, ["s9", "c9", "b9"])
+        )
+        assert catalog.stats_for("R") is not before
+
+    def test_analyze_statement_reports(self, catalog):
+        out = run("ANALYZE R", catalog)
+        assert isinstance(out, ExplainResult)
+        assert "ANALYZE R" in out.to_table()
+        assert "AtomIndex" in out.to_table()
+
+
+class TestAccessPaths:
+    @pytest.fixture
+    def big_catalog(self):
+        cat = Catalog()
+        cat.register(
+            "Big",
+            random_relation(["A", "B", "C"], 2000, domain_size=40, seed=7),
+            mode="1nf",
+        )
+        run("ANALYZE Big", cat)
+        return cat
+
+    def test_index_scan_chosen_for_selective_predicate(self, big_catalog):
+        text = run(
+            "EXPLAIN SELECT Big WHERE A = 'a3'", big_catalog
+        ).to_table()
+        assert "IndexScan" in text
+
+    def test_index_scan_reads_fewer_pages(self, big_catalog):
+        physical = plan(
+            parse("SELECT Big WHERE A = 'a3'"), big_catalog
+        )
+        result = physical.execute()
+        idx_pages = physical.root.total_pages_read()
+        heap = plan(
+            parse("SELECT Big WHERE A = 'a3'"),
+            big_catalog,
+            use_index=False,
+        )
+        assert heap.execute() == result
+        heap_pages = heap.root.total_pages_read()
+        assert idx_pages * 5 <= heap_pages
+
+    def test_heap_scan_without_index_flag(self, big_catalog):
+        physical = plan(
+            parse("SELECT Big WHERE A = 'a3'"),
+            big_catalog,
+            use_index=False,
+        )
+        assert isinstance(physical.root, P.HeapScan)
+
+    def test_memory_scan_without_open_store(self, catalog):
+        physical = plan(parse("SELECT R WHERE Club CONTAINS 'b1'"), catalog)
+        assert isinstance(physical.root, P.Filter)
+        assert isinstance(physical.root.child, P.MemoryScan)
+
+    def test_planned_query_records_io(self, big_catalog):
+        big_catalog.last_io = None
+        run("SELECT Big WHERE A = 'a3'", big_catalog)
+        assert big_catalog.last_io is not None
+        assert big_catalog.last_io.page_reads >= 1
+
+
+class TestExplain:
+    def test_explain_shows_plan_without_executing(self, catalog):
+        out = run("EXPLAIN SELECT R WHERE Club CONTAINS 'b1'", catalog)
+        assert isinstance(out, ExplainResult)
+        assert "QUERY PLAN" in out.to_table()
+        assert "actual" not in out.to_table()
+
+    def test_explain_analyze_shows_actuals(self, catalog):
+        run("ANALYZE R", catalog)
+        out = run(
+            "EXPLAIN ANALYZE SELECT R WHERE Club CONTAINS 'b1'", catalog
+        )
+        text = out.to_table()
+        assert "actual rows=" in text
+        assert "total: pages read=" in text
+
+    def test_explain_join_shows_hash_join(self, catalog):
+        text = run("EXPLAIN JOIN R, R", catalog).to_table()
+        assert "HashJoin" in text
+
+
+class TestPlannedEquivalence:
+    def test_paper_fig1(self):
+        cat = Catalog()
+        cat.register(
+            "Enrollment", pe.FIG1_R1, order=["Course", "Club", "Student"]
+        )
+        queries = [
+            "Enrollment",
+            "FLATTEN Enrollment",
+            "SELECT Enrollment WHERE Club CONTAINS 'b1'",
+            "NEST Enrollment BY (Course)",
+            "PROJECT Enrollment ON (Student, Club)",
+            "CANONICAL Enrollment ORDER (Club, Course, Student)",
+            "JOIN Enrollment, Enrollment",
+            "FLATJOIN Enrollment, Enrollment",
+            "UNION Enrollment, Enrollment",
+            "DIFFERENCE Enrollment, Enrollment",
+        ]
+        for q in queries:
+            assert run(q, cat) == evaluate_naive(parse(q), cat), q
+
+    def test_after_analyze_results_match_catalog_entry(self, catalog):
+        run("ANALYZE R", catalog)
+        out = run("SELECT R WHERE Club CONTAINS 'b1'", catalog)
+        naive = evaluate_naive(
+            parse("SELECT R WHERE Club CONTAINS 'b1'"), catalog
+        )
+        assert out == naive
+
+
+class TestHashJoins:
+    def test_nf2_hash_join_matches_naive(self, catalog):
+        from repro.query.evaluator import _nf2_join
+
+        left = catalog.get("R")
+        right = run("NEST R BY (Course)", catalog)
+        assert P.nf2_hash_join(left, right) == _nf2_join(left, right)
+
+    def test_cross_product_when_no_shared(self, catalog):
+        other = Relation.from_rows(["X"], [("x1",), ("x2",)])
+        catalog.register("X", other)
+        out = run("JOIN R, X", catalog)
+        assert out.cardinality == 8
+
+
+class TestParserPositions:
+    def test_error_includes_line_and_column(self):
+        with pytest.raises(ParseError, match=r"line 2, column 3"):
+            parse("SELECT R\n  WITH Club CONTAINS 'b1'")
+
+    def test_lex_error_includes_line_and_column(self):
+        from repro.errors import LexError
+
+        with pytest.raises(LexError, match=r"line 1, column 8"):
+            parse("SELECT ?")
+
+    def test_single_line_error_is_line_one(self):
+        with pytest.raises(ParseError, match=r"line 1"):
+            parse("PROJECT R ON Student")
+
+
+class TestAlgebraExtensions:
+    def test_select_commutes_with_unnest_law(self, catalog):
+        relation = run("NEST R BY (Course)", catalog)
+        p = contains("Club", "b1")
+        assert laws.select_commutes_with_unnest(relation, "Course", p)
+
+    def test_select_idempotent_law(self, catalog):
+        assert laws.select_idempotent(
+            catalog.get("R"), contains("Club", "b1")
+        )
+
+    def test_duplicate_select_collapsed(self, rel):
+        from repro.core.nfr_relation import NFRelation
+
+        nfr = NFRelation.from_1nf(rel)
+        p = contains("Club", "b1")
+        tree = Select(Select(Scan(nfr, "R"), p), p)
+        optimized = optimize(tree)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.source, Scan)

@@ -1,0 +1,168 @@
+"""Property test: planned execution ≡ naive evaluation.
+
+Randomized query trees over synthetic relations
+(:mod:`repro.workloads.synthetic`) must produce exactly the same
+:class:`~repro.core.nfr_relation.NFRelation` whether they are executed
+through the cost-based planner (the default path of
+:func:`repro.query.evaluate`) or by the naive AST interpreter
+(:func:`repro.query.evaluate_naive`).  NFRelations are sets, so
+"same result modulo tuple order" is plain equality.
+
+The catalog state is also randomized: sometimes the relation stays an
+in-memory NFR (MemoryScan plans), sometimes ``ANALYZE`` opens the paged
+store first (HeapScan/IndexScan plans), in either storage mode.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import Catalog, evaluate_naive, parse, run
+from repro.query import ast
+from repro.workloads.synthetic import (
+    product_blocks,
+    random_relation,
+    skewed_relation,
+    with_planted_fd,
+    with_planted_mvd,
+)
+
+ATTRS = ["A", "B", "C"]
+DOMAIN = 5
+
+
+def _base_relation(kind: int, seed: int):
+    if kind == 0:
+        return random_relation(ATTRS, 20, domain_size=DOMAIN, seed=seed)
+    if kind == 1:
+        return with_planted_fd(
+            ATTRS, ["A"], 18, domain_size=DOMAIN, seed=seed
+        )
+    if kind == 2:
+        return with_planted_mvd(
+            ATTRS,
+            ["A"],
+            ["B"],
+            keys=3,
+            group_size=2,
+            complement_size=2,
+            domain_size=DOMAIN,
+            seed=seed,
+        )
+    if kind == 3:
+        return product_blocks(ATTRS, blocks=3, block_side=2, seed=seed)
+    return skewed_relation(ATTRS, 16, domain_size=DOMAIN, seed=seed)
+
+
+# -- query-tree strategies -----------------------------------------------------
+
+_attr = st.sampled_from(ATTRS)
+_value = st.one_of(
+    *[
+        st.sampled_from([f"{a.lower()}{i}" for i in range(DOMAIN + 1)])
+        for a in ATTRS
+    ]
+)
+
+
+def _conditions():
+    contains = st.builds(ast.Contains, _attr, _value)
+    singleton = st.builds(ast.SingletonEquals, _attr, _value)
+    component = st.builds(
+        lambda a, vs: ast.ComponentEquals(a, tuple(vs)),
+        _attr,
+        st.lists(_value, min_size=1, max_size=2),
+    )
+    atom = st.one_of(contains, singleton, component)
+    return st.one_of(atom, st.builds(ast.And, atom, atom))
+
+
+def _schema_preserving(base: st.SearchStrategy) -> st.SearchStrategy:
+    """Expressions whose output schema keeps all three attribute names
+    (so UNION/DIFFERENCE stay well-typed on any pair)."""
+
+    def extend(expr):
+        return st.one_of(
+            st.just(expr),
+            st.builds(ast.Select, st.just(expr), _conditions()),
+            st.builds(
+                lambda e, attrs: ast.Nest(e, tuple(attrs)),
+                st.just(expr),
+                st.lists(_attr, min_size=1, max_size=2, unique=True),
+            ),
+            st.builds(ast.Unnest, st.just(expr), _attr),
+            st.builds(ast.Flatten, st.just(expr)),
+            st.builds(
+                lambda e, order: ast.Canonical(e, tuple(order)),
+                st.just(expr),
+                st.permutations(ATTRS),
+            ),
+        )
+
+    return st.recursive(base, lambda inner: inner.flatmap(extend), max_leaves=4)
+
+
+def _expressions() -> st.SearchStrategy:
+    unary = _schema_preserving(st.just(ast.Name("R")))
+    binary = st.builds(
+        lambda op, left, right: op(left, right),
+        st.sampled_from(
+            [ast.Join, ast.FlatJoin, ast.Union, ast.Difference]
+        ),
+        unary,
+        unary,
+    )
+    topped = st.one_of(unary, binary, _schema_preserving(binary))
+    projected = st.builds(
+        lambda e, attrs: ast.Project(e, tuple(attrs)),
+        topped,
+        st.lists(_attr, min_size=1, max_size=3, unique=True),
+    )
+    return st.one_of(topped, projected)
+
+
+class TestPlannedEqualsNaive:
+    @given(
+        kind=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=50),
+        mode=st.sampled_from(["nfr", "1nf"]),
+        open_store=st.booleans(),
+        expr=_expressions(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence(self, kind, seed, mode, open_store, expr):
+        catalog = Catalog()
+        catalog.register("R", _base_relation(kind, seed), mode=mode)
+        if open_store:
+            run("ANALYZE R", catalog)
+        planned = run_expr_planned(expr, catalog)
+        naive = evaluate_naive(expr, catalog)
+        assert planned == naive
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        open_store=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_after_dml(self, seed, open_store):
+        """Plans stay correct (fresh statistics) across DML."""
+        catalog = Catalog()
+        catalog.register(
+            "R", random_relation(ATTRS, 12, domain_size=4, seed=seed)
+        )
+        if open_store:
+            run("ANALYZE R", catalog)
+        run("INSERT INTO R VALUES ('zz', 'zz', 'zz')", catalog)
+        query = "SELECT R WHERE A CONTAINS 'zz'"
+        assert run(query, catalog) == evaluate_naive(
+            parse(query), catalog
+        )
+        run("DELETE FROM R VALUES ('zz', 'zz', 'zz')", catalog)
+        assert run(query, catalog) == evaluate_naive(
+            parse(query), catalog
+        )
+
+
+def run_expr_planned(expr, catalog):
+    from repro.query import evaluate
+
+    return evaluate(expr, catalog)
