@@ -50,6 +50,19 @@ class NFRTuple:
     # -- constructors --------------------------------------------------------
 
     @classmethod
+    def _unchecked(
+        cls, schema: RelationSchema, components: tuple[ValueSet, ...]
+    ) -> "NFRTuple":
+        """Internal fast path: components are already-validated ValueSets
+        drawn from tuples over the same attributes (projection, reorder,
+        record decode).  Skips per-value domain validation."""
+        t = object.__new__(cls)
+        t._schema = schema
+        t._components = components
+        t._hash = hash((schema.names, components))
+        return t
+
+    @classmethod
     def from_mapping(
         cls,
         schema: RelationSchema,
@@ -63,8 +76,9 @@ class NFRTuple:
     @classmethod
     def from_flat(cls, flat: FlatTuple) -> "NFRTuple":
         """Lift a 1NF tuple to an NFR tuple with singleton components."""
-        return cls(
-            flat.schema, [ValueSet.single(v) for v in flat.values]
+        # FlatTuple validated its values at construction; no need to again.
+        return cls._unchecked(
+            flat.schema, tuple(ValueSet.single(v) for v in flat.values)
         )
 
     # -- access ----------------------------------------------------------------
@@ -160,17 +174,24 @@ class NFRTuple:
         self, name: str, component: ValueSet | Iterable[Any]
     ) -> "NFRTuple":
         idx = self._schema.index_of(name)
-        comps = list(self._components)
-        comps[idx] = component if isinstance(component, ValueSet) else ValueSet(component)
-        return NFRTuple(self._schema, comps)
+        comp = component if isinstance(component, ValueSet) else ValueSet(component)
+        # Only the replaced component needs domain validation; the others
+        # were validated when this tuple was built.
+        attr = self._schema.attributes[idx]
+        for v in comp:
+            attr.validate(v)
+        comps = (
+            self._components[:idx] + (comp,) + self._components[idx + 1 :]
+        )
+        return NFRTuple._unchecked(self._schema, comps)
 
     def project(self, names: Sequence[str]) -> "NFRTuple":
         sub = self._schema.project(names)
-        return NFRTuple(sub, [self[n] for n in sub.names])
+        return NFRTuple._unchecked(sub, tuple(self[n] for n in sub.names))
 
     def reorder(self, names: Sequence[str]) -> "NFRTuple":
         sub = self._schema.reorder(names)
-        return NFRTuple(sub, [self[n] for n in sub.names])
+        return NFRTuple._unchecked(sub, tuple(self[n] for n in sub.names))
 
     def rename(self, mapping: Mapping[str, str]) -> "NFRTuple":
         return NFRTuple(self._schema.rename(mapping), self._components)

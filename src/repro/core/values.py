@@ -22,32 +22,50 @@ class ValueSet:
 
     def __init__(self, values: Iterable[Any]):
         if isinstance(values, ValueSet):
-            vals = values._values
+            # Copying never re-validates: the source already did, and its
+            # hash is reused as-is.
+            self._values = values._values
+            self._hash = values._hash
+            return
+        if is_atomic(values) and not isinstance(values, str):
+            raise NFRError(
+                f"ValueSet expects an iterable of atomics, got {values!r}; "
+                f"wrap single values in a list or use ValueSet.single"
+            )
+        if isinstance(values, str):
+            # A bare string is treated as ONE atomic value, not as its
+            # characters: ValueSet("c1") == ValueSet(["c1"]).
+            vals = frozenset([values])
         else:
-            if is_atomic(values) and not isinstance(values, str):
-                raise NFRError(
-                    f"ValueSet expects an iterable of atomics, got {values!r}; "
-                    f"wrap single values in a list or use ValueSet.single"
-                )
-            if isinstance(values, str):
-                # A bare string is treated as ONE atomic value, not as its
-                # characters: ValueSet("c1") == ValueSet(["c1"]).
-                vals = frozenset([values])
-            else:
-                members = list(values)
-                for v in members:
-                    if not is_atomic(v):
-                        raise NFRError(f"non-atomic value {v!r} in component")
-                vals = frozenset(members)
+            members = list(values)
+            for v in members:
+                if not is_atomic(v):
+                    raise NFRError(f"non-atomic value {v!r} in component")
+            vals = frozenset(members)
         if not vals:
             raise EmptyComponentError("a tuple component cannot be empty")
         self._values = vals
         self._hash = hash(vals)
 
     @classmethod
+    def _from_frozenset(cls, values: frozenset) -> "ValueSet":
+        """Internal fast path: wrap a frozenset whose members are already
+        known to be atomic (they came out of validated ValueSets or out of
+        the record decoder).  Skips per-member validation; the hash is
+        computed once here and cached like in ``__init__``."""
+        if not values:
+            raise EmptyComponentError("a tuple component cannot be empty")
+        self = object.__new__(cls)
+        self._values = values
+        self._hash = hash(values)
+        return self
+
+    @classmethod
     def single(cls, value: Any) -> "ValueSet":
         """The singleton component {value}."""
-        return cls([value])
+        if not is_atomic(value):
+            raise NFRError(f"non-atomic value {value!r} in component")
+        return cls._from_frozenset(frozenset((value,)))
 
     # -- set protocol -----------------------------------------------------------
 
@@ -76,8 +94,16 @@ class ValueSet:
         return next(iter(self._values))
 
     def union(self, other: "ValueSet | Iterable[Any]") -> "ValueSet":
-        other_vals = other._values if isinstance(other, ValueSet) else frozenset(other)
-        return ValueSet(self._values | other_vals)
+        if isinstance(other, ValueSet):
+            merged = self._values | other._values
+            if merged == self._values:
+                return self
+            return ValueSet._from_frozenset(merged)
+        extra = frozenset(other)
+        for v in extra:
+            if not is_atomic(v):
+                raise NFRError(f"non-atomic value {v!r} in component")
+        return ValueSet._from_frozenset(self._values | extra)
 
     def without(self, value: Any) -> "ValueSet":
         """Component minus one value; raises if absent or if it would
@@ -89,14 +115,14 @@ class ValueSet:
             raise EmptyComponentError(
                 f"removing {value!r} would empty the component"
             )
-        return ValueSet(rest)
+        return ValueSet._from_frozenset(rest)
 
     def difference(self, other: "ValueSet | Iterable[Any]") -> "ValueSet":
         other_vals = other._values if isinstance(other, ValueSet) else frozenset(other)
         rest = self._values - other_vals
         if not rest:
             raise EmptyComponentError("difference would empty the component")
-        return ValueSet(rest)
+        return ValueSet._from_frozenset(rest)
 
     def issubset(self, other: "ValueSet") -> bool:
         return self._values <= other._values
@@ -110,6 +136,8 @@ class ValueSet:
     # -- comparisons ------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if isinstance(other, ValueSet):
             return self._values == other._values
         return NotImplemented

@@ -85,11 +85,19 @@ def memory_scan_cost(stats: RelationStats | None) -> CostEstimate:
     return CostEstimate(rows=rows, cost=rows * TUPLE_CPU_COST, pages=0.0)
 
 
-def heap_scan_cost(stats: RelationStats) -> CostEstimate:
-    """Full heap scan: every page read, every record visited."""
+def heap_scan_cost(
+    stats: RelationStats, decode_fraction: float = 1.0
+) -> CostEstimate:
+    """Full heap scan: every page read, every record visited.
+
+    ``decode_fraction`` discounts the per-record CPU charge when the
+    scan skip-decodes only part of each record (needed attributes /
+    degree); page reads are unaffected — pages are read whole.
+    """
     return CostEstimate(
         rows=float(stats.tuple_count),
-        cost=stats.pages * PAGE_READ_COST + stats.records * RECORD_COST,
+        cost=stats.pages * PAGE_READ_COST
+        + stats.records * RECORD_COST * decode_fraction,
         pages=float(stats.pages),
     )
 
@@ -98,12 +106,14 @@ def index_scan_cost(
     stats: RelationStats,
     conjuncts: tuple[ast.Condition, ...],
     probes: int,
+    decode_fraction: float = 1.0,
 ) -> CostEstimate:
     """Index probe + candidate-page reads + residual recheck.
 
     Matching records may each live on a distinct page, so the page
     estimate is ``min(pages, expected matches)`` — the pessimistic
-    uniform-placement bound.
+    uniform-placement bound.  ``decode_fraction`` discounts the
+    per-record decode charge as in :func:`heap_scan_cost`.
     """
     sel = conjunct_selectivity(conjuncts, stats)
     matches = sel * stats.records
@@ -111,7 +121,7 @@ def index_scan_cost(
     cost = (
         probes * INDEX_LOOKUP_COST
         + pages * PAGE_READ_COST
-        + matches * RECORD_COST
+        + matches * RECORD_COST * decode_fraction
     )
     return CostEstimate(rows=sel * stats.tuple_count, cost=cost, pages=pages)
 

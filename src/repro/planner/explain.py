@@ -38,7 +38,8 @@ def render_plan(root: PhysicalOp, analyze: bool = False) -> str:
     if analyze:
         lines.append(
             f"total: pages read={root.total_pages_read()}, "
-            f"index lookups={root.total_index_lookups()}"
+            f"index lookups={root.total_index_lookups()}, "
+            f"bytes decoded={root.total_bytes_decoded()}"
         )
     return "\n".join(lines)
 
@@ -55,6 +56,8 @@ def _render(
             parts.append(f"pages read={op.actual_pages}")
         if op.actual_index_lookups:
             parts.append(f"index lookups={op.actual_index_lookups}")
+        if op.actual_bytes_decoded is not None:
+            parts.append(f"bytes decoded={op.actual_bytes_decoded}")
     prefix = "  " * depth + ("-> " if depth else "")
     lines.append(f"{prefix}{op.describe()} ({', '.join(parts)})")
     for child in op.children():

@@ -1,10 +1,25 @@
-"""Physical operators for the NF2 planner.
+"""Physical operators for the NF2 planner: a streaming batch executor.
 
-Each operator materialises an
-:class:`~repro.core.nfr_relation.NFRelation` and records what actually
-happened (rows produced, pages read, index probes) next to the
-planner's estimates, so ``EXPLAIN ANALYZE`` can show estimated vs
-actual side by side.
+Operators execute batch-at-a-time through :meth:`PhysicalOp.iter_batches`
+— lists of at most :data:`BATCH_SIZE` tuples — so a
+select→unnest→project pipeline holds one batch per operator instead of
+materialising a full :class:`~repro.core.nfr_relation.NFRelation` at
+every step.  :meth:`PhysicalOp.execute` is the thin materialising
+wrapper the evaluator and ``EXPLAIN ANALYZE`` consume; its result is
+identical to operator-at-a-time evaluation (NFRelations are sets, so
+duplicates produced mid-stream collapse at materialisation).
+
+Streaming operators (:class:`MemoryScan`, :class:`HeapScan`,
+:class:`IndexScan`, :class:`Filter`, :class:`ProjectOp`,
+:class:`UnnestOp`, :class:`FlattenOp`) pipeline their input batches.
+Blocking operators (:class:`NestOp`, :class:`CanonicalOp`, the joins
+and set operators) consume their children's batches at the barrier —
+the child still streams, the barrier materialises.
+
+Each operator records what actually happened (rows produced, pages
+read, index probes, record bytes decoded) next to the planner's
+estimates, so ``EXPLAIN ANALYZE`` can show estimated vs actual side by
+side.
 
 Access paths:
 
@@ -16,6 +31,12 @@ Access paths:
   predicate (equality conditions need the residual check; CONTAINS
   probes are exact).
 
+Both scans accept a ``needed`` attribute set pushed down by the
+planner: the store's skip-decoder then materialises only those
+components (``bytes_decoded`` in
+:class:`~repro.storage.engine.ScanStats` measures the saving) and the
+scan's output tuples live on the projected sub-schema.
+
 Joins are hash-based: :class:`HashJoin` buckets the smaller input on
 the shared component sets (set-equality is the Jaeschke-Schek join
 condition, so whole :class:`~repro.core.values.ValueSet` components are
@@ -26,36 +47,84 @@ one build pass and one probe pass.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.canonical import canonical_form
-from repro.core.nest import nest_sequence, unnest, unnest_fully
+from repro.core.nest import nest_sequence
 from repro.core.nfr_relation import NFRelation
 from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
 from repro.nf2_algebra.operators import ComponentPredicate
 from repro.planner.cost import CostEstimate
 from repro.relational.algebra import difference, natural_join
 from repro.relational.schema import RelationSchema
 from repro.storage.engine import NFRStore
 
+#: Tuples per streamed batch.  Small enough that a pipeline's working
+#: set stays a few hundred tuples regardless of input cardinality,
+#: large enough to amortise per-batch overhead.
+BATCH_SIZE = 256
+
+Batch = list[NFRTuple]
+
 
 class PhysicalOp:
     """Base class: estimated numbers at plan time, actuals after
-    :meth:`execute`."""
+    :meth:`execute` (or after a stream is exhausted)."""
 
     def __init__(self, est: CostEstimate):
         self.est = est
         self.actual_rows: int | None = None
         self.actual_pages: int | None = None
         self.actual_index_lookups: int | None = None
+        self.actual_bytes_decoded: int | None = None
+        #: Stream instrumentation: batches yielded and the largest batch
+        #: ever held (the per-operator peak working set).
+        self.batches_emitted = 0
+        self.peak_batch_tuples = 0
+
+    # -- execution protocol ----------------------------------------------------
 
     def execute(self) -> NFRelation:
-        result = self._run()
+        """Materialise the full result (thin wrapper over the stream)."""
+        result = self._materialize()
         self.actual_rows = result.cardinality
         return result
 
+    def iter_batches(self) -> Iterator[Batch]:
+        """Stream the result as batches of at most :data:`BATCH_SIZE`
+        tuples.  Blocking operators materialise here (the barrier) and
+        chunk; streaming operators override this to pipeline."""
+        result = self._materialize()
+        self.actual_rows = result.cardinality
+        yield from self._chunk(result)
+
+    def _materialize(self) -> NFRelation:
+        return self._run()
+
     def _run(self) -> NFRelation:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def output_schema(self) -> RelationSchema:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _chunk(self, tuples: Iterable[NFRTuple]) -> Iterator[Batch]:
+        batch: Batch = []
+        for t in tuples:
+            batch.append(t)
+            if len(batch) >= BATCH_SIZE:
+                yield self._note(batch)
+                batch = []
+        if batch:
+            yield self._note(batch)
+
+    def _note(self, batch: Batch) -> Batch:
+        self.batches_emitted += 1
+        if len(batch) > self.peak_batch_tuples:
+            self.peak_batch_tuples = len(batch)
+        return batch
+
+    # -- tree plumbing ---------------------------------------------------------
 
     def children(self) -> tuple["PhysicalOp", ...]:
         return ()
@@ -72,11 +141,43 @@ class PhysicalOp:
         own = self.actual_index_lookups or 0
         return own + sum(c.total_index_lookups() for c in self.children())
 
+    def total_bytes_decoded(self) -> int:
+        own = self.actual_bytes_decoded or 0
+        return own + sum(c.total_bytes_decoded() for c in self.children())
+
+
+class StreamingOp(PhysicalOp):
+    """An operator that produces its result via a true batch stream;
+    materialisation collects the stream."""
+
+    def _materialize(self) -> NFRelation:
+        out: list[NFRTuple] = []
+        for batch in self.iter_batches():
+            out.extend(batch)
+        return NFRelation(self.output_schema(), out)
+
+    def iter_batches(self) -> Iterator[Batch]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _rebatch(
+        self, pieces: Iterable[Sequence[NFRTuple]]
+    ) -> Iterator[Batch]:
+        """Flatten per-tuple expansions into batches of exactly
+        :data:`BATCH_SIZE` (the last one may be short)."""
+        batch: Batch = []
+        for piece in pieces:
+            batch.extend(piece)
+            while len(batch) >= BATCH_SIZE:
+                yield self._note(batch[:BATCH_SIZE])
+                batch = batch[BATCH_SIZE:]
+        if batch:
+            yield self._note(batch)
+
 
 # -- access paths --------------------------------------------------------------
 
 
-class MemoryScan(PhysicalOp):
+class MemoryScan(StreamingOp):
     """Scan the catalog's in-memory NFR (no page I/O)."""
 
     def __init__(self, relation: NFRelation, name: str, est: CostEstimate):
@@ -84,15 +185,99 @@ class MemoryScan(PhysicalOp):
         self.relation = relation
         self.name = name
 
-    def _run(self) -> NFRelation:
+    def output_schema(self) -> RelationSchema:
+        return self.relation.schema
+
+    def _materialize(self) -> NFRelation:
+        # The relation is already materialised — no need to rebuild it
+        # from our own batch stream.
         return self.relation
+
+    def iter_batches(self) -> Iterator[Batch]:
+        rows = 0
+        for batch in self._chunk(self.relation):
+            rows += len(batch)
+            yield batch
+        self.actual_rows = rows
 
     def describe(self) -> str:
         return f"MemoryScan {self.name}"
 
 
-class HeapScan(PhysicalOp):
-    """Full scan of the paged store, optionally filtering in-line."""
+def _decode_note(needed: tuple[str, ...] | None) -> str:
+    if not needed:
+        return ""
+    return f" decode({', '.join(needed)})"
+
+
+class _StoreScan(StreamingOp):
+    """Shared machinery for the two paged access paths: stream the
+    store, filter inline, batch, and account I/O.
+
+    The store's counters are cumulative and shared, so the window is
+    opened and closed around each batch *assembly* — the only span
+    where this scan holds control.  I/O performed by another stream
+    while this one is suspended at a ``yield`` therefore never lands in
+    this scan's actuals, even when two streams over the same store are
+    consumed interleaved."""
+
+    def __init__(
+        self,
+        store: NFRStore,
+        name: str,
+        est: CostEstimate,
+        predicate: ComponentPredicate | None,
+        needed: tuple[str, ...] | None,
+    ):
+        super().__init__(est)
+        self.store = store
+        self.name = name
+        self.predicate = predicate
+        self.needed = needed
+        self._schema = (
+            store.schema.project(list(needed)) if needed else store.schema
+        )
+
+    def output_schema(self) -> RelationSchema:
+        return self._schema
+
+    def _stream(self) -> Iterator[NFRTuple]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def iter_batches(self) -> Iterator[Batch]:
+        store = self.store
+        predicate = self.predicate
+        stream = self._stream()
+        pages = visits = lookups = nbytes = rows = 0
+        exhausted = False
+        while not exhausted:
+            before = store.stats_window()
+            batch: Batch = []
+            while len(batch) < BATCH_SIZE:
+                try:
+                    t = next(stream)
+                except StopIteration:
+                    exhausted = True
+                    break
+                if predicate is None or predicate(t):
+                    batch.append(t)
+            after = store.stats_window()
+            pages += after[0] - before[0]
+            visits += after[1] - before[1]
+            lookups += after[2] - before[2]
+            nbytes += after[3] - before[3]
+            if batch:
+                rows += len(batch)
+                yield self._note(batch)
+        self.actual_rows = rows
+        self.actual_pages = pages
+        self.actual_index_lookups = lookups
+        self.actual_bytes_decoded = nbytes
+
+
+class HeapScan(_StoreScan):
+    """Full scan of the paged store, optionally filtering in-line and
+    skip-decoding only the ``needed`` attributes."""
 
     def __init__(
         self,
@@ -100,27 +285,23 @@ class HeapScan(PhysicalOp):
         name: str,
         est: CostEstimate,
         predicate: ComponentPredicate | None = None,
+        needed: tuple[str, ...] | None = None,
     ):
-        super().__init__(est)
-        self.store = store
-        self.name = name
-        self.predicate = predicate
+        super().__init__(store, name, est, predicate, needed)
 
-    def _run(self) -> NFRelation:
-        tuples, stats = self.store.scan_tuples()
-        self.actual_pages = stats.page_reads
-        self.actual_index_lookups = 0
-        if self.predicate is not None:
-            tuples = [t for t in tuples if self.predicate(t)]
-        return NFRelation(self.store.schema, tuples)
+    def _stream(self) -> Iterator[NFRTuple]:
+        return self.store.stream_scan(self.needed)
 
     def describe(self) -> str:
+        note = _decode_note(self.needed)
         if self.predicate is not None:
-            return f"HeapScan {self.name} [{self.predicate.description}]"
-        return f"HeapScan {self.name}"
+            return (
+                f"HeapScan {self.name} [{self.predicate.description}]{note}"
+            )
+        return f"HeapScan {self.name}{note}"
 
 
-class IndexScan(PhysicalOp):
+class IndexScan(_StoreScan):
     """AtomIndex candidate probes + residual predicate recheck."""
 
     def __init__(
@@ -130,27 +311,19 @@ class IndexScan(PhysicalOp):
         atoms: Sequence[tuple[str, Any]],
         predicate: ComponentPredicate,
         est: CostEstimate,
+        needed: tuple[str, ...] | None = None,
     ):
-        super().__init__(est)
-        self.store = store
-        self.name = name
+        super().__init__(store, name, est, predicate, needed)
         self.atoms = list(atoms)
-        self.predicate = predicate
 
-    def _run(self) -> NFRelation:
-        candidates, stats = self.store.probe_tuples(self.atoms)
-        self.actual_pages = stats.page_reads
-        self.actual_index_lookups = stats.index_lookups
-        return NFRelation(
-            self.store.schema,
-            (t for t in candidates if self.predicate(t)),
-        )
+    def _stream(self) -> Iterator[NFRTuple]:
+        return self.store.stream_probe(self.atoms, self.needed)
 
     def describe(self) -> str:
         probes = ", ".join(f"{a}∋{v!r}" for a, v in self.atoms)
         return (
             f"IndexScan {self.name} via AtomIndex({probes}) "
-            f"[{self.predicate.description}]"
+            f"[{self.predicate.description}]{_decode_note(self.needed)}"
         )
 
 
@@ -161,17 +334,20 @@ class EmptyResult(PhysicalOp):
         super().__init__(CostEstimate(rows=0.0, cost=0.0))
         self.names = names
 
+    def output_schema(self) -> RelationSchema:
+        return RelationSchema(list(self.names))
+
     def _run(self) -> NFRelation:
-        return NFRelation(RelationSchema(list(self.names)))
+        return NFRelation(self.output_schema())
 
     def describe(self) -> str:
         return "EmptyResult [contradictory predicate]"
 
 
-# -- tuple-at-a-time operators -------------------------------------------------
+# -- streaming tuple operators -------------------------------------------------
 
 
-class Filter(PhysicalOp):
+class Filter(StreamingOp):
     def __init__(
         self,
         child: PhysicalOp,
@@ -182,11 +358,18 @@ class Filter(PhysicalOp):
         self.child = child
         self.predicate = predicate
 
-    def _run(self) -> NFRelation:
-        src = self.child.execute()
-        return NFRelation(
-            src.schema, (t for t in src if self.predicate(t))
-        )
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
+    def iter_batches(self) -> Iterator[Batch]:
+        predicate = self.predicate
+        rows = 0
+        for batch in self.child.iter_batches():
+            kept = [t for t in batch if predicate(t)]
+            if kept:
+                rows += len(kept)
+                yield self._note(kept)
+        self.actual_rows = rows
 
     def children(self):
         return (self.child,)
@@ -195,7 +378,7 @@ class Filter(PhysicalOp):
         return f"Filter [{self.predicate.description}]"
 
 
-class ProjectOp(PhysicalOp):
+class ProjectOp(StreamingOp):
     def __init__(
         self,
         child: PhysicalOp,
@@ -206,10 +389,20 @@ class ProjectOp(PhysicalOp):
         self.child = child
         self.attributes = attributes
 
-    def _run(self) -> NFRelation:
-        src = self.child.execute()
-        sub = src.schema.project(list(self.attributes))
-        return NFRelation(sub, (t.project(sub.names) for t in src))
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema().project(list(self.attributes))
+
+    def iter_batches(self) -> Iterator[Batch]:
+        names = self.output_schema().names
+        rows = 0
+        for batch in self.child.iter_batches():
+            # Dedupe within the batch (cross-batch duplicates collapse at
+            # the next barrier or at materialisation — set semantics).
+            out = list(dict.fromkeys(t.project(names) for t in batch))
+            if out:
+                rows += len(out)
+                yield self._note(out)
+        self.actual_rows = rows
 
     def children(self):
         return (self.child,)
@@ -218,7 +411,86 @@ class ProjectOp(PhysicalOp):
         return f"Project [{', '.join(self.attributes)}]"
 
 
+class UnnestOp(StreamingOp):
+    def __init__(
+        self, child: PhysicalOp, attribute: str, est: CostEstimate
+    ):
+        super().__init__(est)
+        self.child = child
+        self.attribute = attribute
+
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
+    def iter_batches(self) -> Iterator[Batch]:
+        attribute = self.attribute
+        self.output_schema().require([attribute])
+
+        def expansions() -> Iterator[Sequence[NFRTuple]]:
+            for child_batch in self.child.iter_batches():
+                for t in child_batch:
+                    comp = t[attribute]
+                    if comp.is_singleton:
+                        yield (t,)
+                    else:
+                        yield tuple(
+                            t.with_component(attribute, ValueSet.single(v))
+                            for v in comp
+                        )
+
+        rows = 0
+        for batch in self._rebatch(expansions()):
+            rows += len(batch)
+            yield batch
+        self.actual_rows = rows
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Unnest [{self.attribute}]"
+
+
+class FlattenOp(StreamingOp):
+    """Unnest every attribute — per-tuple Cartesian expansion, streamed."""
+
+    def __init__(self, child: PhysicalOp, est: CostEstimate):
+        super().__init__(est)
+        self.child = child
+
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
+    def iter_batches(self) -> Iterator[Batch]:
+        def expansions() -> Iterator[Sequence[NFRTuple]]:
+            for child_batch in self.child.iter_batches():
+                for t in child_batch:
+                    if t.is_all_singleton():
+                        yield (t,)
+                    else:
+                        yield tuple(
+                            NFRTuple.from_flat(flat) for flat in t.flats()
+                        )
+
+        rows = 0
+        for batch in self._rebatch(expansions()):
+            rows += len(batch)
+            yield batch
+        self.actual_rows = rows
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Flatten"
+
+
+# -- blocking tuple operators --------------------------------------------------
+
+
 class NestOp(PhysicalOp):
+    """Grouping barrier: consumes the child's batches, then nests."""
+
     def __init__(
         self,
         child: PhysicalOp,
@@ -228,6 +500,9 @@ class NestOp(PhysicalOp):
         super().__init__(est)
         self.child = child
         self.attributes = attributes
+
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
 
     def _run(self) -> NFRelation:
         src = self.child.execute()
@@ -241,24 +516,6 @@ class NestOp(PhysicalOp):
         return f"Nest [{', '.join(self.attributes)}]"
 
 
-class UnnestOp(PhysicalOp):
-    def __init__(
-        self, child: PhysicalOp, attribute: str, est: CostEstimate
-    ):
-        super().__init__(est)
-        self.child = child
-        self.attribute = attribute
-
-    def _run(self) -> NFRelation:
-        return unnest(self.child.execute(), self.attribute)
-
-    def children(self):
-        return (self.child,)
-
-    def describe(self) -> str:
-        return f"Unnest [{self.attribute}]"
-
-
 class CanonicalOp(PhysicalOp):
     def __init__(
         self,
@@ -270,6 +527,9 @@ class CanonicalOp(PhysicalOp):
         self.child = child
         self.order = order
 
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
     def _run(self) -> NFRelation:
         return canonical_form(
             self.child.execute().to_1nf(), list(self.order)
@@ -280,21 +540,6 @@ class CanonicalOp(PhysicalOp):
 
     def describe(self) -> str:
         return f"Canonical [{', '.join(self.order)}]"
-
-
-class FlattenOp(PhysicalOp):
-    def __init__(self, child: PhysicalOp, est: CostEstimate):
-        super().__init__(est)
-        self.child = child
-
-    def _run(self) -> NFRelation:
-        return unnest_fully(self.child.execute())
-
-    def children(self):
-        return (self.child,)
-
-    def describe(self) -> str:
-        return "Flatten"
 
 
 # -- joins and set operators ---------------------------------------------------
@@ -336,8 +581,8 @@ def nf2_hash_join(left: NFRelation, right: NFRelation) -> NFRelation:
     return NFRelation(schema, out)
 
 
-class HashJoin(PhysicalOp):
-    """NF2 natural join (shared components set-equal), hash-based."""
+class _JoinOp(PhysicalOp):
+    """Shared schema derivation for the two hash joins."""
 
     def __init__(
         self, left: PhysicalOp, right: PhysicalOp, est: CostEstimate
@@ -346,35 +591,35 @@ class HashJoin(PhysicalOp):
         self.left = left
         self.right = right
 
-    def _run(self) -> NFRelation:
-        return nf2_hash_join(self.left.execute(), self.right.execute())
+    def output_schema(self) -> RelationSchema:
+        ls = self.left.output_schema()
+        rs = self.right.output_schema()
+        right_only = [n for n in rs.names if n not in ls.names]
+        return ls.concat(rs.project(right_only)) if right_only else ls
 
     def children(self):
         return (self.left, self.right)
+
+
+class HashJoin(_JoinOp):
+    """NF2 natural join (shared components set-equal), hash-based."""
+
+    def _run(self) -> NFRelation:
+        return nf2_hash_join(self.left.execute(), self.right.execute())
 
     def describe(self) -> str:
         return "HashJoin [nf2-natural, set-equal components]"
 
 
-class FlatHashJoin(PhysicalOp):
+class FlatHashJoin(_JoinOp):
     """Natural join of the underlying R*s (hash join on shared atomic
     keys), returned in all-singleton form."""
-
-    def __init__(
-        self, left: PhysicalOp, right: PhysicalOp, est: CostEstimate
-    ):
-        super().__init__(est)
-        self.left = left
-        self.right = right
 
     def _run(self) -> NFRelation:
         joined = natural_join(
             self.left.execute().to_1nf(), self.right.execute().to_1nf()
         )
         return NFRelation.from_1nf(joined)
-
-    def children(self):
-        return (self.left, self.right)
 
     def describe(self) -> str:
         return "FlatHashJoin [1nf-natural, atomic keys]"
@@ -387,6 +632,9 @@ class UnionOp(PhysicalOp):
         super().__init__(est)
         self.left = left
         self.right = right
+
+    def output_schema(self) -> RelationSchema:
+        return self.left.output_schema()
 
     def _run(self) -> NFRelation:
         lhs = self.left.execute()
@@ -407,6 +655,9 @@ class DifferenceOp(PhysicalOp):
         super().__init__(est)
         self.left = left
         self.right = right
+
+    def output_schema(self) -> RelationSchema:
+        return self.left.output_schema()
 
     def _run(self) -> NFRelation:
         lhs = self.left.execute()

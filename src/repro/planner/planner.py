@@ -63,6 +63,7 @@ class PhysicalPlan:
             records_visited=0,
             flats_produced=0,
             index_lookups=self.root.total_index_lookups(),
+            bytes_decoded=self.root.total_bytes_decoded(),
         )
 
 
@@ -116,20 +117,13 @@ class _Builder:
         if isinstance(node, L.LSelect) and isinstance(node.source, L.LScan):
             return self._scan(node.source.name, node.conjuncts)
         if isinstance(node, L.LSelect):
-            child = self.build(node.source)
-            predicate = L.compile_conjuncts(node.conjuncts)
-            sel = costs.conjunct_selectivity(
-                node.conjuncts, self._subtree_stats(node.source)
-            )
-            est = costs.CostEstimate(
-                rows=child.est.rows * sel,
-                cost=child.est.cost
-                + child.est.rows * costs.TUPLE_CPU_COST,
-                pages=child.est.pages,
-            )
-            return P.Filter(child, predicate, est)
+            return self._filter_op(node, self.build(node.source))
         if isinstance(node, L.LProject):
-            child = self.build(node.source)
+            # A projection narrows what the scans below need to decode:
+            # push the needed-attribute set down the streaming chain.
+            child = self._build_narrowed(
+                node.source, frozenset(node.attributes)
+            )
             est = costs.CostEstimate(
                 rows=child.est.rows,
                 cost=child.est.cost
@@ -152,21 +146,7 @@ class _Builder:
             )
             return P.NestOp(child, node.attributes, est)
         if isinstance(node, L.LUnnest):
-            child = self.build(node.source)
-            stats = self._subtree_stats(node.source)
-            attr = (
-                stats.attribute(node.attribute)
-                if stats is not None
-                else None
-            )
-            factor = max(attr.avg_set_size, 1.0) if attr else 2.0
-            est = costs.CostEstimate(
-                rows=child.est.rows * factor,
-                cost=child.est.cost
-                + child.est.rows * factor * costs.TUPLE_CPU_COST,
-                pages=child.est.pages,
-            )
-            return P.UnnestOp(child, node.attribute, est)
+            return self._unnest_op(node, self.build(node.source))
         if isinstance(node, L.LCanonical):
             child = self.build(node.source)
             stats = self._subtree_stats(node.source)
@@ -240,15 +220,86 @@ class _Builder:
             return op(left, right, est)
         raise PlanError(f"unknown logical node {node!r}")
 
+    # -- streaming-chain helpers -----------------------------------------------
+
+    def _build_narrowed(
+        self, node: L.LogicalPlan, needed: frozenset[str]
+    ) -> P.PhysicalOp:
+        """Build ``node`` knowing only ``needed`` attributes survive the
+        projection above: the set widens through selects (predicate
+        touches) and unnests (the unnested attribute) and lands on the
+        scan, where it drives the skip-decoder.  Operators that read
+        every attribute (nest, canonical, joins, set ops) fall back to
+        the full build."""
+        if isinstance(node, L.LScan):
+            return self._scan(node.name, (), needed=needed)
+        if isinstance(node, L.LSelect):
+            widened = needed
+            for c in node.conjuncts:
+                widened |= L.condition_touches(c)
+            if isinstance(node.source, L.LScan):
+                return self._scan(
+                    node.source.name, node.conjuncts, needed=widened
+                )
+            return self._filter_op(
+                node, self._build_narrowed(node.source, widened)
+            )
+        if isinstance(node, L.LUnnest):
+            child = self._build_narrowed(
+                node.source, needed | {node.attribute}
+            )
+            return self._unnest_op(node, child)
+        return self.build(node)
+
+    def _filter_op(self, node: L.LSelect, child: P.PhysicalOp) -> P.Filter:
+        predicate = L.compile_conjuncts(node.conjuncts)
+        sel = costs.conjunct_selectivity(
+            node.conjuncts, self._subtree_stats(node.source)
+        )
+        est = costs.CostEstimate(
+            rows=child.est.rows * sel,
+            cost=child.est.cost + child.est.rows * costs.TUPLE_CPU_COST,
+            pages=child.est.pages,
+        )
+        return P.Filter(child, predicate, est)
+
+    def _unnest_op(
+        self, node: L.LUnnest, child: P.PhysicalOp
+    ) -> P.UnnestOp:
+        stats = self._subtree_stats(node.source)
+        attr = (
+            stats.attribute(node.attribute) if stats is not None else None
+        )
+        factor = max(attr.avg_set_size, 1.0) if attr else 2.0
+        est = costs.CostEstimate(
+            rows=child.est.rows * factor,
+            cost=child.est.cost
+            + child.est.rows * factor * costs.TUPLE_CPU_COST,
+            pages=child.est.pages,
+        )
+        return P.UnnestOp(child, node.attribute, est)
+
     # -- access-path selection -------------------------------------------------
 
     def _scan(
-        self, name: str, conjuncts: tuple["ast.Condition", ...]
+        self,
+        name: str,
+        conjuncts: tuple["ast.Condition", ...],
+        needed: frozenset[str] | None = None,
     ) -> P.PhysicalOp:
         store = self.catalog.store_if_open(name)
         predicate = (
             L.compile_conjuncts(conjuncts) if conjuncts else None
         )
+        decode: tuple[str, ...] | None = None
+        decode_fraction = 1.0
+        if store is not None and needed is not None:
+            ordered = tuple(
+                n for n in store.schema.names if n in needed
+            )
+            if 0 < len(ordered) < store.schema.degree:
+                decode = ordered
+                decode_fraction = len(ordered) / store.schema.degree
 
         if predicate is None:
             # No access-path decision to make: don't pay for (or
@@ -271,9 +322,10 @@ class _Builder:
                 costs.CostEstimate(
                     rows=float(records),
                     cost=pages * costs.PAGE_READ_COST
-                    + records * costs.RECORD_COST,
+                    + records * costs.RECORD_COST * decode_fraction,
                     pages=float(pages),
                 ),
+                needed=decode,
             )
 
         stats = self.catalog.stats_for(name)
@@ -287,7 +339,7 @@ class _Builder:
             scan = P.MemoryScan(relation, name, base)
             return P.Filter(scan, predicate, est)
 
-        heap_est = costs.heap_scan_cost(stats)
+        heap_est = costs.heap_scan_cost(stats, decode_fraction)
         index_allowed = (
             store.index is not None
             and conjuncts
@@ -297,10 +349,14 @@ class _Builder:
             atoms: list[tuple[str, object]] = []
             for c in conjuncts:
                 atoms.extend(L.indexable_atoms(c))
-            idx_est = costs.index_scan_cost(stats, conjuncts, len(atoms))
+            idx_est = costs.index_scan_cost(
+                stats, conjuncts, len(atoms), decode_fraction
+            )
             if self.use_index or idx_est.cost < heap_est.cost:
                 assert predicate is not None
-                return P.IndexScan(store, name, atoms, predicate, idx_est)
+                return P.IndexScan(
+                    store, name, atoms, predicate, idx_est, needed=decode
+                )
 
         if predicate is not None:
             sel = costs.conjunct_selectivity(conjuncts, stats)
@@ -309,8 +365,10 @@ class _Builder:
                 cost=heap_est.cost,
                 pages=heap_est.pages,
             )
-            return P.HeapScan(store, name, est, predicate=predicate)
-        return P.HeapScan(store, name, heap_est)
+            return P.HeapScan(
+                store, name, est, predicate=predicate, needed=decode
+            )
+        return P.HeapScan(store, name, heap_est, needed=decode)
 
     # -- statistics plumbing ---------------------------------------------------
 

@@ -18,10 +18,16 @@ See :mod:`repro.query.parser` for the grammar and
 """
 
 from repro.query.catalog import Catalog
-from repro.query.evaluator import evaluate, evaluate_naive
+from repro.query.evaluator import evaluate, evaluate_naive, evaluate_stream
 from repro.query.parser import parse
 
-__all__ = ["Catalog", "parse", "evaluate", "evaluate_naive"]
+__all__ = [
+    "Catalog",
+    "parse",
+    "evaluate",
+    "evaluate_naive",
+    "evaluate_stream",
+]
 
 
 def run(text: str, catalog: "Catalog"):

@@ -79,6 +79,30 @@ def evaluate_naive(node: ast.Node, catalog: Catalog) -> NFRelation:
     raise EvaluationError(f"cannot evaluate node {node!r}")
 
 
+def evaluate_stream(node: ast.Expression, catalog: Catalog):
+    """Plan an expression and stream its result as batches of NFR
+    tuples (lists of at most
+    :data:`~repro.planner.physical.BATCH_SIZE`), without materialising
+    the full relation in the executor.  Duplicates may appear across
+    batches where a streamed operator (project, unnest) would have
+    collapsed them under set semantics; consumers that need exact set
+    results should deduplicate — or use :func:`evaluate`, which does.
+    I/O accounting lands in ``catalog.last_io`` when the stream is
+    exhausted.  Streams read live storage: finish or discard them
+    before vacuuming the stores they scan."""
+    # Imported lazily: the planner subsystem itself imports query.ast,
+    # so a module-level import here would be circular.
+    from repro.planner import plan
+
+    if not isinstance(node, ast.Expression):
+        raise EvaluationError(f"cannot stream node {node!r}")
+    physical = plan(node, catalog)
+    yield from physical.root.iter_batches()
+    io = physical.scan_stats()
+    if io.page_reads or io.index_lookups:
+        catalog.last_io = io
+
+
 def _run_planned(node: ast.Expression, catalog: Catalog) -> NFRelation:
     # Imported lazily: the planner subsystem itself imports query.ast,
     # so a module-level import here would be circular.

@@ -17,7 +17,7 @@ Type tags: 0 = str (utf-8), 1 = int (signed 8-byte), 2 = float (repr),
 from __future__ import annotations
 
 import struct
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.core.nfr_tuple import NFRTuple
 from repro.core.values import ValueSet
@@ -103,6 +103,51 @@ def decode_components(data: bytes, degree: int) -> list[list[Any]]:
             f"trailing bytes in record ({len(data) - offset} unread)"
         )
     return components
+
+
+def _skip_value(data: bytes, offset: int) -> int:
+    """Advance past one encoded value without materialising it."""
+    (length,) = struct.unpack_from(">I", data, offset + 1)
+    return offset + 5 + length
+
+
+def decode_components_partial(
+    data: bytes, degree: int, needed: Iterable[int]
+) -> tuple[list[list[Any] | None], int]:
+    """Skip-decode: materialise only the components whose index is in
+    ``needed``; the rest are skipped by walking the ``u16 value_count``
+    and per-value ``u32 byte_length`` prefixes (no payload is touched)
+    and come back as ``None``.
+
+    Returns ``(components, bytes_decoded)`` where ``bytes_decoded``
+    counts the byte span of the materialised components (their count
+    header plus every value header and payload).  With every index
+    needed, ``bytes_decoded == len(data)``.
+    """
+    wanted = frozenset(needed)
+    offset = 0
+    bytes_decoded = 0
+    components: list[list[Any] | None] = []
+    for i in range(degree):
+        (count,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        if i in wanted:
+            start = offset
+            values = []
+            for _ in range(count):
+                v, offset = _decode_value(data, offset)
+                values.append(v)
+            components.append(values)
+            bytes_decoded += 2 + (offset - start)
+        else:
+            for _ in range(count):
+                offset = _skip_value(data, offset)
+            components.append(None)
+    if offset != len(data):
+        raise StorageError(
+            f"trailing bytes in record ({len(data) - offset} unread)"
+        )
+    return components, bytes_decoded
 
 
 def encode_nfr_tuple(t: NFRTuple) -> bytes:

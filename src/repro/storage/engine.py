@@ -50,7 +50,10 @@ from repro.errors import FlatTupleNotFoundError, StorageError
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import FlatTuple
+from repro.core.values import ValueSet
 from repro.storage.encoding import (
+    decode_components,
+    decode_components_partial,
     decode_flat_tuple,
     decode_nfr_tuple,
     encode_flat_tuple,
@@ -63,13 +66,18 @@ from repro.storage.index import AtomIndex
 @dataclass(frozen=True)
 class ScanStats:
     """I/O accounting snapshot for one query (or one mutation, when
-    produced from :class:`MutationStats` by the query layer)."""
+    produced from :class:`MutationStats` by the query layer).
+
+    ``bytes_decoded`` counts record bytes actually materialised into
+    Python values — the skip-decoder leaves it below the raw record
+    size when a scan only needs some attributes."""
 
     page_reads: int
     records_visited: int
     flats_produced: int
     index_lookups: int
     page_writes: int = 0
+    bytes_decoded: int = 0
 
 
 @dataclass(frozen=True)
@@ -120,6 +128,17 @@ class NFRStore:
         # Record directory: logical unit (FlatTuple in 1nf mode, NFRTuple
         # in nfr mode) -> record id.  In-memory like the AtomIndex.
         self._rids: dict[Any, RecordId] = {}
+        # Per-store atom dictionary: decoded atoms are interned here so
+        # the same stored value is one Python object across all decoded
+        # tuples.  Keyed by (type, value) because dict equality would
+        # otherwise conflate 1 / 1.0 / True.
+        self._atoms: dict[tuple[type, Any], Any] = {}
+        # Hash-cons table for decoded components: equal component sets
+        # map to one ValueSet whose hash is computed once.  Keyed by the
+        # (type, value) pairs, like _atoms, so {1} / {True} / {1.0}
+        # stay distinct.
+        self._vsets: dict[frozenset, ValueSet] = {}
+        self._bytes_decoded = 0
         # §4 maintenance engine, built lazily on first nfr-mode mutation.
         self._canon: CanonicalNFR | None = None
         self._records_written = 0
@@ -490,6 +509,11 @@ class NFRStore:
         remap record ids in the directory and index."""
         pages_before = self.heap.page_count
         mapping = self.heap.vacuum()
+        # Vacuum is the compaction event: also drop the decode caches so
+        # atoms/components that only long-deleted records used stop
+        # being retained.
+        self._atoms.clear()
+        self._vsets.clear()
         if mapping:
             for key, rid in list(self._rids.items()):
                 self._rids[key] = mapping.get(rid, rid)
@@ -505,9 +529,63 @@ class NFRStore:
     # -- decoding --------------------------------------------------------------
 
     def _decode(self, record: bytes) -> NFRTuple | FlatTuple:
+        self._bytes_decoded += len(record)
         if self.mode == "nfr":
             return decode_nfr_tuple(record, self.schema)
         return decode_flat_tuple(record, self.schema)
+
+    def _intern_component(self, values: Sequence[Any]) -> ValueSet:
+        """Build a component from decoded values through the per-store
+        atom dictionary and the ValueSet hash-cons table: repeated atoms
+        and repeated component sets come back as the same objects, with
+        validation and hashing paid once."""
+        atoms = self._atoms
+        typed = [(v.__class__, v) for v in values]
+        key = frozenset(typed)
+        cached = self._vsets.get(key)
+        if cached is None:
+            cached = ValueSet._from_frozenset(
+                frozenset(atoms.setdefault(t, t[1]) for t in typed)
+            )
+            self._vsets[key] = cached
+        return cached
+
+    def projection_plan(
+        self, needed: Iterable[str] | None
+    ) -> tuple[tuple[int, ...], RelationSchema] | None:
+        """The skip-decode plan for a scan that only needs ``needed``
+        attributes: (component indices in schema order, sub-schema), or
+        None when every component must be decoded anyway."""
+        if needed is None:
+            return None
+        wanted = set(self.schema.require(needed))
+        names = [n for n in self.schema.names if n in wanted]
+        if len(names) == self.schema.degree:
+            return None
+        indices = tuple(self.schema.index_of(n) for n in names)
+        return indices, self.schema.project(names)
+
+    def _tuple_from_record(
+        self,
+        record: bytes,
+        proj: tuple[tuple[int, ...], RelationSchema] | None,
+    ) -> NFRTuple:
+        """Decode one record at the NFR-tuple level (flat records lift to
+        all-singleton tuples), skip-decoding when ``proj`` is given."""
+        if proj is None:
+            comps = decode_components(record, self.schema.degree)
+            self._bytes_decoded += len(record)
+            schema = self.schema
+        else:
+            indices, schema = proj
+            raw, nbytes = decode_components_partial(
+                record, self.schema.degree, indices
+            )
+            comps = [raw[i] for i in indices]
+            self._bytes_decoded += nbytes
+        return NFRTuple._unchecked(
+            schema, tuple(self._intern_component(c) for c in comps)
+        )
 
     def _record_flats(self, record: bytes) -> Iterator[FlatTuple]:
         decoded = self._decode(record)
@@ -543,11 +621,7 @@ class NFRStore:
         if use_index and self.index is None:
             raise StorageError("store was built without an index")
 
-        before = (
-            self.heap.stats.page_reads,
-            self.heap.stats.records_visited,
-            self.index.lookups if self.index else 0,
-        )
+        before = self.stats_window()
         results: list[FlatTuple] = []
         if use_index and conditions:
             rids = sorted(self.index.lookup_all(conditions))  # type: ignore[union-attr]
@@ -562,72 +636,91 @@ class NFRStore:
                     for flat in self._record_flats(record):
                         if all(flat[a] == v for a, v in conditions):
                             results.append(flat)
-        after = (
-            self.heap.stats.page_reads,
-            self.heap.stats.records_visited,
-            self.index.lookups if self.index else 0,
-        )
-        stats = ScanStats(
-            page_reads=after[0] - before[0],
-            records_visited=after[1] - before[1],
-            flats_produced=len(results),
-            index_lookups=after[2] - before[2],
-        )
-        return results, stats
+        return results, self.stats_since(before, len(results))
 
-    def _stats_window(self) -> tuple[int, int, int]:
+    def stats_window(self) -> tuple[int, int, int, int]:
+        """Snapshot of the cumulative counters a query window diffs
+        against (pairs with :meth:`stats_since`)."""
         return (
             self.heap.stats.page_reads,
             self.heap.stats.records_visited,
             self.index.lookups if self.index else 0,
+            self._bytes_decoded,
         )
 
-    def _window_delta(
-        self, before: tuple[int, int, int], flats: int
+    def stats_since(
+        self, before: tuple[int, int, int, int], flats: int
     ) -> ScanStats:
-        after = self._stats_window()
+        """The :class:`ScanStats` accumulated since ``before`` (a
+        :meth:`stats_window` snapshot)."""
+        after = self.stats_window()
         return ScanStats(
             page_reads=after[0] - before[0],
             records_visited=after[1] - before[1],
             flats_produced=flats,
             index_lookups=after[2] - before[2],
+            bytes_decoded=after[3] - before[3],
         )
 
-    def scan_tuples(self) -> tuple[list[NFRTuple], ScanStats]:
-        """Full scan decoded at the NFR-tuple level (flat records are
-        lifted to all-singleton tuples): the planner's heap-scan access
-        path, which preserves component structure instead of expanding
-        to R* the way :meth:`lookup` does."""
-        before = self._stats_window()
-        tuples: list[NFRTuple] = []
-        for _, record in self.heap.scan():
-            decoded = self._decode(record)
-            if isinstance(decoded, FlatTuple):
-                decoded = NFRTuple.from_flat(decoded)
-            tuples.append(decoded)
-        return tuples, self._window_delta(before, len(tuples))
+    def stream_scan(
+        self, needed: Iterable[str] | None = None
+    ) -> Iterator[NFRTuple]:
+        """Lazy full scan decoded at the NFR-tuple level (flat records
+        lift to all-singleton tuples).  With ``needed``, only those
+        components are decoded — the skip-decoder walks the length
+        prefixes past the rest — and the yielded tuples live on the
+        projected sub-schema.  Wrap calls in :meth:`stats_window` /
+        :meth:`stats_since` for per-query accounting.
 
-    def probe_tuples(
-        self, atoms: Sequence[tuple[str, Any]]
-    ) -> tuple[list[NFRTuple], ScanStats]:
-        """Index-assisted candidate fetch at the NFR-tuple level: the
-        records whose component for each ``(attribute, atom)`` pair
+        The stream reads live pages as it goes: a delete between
+        batches is reflected (tombstones are checked per page), but a
+        :meth:`vacuum` rebinds the page list, so a stream opened before
+        it keeps reading the pre-vacuum pages.  Finish or discard open
+        streams before vacuuming."""
+        proj = self.projection_plan(needed)
+        for _, record in self.heap.scan():
+            yield self._tuple_from_record(record, proj)
+
+    def stream_probe(
+        self,
+        atoms: Sequence[tuple[str, Any]],
+        needed: Iterable[str] | None = None,
+    ) -> Iterator[NFRTuple]:
+        """Lazy index-assisted candidate fetch at the NFR-tuple level:
+        the records whose component for each ``(attribute, atom)`` pair
         *contains* the atom (exact for CONTAINS conditions; a superset
         for equality conditions, which the caller rechecks).  Pages are
-        read batched, one read per distinct page."""
+        read batched, one read per distinct page; ``needed`` enables
+        skip-decoding as in :meth:`stream_scan`."""
         if self.index is None:
             raise StorageError("store was built without an index")
         for a, _ in atoms:
             self.schema.require([a])
-        before = self._stats_window()
+        proj = self.projection_plan(needed)
         rids = sorted(self.index.lookup_all(atoms))
-        tuples: list[NFRTuple] = []
-        for record in self.heap.read_many(list(rids)):
-            decoded = self._decode(record)
-            if isinstance(decoded, FlatTuple):
-                decoded = NFRTuple.from_flat(decoded)
-            tuples.append(decoded)
-        return tuples, self._window_delta(before, len(tuples))
+        for record in self.heap.iter_read(rids):
+            yield self._tuple_from_record(record, proj)
+
+    def scan_tuples(
+        self, needed: Iterable[str] | None = None
+    ) -> tuple[list[NFRTuple], ScanStats]:
+        """Materialised :meth:`stream_scan` with per-query stats: the
+        planner's heap-scan access path, which preserves component
+        structure instead of expanding to R* the way :meth:`lookup`
+        does."""
+        before = self.stats_window()
+        tuples = list(self.stream_scan(needed))
+        return tuples, self.stats_since(before, len(tuples))
+
+    def probe_tuples(
+        self,
+        atoms: Sequence[tuple[str, Any]],
+        needed: Iterable[str] | None = None,
+    ) -> tuple[list[NFRTuple], ScanStats]:
+        """Materialised :meth:`stream_probe` with per-query stats."""
+        before = self.stats_window()
+        tuples = list(self.stream_probe(atoms, needed))
+        return tuples, self.stats_since(before, len(tuples))
 
     def contains(self, flat: FlatTuple) -> tuple[bool, ScanStats]:
         """Point membership of one flat tuple in R*."""

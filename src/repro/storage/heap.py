@@ -61,6 +61,11 @@ class HeapFile:
             set() for _ in range(_NUM_CLASSES)
         ]
         self._page_class: dict[int, int] = {}
+        # Live-record counters, maintained on insert/delete so that
+        # record_count / used_bytes are O(1) — the planner's statistics
+        # and cost estimation consult them on every plan.
+        self._live_count = 0
+        self._live_bytes = 0
 
     # -- capacity ----------------------------------------------------------------
 
@@ -70,13 +75,11 @@ class HeapFile:
 
     @property
     def record_count(self) -> int:
-        return sum(p.live_count for p in self._pages)
+        return self._live_count
 
     def used_bytes(self) -> int:
         """Bytes of live record payloads (excludes slot bookkeeping)."""
-        return sum(
-            len(r) for p in self._pages for _, r in p.records()
-        )
+        return self._live_bytes
 
     def allocated_bytes(self) -> int:
         return len(self._pages) * PAGE_SIZE
@@ -126,6 +129,8 @@ class HeapFile:
             self._pages.append(page)
         self.stats.pages_probed += 1
         slot = page.insert(record)
+        self._live_count += 1
+        self._live_bytes += len(record)
         self._reclassify(page)
         return page, slot
 
@@ -153,7 +158,9 @@ class HeapFile:
     def delete(self, rid: RecordId) -> None:
         page = self._page(rid[0])
         self.stats.page_writes += 1
-        page.delete(rid[1])
+        removed = page.delete(rid[1])
+        self._live_count -= 1
+        self._live_bytes -= len(removed)
         self._reclassify(page)
 
     def delete_many(self, rids: Iterable[RecordId]) -> None:
@@ -162,7 +169,9 @@ class HeapFile:
         touched: set[int] = set()
         for pid, slot in rids:
             page = self._page(pid)
-            page.delete(slot)
+            removed = page.delete(slot)
+            self._live_count -= 1
+            self._live_bytes -= len(removed)
             self._reclassify(page)
             touched.add(pid)
         self.stats.page_writes += len(touched)
@@ -186,7 +195,7 @@ class HeapFile:
         current: Page | None = None
         for page in old_pages:
             self.stats.page_reads += 1
-            for slot, record in page.records():
+            for slot, record in page.iter_records():
                 if current is None or not current.fits(record):
                     current = Page(len(self._pages))
                     self._pages.append(current)
@@ -213,23 +222,26 @@ class HeapFile:
         per live record."""
         for page in self._pages:
             self.stats.page_reads += 1
-            for slot, record in page.records():
+            for slot, record in page.iter_records():
                 self.stats.records_visited += 1
                 yield (page.page_id, slot), record
 
-    def read_many(self, rids: list[RecordId]) -> list[bytes]:
-        """Batched point reads: each distinct page is charged once."""
+    def iter_read(self, rids: Iterable[RecordId]) -> Iterator[bytes]:
+        """Streaming batched point reads: records come back grouped in
+        page order and each distinct page is charged exactly once."""
         by_page: dict[int, list[int]] = {}
         for pid, slot in rids:
             by_page.setdefault(pid, []).append(slot)
-        out: list[bytes] = []
         for pid in sorted(by_page):
             page = self._page(pid)
             self.stats.page_reads += 1
             for slot in by_page[pid]:
                 self.stats.records_visited += 1
-                out.append(page.read(slot))
-        return out
+                yield page.read(slot)
+
+    def read_many(self, rids: list[RecordId]) -> list[bytes]:
+        """Batched point reads: each distinct page is charged once."""
+        return list(self.iter_read(rids))
 
     def _page(self, page_id: int) -> Page:
         if not 0 <= page_id < len(self._pages):

@@ -10,6 +10,8 @@ the scan statistics assume.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.errors import PageOverflowError, RecordNotFoundError
 
 #: Page payload size in bytes.  Deliberately small so design-sized
@@ -59,18 +61,25 @@ class Page:
         record = self._get(slot)
         return record
 
-    def delete(self, slot: int) -> None:
+    def delete(self, slot: int) -> bytes:
         """Tombstone a slot (space for the record body is reclaimed,
-        the slot itself is not)."""
+        the slot itself is not); returns the deleted record so callers
+        can account for its size."""
         record = self._get(slot)
         self._records[slot] = None
         self._free += len(record)
+        return record
 
     def records(self) -> list[tuple[int, bytes]]:
         """Live (slot, record) pairs in slot order."""
-        return [
-            (i, r) for i, r in enumerate(self._records) if r is not None
-        ]
+        return list(self.iter_records())
+
+    def iter_records(self) -> "Iterator[tuple[int, bytes]]":
+        """Live (slot, record) pairs in slot order, lazily — scan paths
+        use this to avoid allocating a list per page visited."""
+        for i, r in enumerate(self._records):
+            if r is not None:
+                yield i, r
 
     def _get(self, slot: int) -> bytes:
         if not 0 <= slot < len(self._records):

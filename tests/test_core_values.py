@@ -94,3 +94,71 @@ class TestRendering:
 
     def test_hashable_value_object(self):
         assert len({ValueSet(["a", "b"]), ValueSet(["b", "a"])}) == 1
+
+
+class TestFastPath:
+    """The internal ``_from_frozenset`` construction path (used by
+    nest/union/decode) must not re-validate members; the public
+    constructor must keep validating."""
+
+    def _count_validations(self, monkeypatch):
+        import repro.core.values as values_mod
+
+        calls = {"n": 0}
+        real = values_mod.is_atomic
+
+        def counting(v):
+            calls["n"] += 1
+            return real(v)
+
+        monkeypatch.setattr(values_mod, "is_atomic", counting)
+        return calls
+
+    def test_union_of_valuesets_skips_validation(self, monkeypatch):
+        a = ValueSet(["a", "b"])
+        b = ValueSet(["b", "c"])
+        expected = ValueSet(["a", "b", "c"])
+        calls = self._count_validations(monkeypatch)
+        merged = a.union(b)
+        assert merged == expected
+        assert calls["n"] == 0
+
+    def test_copy_constructor_skips_validation(self, monkeypatch):
+        a = ValueSet(["a", "b"])
+        calls = self._count_validations(monkeypatch)
+        copied = ValueSet(a)
+        assert copied == a
+        assert calls["n"] == 0
+
+    def test_without_and_difference_skip_validation(self, monkeypatch):
+        a = ValueSet(["a", "b", "c"])
+        calls = self._count_validations(monkeypatch)
+        assert a.without("c") == a.difference(["c", "z"])
+        assert calls["n"] == 0
+
+    def test_nest_pipeline_avoids_revalidation(self, monkeypatch):
+        """Micro-benchmark assertion: nesting validated tuples performs
+        zero per-member re-validations in the ValueSet layer."""
+        from repro.core.nest import nest
+        from repro.core.nfr_relation import NFRelation
+
+        relation = NFRelation.from_components(
+            ["A", "B"],
+            [(["a1"], ["b1"]), (["a2"], ["b1"]), (["a3"], ["b2"])],
+        )
+        calls = self._count_validations(monkeypatch)
+        nested = nest(relation, "A")
+        assert nested.cardinality == 2
+        assert calls["n"] == 0
+
+    def test_public_constructor_still_validates(self):
+        with pytest.raises(NFRError):
+            ValueSet(["ok", ["nested"]])
+        with pytest.raises(NFRError):
+            ValueSet.single(["nested"])
+
+    def test_from_frozenset_rejects_empty(self):
+        from repro.errors import EmptyComponentError
+
+        with pytest.raises(EmptyComponentError):
+            ValueSet._from_frozenset(frozenset())

@@ -1,0 +1,343 @@
+"""Tests for the streaming batch executor and lazy partial decoding.
+
+The load-bearing invariant: for any query, accumulating
+``root.iter_batches()`` produces exactly the relation that the
+materializing ``execute()`` wrapper and the naive AST interpreter
+produce (NFRelations are sets, so mid-stream duplicates collapse at
+materialization).  On top of that, scans given a ``needed`` attribute
+set must decode fewer bytes and report the saving through
+``ScanStats.bytes_decoded`` and ``EXPLAIN ANALYZE``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nfr_relation import NFRelation
+from repro.planner import plan
+from repro.planner import physical as P
+from repro.planner.physical import BATCH_SIZE
+from repro.query import (
+    Catalog,
+    evaluate_naive,
+    evaluate_stream,
+    parse,
+    run,
+)
+from repro.workloads.synthetic import random_relation
+
+ATTRS = ["A", "B", "C"]
+
+
+def _catalog(mode="nfr", rows=30, domain=5, seed=1, analyzed=False):
+    catalog = Catalog()
+    catalog.register(
+        "R",
+        random_relation(ATTRS, rows, domain_size=domain, seed=seed),
+        mode=mode,
+    )
+    if analyzed:
+        run("ANALYZE R", catalog)
+    return catalog
+
+
+def _collect(physical):
+    tuples = []
+    for batch in physical.root.iter_batches():
+        assert len(batch) <= BATCH_SIZE
+        tuples.extend(batch)
+    return NFRelation(physical.root.output_schema(), tuples)
+
+
+QUERIES = [
+    "R",
+    "SELECT R WHERE A CONTAINS 'a1'",
+    "SELECT R WHERE A = 'a1' AND B CONTAINS 'b2'",
+    "PROJECT R ON (B, A)",
+    "PROJECT (SELECT R WHERE A CONTAINS 'a1') ON (A, C)",
+    "UNNEST R ON B",
+    "PROJECT (UNNEST (SELECT R WHERE A CONTAINS 'a1') ON A) ON (A, B)",
+    "NEST R BY (A)",
+    "FLATTEN R",
+    "CANONICAL R ORDER (C, A, B)",
+    "JOIN R, R",
+    "FLATJOIN R, R",
+    "UNION R, R",
+    "DIFFERENCE R, R",
+    "SELECT (NEST R BY (A)) WHERE B = 'b1'",
+    "PROJECT (JOIN R, R) ON (A, B)",
+]
+
+
+class TestStreamEqualsMaterialize:
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize(
+        "mode,analyzed",
+        [("nfr", False), ("nfr", True), ("1nf", True)],
+    )
+    def test_batches_match_execute_and_naive(self, query, mode, analyzed):
+        catalog = _catalog(mode=mode, analyzed=analyzed)
+        expr = parse(query)
+        streamed = _collect(plan(expr, catalog))
+        materialized = plan(expr, catalog).execute()
+        naive = evaluate_naive(expr, catalog)
+        assert streamed == materialized == naive
+
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        mode=st.sampled_from(["nfr", "1nf"]),
+        analyzed=st.booleans(),
+        query=st.sampled_from(QUERIES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_stream_equivalence(self, seed, mode, analyzed, query):
+        catalog = _catalog(mode=mode, seed=seed, analyzed=analyzed)
+        expr = parse(query)
+        streamed = _collect(plan(expr, catalog))
+        assert streamed == evaluate_naive(expr, catalog)
+
+    def test_evaluate_stream_api(self):
+        catalog = _catalog(analyzed=True)
+        expr = parse("SELECT R WHERE A CONTAINS 'a1'")
+        tuples = [t for batch in evaluate_stream(expr, catalog) for t in batch]
+        got = NFRelation(catalog.get("R").schema, tuples)
+        assert got == evaluate_naive(expr, catalog)
+        assert catalog.last_io is not None
+        assert catalog.last_io.page_reads >= 1
+
+    def test_batches_bounded_on_large_input(self):
+        catalog = Catalog()
+        catalog.register(
+            "Big",
+            random_relation(ATTRS, 2000, domain_size=40, seed=3),
+            mode="1nf",
+        )
+        run("ANALYZE Big", catalog)
+        physical = plan(parse("Big"), catalog)
+        sizes = [len(b) for b in physical.root.iter_batches()]
+        assert sum(sizes) == 2000
+        assert max(sizes) <= BATCH_SIZE
+        assert len(sizes) >= 2000 // BATCH_SIZE
+        assert physical.root.peak_batch_tuples <= BATCH_SIZE
+
+    def test_interleaved_streams_do_not_double_count_io(self):
+        catalog = Catalog()
+        catalog.register(
+            "Big",
+            random_relation(ATTRS, 1500, domain_size=40, seed=11),
+            mode="1nf",
+        )
+        run("ANALYZE Big", catalog)
+        solo = plan(parse("Big"), catalog)
+        for _ in solo.root.iter_batches():
+            pass
+        expected_pages = solo.root.actual_pages
+        expected_bytes = solo.root.actual_bytes_decoded
+
+        # Two streams over the same store, consumed alternately: each
+        # must account only its own I/O, not the other's.
+        a = plan(parse("Big"), catalog)
+        b = plan(parse("Big"), catalog)
+        it_a, it_b = a.root.iter_batches(), b.root.iter_batches()
+        done_a = done_b = False
+        while not (done_a and done_b):
+            if not done_a:
+                done_a = next(it_a, None) is None
+            if not done_b:
+                done_b = next(it_b, None) is None
+        assert a.root.actual_pages == expected_pages
+        assert b.root.actual_pages == expected_pages
+        assert a.root.actual_bytes_decoded == expected_bytes
+        assert b.root.actual_bytes_decoded == expected_bytes
+
+    def test_streamed_ops_record_actuals(self):
+        catalog = _catalog(analyzed=True)
+        physical = plan(
+            parse("SELECT R WHERE A CONTAINS 'a1'"), catalog
+        )
+        for _ in physical.root.iter_batches():
+            pass
+        # Exhausting the stream populates the analyze counters even
+        # though execute() was never called.
+        assert physical.root.actual_rows is not None
+        assert physical.root.total_pages_read() >= 1
+
+
+class TestLazyDecoding:
+    def _eight_attr_catalog(self, mode="1nf"):
+        catalog = Catalog()
+        catalog.register(
+            "R8",
+            random_relation(
+                list("ABCDEFGH"), 200, domain_size=10, seed=9
+            ),
+            mode=mode,
+        )
+        run("ANALYZE R8", catalog)
+        return catalog
+
+    @pytest.mark.parametrize("mode", ["1nf", "nfr"])
+    def test_projection_pushdown_correct(self, mode):
+        catalog = self._eight_attr_catalog(mode)
+        query = "PROJECT (SELECT R8 WHERE A CONTAINS 'a1') ON (A, B)"
+        assert run(query, catalog) == evaluate_naive(parse(query), catalog)
+
+    def test_scan_receives_needed_attributes(self):
+        catalog = self._eight_attr_catalog()
+        physical = plan(
+            parse("PROJECT (SELECT R8 WHERE A CONTAINS 'a1') ON (A, B)"),
+            catalog,
+            use_index=False,
+        )
+        assert isinstance(physical.root, P.ProjectOp)
+        scan = physical.root.child
+        assert isinstance(scan, P.HeapScan)
+        assert scan.needed == ("A", "B")
+        assert scan.output_schema().names == ("A", "B")
+
+    def test_needed_widens_with_predicate_touches(self):
+        catalog = self._eight_attr_catalog()
+        physical = plan(
+            parse("PROJECT (SELECT R8 WHERE C CONTAINS 'c1') ON (A, B)"),
+            catalog,
+            use_index=False,
+        )
+        scan = physical.root.child
+        assert scan.needed == ("A", "B", "C")
+
+    def test_needed_threads_through_unnest(self):
+        catalog = self._eight_attr_catalog("nfr")
+        physical = plan(
+            parse("PROJECT (UNNEST R8 ON C) ON (A, B)"),
+            catalog,
+            use_index=False,
+        )
+        assert isinstance(physical.root, P.ProjectOp)
+        unnest = physical.root.child
+        assert isinstance(unnest, P.UnnestOp)
+        scan = unnest.child
+        assert scan.needed == ("A", "B", "C")
+
+    def test_partial_scan_decodes_fewer_bytes(self):
+        catalog = self._eight_attr_catalog()
+        query = "PROJECT (SELECT R8 WHERE A CONTAINS 'a1') ON (A, B)"
+        partial = plan(parse(query), catalog, use_index=False)
+        partial.execute()
+        partial_bytes = partial.root.total_bytes_decoded()
+
+        full = plan(
+            parse("SELECT R8 WHERE A CONTAINS 'a1'"), catalog,
+            use_index=False,
+        )
+        full.execute()
+        full_bytes = full.root.total_bytes_decoded()
+        assert 0 < partial_bytes * 2 <= full_bytes
+
+    def test_index_scan_supports_needed(self):
+        catalog = self._eight_attr_catalog()
+        physical = plan(
+            parse("PROJECT (SELECT R8 WHERE A = 'a1') ON (A, B)"),
+            catalog,
+            use_index=True,
+        )
+        scan = physical.root.child
+        assert isinstance(scan, P.IndexScan)
+        assert scan.needed == ("A", "B")
+        result = physical.execute()
+        naive = evaluate_naive(
+            parse("PROJECT (SELECT R8 WHERE A = 'a1') ON (A, B)"), catalog
+        )
+        assert result == naive
+        assert scan.actual_bytes_decoded is not None
+
+    def test_explain_analyze_reports_bytes_decoded(self):
+        catalog = self._eight_attr_catalog()
+        text = run(
+            "EXPLAIN ANALYZE SELECT R8 WHERE A CONTAINS 'a1'", catalog
+        ).to_table()
+        assert "bytes decoded=" in text
+        assert "total: pages read=" in text
+
+    def test_scan_stats_carry_bytes_decoded(self):
+        catalog = self._eight_attr_catalog()
+        store = catalog.store_for("R8")
+        _, full_stats = store.scan_tuples()
+        assert full_stats.bytes_decoded == store.heap.used_bytes()
+        _, part_stats = store.scan_tuples(needed=("A", "B"))
+        assert 0 < part_stats.bytes_decoded < full_stats.bytes_decoded
+
+    def test_mutated_store_stays_consistent_with_pushdown(self):
+        catalog = self._eight_attr_catalog()
+        run(
+            "INSERT INTO R8 VALUES ('a1','b9','c9','d9','e9','f9','g9','h9')",
+            catalog,
+        )
+        query = "PROJECT (SELECT R8 WHERE A CONTAINS 'a1') ON (A, B)"
+        assert run(query, catalog) == evaluate_naive(parse(query), catalog)
+
+
+class TestAtomInterning:
+    def test_decoded_atoms_are_shared_objects(self):
+        catalog = _catalog(mode="1nf", rows=50, domain=3, analyzed=True)
+        store = catalog.store_for("R")
+        tuples, _ = store.scan_tuples()
+        seen = {}
+        for t in tuples:
+            for comp in t.components:
+                for v in comp:
+                    key = (type(v), v)
+                    if key in seen:
+                        assert v is seen[key]
+                    else:
+                        seen[key] = v
+
+    def test_equal_components_are_hash_consed(self):
+        catalog = _catalog(mode="nfr", rows=60, domain=3, analyzed=True)
+        store = catalog.store_for("R")
+        first, _ = store.scan_tuples()
+        second, _ = store.scan_tuples()
+        by_set = {}
+        for t in first + second:
+            for comp in t.components:
+                cached = by_set.setdefault(comp.values, comp)
+                assert comp is cached
+
+    def test_interning_distinguishes_types(self):
+        from repro.relational.relation import Relation
+
+        catalog = Catalog()
+        catalog.register(
+            "T",
+            Relation.from_rows(["A", "B"], [(1, True), (True, 1)]),
+            mode="1nf",
+        )
+        run("ANALYZE T", catalog)
+        assert run("T", catalog) == evaluate_naive(parse("T"), catalog)
+
+    def test_hash_cons_preserves_value_types(self):
+        """frozenset({1}) == frozenset({True}) == frozenset({1.0}) in
+        Python, but the decode caches must not conflate them: the
+        decoded atom must come back with its stored type."""
+        from repro.relational.relation import Relation
+        from repro.relational.tuples import FlatTuple
+        from repro.storage.engine import NFRStore
+
+        schema_rel = Relation.from_rows(
+            ["A", "B"], [(True, "x"), (1, "y"), (1.0, "z")]
+        )
+        store = NFRStore.from_relation(schema_rel)
+        decoded = {}
+        for t in store.stream_scan():
+            b = t["B"].only
+            decoded[b] = t["A"].only
+        assert type(decoded["x"]) is bool and decoded["x"] is True
+        assert type(decoded["y"]) is int and decoded["y"] == 1
+        assert type(decoded["z"]) is float and decoded["z"] == 1.0
+        # ...and the stream path agrees with the full-decode lookup path.
+        for flat in (
+            FlatTuple(schema_rel.schema, [True, "x"]),
+            FlatTuple(schema_rel.schema, [1, "y"]),
+            FlatTuple(schema_rel.schema, [1.0, "z"]),
+        ):
+            present, _ = store.contains(flat)
+            assert present

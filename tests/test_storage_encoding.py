@@ -71,3 +71,84 @@ class TestTuples:
         nfr_bytes = len(encode_nfr_tuple(t))
         flat_bytes = sum(len(encode_flat_tuple(f)) for f in t.flats())
         assert nfr_bytes < flat_bytes
+
+
+class TestPartialDecode:
+    def test_skips_unneeded_components(self):
+        from repro.storage.encoding import decode_components_partial
+
+        comps = [["a1", "a2"], ["b"], [1, 2, 3]]
+        data = encode_components(comps)
+        out, nbytes = decode_components_partial(data, 3, (0, 2))
+        assert out == [["a1", "a2"], None, [1, 2, 3]]
+        assert 0 < nbytes < len(data)
+
+    def test_all_needed_equals_full_decode(self):
+        from repro.storage.encoding import decode_components_partial
+
+        comps = [["a"], [True, None], [2.5]]
+        data = encode_components(comps)
+        out, nbytes = decode_components_partial(data, 3, range(3))
+        assert out == decode_components(data, 3)
+        assert nbytes == len(data)
+
+    def test_none_needed_decodes_nothing(self):
+        from repro.storage.encoding import decode_components_partial
+
+        data = encode_components([["a"], ["b"]])
+        out, nbytes = decode_components_partial(data, 2, ())
+        assert out == [None, None]
+        assert nbytes == 0
+
+    def test_trailing_bytes_detected(self):
+        from repro.storage.encoding import decode_components_partial
+
+        data = encode_components([["a"]]) + b"junk"
+        with pytest.raises(StorageError, match="trailing"):
+            decode_components_partial(data, 1, (0,))
+
+
+class TestPartialDecodeProperties:
+    """Encode / skip-decode round-trip over arbitrary components and
+    arbitrary needed-attribute subsets."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _atom = st.one_of(
+        st.text(max_size=8),
+        st.integers(min_value=-(2**62), max_value=2**62),
+        st.booleans(),
+        st.none(),
+        st.floats(allow_nan=False, allow_infinity=True, width=32),
+    )
+    _components = st.lists(
+        st.lists(_atom, min_size=1, max_size=4), min_size=1, max_size=6
+    )
+
+    @given(comps=_components, data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_partial_matches_full_on_needed_subset(self, comps, data):
+        from hypothesis import strategies as st
+        from repro.storage.encoding import decode_components_partial
+
+        degree = len(comps)
+        needed = data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=degree - 1),
+                max_size=degree,
+            )
+        )
+        encoded = encode_components(comps)
+        full = decode_components(encoded, degree)
+        partial, nbytes = decode_components_partial(
+            encoded, degree, needed
+        )
+        for i in range(degree):
+            if i in needed:
+                assert partial[i] == full[i]
+            else:
+                assert partial[i] is None
+        assert 0 <= nbytes <= len(encoded)
+        if len(needed) == degree:
+            assert nbytes == len(encoded)

@@ -134,3 +134,49 @@ class TestVacuum:
         assert h.stats.page_writes == h.page_count
         assert h.stats.page_reads >= h.page_count
         assert h.stats.page_writes < 20
+
+
+class TestLiveCounters:
+    """record_count / used_bytes are maintained counters (O(1)), not
+    O(pages) sweeps — they must stay exact through every mutation."""
+
+    def _sweep(self, h: HeapFile) -> tuple[int, int]:
+        pages = h._pages
+        count = sum(p.live_count for p in pages)
+        nbytes = sum(len(r) for p in pages for _, r in p.iter_records())
+        return count, nbytes
+
+    def test_counters_track_insert_and_delete(self):
+        h = HeapFile()
+        rids = [h.insert(b"x" * (10 + i)) for i in range(20)]
+        assert (h.record_count, h.used_bytes()) == self._sweep(h)
+        for rid in rids[::2]:
+            h.delete(rid)
+        assert (h.record_count, h.used_bytes()) == self._sweep(h)
+
+    def test_counters_track_batch_ops_and_vacuum(self):
+        h = HeapFile()
+        rids = h.insert_many(b"y" * 500 for _ in range(30))
+        h.delete_many(rids[:10])
+        assert (h.record_count, h.used_bytes()) == self._sweep(h)
+        h.vacuum()
+        assert (h.record_count, h.used_bytes()) == self._sweep(h)
+        assert h.record_count == 20
+        assert h.used_bytes() == 20 * 500
+
+    def test_counters_after_mixed_churn(self):
+        import random
+
+        rng = random.Random(7)
+        h = HeapFile()
+        live = []
+        for step in range(300):
+            if live and rng.random() < 0.4:
+                h.delete(live.pop(rng.randrange(len(live))))
+            else:
+                live.append(h.insert(bytes(rng.randrange(1, 200))))
+            if step % 97 == 0:
+                mapping = h.vacuum()
+                live = [mapping.get(r, r) for r in live]
+        assert (h.record_count, h.used_bytes()) == self._sweep(h)
+        assert h.record_count == len(live)

@@ -106,3 +106,23 @@ class TestHeapFile:
         h.insert(b"x" * 10)
         assert h.used_bytes() == 10
         assert h.allocated_bytes() == PAGE_SIZE
+
+
+class TestIterRecords:
+    def test_generator_matches_records_list(self):
+        import types
+
+        p = Page(0)
+        for i in range(5):
+            p.insert(b"r%d" % i)
+        p.delete(1)
+        p.delete(3)
+        it = p.iter_records()
+        assert isinstance(it, types.GeneratorType)
+        assert list(it) == p.records()
+        assert [s for s, _ in p.iter_records()] == [0, 2, 4]
+
+    def test_delete_returns_record(self):
+        p = Page(0)
+        slot = p.insert(b"payload")
+        assert p.delete(slot) == b"payload"
