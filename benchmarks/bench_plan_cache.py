@@ -1,0 +1,180 @@
+"""PLAN-CACHE / TXN-BATCH — the embedded facade's fast paths.
+
+Two facade claims are measured:
+
+1. **PLAN-CACHE**: a parameterized query executed repeatedly through
+   :meth:`Connection.prepare` parses and plans exactly once (verified
+   with the planner-invocation counter
+   :func:`repro.planner.plan_invocations`), and the per-call prepare
+   step — a plan-cache hit — is ≥5x faster than re-running
+   parse + plan for every call.
+2. **TXN-BATCH**: ``executemany`` pushes a batch of INSERTs through
+   :meth:`NFRStore.insert_many`, writing each touched page once per
+   batch instead of once per statement — fewer page writes and lower
+   latency than per-statement ``execute`` of the same tuples.
+
+Set ``BENCH_SMOKE=1`` to run a tiny CI-sized configuration.
+"""
+
+import os
+import time
+
+import repro.db
+from repro.analysis.report import ExperimentReport
+from repro.planner import plan, plan_invocations
+from repro.query import parse
+from repro.workloads.synthetic import random_relation
+
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+CACHE_ROWS = 600 if _SMOKE else 2000
+CACHE_DOMAIN = 24
+CACHE_EXECUTIONS = 100
+BATCH_ROWS = 200 if _SMOKE else 800
+BATCH_SIZE = 120 if _SMOKE else 400
+
+
+def _timed(fn, repeat):
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return (time.perf_counter() - start) / repeat
+
+
+def test_prepared_statement_plans_once(benchmark, report_sink):
+    """PLAN-CACHE: 100 executions of a prepared parameterized query
+    plan exactly once; the cache-hit prepare step beats parse+plan."""
+    conn = repro.db.connect()
+    conn.database.register(
+        "R",
+        random_relation(["A", "B", "C"], CACHE_ROWS, CACHE_DOMAIN, seed=11),
+    )
+    conn.execute("ANALYZE R")
+    text = "SELECT R WHERE A CONTAINS ? AND B CONTAINS ?"
+    stmt = conn.prepare(text)
+    bindings = [(f"a{i % CACHE_DOMAIN + 1}", "b1") for i in range(CACHE_EXECUTIONS)]
+
+    before = plan_invocations()
+    results = [stmt.execute(list(b)).fetchall() for b in bindings]
+    plans_used = plan_invocations() - before
+
+    # Reference: the same 100 executions with literal values, no facade
+    # caches — results must agree binding by binding.
+    literal_results = [
+        conn.cursor()
+        ._execute_node(parse(
+            f"SELECT R WHERE A CONTAINS '{a}' AND B CONTAINS '{b}'"
+        ), None)
+        .fetchall()
+        for a, b in bindings
+    ]
+    agree = all(
+        sorted(map(repr, got)) == sorted(map(repr, want))
+        for got, want in zip(results, literal_results)
+    )
+
+    # Timing: the prepare step alone — a plan-cache hit vs a fresh
+    # parse + plan — since execution cost is identical on both paths.
+    node = stmt.node
+    cached_prepare = benchmark(lambda: conn._plan_for(node))
+    hit_time = _timed(lambda: conn._plan_for(node), 200)
+    plan_time = _timed(lambda: plan(parse(text), conn.catalog), 200)
+    speedup = plan_time / hit_time if hit_time else float("inf")
+
+    report = ExperimentReport(
+        "PLAN-CACHE",
+        "Prepared parameterized query: plans per 100 executions and "
+        "prepare-step latency, cached vs parse+plan per call",
+        "a prepared statement should pay parsing and planning once; "
+        "re-execution binds new values into the cached plan",
+        headers=["quantity", "value"],
+    )
+    report.add_row("executions", CACHE_EXECUTIONS)
+    report.add_row("planner invocations used", plans_used)
+    report.add_row("plan-cache hit, per call (us)", round(hit_time * 1e6, 2))
+    report.add_row("parse+plan, per call (us)", round(plan_time * 1e6, 2))
+    report.add_row("prepare speedup (x)", round(speedup, 1))
+    report.add_check(
+        "100 parameterized executions plan exactly once", plans_used == 0
+    )
+    report.add_check(
+        "prepared results equal literal-query results", agree
+    )
+    report.add_check(
+        "cached prepare >=5x faster than parse+plan", speedup >= 5.0
+    )
+    report_sink(report)
+    assert cached_prepare is not None
+    assert report.passed, report.render()
+
+
+def test_executemany_batches_page_writes(benchmark, report_sink):
+    """TXN-BATCH: executemany vs per-statement execute on the same
+    INSERT workload — page writes and latency."""
+    from repro.relational.relation import Relation
+
+    rows = random_relation(
+        ["A", "B", "C"], BATCH_ROWS + 2 * BATCH_SIZE, 40, seed=7
+    ).sorted_tuples()
+    base, extra = rows[:BATCH_ROWS], rows[BATCH_ROWS:]
+    base_relation = Relation.from_rows(
+        ["A", "B", "C"], [tuple(t.values) for t in base]
+    )
+    batch_one = [tuple(t.values) for t in extra[:BATCH_SIZE]]
+    batch_two = [tuple(t.values) for t in extra[BATCH_SIZE:]]
+
+    def fresh_conn():
+        conn = repro.db.connect()
+        conn.database.register("R", base_relation, mode="1nf")
+        conn.execute("ANALYZE R")  # opens the paged store
+        return conn
+
+    insert = "INSERT INTO R VALUES (?, ?, ?)"
+
+    # Per-statement path.
+    conn = fresh_conn()
+    store = conn.catalog.store_for("R")
+    writes_before = store.heap.stats.page_writes
+    start = time.perf_counter()
+    for values in batch_one:
+        conn.execute(insert, list(values))
+    single_time = time.perf_counter() - start
+    single_writes = store.heap.stats.page_writes - writes_before
+
+    # Batched path (timed by pytest-benchmark on a fresh connection).
+    def run_batch():
+        conn = fresh_conn()
+        store = conn.catalog.store_for("R")
+        before = store.heap.stats.page_writes
+        start = time.perf_counter()
+        cursor = conn.executemany(insert, [list(v) for v in batch_two])
+        elapsed = time.perf_counter() - start
+        return (
+            cursor.rowcount,
+            store.heap.stats.page_writes - before,
+            elapsed,
+        )
+
+    applied, batch_writes, batch_time = benchmark(run_batch)
+
+    report = ExperimentReport(
+        "TXN-BATCH",
+        f"{BATCH_SIZE} INSERTs: executemany (NFRStore.insert_many) vs "
+        "per-statement execute",
+        "batching a DML burst should write each touched page once per "
+        "batch, not once per statement",
+        headers=["path", "page writes", "seconds"],
+    )
+    report.add_row("per-statement execute", single_writes, round(single_time, 4))
+    report.add_row("executemany batch", batch_writes, round(batch_time, 4))
+    report.add_check(
+        "batch applied every new tuple", applied == len(batch_two)
+    )
+    report.add_check(
+        "executemany writes >=2x fewer pages",
+        batch_writes * 2 <= single_writes,
+    )
+    report.add_check(
+        "executemany is not slower", batch_time <= single_time * 1.1
+    )
+    report_sink(report)
+    assert report.passed, report.render()

@@ -1,32 +1,34 @@
 """The NF2 query language — the DML the paper deferred (§5).
 
-Registers the Fig. 1 relations in a catalog and runs a tour of the
-language: selection over set-valued components, nest/unnest, canonical
-forms, NF2 and flat joins, and canonical-maintained INSERT/DELETE.
+Registers the Fig. 1 relations in an embedded database and runs a tour
+of the language through the :mod:`repro.db` facade: selection over
+set-valued components, nest/unnest, canonical forms, NF2 and flat
+joins, parameter binding, ``executemany`` batching, scripts and
+transactional canonical-maintained INSERT/DELETE.
 
 Run:  python examples/query_language.py
 """
 
-from repro.query import Catalog, run
+import repro.db
 from repro.workloads import paper_examples as pe
 
 
-def show(title: str, text: str, catalog: Catalog) -> None:
-    result = run(text, catalog)
+def show(title: str, text: str, conn: "repro.db.Connection") -> None:
+    cursor = conn.execute(text)
     print(f"-- {title}")
     print(f"   {text}")
-    print(result.to_table())
+    print(cursor.table())
     print()
 
 
 def main() -> None:
-    catalog = Catalog()
-    catalog.register(
+    conn = repro.db.connect()
+    conn.database.register(
         "Enrollment",
         pe.FIG1_R1,
         order=["Course", "Club", "Student"],
     )
-    catalog.register(
+    conn.database.register(
         "Registration",
         pe.FIG1_R2,
         order=["Course", "Semester", "Student"],
@@ -35,57 +37,82 @@ def main() -> None:
     show(
         "who is in club b1?",
         "SELECT Enrollment WHERE Club CONTAINS 'b1'",
-        catalog,
+        conn,
     )
     show(
         "flat view of registrations",
         "FLATTEN Registration",
-        catalog,
+        conn,
     )
     show(
         "nest registrations by student (course lists per semester)",
         "NEST (FLATTEN Registration) BY (Course)",
-        catalog,
+        conn,
     )
     show(
         "canonical form, semester-major order",
         "CANONICAL Registration ORDER (Student, Course, Semester)",
-        catalog,
+        conn,
     )
     show(
         "students whose course set is exactly {c1, c2, c3}",
         "SELECT (NEST (FLATTEN Enrollment) BY (Course)) "
         "WHERE Course = {'c1', 'c2', 'c3'}",
-        catalog,
+        conn,
     )
     show(
         "NF2 join: enrollment with registration on equal Student sets",
         "JOIN (PROJECT Enrollment ON (Student, Course)), "
         "(PROJECT Enrollment ON (Student, Club))",
-        catalog,
+        conn,
     )
     show(
         "flat join (classical natural join of the R*s)",
         "FLATJOIN (PROJECT (FLATTEN Enrollment) ON (Student, Course)), "
         "(PROJECT (FLATTEN Enrollment) ON (Student, Club))",
-        catalog,
+        conn,
     )
 
-    # DML: the update of Fig. 2, expressed as statements.  Each delete
-    # goes through the §4 canonical-maintenance algorithm.
-    print("-- the Fig. 2 update as DML")
-    for club in ("b1",):
-        stmt = f"DELETE FROM Enrollment VALUES ('s1', 'c1', '{club}')"
-        print(f"   {stmt}")
-        run(stmt, catalog)
-    print(run("Enrollment", catalog).to_table())
-    store = catalog.store_for("Enrollment")
+    # Parameter binding: the same statement shape, different values —
+    # the connection's plan cache plans it once.
+    print("-- parameterized queries (one plan, many bindings)")
+    stmt = conn.prepare("SELECT Enrollment WHERE Club CONTAINS ?")
+    for club in ("b1", "b2"):
+        rows = stmt.execute([club]).fetchall()
+        print(f"   club {club}: {len(rows)} NFR tuple(s)")
+    print()
+
+    # DML: the update of Fig. 2, as a transaction.  Each delete goes
+    # through the §4 canonical-maintenance algorithm and records its
+    # inverse; COMMIT keeps the result.
+    print("-- the Fig. 2 update as transactional DML")
+    with conn:
+        conn.execute("BEGIN")
+        stmt = "DELETE FROM Enrollment VALUES (?, ?, ?)"
+        print(f"   {stmt}  <- ('s1', 'c1', 'b1')")
+        conn.execute(stmt, ["s1", "c1", "b1"])
+    print(conn.execute("Enrollment").table())
+    store = conn.catalog.store_for("Enrollment")
     print("   still canonical:", store.is_canonical())
     print()
 
-    print("-- LET binds intermediate results")
-    run("LET Clubs = PROJECT Enrollment ON (Student, Club)", catalog)
-    show("bound relation 'Clubs'", "Clubs", catalog)
+    # executemany batches INSERTs through NFRStore.insert_many: page
+    # writes are batched per touched page instead of per statement.
+    print("-- executemany: batched inserts")
+    cursor = conn.executemany(
+        "INSERT INTO Registration VALUES (?, ?, ?)",
+        [("s9", "c1", "t1"), ("s9", "c2", "t1"), ("s9", "c1", "t2")],
+    )
+    print(f"   {cursor.rowcount} flat tuples inserted")
+    show("registrations after the batch", "Registration", conn)
+
+    # Scripts: `;`-separated statements run in order.
+    print("-- executescript: LET bindings in a script")
+    conn.executescript(
+        "LET Clubs = PROJECT Enrollment ON (Student, Club); "
+        "LET B1 = SELECT Clubs WHERE Club CONTAINS 'b1';"
+    )
+    show("bound relation 'B1'", "B1", conn)
 
 
 if __name__ == "__main__":

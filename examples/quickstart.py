@@ -1,21 +1,16 @@
-"""Quickstart: NFRs in five minutes.
+"""Quickstart: NFRs in five minutes, through the embedded database.
 
-Covers the core loop of the paper: lift a 1NF relation, compose tuples
-into an NFR, pick a canonical form, check its properties, and update it
-without ever rebuilding.
+Covers the core loop of the paper — lift a 1NF relation, pick a
+canonical form, check its properties — and then does everything an
+application would do through :mod:`repro.db`: connect, run
+parameterized queries through a cursor, prepare a statement, and update
+inside a transaction.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    CanonicalNFR,
-    NFRelation,
-    Relation,
-    canonical_form,
-    distinct_canonical_forms,
-    is_fixed,
-    unnest_fully,
-)
+import repro
+from repro import Relation, canonical_form, distinct_canonical_forms, is_fixed
 
 
 def main() -> None:
@@ -37,40 +32,50 @@ def main() -> None:
     nfr = canonical_form(flat, ["Course", "Club", "Student"])
     print(nfr.to_table(title="canonical NFR (nest Course, Club, Student)"))
     print(f"{flat.cardinality} flat tuples -> {nfr.cardinality} NFR tuples")
-    print()
-
-    # Theorem 1: the NFR represents exactly the original relation.
-    assert nfr.to_1nf() == flat
-    assert unnest_fully(nfr) == NFRelation.from_1nf(flat)
-
-    # Definition 7: this form is one tuple per student — fixed on Student.
     print("fixed on Student?", is_fixed(nfr, ["Student"]))
+    print(f"{len(distinct_canonical_forms(flat))} distinct canonical forms")
     print()
 
-    # There are n! canonical forms; see how many distinct ones exist.
-    groups = distinct_canonical_forms(flat)
-    print(f"{len(groups)} distinct canonical forms across 3! nest orders:")
-    for form, orders in sorted(
-        groups.items(), key=lambda kv: kv[0].cardinality
-    ):
-        pretty = ", ".join("->".join(o) for o in sorted(orders))
-        print(f"  {form.cardinality} tuples  via  {pretty}")
-    print()
-
-    # Updates (§4): maintain the canonical form in place.  The work done
-    # is counted in compositions/decompositions — and is independent of
-    # how many tuples the relation has (Theorem A-4).
-    store = CanonicalNFR(flat, ["Course", "Club", "Student"])
-    store.counter.mark("updates")
-    store.insert_values("s3", "c2", "b1")   # s3 picks up course c2
-    store.delete_values("s1", "c1", "b1")   # s1 drops course c1
-    delta = store.counter.since("updates")
-    print(store.relation.to_table(title="after insert + delete"))
-    print(
-        f"update cost: {delta.compositions} compositions, "
-        f"{delta.decompositions} decompositions"
+    # ---- the embedded database: connect -> cursor -> execute(params) ----
+    conn = repro.connect()
+    conn.database.register(
+        "Enrollment", flat, order=["Course", "Club", "Student"]
     )
-    assert store.is_canonical()
+
+    # Parameterized query: `?` placeholders bind from a sequence.
+    cursor = conn.execute(
+        "SELECT Enrollment WHERE Club CONTAINS ?", ["b1"]
+    )
+    print("who is in club b1?")
+    for row in cursor:          # rows are tuples of ValueSet components
+        print("  ", row)
+    print()
+
+    # Prepared statement: parsed and planned once, executed many times
+    # with different bindings (`:name` placeholders bind from a mapping).
+    stmt = conn.prepare(
+        "SELECT Enrollment WHERE Student CONTAINS :who"
+    )
+    for who in ("s1", "s2", "s3"):
+        rows = stmt.execute({"who": who}).fetchall()
+        print(f"{who} appears in {len(rows)} NFR tuple(s)")
+    print()
+
+    # Transactions: each DML records its §4 inverse operation; ROLLBACK
+    # replays the undo log, COMMIT discards it.
+    conn.execute("BEGIN")
+    conn.execute(
+        "INSERT INTO Enrollment VALUES (?, ?, ?)", ["s3", "c2", "b1"]
+    )
+    conn.execute(
+        "DELETE FROM Enrollment VALUES (?, ?, ?)", ["s1", "c1", "b1"]
+    )
+    print(conn.execute("Enrollment").table(title="inside the transaction"))
+    conn.execute("ROLLBACK")
+    print()
+    print(conn.execute("Enrollment").table(title="after ROLLBACK"))
+    store = conn.catalog.store_for("Enrollment")
+    print("still canonical:", store.is_canonical())
 
 
 if __name__ == "__main__":

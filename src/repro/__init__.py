@@ -24,6 +24,15 @@ Quickstart::
     store = CanonicalNFR(flat, ["Course", "Club", "Student"])
     store.insert_values("s2", "c2", "b2")
     print(store.relation.to_table())
+
+Embedding (the DB-API-flavoured facade, see :mod:`repro.db`)::
+
+    import repro
+
+    conn = repro.connect()
+    conn.database.register("R", flat)
+    for row in conn.execute("SELECT R WHERE Club CONTAINS ?", ["b1"]):
+        print(row)
 """
 
 from repro.core.canonical import (
@@ -49,6 +58,7 @@ from repro.core.fixedness import (
 )
 from repro.core.update import CanonicalNFR, NaiveCanonicalNFR
 from repro.core.values import ValueSet
+from repro.db import Connection, Cursor, Database, connect
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.mvd import MultivaluedDependency
 from repro.errors import ReproError
@@ -57,7 +67,7 @@ from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import FlatTuple
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -93,6 +103,11 @@ __all__ = [
     "determinant_fixed_order",
     "CanonicalNFR",
     "NaiveCanonicalNFR",
+    # embedded-database facade
+    "connect",
+    "Database",
+    "Connection",
+    "Cursor",
     # errors
     "ReproError",
 ]

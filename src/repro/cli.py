@@ -10,7 +10,12 @@ Usage::
     python -m repro repl --load Enrollment=data.txt
     python -m repro demo                            # Fig. 1 walkthrough
 
-Queries are planned (see :mod:`repro.planner`): ``ANALYZE name``
+The CLI runs entirely through the embedded facade (:mod:`repro.db`):
+each command opens a :class:`~repro.db.database.Database`, registers the
+``--load`` relations, and executes statements on a connection — the same
+surface embedding applications use, with its statement cache, plan cache
+and transaction scope (``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` work in the
+REPL).  Queries are planned (see :mod:`repro.planner`): ``ANALYZE name``
 collects statistics and opens the paged store, ``EXPLAIN expr`` shows
 the chosen physical plan, ``EXPLAIN ANALYZE expr`` also executes it and
 reports estimated vs actual rows and page I/O.
@@ -27,35 +32,35 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import db
 from repro.errors import ReproError
-from repro.query import Catalog, run
 from repro.relational import io as rio
 
 
-def _load_into(catalog: Catalog, name: str, path: str) -> None:
+def _load_into(database: db.Database, name: str, path: str) -> None:
     relation = rio.loads(Path(path).read_text())
-    catalog.register(name, relation)
+    database.register(name, relation)
 
 
-def _parse_load_args(catalog: Catalog, specs: list[str]) -> None:
+def _parse_load_args(database: db.Database, specs: list[str]) -> None:
     for spec in specs:
         if "=" not in spec:
             raise SystemExit(f"--load expects NAME=PATH, got {spec!r}")
         name, _, path = spec.partition("=")
-        _load_into(catalog, name, path)
+        _load_into(database, name, path)
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
-    catalog = Catalog()
-    _load_into(catalog, args.name, args.path)
-    relation = catalog.get(args.name)
+    database = db.Database()
+    _load_into(database, args.name, args.path)
+    relation = database.catalog.get(args.name)
     print(relation.to_table(title=args.name))
     print(f"{relation.flat_count} flat tuples")
     return 0
 
 
-def _print_io(catalog: Catalog) -> None:
-    io = catalog.last_io
+def _print_io(conn: db.Connection) -> None:
+    io = conn.catalog.last_io
     if io is None:
         return
     print(
@@ -65,7 +70,8 @@ def _print_io(catalog: Catalog) -> None:
     )
 
 
-def _print_storage(catalog: Catalog) -> None:
+def _print_storage(conn: db.Connection) -> None:
+    catalog = conn.catalog
     for name in catalog.names():
         store = catalog.store_if_open(name)
         if store is None:
@@ -80,29 +86,32 @@ def _print_storage(catalog: Catalog) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    catalog = Catalog()
-    _parse_load_args(catalog, args.load or [])
+    database = db.Database()
+    _parse_load_args(database, args.load or [])
+    conn = database.connect()
     try:
-        result = run(args.statement, catalog)
+        cursor = conn.execute(args.statement)
+        print(cursor.table())
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(result.to_table())
     if args.stats:
-        _print_io(catalog)
+        _print_io(conn)
     return 0
 
 
 def _cmd_repl(args: argparse.Namespace) -> int:
-    catalog = Catalog()
-    _parse_load_args(catalog, args.load or [])
+    database = db.Database()
+    _parse_load_args(database, args.load or [])
+    conn = database.connect()
     print(
         "NF2 query REPL — end statements with Enter; 'quit' to exit, "
         "'catalog' lists relations, 'storage' shows the paged stores, "
         "'io' shows the last statement's page I/O; EXPLAIN [ANALYZE] "
-        "shows query plans, ANALYZE <name> collects statistics."
+        "shows query plans, ANALYZE <name> collects statistics; "
+        "BEGIN/COMMIT/ROLLBACK scope transactions."
     )
-    print(f"catalog: {', '.join(catalog.names()) or '(empty)'}")
+    print(f"catalog: {', '.join(conn.catalog.names()) or '(empty)'}")
     while True:
         try:
             line = input("nf2> ").strip()
@@ -114,25 +123,25 @@ def _cmd_repl(args: argparse.Namespace) -> int:
         if line.lower() in ("quit", "exit", r"\q"):
             return 0
         if line.lower() in ("catalog", r"\d"):
-            for name in catalog.names():
-                rel = catalog.get(name)
+            for name in conn.catalog.names():
+                rel = conn.catalog.get(name)
                 print(
                     f"  {name}{rel.schema} — {rel.cardinality} tuples, "
                     f"{rel.flat_count} flats"
                 )
             continue
         if line.lower() in ("storage", r"\s"):
-            _print_storage(catalog)
+            _print_storage(conn)
             continue
         if line.lower() in ("io", r"\io"):
-            _print_io(catalog)
+            _print_io(conn)
             continue
         try:
-            previous_io = catalog.last_io
-            result = run(line, catalog)
-            print(result.to_table())
-            if args.stats and catalog.last_io is not previous_io:
-                _print_io(catalog)
+            previous_io = conn.catalog.last_io
+            cursor = conn.execute(line)
+            print(cursor.table())
+            if args.stats and conn.catalog.last_io is not previous_io:
+                _print_io(conn)
         except ReproError as exc:
             print(f"error: {exc}")
 
@@ -141,8 +150,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     del args
     from repro.workloads import paper_examples as pe
 
-    catalog = Catalog()
-    catalog.register(
+    conn = db.connect()
+    conn.database.register(
         "Enrollment", pe.FIG1_R1, order=["Course", "Club", "Student"]
     )
     statements = [
@@ -155,7 +164,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     ]
     for stmt in statements:
         print(f"nf2> {stmt}")
-        print(run(stmt, catalog).to_table())
+        print(conn.execute(stmt).table())
         print()
     return 0
 

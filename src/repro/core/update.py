@@ -207,10 +207,19 @@ class CanonicalNFR:
         by the very next insert).  Semantically identical to one-by-one
         insertion in any order.
         """
-        inserted = 0
+        return len(self.insert_batch_applied(flats))
+
+    def insert_batch_applied(
+        self, flats: Iterable[FlatTuple]
+    ) -> list[FlatTuple]:
+        """:meth:`insert_batch`, but returns the flats that were new —
+        the inverse-operation list a transactional caller must delete
+        to undo the batch."""
+        applied: list[FlatTuple] = []
         for flat in self._sorted_for_locality(flats):
-            inserted += self.insert_flat(flat)
-        return inserted
+            if self.insert_flat(flat):
+                applied.append(flat)
+        return applied
 
     def delete_batch(self, flats: Iterable[FlatTuple]) -> int:
         """Delete many flat tuples; returns how many were removed.

@@ -1,0 +1,79 @@
+"""repro.db — the embedded-database facade (DB-API 2.0 flavoured).
+
+The "logical navigation free" access a relational engine owes its
+embedders: one coherent connection/cursor surface over the NF2 query
+language, replacing ad-hoc ``Catalog`` + ``parse``/``evaluate`` calls
+with parameter binding, prepared statements (plan caching) and
+transactions::
+
+    import repro.db
+
+    conn = repro.db.connect()
+    conn.database.register("Enrollment", relation,
+                           order=["Course", "Club", "Student"])
+
+    cur = conn.execute(
+        "SELECT Enrollment WHERE Club CONTAINS ?", ["b1"])
+    for row in cur:                  # rows are tuples of ValueSets
+        print(row)
+
+    stmt = conn.prepare(
+        "SELECT Enrollment WHERE Student CONTAINS :who")
+    stmt.execute({"who": "s1"}).fetchall()   # planned exactly once
+
+    with conn:                       # commit on success, rollback on error
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO Enrollment VALUES (?, ?, ?)",
+                     ["s9", "c1", "b1"])
+
+Layering: :func:`connect` -> :class:`Database` (owns the
+:class:`~repro.query.catalog.Catalog` and paged stores) ->
+:class:`Connection` (session caches, transaction scope) ->
+:class:`Cursor` (execute/fetch, streaming off the batch executor).
+"""
+
+from repro.db.connection import Connection, PreparedStatement
+from repro.db.cursor import Cursor
+from repro.db.database import Database, connect
+from repro.db.exceptions import (
+    DatabaseError,
+    DataError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+)
+from repro.db.plancache import PlanCache
+
+#: DB-API 2.0 module attributes.
+apilevel = "2.0"
+#: Threads may share the module, not connections.
+threadsafety = 1
+#: Primary parameter style (``:name`` named parameters also work).
+paramstyle = "qmark"
+
+__all__ = [
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "connect",
+    "Database",
+    "Connection",
+    "PreparedStatement",
+    "Cursor",
+    "PlanCache",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+]

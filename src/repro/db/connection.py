@@ -1,0 +1,257 @@
+"""Connection: session state, statement/plan caches, transaction scope.
+
+A Connection is one session over a :class:`~repro.db.database.Database`.
+It owns two caches:
+
+- a parse cache (statement text -> AST), so re-executing the same text
+  never re-tokenizes;
+- a :class:`~repro.db.plancache.PlanCache` of physical plans keyed on
+  AST shape + the catalog's statistics version, so a parameterized
+  statement executed many times (directly or through
+  :meth:`Connection.prepare`) parses and plans exactly once until some
+  DML, rebind or ``ANALYZE`` invalidates the statistics it was costed
+  against.
+
+Transactions are catalog-level undo logs: :meth:`begin` (or a ``BEGIN``
+statement) starts recording inverse operations, :meth:`commit` discards
+them, :meth:`rollback` replays them in reverse — DML is reversed through
+the §4 inverse store operations, rebinds restore the captured previous
+binding.  Used as a context manager the connection commits an open
+transaction on clean exit and rolls it back when the block raises
+(sqlite3 semantics; the connection stays open either way).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.db.cursor import Cursor
+from repro.db.exceptions import (
+    InterfaceError,
+    OperationalError,
+    translating_engine_errors,
+)
+from repro.db.plancache import PlanCache
+from repro.planner import PhysicalPlan, plan
+from repro.query import ast
+from repro.query.catalog import Catalog
+from repro.query.params import collect_parameters
+from repro.query.parser import parse
+
+#: Parsed-statement cache entries kept per connection.
+AST_CACHE_SIZE = 128
+
+
+class Connection:
+    """One session over an embedded database; create via
+    :func:`repro.db.connect` or :meth:`Database.connect`."""
+
+    def __init__(self, database, plan_cache_size: int = 64):
+        self._database = database
+        self._plan_cache = PlanCache(plan_cache_size)
+        self._ast_cache = PlanCache(AST_CACHE_SIZE)
+        self._closed = False
+        # The catalog's transaction scope is shared by every connection
+        # on the database; this flag marks whether *this* session opened
+        # the current one, so close()/commit()/rollback()/__exit__ never
+        # end a transaction another session owns.
+        self._owns_transaction = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def database(self):
+        """The :class:`~repro.db.database.Database` this session is on."""
+        return self._database
+
+    @property
+    def catalog(self) -> Catalog:
+        """The shared catalog (compatibility surface for tooling)."""
+        return self._database.catalog
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_transaction(self) -> bool:
+        """Is a transaction (undo log) open on the catalog?"""
+        return self.catalog.in_transaction
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The session's plan cache (exposed for instrumentation)."""
+        return self._plan_cache
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    # -- statement plumbing ----------------------------------------------------
+
+    def _parse(self, sql: str) -> ast.Node:
+        """Parse one statement, memoized on the exact text."""
+        cached = self._ast_cache.get(sql)
+        if cached is None:
+            cached = parse(sql)
+            self._ast_cache.put(sql, cached)
+        return cached
+
+    def _plan_for(self, node: ast.Expression) -> PhysicalPlan:
+        """The cached physical plan for an expression shape, planning
+        (and caching) on first use per statistics version."""
+        key = (node, self.catalog.stats_version)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            cached = plan(node, self.catalog)
+            self._plan_cache.put(key, cached)
+        return cached
+
+    # -- cursors and execution -------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        """A new cursor over this connection."""
+        self._check_open()
+        return Cursor(self)
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] | Mapping[str, Any] | None = None,
+    ) -> Cursor:
+        """Shortcut: ``cursor().execute(sql, params)``."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Sequence[Any] | Mapping[str, Any]]
+    ) -> Cursor:
+        """Shortcut: ``cursor().executemany(sql, seq_of_params)``."""
+        return self.cursor().executemany(sql, seq_of_params)
+
+    def executescript(self, script: str) -> Cursor:
+        """Shortcut: ``cursor().executescript(script)``."""
+        return self.cursor().executescript(script)
+
+    def prepare(self, sql: str):
+        """Parse ``sql`` once and return a
+        :class:`PreparedStatement`.  Expression statements are planned
+        immediately; every subsequent ``execute(params)`` binds values
+        into the cached plan without re-parsing or re-planning (until
+        DML/ANALYZE bumps the statistics version)."""
+        self._check_open()
+        node = self._parse(sql)
+        if isinstance(node, ast.Expression):
+            self._plan_for(node)
+        return PreparedStatement(self, sql, node)
+
+    # -- transactions ----------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open a transaction (equivalent to executing ``BEGIN``)."""
+        self._check_open()
+        with translating_engine_errors():
+            self.catalog.begin()
+        self._owns_transaction = True
+
+    def _note_transaction_statement(self, node: ast.Node) -> None:
+        """Track ownership when BEGIN/COMMIT/ROLLBACK run as statements
+        through a cursor of this connection."""
+        if isinstance(node, ast.Begin):
+            self._owns_transaction = True
+        elif isinstance(node, (ast.Commit, ast.Rollback)):
+            self._owns_transaction = False
+
+    def commit(self) -> None:
+        """Commit the transaction this session opened.  A no-op in
+        autocommit mode (no transaction open), per DB-API convention —
+        but if *another* session's transaction is open, this session's
+        statements landed in that transaction's scope, so a silent
+        no-op would falsely promise durability: it raises
+        :class:`~repro.db.exceptions.OperationalError` instead."""
+        self._check_open()
+        if not self.catalog.in_transaction:
+            return
+        if not self._owns_transaction:
+            raise OperationalError(
+                "cannot commit: transaction was opened by another session"
+            )
+        self.catalog.commit()
+        self._owns_transaction = False
+
+    def rollback(self) -> None:
+        """Roll back the transaction this session opened; a no-op in
+        autocommit mode; raises when another session's transaction is
+        open (see :meth:`commit`)."""
+        self._check_open()
+        if not self.catalog.in_transaction:
+            return
+        if not self._owns_transaction:
+            raise OperationalError(
+                "cannot rollback: transaction was opened by another session"
+            )
+        self.catalog.rollback()
+        self._owns_transaction = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the session: a transaction *this session* opened is
+        rolled back (one another session owns is left untouched), the
+        caches are dropped, and every further operation (including on
+        live cursors) raises :class:`~repro.db.exceptions.InterfaceError`.
+        Closing twice is a no-op."""
+        if self._closed:
+            return
+        if self.catalog.in_transaction and self._owns_transaction:
+            self.catalog.rollback()
+            self._owns_transaction = False
+        self._plan_cache.clear()
+        self._ast_cache.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Only end a transaction this session opened — never replace an
+        # in-flight exception with a foreign-transaction complaint.
+        if not (self.catalog.in_transaction and self._owns_transaction):
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Connection({state}, {len(self.catalog)} relations)"
+
+
+class PreparedStatement:
+    """A parsed (and, for queries, planned) statement bound to a
+    connection.  ``execute(params)`` returns a fresh
+    :class:`~repro.db.cursor.Cursor` over the result; the underlying
+    plan is shared, so finish fetching one execution before starting
+    the next on the same statement."""
+
+    def __init__(self, connection: Connection, text: str, node: ast.Node):
+        self._connection = connection
+        self.text = text
+        self.node = node
+        #: The placeholders this statement binds, in first-appearance
+        #: order.
+        self.parameters = collect_parameters(node)
+
+    def execute(
+        self,
+        params: Sequence[Any] | Mapping[str, Any] | None = None,
+    ) -> Cursor:
+        """Bind ``params`` and execute, returning a new cursor."""
+        cursor = self._connection.cursor()
+        return cursor._execute_node(
+            self.node, params, parameters=self.parameters
+        )
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.text!r})"

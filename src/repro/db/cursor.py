@@ -1,0 +1,351 @@
+"""Cursor: execute statements, stream and fetch rows.
+
+Query results stream batch-at-a-time off the planner's executor
+(:func:`repro.query.evaluator.stream_plan` over the connection's cached
+physical plan), deduplicating across batches so fetch semantics match
+the set semantics of :func:`~repro.query.evaluator.evaluate`.  A row is
+a plain tuple of :class:`~repro.core.values.ValueSet` components in
+schema order; :attr:`Cursor.description` names the columns DB-API
+style.
+
+DML statements execute eagerly: ``rowcount`` is the number of flat
+tuples the statement applied, and inside a transaction the inverse
+operation is recorded for ``ROLLBACK``.  ``executemany`` batches
+INSERTs through :meth:`~repro.storage.engine.NFRStore.insert_many`
+(one batched page-write pass instead of one per statement);
+``executescript`` runs a ``;``-separated script statement by statement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.nfr_relation import NFRelation
+from repro.db.exceptions import (
+    InterfaceError,
+    OperationalError,
+    ProgrammingError,
+    translating_engine_errors,
+)
+from repro.errors import BindingError
+from repro.planner.explain import ExplainResult
+from repro.query import ast
+from repro.query.evaluator import evaluate, stream_plan
+from repro.query.params import (
+    bind_node,
+    bind_statement,
+    collect_parameters,
+    make_binding,
+)
+from repro.query.parser import parse_script
+from repro.relational.tuples import FlatTuple
+
+Row = tuple
+
+
+class Cursor:
+    """A DB-API-flavoured cursor; create via
+    :meth:`~repro.db.connection.Connection.cursor`."""
+
+    def __init__(self, connection):
+        self._connection = connection
+        self._closed = False
+        #: Rows fetchmany() returns when called without a size.
+        self.arraysize = 1
+        self._reset()
+
+    def _reset(self) -> None:
+        #: Column descriptions: 7-tuples ``(name, type_code, None, ...)``
+        #: per DB-API, or None when the statement returns no rows.
+        self.description: tuple | None = None
+        #: Flat tuples applied by the last DML statement; -1 otherwise.
+        self.rowcount = -1
+        self._schema = None
+        self._batches: Iterator | None = None
+        self._pending: deque = deque()
+        self._seen: set = set()
+        self._relation: NFRelation | None = None
+        self._rel_iter: Iterator | None = None
+        self._explain: ExplainResult | None = None
+        self._explain_done = False
+
+    # -- guards ----------------------------------------------------------------
+
+    @property
+    def connection(self):
+        return self._connection
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self._connection._check_open()
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] | Mapping[str, Any] | None = None,
+    ) -> "Cursor":
+        """Execute one statement.  ``?`` placeholders bind from a
+        sequence, ``:name`` placeholders from a mapping.  Returns the
+        cursor itself, so results chain: ``for row in
+        conn.execute(...)``."""
+        self._check_open()
+        return self._execute_node(self._connection._parse(sql), params)
+
+    def _execute_node(
+        self,
+        node: ast.Node,
+        params: Sequence[Any] | Mapping[str, Any] | None,
+        parameters: tuple[ast.Parameter, ...] | None = None,
+    ) -> "Cursor":
+        self._check_open()
+        self._reset()
+        catalog = self._connection.catalog
+        if parameters is None:
+            # A prepared statement passes its precomputed placeholder
+            # list; ad-hoc execution collects it here.
+            parameters = collect_parameters(node)
+        try:
+            binding = make_binding(parameters, params)
+        except BindingError as exc:
+            raise ProgrammingError(str(exc)) from exc
+        if isinstance(node, ast.Expression):
+            physical = self._connection._plan_for(node)
+            self._schema = physical.root.output_schema()
+            self._batches = self._bound_stream(physical, binding)
+            self._set_description(self._schema.names)
+            return self
+        bound = bind_node(node, binding)
+        if (
+            isinstance(node, (ast.Commit, ast.Rollback))
+            and catalog.in_transaction
+            and not self._connection._owns_transaction
+        ):
+            raise OperationalError(
+                "transaction was opened by another session"
+            )
+        previous_io = catalog.last_io
+        with translating_engine_errors():
+            result = evaluate(bound, catalog)
+        self._connection._note_transaction_statement(node)
+        if isinstance(result, ExplainResult):
+            self._explain = result
+        else:
+            self._relation = result
+            self._set_description(result.schema.names)
+            if isinstance(node, (ast.InsertValues, ast.DeleteValues)):
+                io = catalog.last_io
+                self.rowcount = (
+                    io.flats_produced
+                    if io is not None and io is not previous_io
+                    else 0
+                )
+        return self
+
+    def _bound_stream(self, physical, binding):
+        """Stream a (possibly shared, cached) plan under this cursor's
+        own binding.  The plan's :class:`ParamSlots` are re-asserted
+        before every batch pull: batch production is synchronous inside
+        ``next()``, so two cursors interleaving fetches over the same
+        cached plan each see their own values instead of whichever
+        execution bound last."""
+        catalog = self._connection.catalog
+        stream = stream_plan(physical, catalog)
+        while True:
+            if physical.params.binding is not binding:
+                physical.params.bind(binding)
+            try:
+                batch = next(stream)
+            except StopIteration:
+                return
+            yield batch
+
+    def executemany(
+        self,
+        sql: str,
+        seq_of_params: Iterable[Sequence[Any] | Mapping[str, Any]],
+    ) -> "Cursor":
+        """Execute one parameterized statement per parameter set.
+        ``INSERT`` statements take the batched fast path —
+        :meth:`NFRStore.insert_many` writes pages once per touched page
+        instead of once per statement — and ``rowcount`` is the number
+        of flat tuples actually new to the relation.  Queries are
+        rejected (use :meth:`execute`)."""
+        self._check_open()
+        node = self._connection._parse(sql)
+        if isinstance(node, ast.Expression):
+            raise ProgrammingError(
+                "executemany() cannot run queries; use execute()"
+            )
+        if isinstance(node, ast.InsertValues):
+            return self._insert_many(node, seq_of_params)
+        total = 0
+        any_dml = False
+        for params in seq_of_params:
+            self._execute_node(node, params)
+            if self.rowcount >= 0:
+                any_dml = True
+                total += self.rowcount
+        self.rowcount = total if any_dml else -1
+        return self
+
+    def _insert_many(
+        self,
+        node: ast.InsertValues,
+        seq_of_params: Iterable[Sequence[Any] | Mapping[str, Any]],
+    ) -> "Cursor":
+        catalog = self._connection.catalog
+        store = catalog.store_for(node.name)
+        flats = []
+        for params in seq_of_params:
+            try:
+                bound = bind_statement(node, params)
+            except BindingError as exc:
+                raise ProgrammingError(str(exc)) from exc
+            flats.append(FlatTuple(store.schema, list(bound.values)))
+        with translating_engine_errors():
+            applied, mstats = store.insert_many(flats)
+        if applied:
+            catalog.record_undo(
+                lambda: (
+                    store.delete_batch(applied),
+                    catalog.sync_from_store(node.name),
+                )
+            )
+        catalog.record_io(mstats)
+        self._reset()
+        self._relation = catalog.sync_from_store(node.name)
+        self._set_description(self._relation.schema.names)
+        self.rowcount = len(applied)
+        return self
+
+    def executescript(self, script: str) -> "Cursor":
+        """Execute a ``;``-separated multi-statement script in order.
+        Scripts take no parameters; the cursor is left on the last
+        statement's result.  A parse error names the failing statement's
+        index."""
+        self._check_open()
+        for node in parse_script(script):
+            self._execute_node(node, None)
+        return self
+
+    # -- fetching --------------------------------------------------------------
+
+    def _set_description(self, names: Sequence[str]) -> None:
+        self.description = tuple(
+            (name, "SET", None, None, None, None, None) for name in names
+        )
+
+    def _row(self, t) -> Row:
+        return tuple(t.components)
+
+    def _next_row(self) -> Row | None:
+        if self._explain is not None:
+            if self._explain_done:
+                return None
+            self._explain_done = True
+            return (self._explain.text,)
+        if self._relation is not None:
+            if self._rel_iter is None:
+                self._rel_iter = iter(self._relation.sorted_tuples())
+            t = next(self._rel_iter, None)
+            return None if t is None else self._row(t)
+        if self._batches is None:
+            raise InterfaceError("no result set; call execute() first")
+        while True:
+            if self._pending:
+                return self._row(self._pending.popleft())
+            batch = next(self._batches, None)
+            if batch is None:
+                return None
+            for t in batch:
+                if t not in self._seen:
+                    self._seen.add(t)
+                    self._pending.append(t)
+
+    def fetchone(self) -> Row | None:
+        """The next result row, or None when exhausted."""
+        self._check_open()
+        return self._next_row()
+
+    def fetchmany(self, size: int | None = None) -> list[Row]:
+        """Up to ``size`` rows (default :attr:`arraysize`)."""
+        self._check_open()
+        if size is None:
+            size = self.arraysize
+        rows: list[Row] = []
+        while len(rows) < size:
+            row = self._next_row()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def fetchall(self) -> list[Row]:
+        """All remaining rows."""
+        self._check_open()
+        rows: list[Row] = []
+        while True:
+            row = self._next_row()
+            if row is None:
+                return rows
+            rows.append(row)
+
+    def __iter__(self) -> Iterator[Row]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- rich results ----------------------------------------------------------
+
+    def result_relation(self) -> NFRelation:
+        """Materialise the full result (already-fetched rows included)
+        as an :class:`~repro.core.nfr_relation.NFRelation` — the bridge
+        back to the library API (``.to_table()``, algebra, …)."""
+        self._check_open()
+        if self._relation is not None:
+            return self._relation
+        if self._explain is not None:
+            raise ProgrammingError(
+                "statement produced text output, not rows"
+            )
+        if self._batches is None:
+            raise InterfaceError("no result set; call execute() first")
+        for batch in self._batches:
+            self._seen.update(batch)
+        self._batches = iter(())
+        return NFRelation(self._schema, self._seen)
+
+    def table(self, title: str | None = None) -> str:
+        """Render the result the way the CLI prints it: plan/analyze
+        text verbatim, relations via ``to_table``."""
+        self._check_open()
+        if self._explain is not None:
+            return self._explain.to_table(title)
+        return self.result_relation().to_table(title=title)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Discard the result set; further operations raise
+        :class:`~repro.db.exceptions.InterfaceError`.  Idempotent."""
+        self._closed = True
+        self._batches = None
+        self._pending.clear()
+        self._seen = set()
+
+    def __enter__(self) -> "Cursor":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Cursor({state})"

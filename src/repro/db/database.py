@@ -1,0 +1,71 @@
+"""The :class:`Database` object: owner of the catalog and its stores.
+
+A Database is the process-embedded analogue of a database file: it owns
+the :class:`~repro.query.catalog.Catalog` (named relations, nest
+orders, paged :class:`~repro.storage.engine.NFRStore` backings, cached
+planner statistics) and hands out :class:`~repro.db.connection.Connection`
+sessions over it.  Multiple connections share the same catalog state;
+each keeps its own statement and plan caches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.nfr_relation import NFRelation
+from repro.query.catalog import Catalog
+from repro.relational.relation import Relation
+
+
+class Database:
+    """An embedded NF2 database: the catalog plus everything hanging
+    off it.  Create one directly (optionally around an existing
+    :class:`Catalog`) or implicitly through :func:`repro.db.connect`."""
+
+    def __init__(self, catalog: Catalog | None = None):
+        self.catalog = catalog if catalog is not None else Catalog()
+
+    def connect(self, plan_cache_size: int = 64):
+        """Open a new :class:`~repro.db.connection.Connection` session
+        over this database."""
+        from repro.db.connection import Connection
+
+        return Connection(self, plan_cache_size=plan_cache_size)
+
+    def register(
+        self,
+        name: str,
+        relation: NFRelation | Relation,
+        order: Sequence[str] | None = None,
+        mode: str = "nfr",
+    ) -> None:
+        """Register a relation under ``name`` (see
+        :meth:`repro.query.catalog.Catalog.register`)."""
+        self.catalog.register(name, relation, order=order, mode=mode)
+
+    def names(self) -> list[str]:
+        """Registered relation names, sorted."""
+        return self.catalog.names()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.catalog
+
+    def __repr__(self) -> str:
+        return f"Database({len(self.catalog)} relations)"
+
+
+def connect(database: "Database | Catalog | None" = None):
+    """Open a connection to an embedded NF2 database.
+
+    With no argument a fresh, empty in-memory :class:`Database` is
+    created (register relations through
+    ``connection.database.register(...)`` or ``LET`` statements).  Pass
+    an existing :class:`Database` to open another session over it, or a
+    bare :class:`~repro.query.catalog.Catalog` to adopt one built by the
+    compatibility API.
+    """
+    if database is None:
+        database = Database()
+    elif isinstance(database, Catalog):
+        database = Database(database)
+    return database.connect()

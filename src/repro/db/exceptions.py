@@ -1,0 +1,81 @@
+"""DB-API 2.0 exception hierarchy for :mod:`repro.db`.
+
+Every exception derives from both the package-wide
+:class:`~repro.errors.ReproError` (so existing ``except ReproError``
+callers keep working) and the PEP 249 names embedders expect.
+
+At the facade boundary engine errors are *translated* into this
+hierarchy (:func:`translating_engine_errors`):
+
+- :class:`~repro.errors.UpdateError` (e.g. deleting an absent flat
+  tuple) -> :class:`IntegrityError`;
+- :class:`~repro.errors.TransactionError` (BEGIN inside a transaction,
+  COMMIT/ROLLBACK without one) -> :class:`OperationalError`.
+
+Syntax- and query-level errors (:class:`~repro.errors.LexError`,
+:class:`~repro.errors.ParseError`, :class:`~repro.errors.CatalogError`,
+:class:`~repro.errors.EvaluationError`, …) pass through unchanged —
+they already live under :class:`~repro.errors.ReproError` and carry
+positions the embedder usually wants verbatim.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import ReproError, TransactionError, UpdateError
+
+
+class Warning(ReproError):  # noqa: A001 - PEP 249 mandates the name
+    """Important non-fatal notice (PEP 249)."""
+
+
+class Error(ReproError):
+    """Base class of all errors the embedded facade raises (PEP 249)."""
+
+
+class InterfaceError(Error):
+    """Misuse of the interface itself: operating on a closed connection
+    or cursor, fetching with no result set pending."""
+
+
+class DatabaseError(Error):
+    """Base class for errors related to the database."""
+
+
+class DataError(DatabaseError):
+    """A value is out of range or of the wrong type for its domain."""
+
+
+class OperationalError(DatabaseError):
+    """The database hit an operational problem not caused by the
+    programmer (storage failures, resource exhaustion)."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint would be violated (e.g. deleting an absent tuple)."""
+
+
+class InternalError(DatabaseError):
+    """The engine reached an inconsistent internal state."""
+
+
+class ProgrammingError(DatabaseError):
+    """The caller got the protocol wrong: bad parameter counts or
+    names, executemany of a query, scripts with placeholders."""
+
+
+class NotSupportedError(DatabaseError):
+    """The requested feature is not supported by this engine."""
+
+
+@contextmanager
+def translating_engine_errors():
+    """Map engine-level failures onto the PEP 249 hierarchy at the
+    facade boundary (see the module docstring for the mapping)."""
+    try:
+        yield
+    except UpdateError as exc:
+        raise IntegrityError(str(exc)) from exc
+    except TransactionError as exc:
+        raise OperationalError(str(exc)) from exc

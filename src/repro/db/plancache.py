@@ -1,0 +1,56 @@
+"""LRU cache of physical plans, keyed on AST shape + statistics version.
+
+A parameterized statement's AST is hashable (frozen dataclasses all the
+way down) and contains :class:`~repro.query.ast.Parameter` placeholders
+rather than values, so every execution of the same statement *shape*
+maps to one key.  The second key component is
+:attr:`~repro.query.catalog.Catalog.stats_version`, which the catalog
+bumps on every DML, rebind and ANALYZE — a cached plan is therefore
+reused exactly until the statistics it was costed against change, and
+replanned (once) after.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class PlanCache:
+    """A small LRU mapping of ``(ast_node, stats_version)`` -> plan."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._plans: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached plan for ``key``, refreshing its recency; None on
+        a miss."""
+        try:
+            self._plans.move_to_end(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._plans[key]
+
+    def put(self, key: Hashable, plan: Any) -> None:
+        """Insert ``plan`` under ``key``, evicting the least recently
+        used entries beyond capacity."""
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._plans

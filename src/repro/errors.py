@@ -142,6 +142,7 @@ class LexError(QueryError):
         self.position = position
         self.line = line
         self.column = column
+        self.raw_message = message
         super().__init__(message + _position_suffix(position, line, column))
 
 
@@ -158,11 +159,23 @@ class ParseError(QueryError):
         self.position = position
         self.line = line
         self.column = column
+        self.raw_message = message
         super().__init__(message + _position_suffix(position, line, column))
 
 
 class EvaluationError(QueryError):
     """A syntactically valid query failed during evaluation."""
+
+
+class BindingError(EvaluationError):
+    """Parameter binding failed: wrong positional count, a missing or
+    unknown name, mixed ``?`` and ``:name`` styles, or execution of a
+    parameterized statement without bound values."""
+
+
+class TransactionError(QueryError):
+    """Transaction misuse: BEGIN inside an open transaction, or
+    COMMIT/ROLLBACK without one."""
 
 
 class PlanError(QueryError):

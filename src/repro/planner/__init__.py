@@ -27,7 +27,7 @@ Entry point::
 """
 
 from repro.planner.explain import ExplainResult, render_plan
-from repro.planner.planner import PhysicalPlan, plan
+from repro.planner.planner import PhysicalPlan, plan, plan_invocations
 from repro.planner.stats import AttributeStats, RelationStats, collect_stats
 
 __all__ = [
@@ -37,5 +37,6 @@ __all__ = [
     "RelationStats",
     "collect_stats",
     "plan",
+    "plan_invocations",
     "render_plan",
 ]

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import EvaluationError
+from repro.core.values import ValueSet
 from repro.nf2_algebra.operators import (
     ComponentPredicate,
     component_eq,
@@ -33,6 +34,7 @@ from repro.nf2_algebra.operators import (
     contains,
 )
 from repro.query import ast
+from repro.query.params import ParamSlots, has_parameters
 
 
 class LogicalPlan:
@@ -239,25 +241,90 @@ def indexable_atoms(cond: ast.Condition) -> list[tuple[str, object]]:
 
 
 def compile_conjuncts(
-    conjuncts: tuple[ast.Condition, ...]
+    conjuncts: tuple[ast.Condition, ...],
+    slots: ParamSlots | None = None,
 ) -> ComponentPredicate:
     """Compile a conjunct list into a single
     :class:`~repro.nf2_algebra.operators.ComponentPredicate` (reusing the
     nf2_algebra predicate constructors, so atom-stability metadata rides
-    along for free)."""
-    compiled = [_compile_one(c) for c in conjuncts]
+    along for free).  Conjuncts containing
+    :class:`~repro.query.ast.Parameter` placeholders compile to
+    *late-bound* predicates that resolve values through ``slots`` at
+    call time — the plan is built once and re-executed per binding."""
+    compiled = [_compile_one(c, slots) for c in conjuncts]
     if len(compiled) == 1:
         return compiled[0]
     return conjunction(*compiled)
 
 
-def _compile_one(cond: ast.Condition) -> ComponentPredicate:
+def _compile_one(
+    cond: ast.Condition, slots: ParamSlots | None
+) -> ComponentPredicate:
+    if has_parameters(cond):
+        if slots is None:
+            raise EvaluationError(
+                f"condition {cond!r} contains unbound parameters"
+            )
+        return _compile_late_bound(cond, slots)
     if isinstance(cond, ast.Contains):
         return contains(cond.attribute, cond.value)
     if isinstance(cond, ast.SingletonEquals):
         return component_eq(cond.attribute, [cond.value])
     if isinstance(cond, ast.ComponentEquals):
         return component_eq(cond.attribute, list(cond.values))
+    raise EvaluationError(f"unknown condition {cond!r}")
+
+
+def _compile_late_bound(
+    cond: ast.Condition, slots: ParamSlots
+) -> ComponentPredicate:
+    """A predicate whose literal values resolve through ``slots`` per
+    execution.  Equality targets are memoised per binding generation so
+    the target :class:`ValueSet` is built once per execution, not per
+    tuple."""
+    attribute = cond.attribute
+    if isinstance(cond, ast.Contains):
+        value = cond.value
+        memo: dict = {"generation": -1, "atom": None}
+
+        def contains_fn(t, _memo=memo):
+            if _memo["generation"] != slots.generation:
+                _memo["atom"] = slots.resolve(value)
+                _memo["generation"] = slots.generation
+            return _memo["atom"] in t[attribute]
+
+        return ComponentPredicate(
+            contains_fn,
+            [attribute],
+            atom_stable=True,
+            description=f"{attribute} CONTAINS {value!r}",
+        )
+    if isinstance(cond, (ast.SingletonEquals, ast.ComponentEquals)):
+        if isinstance(cond, ast.SingletonEquals):
+            values: tuple = (cond.value,)
+        else:
+            values = cond.values
+        memo: dict = {"generation": -1, "target": None}
+
+        def fn(t, _values=values, _memo=memo):
+            if _memo["generation"] != slots.generation:
+                _memo["target"] = ValueSet(
+                    [slots.resolve(v) for v in _values]
+                )
+                _memo["generation"] = slots.generation
+            return t[attribute] == _memo["target"]
+
+        shown = (
+            repr(values[0])
+            if isinstance(cond, ast.SingletonEquals)
+            else "{" + ", ".join(repr(v) for v in values) + "}"
+        )
+        return ComponentPredicate(
+            fn,
+            [attribute],
+            atom_stable=False,
+            description=f"{attribute} = {shown}",
+        )
     raise EvaluationError(f"unknown condition {cond!r}")
 
 
@@ -281,9 +348,16 @@ def fold_conjuncts(
     - two different equality targets on the same attribute contradict;
     - ``A CONTAINS v`` contradicts ``A = target`` when ``v`` is not in
       the target set, and is subsumed by it (dropped) when it is.
+
+    Conjuncts containing parameter placeholders take no part in the
+    value-sensitive folds (their values are unknown at plan time); exact
+    duplicates still collapse, which is sound because equal placeholders
+    bind to equal values.
     """
     equals: dict[str, frozenset] = {}
     for c in conjuncts:
+        if has_parameters(c):
+            continue
         if isinstance(c, ast.SingletonEquals):
             target = frozenset([c.value])
         elif isinstance(c, ast.ComponentEquals):
@@ -301,7 +375,7 @@ def fold_conjuncts(
         if c in seen:
             continue
         seen.add(c)
-        if isinstance(c, ast.Contains):
+        if isinstance(c, ast.Contains) and not has_parameters(c):
             target = equals.get(c.attribute)
             if target is not None:
                 if c.value not in target:

@@ -47,7 +47,7 @@ one build pass and one probe pass.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.core.canonical import canonical_form
 from repro.core.nest import nest_sequence
@@ -59,6 +59,9 @@ from repro.planner.cost import CostEstimate
 from repro.relational.algebra import difference, natural_join
 from repro.relational.schema import RelationSchema
 from repro.storage.engine import NFRStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query.params import ParamSlots
 
 #: Tuples per streamed batch.  Small enough that a pipeline's working
 #: set stays a few hundred tuples regardless of input cardinality,
@@ -302,7 +305,12 @@ class HeapScan(_StoreScan):
 
 
 class IndexScan(_StoreScan):
-    """AtomIndex candidate probes + residual predicate recheck."""
+    """AtomIndex candidate probes + residual predicate recheck.
+
+    Probe atoms may be :class:`~repro.query.ast.Parameter` placeholders
+    when the plan was built for a parameterized statement; they resolve
+    through ``slots`` each time the scan starts, so a cached plan probes
+    with the current binding's values."""
 
     def __init__(
         self,
@@ -312,12 +320,17 @@ class IndexScan(_StoreScan):
         predicate: ComponentPredicate,
         est: CostEstimate,
         needed: tuple[str, ...] | None = None,
+        slots: "ParamSlots | None" = None,
     ):
         super().__init__(store, name, est, predicate, needed)
         self.atoms = list(atoms)
+        self.slots = slots
 
     def _stream(self) -> Iterator[NFRTuple]:
-        return self.store.stream_probe(self.atoms, self.needed)
+        atoms = self.atoms
+        if self.slots is not None:
+            atoms = [(a, self.slots.resolve(v)) for a, v in atoms]
+        return self.store.stream_probe(atoms, self.needed)
 
     def describe(self) -> str:
         probes = ", ".join(f"{a}∋{v!r}" for a, v in self.atoms)

@@ -32,20 +32,43 @@ from repro.planner import physical as P
 from repro.planner.explain import render_plan
 from repro.planner.rules import RewriteContext, rewrite
 from repro.planner.stats import RelationStats
+from repro.query.params import ParamSlots
 from repro.storage.engine import ScanStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.query import ast
     from repro.query.catalog import Catalog
 
+#: Cumulative count of :func:`plan` invocations this process.  The plan
+#: cache benchmarks diff this counter to prove a prepared statement
+#: plans once, however many times it executes.
+_plan_invocations = 0
+
+
+def plan_invocations() -> int:
+    """How many times :func:`plan` has run in this process (a monotone
+    counter; diff two readings to count planner work in a window)."""
+    return _plan_invocations
+
 
 class PhysicalPlan:
     """A planned query: the physical operator tree plus its logical
-    ancestry, ready to execute."""
+    ancestry, ready to execute.
 
-    def __init__(self, root: P.PhysicalOp, logical: L.LogicalPlan):
+    ``params`` is the plan's :class:`~repro.query.params.ParamSlots` —
+    for a parameterized statement, bind values there
+    (``plan.params.bind(binding)``) before executing; the same plan
+    object then serves every subsequent binding."""
+
+    def __init__(
+        self,
+        root: P.PhysicalOp,
+        logical: L.LogicalPlan,
+        params: ParamSlots | None = None,
+    ):
         self.root = root
         self.logical = logical
+        self.params = params if params is not None else ParamSlots()
         self.executed = False
 
     def execute(self) -> NFRelation:
@@ -71,17 +94,24 @@ def plan(
     node: "ast.Expression",
     catalog: "Catalog",
     use_index: bool | None = None,
+    params: ParamSlots | None = None,
 ) -> PhysicalPlan:
     """Plan an AST expression against ``catalog``.
 
     ``use_index`` forces index scans on (True) or off (False); the
-    default lets the cost model decide.
+    default lets the cost model decide.  ``params`` supplies the slot
+    context late-bound predicates read at execution time (one is created
+    when omitted); expressions containing parameters must have values
+    bound there before the plan runs.
     """
+    global _plan_invocations
+    _plan_invocations += 1
+    slots = params if params is not None else ParamSlots()
     logical = L.lower(node)
     ctx = _context(catalog)
     logical = rewrite(logical, ctx)
-    builder = _Builder(catalog, ctx, use_index)
-    return PhysicalPlan(builder.build(logical), logical)
+    builder = _Builder(catalog, ctx, use_index, slots)
+    return PhysicalPlan(builder.build(logical), logical, slots)
 
 
 def _context(catalog: "Catalog") -> RewriteContext:
@@ -104,10 +134,12 @@ class _Builder:
         catalog: "Catalog",
         ctx: RewriteContext,
         use_index: bool | None,
+        slots: ParamSlots,
     ):
         self.catalog = catalog
         self.ctx = ctx
         self.use_index = use_index
+        self.slots = slots
 
     def build(self, node: L.LogicalPlan) -> P.PhysicalOp:
         if isinstance(node, L.LEmpty):
@@ -252,7 +284,7 @@ class _Builder:
         return self.build(node)
 
     def _filter_op(self, node: L.LSelect, child: P.PhysicalOp) -> P.Filter:
-        predicate = L.compile_conjuncts(node.conjuncts)
+        predicate = L.compile_conjuncts(node.conjuncts, self.slots)
         sel = costs.conjunct_selectivity(
             node.conjuncts, self._subtree_stats(node.source)
         )
@@ -289,7 +321,7 @@ class _Builder:
     ) -> P.PhysicalOp:
         store = self.catalog.store_if_open(name)
         predicate = (
-            L.compile_conjuncts(conjuncts) if conjuncts else None
+            L.compile_conjuncts(conjuncts, self.slots) if conjuncts else None
         )
         decode: tuple[str, ...] | None = None
         decode_fraction = 1.0
@@ -355,7 +387,13 @@ class _Builder:
             if self.use_index or idx_est.cost < heap_est.cost:
                 assert predicate is not None
                 return P.IndexScan(
-                    store, name, atoms, predicate, idx_est, needed=decode
+                    store,
+                    name,
+                    atoms,
+                    predicate,
+                    idx_est,
+                    needed=decode,
+                    slots=self.slots,
                 )
 
         if predicate is not None:

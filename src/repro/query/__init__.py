@@ -15,21 +15,32 @@ of named NFRs::
 
 See :mod:`repro.query.parser` for the grammar and
 :mod:`repro.query.evaluator` for operator semantics.
+
+This module is the low-level surface; embedding applications should
+prefer the DB-API-flavoured facade in :mod:`repro.db`
+(``connect → cursor → execute(params)``), which adds parameter binding,
+prepared statements with plan caching and transactional scope.
+:class:`Catalog` and :func:`run` remain as thin compatibility shims
+over the same machinery.
 """
 
 from repro.query.catalog import Catalog
 from repro.query.evaluator import evaluate, evaluate_naive, evaluate_stream
-from repro.query.parser import parse
+from repro.query.parser import parse, parse_script
 
 __all__ = [
     "Catalog",
     "parse",
+    "parse_script",
     "evaluate",
     "evaluate_naive",
     "evaluate_stream",
+    "run",
 ]
 
 
-def run(text: str, catalog: "Catalog"):
-    """Parse and evaluate one statement against ``catalog``."""
-    return evaluate(parse(text), catalog)
+def run(text: str, catalog: "Catalog", params=None):
+    """Parse and evaluate one statement against ``catalog`` (a thin
+    compatibility shim over ``evaluate(parse(text), catalog)``;
+    ``params`` binds ``?`` / ``:name`` placeholders)."""
+    return evaluate(parse(text), catalog, params=params)

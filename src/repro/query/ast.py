@@ -16,6 +16,23 @@ class Node:
     """Marker base class for AST nodes."""
 
 
+@dataclass(frozen=True, repr=False)
+class Parameter(Node):
+    """A placeholder standing in for a literal: ``?`` (positional, key is
+    the 0-based position) or ``:name`` (named, key is the name).  Values
+    are supplied at execution time — see :mod:`repro.query.params` for
+    collection and binding."""
+
+    key: int | str
+
+    @property
+    def is_positional(self) -> bool:
+        return isinstance(self.key, int)
+
+    def __repr__(self) -> str:
+        return "?" if self.is_positional else f":{self.key}"
+
+
 # -- conditions ---------------------------------------------------------------
 
 
@@ -198,3 +215,22 @@ class AnalyzeStmt(Statement):
     cardinalities, page/index facts)."""
 
     name: str
+
+
+@dataclass(frozen=True)
+class Begin(Statement):
+    """``BEGIN`` — open a transaction: subsequent catalog and store
+    mutations are recorded in an undo log until COMMIT or ROLLBACK."""
+
+
+@dataclass(frozen=True)
+class Commit(Statement):
+    """``COMMIT`` — close the open transaction, discarding its undo log
+    (the mutations were applied as they executed)."""
+
+
+@dataclass(frozen=True)
+class Rollback(Statement):
+    """``ROLLBACK`` — close the open transaction by replaying its undo
+    log in reverse: every DML is reversed through the §4 inverse
+    operation, every rebind restores the previous binding."""

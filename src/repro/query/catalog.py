@@ -14,22 +14,33 @@ The catalog also caches planner statistics
 created here get a mutation hook that drops the cached statistics on
 every INSERT/DELETE/UPDATE, so cost estimates never go stale after DML;
 ``ANALYZE name`` (or :meth:`Catalog.analyze`) refreshes them eagerly.
+Every invalidation also bumps :attr:`Catalog.stats_version`, the value
+the embedded API's plan cache keys on — a cached physical plan is
+reused exactly until some DML, rebind or ANALYZE it did not see.
+
+Transactions: :meth:`begin` opens an undo log; while it is open, every
+catalog mutation (and every DML executed through the evaluator) appends
+its inverse — a §4 inverse store operation for DML, a binding restore
+for rebinds.  :meth:`commit` discards the log, :meth:`rollback` replays
+it in reverse.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.nfr_relation import NFRelation
-from repro.errors import CatalogError
+from repro.errors import CatalogError, TransactionError
 from repro.planner.stats import RelationStats, collect_stats
 from repro.relational.relation import Relation
 from repro.storage.engine import MutationStats, NFRStore, ScanStats
+from repro.util.ordering import sort_key
 
 
 class Catalog:
-    """A mutable mapping of names to NFRs with per-relation nest orders
-    and paged backing stores."""
+    """A mutable mapping of names to NFRs with per-relation nest orders,
+    paged backing stores, cached planner statistics and an optional
+    transaction undo log."""
 
     def __init__(self):
         self._entries: dict[str, NFRelation] = {}
@@ -40,6 +51,80 @@ class Catalog:
         #: I/O accounting of the most recent statement that touched
         #: pages or the index (INSERT/DELETE, or a planned query).
         self.last_io: ScanStats | None = None
+        self._version = 0
+        self._undo: list[Callable[[], None]] | None = None
+
+    # -- plan/statistics versioning ----------------------------------------------
+
+    @property
+    def stats_version(self) -> int:
+        """Monotone counter bumped by every mutation that could change a
+        plan: registration, rebind, removal, DML through a backing
+        store, store creation and ANALYZE.  Plan caches key on it."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
+
+    # -- transactions -------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._undo is not None
+
+    def begin(self) -> None:
+        """Open a transaction: start recording undo actions."""
+        if self._undo is not None:
+            raise TransactionError("transaction already in progress")
+        self._undo = []
+
+    def commit(self) -> None:
+        """Close the open transaction, keeping its effects."""
+        if self._undo is None:
+            raise TransactionError("no transaction in progress")
+        self._undo = None
+
+    def rollback(self) -> None:
+        """Close the open transaction by running its undo log in
+        reverse: stores are restored through the §4 inverse operations,
+        bindings through captured previous state."""
+        if self._undo is None:
+            raise TransactionError("no transaction in progress")
+        log = self._undo
+        self._undo = None  # undo actions must not re-record
+        while log:
+            log.pop()()
+
+    def record_undo(self, action: Callable[[], None]) -> None:
+        """Append an inverse action to the open transaction's undo log
+        (no-op outside a transaction)."""
+        if self._undo is not None:
+            self._undo.append(action)
+
+    def _capture(self, name: str) -> tuple:
+        return (
+            name in self._entries,
+            self._entries.get(name),
+            self._orders.get(name),
+            self._modes.get(name),
+            self._stores.get(name),
+            self._stats.get(name),
+        )
+
+    def _restore(self, name: str, prev: tuple) -> None:
+        present, entry, order, mode, store, stats = prev
+        for mapping, value in (
+            (self._entries, entry if present else None),
+            (self._orders, order),
+            (self._modes, mode),
+            (self._stores, store),
+            (self._stats, stats),
+        ):
+            if present and value is not None:
+                mapping[name] = value
+            else:
+                mapping.pop(name, None)
+        self._bump()
 
     # -- registration -----------------------------------------------------------
 
@@ -57,15 +142,39 @@ class Catalog:
             raise CatalogError(f"mode must be '1nf' or 'nfr', got {mode!r}")
         if isinstance(relation, Relation):
             relation = NFRelation.from_1nf(relation)
+        prev = self._capture(name)
         self._entries[name] = relation
         self._orders[name] = tuple(order) if order else relation.schema.names
         self._modes[name] = mode
         self._stores.pop(name, None)
         self._stats.pop(name, None)
+        self._bump()
+        self.record_undo(lambda: self._restore(name, prev))
 
     def set(self, name: str, relation: NFRelation) -> None:
         """Rebind ``name`` to a computed result (keeps any registered
-        order if schemas agree, else resets to schema order)."""
+        order if schemas agree, else resets to schema order).
+
+        A rebind the open backing store can *represent* — same schema,
+        and the relation's nesting is exactly the stored representation
+        (canonical under the store's order in ``nfr`` mode, all-singleton
+        in ``1nf`` mode) — is applied as a flat-tuple diff to that store
+        (batched §4 maintenance) instead of dropping and rebuilding it,
+        so such ``LET`` rebinds do not thrash the paged store; only the
+        cached statistics are invalidated.  Rebinds that change the
+        schema or assign a different nesting structure still replace the
+        store, preserving the bound structure exactly.
+        """
+        store = self._stores.get(name)
+        if store is not None and store.schema.names == relation.schema.names:
+            if relation == store.relation:
+                self._set_noop(name, store)
+                return
+            flat = relation.to_1nf()
+            if self._store_can_represent(store, relation, flat):
+                self._set_via_store(name, store, relation, flat)
+                return
+        prev = self._capture(name)
         old_order = self._orders.get(name)
         self._entries[name] = relation
         if old_order is None or sorted(old_order) != sorted(
@@ -75,15 +184,90 @@ class Catalog:
         self._modes.setdefault(name, "nfr")
         self._stores.pop(name, None)
         self._stats.pop(name, None)
+        self._bump()
+        self.record_undo(lambda: self._restore(name, prev))
+
+    def _set_noop(self, name: str, store: NFRStore) -> None:
+        """Rebind to exactly the stored relation: no pages are read or
+        written; only the entry pointer and statistics refresh."""
+        old_entry = self._entries.get(name)
+        self._entries[name] = store.relation
+        self._stats.pop(name, None)
+        self._bump()
+
+        def undo() -> None:
+            if old_entry is not None:
+                self._entries[name] = old_entry
+            self._stats.pop(name, None)
+            self._bump()
+
+        self.record_undo(undo)
+
+    @staticmethod
+    def _store_can_represent(
+        store: NFRStore, relation: NFRelation, flat: Relation
+    ) -> bool:
+        """Would the store's representation of ``relation``'s R* (given
+        as ``flat``) be ``relation`` itself?  (Exact equality with the
+        stored relation is handled by the caller before R* is
+        materialised.)  If not representable, binding through the store
+        would silently replace the caller's nesting (e.g. ``LET R =
+        FLATTEN R``) with the stored form — those rebinds must drop the
+        store instead."""
+        if store.mode == "1nf":
+            return all(t.is_all_singleton() for t in relation)
+        from repro.core.canonical import canonical_form
+
+        return canonical_form(flat, list(store.order)) == relation
+
+    def _set_via_store(
+        self,
+        name: str,
+        store: NFRStore,
+        relation: NFRelation,
+        flat: Relation,
+    ) -> None:
+        """Store-representable rebind: update the open store in place
+        with the R*-level diff and re-sync the entry from it.  Only
+        reached when ``relation`` carries the store's exact schema-name
+        order, so its flats need no reordering."""
+        old_entry = self._entries.get(name)
+        old_flats = set(store.to_1nf().tuples)
+        new_flats = set(flat.tuples)
+        flat_key = lambda f: tuple(sort_key(v) for v in f.values)
+        added = sorted(new_flats - old_flats, key=flat_key)
+        removed = sorted(old_flats - new_flats, key=flat_key)
+        if removed:
+            store.delete_batch(removed)
+        if added:
+            store.insert_batch(added)
+        self._entries[name] = store.relation
+        self._stats.pop(name, None)
+        self._bump()
+
+        def undo() -> None:
+            if added:
+                store.delete_batch(added)
+            if removed:
+                store.insert_batch(removed)
+            if old_entry is not None:
+                self._entries[name] = old_entry
+            self._stats.pop(name, None)
+            self._bump()
+
+        self.record_undo(undo)
 
     def remove(self, name: str) -> None:
         if name not in self._entries:
             raise CatalogError(f"no relation named {name!r}")
+        prev = self._capture(name)
         del self._entries[name]
         self._orders.pop(name, None)
         self._modes.pop(name, None)
         self._stores.pop(name, None)
         self._stats.pop(name, None)
+        self._bump()
+        self.record_undo(lambda: self._restore(name, prev))
 
     # -- access --------------------------------------------------------------------
 
@@ -99,6 +283,10 @@ class Catalog:
     def order_of(self, name: str) -> tuple[str, ...]:
         self.get(name)
         return self._orders[name]
+
+    def mode_of(self, name: str) -> str:
+        self.get(name)
+        return self._modes.get(name, "nfr")
 
     def names(self) -> list[str]:
         return sorted(self._entries)
@@ -135,6 +323,15 @@ class Catalog:
             # statistics so the next plan re-collects them.
             store.on_mutation = lambda: self.invalidate_stats(name)
             self._stats.pop(name, None)
+            self._bump()
+
+            def undo() -> None:
+                self._stores.pop(name, None)
+                self._entries[name] = relation
+                self._stats.pop(name, None)
+                self._bump()
+
+            self.record_undo(undo)
         return store
 
     def store_if_open(self, name: str) -> NFRStore | None:
@@ -167,8 +364,11 @@ class Catalog:
         return cached
 
     def invalidate_stats(self, name: str) -> None:
-        """Drop cached statistics for ``name`` (no-op when absent)."""
+        """Drop cached statistics for ``name`` and bump the version (the
+        store mutation hook lands here, so DML always invalidates cached
+        plans even when no statistics were collected yet)."""
         self._stats.pop(name, None)
+        self._bump()
 
     def analyze(self, name: str) -> RelationStats:
         """The ``ANALYZE name`` pass: open the paged backing store (so
@@ -176,8 +376,19 @@ class Catalog:
         cache them.  Like DML, this switches the catalog entry to the
         stored representation."""
         store = self.store_for(name)
+        prev = self._stats.get(name)
         stats = collect_stats(name, self.get(name), store)
         self._stats[name] = stats
+        self._bump()
+
+        def undo() -> None:
+            if prev is None:
+                self._stats.pop(name, None)
+            else:
+                self._stats[name] = prev
+            self._bump()
+
+        self.record_undo(undo)
         return stats
 
     def record_io(self, stats: MutationStats) -> ScanStats:

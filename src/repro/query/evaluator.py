@@ -29,38 +29,52 @@ Operator semantics:
 - ``LET`` binds results; ``INSERT``/``DELETE`` execute against the
   paged :class:`~repro.storage.engine.NFRStore` backing the named
   relation (§4 canonical maintenance with write-through pages in nfr
-  mode), recording page I/O in ``catalog.last_io``.
+  mode), recording page I/O in ``catalog.last_io``.  Inside an open
+  transaction each DML also records its §4 *inverse* operation in the
+  catalog's undo log, so ``ROLLBACK`` restores the store.
 - ``EXPLAIN [ANALYZE] expr`` returns the physical plan as text
   (``ANALYZE`` also executes it and shows actual rows / page I/O);
   ``ANALYZE name`` opens the paged store and collects planner
   statistics.
+- ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` drive the catalog-level
+  transaction scope.
+
+Statements may contain ``?`` / ``:name`` parameter placeholders; pass
+``params`` to bind values (see :mod:`repro.query.params`).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Mapping, Sequence
 
 from repro.core.canonical import canonical_form
 from repro.core.nest import nest_sequence, unnest, unnest_fully
 from repro.core.nfr_relation import NFRelation
 from repro.core.nfr_tuple import NFRTuple
 from repro.core.values import ValueSet
-from repro.errors import EvaluationError
+from repro.errors import BindingError, EvaluationError
 from repro.query import ast
 from repro.query.catalog import Catalog
+from repro.query.params import bind_statement, has_parameters
 from repro.relational.algebra import natural_join
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import FlatTuple
 
 if False:  # pragma: no cover - typing only, avoids a circular import
     from repro.planner.explain import ExplainResult
+    from repro.planner.planner import PhysicalPlan
 
 
 def evaluate(
-    node: ast.Node, catalog: Catalog
+    node: ast.Node,
+    catalog: Catalog,
+    params: "Sequence[Any] | Mapping[str, Any] | None" = None,
 ) -> "NFRelation | ExplainResult":
     """Evaluate an expression or statement; returns the resulting (or
-    affected) relation (an :class:`ExplainResult` for EXPLAIN/ANALYZE)."""
+    affected) relation (an :class:`ExplainResult` for EXPLAIN/ANALYZE).
+    ``params`` binds any ``?`` / ``:name`` placeholders first."""
+    if params is not None:
+        node = bind_statement(node, params)
     if isinstance(node, ast.Statement):
         return _execute(node, catalog)
     if isinstance(node, ast.Expression):
@@ -79,7 +93,11 @@ def evaluate_naive(node: ast.Node, catalog: Catalog) -> NFRelation:
     raise EvaluationError(f"cannot evaluate node {node!r}")
 
 
-def evaluate_stream(node: ast.Expression, catalog: Catalog):
+def evaluate_stream(
+    node: ast.Expression,
+    catalog: Catalog,
+    params: "Sequence[Any] | Mapping[str, Any] | None" = None,
+):
     """Plan an expression and stream its result as batches of NFR
     tuples (lists of at most
     :data:`~repro.planner.physical.BATCH_SIZE`), without materialising
@@ -89,14 +107,32 @@ def evaluate_stream(node: ast.Expression, catalog: Catalog):
     results should deduplicate — or use :func:`evaluate`, which does.
     I/O accounting lands in ``catalog.last_io`` when the stream is
     exhausted.  Streams read live storage: finish or discard them
-    before vacuuming the stores they scan."""
+    before vacuuming the stores they scan.  ``params`` binds any
+    placeholders.  Binding validation and planning run eagerly — wrong
+    parameter counts, unknown relations and planner failures raise here
+    at the call site, not at the first ``next()`` (the cursor layer
+    instead binds a *cached* plan via :func:`stream_plan`)."""
     # Imported lazily: the planner subsystem itself imports query.ast,
     # so a module-level import here would be circular.
     from repro.planner import plan
+    from repro.query.params import collect_parameters, make_binding
 
     if not isinstance(node, ast.Expression):
         raise EvaluationError(f"cannot stream node {node!r}")
+    binding = make_binding(collect_parameters(node), params)
     physical = plan(node, catalog)
+    physical.params.bind(binding)
+
+    def generate():
+        yield from stream_plan(physical, catalog)
+
+    return generate()
+
+
+def stream_plan(physical: "PhysicalPlan", catalog: Catalog):
+    """Stream an already-planned (possibly cached and freshly re-bound)
+    physical plan, folding its I/O accounting into ``catalog.last_io``
+    once the stream is exhausted."""
     yield from physical.root.iter_batches()
     io = physical.scan_stats()
     if io.page_reads or io.index_lookups:
@@ -129,16 +165,44 @@ def _execute(
         return result
     if isinstance(node, ast.InsertValues):
         store = catalog.store_for(node.name)
-        flat = FlatTuple(store.schema, list(node.values))
-        _, mstats = store.insert_flat(flat)
+        flat = FlatTuple(store.schema, _literal_values(node.values))
+        applied, mstats = store.insert_flat(flat)
+        if applied:
+            catalog.record_undo(
+                lambda: (
+                    store.delete_flat(flat),
+                    catalog.sync_from_store(node.name),
+                )
+            )
         catalog.record_io(mstats)
         return catalog.sync_from_store(node.name)
     if isinstance(node, ast.DeleteValues):
         store = catalog.store_for(node.name)
-        flat = FlatTuple(store.schema, list(node.values))
+        flat = FlatTuple(store.schema, _literal_values(node.values))
         mstats = store.delete_flat(flat)
+        catalog.record_undo(
+            lambda: (
+                store.insert_flat(flat),
+                catalog.sync_from_store(node.name),
+            )
+        )
         catalog.record_io(mstats)
         return catalog.sync_from_store(node.name)
+    if isinstance(node, ast.Begin):
+        from repro.planner import ExplainResult
+
+        catalog.begin()
+        return ExplainResult("BEGIN")
+    if isinstance(node, ast.Commit):
+        from repro.planner import ExplainResult
+
+        catalog.commit()
+        return ExplainResult("COMMIT")
+    if isinstance(node, ast.Rollback):
+        from repro.planner import ExplainResult
+
+        catalog.rollback()
+        return ExplainResult("ROLLBACK")
     if isinstance(node, ast.Explain):
         from repro.planner import ExplainResult, plan
 
@@ -154,6 +218,16 @@ def _execute(
 
         return ExplainResult(catalog.analyze(node.name).render())
     raise EvaluationError(f"unknown statement {node!r}")
+
+
+def _literal_values(values: tuple[Any, ...]) -> list[Any]:
+    """DML values must be fully bound before they hit the store."""
+    for v in values:
+        if isinstance(v, ast.Parameter):
+            raise BindingError(
+                f"parameter {v!r} executed without bound values"
+            )
+    return list(values)
 
 
 # -- expressions --------------------------------------------------------------
@@ -264,6 +338,11 @@ def _nf2_join(left: NFRelation, right: NFRelation) -> NFRelation:
 
 
 def _compile_condition(cond: ast.Condition, schema: RelationSchema):
+    if has_parameters(cond):
+        raise BindingError(
+            "condition contains unbound parameters; bind values before "
+            "naive evaluation"
+        )
     if isinstance(cond, ast.And):
         left = _compile_condition(cond.left, schema)
         right = _compile_condition(cond.right, schema)

@@ -39,20 +39,25 @@ KEYWORDS = frozenset(
         "VALUES",
         "EXPLAIN",
         "ANALYZE",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
     }
 )
 
-_SYMBOLS = {"(", ")", "{", "}", ",", "="}
+_SYMBOLS = {"(", ")", "{", "}", ",", "=", ";"}
 
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token: kind is KEYWORD, IDENT, STRING, NUMBER or a
-    literal symbol character.  ``position`` is the absolute character
-    offset; ``line``/``column`` are 1-based."""
+    """One lexical token: kind is KEYWORD, IDENT, STRING, NUMBER, PARAM
+    or a literal symbol character.  A PARAM token is a ``?`` positional
+    placeholder (value None) or a ``:name`` named placeholder (value is
+    the name).  ``position`` is the absolute character offset;
+    ``line``/``column`` are 1-based."""
 
     kind: str
-    value: str | int | float
+    value: str | int | float | None
     position: int
     line: int = 1
     column: int = 1
@@ -63,7 +68,8 @@ def tokenize(text: str) -> list[Token]:
 
     Identifiers are ``[A-Za-z_][A-Za-z0-9_]*``; keywords are
     case-insensitive; strings use single quotes with ``''`` escaping;
-    numbers are ints or simple floats.
+    numbers are ints or simple floats; ``?`` and ``:name`` lex as PARAM
+    placeholder tokens; ``;`` separates statements in scripts.
     """
     return list(_scan(text))
 
@@ -106,6 +112,25 @@ def _scan(text: str) -> Iterator[Token]:
             yield tok("STRING", value, i)
             i = i2
             continue
+        if ch == "?":
+            yield tok("PARAM", None, i)
+            i += 1
+            continue
+        if ch == ":":
+            j = i + 1
+            if j < n and (text[j].isalpha() or text[j] == "_"):
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                yield tok("PARAM", text[i + 1:j], i)
+                i = j
+                continue
+            line, column = offset_to_line_col(starts, i)
+            raise LexError(
+                "':' must be followed by a parameter name",
+                i,
+                line=line,
+                column=column,
+            )
         if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
             value, i2 = _scan_number(text, i)
             yield tok("NUMBER", value, i)

@@ -1,0 +1,187 @@
+"""Parameter collection and binding for the NF2 query language.
+
+A parsed statement may contain :class:`~repro.query.ast.Parameter`
+placeholders (``?`` positional, ``:name`` named) wherever a literal is
+allowed.  This module supplies the three operations the embedded API
+builds on:
+
+- :func:`collect_parameters` — the placeholders a statement needs, in
+  order of first appearance;
+- :func:`make_binding` / :class:`ParameterBinding` — validate a caller's
+  positional sequence or named mapping against those placeholders;
+- :func:`bind_node` — substitute bound values back into the AST,
+  producing a fully-literal statement (the path DML and the naive
+  evaluator take).
+
+For *planned* queries binding is late instead: the planner compiles
+predicates and index probes that read values from a mutable
+:class:`ParamSlots` at execution time, so one physical plan serves every
+binding of the same statement shape (the prepared-statement fast path —
+see :mod:`repro.db`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+from repro.errors import BindingError
+from repro.query import ast
+
+
+def collect_parameters(node: ast.Node) -> tuple[ast.Parameter, ...]:
+    """The distinct parameters in ``node``, in order of first
+    appearance (a named parameter used twice appears once)."""
+    found: dict[ast.Parameter, None] = {}
+
+    def walk(value: Any) -> None:
+        if isinstance(value, ast.Parameter):
+            found.setdefault(value)
+        elif isinstance(value, tuple):
+            for v in value:
+                walk(v)
+        elif dataclasses.is_dataclass(value) and isinstance(value, ast.Node):
+            for f in dataclasses.fields(value):
+                walk(getattr(value, f.name))
+
+    walk(node)
+    return tuple(found)
+
+
+def has_parameters(node: ast.Node) -> bool:
+    """Does ``node`` contain any parameter placeholder?"""
+    return bool(collect_parameters(node))
+
+
+class ParameterBinding:
+    """An immutable key -> value mapping for one execution of a
+    parameterized statement (keys are 0-based positions or names)."""
+
+    def __init__(self, values: Mapping[int | str, Any]):
+        self._values = dict(values)
+
+    def __getitem__(self, key: int | str) -> Any:
+        try:
+            return self._values[key]
+        except KeyError:
+            label = f"?{key + 1}" if isinstance(key, int) else f":{key}"
+            raise BindingError(f"no value bound for parameter {label}") from None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"ParameterBinding({self._values!r})"
+
+
+def make_binding(
+    parameters: Sequence[ast.Parameter],
+    params: Sequence[Any] | Mapping[str, Any] | None,
+) -> ParameterBinding:
+    """Validate ``params`` against the statement's ``parameters`` and
+    build the binding.  Positional statements take a sequence of exactly
+    the right length, named statements a mapping covering exactly the
+    used names; mixing styles (in the statement or between statement and
+    arguments) is rejected."""
+    positional = [p for p in parameters if p.is_positional]
+    named = [p for p in parameters if not p.is_positional]
+    if positional and named:
+        raise BindingError(
+            "statement mixes ? and :name parameters; use one style"
+        )
+    if not parameters:
+        if params:
+            raise BindingError(
+                f"statement takes no parameters, got {len(params)}"
+            )
+        return ParameterBinding({})
+    if params is None:
+        raise BindingError(
+            f"statement expects {len(parameters)} parameter(s), got none"
+        )
+    if named:
+        if not isinstance(params, Mapping):
+            raise BindingError(
+                "statement uses :name parameters; pass a mapping"
+            )
+        needed = {str(p.key) for p in named}
+        unknown = sorted(set(params) - needed)
+        if unknown:
+            raise BindingError(
+                f"unknown parameter name(s): {', '.join(unknown)}"
+            )
+        missing = sorted(needed - set(params))
+        if missing:
+            raise BindingError(
+                f"missing parameter name(s): {', '.join(missing)}"
+            )
+        return ParameterBinding({str(k): v for k, v in params.items()})
+    if isinstance(params, Mapping):
+        raise BindingError(
+            "statement uses ? parameters; pass a sequence"
+        )
+    values = list(params)
+    if len(values) != len(positional):
+        raise BindingError(
+            f"statement expects {len(positional)} parameter(s), "
+            f"got {len(values)}"
+        )
+    return ParameterBinding(dict(enumerate(values)))
+
+
+def bind_node(node: ast.Node, binding: ParameterBinding) -> ast.Node:
+    """Substitute bound values for every parameter in ``node``,
+    returning a fully-literal statement of the same shape."""
+
+    def transform(value: Any) -> Any:
+        if isinstance(value, ast.Parameter):
+            return binding[value.key]
+        if isinstance(value, tuple):
+            return tuple(transform(v) for v in value)
+        if dataclasses.is_dataclass(value) and isinstance(value, ast.Node):
+            changes = {
+                f.name: transform(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            }
+            return type(value)(**changes)
+        return value
+
+    return transform(node)
+
+
+def bind_statement(
+    node: ast.Node,
+    params: Sequence[Any] | Mapping[str, Any] | None,
+) -> ast.Node:
+    """Validate and substitute in one step: the convenience entry the
+    evaluator and cursor use for non-cached execution paths."""
+    return bind_node(node, make_binding(collect_parameters(node), params))
+
+
+class ParamSlots:
+    """The mutable parameter context a *cached* physical plan reads at
+    execution time.  The planner's late-bound predicates and index
+    probes hold a reference to one of these; rebinding it (and bumping
+    ``generation``, which invalidates per-binding memos such as compiled
+    target :class:`~repro.core.values.ValueSet`\\ s) re-executes the same
+    plan with new values — no re-parse, no re-plan."""
+
+    def __init__(self) -> None:
+        self.binding: ParameterBinding | None = None
+        self.generation = 0
+
+    def bind(self, binding: ParameterBinding) -> None:
+        self.binding = binding
+        self.generation += 1
+
+    def resolve(self, value: Any) -> Any:
+        """``value`` itself for literals; the bound value for a
+        :class:`~repro.query.ast.Parameter` (raises
+        :class:`~repro.errors.BindingError` when nothing is bound)."""
+        if isinstance(value, ast.Parameter):
+            if self.binding is None:
+                raise BindingError(
+                    f"parameter {value!r} executed without bound values"
+                )
+            return self.binding[value.key]
+        return value

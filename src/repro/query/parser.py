@@ -2,11 +2,14 @@
 
 Grammar (keywords case-insensitive)::
 
+    script     := statement (';' statement)* [';']
+
     statement  := LET IDENT '=' expr
                 | INSERT INTO IDENT VALUES '(' literals ')'
                 | DELETE FROM IDENT VALUES '(' literals ')'
                 | EXPLAIN [ANALYZE] expr
                 | ANALYZE IDENT
+                | BEGIN | COMMIT | ROLLBACK
                 | expr
 
     expr       := SELECT expr WHERE condition
@@ -29,7 +32,12 @@ Grammar (keywords case-insensitive)::
 
     names      := IDENT (',' IDENT)*
     literals   := literal (',' literal)*
-    literal    := STRING | NUMBER
+    literal    := STRING | NUMBER | '?' | ':' IDENT
+
+``?`` and ``:name`` are parameter placeholders, usable wherever a
+literal is: they parse to :class:`repro.query.ast.Parameter` nodes and
+are bound to values at execution time (see :mod:`repro.query.params`).
+Positional placeholders are numbered left to right per statement.
 """
 
 from __future__ import annotations
@@ -42,17 +50,53 @@ from repro.query.lexer import Token, tokenize
 
 
 def parse(text: str) -> ast.Node:
-    """Parse one statement or expression."""
-    parser = _Parser(tokenize(text))
+    """Parse one statement or expression (one optional trailing ``;``
+    is accepted)."""
+    tokens = tokenize(text)
+    if tokens and tokens[-1].kind == ";":
+        tokens = tokens[:-1]
+    parser = _Parser(tokens)
     node = parser.parse_statement()
     parser.expect_end()
     return node
+
+
+def parse_script(text: str) -> tuple[ast.Node, ...]:
+    """Parse a ``;``-separated multi-statement script into its
+    statements, in order.  Empty statements (stray ``;``) are skipped;
+    parse errors carry the 1-based statement index so a failure in a
+    long script points at the offending statement."""
+    groups: list[list[Token]] = [[]]
+    for token in tokenize(text):
+        if token.kind == ";":
+            groups.append([])
+        else:
+            groups[-1].append(token)
+    statements: list[ast.Node] = []
+    index = 0
+    for group in groups:
+        if not group:
+            continue
+        index += 1
+        parser = _Parser(group)
+        try:
+            statements.append(parser.parse_statement())
+            parser.expect_end()
+        except ParseError as exc:
+            raise ParseError(
+                f"statement {index}: {exc.raw_message}",
+                exc.position,
+                line=exc.line,
+                column=exc.column,
+            ) from None
+    return tuple(statements)
 
 
 class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        self._positional_params = 0
 
     # -- token helpers -----------------------------------------------------------
 
@@ -77,23 +121,29 @@ class _Parser:
             message, tok.position, line=tok.line, column=tok.column
         )
 
+    @staticmethod
+    def _show(tok: Token) -> str:
+        if tok.kind == "PARAM":
+            return "?" if tok.value is None else f":{tok.value}"
+        return repr(tok.value)
+
     def _eat_keyword(self, word: str) -> None:
         tok = self._next()
         if tok.kind != "KEYWORD" or tok.value != word:
-            raise self._error(f"expected {word}, got {tok.value!r}", tok)
+            raise self._error(f"expected {word}, got {self._show(tok)}", tok)
 
     def _eat_symbol(self, symbol: str) -> None:
         tok = self._next()
         if tok.kind != symbol:
             raise self._error(
-                f"expected {symbol!r}, got {tok.value!r}", tok
+                f"expected {symbol!r}, got {self._show(tok)}", tok
             )
 
     def _eat_ident(self) -> str:
         tok = self._next()
         if tok.kind != "IDENT":
             raise self._error(
-                f"expected identifier, got {tok.value!r}", tok
+                f"expected identifier, got {self._show(tok)}", tok
             )
         return str(tok.value)
 
@@ -101,7 +151,7 @@ class _Parser:
         tok = self._peek()
         if tok is not None:
             raise self._error(
-                f"unexpected trailing input {tok.value!r}", tok
+                f"unexpected trailing input {self._show(tok)}", tok
             )
 
     # -- grammar -------------------------------------------------------------------
@@ -134,6 +184,15 @@ class _Parser:
         if self._at_keyword("ANALYZE"):
             self._next()
             return ast.AnalyzeStmt(self._eat_ident())
+        if self._at_keyword("BEGIN"):
+            self._next()
+            return ast.Begin()
+        if self._at_keyword("COMMIT"):
+            self._next()
+            return ast.Commit()
+        if self._at_keyword("ROLLBACK"):
+            self._next()
+            return ast.Rollback()
         return self.parse_expression()
 
     def parse_expression(self) -> ast.Expression:
@@ -191,7 +250,7 @@ class _Parser:
         if tok.kind == "IDENT":
             self._next()
             return ast.Name(str(tok.value))
-        raise self._error(f"unexpected token {tok.value!r}", tok)
+        raise self._error(f"unexpected token {self._show(tok)}", tok)
 
     # -- conditions -----------------------------------------------------------------
 
@@ -210,7 +269,7 @@ class _Parser:
         tok = self._next()
         if tok.kind != "=":
             raise self._error(
-                f"expected CONTAINS or '=', got {tok.value!r}", tok
+                f"expected CONTAINS or '=', got {self._show(tok)}", tok
             )
         nxt = self._peek()
         if nxt is not None and nxt.kind == "{":
@@ -222,7 +281,7 @@ class _Parser:
                     break
                 if tok.kind != ",":
                     raise self._error(
-                        f"expected ',' or '}}', got {tok.value!r}", tok
+                        f"expected ',' or '}}', got {self._show(tok)}", tok
                     )
                 values.append(self._parse_literal())
             return ast.ComponentEquals(attribute, tuple(values))
@@ -239,7 +298,7 @@ class _Parser:
                 break
             if tok.kind != ",":
                 raise self._error(
-                    f"expected ',' or ')', got {tok.value!r}", tok
+                    f"expected ',' or ')', got {self._show(tok)}", tok
                 )
             names.append(self._eat_ident())
         return tuple(names)
@@ -253,7 +312,7 @@ class _Parser:
                 break
             if tok.kind != ",":
                 raise self._error(
-                    f"expected ',' or ')', got {tok.value!r}", tok
+                    f"expected ',' or ')', got {self._show(tok)}", tok
                 )
             values.append(self._parse_literal())
         return tuple(values)
@@ -262,4 +321,10 @@ class _Parser:
         tok = self._next()
         if tok.kind in ("STRING", "NUMBER"):
             return tok.value
-        raise self._error(f"expected a literal, got {tok.value!r}", tok)
+        if tok.kind == "PARAM":
+            if tok.value is None:
+                param = ast.Parameter(self._positional_params)
+                self._positional_params += 1
+                return param
+            return ast.Parameter(str(tok.value))
+        raise self._error(f"expected a literal, got {self._show(tok)}", tok)

@@ -440,32 +440,43 @@ class NFRStore:
     ) -> tuple[int, MutationStats]:
         """Insert many flat tuples with batched page writes; returns
         (how many were new, stats)."""
+        applied, stats = self.insert_many(flats)
+        return len(applied), stats
+
+    def insert_many(
+        self, flats: Iterable[FlatTuple]
+    ) -> tuple[list[FlatTuple], MutationStats]:
+        """Batched insert that also reports *which* flat tuples were new
+        to R* (duplicates within the batch and tuples already
+        represented are skipped; nfr mode applies in the §4
+        locality-sorted order).  This is the ``executemany`` fast path:
+        page writes are batched per touched page, and the applied list
+        is exactly what a transaction must delete to undo the batch."""
         normalized = [self._normalize_flat(f) for f in flats]
         canon = self._canonical() if self.mode == "nfr" else None
         before = self._snapshot()
+        applied: list[FlatTuple] = []
         if canon is None:
-            fresh: list[FlatTuple] = []
             seen: set[FlatTuple] = set()
             for f in normalized:
                 if f not in self._rids and f not in seen:
-                    fresh.append(f)
+                    applied.append(f)
                     seen.add(f)
             rids = self.heap.insert_many(
-                encode_flat_tuple(f) for f in fresh
+                encode_flat_tuple(f) for f in applied
             )
-            for f, rid in zip(fresh, rids):
+            for f, rid in zip(applied, rids):
                 self._rids[f] = rid
                 self._records_written += 1
                 if self.index is not None:
                     for name in self.schema.names:
                         self.index.add(name, f[name], rid)
-            count = len(fresh)
         else:
             with self._buffered_writes(canon):
-                count = canon.insert_batch(normalized)
-        if count:
+                applied = canon.insert_batch_applied(normalized)
+        if applied:
             self._notify_mutation()
-        return count, self._delta(before, count)
+        return applied, self._delta(before, len(applied))
 
     def delete_batch(
         self, flats: Iterable[FlatTuple]

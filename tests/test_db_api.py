@@ -1,0 +1,515 @@
+"""DB-API contract tests for the embedded facade (repro.db).
+
+Covers module globals, connection/cursor lifecycle, fetch semantics,
+rowcount, parameter styles, prepared statements (plan caching), scripts,
+executemany batching, transactions, and closed-handle errors.
+"""
+
+import pytest
+
+import repro
+import repro.db as db
+from repro.core.values import ValueSet
+from repro.errors import ReproError
+from repro.planner import plan_invocations
+from repro.relational.relation import Relation
+from repro.workloads import paper_examples as pe
+
+
+@pytest.fixture
+def conn():
+    connection = db.connect()
+    connection.database.register(
+        "Enrollment", pe.FIG1_R1, order=["Course", "Club", "Student"]
+    )
+    return connection
+
+
+@pytest.fixture
+def flat_conn():
+    connection = db.connect()
+    connection.database.register(
+        "R",
+        Relation.from_rows(
+            ["A", "B"],
+            [("a1", "b1"), ("a1", "b2"), ("a2", "b1"), ("a3", "b3")],
+        ),
+        mode="1nf",
+    )
+    return connection
+
+
+class TestModuleGlobals:
+    def test_dbapi_globals(self):
+        assert db.apilevel == "2.0"
+        assert db.threadsafety == 1
+        assert db.paramstyle == "qmark"
+
+    def test_exception_hierarchy(self):
+        assert issubclass(db.Error, ReproError)
+        assert issubclass(db.InterfaceError, db.Error)
+        assert issubclass(db.ProgrammingError, db.DatabaseError)
+        assert issubclass(db.DatabaseError, db.Error)
+
+    def test_facade_exported_from_repro(self):
+        assert repro.connect is db.connect
+        assert repro.Database is db.Database
+
+
+class TestConnect:
+    def test_connect_fresh_database(self):
+        conn = db.connect()
+        assert conn.catalog.names() == []
+
+    def test_connect_existing_database(self, conn):
+        other = db.connect(conn.database)
+        assert other.catalog is conn.catalog
+
+    def test_connect_adopts_catalog(self):
+        from repro.query import Catalog
+
+        catalog = Catalog()
+        conn = db.connect(catalog)
+        assert conn.catalog is catalog
+
+
+class TestCursorLifecycle:
+    def test_execute_returns_cursor(self, conn):
+        cur = conn.execute("Enrollment")
+        assert cur is not None
+        assert cur.connection is conn
+
+    def test_fetch_before_execute_raises(self, conn):
+        with pytest.raises(db.InterfaceError, match="no result set"):
+            conn.cursor().fetchone()
+
+    def test_closed_cursor_raises(self, conn):
+        cur = conn.execute("Enrollment")
+        cur.close()
+        with pytest.raises(db.InterfaceError, match="cursor is closed"):
+            cur.fetchone()
+        with pytest.raises(db.InterfaceError, match="cursor is closed"):
+            cur.execute("Enrollment")
+        cur.close()  # idempotent
+
+    def test_closed_connection_raises(self, conn):
+        cur = conn.execute("Enrollment")
+        conn.close()
+        with pytest.raises(db.InterfaceError, match="connection is closed"):
+            conn.cursor()
+        with pytest.raises(db.InterfaceError, match="connection is closed"):
+            conn.execute("Enrollment")
+        with pytest.raises(db.InterfaceError, match="connection is closed"):
+            cur.fetchone()
+        conn.close()  # idempotent
+
+    def test_close_rolls_back_open_transaction(self, conn):
+        conn.execute("BEGIN")
+        conn.execute(
+            "INSERT INTO Enrollment VALUES ('s9', 'c9', 'b9')"
+        )
+        conn.close()
+        fresh = db.connect(conn.database)
+        rows = fresh.execute(
+            "SELECT Enrollment WHERE Student CONTAINS 's9'"
+        ).fetchall()
+        assert rows == []
+
+    def test_cursor_context_manager_closes(self, conn):
+        with conn.cursor() as cur:
+            cur.execute("Enrollment")
+        with pytest.raises(db.InterfaceError):
+            cur.fetchone()
+
+
+class TestFetchSemantics:
+    def test_description_names_columns(self, conn):
+        cur = conn.execute("PROJECT Enrollment ON (Student, Club)")
+        assert [d[0] for d in cur.description] == ["Student", "Club"]
+        assert all(len(d) == 7 for d in cur.description)
+
+    def test_fetchone_then_none(self, flat_conn):
+        cur = flat_conn.execute("SELECT R WHERE A CONTAINS 'a3'")
+        row = cur.fetchone()
+        assert row == (ValueSet(["a3"]), ValueSet(["b3"]))
+        assert cur.fetchone() is None
+        assert cur.fetchone() is None
+
+    def test_fetchmany_respects_size_and_arraysize(self, flat_conn):
+        cur = flat_conn.execute("R")
+        first = cur.fetchmany(3)
+        assert len(first) == 3
+        cur2 = flat_conn.execute("R")
+        assert len(cur2.fetchmany()) == cur2.arraysize == 1
+        cur2.arraysize = 10
+        assert len(cur2.fetchmany()) == 3  # remaining rows
+
+    def test_fetchall_matches_evaluate(self, conn):
+        from repro.query import run
+
+        cur = conn.execute("SELECT Enrollment WHERE Club CONTAINS 'b1'")
+        rows = set(cur.fetchall())
+        reference = run(
+            "SELECT Enrollment WHERE Club CONTAINS 'b1'", conn.catalog
+        )
+        assert rows == {tuple(t.components) for t in reference}
+
+    def test_iteration_protocol(self, flat_conn):
+        rows = [row for row in flat_conn.execute("R")]
+        assert len(rows) == 4
+
+    def test_streamed_rows_deduplicate(self, flat_conn):
+        # PROJECT can emit cross-batch duplicates in the raw stream;
+        # the cursor must present set semantics.
+        cur = flat_conn.execute("PROJECT R ON (B)")
+        rows = cur.fetchall()
+        assert len(rows) == len(set(rows)) == 3
+
+    def test_result_relation_bridges_to_library(self, conn):
+        cur = conn.execute("Enrollment")
+        relation = cur.result_relation()
+        assert relation == conn.catalog.get("Enrollment")
+        assert "Student" in cur.table()
+
+    def test_explain_returns_one_text_row(self, conn):
+        cur = conn.execute("EXPLAIN Enrollment")
+        row = cur.fetchone()
+        assert row is not None and "QUERY PLAN" in row[0]
+        assert cur.fetchone() is None
+        assert cur.description is None
+
+
+class TestRowcount:
+    def test_query_rowcount_is_minus_one(self, conn):
+        assert conn.execute("Enrollment").rowcount == -1
+
+    def test_insert_rowcount(self, conn):
+        cur = conn.execute(
+            "INSERT INTO Enrollment VALUES ('s9', 'c1', 'b1')"
+        )
+        assert cur.rowcount == 1
+
+    def test_duplicate_insert_rowcount_zero(self, conn):
+        conn.execute("INSERT INTO Enrollment VALUES ('s9', 'c1', 'b1')")
+        cur = conn.execute(
+            "INSERT INTO Enrollment VALUES ('s9', 'c1', 'b1')"
+        )
+        assert cur.rowcount == 0
+
+    def test_delete_absent_is_integrity_error(self, conn):
+        # engine errors are translated onto the PEP 249 hierarchy at
+        # the facade boundary, so `except db.Error` catches them
+        with pytest.raises(db.IntegrityError):
+            conn.execute("DELETE FROM Enrollment VALUES ('z', 'z', 'z')")
+        try:
+            conn.execute("DELETE FROM Enrollment VALUES ('z', 'z', 'z')")
+        except db.Error:
+            pass
+
+    def test_delete_rowcount(self, conn):
+        cur = conn.execute(
+            "DELETE FROM Enrollment VALUES ('s1', 'c1', 'b1')"
+        )
+        assert cur.rowcount == 1
+
+
+class TestParameters:
+    def test_positional_parameters(self, conn):
+        cur = conn.execute(
+            "SELECT Enrollment WHERE Club CONTAINS ?", ["b1"]
+        )
+        literal = conn.execute(
+            "SELECT Enrollment WHERE Club CONTAINS 'b1'"
+        )
+        assert set(cur.fetchall()) == set(literal.fetchall())
+
+    def test_named_parameters(self, conn):
+        cur = conn.execute(
+            "SELECT Enrollment WHERE Student CONTAINS :who",
+            {"who": "s1"},
+        )
+        assert cur.fetchall()
+
+    def test_wrong_parameter_count_is_programming_error(self, conn):
+        with pytest.raises(db.ProgrammingError):
+            conn.execute(
+                "SELECT Enrollment WHERE Club CONTAINS ?", ["b1", "b2"]
+            )
+        with pytest.raises(db.ProgrammingError):
+            conn.execute("SELECT Enrollment WHERE Club CONTAINS ?")
+
+    def test_dml_parameters(self, conn):
+        cur = conn.execute(
+            "INSERT INTO Enrollment VALUES (?, ?, ?)", ["s8", "c1", "b1"]
+        )
+        assert cur.rowcount == 1
+        assert conn.execute(
+            "SELECT Enrollment WHERE Student CONTAINS ?", ["s8"]
+        ).fetchall()
+
+
+class TestPreparedStatements:
+    def test_prepare_plans_once_for_many_executions(self, conn):
+        conn.execute("ANALYZE Enrollment")
+        stmt = conn.prepare(
+            "SELECT Enrollment WHERE Club CONTAINS ?"
+        )
+        before = plan_invocations()
+        results = {
+            club: stmt.execute([club]).fetchall()
+            for club in ("b1", "b2", "b1", "b2")
+        }
+        assert plan_invocations() - before == 0
+        assert results["b1"] != results["b2"]
+
+    def test_prepared_results_match_literals(self, conn):
+        stmt = conn.prepare(
+            "SELECT Enrollment WHERE Student CONTAINS :who"
+        )
+        for who in ("s1", "s2", "s3"):
+            got = set(stmt.execute({"who": who}).fetchall())
+            want = set(
+                conn.execute(
+                    f"SELECT Enrollment WHERE Student CONTAINS '{who}'"
+                ).fetchall()
+            )
+            assert got == want
+
+    def test_parameters_metadata(self, conn):
+        stmt = conn.prepare(
+            "SELECT Enrollment WHERE Club CONTAINS ? AND Course CONTAINS ?"
+        )
+        assert len(stmt.parameters) == 2
+
+    def test_dml_invalidates_cached_plans(self, conn):
+        conn.execute("ANALYZE Enrollment")
+        node_text = "SELECT Enrollment WHERE Club CONTAINS ?"
+        stmt = conn.prepare(node_text)
+        stmt.execute(["b1"]).fetchall()
+        version_before = conn.catalog.stats_version
+        conn.execute("INSERT INTO Enrollment VALUES ('z1', 'c1', 'b1')")
+        assert conn.catalog.stats_version > version_before
+        before = plan_invocations()
+        rows = stmt.execute(["b1"]).fetchall()
+        # replanned exactly once against the new statistics version
+        assert plan_invocations() - before == 1
+        assert any("z1" in str(row) for row in rows)
+
+    def test_cache_hit_statistics(self, conn):
+        stmt = conn.prepare("Enrollment")
+        hits_before = conn.plan_cache.hits
+        stmt.execute().fetchall()
+        stmt.execute().fetchall()
+        assert conn.plan_cache.hits >= hits_before + 2
+
+    def test_interleaved_cursors_keep_their_own_bindings(self, conn):
+        # Two cursors over the same cached plan shape, different
+        # bindings, fetched interleaved: each must see its own rows.
+        text = "SELECT Enrollment WHERE Club CONTAINS ?"
+        c1 = conn.execute(text, ["b1"])
+        c2 = conn.execute(text, ["b2"])
+        rows1 = [c1.fetchone()]
+        rows2 = c2.fetchall()
+        rows1.extend(c1.fetchall())
+        want1 = conn.execute(
+            "SELECT Enrollment WHERE Club CONTAINS 'b1'"
+        ).fetchall()
+        want2 = conn.execute(
+            "SELECT Enrollment WHERE Club CONTAINS 'b2'"
+        ).fetchall()
+        assert set(rows1) == set(want1)
+        assert set(rows2) == set(want2)
+
+
+class TestExecutemany:
+    def test_insert_batch(self, conn):
+        cur = conn.executemany(
+            "INSERT INTO Enrollment VALUES (?, ?, ?)",
+            [("s7", "c1", "b1"), ("s7", "c2", "b1"), ("s1", "c1", "b1")],
+        )
+        assert cur.rowcount == 2  # the third already existed
+        assert conn.execute(
+            "SELECT Enrollment WHERE Student CONTAINS 's7'"
+        ).fetchall()
+
+    def test_executemany_rejects_queries(self, conn):
+        with pytest.raises(db.ProgrammingError, match="queries"):
+            conn.executemany("Enrollment", [[]])
+
+    def test_delete_loop(self, conn):
+        cur = conn.executemany(
+            "DELETE FROM Enrollment VALUES (?, ?, ?)",
+            [("s1", "c1", "b1"), ("s1", "c2", "b1")],
+        )
+        assert cur.rowcount == 2
+
+
+class TestExecutescript:
+    def test_script_runs_statements_in_order(self, conn):
+        cur = conn.executescript(
+            "LET X = PROJECT Enrollment ON (Student, Club); "
+            "LET Y = SELECT X WHERE Club CONTAINS 'b1'; Y"
+        )
+        assert cur.fetchall()
+        assert "X" in conn.catalog
+        assert "Y" in conn.catalog
+
+    def test_script_with_parameters_rejected(self, conn):
+        with pytest.raises(db.ProgrammingError):
+            conn.executescript(
+                "SELECT Enrollment WHERE Club CONTAINS ?;"
+            )
+
+    def test_script_parse_error_names_statement(self, conn):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="statement 2"):
+            conn.executescript("Enrollment; SELECT WHERE; Enrollment")
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, conn):
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO Enrollment VALUES ('s9', 'c9', 'b9')")
+        conn.execute("COMMIT")
+        assert conn.execute(
+            "SELECT Enrollment WHERE Student CONTAINS 's9'"
+        ).fetchall()
+
+    def test_rollback_restores_relation(self, conn):
+        before = conn.catalog.get("Enrollment")
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO Enrollment VALUES ('s9', 'c9', 'b9')")
+        conn.execute("DELETE FROM Enrollment VALUES ('s1', 'c1', 'b1')")
+        conn.execute("ROLLBACK")
+        assert conn.catalog.get("Enrollment") == before
+
+    def test_rollback_restores_let_binding(self, conn):
+        conn.execute("LET X = PROJECT Enrollment ON (Student, Club)")
+        bound = conn.catalog.get("X")
+        conn.begin()
+        conn.execute("LET X = SELECT X WHERE Club CONTAINS 'b1'")
+        conn.execute("LET Fresh = Enrollment")
+        conn.rollback()
+        assert conn.catalog.get("X") == bound
+        assert "Fresh" not in conn.catalog
+
+    def test_nested_begin_rejected(self, conn):
+        conn.execute("BEGIN")
+        with pytest.raises(db.OperationalError, match="already in progress"):
+            conn.execute("BEGIN")
+
+    def test_commit_without_begin_rejected_in_language(self, conn):
+        with pytest.raises(db.OperationalError, match="no transaction"):
+            conn.execute("COMMIT")
+
+    def test_connection_commit_rollback_are_noops_outside_txn(self, conn):
+        conn.commit()
+        conn.rollback()
+
+    def test_context_manager_commits_on_success(self, conn):
+        with conn:
+            conn.execute("BEGIN")
+            conn.execute(
+                "INSERT INTO Enrollment VALUES ('s9', 'c9', 'b9')"
+            )
+        assert not conn.in_transaction
+        assert conn.execute(
+            "SELECT Enrollment WHERE Student CONTAINS 's9'"
+        ).fetchall()
+
+    def test_context_manager_rolls_back_on_error(self, conn):
+        with pytest.raises(RuntimeError):
+            with conn:
+                conn.execute("BEGIN")
+                conn.execute(
+                    "INSERT INTO Enrollment VALUES ('s9', 'c9', 'b9')"
+                )
+                raise RuntimeError("boom")
+        assert not conn.in_transaction
+        assert not conn.execute(
+            "SELECT Enrollment WHERE Student CONTAINS 's9'"
+        ).fetchall()
+
+    def test_other_connections_do_not_touch_foreign_transactions(self, conn):
+        other = db.connect(conn.database)
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO Enrollment VALUES ('s9', 'c9', 'b9')")
+        # A sibling session must not end a transaction it did not
+        # open — its statements landed in the foreign transaction, so a
+        # silent commit would promise durability it cannot deliver.
+        with pytest.raises(db.OperationalError, match="another session"):
+            other.commit()
+        with pytest.raises(db.OperationalError, match="another session"):
+            other.rollback()
+        with pytest.raises(db.OperationalError, match="another session"):
+            other.execute("COMMIT")
+        with pytest.raises(db.OperationalError, match="another session"):
+            other.execute("ROLLBACK")
+        other.close()
+        assert conn.in_transaction
+        conn.execute("COMMIT")
+        assert conn.execute(
+            "SELECT Enrollment WHERE Student CONTAINS 's9'"
+        ).fetchall()
+
+    def test_executemany_rolls_back_as_a_unit(self, conn):
+        before = conn.catalog.get("Enrollment")
+        conn.execute("BEGIN")
+        conn.executemany(
+            "INSERT INTO Enrollment VALUES (?, ?, ?)",
+            [("s7", "c1", "b1"), ("s8", "c2", "b2")],
+        )
+        conn.execute("ROLLBACK")
+        assert conn.catalog.get("Enrollment") == before
+
+
+class TestCatalogSetBugfix:
+    def test_representable_rebind_diff_updates_store(self, conn):
+        from repro import canonical_form
+
+        conn.execute("ANALYZE Enrollment")
+        catalog = conn.catalog
+        store = catalog.store_if_open("Enrollment")
+        assert store is not None
+        # A rebind whose nesting IS the stored representation: the
+        # canonical form (under the store's order) of a changed R*.
+        changed = store.to_1nf().tuples - {
+            next(iter(store.to_1nf().tuples))
+        }
+        target = canonical_form(
+            type(store.to_1nf())(store.schema, changed), list(store.order)
+        )
+        catalog.set("Enrollment", target)
+        # same store object, updated in place via the flat-tuple diff
+        assert catalog.store_if_open("Enrollment") is store
+        assert catalog.get("Enrollment") == target
+        assert store.to_1nf().tuples == changed
+
+    def test_structure_changing_rebind_preserves_structure(self, conn):
+        conn.execute("ANALYZE Enrollment")
+        store = conn.catalog.store_if_open("Enrollment")
+        flattened_count = conn.catalog.get("Enrollment").flat_count
+        conn.execute("LET Enrollment = FLATTEN Enrollment")
+        # the bound structure wins: all-singleton, one tuple per flat
+        bound = conn.catalog.get("Enrollment")
+        assert bound.cardinality == flattened_count
+        assert all(t.is_all_singleton() for t in bound)
+        # which means the canonical store had to be replaced
+        assert conn.catalog.store_if_open("Enrollment") is not store
+
+    def test_incompatible_rebind_replaces_store(self, conn):
+        conn.execute("ANALYZE Enrollment")
+        store = conn.catalog.store_if_open("Enrollment")
+        conn.execute(
+            "LET Enrollment = PROJECT Enrollment ON (Student, Club)"
+        )
+        assert conn.catalog.store_if_open("Enrollment") is not store
+
+    def test_noop_rebind_does_not_touch_pages(self, conn):
+        conn.execute("ANALYZE Enrollment")
+        store = conn.catalog.store_for("Enrollment")
+        writes = store.heap.stats.page_writes
+        conn.execute("LET Enrollment = Enrollment")
+        assert conn.catalog.store_if_open("Enrollment") is store
+        assert store.heap.stats.page_writes == writes

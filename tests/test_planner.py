@@ -360,6 +360,12 @@ class TestParserPositions:
         from repro.errors import LexError
 
         with pytest.raises(LexError, match=r"line 1, column 8"):
+            parse("SELECT @")
+
+    def test_parameter_token_renders_in_parse_error(self):
+        # `?` lexes as a parameter placeholder now; using it where an
+        # expression is required is a parse error that shows `?`.
+        with pytest.raises(ParseError, match=r"unexpected token \?"):
             parse("SELECT ?")
 
     def test_single_line_error_is_line_one(self):

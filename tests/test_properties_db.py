@@ -1,0 +1,251 @@
+"""Property tests for the embedded facade.
+
+Two invariants are pinned:
+
+1. **Prepared == literal**: executing a parameterized statement through
+   a prepared (cached-plan, late-bound) statement returns exactly the
+   rows of the equivalent literal statement evaluated directly — for
+   arbitrary relations, predicates and bindings.
+2. **Rollback == never executed**: after BEGIN, an arbitrary sequence
+   of DML (INSERT / DELETE / executemany / LET rebinds), some of which
+   may fail, followed by ROLLBACK leaves the catalog, the paged
+   stores (their logical content *and* their encoded record bytes) and
+   the statistics exactly as a catalog that never ran the transaction.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.db as db
+from repro.relational.relation import Relation
+
+ATTRS = ["A", "B", "C"]
+ATOMS = ["a1", "a2", "a3", "b1", "b2"]
+
+rows_strategy = st.lists(
+    st.tuples(*[st.sampled_from(ATOMS) for _ in ATTRS]),
+    min_size=1,
+    max_size=12,
+)
+
+
+def make_conn(rows, mode="nfr"):
+    conn = db.connect()
+    conn.database.register(
+        "R", Relation.from_rows(ATTRS, set(rows)), mode=mode
+    )
+    return conn
+
+
+# ---------------------------------------------------------------------------
+# prepared-with-parameters == direct-literal evaluation
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=rows_strategy,
+    value=st.sampled_from(ATOMS),
+    attr=st.sampled_from(ATTRS),
+    second=st.sampled_from(ATOMS),
+    form=st.sampled_from(["contains", "eq", "and"]),
+    analyze=st.booleans(),
+)
+def test_prepared_equals_literal(rows, value, attr, second, form, analyze):
+    conn = make_conn(rows)
+    if analyze:
+        conn.execute("ANALYZE R")
+    if form == "contains":
+        text = f"SELECT R WHERE {attr} CONTAINS ?"
+        literal = f"SELECT R WHERE {attr} CONTAINS '{value}'"
+        params = [value]
+    elif form == "eq":
+        text = f"SELECT R WHERE {attr} = ?"
+        literal = f"SELECT R WHERE {attr} = '{value}'"
+        params = [value]
+    else:
+        text = f"SELECT R WHERE {attr} CONTAINS ? AND B CONTAINS ?"
+        literal = (
+            f"SELECT R WHERE {attr} CONTAINS '{value}' "
+            f"AND B CONTAINS '{second}'"
+        )
+        params = [value, second]
+    stmt = conn.prepare(text)
+    got = sorted(map(repr, stmt.execute(params).fetchall()))
+    want = sorted(map(repr, conn.execute(literal).fetchall()))
+    assert got == want
+    # Re-execution with a different binding still matches its literal.
+    got2 = sorted(map(repr, stmt.execute([second] * len(params)).fetchall()))
+    literal2 = literal.replace(f"'{value}'", f"'{second}'").replace(
+        f"'{second}'", f"'{second}'"
+    )
+    want2 = sorted(map(repr, conn.execute(literal2).fetchall()))
+    assert got2 == want2
+
+
+# ---------------------------------------------------------------------------
+# rollback == never-executed
+# ---------------------------------------------------------------------------
+
+
+dml_step = st.one_of(
+    st.tuples(
+        st.just("insert"),
+        st.tuples(*[st.sampled_from(ATOMS) for _ in ATTRS]),
+    ),
+    st.tuples(
+        st.just("delete"),
+        st.tuples(*[st.sampled_from(ATOMS) for _ in ATTRS]),
+    ),
+    st.tuples(
+        st.just("insertmany"),
+        st.lists(
+            st.tuples(*[st.sampled_from(ATOMS) for _ in ATTRS]),
+            min_size=1,
+            max_size=4,
+        ),
+    ),
+    st.tuples(st.just("let"), st.sampled_from(ATOMS)),
+)
+
+
+def snapshot(conn):
+    """Deep state fingerprint: catalog bindings, store contents down to
+    the encoded record bytes, and (recollected) statistics."""
+    catalog = conn.catalog
+    state = {}
+    for name in catalog.names():
+        store = catalog.store_if_open(name)
+        store_state = None
+        if store is not None:
+            store_state = (
+                store.relation,
+                store.to_1nf(),
+                sorted(record for _, record in store.heap.scan()),
+            )
+        state[name] = (
+            catalog.get(name),
+            catalog.order_of(name),
+            catalog.mode_of(name),
+            store_state,
+            catalog.stats_for(name),
+        )
+    return state
+
+
+def apply_steps(conn, steps):
+    """One BEGIN + the DML sequence (failures swallowed) + ROLLBACK."""
+    conn.execute("BEGIN")
+    for kind, payload in steps:
+        try:
+            if kind == "insert":
+                conn.execute(
+                    "INSERT INTO R VALUES (?, ?, ?)", list(payload)
+                )
+            elif kind == "delete":
+                conn.execute(
+                    "DELETE FROM R VALUES (?, ?, ?)", list(payload)
+                )
+            elif kind == "insertmany":
+                conn.executemany(
+                    "INSERT INTO R VALUES (?, ?, ?)",
+                    [list(v) for v in payload],
+                )
+            else:
+                conn.execute(
+                    "LET R = SELECT R WHERE A CONTAINS ?", [payload]
+                )
+        except db.IntegrityError:
+            # Failed statements (e.g. deleting an absent tuple) are part
+            # of the scenario: the transaction still rolls back cleanly.
+            pass
+        except db.Error:
+            raise
+        except Exception:
+            pass
+    conn.execute("ROLLBACK")
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=rows_strategy,
+    steps=st.lists(dml_step, min_size=1, max_size=6),
+    mode=st.sampled_from(["nfr", "1nf"]),
+    open_store=st.booleans(),
+)
+def test_rollback_equals_never_executed(rows, steps, mode, open_store):
+    conn = make_conn(rows, mode=mode)
+    if open_store:
+        conn.execute("ANALYZE R")
+    before = snapshot(conn)
+    apply_steps(conn, steps)
+    after = snapshot(conn)
+    assert after == before
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=rows_strategy,
+    steps=st.lists(dml_step, min_size=1, max_size=5),
+)
+def test_commit_equals_autocommit(rows, steps):
+    """The dual property: COMMIT leaves exactly the state the same
+    statements produce without a transaction."""
+    txn = make_conn(rows)
+    auto = make_conn(rows)
+
+    txn.execute("BEGIN")
+    for conn in (txn, auto):
+        for kind, payload in steps:
+            try:
+                if kind == "insert":
+                    conn.execute(
+                        "INSERT INTO R VALUES (?, ?, ?)", list(payload)
+                    )
+                elif kind == "delete":
+                    conn.execute(
+                        "DELETE FROM R VALUES (?, ?, ?)", list(payload)
+                    )
+                elif kind == "insertmany":
+                    conn.executemany(
+                        "INSERT INTO R VALUES (?, ?, ?)",
+                        [list(v) for v in payload],
+                    )
+                else:
+                    conn.execute(
+                        "LET R = SELECT R WHERE A CONTAINS ?", [payload]
+                    )
+            except db.IntegrityError:
+                pass
+            except db.Error:
+                raise
+            except Exception:
+                pass
+    txn.execute("COMMIT")
+    assert txn.catalog.get("R") == auto.catalog.get("R")
+    assert txn.catalog.get("R").to_1nf() == auto.catalog.get("R").to_1nf()
+
+
+def test_rollback_restores_bytes_after_failed_multistatement():
+    """The acceptance scenario, deterministically: a multi-statement
+    transaction whose last statement fails, rolled back, restores
+    catalog, stores and stats byte-for-byte."""
+    conn = make_conn([("a1", "b1", "a2"), ("a2", "b2", "a3")])
+    conn.execute("ANALYZE R")
+    before = snapshot(conn)
+    conn.execute("BEGIN")
+    conn.execute("INSERT INTO R VALUES ('a3', 'b1', 'b2')")
+    conn.executemany(
+        "INSERT INTO R VALUES (?, ?, ?)",
+        [("b1", "b1", "b1"), ("b2", "b2", "b2")],
+    )
+    conn.execute("LET R = SELECT R WHERE A CONTAINS 'a3'")
+    with pytest.raises(Exception):
+        conn.execute("DELETE FROM R VALUES ('zz', 'zz', 'zz')")
+    conn.execute("ROLLBACK")
+    assert snapshot(conn) == before

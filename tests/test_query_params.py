@@ -1,0 +1,224 @@
+"""Parameter placeholders, binding, and multi-statement scripts."""
+
+import pytest
+
+from repro.errors import BindingError, LexError, ParseError
+from repro.query import ast, parse, parse_script
+from repro.query.lexer import tokenize
+from repro.query.params import (
+    ParameterBinding,
+    ParamSlots,
+    bind_statement,
+    collect_parameters,
+    has_parameters,
+    make_binding,
+)
+
+
+class TestLexer:
+    def test_question_mark_lexes_as_param(self):
+        tokens = tokenize("A CONTAINS ?")
+        assert tokens[-1].kind == "PARAM"
+        assert tokens[-1].value is None
+
+    def test_named_param_lexes_with_name(self):
+        tokens = tokenize("A CONTAINS :who")
+        assert tokens[-1].kind == "PARAM"
+        assert tokens[-1].value == "who"
+
+    def test_bare_colon_is_a_lex_error(self):
+        with pytest.raises(LexError, match="parameter name"):
+            tokenize("A CONTAINS :")
+
+    def test_semicolon_is_a_token(self):
+        kinds = [t.kind for t in tokenize("R; S")]
+        assert kinds == ["IDENT", ";", "IDENT"]
+
+
+class TestParser:
+    def test_positional_params_numbered_in_order(self):
+        node = parse("SELECT R WHERE A CONTAINS ? AND B CONTAINS ?")
+        params = collect_parameters(node)
+        assert [p.key for p in params] == [0, 1]
+
+    def test_named_params_collected_once(self):
+        node = parse(
+            "SELECT R WHERE A CONTAINS :x AND B CONTAINS :x"
+        )
+        params = collect_parameters(node)
+        assert [p.key for p in params] == ["x"]
+
+    def test_params_in_insert_values(self):
+        node = parse("INSERT INTO R VALUES (?, 'c1', ?)")
+        assert isinstance(node, ast.InsertValues)
+        assert node.values[0] == ast.Parameter(0)
+        assert node.values[1] == "c1"
+        assert node.values[2] == ast.Parameter(1)
+
+    def test_params_in_set_literal(self):
+        node = parse("SELECT R WHERE A = {?, ?}")
+        assert collect_parameters(node) == (
+            ast.Parameter(0),
+            ast.Parameter(1),
+        )
+
+    def test_trailing_semicolon_accepted(self):
+        assert isinstance(parse("R;"), ast.Name)
+
+    def test_transaction_statements_parse(self):
+        assert isinstance(parse("BEGIN"), ast.Begin)
+        assert isinstance(parse("commit"), ast.Commit)
+        assert isinstance(parse("Rollback"), ast.Rollback)
+
+    def test_parameter_repr_is_placeholder(self):
+        assert repr(ast.Parameter(0)) == "?"
+        assert repr(ast.Parameter("who")) == ":who"
+
+
+class TestScripts:
+    def test_script_splits_on_semicolons(self):
+        nodes = parse_script(
+            "LET X = R; INSERT INTO X VALUES ('a'); X"
+        )
+        assert len(nodes) == 3
+        assert isinstance(nodes[0], ast.Let)
+        assert isinstance(nodes[1], ast.InsertValues)
+        assert isinstance(nodes[2], ast.Name)
+
+    def test_empty_statements_skipped(self):
+        assert len(parse_script(";;R;;S;")) == 2
+
+    def test_empty_script_is_empty(self):
+        assert parse_script("") == ()
+        assert parse_script(" ; ; ") == ()
+
+    def test_parse_error_reports_statement_index(self):
+        with pytest.raises(ParseError, match="statement 2"):
+            parse_script("R; SELECT WHERE; S")
+
+    def test_statement_index_counts_nonempty_only(self):
+        with pytest.raises(ParseError, match="statement 1"):
+            parse_script("; ;SELECT WHERE")
+
+    def test_positional_params_numbered_per_statement(self):
+        first, second = parse_script(
+            "SELECT R WHERE A CONTAINS ?; SELECT R WHERE B CONTAINS ?"
+        )
+        assert collect_parameters(first) == (ast.Parameter(0),)
+        assert collect_parameters(second) == (ast.Parameter(0),)
+
+
+class TestBinding:
+    def test_positional_binding(self):
+        node = parse("SELECT R WHERE A CONTAINS ?")
+        bound = bind_statement(node, ["a1"])
+        assert not has_parameters(bound)
+        assert bound.condition.value == "a1"
+
+    def test_named_binding(self):
+        node = parse("INSERT INTO R VALUES (:x, :y)")
+        bound = bind_statement(node, {"x": 1, "y": 2})
+        assert bound.values == (1, 2)
+
+    def test_wrong_count_rejected(self):
+        node = parse("SELECT R WHERE A CONTAINS ?")
+        with pytest.raises(BindingError, match="expects 1"):
+            bind_statement(node, ["a1", "a2"])
+        with pytest.raises(BindingError, match="got none"):
+            bind_statement(node, None)
+
+    def test_missing_and_unknown_names_rejected(self):
+        node = parse("SELECT R WHERE A CONTAINS :x")
+        with pytest.raises(BindingError, match="missing"):
+            bind_statement(node, {})
+        with pytest.raises(BindingError, match="unknown"):
+            bind_statement(node, {"x": 1, "z": 2})
+
+    def test_style_mismatch_rejected(self):
+        positional = parse("SELECT R WHERE A CONTAINS ?")
+        named = parse("SELECT R WHERE A CONTAINS :x")
+        with pytest.raises(BindingError, match="sequence"):
+            bind_statement(positional, {"0": "a"})
+        with pytest.raises(BindingError, match="mapping"):
+            bind_statement(named, ["a"])
+
+    def test_params_on_parameterless_statement_rejected(self):
+        node = parse("SELECT R WHERE A CONTAINS 'a1'")
+        with pytest.raises(BindingError, match="no parameters"):
+            bind_statement(node, ["a1"])
+        # None/empty are fine
+        assert bind_statement(node, None) == node
+        assert bind_statement(node, []) == node
+
+    def test_mixed_styles_in_statement_rejected(self):
+        node = parse("SELECT R WHERE A CONTAINS ? AND B CONTAINS :x")
+        with pytest.raises(BindingError, match="mixes"):
+            make_binding(collect_parameters(node), ["a"])
+
+
+class TestEvaluateWithParams:
+    def test_run_binds_params(self):
+        from repro.query import Catalog, run
+        from repro.relational.relation import Relation
+
+        catalog = Catalog()
+        catalog.register(
+            "R", Relation.from_rows(["A", "B"], [("a1", "b1"), ("a2", "b2")])
+        )
+        result = run("SELECT R WHERE A CONTAINS ?", catalog, params=["a1"])
+        assert result.cardinality == 1
+
+    def test_evaluate_stream_validates_binding_eagerly(self):
+        from repro.query import Catalog, evaluate_stream
+        from repro.relational.relation import Relation
+
+        catalog = Catalog()
+        catalog.register(
+            "R", Relation.from_rows(["A", "B"], [("a1", "b1")])
+        )
+        node = parse("SELECT R WHERE A CONTAINS ?")
+        # wrong count raises at the call site, before any iteration
+        with pytest.raises(BindingError):
+            evaluate_stream(node, catalog, params=["a1", "a2"])
+        tuples = [
+            t
+            for batch in evaluate_stream(node, catalog, params=["a1"])
+            for t in batch
+        ]
+        assert len(tuples) == 1
+
+    def test_evaluate_unbound_parameters_raise(self):
+        from repro.query import Catalog, evaluate, evaluate_naive
+        from repro.errors import EvaluationError
+        from repro.relational.relation import Relation
+
+        catalog = Catalog()
+        catalog.register(
+            "R", Relation.from_rows(["A", "B"], [("a1", "b1")])
+        )
+        node = parse("SELECT R WHERE A CONTAINS ?")
+        with pytest.raises(EvaluationError):
+            evaluate(node, catalog)
+        with pytest.raises(EvaluationError):
+            evaluate_naive(node, catalog)
+
+
+class TestParamSlots:
+    def test_resolve_literal_passthrough(self):
+        slots = ParamSlots()
+        assert slots.resolve("x") == "x"
+
+    def test_resolve_unbound_parameter_raises(self):
+        slots = ParamSlots()
+        with pytest.raises(BindingError, match="without bound values"):
+            slots.resolve(ast.Parameter(0))
+
+    def test_rebinding_bumps_generation(self):
+        slots = ParamSlots()
+        g0 = slots.generation
+        slots.bind(ParameterBinding({0: "a"}))
+        assert slots.generation == g0 + 1
+        assert slots.resolve(ast.Parameter(0)) == "a"
+        slots.bind(ParameterBinding({0: "b"}))
+        assert slots.generation == g0 + 2
+        assert slots.resolve(ast.Parameter(0)) == "b"
