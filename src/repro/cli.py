@@ -8,7 +8,15 @@ Usage::
     python -m repro query "EXPLAIN ANALYZE SELECT Enrollment WHERE \
         Club CONTAINS 'b1'" --load Enrollment=data.txt
     python -m repro repl --load Enrollment=data.txt
+    python -m repro query "Enrollment" --db app.db  # on-disk database
+    python -m repro repl --db app.db
     python -m repro demo                            # Fig. 1 walkthrough
+
+``--db PATH`` opens (or creates) an on-disk database: relations loaded
+with ``--load`` and every committed statement persist across runs, and
+a crashed run recovers through the write-ahead log on the next open.
+Inside the REPL, ``.open PATH`` switches to another database file and
+``.checkpoint`` folds the WAL into the data file on demand.
 
 The CLI runs entirely through the embedded facade (:mod:`repro.db`):
 each command opens a :class:`~repro.db.database.Database`, registers the
@@ -63,11 +71,18 @@ def _print_io(conn: db.Connection) -> None:
     io = conn.catalog.last_io
     if io is None:
         return
-    print(
+    line = (
         f"-- io: {io.page_reads} page reads, {io.page_writes} page "
         f"writes, {io.records_visited} records touched, "
         f"{io.flats_produced} flats affected"
     )
+    if io.disk_reads or io.pages_written or io.wal_bytes:
+        line += (
+            f"\n-- disk: {io.disk_reads} disk reads, "
+            f"{io.pages_written} pages written, "
+            f"{io.wal_bytes} wal bytes"
+        )
+    print(line)
 
 
 def _print_storage(conn: db.Connection) -> None:
@@ -85,9 +100,17 @@ def _print_storage(conn: db.Connection) -> None:
         )
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    database = db.Database()
+def _open_database(args: argparse.Namespace) -> db.Database:
+    try:
+        database = db.Database(path=getattr(args, "db", None))
+    except (ReproError, OSError) as exc:
+        raise SystemExit(f"error: cannot open database: {exc}")
     _parse_load_args(database, args.load or [])
+    return database
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    database = _open_database(args)
     conn = database.connect()
     try:
         cursor = conn.execute(args.statement)
@@ -95,55 +118,91 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        database.close()
     if args.stats:
         _print_io(conn)
     return 0
 
 
 def _cmd_repl(args: argparse.Namespace) -> int:
-    database = db.Database()
-    _parse_load_args(database, args.load or [])
+    database = _open_database(args)
     conn = database.connect()
     print(
         "NF2 query REPL — end statements with Enter; 'quit' to exit, "
         "'catalog' lists relations, 'storage' shows the paged stores, "
         "'io' shows the last statement's page I/O; EXPLAIN [ANALYZE] "
         "shows query plans, ANALYZE <name> collects statistics; "
-        "BEGIN/COMMIT/ROLLBACK scope transactions."
+        "BEGIN/COMMIT/ROLLBACK scope transactions; '.open PATH' "
+        "switches to an on-disk database, '.checkpoint' folds its WAL "
+        "into the data file."
     )
+    if database.durable:
+        print(f"database: {database.path}")
     print(f"catalog: {', '.join(conn.catalog.names()) or '(empty)'}")
-    while True:
-        try:
-            line = input("nf2> ").strip()
-        except EOFError:
-            print()
-            return 0
-        if not line:
-            continue
-        if line.lower() in ("quit", "exit", r"\q"):
-            return 0
-        if line.lower() in ("catalog", r"\d"):
-            for name in conn.catalog.names():
-                rel = conn.catalog.get(name)
-                print(
-                    f"  {name}{rel.schema} — {rel.cardinality} tuples, "
-                    f"{rel.flat_count} flats"
-                )
-            continue
-        if line.lower() in ("storage", r"\s"):
-            _print_storage(conn)
-            continue
-        if line.lower() in ("io", r"\io"):
-            _print_io(conn)
-            continue
-        try:
-            previous_io = conn.catalog.last_io
-            cursor = conn.execute(line)
-            print(cursor.table())
-            if args.stats and conn.catalog.last_io is not previous_io:
+    try:
+        while True:
+            try:
+                line = input("nf2> ").strip()
+            except EOFError:
+                print()
+                return 0
+            if not line:
+                continue
+            if line.lower() in ("quit", "exit", r"\q"):
+                return 0
+            if line.lower() in ("catalog", r"\d"):
+                for name in conn.catalog.names():
+                    rel = conn.catalog.get(name)
+                    print(
+                        f"  {name}{rel.schema} — {rel.cardinality} tuples, "
+                        f"{rel.flat_count} flats"
+                    )
+                continue
+            if line.lower() in ("storage", r"\s"):
+                _print_storage(conn)
+                continue
+            if line.lower() in ("io", r"\io"):
                 _print_io(conn)
-        except ReproError as exc:
-            print(f"error: {exc}")
+                continue
+            if line.startswith(".open"):
+                path = line[len(".open"):].strip()
+                if not path:
+                    print("usage: .open PATH")
+                    continue
+                try:
+                    new_database = db.Database(path=path)
+                except (ReproError, OSError) as exc:
+                    print(f"error: {exc}")
+                    continue
+                database.close()
+                database = new_database
+                conn = database.connect()
+                print(
+                    f"database: {database.path} — catalog: "
+                    f"{', '.join(conn.catalog.names()) or '(empty)'}"
+                )
+                continue
+            if line.lower() in (".checkpoint", "checkpoint"):
+                if not database.durable:
+                    print("(in-memory database — nothing to checkpoint)")
+                    continue
+                try:
+                    database.checkpoint()
+                    print(f"checkpointed {database.path}")
+                except ReproError as exc:
+                    print(f"error: {exc}")
+                continue
+            try:
+                previous_io = conn.catalog.last_io
+                cursor = conn.execute(line)
+                print(cursor.table())
+                if args.stats and conn.catalog.last_io is not previous_io:
+                    _print_io(conn)
+            except ReproError as exc:
+                print(f"error: {exc}")
+    finally:
+        database.close()
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -188,6 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="register a relation before running (repeatable)",
     )
     p_query.add_argument(
+        "--db", metavar="PATH",
+        help="open (or create) an on-disk database file",
+    )
+    p_query.add_argument(
         "--stats", action="store_true",
         help="print page-I/O accounting after mutating statements",
     )
@@ -197,6 +260,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_repl.add_argument(
         "--load", action="append", metavar="NAME=PATH",
         help="register a relation before starting (repeatable)",
+    )
+    p_repl.add_argument(
+        "--db", metavar="PATH",
+        help="open (or create) an on-disk database file",
     )
     p_repl.add_argument(
         "--stats", action="store_true",

@@ -8,7 +8,9 @@ transactions::
 
     import repro.db
 
-    conn = repro.db.connect()
+    conn = repro.db.connect()            # in-memory
+    conn = repro.db.connect("app.db")    # durable: opens/creates the
+                                         # file, recovers after crashes
     conn.database.register("Enrollment", relation,
                            order=["Course", "Club", "Student"])
 
@@ -27,9 +29,12 @@ transactions::
                      ["s9", "c1", "b1"])
 
 Layering: :func:`connect` -> :class:`Database` (owns the
-:class:`~repro.query.catalog.Catalog` and paged stores) ->
+:class:`~repro.query.catalog.Catalog`, its paged stores, and — given a
+path — the :class:`~repro.storage.durable.DurableEngine` providing
+buffer-pooled, WAL-protected, crash-recoverable persistence) ->
 :class:`Connection` (session caches, transaction scope) ->
 :class:`Cursor` (execute/fetch, streaming off the batch executor).
+``Database.close()`` checkpoints a durable database into its file.
 """
 
 from repro.db.connection import Connection, PreparedStatement

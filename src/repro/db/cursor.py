@@ -216,6 +216,7 @@ class Cursor:
                 )
             )
         catalog.record_io(mstats)
+        catalog.autocommit()
         self._reset()
         self._relation = catalog.sync_from_store(node.name)
         self._set_description(self._relation.schema.names)

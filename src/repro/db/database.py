@@ -6,24 +6,118 @@ orders, paged :class:`~repro.storage.engine.NFRStore` backings, cached
 planner statistics) and hands out :class:`~repro.db.connection.Connection`
 sessions over it.  Multiple connections share the same catalog state;
 each keeps its own statement and plan caches.
+
+Two storage regimes share this one surface:
+
+- ``Database()`` — in-memory: stores live on per-store
+  :class:`~repro.storage.bufferpool.MemoryPager` pages and vanish with
+  the process.
+- ``Database(path="app.db")`` (or ``repro.db.connect("app.db")``) —
+  durable: a :class:`~repro.storage.durable.DurableEngine` opens or
+  creates the file, runs crash recovery, reattaches every persisted
+  relation, and from then on every committed statement is fsynced
+  write-ahead.  :meth:`close` checkpoints (folds the WAL into the data
+  file) and releases the file handles.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from repro.core.nfr_relation import NFRelation
+from repro.db.exceptions import ProgrammingError
 from repro.query.catalog import Catalog
 from repro.relational.relation import Relation
+from repro.storage.bufferpool import DEFAULT_FRAME_BUDGET
 
 
 class Database:
     """An embedded NF2 database: the catalog plus everything hanging
     off it.  Create one directly (optionally around an existing
-    :class:`Catalog`) or implicitly through :func:`repro.db.connect`."""
+    :class:`Catalog`, or durably with ``path=``) or implicitly through
+    :func:`repro.db.connect`."""
 
-    def __init__(self, catalog: Catalog | None = None):
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        path: str | os.PathLike | None = None,
+        frames: int = DEFAULT_FRAME_BUDGET,
+        _fault_hook=None,
+    ):
+        if catalog is not None and path is not None:
+            # A pre-built catalog's stores live on per-store memory
+            # pagers whose page ids mean nothing in the database file;
+            # persisting them would corrupt the metadata.  Open the
+            # durable database first and register the relations into it
+            # instead.
+            raise ProgrammingError(
+                "cannot wrap an existing Catalog in an on-disk database; "
+                "open connect(path) and register the relations into it"
+            )
         self.catalog = catalog if catalog is not None else Catalog()
+        self._engine = None
+        self._closed = False
+        if path is not None:
+            from repro.storage.durable import DurableEngine
+
+            self._engine = DurableEngine(
+                path, frames=frames, fault_hook=_fault_hook
+            )
+            self._engine.load_catalog(self.catalog)
+
+    # -- durability --------------------------------------------------------------
+
+    @property
+    def path(self) -> str | None:
+        """The database file path, or None for an in-memory database."""
+        return self._engine.path if self._engine is not None else None
+
+    @property
+    def durable(self) -> bool:
+        return self._engine is not None
+
+    @property
+    def engine(self):
+        """The :class:`~repro.storage.durable.DurableEngine`, or None
+        in-memory (instrumentation surface for benchmarks and tools)."""
+        return self._engine
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def checkpoint(self) -> None:
+        """Durable databases: commit pending autocommit state, flush
+        dirty buffer-pool frames and metadata to the data file, and
+        truncate the WAL.  A no-op in-memory."""
+        if self._engine is not None:
+            self.catalog.autocommit()
+            self._engine.checkpoint()
+
+    def close(self) -> None:
+        """Close the database.  An open transaction is rolled back, a
+        durable engine checkpoints and releases its files.  Idempotent;
+        connections created from this database become unusable for
+        statement execution once the underlying engine is gone."""
+        if self._closed:
+            return
+        if self.catalog.in_transaction:
+            self.catalog.rollback()
+        if self._engine is not None:
+            # Catch catalog changes made outside the statement paths
+            # (direct Catalog API use) before the final checkpoint.
+            self.catalog.autocommit()
+            self._engine.close()
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- sessions and registration -----------------------------------------------
 
     def connect(self, plan_cache_size: int = 64):
         """Open a new :class:`~repro.db.connection.Connection` session
@@ -40,8 +134,11 @@ class Database:
         mode: str = "nfr",
     ) -> None:
         """Register a relation under ``name`` (see
-        :meth:`repro.query.catalog.Catalog.register`)."""
+        :meth:`repro.query.catalog.Catalog.register`).  On a durable
+        database outside a transaction this autocommits — the relation
+        is on disk when the call returns."""
         self.catalog.register(name, relation, order=order, mode=mode)
+        self.catalog.autocommit()
 
     def names(self) -> list[str]:
         """Registered relation names, sorted."""
@@ -51,21 +148,30 @@ class Database:
         return name in self.catalog
 
     def __repr__(self) -> str:
-        return f"Database({len(self.catalog)} relations)"
+        where = f"{self.path!r}" if self.durable else "in-memory"
+        return f"Database({where}, {len(self.catalog)} relations)"
 
 
-def connect(database: "Database | Catalog | None" = None):
+def connect(
+    database: "Database | Catalog | str | os.PathLike | None" = None,
+    frames: int = DEFAULT_FRAME_BUDGET,
+):
     """Open a connection to an embedded NF2 database.
 
     With no argument a fresh, empty in-memory :class:`Database` is
     created (register relations through
     ``connection.database.register(...)`` or ``LET`` statements).  Pass
-    an existing :class:`Database` to open another session over it, or a
-    bare :class:`~repro.query.catalog.Catalog` to adopt one built by the
+    a **path** (``connect("app.db")``) to open or create an on-disk
+    database — committed state survives restarts and crashes, and
+    reopening recovers through the write-ahead log.  Pass an existing
+    :class:`Database` to open another session over it, or a bare
+    :class:`~repro.query.catalog.Catalog` to adopt one built by the
     compatibility API.
     """
     if database is None:
         database = Database()
+    elif isinstance(database, (str, os.PathLike)):
+        database = Database(path=database, frames=frames)
     elif isinstance(database, Catalog):
         database = Database(database)
     return database.connect()

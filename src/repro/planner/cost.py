@@ -28,8 +28,13 @@ from dataclasses import dataclass
 from repro.query import ast
 from repro.planner.stats import RelationStats
 
-#: Cost of reading one heap page.
+#: Cost of touching one heap page resident in memory (a buffer-pool
+#: hit, or any page of an in-memory store).
 PAGE_READ_COST = 1.0
+#: *Additional* cost when the page touch misses the buffer pool and
+#: goes to the database file — a disk-backed page read is priced
+#: ``PAGE_READ_COST + DISK_READ_COST``.
+DISK_READ_COST = 4.0
 #: Cost of decoding/visiting one heap record.
 RECORD_COST = 0.02
 #: Cost of processing one in-memory NFR tuple.
@@ -80,6 +85,48 @@ def conjunct_selectivity(
     return sel
 
 
+def frame_miss_fraction(frames: int, pages: int) -> float:
+    """Steady-state buffer-pool miss estimate for a relation of
+    ``pages`` pages under a budget of ``frames``: a relation that fits
+    in the frame budget is expected to be fully resident once warm
+    (the BUF-HIT regime), a larger one misses in proportion to the
+    shortfall, ``1 - frames/pages``."""
+    if pages <= 0:
+        return 0.0
+    return max(0.0, 1.0 - frames / pages)
+
+
+def miss_fraction(stats: RelationStats | None) -> float:
+    """Estimated fraction of this relation's page touches that miss the
+    buffer pool and hit the disk (0 for in-memory stores)."""
+    if stats is None or not stats.disk_backed:
+        return 0.0
+    return frame_miss_fraction(stats.buffer_frames, stats.pages)
+
+
+def raw_page_touch_cost(
+    pages: float, frames: int, relation_pages: int, disk_backed: bool
+) -> float:
+    """Cost of ``pages`` page touches on a relation of
+    ``relation_pages`` pages: a buffer hit per touch, plus the disk
+    surcharge for the estimated miss fraction.  The single place the
+    hit/miss pricing formula lives — both the statistics-based and the
+    stats-free planner paths go through it."""
+    miss = (
+        frame_miss_fraction(frames, relation_pages) if disk_backed else 0.0
+    )
+    return pages * (PAGE_READ_COST + miss * DISK_READ_COST)
+
+
+def page_touch_cost(pages: float, stats: RelationStats | None) -> float:
+    """:func:`raw_page_touch_cost` driven by a relation's statistics."""
+    if stats is None:
+        return pages * PAGE_READ_COST
+    return raw_page_touch_cost(
+        pages, stats.buffer_frames, stats.pages, stats.disk_backed
+    )
+
+
 def memory_scan_cost(stats: RelationStats | None) -> CostEstimate:
     rows = float(stats.tuple_count) if stats is not None else 100.0
     return CostEstimate(rows=rows, cost=rows * TUPLE_CPU_COST, pages=0.0)
@@ -96,7 +143,7 @@ def heap_scan_cost(
     """
     return CostEstimate(
         rows=float(stats.tuple_count),
-        cost=stats.pages * PAGE_READ_COST
+        cost=page_touch_cost(float(stats.pages), stats)
         + stats.records * RECORD_COST * decode_fraction,
         pages=float(stats.pages),
     )
@@ -120,7 +167,7 @@ def index_scan_cost(
     pages = min(float(stats.pages), matches) if stats.pages else 0.0
     cost = (
         probes * INDEX_LOOKUP_COST
-        + pages * PAGE_READ_COST
+        + page_touch_cost(pages, stats)
         + matches * RECORD_COST * decode_fraction
     )
     return CostEstimate(rows=sel * stats.tuple_count, cost=cost, pages=pages)

@@ -36,11 +36,24 @@ def render_plan(root: PhysicalOp, analyze: bool = False) -> str:
     lines = ["QUERY PLAN"]
     _render(root, 0, analyze, lines)
     if analyze:
-        lines.append(
+        total = (
             f"total: pages read={root.total_pages_read()}, "
             f"index lookups={root.total_index_lookups()}, "
             f"bytes decoded={root.total_bytes_decoded()}"
         )
+        # Physical layer, shown only when a durable store was touched:
+        # disk reads split buffer-pool misses out of the page touches;
+        # pages written / wal bytes surface writeback and logging that
+        # happened inside the statement's window.
+        disk = root.total_disk_reads()
+        written = root.total_pages_written()
+        wal = root.total_wal_bytes()
+        if disk or written or wal:
+            total += (
+                f", disk reads={disk}, pages written={written}, "
+                f"wal bytes={wal}"
+            )
+        lines.append(total)
     return "\n".join(lines)
 
 
@@ -54,6 +67,8 @@ def _render(
         parts.append(f"actual rows={op.actual_rows}")
         if op.actual_pages is not None:
             parts.append(f"pages read={op.actual_pages}")
+        if op.actual_disk_reads:
+            parts.append(f"disk reads={op.actual_disk_reads}")
         if op.actual_index_lookups:
             parts.append(f"index lookups={op.actual_index_lookups}")
         if op.actual_bytes_decoded is not None:

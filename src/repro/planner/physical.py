@@ -81,6 +81,12 @@ class PhysicalOp:
         self.actual_pages: int | None = None
         self.actual_index_lookups: int | None = None
         self.actual_bytes_decoded: int | None = None
+        #: Physical layer (durable stores only): page reads that missed
+        #: the buffer pool, page images written back to the file during
+        #: this operator's window, WAL bytes appended.
+        self.actual_disk_reads: int | None = None
+        self.actual_pages_written: int | None = None
+        self.actual_wal_bytes: int | None = None
         #: Stream instrumentation: batches yielded and the largest batch
         #: ever held (the per-operator peak working set).
         self.batches_emitted = 0
@@ -147,6 +153,18 @@ class PhysicalOp:
     def total_bytes_decoded(self) -> int:
         own = self.actual_bytes_decoded or 0
         return own + sum(c.total_bytes_decoded() for c in self.children())
+
+    def total_disk_reads(self) -> int:
+        own = self.actual_disk_reads or 0
+        return own + sum(c.total_disk_reads() for c in self.children())
+
+    def total_pages_written(self) -> int:
+        own = self.actual_pages_written or 0
+        return own + sum(c.total_pages_written() for c in self.children())
+
+    def total_wal_bytes(self) -> int:
+        own = self.actual_wal_bytes or 0
+        return own + sum(c.total_wal_bytes() for c in self.children())
 
 
 class StreamingOp(PhysicalOp):
@@ -252,6 +270,7 @@ class _StoreScan(StreamingOp):
         predicate = self.predicate
         stream = self._stream()
         pages = visits = lookups = nbytes = rows = 0
+        disk = written = wal = 0
         exhausted = False
         while not exhausted:
             before = store.stats_window()
@@ -269,6 +288,9 @@ class _StoreScan(StreamingOp):
             visits += after[1] - before[1]
             lookups += after[2] - before[2]
             nbytes += after[3] - before[3]
+            disk += after[4] - before[4]
+            written += after[5] - before[5]
+            wal += after[6] - before[6]
             if batch:
                 rows += len(batch)
                 yield self._note(batch)
@@ -276,6 +298,9 @@ class _StoreScan(StreamingOp):
         self.actual_pages = pages
         self.actual_index_lookups = lookups
         self.actual_bytes_decoded = nbytes
+        self.actual_disk_reads = disk
+        self.actual_pages_written = written
+        self.actual_wal_bytes = wal
 
 
 class HeapScan(_StoreScan):

@@ -87,6 +87,9 @@ class PhysicalPlan:
             flats_produced=0,
             index_lookups=self.root.total_index_lookups(),
             bytes_decoded=self.root.total_bytes_decoded(),
+            disk_reads=self.root.total_disk_reads(),
+            pages_written=self.root.total_pages_written(),
+            wal_bytes=self.root.total_wal_bytes(),
         )
 
 
@@ -348,12 +351,18 @@ class _Builder:
                 )
             pages = store.heap.page_count
             records = store.heap.record_count
+            page_cost = costs.raw_page_touch_cost(
+                float(pages),
+                getattr(store.heap.pager, "capacity", 0),
+                pages,
+                getattr(store.heap.pager, "is_durable", False),
+            )
             return P.HeapScan(
                 store,
                 name,
                 costs.CostEstimate(
                     rows=float(records),
-                    cost=pages * costs.PAGE_READ_COST
+                    cost=page_cost
                     + records * costs.RECORD_COST * decode_fraction,
                     pages=float(pages),
                 ),

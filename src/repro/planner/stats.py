@@ -64,6 +64,13 @@ class RelationStats:
     #: backing-store mode ('1nf' / 'nfr'), or None when not paged
     mode: str | None
     attributes: Mapping[str, AttributeStats] = field(default_factory=dict)
+    #: is the backing store on disk (buffer pool + file) rather than
+    #: memory-resident?  Disk-backed page touches may miss the pool.
+    disk_backed: bool = False
+    #: buffer-pool frame budget shared by the database's stores
+    #: (0 when not disk-backed) — the cost model estimates the miss
+    #: fraction of a scan from frames vs relation pages.
+    buffer_frames: int = 0
 
     def attribute(self, name: str) -> AttributeStats | None:
         return self.attributes.get(name)
@@ -76,9 +83,14 @@ class RelationStats:
         ]
         if self.mode is not None:
             index_note = "AtomIndex" if self.indexed else "no index"
+            disk_note = (
+                f", disk-backed ({self.buffer_frames} buffer frames)"
+                if self.disk_backed
+                else ""
+            )
             lines.append(
                 f"  store: mode={self.mode}, {self.records} records on "
-                f"{self.pages} pages, {index_note}"
+                f"{self.pages} pages, {index_note}{disk_note}"
             )
         else:
             lines.append("  store: (not paged — in-memory relation)")
@@ -127,4 +139,12 @@ def collect_stats(
         indexed=store is not None and store.index is not None,
         mode=store.mode if store is not None else None,
         attributes=attributes,
+        disk_backed=(
+            store is not None and getattr(store.heap.pager, "is_durable", False)
+        ),
+        buffer_frames=(
+            store.heap.pager.capacity
+            if store is not None and getattr(store.heap.pager, "is_durable", False)
+            else 0
+        ),
     )

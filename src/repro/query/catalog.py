@@ -53,6 +53,80 @@ class Catalog:
         self.last_io: ScanStats | None = None
         self._version = 0
         self._undo: list[Callable[[], None]] | None = None
+        #: The :class:`~repro.storage.durable.DurableEngine` backing
+        #: this catalog, or None for a purely in-memory database.
+        self._durability = None
+
+    # -- durability ----------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self._durability is not None
+
+    def attach_durability(self, engine) -> None:
+        """Wire a :class:`~repro.storage.durable.DurableEngine`:
+        from now on stores are created over its buffer pool and
+        write-ahead log, and commit/rollback/autocommit drive its
+        transaction protocol."""
+        self._durability = engine
+
+    def _store_context(self) -> tuple:
+        """(pager, journal) for new backing stores — the durable
+        engine's shared buffer pool and WAL, or (None, None) for the
+        per-store in-memory pager."""
+        if self._durability is not None:
+            return self._durability.store_context()
+        return None, None
+
+    def autocommit(self) -> None:
+        """Statement-level durability point: outside an explicit
+        transaction, a durable catalog commits after every statement
+        (sqlite-style autocommit).  A no-op in-memory or inside an open
+        transaction."""
+        if self._undo is None and self._durability is not None:
+            self._durability.commit()
+
+    def adopt_store(self, name: str, store: NFRStore) -> None:
+        """Bind a store reattached from disk (database open): the
+        catalog entry becomes the stored relation.  Not undoable — open
+        happens outside any transaction."""
+        self._entries[name] = store.relation
+        self._orders[name] = store.order
+        self._modes[name] = store.mode
+        self._stores[name] = store
+        store.on_mutation = lambda: self.invalidate_stats(name)
+        self._bump()
+
+    def ensure_store(self, name: str) -> NFRStore:
+        """A backing store for ``name``, created *without* §4
+        canonicalization when absent — the persistence path: a durable
+        commit must write every entry to pages, but a pure ``LET``
+        binding's nesting structure has to survive verbatim.  (DML goes
+        through :meth:`store_for`, which canonicalizes in ``nfr`` mode;
+        a store created here canonicalizes lazily on first mutation,
+        exactly like one created by ``store_for`` would have at that
+        point.)"""
+        store = self._stores.get(name)
+        if store is not None:
+            return store
+        relation = self.get(name)
+        order = self._orders[name]
+        pager, journal = self._store_context()
+        if self._modes.get(name, "nfr") == "1nf":
+            store = NFRStore.from_relation(
+                relation.to_1nf(), order=order,
+                pager=pager, journal=journal,
+            )
+        else:
+            store = NFRStore.from_nfr(
+                relation, order=order, pager=pager, journal=journal
+            )
+        self._stores[name] = store
+        self._entries[name] = store.relation
+        store.on_mutation = lambda: self.invalidate_stats(name)
+        self._stats.pop(name, None)
+        self._bump()
+        return store
 
     # -- plan/statistics versioning ----------------------------------------------
 
@@ -79,21 +153,29 @@ class Catalog:
         self._undo = []
 
     def commit(self) -> None:
-        """Close the open transaction, keeping its effects."""
+        """Close the open transaction, keeping its effects.  On a
+        durable catalog this is the durability point: the write-ahead
+        log gets the transaction's records, a catalog snapshot and a
+        COMMIT marker, then an fsync."""
         if self._undo is None:
             raise TransactionError("no transaction in progress")
         self._undo = None
+        if self._durability is not None:
+            self._durability.commit()
 
     def rollback(self) -> None:
         """Close the open transaction by running its undo log in
         reverse: stores are restored through the §4 inverse operations,
-        bindings through captured previous state."""
+        bindings through captured previous state.  On a durable catalog
+        the transaction's buffered WAL records are then discarded."""
         if self._undo is None:
             raise TransactionError("no transaction in progress")
         log = self._undo
         self._undo = None  # undo actions must not re-record
         while log:
             log.pop()()
+        if self._durability is not None:
+            self._durability.rollback()
 
     def record_undo(self, action: Callable[[], None]) -> None:
         """Append an inverse action to the open transaction's undo log
@@ -306,13 +388,15 @@ class Catalog:
         if store is None:
             relation = self.get(name)
             order = self._orders[name]
+            pager, journal = self._store_context()
             if self._modes.get(name, "nfr") == "1nf":
                 store = NFRStore.from_relation(
-                    relation.to_1nf(), order=order
+                    relation.to_1nf(), order=order,
+                    pager=pager, journal=journal,
                 )
             else:
                 store = NFRStore.from_nfr(
-                    relation, order=order
+                    relation, order=order, pager=pager, journal=journal
                 ).canonicalize()
             self._stores[name] = store
             # The catalog entry becomes the stored representation so that
@@ -399,5 +483,7 @@ class Catalog:
             flats_produced=stats.flats_applied,
             index_lookups=0,
             page_writes=stats.page_writes,
+            pages_written=stats.pages_written,
+            wal_bytes=stats.wal_bytes,
         )
         return self.last_io

@@ -76,7 +76,13 @@ def evaluate(
     if params is not None:
         node = bind_statement(node, params)
     if isinstance(node, ast.Statement):
-        return _execute(node, catalog)
+        result = _execute(node, catalog)
+        # Statement-level durability point: outside an explicit
+        # transaction a durable catalog commits what the statement
+        # changed (a no-op in-memory, inside a transaction, and for
+        # BEGIN/COMMIT/ROLLBACK themselves).
+        catalog.autocommit()
+        return result
     if isinstance(node, ast.Expression):
         return _run_planned(node, catalog)
     raise EvaluationError(f"cannot evaluate node {node!r}")

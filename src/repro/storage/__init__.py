@@ -5,15 +5,49 @@ also as internal view": "the reduction of the number of tuples will
 contribute to the reduction of logical search space.  We call this level
 of view as realization view."
 
-This subpackage is an instrumented in-memory storage engine that makes
-the claim measurable: relations (1NF or NFR) are serialized into slotted
-pages in a heap file whose page reads and record visits are counted, and
-an optional inverted atom index accelerates point lookups.  Benchmarks
+This subpackage is an instrumented storage engine that makes the claim
+measurable: relations (1NF or NFR) are serialized into slotted pages in
+a heap file whose page reads and record visits are counted, and an
+optional inverted atom index accelerates point lookups.  Benchmarks
 compare the same logical queries against 1NF storage and NFR storage.
+
+The pages are real bytes: a :class:`Page` serializes to exactly
+:data:`PAGE_SIZE` bytes, a :class:`~repro.storage.filemgr.FileManager`
+reads and writes those images at offsets in a single database file, a
+:class:`~repro.storage.bufferpool.BufferPool` caches a bounded number
+of frames between the heap files and the disk, and a
+:class:`~repro.storage.wal.WriteAheadLog` plus
+:class:`~repro.storage.durable.DurableEngine` make commits atomic and
+durable (crash recovery on open).  In-memory databases use the same
+heap/page code over a :class:`~repro.storage.bufferpool.MemoryPager`.
 """
 
-from repro.storage.engine import NFRStore, ScanStats
+from repro.storage.bufferpool import (
+    DEFAULT_FRAME_BUDGET,
+    BufferPool,
+    MemoryPager,
+    PageAllocator,
+)
+from repro.storage.engine import MutationStats, NFRStore, ScanStats
+from repro.storage.filemgr import FileManager
 from repro.storage.heap import HeapFile
-from repro.storage.pages import Page, PAGE_SIZE
+from repro.storage.pages import HEADER_SIZE, MAX_RECORD_SIZE, PAGE_SIZE, Page
+from repro.storage.wal import WriteAheadLog, wal_path
 
-__all__ = ["NFRStore", "ScanStats", "HeapFile", "Page", "PAGE_SIZE"]
+__all__ = [
+    "NFRStore",
+    "ScanStats",
+    "MutationStats",
+    "HeapFile",
+    "Page",
+    "PAGE_SIZE",
+    "HEADER_SIZE",
+    "MAX_RECORD_SIZE",
+    "FileManager",
+    "BufferPool",
+    "MemoryPager",
+    "PageAllocator",
+    "DEFAULT_FRAME_BUDGET",
+    "WriteAheadLog",
+    "wal_path",
+]

@@ -1,0 +1,349 @@
+"""Buffer pool: bounded page cache between heap files and the disk.
+
+Two pager implementations share one surface (``fetch`` / ``release`` /
+``allocate`` / ``free``), so :class:`~repro.storage.heap.HeapFile`
+never touches frames or files directly:
+
+- :class:`MemoryPager` — the in-memory engine (``connect()`` with no
+  path): every page stays resident, nothing is serialized, disk
+  counters are always zero.  One per store.
+- :class:`BufferPool` — the durable engine: a configurable budget of
+  frames over a :class:`~repro.storage.filemgr.FileManager`, with pin
+  counts, dirty bits and CLOCK (second-chance) eviction.  One per
+  database, shared by every heap file and by the index rebuilds at
+  open, so a hot page is read from disk once no matter how many access
+  paths touch it.
+
+Eviction policy: pinned frames are never evicted; clean frames are
+preferred; a dirty frame is written back on eviction only when the
+``evict_gate`` allows it — the durability engine gates out pages
+dirtied by the open transaction (no-steal), which keeps uncommitted
+bytes out of the data file and recovery redo-only.  When every frame is
+pinned or gated the pool temporarily grows past its budget
+(``overflows`` counts how often) rather than deadlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.filemgr import FileManager
+from repro.storage.pages import Page
+
+#: Default frame budget of a durable database's buffer pool.
+DEFAULT_FRAME_BUDGET = 64
+
+
+class PageAllocator:
+    """Hands out page ids in the single database file: lowest freed id
+    first, then fresh ids past the high-water mark.  Page 0 is the
+    database header and is never handed out."""
+
+    def __init__(self, next_id: int = 1, free: Iterator[int] | tuple = ()):
+        self.next_id = next_id
+        self._free: set[int] = set(free)
+
+    def allocate(self) -> int:
+        if self._free:
+            pid = min(self._free)
+            self._free.discard(pid)
+            return pid
+        pid = self.next_id
+        self.next_id += 1
+        return pid
+
+    def free(self, page_id: int) -> None:
+        if 0 < page_id < self.next_id:
+            self._free.add(page_id)
+
+    def reserve(self, page_ids: Iterator[int] | tuple | list) -> None:
+        """Mark ids as in use (metadata pages recorded only in the
+        database header, outside the serialized allocator state)."""
+        for pid in page_ids:
+            self._free.discard(pid)
+            if pid >= self.next_id:
+                self.next_id = pid + 1
+
+    def sweep(self, used: set[int]) -> None:
+        """Mark-sweep reclamation: every allocated id not in ``used``
+        (and not page 0) becomes free.  Run at commit, when dropped
+        stores can no longer be resurrected by a rollback."""
+        self._free = {
+            pid for pid in range(1, self.next_id) if pid not in used
+        }
+
+    @property
+    def free_ids(self) -> list[int]:
+        return sorted(self._free)
+
+    def state(self) -> dict:
+        return {"next": self.next_id, "free": self.free_ids}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PageAllocator":
+        return cls(next_id=int(state["next"]), free=state.get("free", ()))
+
+
+class MemoryPager:
+    """Pager without a disk: every page is resident forever.  The
+    in-memory engine's stand-in for the buffer pool — same surface,
+    zero physical I/O."""
+
+    is_durable = False
+    capacity = 0
+
+    def __init__(self):
+        self._pages: dict[int, Page] = {}
+        self._next = 0
+
+    @property
+    def disk_reads(self) -> int:
+        return 0
+
+    @property
+    def disk_writes(self) -> int:
+        return 0
+
+    def allocate(self) -> Page:
+        page = Page(self._next)
+        self._pages[self._next] = page
+        self._next += 1
+        return page
+
+    def fetch(self, page_id: int) -> Page:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"page {page_id} is not allocated") from None
+
+    def release(self, page_id: int, dirty: bool = False) -> None:
+        del page_id, dirty  # resident pages need no unpin/writeback
+
+    def free(self, page_id: int) -> None:
+        self._pages.pop(page_id, None)
+
+
+@dataclass
+class _Frame:
+    page: Page
+    pins: int = 0
+    dirty: bool = False
+    referenced: bool = True
+
+
+@dataclass
+class PoolStats:
+    """Cumulative buffer-pool counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    overflows: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.overflows = 0
+
+
+class BufferPool:
+    """A budgeted frame cache over a :class:`FileManager` with CLOCK
+    eviction, shared by every heap file of a durable database."""
+
+    is_durable = True
+
+    def __init__(
+        self,
+        filemgr: FileManager,
+        capacity: int = DEFAULT_FRAME_BUDGET,
+        allocator: PageAllocator | None = None,
+        evict_gate: Callable[[int], bool] | None = None,
+    ):
+        if capacity < 1:
+            raise StorageError(f"frame budget must be >= 1, got {capacity}")
+        self.filemgr = filemgr
+        self.capacity = capacity
+        self.allocator = allocator if allocator is not None else PageAllocator()
+        #: May this (dirty, unpinned) page be written back and evicted?
+        #: The durability engine answers False for pages dirtied by the
+        #: open transaction (no-steal).
+        self.evict_gate = evict_gate
+        self.stats = PoolStats()
+        self._frames: dict[int, _Frame] = {}
+        self._clock: list[int] = []
+        self._hand = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def disk_reads(self) -> int:
+        return self.filemgr.stats.reads
+
+    @property
+    def disk_writes(self) -> int:
+        return self.filemgr.stats.writes
+
+    @property
+    def frame_count(self) -> int:
+        return len(self._frames)
+
+    def resident(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def dirty_ids(self) -> list[int]:
+        return sorted(
+            pid for pid, f in self._frames.items() if f.dirty
+        )
+
+    # -- pin/unpin ---------------------------------------------------------------
+
+    def fetch(self, page_id: int) -> Page:
+        """Pin ``page_id``'s frame, reading the page image from disk on
+        a miss (a zero image — an allocated page never flushed — comes
+        back as a fresh empty page)."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            self._make_room()
+            page = Page.from_bytes(
+                self.filemgr.read_page(page_id), page_id
+            )
+            frame = _Frame(page)
+            self._frames[page_id] = frame
+            self._clock.append(page_id)
+        frame.pins += 1
+        frame.referenced = True
+        return frame.page
+
+    def release(self, page_id: int, dirty: bool = False) -> None:
+        """Unpin; ``dirty=True`` marks the frame for writeback."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pins <= 0:
+            raise StorageError(f"release of unpinned page {page_id}")
+        frame.pins -= 1
+        frame.dirty = frame.dirty or dirty
+
+    def allocate(self) -> Page:
+        """A fresh pinned, dirty page on a newly allocated page id.  A
+        recycled id may still have a stale frame resident (its store
+        was dropped and the checkpoint sweep freed the id); the stale
+        frame is discarded — or, if an abandoned stream still pins it,
+        the id is skipped for now and a different one is taken."""
+        self._make_room()
+        skipped: list[int] = []
+        pid = self.allocator.allocate()
+        while not self.drop_frame(pid):
+            skipped.append(pid)
+            pid = self.allocator.allocate()
+        for stale in skipped:
+            self.allocator.free(stale)
+        page = Page(pid)
+        self._frames[pid] = _Frame(page, pins=1, dirty=True)
+        self._clock.append(pid)
+        return page
+
+    def free(self, page_id: int) -> None:
+        """Drop the frame (no writeback) and return the id to the
+        allocator — the page's bytes on disk become dead."""
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.pins > 0:
+            raise StorageError(f"cannot free pinned page {page_id}")
+        self.drop_frame(page_id)
+        self.allocator.free(page_id)
+
+    def drop_frame(self, page_id: int) -> bool:
+        """Discard a frame without writeback (the page's contents are
+        known dead — freed by a vacuum, or unreachable after a
+        checkpoint's mark-sweep).  Pinned frames are left alone (a
+        suspended scan may still be reading one); returns whether the
+        frame is gone."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            return True
+        if frame.pins > 0:
+            return False
+        del self._frames[page_id]
+        return True
+
+    # -- eviction ----------------------------------------------------------------
+
+    def _evictable(self, frame: _Frame) -> bool:
+        if frame.pins > 0:
+            return False
+        if frame.dirty and self.evict_gate is not None:
+            return self.evict_gate(frame.page.page_id)
+        return True
+
+    def _make_room(self) -> None:
+        # Loop: a pool that overflowed past its budget (no-steal gating
+        # during a big transaction) shrinks back once pages become
+        # evictable again.
+        while len(self._frames) >= self.capacity:
+            victim = self._pick_victim()
+            if victim is None:
+                # Everything pinned or gated: grow past budget rather
+                # than deadlock; the next release re-enables eviction.
+                self.stats.overflows += 1
+                return
+            frame = self._frames.pop(victim)
+            if frame.dirty:
+                self.stats.writebacks += 1
+                self.filemgr.write_page(victim, frame.page.to_bytes())
+            self.stats.evictions += 1
+
+    def _pick_victim(self) -> int | None:
+        """CLOCK with second chance, preferring clean frames: the first
+        full sweep clears reference bits and takes an unreferenced
+        clean frame; the second accepts an evictable dirty one."""
+        self._clock = [pid for pid in self._clock if pid in self._frames]
+        n = len(self._clock)
+        if n == 0:
+            return None
+        if self._hand >= n:
+            self._hand %= n
+        fallback: int | None = None
+        for sweep in range(2 * n):
+            pid = self._clock[self._hand]
+            self._hand = (self._hand + 1) % n
+            frame = self._frames[pid]
+            if not self._evictable(frame):
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            if not frame.dirty:
+                return pid
+            if fallback is None:
+                fallback = pid
+        return fallback
+
+    # -- flushing ----------------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.dirty:
+            self.filemgr.write_page(page_id, frame.page.to_bytes())
+            frame.dirty = False
+
+    def flush_all(self) -> int:
+        """Write back every dirty frame (checkpoint); returns how many
+        pages were written."""
+        written = 0
+        for pid in self.dirty_ids():
+            self.flush_page(pid)
+            written += 1
+        return written
+
+    def drop_all(self) -> None:
+        """Discard every frame without writeback (close after
+        checkpoint, or abandoning a crashed engine)."""
+        self._frames.clear()
+        self._clock.clear()
+        self._hand = 0

@@ -1,0 +1,429 @@
+"""DurableEngine: the persistence spine of a ``connect(path)`` database.
+
+One engine owns the three durable artefacts of a database and the
+policies connecting them:
+
+- the **data file** (:class:`~repro.storage.filemgr.FileManager`) —
+  page 0 is the database header, a run of *metadata pages* holds the
+  serialized catalog (schemas, nest orders, storage modes, atom-index
+  flags, per-heap page extents, and the page allocator's free list —
+  the file-level free-space map), and everything else is heap pages;
+- the **buffer pool** (:class:`~repro.storage.bufferpool.BufferPool`) —
+  shared by every heap file; its eviction gate enforces *no-steal*
+  (pages dirtied by the open transaction never reach the file before
+  commit);
+- the **write-ahead log** (:class:`~repro.storage.wal.WriteAheadLog`) —
+  physiological redo records buffered per transaction and fsynced at
+  commit (*no-force*: dirty data pages may linger in frames long after
+  their transaction committed).
+
+Transaction protocol
+--------------------
+
+``BEGIN``/``COMMIT``/``ROLLBACK`` (and every autocommitted statement)
+drive :meth:`commit` / :meth:`rollback` through the catalog's
+durability hooks:
+
+- *commit*: make sure every catalog entry has a backing store (an
+  entry that never saw DML still has to survive the restart), append
+  the serialized catalog and a COMMIT marker to the WAL, flush and
+  fsync it.  That single fsync is the durability point — no data page
+  needs to be written.
+- *rollback*: the catalog's undo log has already restored the
+  in-memory state; the WAL buffer (only uncommitted records, thanks to
+  no-steal) is simply discarded.
+
+Recovery (ARIES-lite, redo-only)
+--------------------------------
+
+On open, the WAL is scanned up to the first torn frame; operations of
+committed transactions are replayed through the buffer pool onto the
+page images, each guarded by the page LSN so replay is exactly-once
+even over pages that were flushed after the logged operation.  The
+last committed catalog blob in the WAL overrides the one in the
+metadata pages (the metadata pages are only as fresh as the last
+checkpoint).  Recovery ends with a checkpoint, so the WAL is empty
+whenever the database is cleanly open.
+
+Checkpoint
+----------
+
+:meth:`checkpoint` (run on :meth:`close`, on open after recovery, or
+explicitly) makes the data file self-contained: flush every dirty
+frame, mark-sweep the page allocator (pages of dropped stores become
+free; their stale frames are discarded), rewrite the metadata pages
+and the header (each fsync-fenced), and truncate the WAL.  Recycled
+page ids are safe for physiological replay because every reallocation
+logs an ALLOC record whose redo clears the page's stale image first.
+A checkpoint with nothing to do writes nothing, so an idle open/close
+cannot tear the header.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import StorageError, TransactionError
+from repro.relational.schema import RelationSchema
+from repro.storage.bufferpool import (
+    DEFAULT_FRAME_BUDGET,
+    BufferPool,
+    PageAllocator,
+)
+from repro.storage.engine import NFRStore
+from repro.storage.filemgr import FileManager
+from repro.storage.pages import PAGE_SIZE
+from repro.storage.wal import WriteAheadLog, wal_path
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query.catalog import Catalog
+
+_MAGIC = b"NF2REPRO"
+_FORMAT_VERSION = 1
+# magic, version, page_size, max_lsn, meta_len, meta_crc, meta_pages
+_HEADER_FMT = ">8sHIQIIH"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_MAX_META_PAGES = (PAGE_SIZE - _HEADER_SIZE - 4) // 4
+
+
+def _fresh_meta() -> dict:
+    return {
+        "version": _FORMAT_VERSION,
+        "page_size": PAGE_SIZE,
+        "allocator": {"next": 1, "free": []},
+        "relations": {},
+    }
+
+
+class DurableEngine:
+    """Durability orchestration for one on-disk database."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        frames: int = DEFAULT_FRAME_BUDGET,
+        fault_hook: Callable[[str, int], None] | None = None,
+    ):
+        self.path = os.fspath(path)
+        self.filemgr = FileManager(self.path, fault_hook=fault_hook)
+        self.wal = WriteAheadLog(wal_path(self.path), fault_hook=fault_hook)
+        self.pool = BufferPool(
+            self.filemgr,
+            capacity=frames,
+            evict_gate=self._may_evict,
+        )
+        self.catalog: "Catalog | None" = None
+        self._meta = _fresh_meta()
+        self._meta_page_ids: list[int] = []
+        self._last_committed_blob: bytes | None = None
+        self._dirty_since_checkpoint = False
+        self._closed = False
+        try:
+            self._open()
+        except BaseException:
+            # Never leak file handles out of a failed open (corrupt
+            # file, or a fault hook firing during recovery).
+            self.filemgr.close()
+            self.wal.close()
+            raise
+
+    # -- policies ----------------------------------------------------------------
+
+    def _may_evict(self, page_id: int) -> bool:
+        """No-steal: a page dirtied by the open transaction must not be
+        written back before its WAL records are durable."""
+        return page_id not in self.wal.active_dirty
+
+    @property
+    def allocator(self) -> PageAllocator:
+        return self.pool.allocator
+
+    # -- open / recovery ---------------------------------------------------------
+
+    def _open(self) -> None:
+        header = self._read_header()
+        ops, wal_blob, max_lsn = self.wal.recover()
+        if header is None and wal_blob is None:
+            if (
+                self.filemgr.num_pages > 0
+                and self.filemgr.read_page(0) != b"\x00" * PAGE_SIZE
+            ):
+                # A non-empty header that fails validation with no WAL
+                # to fall back on is real corruption.  (An all-zero
+                # page 0 is different: a crash during the *initial*
+                # checkpoint, before any commit existed — safe to
+                # re-initialize, nothing was ever durable.)
+                raise StorageError(
+                    f"{self.path!r} is not a repro database (bad header, "
+                    f"empty WAL)"
+                )
+            # Fresh database: write the initial header/metadata so an
+            # untouched open/close round-trip still leaves a valid file.
+            self._dirty_since_checkpoint = True
+            self.checkpoint()
+            return
+        if wal_blob is not None:
+            meta = json.loads(wal_blob.decode("utf-8"))
+        else:
+            meta = header[0]
+        if meta.get("page_size") != PAGE_SIZE:
+            raise StorageError(
+                f"database page size {meta.get('page_size')} does not "
+                f"match this build's {PAGE_SIZE}"
+            )
+        self._meta = meta
+        self.pool.allocator = PageAllocator.from_state(meta["allocator"])
+        header_lsn = header[2] if header is not None else 0
+        if header is not None:
+            self._meta_page_ids = list(header[1])
+            self.allocator.reserve(self._meta_page_ids)
+        self.wal.next_lsn = max(max_lsn, header_lsn) + 1
+        for op in ops:
+            page = self.pool.fetch(op.page_id)
+            dirty = False
+            try:
+                if op.lsn > page.lsn:
+                    op.apply(page)
+                    dirty = True
+            finally:
+                self.pool.release(op.page_id, dirty=dirty)
+        if ops or wal_blob is not None or self.wal.size:
+            # Recovery happened (or the WAL holds already-applied
+            # records): fold everything into the data file and start
+            # with an empty log.
+            self._dirty_since_checkpoint = True
+            self.checkpoint()
+
+    def load_catalog(self, catalog: "Catalog") -> None:
+        """Populate ``catalog`` with the persisted relations (stores
+        reattached to their pages through the buffer pool) and wire the
+        durability hooks.  Called once, right after construction."""
+        self.catalog = catalog
+        for name, rel in sorted(self._meta["relations"].items()):
+            store = NFRStore.attach(
+                RelationSchema(rel["schema"]),
+                rel["mode"],
+                rel["pages"],
+                self.pool,
+                journal=self.wal,
+                indexed=rel["indexed"],
+                order=rel["order"],
+            )
+            catalog.adopt_store(name, store)
+        catalog.attach_durability(self)
+
+    # -- store plumbing ----------------------------------------------------------
+
+    def store_context(self) -> tuple[BufferPool, WriteAheadLog]:
+        """(pager, journal) for stores the catalog creates."""
+        return self.pool, self.wal
+
+    # -- metadata serialization --------------------------------------------------
+
+    def _serialize(self) -> bytes:
+        """The catalog metadata blob: deterministic JSON so an
+        unchanged catalog serializes to identical bytes (no-op commits
+        then skip the fsync entirely)."""
+        meta = dict(self._meta)
+        meta["allocator"] = self.allocator.state()
+        if self.catalog is not None:
+            relations = {}
+            for name in self.catalog.names():
+                store = self.catalog.store_if_open(name)
+                if store is None:  # pragma: no cover - commit ensures
+                    continue
+                relations[name] = {
+                    "schema": list(store.schema.names),
+                    "order": list(store.order),
+                    "mode": store.mode,
+                    "indexed": store.index is not None,
+                    "pages": store.heap.page_ids(),
+                }
+            meta["relations"] = relations
+        self._meta = meta
+        return json.dumps(meta, sort_keys=True).encode("utf-8")
+
+    def _read_header(self) -> tuple[dict, list[int], int] | None:
+        """(metadata, meta page ids, max_lsn) from the data file, or
+        None when the header or the metadata blob fails validation —
+        the caller then falls back to the WAL's catalog record."""
+        if self.filemgr.num_pages == 0:
+            return None
+        raw = self.filemgr.read_page(0)
+        (stored_crc,) = struct.unpack_from(">I", raw, PAGE_SIZE - 4)
+        body = bytearray(raw)
+        struct.pack_into(">I", body, PAGE_SIZE - 4, 0)
+        if zlib.crc32(body) != stored_crc:
+            return None
+        magic, version, page_size, max_lsn, meta_len, meta_crc, n_pages = (
+            struct.unpack_from(_HEADER_FMT, raw, 0)
+        )
+        if magic != _MAGIC:
+            return None
+        if version != _FORMAT_VERSION:
+            raise StorageError(
+                f"database format version {version} is not supported"
+            )
+        if page_size != PAGE_SIZE:
+            raise StorageError(
+                f"database page size {page_size} does not match this "
+                f"build's {PAGE_SIZE}"
+            )
+        pids = list(
+            struct.unpack_from(f">{n_pages}I", raw, _HEADER_SIZE)
+        )
+        blob = b"".join(self.filemgr.read_page(pid) for pid in pids)
+        blob = blob[:meta_len]
+        if len(blob) != meta_len or zlib.crc32(blob) != meta_crc:
+            return None
+        try:
+            meta = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        return meta, pids, max_lsn
+
+    def _write_header(self, blob: bytes, meta_pids: list[int]) -> None:
+        buf = bytearray(PAGE_SIZE)
+        struct.pack_into(
+            _HEADER_FMT, buf, 0,
+            _MAGIC, _FORMAT_VERSION, PAGE_SIZE, self.wal.next_lsn - 1,
+            len(blob), zlib.crc32(blob), len(meta_pids),
+        )
+        struct.pack_into(
+            f">{len(meta_pids)}I", buf, _HEADER_SIZE, *meta_pids
+        )
+        crc = zlib.crc32(buf)
+        struct.pack_into(">I", buf, PAGE_SIZE - 4, crc)
+        self.filemgr.write_page(0, bytes(buf))
+
+    # -- transaction boundaries --------------------------------------------------
+
+    def commit(self) -> None:
+        """Durability point: persist the catalog blob + COMMIT marker
+        and fsync the WAL.  A commit that changed nothing writes
+        nothing."""
+        self._check_open()
+        if self.catalog is not None:
+            for name in self.catalog.names():
+                self.catalog.ensure_store(name)
+        blob = self._serialize()
+        if not self.wal.in_flight and blob == self._last_committed_blob:
+            return
+        self.wal.log_catalog(blob)
+        self.wal.commit()
+        self._last_committed_blob = blob
+        self._dirty_since_checkpoint = True
+
+    def rollback(self) -> None:
+        """Make a completed rollback durable.
+
+        By the time this runs, the catalog's undo log has replayed the
+        inverse operations through the stores — appending *compensation
+        records* to the WAL buffer after the original ones.  Those must
+        be committed, not discarded: the op sequence is logically
+        net-zero, but physiological replay has to reproduce the exact
+        slot layout the live rollback produced (an undo re-insert may
+        land in a *different* tombstoned slot than the original held,
+        and later records are logged against that layout).  This is
+        ARIES's CLR discipline in miniature; a transaction that logged
+        nothing costs nothing here."""
+        self._check_open()
+        if self.wal.in_flight:
+            self.commit()
+
+    # -- checkpoint ---------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Fold WAL-protected state into the data file: flush dirty
+        frames, mark-sweep the allocator, rewrite metadata pages and
+        header (fsync-fenced), truncate the WAL."""
+        self._check_open()
+        if self.wal.in_flight:
+            raise TransactionError(
+                "cannot checkpoint with a transaction in progress"
+            )
+        if not self._dirty_since_checkpoint:
+            return
+        self.pool.flush_all()
+        used = {0}
+        if self.catalog is not None:
+            for name in self.catalog.names():
+                store = self.catalog.store_if_open(name)
+                if store is not None:
+                    used.update(store.heap.page_ids())
+        else:
+            for rel in self._meta["relations"].values():
+                used.update(rel["pages"])
+        self.allocator.sweep(used)
+        # Frames of swept-away pages (dropped stores, pre-vacuum
+        # extents, old metadata) are garbage now — drop them, or a
+        # later allocation of the same id would collide with the stale
+        # resident frame.
+        for pid in self.allocator.free_ids:
+            self.pool.drop_frame(pid)
+        blob = self._serialize()
+        chunks = [
+            blob[i : i + PAGE_SIZE] for i in range(0, len(blob), PAGE_SIZE)
+        ] or [b""]
+        if len(chunks) > _MAX_META_PAGES:
+            raise StorageError(
+                f"catalog metadata of {len(blob)} bytes exceeds the "
+                f"{_MAX_META_PAGES}-page header capacity"
+            )
+        # Meta pages are allocated *after* the blob is serialized, so
+        # the persisted free list may still contain their ids; open()
+        # re-reserves them from the header.
+        meta_pids = [self.allocator.allocate() for _ in chunks]
+        for pid, chunk in zip(meta_pids, chunks):
+            self.filemgr.write_page(pid, chunk.ljust(PAGE_SIZE, b"\x00"))
+        self.filemgr.sync()
+        self._write_header(blob, meta_pids)
+        self.filemgr.sync()
+        self.wal.truncate()
+        self._meta_page_ids = meta_pids
+        self._last_committed_blob = blob
+        self._dirty_since_checkpoint = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"database {self.path!r} is closed")
+
+    def close(self) -> None:
+        """Checkpoint and release the files.  With uncommitted records
+        still in flight (direct engine use without a catalog-level
+        rollback) the checkpoint is skipped — in-memory pages may carry
+        uncommitted bytes, and flushing them would corrupt the
+        committed state; recovery on the next open reconstructs it from
+        the WAL instead."""
+        if self._closed:
+            return
+        if self.wal.in_flight:
+            self.wal.rollback()
+            self.pool.drop_all()
+        else:
+            self.checkpoint()
+            self.pool.drop_all()
+        self.filemgr.close()
+        self.wal.close()
+        self._closed = True
+
+    def abandon(self) -> None:
+        """Drop the engine without flushing anything — the test
+        harness's stand-in for a killed process.  The files keep
+        exactly the bytes the simulated crash left behind."""
+        if self._closed:
+            return
+        self.pool.drop_all()
+        self.filemgr.close()
+        self.wal.close()
+        self._closed = True
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"DurableEngine({self.path!r}, {state})"

@@ -70,7 +70,13 @@ class ScanStats:
 
     ``bytes_decoded`` counts record bytes actually materialised into
     Python values — the skip-decoder leaves it below the raw record
-    size when a scan only needs some attributes."""
+    size when a scan only needs some attributes.
+
+    ``page_reads``/``page_writes`` are *logical* page touches;
+    ``disk_reads``/``pages_written`` are the physical subset that
+    actually reached the database file (always 0 for in-memory stores,
+    and 0 for a warm buffer pool), and ``wal_bytes`` is what the
+    write-ahead log appended on behalf of the statement."""
 
     page_reads: int
     records_visited: int
@@ -78,6 +84,9 @@ class ScanStats:
     index_lookups: int
     page_writes: int = 0
     bytes_decoded: int = 0
+    disk_reads: int = 0
+    pages_written: int = 0
+    wal_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -87,6 +96,13 @@ class MutationStats:
     ``records_written``/``records_deleted`` count heap records, the unit
     Theorem A-4's bound governs in ``nfr`` mode: both stay O(degree) per
     flat update no matter how many tuples the store holds.
+
+    ``pages_written`` counts page images physically written to the
+    database file (buffer-pool writebacks during the mutation; 0 for
+    in-memory stores — dirty pages normally reach disk later, at
+    checkpoint) and ``wal_bytes`` the redo bytes the mutation appended
+    to the write-ahead log — the symmetric write-side accounting to
+    ``page_reads`` on the read side.
     """
 
     flats_applied: int
@@ -94,6 +110,8 @@ class MutationStats:
     records_deleted: int
     page_reads: int
     page_writes: int
+    pages_written: int = 0
+    wal_bytes: int = 0
 
     @property
     def records_touched(self) -> int:
@@ -110,12 +128,14 @@ class NFRStore:
         mode: str,
         indexed: bool = True,
         order: Sequence[str] | None = None,
+        pager=None,
+        journal=None,
     ):
         if mode not in ("1nf", "nfr"):
             raise StorageError(f"mode must be '1nf' or 'nfr', got {mode!r}")
         self.schema = schema
         self.mode = mode
-        self.heap = HeapFile()
+        self.heap = HeapFile(pager=pager, journal=journal)
         self.index: AtomIndex | None = (
             AtomIndex(schema.names) if indexed else None
         )
@@ -160,9 +180,14 @@ class NFRStore:
         relation: Relation,
         indexed: bool = True,
         order: Sequence[str] | None = None,
+        pager=None,
+        journal=None,
     ) -> "NFRStore":
         """Store a 1NF relation flat (one record per tuple)."""
-        store = cls(relation.schema, "1nf", indexed=indexed, order=order)
+        store = cls(
+            relation.schema, "1nf", indexed=indexed, order=order,
+            pager=pager, journal=journal,
+        )
         for t in relation.sorted_tuples():
             store._insert_flat_record(t)
         store.heap.stats.reset()
@@ -174,11 +199,51 @@ class NFRStore:
         relation: NFRelation,
         indexed: bool = True,
         order: Sequence[str] | None = None,
+        pager=None,
+        journal=None,
     ) -> "NFRStore":
         """Store an NFR (one record per NFR tuple)."""
-        store = cls(relation.schema, "nfr", indexed=indexed, order=order)
+        store = cls(
+            relation.schema, "nfr", indexed=indexed, order=order,
+            pager=pager, journal=journal,
+        )
         for t in relation.sorted_tuples():
             store._insert_nfr_record(t)
+        store.heap.stats.reset()
+        return store
+
+    @classmethod
+    def attach(
+        cls,
+        schema: RelationSchema,
+        mode: str,
+        page_ids: Sequence[int],
+        pager,
+        journal=None,
+        indexed: bool = True,
+        order: Sequence[str] | None = None,
+    ) -> "NFRStore":
+        """Reattach to pages that already exist in a durable database:
+        bind the heap to ``page_ids`` and rebuild the record directory,
+        the free-space map and the :class:`AtomIndex` in one scan of
+        the records through the buffer pool.  No page is written."""
+        store = cls(
+            schema, mode, indexed=indexed, order=order,
+            pager=pager, journal=journal,
+        )
+        for rid, record in store.heap.attach(page_ids):
+            if mode == "nfr":
+                t: Any = decode_nfr_tuple(record, schema)
+                store._rids[t] = rid
+                if store.index is not None:
+                    for name in schema.names:
+                        store.index.add_component(name, t[name], rid)
+            else:
+                f = decode_flat_tuple(record, schema)
+                store._rids[f] = rid
+                if store.index is not None:
+                    for name in schema.names:
+                        store.index.add(name, f[name], rid)
         store.heap.stats.reset()
         return store
 
@@ -353,17 +418,19 @@ class NFRStore:
             )
         return flat.reorder(self.schema.names)
 
-    def _snapshot(self) -> tuple[int, int, int, int]:
+    def _snapshot(self) -> tuple[int, ...]:
         s = self.heap.stats
         return (
             self._records_written,
             self._records_deleted,
             s.page_reads,
             s.page_writes,
+            self.heap.disk_writes(),
+            self.heap.wal_bytes(),
         )
 
     def _delta(
-        self, before: tuple[int, int, int, int], flats_applied: int
+        self, before: tuple[int, ...], flats_applied: int
     ) -> MutationStats:
         s = self.heap.stats
         return MutationStats(
@@ -372,6 +439,8 @@ class NFRStore:
             records_deleted=self._records_deleted - before[1],
             page_reads=s.page_reads - before[2],
             page_writes=s.page_writes - before[3],
+            pages_written=self.heap.disk_writes() - before[4],
+            wal_bytes=self.heap.wal_bytes() - before[5],
         )
 
     def insert_flat(self, flat: FlatTuple) -> tuple[bool, MutationStats]:
@@ -649,18 +718,23 @@ class NFRStore:
                             results.append(flat)
         return results, self.stats_since(before, len(results))
 
-    def stats_window(self) -> tuple[int, int, int, int]:
+    def stats_window(self) -> tuple[int, ...]:
         """Snapshot of the cumulative counters a query window diffs
-        against (pairs with :meth:`stats_since`)."""
+        against (pairs with :meth:`stats_since`): logical page reads,
+        record visits, index lookups, bytes decoded, then the physical
+        layer — disk reads, disk page writes, WAL bytes."""
         return (
             self.heap.stats.page_reads,
             self.heap.stats.records_visited,
             self.index.lookups if self.index else 0,
             self._bytes_decoded,
+            self.heap.disk_reads(),
+            self.heap.disk_writes(),
+            self.heap.wal_bytes(),
         )
 
     def stats_since(
-        self, before: tuple[int, int, int, int], flats: int
+        self, before: tuple[int, ...], flats: int
     ) -> ScanStats:
         """The :class:`ScanStats` accumulated since ``before`` (a
         :meth:`stats_window` snapshot)."""
@@ -671,6 +745,9 @@ class NFRStore:
             flats_produced=flats,
             index_lookups=after[2] - before[2],
             bytes_decoded=after[3] - before[3],
+            disk_reads=after[4] - before[4],
+            pages_written=after[5] - before[5],
+            wal_bytes=after[6] - before[6],
         )
 
     def stream_scan(

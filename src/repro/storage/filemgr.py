@@ -1,0 +1,135 @@
+"""FileManager: page-granular I/O on the single database file.
+
+The database file is an array of :data:`~repro.storage.pages.PAGE_SIZE`
+byte page images; page ``i`` lives at byte offset ``i * PAGE_SIZE``.
+The file manager is the *only* component that touches the data file —
+the buffer pool reads/writes page images through it, the durability
+engine reads/writes the header and metadata pages through it — so its
+counters (``reads``/``writes``/``syncs``) are exactly the disk I/O the
+process performed, the number the BUF-HIT benchmark asserts is zero for
+a warm probe.
+
+Fault injection: ``fault_hook(event, detail)`` is called *before* every
+physical operation (``"read"``, ``"write"``, ``"sync"``,
+``"truncate"``); the crash-recovery property tests raise from the hook
+to simulate power loss at every I/O boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import StorageError
+from repro.storage.pages import PAGE_SIZE
+
+FaultHook = Callable[[str, int], None]
+
+
+@dataclass
+class FileStats:
+    """Cumulative physical I/O counters for one database file."""
+
+    reads: int = 0
+    writes: int = 0
+    syncs: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.syncs = 0
+
+
+class FileManager:
+    """Reads and writes :data:`PAGE_SIZE` page images at offsets in a
+    single database file, creating it when absent."""
+
+    def __init__(self, path: str | os.PathLike, fault_hook: FaultHook | None = None):
+        self.path = os.fspath(path)
+        self.fault_hook = fault_hook
+        self.stats = FileStats()
+        # Unbuffered so every write reaches the OS immediately — the
+        # crash model is "the OS may lose anything not fsynced", never
+        # "the process lost writes in its own userspace buffer".
+        if not os.path.exists(self.path):
+            with open(self.path, "wb"):
+                pass
+        self._file = open(self.path, "r+b", buffering=0)
+        self._closed = False
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Pages currently materialised in the file (the file may be
+        shorter than the allocated page space: pages that were never
+        flushed read back as zero images)."""
+        return os.fstat(self._file.fileno()).st_size // PAGE_SIZE
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- page I/O -----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"file manager for {self.path!r} is closed")
+
+    def _fault(self, event: str, detail: int) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(event, detail)
+
+    def read_page(self, page_id: int) -> bytes:
+        """The :data:`PAGE_SIZE` image of ``page_id``.  Reading beyond
+        the end of the file returns a zero image (an allocated page
+        whose first flush never happened)."""
+        self._check_open()
+        if page_id < 0:
+            raise StorageError(f"negative page id {page_id}")
+        self._fault("read", page_id)
+        self.stats.reads += 1
+        self._file.seek(page_id * PAGE_SIZE)
+        data = self._file.read(PAGE_SIZE)
+        if len(data) < PAGE_SIZE:
+            data = data + b"\x00" * (PAGE_SIZE - len(data))
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one full page image at its offset."""
+        self._check_open()
+        if len(data) != PAGE_SIZE:
+            raise StorageError(
+                f"page image is {len(data)} bytes, expected {PAGE_SIZE}"
+            )
+        if page_id < 0:
+            raise StorageError(f"negative page id {page_id}")
+        self._fault("write", page_id)
+        self.stats.writes += 1
+        self._file.seek(page_id * PAGE_SIZE)
+        self._file.write(data)
+
+    def sync(self) -> None:
+        """fsync the data file — the durability barrier checkpoints
+        place between page writes and WAL truncation."""
+        self._check_open()
+        self._fault("sync", 0)
+        self.stats.syncs += 1
+        os.fsync(self._file.fileno())
+
+    def truncate(self, num_pages: int) -> None:
+        """Shrink the file to ``num_pages`` pages (vacuum/checkpoint
+        tail reclamation)."""
+        self._check_open()
+        self._fault("truncate", num_pages)
+        self._file.truncate(num_pages * PAGE_SIZE)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{self.num_pages} pages"
+        return f"FileManager({self.path!r}, {state})"

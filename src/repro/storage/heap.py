@@ -1,9 +1,22 @@
 """Heap file: a collection of slotted pages with I/O accounting and a
-free-space map.
+free-space map, accessed through a pager.
 
 Record ids are ``(page_id, slot)``.  Every page access (read or write
 path touching a page) increments ``page_reads`` exactly once per call —
-the unit the search-space benchmarks report.
+the unit the search-space benchmarks report.  Those are *logical* page
+touches; whether a touch reaches the disk is the pager's business: an
+in-memory :class:`~repro.storage.bufferpool.MemoryPager` never does, a
+:class:`~repro.storage.bufferpool.BufferPool` serves hits from frames
+and reads misses through the
+:class:`~repro.storage.filemgr.FileManager` (``disk_reads()`` /
+``disk_writes()`` expose that physical layer).
+
+The heap does not own its pages: it owns an ordered list of page *ids*
+drawn from the pager, so in a durable database many heaps share one
+buffer pool and one file.  An optional ``journal``
+(:class:`~repro.storage.wal.WriteAheadLog`) receives a physiological
+redo record for every record inserted or deleted — write-ahead logging
+happens here, at the single choke point all mutations go through.
 
 Insert placement goes through a *free-space map*: pages are bucketed by
 power-of-two free-space class, so finding a page with room is O(1) in
@@ -19,10 +32,19 @@ boundary may be skipped until deletes or vacuum reclassify it).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import PageOverflowError, RecordNotFoundError
-from repro.storage.pages import PAGE_SIZE, Page
+from repro.storage.bufferpool import MemoryPager
+from repro.storage.pages import (
+    MAX_RECORD_SIZE,
+    PAGE_SIZE,
+    SLOT_COST,
+    Page,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.wal import WriteAheadLog
 
 RecordId = tuple[int, int]
 
@@ -32,9 +54,10 @@ RecordId = tuple[int, int]
 _NUM_CLASSES = PAGE_SIZE.bit_length()
 
 
+
 @dataclass
 class HeapStats:
-    """Cumulative I/O counters for a heap file."""
+    """Cumulative logical I/O counters for a heap file."""
 
     page_reads: int = 0
     page_writes: int = 0
@@ -49,12 +72,19 @@ class HeapStats:
 
 
 class HeapFile:
-    """A list of pages with free-space-map insertion and full-scan
-    iteration."""
+    """An ordered set of pager-managed pages with free-space-map
+    insertion, full-scan iteration and optional write-ahead logging."""
 
-    def __init__(self):
-        self._pages: list[Page] = []
+    def __init__(self, pager=None, journal: "WriteAheadLog | None" = None):
+        #: The page provider: a private :class:`MemoryPager` by default,
+        #: or a shared :class:`~repro.storage.bufferpool.BufferPool` in
+        #: a durable database.
+        self.pager = pager if pager is not None else MemoryPager()
+        #: Redo journal; ``None`` for non-durable heaps.
+        self.journal = journal
         self.stats = HeapStats()
+        self._page_ids: list[int] = []
+        self._page_set: set[int] = set()
         # Free-space map: page ids bucketed by free-space class, plus the
         # current class of each page that has any usable free space.
         self._free_buckets: list[set[int]] = [
@@ -71,18 +101,46 @@ class HeapFile:
 
     @property
     def page_count(self) -> int:
-        return len(self._pages)
+        return len(self._page_ids)
 
     @property
     def record_count(self) -> int:
         return self._live_count
+
+    def page_ids(self) -> list[int]:
+        """The heap's page ids in scan order (persisted in the catalog
+        metadata so a reopened database reattaches to the same pages)."""
+        return list(self._page_ids)
 
     def used_bytes(self) -> int:
         """Bytes of live record payloads (excludes slot bookkeeping)."""
         return self._live_bytes
 
     def allocated_bytes(self) -> int:
-        return len(self._pages) * PAGE_SIZE
+        return len(self._page_ids) * PAGE_SIZE
+
+    def disk_reads(self) -> int:
+        """Physical page reads performed by the pager (0 in-memory)."""
+        return self.pager.disk_reads
+
+    def disk_writes(self) -> int:
+        """Physical page writes performed by the pager (0 in-memory)."""
+        return self.pager.disk_writes
+
+    def wal_bytes(self) -> int:
+        """Bytes appended to the write-ahead log (0 without a journal)."""
+        return self.journal.bytes_logged if self.journal is not None else 0
+
+    @property
+    def _pages(self) -> list[Page]:
+        """The heap's pages as objects, in scan order (test/diagnostic
+        surface; goes through the pager without I/O accounting)."""
+        out = []
+        for pid in self._page_ids:
+            page = self.pager.fetch(pid)
+            self.pager.release(pid)
+            out.append(page)
+        return out
 
     # -- free-space map -----------------------------------------------------------
 
@@ -108,27 +166,37 @@ class HeapFile:
         else:
             self._page_class.pop(page.page_id, None)
 
+    def _adopt(self, page: Page) -> None:
+        self._page_ids.append(page.page_id)
+        self._page_set.add(page.page_id)
+
     def _place(self, record: bytes) -> tuple[Page, int]:
         """Find (probing exactly one page) a page that fits ``record``,
         allocating a new one when no tracked page guarantees room, and
-        insert the record there."""
-        need = len(record) + 8
-        if need > PAGE_SIZE:
+        insert the record there.  The page is returned *pinned*; the
+        caller releases it dirty."""
+        need = len(record) + SLOT_COST
+        if len(record) > MAX_RECORD_SIZE:
             raise PageOverflowError(
-                f"record of {len(record)} bytes exceeds page size {PAGE_SIZE}"
+                f"record of {len(record)} bytes exceeds page capacity "
+                f"{MAX_RECORD_SIZE}"
             )
         page: Page | None = None
         min_class = (need - 1).bit_length()  # smallest c with 2**c >= need
         for c in range(min_class, _NUM_CLASSES):
             bucket = self._free_buckets[c]
             if bucket:
-                page = self._pages[next(iter(bucket))]
+                page = self.pager.fetch(next(iter(bucket)))
                 break
         if page is None:
-            page = Page(len(self._pages))
-            self._pages.append(page)
+            page = self.pager.allocate()
+            self._adopt(page)
+            if self.journal is not None:
+                self.journal.log_alloc(page)
         self.stats.pages_probed += 1
         slot = page.insert(record)
+        if self.journal is not None:
+            self.journal.log_insert(page, slot, record)
         self._live_count += 1
         self._live_bytes += len(record)
         self._reclassify(page)
@@ -140,6 +208,7 @@ class HeapFile:
         """Insert via the free-space map; allocates a new page when no
         tracked page guarantees a fit."""
         page, slot = self._place(record)
+        self.pager.release(page.page_id, dirty=True)
         self.stats.page_writes += 1
         return (page.page_id, slot)
 
@@ -150,30 +219,41 @@ class HeapFile:
         touched: set[int] = set()
         for record in records:
             page, slot = self._place(record)
+            self.pager.release(page.page_id, dirty=True)
             touched.add(page.page_id)
             rids.append((page.page_id, slot))
         self.stats.page_writes += len(touched)
         return rids
 
     def delete(self, rid: RecordId) -> None:
-        page = self._page(rid[0])
-        self.stats.page_writes += 1
-        removed = page.delete(rid[1])
-        self._live_count -= 1
-        self._live_bytes -= len(removed)
-        self._reclassify(page)
+        page = self._fetch(rid[0])
+        try:
+            self.stats.page_writes += 1
+            removed = page.delete(rid[1])
+            if self.journal is not None:
+                self.journal.log_delete(page, rid[1])
+            self._live_count -= 1
+            self._live_bytes -= len(removed)
+            self._reclassify(page)
+        finally:
+            self.pager.release(rid[0], dirty=True)
 
     def delete_many(self, rids: Iterable[RecordId]) -> None:
         """Batched delete: each distinct page written is charged exactly
         one page write."""
         touched: set[int] = set()
         for pid, slot in rids:
-            page = self._page(pid)
-            removed = page.delete(slot)
-            self._live_count -= 1
-            self._live_bytes -= len(removed)
-            self._reclassify(page)
-            touched.add(pid)
+            page = self._fetch(pid)
+            try:
+                removed = page.delete(slot)
+                if self.journal is not None:
+                    self.journal.log_delete(page, slot)
+                self._live_count -= 1
+                self._live_bytes -= len(removed)
+                self._reclassify(page)
+                touched.add(pid)
+            finally:
+                self.pager.release(pid, dirty=True)
         self.stats.page_writes += len(touched)
 
     def vacuum(self) -> dict[RecordId, RecordId]:
@@ -185,46 +265,95 @@ class HeapFile:
         Records are packed sequentially with an exact ``fits`` check —
         not through the class-rounded free-space map — so a vacuumed
         file is as dense as first-fit can make it.  Charges one page
-        read per old page and one page write per new page.
+        read per old page and one page write per new page.  Old pages
+        are returned to the pager and their ids may be recycled
+        immediately; in a durable database a recycled page's stale disk
+        image is neutralised by the ALLOC record the journal writes on
+        reallocation (its redo clears the page before replaying
+        inserts).
         """
-        old_pages = self._pages
-        self._pages = []
+        old_ids = self._page_ids
+        self._page_ids = []
+        self._page_set = set()
         self._free_buckets = [set() for _ in range(_NUM_CLASSES)]
         self._page_class.clear()
         mapping: dict[RecordId, RecordId] = {}
         current: Page | None = None
-        for page in old_pages:
+        for pid in old_ids:
             self.stats.page_reads += 1
-            for slot, record in page.iter_records():
+            page = self.pager.fetch(pid)
+            try:
+                records = list(page.iter_records())
+            finally:
+                self.pager.release(pid)
+            for slot, record in records:
                 if current is None or not current.fits(record):
-                    current = Page(len(self._pages))
-                    self._pages.append(current)
+                    if current is not None:
+                        self.pager.release(current.page_id, dirty=True)
+                    current = self.pager.allocate()
+                    self._adopt(current)
+                    if self.journal is not None:
+                        self.journal.log_alloc(current)
                     self.stats.page_writes += 1
                 new_slot = current.insert(record)
-                mapping[(page.page_id, slot)] = (
-                    current.page_id,
-                    new_slot,
-                )
+                if self.journal is not None:
+                    self.journal.log_insert(current, new_slot, record)
+                mapping[(pid, slot)] = (current.page_id, new_slot)
+        if current is not None:
+            self.pager.release(current.page_id, dirty=True)
+        for pid in old_ids:
+            self.pager.free(pid)
         for page in self._pages:
             self._reclassify(page)
         return mapping
 
+    # -- durability ---------------------------------------------------------------
+
+    def attach(self, page_ids: Iterable[int]) -> Iterator[tuple[RecordId, bytes]]:
+        """Bind this (empty) heap to already-existing pages — reopening
+        a durable database.  A *single* pass through the pager rebuilds
+        the free-space map and the live-record counters while yielding
+        every ``(rid, record)`` so the caller can rebuild its record
+        directory and indexes from the same page fetches (a second scan
+        would re-read from disk anything the frame budget already
+        evicted).  The generator must be consumed to completion."""
+        self._page_ids = list(page_ids)
+        self._page_set = set(self._page_ids)
+        for pid in self._page_ids:
+            page = self.pager.fetch(pid)
+            try:
+                for slot, record in page.iter_records():
+                    self._live_count += 1
+                    self._live_bytes += len(record)
+                    yield (pid, slot), record
+                self._reclassify(page)
+            finally:
+                self.pager.release(pid)
+
     # -- access -------------------------------------------------------------------
 
     def read(self, rid: RecordId) -> bytes:
-        page = self._page(rid[0])
-        self.stats.page_reads += 1
-        self.stats.records_visited += 1
-        return page.read(rid[1])
+        page = self._fetch(rid[0])
+        try:
+            self.stats.page_reads += 1
+            self.stats.records_visited += 1
+            return page.read(rid[1])
+        finally:
+            self.pager.release(rid[0])
 
     def scan(self) -> Iterator[tuple[RecordId, bytes]]:
         """Full scan; charges one page read per page and one record visit
-        per live record."""
-        for page in self._pages:
+        per live record.  Pages stay pinned only while their records
+        stream out."""
+        for pid in list(self._page_ids):
+            page = self.pager.fetch(pid)
             self.stats.page_reads += 1
-            for slot, record in page.iter_records():
-                self.stats.records_visited += 1
-                yield (page.page_id, slot), record
+            try:
+                for slot, record in page.iter_records():
+                    self.stats.records_visited += 1
+                    yield (pid, slot), record
+            finally:
+                self.pager.release(pid)
 
     def iter_read(self, rids: Iterable[RecordId]) -> Iterator[bytes]:
         """Streaming batched point reads: records come back grouped in
@@ -233,17 +362,20 @@ class HeapFile:
         for pid, slot in rids:
             by_page.setdefault(pid, []).append(slot)
         for pid in sorted(by_page):
-            page = self._page(pid)
+            page = self._fetch(pid)
             self.stats.page_reads += 1
-            for slot in by_page[pid]:
-                self.stats.records_visited += 1
-                yield page.read(slot)
+            try:
+                for slot in by_page[pid]:
+                    self.stats.records_visited += 1
+                    yield page.read(slot)
+            finally:
+                self.pager.release(pid)
 
     def read_many(self, rids: list[RecordId]) -> list[bytes]:
         """Batched point reads: each distinct page is charged once."""
         return list(self.iter_read(rids))
 
-    def _page(self, page_id: int) -> Page:
-        if not 0 <= page_id < len(self._pages):
+    def _fetch(self, page_id: int) -> Page:
+        if page_id not in self._page_set:
             raise RecordNotFoundError(f"page {page_id} does not exist")
-        return self._pages[page_id]
+        return self.pager.fetch(page_id)

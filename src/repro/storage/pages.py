@@ -1,35 +1,79 @@
-"""Fixed-size slotted pages.
+"""Fixed-size slotted pages with a real byte layout.
 
-A page holds variable-length records in the classic slotted layout:
-records grow from the end of the page towards the front while the slot
-directory grows from the front; a slot is (offset, length) and deleted
-records leave a tombstone slot.  Pages never move live records between
-pages (no compaction across pages), matching the simple heap-file model
-the scan statistics assume.
+A page holds variable-length records in the classic slotted layout and
+serializes to/from exactly :data:`PAGE_SIZE` bytes::
+
+    +--------------------------------------------------------------+
+    | header (24B): magic u16, slot_count u16, page_id u32,        |
+    |               lsn u64, crc32 u32, reserved u32               |
+    +--------------------------------------------------------------+
+    | slot directory (8B per slot): offset u32, length u32         |
+    |   (a tombstone slot has offset 0xFFFFFFFF)                   |
+    +--------------------------------------------------------------+
+    | free space                                                   |
+    +--------------------------------------------------------------+
+    | record heap, packed from the page tail towards the front     |
+    +--------------------------------------------------------------+
+
+Records grow from the end of the page towards the front while the slot
+directory grows from the front; deleted records leave a tombstone slot
+whose number is *reused* by later inserts (lowest tombstone first), so
+churn-heavy workloads do not grow the directory unboundedly.  Pages
+never move live records between pages (no compaction across pages),
+matching the simple heap-file model the scan statistics assume.
+
+The header carries a **page LSN** — the log sequence number of the last
+WAL record applied to the page — which crash recovery compares against
+each redo record so replay is exactly-once, and a CRC32 over the whole
+image so a torn write is detected at read time instead of surfacing as
+silent corruption.
 """
 
 from __future__ import annotations
 
+import heapq
+import struct
+import zlib
 from typing import Iterator
 
-from repro.errors import PageOverflowError, RecordNotFoundError
+from repro.errors import PageOverflowError, RecordNotFoundError, StorageError
 
-#: Page payload size in bytes.  Deliberately small so design-sized
-#: experiments still span multiple pages and I/O counting is meaningful.
+#: Page size in bytes — the unit of disk I/O and buffer-pool frames.
+#: Deliberately small so design-sized experiments still span multiple
+#: pages and I/O counting is meaningful.
 PAGE_SIZE = 4096
 
-_SLOT_COST = 8  # bookkeeping charge per slot (offset + length, 2 x u32)
+#: Serialized page header: magic, slot count, page id, LSN, CRC, pad.
+HEADER_SIZE = 24
+_HEADER_FMT = ">HHIQII"
+_MAGIC = 0x4E32  # "N2"
+
+#: Per-slot directory entry size: offset + length, 2 x u32.  The
+#: free-space accounting in both Page and HeapFile charges this per
+#: record, so the serialized layout always fits.
+SLOT_COST = 8
+_SLOT_FMT = ">II"
+_TOMBSTONE = 0xFFFFFFFF
+
+#: Largest record body a page can hold (one slot, empty page).
+MAX_RECORD_SIZE = PAGE_SIZE - HEADER_SIZE - SLOT_COST
 
 
 class Page:
     """One slotted page of records."""
 
-    __slots__ = ("page_id", "_records", "_free")
+    __slots__ = ("page_id", "lsn", "_records", "_free", "_free_slots")
 
     def __init__(self, page_id: int):
         self.page_id = page_id
+        #: LSN of the last logged change (0 = never logged).
+        self.lsn = 0
         self._records: list[bytes | None] = []
-        self._free = PAGE_SIZE
+        self._free = PAGE_SIZE - HEADER_SIZE
+        # Tombstoned slot numbers available for reuse (lazy min-heap:
+        # entries are dropped at pop time if the slot was refilled by
+        # restore()).
+        self._free_slots: list[int] = []
 
     @property
     def slot_count(self) -> int:
@@ -43,19 +87,60 @@ class Page:
     def free_space(self) -> int:
         return self._free
 
+    def _pop_free_slot(self) -> int | None:
+        while self._free_slots:
+            slot = heapq.heappop(self._free_slots)
+            if self._records[slot] is None:
+                return slot
+        return None
+
     def fits(self, record: bytes) -> bool:
-        return len(record) + _SLOT_COST <= self._free
+        # Conservative: assumes a fresh slot entry is needed even when a
+        # tombstone could be reused (reuse only makes the record cheaper).
+        return len(record) + SLOT_COST <= self._free
 
     def insert(self, record: bytes) -> int:
-        """Store a record; returns its slot number."""
+        """Store a record; returns its slot number.  Tombstoned slots
+        are reused (lowest first) before the directory grows."""
         if not self.fits(record):
             raise PageOverflowError(
                 f"record of {len(record)} bytes does not fit "
                 f"({self._free} free)"
             )
+        slot = self._pop_free_slot()
+        if slot is not None:
+            self._records[slot] = record
+            self._free -= len(record)
+            return slot
         self._records.append(record)
-        self._free -= len(record) + _SLOT_COST
+        self._free -= len(record) + SLOT_COST
         return len(self._records) - 1
+
+    def restore(self, slot: int, record: bytes) -> None:
+        """Place ``record`` at exactly ``slot`` (WAL redo): the slot
+        directory is extended with tombstones as needed so replay
+        reproduces the original slot assignment byte for byte."""
+        while len(self._records) <= slot:
+            self._records.append(None)
+            self._free -= SLOT_COST
+            heapq.heappush(self._free_slots, len(self._records) - 1)
+        if self._records[slot] is not None:
+            raise StorageError(
+                f"redo into occupied slot {slot} on page {self.page_id}"
+            )
+        self._records[slot] = record
+        self._free -= len(record)
+        if self._free < 0:
+            raise PageOverflowError(
+                f"redo overflowed page {self.page_id} at slot {slot}"
+            )
+
+    def clear(self) -> None:
+        """Reset to an empty page (WAL redo of a page allocation: a
+        recycled page id's stale disk image must not leak into replay)."""
+        self._records.clear()
+        self._free_slots.clear()
+        self._free = PAGE_SIZE - HEADER_SIZE
 
     def read(self, slot: int) -> bytes:
         record = self._get(slot)
@@ -63,11 +148,12 @@ class Page:
 
     def delete(self, slot: int) -> bytes:
         """Tombstone a slot (space for the record body is reclaimed,
-        the slot itself is not); returns the deleted record so callers
-        can account for its size."""
+        the slot itself is kept for reuse); returns the deleted record
+        so callers can account for its size."""
         record = self._get(slot)
         self._records[slot] = None
         self._free += len(record)
+        heapq.heappush(self._free_slots, slot)
         return record
 
     def records(self) -> list[tuple[int, bytes]]:
@@ -92,3 +178,78 @@ class Page:
                 f"slot {slot} on page {self.page_id} is deleted"
             )
         return record
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly :data:`PAGE_SIZE` bytes (header, slot
+        directory, records packed from the tail)."""
+        buf = bytearray(PAGE_SIZE)
+        tail = PAGE_SIZE
+        offset = HEADER_SIZE
+        for record in self._records:
+            if record is None:
+                struct.pack_into(_SLOT_FMT, buf, offset, _TOMBSTONE, 0)
+            else:
+                tail -= len(record)
+                buf[tail : tail + len(record)] = record
+                struct.pack_into(_SLOT_FMT, buf, offset, tail, len(record))
+            offset += SLOT_COST
+        struct.pack_into(
+            _HEADER_FMT, buf, 0,
+            _MAGIC, len(self._records), self.page_id, self.lsn, 0, 0,
+        )
+        crc = zlib.crc32(buf)
+        struct.pack_into(">I", buf, 16, crc)
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, expected_page_id: int | None = None) -> "Page":
+        """Inverse of :meth:`to_bytes`.  An all-zero image (a page
+        allocated but never flushed) deserializes as a fresh empty page.
+        A corrupt image — wrong size, bad magic, bad CRC, or a slot
+        pointing outside the page — raises :class:`StorageError`."""
+        if len(data) != PAGE_SIZE:
+            raise StorageError(
+                f"page image is {len(data)} bytes, expected {PAGE_SIZE}"
+            )
+        if data == b"\x00" * PAGE_SIZE:
+            return cls(expected_page_id if expected_page_id is not None else 0)
+        magic, slot_count, page_id, lsn, crc, _ = struct.unpack_from(
+            _HEADER_FMT, data, 0
+        )
+        if magic != _MAGIC:
+            raise StorageError(
+                f"bad page magic 0x{magic:04X} (torn or foreign page)"
+            )
+        zeroed = bytearray(data)
+        struct.pack_into(">I", zeroed, 16, 0)
+        if zlib.crc32(zeroed) != crc:
+            raise StorageError(
+                f"page {page_id} CRC mismatch (torn write)"
+            )
+        if expected_page_id is not None and page_id != expected_page_id:
+            raise StorageError(
+                f"page claims id {page_id}, read at slot {expected_page_id}"
+            )
+        page = cls(page_id)
+        page.lsn = lsn
+        directory_end = HEADER_SIZE + slot_count * SLOT_COST
+        if directory_end > PAGE_SIZE:
+            raise StorageError(f"page {page_id} slot directory overflows")
+        for i in range(slot_count):
+            off, length = struct.unpack_from(
+                _SLOT_FMT, data, HEADER_SIZE + i * SLOT_COST
+            )
+            if off == _TOMBSTONE:
+                page._records.append(None)
+                page._free -= SLOT_COST
+                heapq.heappush(page._free_slots, i)
+                continue
+            if off < directory_end or off + length > PAGE_SIZE:
+                raise StorageError(
+                    f"page {page_id} slot {i} points outside the page"
+                )
+            page._records.append(data[off : off + length])
+            page._free -= length + SLOT_COST
+        return page

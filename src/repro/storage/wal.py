@@ -1,0 +1,311 @@
+"""Write-ahead log: physiological redo records + commit markers.
+
+The WAL is a sidecar file (``<database>-wal``) of framed records::
+
+    frame   := u32 payload_length, u32 crc32(payload), payload
+    payload := u8 type, body
+    ALLOC   := u64 lsn, u32 page_id
+    INSERT  := u64 lsn, u32 page_id, u16 slot, u32 len, record bytes
+    DELETE  := u64 lsn, u32 page_id, u16 slot
+    CATALOG := u32 len, metadata blob (the serialized catalog)
+    COMMIT  := (empty body)
+
+ALLOC marks a page freshly allocated to a heap.  Page ids freed by a
+vacuum or a dropped store are recycled only by the checkpoint's
+mark-sweep, but a recycled page's *disk image* may still hold the old
+(CRC-valid) contents — replaying an INSERT onto it would collide with
+stale slots.  ALLOC's redo resets the page to empty first, so replay of
+a reused page id starts from the same blank state the live run saw.
+
+Records are *physiological*: page-level operations ("insert these bytes
+at slot s of page p"), not byte diffs and not full page images.  Replay
+is made exactly-once by the page LSN — a redo record applies only when
+its LSN is newer than the page's (`ARIES <https://dl.acm.org/doi/10.1145/128765.128770>`_'s
+pageLSN rule), so a page flushed after the operation is never
+double-applied.
+
+Transaction protocol (no-steal / no-force, redo-only):
+
+- every page mutation appends a record to an in-memory buffer and
+  stamps the page's LSN; nothing reaches the OS until commit;
+- :meth:`commit` appends the CATALOG record and a COMMIT marker, writes
+  the buffered frames to the file and fsyncs — the durability point;
+- :meth:`rollback` discards the buffer (the catalog's undo log has
+  already restored the in-memory state, and no-steal guarantees none of
+  the rolled-back bytes reached the data file);
+- :meth:`recover` scans the file, stops at the first torn frame (bad
+  length or CRC — an interrupted append), and returns only the
+  operations of transactions whose COMMIT marker made it to disk.
+
+``active_dirty`` is the no-steal set: pages dirtied by the open
+transaction, which the buffer pool must not write back until commit.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Callable
+
+from repro.errors import StorageError
+from repro.storage.pages import Page
+
+REC_INSERT = 1
+REC_DELETE = 2
+REC_CATALOG = 3
+REC_COMMIT = 4
+REC_ALLOC = 5
+
+_FRAME_HEADER = struct.Struct(">II")
+_INSERT_HEADER = struct.Struct(">BQIHI")
+_DELETE_HEADER = struct.Struct(">BQIH")
+_CATALOG_HEADER = struct.Struct(">BI")
+_ALLOC_HEADER = struct.Struct(">BQI")
+
+
+def wal_path(db_path: str | os.PathLike) -> str:
+    """The sidecar WAL path for a database file."""
+    return os.fspath(db_path) + "-wal"
+
+
+class WalOp:
+    """One recovered physiological operation."""
+
+    __slots__ = ("lsn", "kind", "page_id", "slot", "record")
+
+    def __init__(
+        self,
+        lsn: int,
+        kind: int,
+        page_id: int,
+        slot: int,
+        record: bytes | None = None,
+    ):
+        self.lsn = lsn
+        self.kind = kind
+        self.page_id = page_id
+        self.slot = slot
+        self.record = record
+
+    def apply(self, page: Page) -> None:
+        """Redo onto ``page`` (caller has already checked the LSN)."""
+        if self.kind == REC_ALLOC:
+            page.clear()
+        elif self.kind == REC_INSERT:
+            assert self.record is not None
+            page.restore(self.slot, self.record)
+        else:
+            page.delete(self.slot)
+        page.lsn = self.lsn
+
+
+class WriteAheadLog:
+    """The redo log of one durable database."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        fault_hook: Callable[[str, int], None] | None = None,
+    ):
+        self.path = os.fspath(path)
+        self.fault_hook = fault_hook
+        if not os.path.exists(self.path):
+            with open(self.path, "wb"):
+                pass
+        self._file = open(self.path, "r+b", buffering=0)
+        self._file.seek(0, os.SEEK_END)
+        # End of the known-good frame sequence.  Commits always write
+        # from here: if a commit fails mid-write (ENOSPC, fault
+        # injection) and is retried, the retry overwrites the torn
+        # partial frame instead of appending after it — otherwise
+        # recovery, which stops at the first torn frame, would never
+        # reach the retried (acknowledged!) transaction.
+        self._durable_offset = self._file.tell()
+        #: Next log sequence number (monotone, never reused; restored
+        #: past every recovered LSN and the checkpointed high-water mark
+        #: by the durability engine).
+        self.next_lsn = 1
+        #: Frames appended since the last commit/rollback, not yet on
+        #: disk (the open transaction, or the autocommit statement in
+        #: flight).
+        self._buffer: list[bytes] = []
+        #: Pages dirtied by the buffered records — the no-steal set.
+        self.active_dirty: set[int] = set()
+        #: Cumulative bytes appended to the buffer (the ``wal_bytes``
+        #: accounting unit; counted at append, not at fsync).
+        self.bytes_logged = 0
+        self._closed = False
+
+    # -- framing ------------------------------------------------------------------
+
+    @staticmethod
+    def _frame(payload: bytes) -> bytes:
+        return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+    def _append(self, payload: bytes) -> None:
+        if self._closed:
+            raise StorageError("write-ahead log is closed")
+        frame = self._frame(payload)
+        self._buffer.append(frame)
+        self.bytes_logged += len(frame)
+
+    def _stamp(self, page: Page) -> int:
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        page.lsn = lsn
+        self.active_dirty.add(page.page_id)
+        return lsn
+
+    # -- logging ------------------------------------------------------------------
+
+    def log_alloc(self, page: Page) -> None:
+        lsn = self._stamp(page)
+        self._append(_ALLOC_HEADER.pack(REC_ALLOC, lsn, page.page_id))
+
+    def log_insert(self, page: Page, slot: int, record: bytes) -> None:
+        lsn = self._stamp(page)
+        self._append(
+            _INSERT_HEADER.pack(
+                REC_INSERT, lsn, page.page_id, slot, len(record)
+            )
+            + record
+        )
+
+    def log_delete(self, page: Page, slot: int) -> None:
+        lsn = self._stamp(page)
+        self._append(_DELETE_HEADER.pack(REC_DELETE, lsn, page.page_id, slot))
+
+    def log_catalog(self, blob: bytes) -> None:
+        self._append(_CATALOG_HEADER.pack(REC_CATALOG, len(blob)) + blob)
+
+    # -- transaction boundaries ---------------------------------------------------
+
+    @property
+    def in_flight(self) -> bool:
+        """Are there buffered, not-yet-durable records?"""
+        return bool(self._buffer)
+
+    def commit(self) -> int:
+        """Append a COMMIT marker, push the buffered frames to disk and
+        fsync — the durability point.  Returns bytes written.
+
+        Writes start at the durable end of the log, not the file
+        position: a retry after a failed commit overwrites its own torn
+        partial frames.  The buffer is cleared only once the fsync
+        succeeded, so a failed commit can be retried (or rolled back)
+        without losing records."""
+        self._append(bytes([REC_COMMIT]))
+        self._file.seek(self._durable_offset)
+        written = 0
+        for frame in self._buffer:
+            self._fault("wal_write", len(frame))
+            self._file.write(frame)
+            written += len(frame)
+        self._fault("wal_sync", 0)
+        os.fsync(self._file.fileno())
+        self._durable_offset = self._file.tell()
+        self._buffer.clear()
+        self.active_dirty.clear()
+        return written
+
+    def rollback(self) -> None:
+        """Discard the buffered (uncommitted) frames."""
+        self._buffer.clear()
+        self.active_dirty.clear()
+
+    def truncate(self) -> None:
+        """Empty the log (checkpoint: the data file now carries
+        everything the log protected)."""
+        if self._buffer:
+            raise StorageError("cannot truncate WAL with records in flight")
+        self._fault("wal_truncate", 0)
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._durable_offset = 0
+        self._fault("wal_sync", 0)
+        os.fsync(self._file.fileno())
+
+    # -- recovery -----------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return os.fstat(self._file.fileno()).st_size
+
+    def recover(self) -> tuple[list[WalOp], bytes | None, int]:
+        """Scan the log and return ``(ops, catalog_blob, max_lsn)``:
+        the page operations of committed transactions in log order, the
+        last committed catalog blob (None if no transaction logged
+        one), and the highest LSN seen anywhere in the log (committed
+        or not — the LSN counter must advance past torn tails too).
+
+        The scan stops at the first torn frame; everything after an
+        interrupted append is unreachable by construction (frames are
+        written in order and COMMIT is the last frame of its
+        transaction), so stopping loses only uncommitted work."""
+        self._file.seek(0)
+        data = self._file.read()
+        self._file.seek(0, os.SEEK_END)
+        ops: list[WalOp] = []
+        catalog: bytes | None = None
+        pending_ops: list[WalOp] = []
+        pending_catalog: bytes | None = None
+        max_lsn = 0
+        offset = 0
+        while offset + _FRAME_HEADER.size <= len(data):
+            length, crc = _FRAME_HEADER.unpack_from(data, offset)
+            start = offset + _FRAME_HEADER.size
+            end = start + length
+            if length == 0 or end > len(data):
+                break  # torn tail
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # torn tail
+            kind = payload[0]
+            if kind == REC_INSERT:
+                _, lsn, pid, slot, rec_len = _INSERT_HEADER.unpack_from(
+                    payload, 0
+                )
+                record = payload[_INSERT_HEADER.size :]
+                if len(record) != rec_len:
+                    break
+                pending_ops.append(WalOp(lsn, REC_INSERT, pid, slot, record))
+                max_lsn = max(max_lsn, lsn)
+            elif kind == REC_DELETE:
+                _, lsn, pid, slot = _DELETE_HEADER.unpack_from(payload, 0)
+                pending_ops.append(WalOp(lsn, REC_DELETE, pid, slot))
+                max_lsn = max(max_lsn, lsn)
+            elif kind == REC_ALLOC:
+                _, lsn, pid = _ALLOC_HEADER.unpack_from(payload, 0)
+                pending_ops.append(WalOp(lsn, REC_ALLOC, pid, 0))
+                max_lsn = max(max_lsn, lsn)
+            elif kind == REC_CATALOG:
+                _, blob_len = _CATALOG_HEADER.unpack_from(payload, 0)
+                blob = payload[_CATALOG_HEADER.size :]
+                if len(blob) != blob_len:
+                    break
+                pending_catalog = blob
+            elif kind == REC_COMMIT:
+                ops.extend(pending_ops)
+                pending_ops = []
+                if pending_catalog is not None:
+                    catalog = pending_catalog
+                    pending_catalog = None
+            else:
+                break  # unknown record type: treat as torn
+            offset = end
+        return ops, catalog, max_lsn
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _fault(self, event: str, detail: int) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(event, detail)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog({self.path!r}, {self.size} bytes)"

@@ -1,0 +1,470 @@
+"""Durable databases: ``connect(path)``, reopen fidelity, WAL crash
+recovery, buffer-pool behaviour, and the crash-at-every-I/O-boundary
+property test (fault-injecting FileManager/WAL hooks).
+
+The contract: committed state survives anything — clean close, killed
+process, power loss at any single physical I/O boundary — and
+uncommitted state survives nothing.  Reopen never sees a torn page
+(page CRCs + WAL frame CRCs turn torn writes into recoverable events,
+not silent corruption).
+"""
+
+import os
+
+import pytest
+
+import repro.db
+from repro.errors import StorageError
+from repro.relational.relation import Relation
+from repro.storage.pages import PAGE_SIZE, Page
+from repro.workloads.paper_examples import FIG1_R1
+
+
+def _rel():
+    return Relation.from_rows(
+        ["A", "B"],
+        [("a1", "b1"), ("a2", "b2"), ("a2", "b3")],
+    )
+
+
+def _flats(conn, name="E"):
+    """Canonical, comparable snapshot of a relation's information
+    content (R* as sorted value tuples)."""
+    rel = conn.execute(f"FLATTEN {name}").result_relation()
+    return tuple(
+        sorted(tuple(t.values) for t in rel.to_1nf().sorted_tuples())
+    )
+
+
+def _snapshot(conn, name="E"):
+    if name not in conn.catalog:
+        return None
+    return _flats(conn, name)
+
+
+class TestConnectPath:
+    def test_reopen_returns_byte_identical_results(self, tmp_path):
+        path = tmp_path / "x.db"
+        conn = repro.db.connect(path)
+        conn.database.register(
+            "Enrollment", FIG1_R1, order=["Course", "Club", "Student"]
+        )
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO Enrollment VALUES ('c1', 'b1', 's9')")
+        conn.execute("COMMIT")
+        query = "SELECT Enrollment WHERE Club CONTAINS 'b1'"
+        rows_before = sorted(map(repr, conn.execute(query).fetchall()))
+        table_before = conn.execute("Enrollment").table()
+        conn.database.close()
+
+        conn2 = repro.db.connect(str(path))
+        rows_after = sorted(map(repr, conn2.execute(query).fetchall()))
+        table_after = conn2.execute("Enrollment").table()
+        assert rows_after == rows_before
+        assert table_after == table_before
+        assert conn2.catalog.order_of("Enrollment") == (
+            "Course", "Club", "Student",
+        )
+        assert conn2.catalog.mode_of("Enrollment") == "nfr"
+        conn2.database.close()
+
+    def test_connect_no_path_stays_in_memory(self, tmp_path):
+        conn = repro.db.connect()
+        assert not conn.database.durable
+        assert conn.database.path is None
+        conn.database.register("E", _rel())
+        conn.execute("INSERT INTO E VALUES ('a9', 'b9')")
+        assert list(os.listdir(tmp_path)) == []
+        conn.database.close()
+
+    def test_autocommit_statement_is_durable(self, tmp_path):
+        path = tmp_path / "auto.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        conn.execute("INSERT INTO E VALUES ('a7', 'b7')")  # no BEGIN
+        state = _flats(conn)
+        conn.database.close()
+        conn2 = repro.db.connect(path)
+        assert _flats(conn2) == state
+        assert ("a7", "b7") in _flats(conn2)
+        conn2.database.close()
+
+    def test_let_binding_nesting_survives_reopen(self, tmp_path):
+        path = tmp_path / "let.db"
+        conn = repro.db.connect(path)
+        conn.database.register(
+            "Enrollment", FIG1_R1, order=["Course", "Club", "Student"]
+        )
+        conn.execute("LET Flat = FLATTEN Enrollment")
+        before = conn.execute("Flat").result_relation()
+        assert all(t.is_all_singleton() for t in before)
+        conn.database.close()
+        conn2 = repro.db.connect(path)
+        after = conn2.execute("Flat").result_relation()
+        assert after == before  # all-singleton nesting kept verbatim
+        conn2.database.close()
+
+    def test_wal_empty_and_pages_valid_after_close(self, tmp_path):
+        path = tmp_path / "clean.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        conn.execute("INSERT INTO E VALUES ('a5', 'b5')")
+        store = conn.catalog.store_if_open("E")
+        heap_pages = store.heap.page_ids()
+        conn.database.close()
+        assert os.path.getsize(f"{path}-wal") == 0
+        # every heap page image round-trips at exactly PAGE_SIZE
+        data = (tmp_path / "clean.db").read_bytes()
+        assert len(data) % PAGE_SIZE == 0
+        for pid in heap_pages:
+            image = data[pid * PAGE_SIZE : (pid + 1) * PAGE_SIZE]
+            assert len(image) == PAGE_SIZE
+            page = Page.from_bytes(image, pid)
+            assert page.to_bytes() == image
+
+    def test_executemany_durable(self, tmp_path):
+        path = tmp_path / "many.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        conn.executemany(
+            "INSERT INTO E VALUES (?, ?)",
+            [(f"a{i}", f"b{i}") for i in range(10, 40)],
+        )
+        state = _flats(conn)
+        conn.database.close()
+        conn2 = repro.db.connect(path)
+        assert _flats(conn2) == state
+        conn2.database.close()
+
+    def test_vacuum_then_reopen(self, tmp_path):
+        path = tmp_path / "vac.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        for i in range(50):
+            conn.execute(f"INSERT INTO E VALUES ('x{i}', 'y{i}')")
+        for i in range(0, 50, 2):
+            conn.execute(f"DELETE FROM E VALUES ('x{i}', 'y{i}')")
+        store = conn.catalog.store_for("E")
+        store.vacuum()
+        conn.execute("INSERT INTO E VALUES ('post', 'vacuum')")
+        state = _flats(conn)
+        conn.database.close()
+        conn2 = repro.db.connect(path)
+        assert _flats(conn2) == state
+        conn2.database.close()
+
+    def test_rebind_checkpoint_then_allocate(self, tmp_path):
+        """Regression: a rebound relation's old pages are swept free at
+        checkpoint while their stale frames may still sit in the pool —
+        allocating one of those ids must discard the stale frame, not
+        collide with it."""
+        path = tmp_path / "sweep.db"
+        conn = repro.db.connect(path)
+        conn.database.register("R", _rel())
+        conn.database.register("R", _rel())  # rebind: drops the store
+        conn.database.checkpoint()           # sweep frees the old pages
+        conn.database.register("S", _rel())  # must reuse a freed id
+        state_r, state_s = _flats(conn, "R"), _flats(conn, "S")
+        conn.database.close()
+        conn2 = repro.db.connect(path)
+        assert _flats(conn2, "R") == state_r
+        assert _flats(conn2, "S") == state_s
+        conn2.database.close()
+
+    def test_checkpoint_mid_session(self, tmp_path):
+        path = tmp_path / "ckpt.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        conn.execute("INSERT INTO E VALUES ('a8', 'b8')")
+        assert os.path.getsize(f"{path}-wal") > 0
+        conn.database.checkpoint()
+        assert os.path.getsize(f"{path}-wal") == 0
+        conn.execute("INSERT INTO E VALUES ('a9', 'b9')")
+        state = _flats(conn)
+        conn.database.close()
+        conn2 = repro.db.connect(path)
+        assert _flats(conn2) == state
+        conn2.database.close()
+
+    def test_not_a_database_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"\x01" * (3 * PAGE_SIZE))
+        with pytest.raises(StorageError):
+            repro.db.connect(path)
+
+    def test_existing_catalog_with_path_rejected(self, tmp_path):
+        """A pre-built in-memory catalog's stores carry MemoryPager
+        page ids that mean nothing in a database file — wrapping one
+        durably would persist garbage extents."""
+        from repro.db.exceptions import ProgrammingError
+        from repro.query.catalog import Catalog
+
+        cat = Catalog()
+        cat.register("E", _rel())
+        cat.store_for("E")
+        with pytest.raises(ProgrammingError):
+            repro.db.Database(catalog=cat, path=tmp_path / "wrap.db")
+
+
+class TestCrashRecovery:
+    def _crash(self, database):
+        """Drop a database the way a killed process would: no
+        checkpoint, no flush, file handles released."""
+        database.engine.abandon()
+
+    def test_committed_survives_crash_without_checkpoint(self, tmp_path):
+        path = tmp_path / "c.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO E VALUES ('a7', 'b7')")
+        conn.execute("COMMIT")
+        state = _flats(conn)
+        self._crash(conn.database)
+
+        conn2 = repro.db.connect(path)
+        assert _flats(conn2) == state
+        conn2.database.close()
+
+    def test_uncommitted_rolled_back_on_crash(self, tmp_path):
+        path = tmp_path / "u.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        conn.execute("INSERT INTO E VALUES ('keep', 'me')")
+        committed = _flats(conn)
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO E VALUES ('lose', 'me')")
+        conn.execute("DELETE FROM E VALUES ('keep', 'me')")
+        assert _flats(conn) != committed  # visible pre-crash
+        self._crash(conn.database)
+
+        conn2 = repro.db.connect(path)
+        assert _flats(conn2) == committed
+        conn2.database.close()
+
+    def test_explicit_rollback_then_crash(self, tmp_path):
+        path = tmp_path / "r.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO E VALUES ('ephemeral', 'x')")
+        conn.execute("ROLLBACK")
+        committed = _flats(conn)
+        self._crash(conn.database)
+        conn2 = repro.db.connect(path)
+        assert _flats(conn2) == committed
+        conn2.database.close()
+
+    def test_double_crash_recovery_is_stable(self, tmp_path):
+        path = tmp_path / "d.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        conn.execute("INSERT INTO E VALUES ('a6', 'b6')")
+        state = _flats(conn)
+        self._crash(conn.database)
+        conn2 = repro.db.connect(path)
+        assert _flats(conn2) == state
+        self._crash(conn2.database)  # crash right after recovery
+        conn3 = repro.db.connect(path)
+        assert _flats(conn3) == state
+        conn3.database.close()
+
+
+class TestBufferPool:
+    def test_warm_probe_reads_zero_disk_pages(self, tmp_path):
+        """BUF-HIT: a repeated index probe on a warm pool performs no
+        FileManager reads at all."""
+        path = tmp_path / "hot.db"
+        conn = repro.db.connect(path)
+        conn.database.register(
+            "Enrollment", FIG1_R1, order=["Course", "Club", "Student"]
+        )
+        conn.execute("ANALYZE Enrollment")
+        query = "SELECT Enrollment WHERE Club CONTAINS 'b1'"
+        conn.execute(query).fetchall()  # warm the pool
+        filemgr = conn.database.engine.filemgr
+        before = filemgr.stats.reads
+        for _ in range(5):
+            rows = conn.execute(query).fetchall()
+            assert rows
+        assert filemgr.stats.reads == before
+        conn.database.close()
+
+    def test_pool_smaller_than_relation_still_correct(self, tmp_path):
+        path = tmp_path / "small.db"
+        conn = repro.db.connect(path, frames=2)
+        conn.database.register("E", _rel())
+        # distinct values on both sides: nothing canonicalizes away,
+        # so the relation really spans many pages
+        conn.executemany(
+            "INSERT INTO E VALUES (?, ?)",
+            [(f"k{i:04d}", f"v{i:04d}" + "w" * 200) for i in range(200)],
+        )
+        state = _flats(conn)
+        assert len(state) == 203
+        store = conn.catalog.store_if_open("E")
+        assert store.heap.page_count > 4  # really bigger than the pool
+        pool = conn.database.engine.pool
+        # during the batch every touched page is transaction-dirty, so
+        # the pool must overflow (no-steal) rather than leak
+        # uncommitted pages to the file
+        assert pool.stats.overflows > 0
+        conn.database.close()
+
+        conn2 = repro.db.connect(path, frames=2)
+        assert _flats(conn2) == state
+        pool2 = conn2.database.engine.pool
+        assert pool2.stats.evictions > 0  # budget enforced on the scan
+        assert pool2.frame_count <= store.heap.page_count
+        conn2.database.close()
+
+    def test_explain_analyze_shows_disk_layer(self, tmp_path):
+        path = tmp_path / "ex.db"
+        conn = repro.db.connect(path, frames=2)
+        conn.database.register("E", _rel())
+        conn.executemany(
+            "INSERT INTO E VALUES (?, ?)",
+            [(f"k{i:04d}", f"v{i:04d}" + "w" * 300) for i in range(100)],
+        )
+        conn.database.close()
+        # a 2-frame pool over a multi-page relation: the scan must go
+        # to disk, and EXPLAIN ANALYZE must say so
+        conn2 = repro.db.connect(path, frames=2)
+        text = conn2.execute(
+            "EXPLAIN ANALYZE SELECT E WHERE A CONTAINS 'k0001'"
+        ).table()
+        assert "disk reads=" in text
+        conn2.database.close()
+
+    def test_mutation_stats_report_wal_bytes(self, tmp_path):
+        path = tmp_path / "ws.db"
+        conn = repro.db.connect(path)
+        conn.database.register("E", _rel())
+        conn.execute("INSERT INTO E VALUES ('a4', 'b4')")
+        io = conn.catalog.last_io
+        assert io.wal_bytes > 0
+        conn.database.close()
+
+
+# -- crash-at-every-I/O-boundary property test --------------------------------
+
+
+class SimulatedCrash(Exception):
+    """Raised from the fault hook to emulate power loss."""
+
+
+class FaultHook:
+    """Counts physical I/O events; optionally crashes at event #k."""
+
+    def __init__(self, crash_at: int | None = None):
+        self.count = 0
+        self.crash_at = crash_at
+
+    def __call__(self, event: str, detail: int) -> None:
+        if self.crash_at is not None and self.count >= self.crash_at:
+            raise SimulatedCrash(f"{event}({detail}) @ {self.count}")
+        self.count += 1
+
+
+#: The scenario: (is_durability_boundary, action) pairs.  A boundary is
+#: a point after which the state must survive any crash; inside an open
+#: transaction nothing is a boundary until COMMIT.
+def _scenario():
+    return [
+        (True, ("register",)),
+        (True, ("stmt", "INSERT INTO E VALUES ('a3', 'b3')")),
+        (False, ("stmt", "BEGIN")),
+        (False, ("stmt", "INSERT INTO E VALUES ('a4', 'b4')")),
+        (False, ("stmt", "DELETE FROM E VALUES ('a1', 'b1')")),
+        (True, ("stmt", "COMMIT")),
+        (False, ("stmt", "BEGIN")),
+        (False, ("stmt", "DELETE FROM E VALUES ('a2', 'b2')")),
+        (True, ("stmt", "ROLLBACK")),  # boundary: state == previous
+        (True, ("stmt", "INSERT INTO E VALUES ('a5', 'b5')")),
+        (True, ("close",)),
+    ]
+
+
+def _apply(action, database, conn):
+    if action[0] == "register":
+        database.register("E", _rel())
+    elif action[0] == "stmt":
+        conn.execute(action[1])
+    else:
+        database.close()
+
+
+def _expected_states():
+    """states[i] = committed information content after i completed
+    boundaries (computed on the in-memory engine — the durable one must
+    agree with it at every boundary)."""
+    database = repro.db.Database()
+    conn = database.connect()
+    states = [None]  # before the first boundary: no relation at all
+    for is_boundary, action in _scenario():
+        if action[0] != "close":
+            _apply(action, database, conn)
+        if is_boundary:
+            states.append(_snapshot(conn))
+    return states
+
+
+def _run_until_crash(path, crash_at):
+    """Run the scenario against ``path`` crashing at I/O event
+    ``crash_at``; returns (completed_boundaries, boundary_in_flight)."""
+    hook = FaultHook(crash_at)
+    completed = 0
+    database = None
+    try:
+        database = repro.db.Database(path=path, _fault_hook=hook)
+        conn = database.connect()
+        for is_boundary, action in _scenario():
+            _apply(action, database, conn)
+            if is_boundary:
+                completed += 1
+        return completed, False
+    except SimulatedCrash:
+        if database is not None and database.engine is not None:
+            database.engine.abandon()
+        return completed, True
+
+
+def test_crash_at_every_io_boundary(tmp_path):
+    """Simulate power loss before every single physical I/O operation
+    of the whole scenario.  After each crash, reopening must (a) not
+    raise — no torn page ever surfaces, (b) observe exactly a
+    committed-boundary state: at least everything up to the last
+    completed boundary, at most one boundary further (the one whose
+    durability point may or may not have been reached mid-crash)."""
+    states = _expected_states()
+
+    # Dry run: count every physical I/O event in the scenario.
+    probe = tmp_path / "probe.db"
+    hook = FaultHook(crash_at=None)
+    database = repro.db.Database(path=probe, _fault_hook=hook)
+    conn = database.connect()
+    for _, action in _scenario():
+        _apply(action, database, conn)
+    total_ops = hook.count
+    assert total_ops > 20  # the scenario really exercises the disk
+
+    failures = []
+    for k in range(total_ops):
+        path = tmp_path / f"crash{k}.db"
+        completed, in_flight = _run_until_crash(path, k)
+        try:
+            conn2 = repro.db.connect(path)
+        except Exception as exc:  # noqa: BLE001 - recovery must not raise
+            failures.append(f"crash@{k}: reopen raised {exc!r}")
+            continue
+        observed = _snapshot(conn2)
+        allowed = [states[completed]]
+        if in_flight and completed + 1 < len(states):
+            allowed.append(states[completed + 1])
+        if observed not in allowed:
+            failures.append(
+                f"crash@{k}: completed={completed} in_flight={in_flight} "
+                f"observed={observed} allowed={allowed}"
+            )
+        conn2.database.close()
+    assert not failures, "\n".join(failures)

@@ -1,0 +1,209 @@
+"""Tests for the FileManager and the BufferPool.
+
+The contract being guarded: page images round-trip through the file at
+exactly PAGE_SIZE bytes, the pool serves warm pages with zero disk
+reads (the BUF-HIT regime), pinned frames are never evicted, dirty
+frames write back on eviction, and the no-steal gate keeps gated pages
+out of the file.
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.bufferpool import BufferPool, MemoryPager, PageAllocator
+from repro.storage.filemgr import FileManager
+from repro.storage.pages import PAGE_SIZE, Page
+
+
+@pytest.fixture
+def filemgr(tmp_path):
+    fm = FileManager(tmp_path / "pool.db")
+    yield fm
+    fm.close()
+
+
+class TestFileManager:
+    def test_write_read_round_trip(self, filemgr):
+        page = Page(3)
+        page.insert(b"hello disk")
+        filemgr.write_page(3, page.to_bytes())
+        back = Page.from_bytes(filemgr.read_page(3), 3)
+        assert back.records() == page.records()
+
+    def test_read_past_eof_is_zero_image(self, filemgr):
+        data = filemgr.read_page(99)
+        assert data == b"\x00" * PAGE_SIZE
+        assert Page.from_bytes(data, 99).slot_count == 0
+
+    def test_partial_page_rejected(self, filemgr):
+        with pytest.raises(StorageError):
+            filemgr.write_page(0, b"short")
+
+    def test_counters(self, filemgr):
+        filemgr.write_page(0, Page(0).to_bytes())
+        filemgr.read_page(0)
+        filemgr.sync()
+        assert filemgr.stats.writes == 1
+        assert filemgr.stats.reads == 1
+        assert filemgr.stats.syncs == 1
+
+    def test_pages_at_offsets(self, filemgr):
+        for pid in (0, 1, 5):
+            p = Page(pid)
+            p.insert(b"p%d" % pid)
+            filemgr.write_page(pid, p.to_bytes())
+        assert filemgr.num_pages == 6
+        assert Page.from_bytes(filemgr.read_page(5), 5).read(0) == b"p5"
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "x.db"
+        fm = FileManager(path)
+        p = Page(1)
+        p.insert(b"survivor")
+        fm.write_page(1, p.to_bytes())
+        fm.sync()
+        fm.close()
+        fm2 = FileManager(path)
+        assert Page.from_bytes(fm2.read_page(1), 1).read(0) == b"survivor"
+        fm2.close()
+
+
+class TestPageAllocator:
+    def test_fresh_then_freed_lowest_first(self):
+        a = PageAllocator()
+        assert [a.allocate() for _ in range(3)] == [1, 2, 3]
+        a.free(2)
+        a.free(1)
+        assert a.allocate() == 1
+        assert a.allocate() == 2
+        assert a.allocate() == 4
+
+    def test_state_round_trip(self):
+        a = PageAllocator()
+        for _ in range(5):
+            a.allocate()
+        a.free(3)
+        b = PageAllocator.from_state(a.state())
+        assert b.allocate() == 3
+        assert b.allocate() == 6
+
+    def test_sweep_frees_unreferenced(self):
+        a = PageAllocator()
+        for _ in range(6):
+            a.allocate()
+        a.sweep(used={1, 4})
+        assert a.free_ids == [2, 3, 5, 6]
+
+    def test_reserve_removes_from_free(self):
+        a = PageAllocator(next_id=4, free=[1, 2, 3])
+        a.reserve([2, 9])
+        assert a.free_ids == [1, 3]
+        assert a.allocate() == 1
+        a.reserve([])
+        assert a.next_id == 10
+
+
+class TestBufferPool:
+    def test_warm_fetch_reads_disk_zero_times(self, filemgr):
+        pool = BufferPool(filemgr, capacity=4)
+        page = pool.allocate()
+        page.insert(b"hot")
+        pid = page.page_id
+        pool.release(pid, dirty=True)
+        before = filemgr.stats.reads
+        for _ in range(10):
+            pool.fetch(pid)
+            pool.release(pid)
+        assert filemgr.stats.reads == before  # all hits
+        assert pool.stats.hits >= 10
+
+    def test_eviction_writes_back_dirty(self, filemgr):
+        pool = BufferPool(filemgr, capacity=2)
+        pids = []
+        for i in range(4):  # exceeds capacity: two evictions
+            page = pool.allocate()
+            page.insert(b"v%d" % i)
+            pids.append(page.page_id)
+            pool.release(page.page_id, dirty=True)
+        assert pool.stats.evictions >= 2
+        assert pool.stats.writebacks >= 2
+        # evicted pages read back with their contents intact
+        for i, pid in enumerate(pids):
+            page = pool.fetch(pid)
+            assert page.read(0) == b"v%d" % i
+            pool.release(pid)
+
+    def test_pinned_frames_never_evicted(self, filemgr):
+        pool = BufferPool(filemgr, capacity=2)
+        a = pool.allocate()  # stays pinned
+        b = pool.allocate()
+        pool.release(b.page_id, dirty=True)
+        c = pool.allocate()  # must evict b, not pinned a
+        pool.release(c.page_id, dirty=True)
+        assert pool.resident(a.page_id)
+        assert pool.stats.overflows == 0 or pool.frame_count <= 3
+
+    def test_all_pinned_overflows_instead_of_deadlock(self, filemgr):
+        pool = BufferPool(filemgr, capacity=2)
+        pages = [pool.allocate() for _ in range(4)]  # all pinned
+        assert pool.frame_count == 4
+        assert pool.stats.overflows >= 2
+        for p in pages:
+            pool.release(p.page_id, dirty=True)
+
+    def test_evict_gate_blocks_dirty_writeback(self, filemgr):
+        gated: set[int] = set()
+        pool = BufferPool(
+            filemgr, capacity=2, evict_gate=lambda pid: pid not in gated
+        )
+        a = pool.allocate()
+        a.insert(b"uncommitted")
+        gated.add(a.page_id)
+        pool.release(a.page_id, dirty=True)
+        b = pool.allocate()
+        pool.release(b.page_id, dirty=True)
+        pool.allocate()  # needs room: must not write back the gated page
+        assert pool.resident(a.page_id)
+        raw = filemgr.read_page(a.page_id)
+        assert raw == b"\x00" * PAGE_SIZE  # never reached the file
+
+    def test_flush_all_clears_dirty(self, filemgr):
+        pool = BufferPool(filemgr, capacity=8)
+        for _ in range(3):
+            page = pool.allocate()
+            page.insert(b"d")
+            pool.release(page.page_id, dirty=True)
+        assert pool.flush_all() == 3
+        assert pool.dirty_ids() == []
+        assert filemgr.stats.writes == 3
+
+    def test_release_unpinned_rejected(self, filemgr):
+        pool = BufferPool(filemgr, capacity=2)
+        page = pool.allocate()
+        pool.release(page.page_id)
+        with pytest.raises(StorageError):
+            pool.release(page.page_id)
+
+    def test_free_returns_id_to_allocator(self, filemgr):
+        pool = BufferPool(filemgr, capacity=4)
+        page = pool.allocate()
+        pool.release(page.page_id)
+        pool.free(page.page_id)
+        assert not pool.resident(page.page_id)
+        assert pool.allocator.free_ids == [page.page_id]
+
+
+class TestMemoryPager:
+    def test_same_surface_no_disk(self):
+        pager = MemoryPager()
+        page = pager.allocate()
+        page.insert(b"mem")
+        pager.release(page.page_id, dirty=True)
+        assert pager.fetch(page.page_id).read(0) == b"mem"
+        assert pager.disk_reads == 0
+        assert pager.disk_writes == 0
+        assert not pager.is_durable
+
+    def test_fetch_unknown_raises(self):
+        with pytest.raises(StorageError):
+            MemoryPager().fetch(5)

@@ -1,10 +1,12 @@
 """Tests for repro.storage.pages and heap."""
 
+import random
+
 import pytest
 
-from repro.errors import PageOverflowError, RecordNotFoundError
+from repro.errors import PageOverflowError, RecordNotFoundError, StorageError
 from repro.storage.heap import HeapFile
-from repro.storage.pages import PAGE_SIZE, Page
+from repro.storage.pages import HEADER_SIZE, PAGE_SIZE, Page
 
 
 class TestPage:
@@ -126,3 +128,143 @@ class TestIterRecords:
         p = Page(0)
         slot = p.insert(b"payload")
         assert p.delete(slot) == b"payload"
+
+
+class TestTombstoneReuse:
+    def test_insert_reuses_tombstoned_slot(self):
+        p = Page(0)
+        a = p.insert(b"aaa")
+        p.insert(b"bbb")
+        p.delete(a)
+        assert p.insert(b"ccc") == a  # slot 0 reused, not slot 2
+        assert p.slot_count == 2
+
+    def test_lowest_tombstone_reused_first(self):
+        p = Page(0)
+        slots = [p.insert(b"r%d" % i) for i in range(5)]
+        p.delete(slots[3])
+        p.delete(slots[1])
+        assert p.insert(b"x") == 1
+        assert p.insert(b"y") == 3
+        assert p.insert(b"z") == 5
+
+    def test_slot_directory_bounded_under_churn(self):
+        """Insert/delete churn must not grow the directory unboundedly
+        (the seed appended a fresh slot per insert forever)."""
+        p = Page(0)
+        slot = p.insert(b"v" * 64)
+        for _ in range(500):
+            p.delete(slot)
+            slot = p.insert(b"v" * 64)
+        assert p.slot_count == 1
+
+    def test_reuse_charges_no_slot_cost(self):
+        p = Page(0)
+        slot = p.insert(b"x" * 100)
+        p.delete(slot)
+        free_before = p.free_space
+        p.insert(b"y" * 100)
+        assert p.free_space == free_before - 100  # record only, no slot
+
+
+class TestSerialization:
+    def test_round_trip_is_exactly_page_size(self):
+        p = Page(7)
+        for i in range(10):
+            p.insert(b"record-%03d" % i)
+        image = p.to_bytes()
+        assert len(image) == PAGE_SIZE
+        back = Page.from_bytes(image)
+        assert back.page_id == 7
+        assert back.records() == p.records()
+        assert back.free_space == p.free_space
+        assert len(back.to_bytes()) == PAGE_SIZE
+
+    def test_round_trip_preserves_tombstones_and_lsn(self):
+        p = Page(3)
+        slots = [p.insert(b"r%d" % i) for i in range(4)]
+        p.delete(slots[1])
+        p.delete(slots[2])
+        p.lsn = 12345
+        back = Page.from_bytes(p.to_bytes())
+        assert back.lsn == 12345
+        assert back.slot_count == 4
+        assert [s for s, _ in back.records()] == [0, 3]
+        # reuse works on the deserialized page exactly as on the original
+        assert back.insert(b"new") == 1
+
+    def test_empty_page_round_trips(self):
+        back = Page.from_bytes(Page(0).to_bytes())
+        assert back.slot_count == 0
+        assert back.free_space == PAGE_SIZE - HEADER_SIZE
+
+    def test_zero_image_is_fresh_page(self):
+        page = Page.from_bytes(b"\x00" * PAGE_SIZE, expected_page_id=9)
+        assert page.page_id == 9
+        assert page.slot_count == 0
+
+    def test_random_churn_round_trips(self):
+        rng = random.Random(42)
+        p = Page(1)
+        live: list[int] = []
+        for _ in range(300):
+            if live and rng.random() < 0.45:
+                p.delete(live.pop(rng.randrange(len(live))))
+            else:
+                record = bytes(rng.randrange(0, 256) for _ in range(rng.randrange(1, 120)))
+                if p.fits(record):
+                    live.append(p.insert(record))
+        back = Page.from_bytes(p.to_bytes())
+        assert back.records() == p.records()
+        assert back.free_space == p.free_space
+        assert back.to_bytes() == p.to_bytes()
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(StorageError):
+            Page.from_bytes(b"x" * (PAGE_SIZE - 1))
+
+    def test_torn_image_detected_by_crc(self):
+        p = Page(0)
+        p.insert(b"important")
+        image = bytearray(p.to_bytes())
+        image[2048] ^= 0xFF  # flip a bit mid-page
+        with pytest.raises(StorageError):
+            Page.from_bytes(bytes(image))
+
+    def test_bad_magic_rejected(self):
+        image = bytearray(Page(0).to_bytes())
+        image[0] = 0x00
+        image[1] = 0x01
+        with pytest.raises(StorageError):
+            Page.from_bytes(bytes(image))
+
+    def test_mismatched_page_id_rejected(self):
+        image = Page(4).to_bytes()
+        with pytest.raises(StorageError):
+            Page.from_bytes(image, expected_page_id=5)
+
+    def test_clear_resets_to_empty(self):
+        p = Page(2)
+        for i in range(5):
+            p.insert(b"r%d" % i)
+        p.delete(1)
+        p.clear()
+        assert p.slot_count == 0
+        assert p.free_space == PAGE_SIZE - HEADER_SIZE
+        assert p.insert(b"fresh") == 0
+
+    def test_restore_reproduces_slot_assignment(self):
+        p = Page(0)
+        p.restore(2, b"third")
+        p.restore(0, b"first")
+        assert p.read(0) == b"first"
+        assert p.read(2) == b"third"
+        assert p.slot_count == 3
+        # the padding tombstone at slot 1 is reusable
+        assert p.insert(b"second") == 1
+
+    def test_restore_into_occupied_slot_rejected(self):
+        p = Page(0)
+        p.insert(b"here")
+        with pytest.raises(StorageError):
+            p.restore(0, b"collision")
