@@ -69,20 +69,23 @@ def _cmd_load(args: argparse.Namespace) -> int:
 
 def _print_io(conn: db.Connection) -> None:
     io = conn.catalog.last_io
-    if io is None:
-        return
-    line = (
-        f"-- io: {io.page_reads} page reads, {io.page_writes} page "
-        f"writes, {io.records_visited} records touched, "
-        f"{io.flats_produced} flats affected"
-    )
-    if io.disk_reads or io.pages_written or io.wal_bytes:
-        line += (
-            f"\n-- disk: {io.disk_reads} disk reads, "
-            f"{io.pages_written} pages written, "
-            f"{io.wal_bytes} wal bytes"
+    lines = []
+    if io is not None:
+        lines.append(
+            f"-- io: {io.page_reads} page reads, {io.page_writes} page "
+            f"writes, {io.records_visited} records touched, "
+            f"{io.flats_produced} flats affected"
         )
-    print(line)
+        if io.disk_reads or io.pages_written or io.wal_bytes:
+            lines.append(
+                f"-- disk: {io.disk_reads} disk reads, "
+                f"{io.pages_written} pages written, "
+                f"{io.wal_bytes} wal bytes"
+            )
+    if conn.catalog.last_plan_summary is not None:
+        lines.append(f"-- plan: {conn.catalog.last_plan_summary}")
+    if lines:
+        print("\n".join(lines))
 
 
 def _print_storage(conn: db.Connection) -> None:
@@ -197,7 +200,10 @@ def _cmd_repl(args: argparse.Namespace) -> int:
                 previous_io = conn.catalog.last_io
                 cursor = conn.execute(line)
                 print(cursor.table())
-                if args.stats and conn.catalog.last_io is not previous_io:
+                if args.stats and (
+                    conn.catalog.last_io is not previous_io
+                    or conn.catalog.last_plan_summary is not None
+                ):
                     _print_io(conn)
             except ReproError as exc:
                 print(f"error: {exc}")
@@ -252,7 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--stats", action="store_true",
-        help="print page-I/O accounting after mutating statements",
+        help="print page-I/O accounting and the physical plan shape "
+        "after the statement",
     )
     p_query.set_defaults(fn=_cmd_query)
 
@@ -267,7 +274,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_repl.add_argument(
         "--stats", action="store_true",
-        help="print page-I/O accounting after every statement",
+        help="print page-I/O accounting and the physical plan shape "
+        "after every statement",
     )
     p_repl.set_defaults(fn=_cmd_repl)
 

@@ -41,8 +41,15 @@ RECORD_COST = 0.02
 TUPLE_CPU_COST = 0.005
 #: Cost of one AtomIndex probe.
 INDEX_LOOKUP_COST = 0.1
+#: Cost of one RangeIndex window probe (two bisections plus the union
+#: of the covered posting lists; priced above a hash probe).
+RANGE_LOOKUP_COST = 0.2
 #: Selectivity assumed when no statistics are available.
 DEFAULT_SELECTIVITY = 0.25
+#: Selectivity assumed for a one-sided inequality with no usable key
+#: statistics (an average literal splits the domain in ~half, but
+#: queries skew selective; BETWEEN is assumed to halve it again).
+DEFAULT_RANGE_SELECTIVITY = 0.3
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,10 @@ def selectivity(cond: ast.Condition, stats: RelationStats | None) -> float:
     if isinstance(cond, ast.ComponentEquals):
         per_atom = min(1.0, max(attr.avg_set_size, 1.0) / d)
         return min(per_atom ** len(cond.values), 1.0 / d)
+    if isinstance(cond, ast.Comparison):
+        return DEFAULT_RANGE_SELECTIVITY
+    if isinstance(cond, ast.Between):
+        return DEFAULT_RANGE_SELECTIVITY / 2
     return DEFAULT_SELECTIVITY
 
 
@@ -171,6 +182,33 @@ def index_scan_cost(
         + matches * RECORD_COST * decode_fraction
     )
     return CostEstimate(rows=sel * stats.tuple_count, cost=cost, pages=pages)
+
+
+def range_scan_cost(
+    stats: RelationStats,
+    match_fraction: float,
+    residual_selectivity: float,
+    decode_fraction: float = 1.0,
+) -> CostEstimate:
+    """RangeIndex window probe + candidate-page reads + residual
+    recheck.  ``match_fraction`` estimates the fraction of records
+    whose indexed component intersects the window (from the index's
+    sorted keys for literal bounds, a default for parameters);
+    ``residual_selectivity`` is the full conjunction's selectivity, the
+    operator's output-row estimate.  Page maths mirror
+    :func:`index_scan_cost`."""
+    matches = min(1.0, match_fraction) * stats.records
+    pages = min(float(stats.pages), matches) if stats.pages else 0.0
+    cost = (
+        RANGE_LOOKUP_COST
+        + page_touch_cost(pages, stats)
+        + matches * RECORD_COST * decode_fraction
+    )
+    return CostEstimate(
+        rows=residual_selectivity * stats.tuple_count,
+        cost=cost,
+        pages=pages,
+    )
 
 
 def join_output_rows(

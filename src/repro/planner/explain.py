@@ -65,6 +65,7 @@ def _render(
         parts.append(f"est pages≈{_fmt(op.est.pages)}")
     if analyze:
         parts.append(f"actual rows={op.actual_rows}")
+        parts.append(f"batch={op.batch_format}")
         if op.actual_pages is not None:
             parts.append(f"pages read={op.actual_pages}")
         if op.actual_disk_reads:
@@ -83,3 +84,13 @@ def _fmt(value: float) -> str:
     if value == int(value):
         return str(int(value))
     return f"{value:.1f}"
+
+
+def plan_summary(root: PhysicalOp) -> str:
+    """One-line shape of the plan — operator names with their batch
+    format, nested like the tree — for the CLI's ``--stats`` footer:
+    ``Filter[codes](HeapScan[codes])``."""
+    name = type(root).__name__
+    inner = ", ".join(plan_summary(c) for c in root.children())
+    suffix = f"({inner})" if inner else ""
+    return f"{name}[{root.batch_format}]{suffix}"

@@ -35,6 +35,7 @@ from repro.nf2_algebra.operators import (
 )
 from repro.query import ast
 from repro.query.params import ParamSlots, has_parameters
+from repro.util.ordering import between_test, range_test
 
 
 class LogicalPlan:
@@ -202,7 +203,14 @@ def condition_touches(cond: ast.Condition) -> frozenset[str]:
     if isinstance(cond, ast.And):
         return condition_touches(cond.left) | condition_touches(cond.right)
     if isinstance(
-        cond, (ast.Contains, ast.ComponentEquals, ast.SingletonEquals)
+        cond,
+        (
+            ast.Contains,
+            ast.ComponentEquals,
+            ast.SingletonEquals,
+            ast.Comparison,
+            ast.Between,
+        ),
     ):
         return frozenset([cond.attribute])
     raise EvaluationError(f"unknown condition {cond!r}")
@@ -217,6 +225,11 @@ def condition_atom_stable(cond: ast.Condition) -> bool:
             cond.right
         )
     if isinstance(cond, ast.Contains):
+        return True
+    if isinstance(cond, (ast.Comparison, ast.Between)):
+        # Existential over atoms ("some atom in the window"), i.e. a
+        # disjunction of CONTAINS over the window — atom-stable like
+        # CONTAINS itself.
         return True
     if isinstance(cond, (ast.ComponentEquals, ast.SingletonEquals)):
         return False
@@ -235,9 +248,65 @@ def indexable_atoms(cond: ast.Condition) -> list[tuple[str, object]]:
         return [(cond.attribute, cond.value)]
     if isinstance(cond, ast.ComponentEquals):
         return [(cond.attribute, v) for v in cond.values]
+    if isinstance(cond, (ast.Comparison, ast.Between)):
+        # No single atom is implied by a window predicate; these route
+        # to the RangeIndex instead (see :func:`comparison_bounds`).
+        return []
     if isinstance(cond, ast.And):
         return indexable_atoms(cond.left) + indexable_atoms(cond.right)
     raise EvaluationError(f"unknown condition {cond!r}")
+
+
+@dataclass(frozen=True)
+class RangeBounds:
+    """One attribute window a :class:`~repro.storage.index.RangeIndex`
+    can probe.  Bounds are literal values or
+    :class:`~repro.query.ast.Parameter` placeholders; None is open."""
+
+    attribute: str
+    low: object
+    low_inclusive: bool
+    high: object
+    high_inclusive: bool
+
+
+def comparison_bounds(cond: ast.Condition) -> RangeBounds | None:
+    """The range window implied by a single conjunct (None for
+    non-window conjuncts).  Matching the window is *exact* for the
+    conjunct itself — a record satisfies the conjunct iff some indexed
+    atom falls inside — so the probe's candidates only need residual
+    rechecking for the other conjuncts (and for atom reuse across
+    conjuncts)."""
+    if isinstance(cond, ast.Comparison):
+        if cond.op == "<":
+            return RangeBounds(cond.attribute, None, True, cond.value, False)
+        if cond.op == "<=":
+            return RangeBounds(cond.attribute, None, True, cond.value, True)
+        if cond.op == ">":
+            return RangeBounds(cond.attribute, cond.value, False, None, True)
+        if cond.op == ">=":
+            return RangeBounds(cond.attribute, cond.value, True, None, True)
+        raise EvaluationError(f"unknown comparison operator {cond.op!r}")
+    if isinstance(cond, ast.Between):
+        return RangeBounds(cond.attribute, cond.low, True, cond.high, True)
+    return None
+
+
+def merge_bounds(a: RangeBounds, b: RangeBounds) -> RangeBounds | None:
+    """Combine a lower-bound-only and an upper-bound-only window on the
+    same attribute into one two-sided window; None when the pair does
+    not combine statically.  Only sound as a *probe* when the attribute
+    is flat (singleton components): with set-valued components two
+    different atoms may witness the two sides."""
+    if a.attribute != b.attribute:
+        return None
+    if a.low is None and a.high is not None and b.high is None and b.low is not None:
+        a, b = b, a
+    if a.low is not None and a.high is None and b.low is None and b.high is not None:
+        return RangeBounds(
+            a.attribute, a.low, a.low_inclusive, b.high, b.high_inclusive
+        )
+    return None
 
 
 def compile_conjuncts(
@@ -272,6 +341,24 @@ def _compile_one(
         return component_eq(cond.attribute, [cond.value])
     if isinstance(cond, ast.ComponentEquals):
         return component_eq(cond.attribute, list(cond.values))
+    if isinstance(cond, ast.Comparison):
+        attribute, test = cond.attribute, range_test(cond.op, cond.value)
+        return ComponentPredicate(
+            lambda t: any(test(v) for v in t[attribute]),
+            [attribute],
+            atom_stable=True,
+            description=f"{cond.attribute} {cond.op} {cond.value!r}",
+        )
+    if isinstance(cond, ast.Between):
+        attribute, test = cond.attribute, between_test(cond.low, cond.high)
+        return ComponentPredicate(
+            lambda t: any(test(v) for v in t[attribute]),
+            [attribute],
+            atom_stable=True,
+            description=(
+                f"{cond.attribute} BETWEEN {cond.low!r} AND {cond.high!r}"
+            ),
+        )
     raise EvaluationError(f"unknown condition {cond!r}")
 
 
@@ -325,6 +412,42 @@ def _compile_late_bound(
             atom_stable=False,
             description=f"{attribute} = {shown}",
         )
+    if isinstance(cond, ast.Comparison):
+        op, value = cond.op, cond.value
+        memo: dict = {"generation": -1, "test": None}
+
+        def cmp_fn(t, _memo=memo):
+            if _memo["generation"] != slots.generation:
+                _memo["test"] = range_test(op, slots.resolve(value))
+                _memo["generation"] = slots.generation
+            test = _memo["test"]
+            return any(test(v) for v in t[attribute])
+
+        return ComponentPredicate(
+            cmp_fn,
+            [attribute],
+            atom_stable=True,
+            description=f"{attribute} {op} {value!r}",
+        )
+    if isinstance(cond, ast.Between):
+        low, high = cond.low, cond.high
+        memo: dict = {"generation": -1, "test": None}
+
+        def btw_fn(t, _memo=memo):
+            if _memo["generation"] != slots.generation:
+                _memo["test"] = between_test(
+                    slots.resolve(low), slots.resolve(high)
+                )
+                _memo["generation"] = slots.generation
+            test = _memo["test"]
+            return any(test(v) for v in t[attribute])
+
+        return ComponentPredicate(
+            btw_fn,
+            [attribute],
+            atom_stable=True,
+            description=f"{attribute} BETWEEN {low!r} AND {high!r}",
+        )
     raise EvaluationError(f"unknown condition {cond!r}")
 
 
@@ -347,7 +470,10 @@ def fold_conjuncts(
     - duplicate conjuncts collapse to one;
     - two different equality targets on the same attribute contradict;
     - ``A CONTAINS v`` contradicts ``A = target`` when ``v`` is not in
-      the target set, and is subsumed by it (dropped) when it is.
+      the target set, and is subsumed by it (dropped) when it is;
+    - a window conjunct (comparison / BETWEEN) against ``A = target``
+      contradicts when no target atom falls in the window, and is
+      subsumed (dropped) when some atom does.
 
     Conjuncts containing parameter placeholders take no part in the
     value-sensitive folds (their values are unknown at plan time); exact
@@ -379,6 +505,16 @@ def fold_conjuncts(
             target = equals.get(c.attribute)
             if target is not None:
                 if c.value not in target:
+                    return CONTRADICTION
+                continue  # subsumed by the equality conjunct
+        if isinstance(c, (ast.Comparison, ast.Between)) and not has_parameters(c):
+            target = equals.get(c.attribute)
+            if target is not None:
+                if isinstance(c, ast.Comparison):
+                    test = range_test(c.op, c.value)
+                else:
+                    test = between_test(c.low, c.high)
+                if not any(test(v) for v in target):
                     return CONTRADICTION
                 continue  # subsumed by the equality conjunct
         folded.append(c)

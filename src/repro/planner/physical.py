@@ -1,66 +1,70 @@
-"""Physical operators for the NF2 planner: a streaming batch executor.
+"""Physical operators for the NF2 planner: a columnar batch executor.
 
-Operators execute batch-at-a-time through :meth:`PhysicalOp.iter_batches`
-— lists of at most :data:`BATCH_SIZE` tuples — so a
-select→unnest→project pipeline holds one batch per operator instead of
-materialising a full :class:`~repro.core.nfr_relation.NFRelation` at
-every step.  :meth:`PhysicalOp.execute` is the thin materialising
-wrapper the evaluator and ``EXPLAIN ANALYZE`` consume; its result is
-identical to operator-at-a-time evaluation (NFRelations are sets, so
-duplicates produced mid-stream collapse at materialisation).
+Operators execute batch-at-a-time.  The *native* stream is columnar:
+:meth:`PhysicalOp.iter_col_batches` yields
+:class:`~repro.storage.columnar.ColumnBatch` vectors of at most
+:data:`BATCH_SIZE` rows whose atom columns are dictionary-encoded
+(small int codes, not Python objects), so filters and joins run as
+tight loops over codes.  The row-level protocol survives as an adapter:
+:meth:`PhysicalOp.iter_batches` decodes each column batch back to
+``list[NFRTuple]`` at the consumer boundary, and
+:meth:`PhysicalOp.execute` is the thin materialising wrapper the
+evaluator and ``EXPLAIN ANALYZE`` consume — its result is identical to
+operator-at-a-time evaluation (NFRelations are sets, so duplicates
+produced mid-stream collapse at materialisation).
 
-Streaming operators (:class:`MemoryScan`, :class:`HeapScan`,
-:class:`IndexScan`, :class:`Filter`, :class:`ProjectOp`,
-:class:`UnnestOp`, :class:`FlattenOp`) pipeline their input batches.
-Blocking operators (:class:`NestOp`, :class:`CanonicalOp`, the joins
-and set operators) consume their children's batches at the barrier —
-the child still streams, the barrier materialises.
-
-Each operator records what actually happened (rows produced, pages
-read, index probes, record bytes decoded) next to the planner's
-estimates, so ``EXPLAIN ANALYZE`` can show estimated vs actual side by
-side.
+Columnar operators (the scans, :class:`Filter`, :class:`ProjectOp`,
+:class:`UnnestOp`, :class:`FlattenOp`, :class:`HashJoin`) pipeline
+column batches; each reports ``batch_format == "codes"`` in ``EXPLAIN
+ANALYZE``.  Row operators (:class:`NestOp`, :class:`CanonicalOp`,
+:class:`FlatHashJoin`, the set operators) still consume rows at their
+barrier and report ``batch_format == "rows"``; a row operator consumed
+by a columnar one is re-encoded through a private dictionary.
 
 Access paths:
 
 - :class:`MemoryScan` — the catalog's in-memory relation (no page I/O);
-- :class:`HeapScan` — full scan of the relation's paged store, with an
-  optional residual filter applied while scanning;
+- :class:`HeapScan` — full scan of the relation's paged store;
 - :class:`IndexScan` — :class:`~repro.storage.index.AtomIndex` probes
-  produce candidate records, which are re-checked against the full
-  predicate (equality conditions need the residual check; CONTAINS
-  probes are exact).
+  produce candidate records;
+- :class:`RangeScan` — :class:`~repro.storage.index.RangeIndex` window
+  probe for inequality/BETWEEN conjuncts, reading O(matching records)
+  pages instead of the full heap.
 
-Both scans accept a ``needed`` attribute set pushed down by the
-planner: the store's skip-decoder then materialises only those
-components (``bytes_decoded`` in
-:class:`~repro.storage.engine.ScanStats` measures the saving) and the
-scan's output tuples live on the projected sub-schema.
+Paged scans fill their vectors straight from record bytes through the
+store's column-wise skip-decoder and apply the conjunct *kernels* (per
+conjunct, per batch, over codes) as the residual recheck; all of them
+accept a ``needed`` attribute set pushed down by the planner so only
+those components are decoded.
 
 Joins are hash-based: :class:`HashJoin` buckets the smaller input on
 the shared component sets (set-equality is the Jaeschke-Schek join
-condition, so whole :class:`~repro.core.values.ValueSet` components are
-the hash keys); :class:`FlatHashJoin` hashes the flattened R* rows on
-their shared atomic values.  Both replace nested-loop evaluation with
-one build pass and one probe pass.
+condition — frozensets of codes are the hash keys, after translating
+the right stream onto the left's dictionary);
+:class:`FlatHashJoin` hashes the flattened R* rows on their shared
+atomic values.
 """
 
 from __future__ import annotations
 
+from itertools import product
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.core.canonical import canonical_form
 from repro.core.nest import nest_sequence
 from repro.core.nfr_relation import NFRelation
 from repro.core.nfr_tuple import NFRTuple
-from repro.core.values import ValueSet
+from repro.errors import EvaluationError
 from repro.nf2_algebra.operators import ComponentPredicate
 from repro.planner.cost import CostEstimate
+from repro.query import ast
 from repro.relational.algebra import difference, natural_join
 from repro.relational.schema import RelationSchema
+from repro.storage.columnar import AtomDict, ColumnBatch, concat_batches
 from repro.storage.engine import NFRStore
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.planner.logical import RangeBounds
     from repro.query.params import ParamSlots
 
 #: Tuples per streamed batch.  Small enough that a pipeline's working
@@ -70,10 +74,129 @@ BATCH_SIZE = 256
 
 Batch = list[NFRTuple]
 
+_EMPTY: list[int] = []
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+# -- conjunct kernels ----------------------------------------------------------
+
+
+def _conjunct_kernel(cond: ast.Condition, batch: ColumnBatch, resolve):
+    """Compile one conjunct against one column batch: a function from
+    candidate row indices to the surviving ones, comparing dictionary
+    codes only.  ``resolve`` maps parameter placeholders to values."""
+    j = batch.names.index(cond.attribute)
+    offsets, codes = batch.columns[j]
+    adict = batch.adict
+    if isinstance(cond, ast.Contains):
+        cs = adict.equal_codes(resolve(cond.value))
+        if not cs:
+            return lambda rows: _EMPTY
+        if len(cs) == 1:
+            (c,) = cs
+            if offsets is None:
+                return lambda rows: [i for i in rows if codes[i] == c]
+            return lambda rows: [
+                i
+                for i in rows
+                if c in codes[offsets[i] : offsets[i + 1]]
+            ]
+        cset = frozenset(cs)
+        if offsets is None:
+            return lambda rows: [i for i in rows if codes[i] in cset]
+        return lambda rows: [
+            i
+            for i in rows
+            if not cset.isdisjoint(codes[offsets[i] : offsets[i + 1]])
+        ]
+    if isinstance(cond, ast.SingletonEquals):
+        cset = frozenset(adict.equal_codes(resolve(cond.value)))
+        if not cset:
+            return lambda rows: _EMPTY
+        if offsets is None:
+            return lambda rows: [i for i in rows if codes[i] in cset]
+        return lambda rows: [
+            i
+            for i in rows
+            if offsets[i + 1] - offsets[i] == 1
+            and codes[offsets[i]] in cset
+        ]
+    if isinstance(cond, ast.ComponentEquals):
+        # Set equality under Python ``==``: each target value owns a
+        # (disjoint) set of equal codes, and a stored component — whose
+        # atoms are pairwise non-equal — matches iff it has exactly one
+        # code per distinct target value and no code outside them.
+        target_sets: list[frozenset[int]] = []
+        for v in cond.values:
+            cs = frozenset(adict.equal_codes(resolve(v)))
+            if not cs:
+                return lambda rows: _EMPTY
+            if cs not in target_sets:
+                target_sets.append(cs)
+        m = len(target_sets)
+        union = frozenset().union(*target_sets)
+        if offsets is None:
+            if m != 1:
+                return lambda rows: _EMPTY
+            return lambda rows: [i for i in rows if codes[i] in union]
+        return lambda rows: [
+            i
+            for i in rows
+            if offsets[i + 1] - offsets[i] == m
+            and all(c in union for c in codes[offsets[i] : offsets[i + 1]])
+        ]
+    if isinstance(cond, (ast.Comparison, ast.Between)):
+        if isinstance(cond, ast.Between):
+            mask = adict.range_mask(
+                resolve(cond.low), True, resolve(cond.high), True
+            )
+        else:
+            v = resolve(cond.value)
+            op = cond.op
+            mask = adict.range_mask(
+                v if op in (">", ">=") else None,
+                op == ">=",
+                v if op in ("<", "<=") else None,
+                op == "<=",
+            )
+        if offsets is None:
+            return lambda rows: [i for i in rows if mask[codes[i]]]
+        return lambda rows: [
+            i
+            for i in rows
+            if any(mask[c] for c in codes[offsets[i] : offsets[i + 1]])
+        ]
+    raise EvaluationError(f"unknown condition {cond!r}")
+
+
+def _filter_rows(
+    conjuncts: Sequence[ast.Condition], batch: ColumnBatch, resolve
+) -> list[int] | None:
+    """Apply every conjunct kernel to the batch.  Returns the surviving
+    row indices, or None meaning *all rows survive* (so callers can
+    skip the copy)."""
+    rows: list[int] | None = None
+    for cond in conjuncts:
+        kernel = _conjunct_kernel(cond, batch, resolve)
+        rows = kernel(range(batch.n) if rows is None else rows)
+        if not rows:
+            return _EMPTY
+    if rows is None or len(rows) == batch.n:
+        return None
+    return rows
+
 
 class PhysicalOp:
     """Base class: estimated numbers at plan time, actuals after
     :meth:`execute` (or after a stream is exhausted)."""
+
+    #: Native stream format, shown by ``EXPLAIN ANALYZE``: "codes" for
+    #: operators that pipeline dictionary-encoded column batches,
+    #: "rows" for tuple-at-a-time operators.
+    batch_format = "rows"
 
     def __init__(self, est: CostEstimate):
         self.est = est
@@ -101,12 +224,24 @@ class PhysicalOp:
         return result
 
     def iter_batches(self) -> Iterator[Batch]:
-        """Stream the result as batches of at most :data:`BATCH_SIZE`
-        tuples.  Blocking operators materialise here (the barrier) and
-        chunk; streaming operators override this to pipeline."""
+        """Stream the result as row batches of at most
+        :data:`BATCH_SIZE` tuples.  Blocking operators materialise here
+        (the barrier) and chunk; streaming operators override this to
+        pipeline."""
         result = self._materialize()
         self.actual_rows = result.cardinality
         yield from self._chunk(result)
+
+    def iter_col_batches(self) -> Iterator[ColumnBatch]:
+        """Stream the result as dictionary-encoded column batches.
+        Row-native operators adapt by encoding their row batches
+        through a private dictionary; columnar operators override this
+        with their native stream (and adapt :meth:`iter_batches`
+        instead)."""
+        adict = AtomDict()
+        names = tuple(self.output_schema().names)
+        for rows in self.iter_batches():
+            yield ColumnBatch.from_rows(names, rows, adict)
 
     def _materialize(self) -> NFRelation:
         return self._run()
@@ -128,10 +263,13 @@ class PhysicalOp:
             yield self._note(batch)
 
     def _note(self, batch: Batch) -> Batch:
-        self.batches_emitted += 1
-        if len(batch) > self.peak_batch_tuples:
-            self.peak_batch_tuples = len(batch)
+        self._note_rows(len(batch))
         return batch
+
+    def _note_rows(self, n: int) -> None:
+        self.batches_emitted += 1
+        if n > self.peak_batch_tuples:
+            self.peak_batch_tuples = n
 
     # -- tree plumbing ---------------------------------------------------------
 
@@ -195,6 +333,26 @@ class StreamingOp(PhysicalOp):
             yield self._note(batch)
 
 
+class ColumnarOp(StreamingOp):
+    """An operator whose native stream is columnar.  The row protocol
+    decodes the column stream at the boundary; batch/peak accounting
+    happens once, in the columnar stream."""
+
+    batch_format = "codes"
+
+    def iter_batches(self) -> Iterator[Batch]:
+        schema = self.output_schema()
+        for cb in self.iter_col_batches():
+            rows = cb.to_rows(schema)
+            if rows:
+                yield rows
+
+    def iter_col_batches(
+        self,
+    ) -> Iterator[ColumnBatch]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
 # -- access paths --------------------------------------------------------------
 
 
@@ -231,9 +389,9 @@ def _decode_note(needed: tuple[str, ...] | None) -> str:
     return f" decode({', '.join(needed)})"
 
 
-class _StoreScan(StreamingOp):
-    """Shared machinery for the two paged access paths: stream the
-    store, filter inline, batch, and account I/O.
+class _StoreScan(ColumnarOp):
+    """Shared machinery for the paged access paths: pull column batches
+    from the store, apply the conjunct kernels inline, and account I/O.
 
     The store's counters are cumulative and shared, so the window is
     opened and closed around each batch *assembly* — the only span
@@ -249,12 +407,16 @@ class _StoreScan(StreamingOp):
         est: CostEstimate,
         predicate: ComponentPredicate | None,
         needed: tuple[str, ...] | None,
+        conjuncts: Sequence[ast.Condition] = (),
+        slots: "ParamSlots | None" = None,
     ):
         super().__init__(est)
         self.store = store
         self.name = name
         self.predicate = predicate
         self.needed = needed
+        self.conjuncts = tuple(conjuncts)
+        self.slots = slots
         self._schema = (
             store.schema.project(list(needed)) if needed else store.schema
         )
@@ -262,27 +424,27 @@ class _StoreScan(StreamingOp):
     def output_schema(self) -> RelationSchema:
         return self._schema
 
-    def _stream(self) -> Iterator[NFRTuple]:  # pragma: no cover - abstract
+    def _col_stream(
+        self,
+    ) -> Iterator[ColumnBatch]:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def iter_batches(self) -> Iterator[Batch]:
+    def _resolve(self, value: Any) -> Any:
+        return self.slots.resolve(value) if self.slots is not None else value
+
+    def iter_col_batches(self) -> Iterator[ColumnBatch]:
         store = self.store
-        predicate = self.predicate
-        stream = self._stream()
+        conjuncts = self.conjuncts
+        resolve = self._resolve
+        stream = self._col_stream()
         pages = visits = lookups = nbytes = rows = 0
         disk = written = wal = 0
-        exhausted = False
-        while not exhausted:
+        while True:
             before = store.stats_window()
-            batch: Batch = []
-            while len(batch) < BATCH_SIZE:
-                try:
-                    t = next(stream)
-                except StopIteration:
-                    exhausted = True
-                    break
-                if predicate is None or predicate(t):
-                    batch.append(t)
+            try:
+                batch: ColumnBatch | None = next(stream)
+            except StopIteration:
+                batch = None
             after = store.stats_window()
             pages += after[0] - before[0]
             visits += after[1] - before[1]
@@ -291,9 +453,17 @@ class _StoreScan(StreamingOp):
             disk += after[4] - before[4]
             written += after[5] - before[5]
             wal += after[6] - before[6]
-            if batch:
-                rows += len(batch)
-                yield self._note(batch)
+            if batch is None:
+                break
+            if conjuncts:
+                kept = _filter_rows(conjuncts, batch, resolve)
+                if kept is not None:
+                    if not kept:
+                        continue
+                    batch = batch.take(kept)
+            rows += batch.n
+            self._note_rows(batch.n)
+            yield batch
         self.actual_rows = rows
         self.actual_pages = pages
         self.actual_index_lookups = lookups
@@ -314,11 +484,17 @@ class HeapScan(_StoreScan):
         est: CostEstimate,
         predicate: ComponentPredicate | None = None,
         needed: tuple[str, ...] | None = None,
+        conjuncts: Sequence[ast.Condition] = (),
+        slots: "ParamSlots | None" = None,
     ):
-        super().__init__(store, name, est, predicate, needed)
+        super().__init__(
+            store, name, est, predicate, needed, conjuncts, slots
+        )
 
-    def _stream(self) -> Iterator[NFRTuple]:
-        return self.store.stream_scan(self.needed)
+    def _col_stream(self) -> Iterator[ColumnBatch]:
+        return self.store.stream_scan_columns(
+            self.needed, batch_rows=BATCH_SIZE
+        )
 
     def describe(self) -> str:
         note = _decode_note(self.needed)
@@ -346,22 +522,81 @@ class IndexScan(_StoreScan):
         est: CostEstimate,
         needed: tuple[str, ...] | None = None,
         slots: "ParamSlots | None" = None,
+        conjuncts: Sequence[ast.Condition] = (),
     ):
-        super().__init__(store, name, est, predicate, needed)
+        super().__init__(
+            store, name, est, predicate, needed, conjuncts, slots
+        )
         self.atoms = list(atoms)
-        self.slots = slots
 
-    def _stream(self) -> Iterator[NFRTuple]:
+    def _col_stream(self) -> Iterator[ColumnBatch]:
         atoms = self.atoms
         if self.slots is not None:
             atoms = [(a, self.slots.resolve(v)) for a, v in atoms]
-        return self.store.stream_probe(atoms, self.needed)
+        return self.store.stream_probe_columns(
+            atoms, self.needed, batch_rows=BATCH_SIZE
+        )
 
     def describe(self) -> str:
         probes = ", ".join(f"{a}∋{v!r}" for a, v in self.atoms)
         return (
             f"IndexScan {self.name} via AtomIndex({probes}) "
             f"[{self.predicate.description}]{_decode_note(self.needed)}"
+        )
+
+
+class RangeScan(_StoreScan):
+    """RangeIndex window probe + residual predicate recheck: candidate
+    records have some indexed atom inside the window, so a selective
+    inequality reads O(matching records) pages, not the full heap.
+    Parameter bounds resolve through ``slots`` at stream start, like
+    IndexScan probes."""
+
+    def __init__(
+        self,
+        store: NFRStore,
+        name: str,
+        bounds: "RangeBounds",
+        predicate: ComponentPredicate,
+        est: CostEstimate,
+        needed: tuple[str, ...] | None = None,
+        slots: "ParamSlots | None" = None,
+        conjuncts: Sequence[ast.Condition] = (),
+    ):
+        super().__init__(
+            store, name, est, predicate, needed, conjuncts, slots
+        )
+        self.bounds = bounds
+
+    def _col_stream(self) -> Iterator[ColumnBatch]:
+        b = self.bounds
+        return self.store.stream_range_columns(
+            b.attribute,
+            self._resolve(b.low),
+            self._resolve(b.high),
+            b.low_inclusive,
+            b.high_inclusive,
+            needed=self.needed,
+            batch_rows=BATCH_SIZE,
+        )
+
+    def describe(self) -> str:
+        b = self.bounds
+        lo = "-inf" if b.low is None else repr(b.low)
+        hi = "+inf" if b.high is None else repr(b.high)
+        window = (
+            ("[" if b.low_inclusive else "(")
+            + f"{lo}, {hi}"
+            + ("]" if b.high_inclusive else ")")
+        )
+        residual = (
+            f" [{self.predicate.description}]"
+            if self.predicate is not None
+            else ""
+        )
+        return (
+            f"RangeScan {self.name} via RangeIndex({b.attribute}) "
+            f"range={window}{residual}{_decode_note(self.needed)}"
         )
 
 
@@ -382,31 +617,59 @@ class EmptyResult(PhysicalOp):
         return "EmptyResult [contradictory predicate]"
 
 
-# -- streaming tuple operators -------------------------------------------------
+# -- streaming columnar operators ----------------------------------------------
 
 
-class Filter(StreamingOp):
+class Filter(ColumnarOp):
+    """Residual filter over column batches: one compiled kernel per
+    conjunct per batch, comparing codes.  When constructed without a
+    conjunct list (direct use), it falls back to the row predicate and
+    re-encodes."""
+
     def __init__(
         self,
         child: PhysicalOp,
         predicate: ComponentPredicate,
         est: CostEstimate,
+        conjuncts: Sequence[ast.Condition] = (),
+        slots: "ParamSlots | None" = None,
     ):
         super().__init__(est)
         self.child = child
         self.predicate = predicate
+        self.conjuncts = tuple(conjuncts)
+        self.slots = slots
 
     def output_schema(self) -> RelationSchema:
         return self.child.output_schema()
 
-    def iter_batches(self) -> Iterator[Batch]:
-        predicate = self.predicate
+    def iter_col_batches(self) -> Iterator[ColumnBatch]:
         rows = 0
-        for batch in self.child.iter_batches():
-            kept = [t for t in batch if predicate(t)]
-            if kept:
-                rows += len(kept)
-                yield self._note(kept)
+        if not self.conjuncts:
+            predicate = self.predicate
+            adict = AtomDict()
+            names = tuple(self.output_schema().names)
+            for batch in self.child.iter_batches():
+                kept = [t for t in batch if predicate(t)]
+                if kept:
+                    rows += len(kept)
+                    self._note_rows(len(kept))
+                    yield ColumnBatch.from_rows(names, kept, adict)
+            self.actual_rows = rows
+            return
+        conjuncts = self.conjuncts
+        resolve = (
+            self.slots.resolve if self.slots is not None else _identity
+        )
+        for batch in self.child.iter_col_batches():
+            kept = _filter_rows(conjuncts, batch, resolve)
+            if kept is not None:
+                if not kept:
+                    continue
+                batch = batch.take(kept)
+            rows += batch.n
+            self._note_rows(batch.n)
+            yield batch
         self.actual_rows = rows
 
     def children(self):
@@ -416,7 +679,7 @@ class Filter(StreamingOp):
         return f"Filter [{self.predicate.description}]"
 
 
-class ProjectOp(StreamingOp):
+class ProjectOp(ColumnarOp):
     def __init__(
         self,
         child: PhysicalOp,
@@ -430,16 +693,31 @@ class ProjectOp(StreamingOp):
     def output_schema(self) -> RelationSchema:
         return self.child.output_schema().project(list(self.attributes))
 
-    def iter_batches(self) -> Iterator[Batch]:
+    def iter_col_batches(self) -> Iterator[ColumnBatch]:
         names = self.output_schema().names
         rows = 0
-        for batch in self.child.iter_batches():
-            # Dedupe within the batch (cross-batch duplicates collapse at
-            # the next barrier or at materialisation — set semantics).
-            out = list(dict.fromkeys(t.project(names) for t in batch))
-            if out:
-                rows += len(out)
-                yield self._note(out)
+        for batch in self.child.iter_col_batches():
+            projected = batch.project(names)
+            # Dedupe within the batch (cross-batch duplicates collapse
+            # at the next barrier or at materialisation — set
+            # semantics).  Keys are per-row code tuples, no objects.
+            keys = projected.component_keys(names)
+            seen: set = set()
+            keep: list[int] = []
+            for i, key in enumerate(keys):
+                if key not in seen:
+                    seen.add(key)
+                    keep.append(i)
+            if not keep:
+                continue
+            out = (
+                projected
+                if len(keep) == projected.n
+                else projected.take(keep)
+            )
+            rows += out.n
+            self._note_rows(out.n)
+            yield out
         self.actual_rows = rows
 
     def children(self):
@@ -449,7 +727,10 @@ class ProjectOp(StreamingOp):
         return f"Project [{', '.join(self.attributes)}]"
 
 
-class UnnestOp(StreamingOp):
+class UnnestOp(ColumnarOp):
+    """Unnest one attribute: expand each row's component run into one
+    row per atom — pure offset/code arithmetic, no tuple objects."""
+
     def __init__(
         self, child: PhysicalOp, attribute: str, est: CostEstimate
     ):
@@ -460,26 +741,32 @@ class UnnestOp(StreamingOp):
     def output_schema(self) -> RelationSchema:
         return self.child.output_schema()
 
-    def iter_batches(self) -> Iterator[Batch]:
+    def iter_col_batches(self) -> Iterator[ColumnBatch]:
         attribute = self.attribute
         self.output_schema().require([attribute])
-
-        def expansions() -> Iterator[Sequence[NFRTuple]]:
-            for child_batch in self.child.iter_batches():
-                for t in child_batch:
-                    comp = t[attribute]
-                    if comp.is_singleton:
-                        yield (t,)
-                    else:
-                        yield tuple(
-                            t.with_component(attribute, ValueSet.single(v))
-                            for v in comp
-                        )
-
         rows = 0
-        for batch in self._rebatch(expansions()):
-            rows += len(batch)
-            yield batch
+        for batch in self.child.iter_col_batches():
+            j = batch.names.index(attribute)
+            offsets, codes = batch.columns[j]
+            if offsets is None:
+                rows += batch.n
+                self._note_rows(batch.n)
+                yield batch
+                continue
+            src: list[int] = []
+            flat: list[int] = []
+            for i in range(batch.n):
+                for p in range(offsets[i], offsets[i + 1]):
+                    src.append(i)
+                    flat.append(codes[p])
+            for start in range(0, len(src), BATCH_SIZE):
+                end = start + BATCH_SIZE
+                out = batch.take(src[start:end]).with_column(
+                    j, (None, flat[start:end])
+                )
+                rows += out.n
+                self._note_rows(out.n)
+                yield out
         self.actual_rows = rows
 
     def children(self):
@@ -489,8 +776,9 @@ class UnnestOp(StreamingOp):
         return f"Unnest [{self.attribute}]"
 
 
-class FlattenOp(StreamingOp):
-    """Unnest every attribute — per-tuple Cartesian expansion, streamed."""
+class FlattenOp(ColumnarOp):
+    """Unnest every attribute — per-row Cartesian product of the
+    component runs, emitted as all-singleton column batches."""
 
     def __init__(self, child: PhysicalOp, est: CostEstimate):
         super().__init__(est)
@@ -499,21 +787,50 @@ class FlattenOp(StreamingOp):
     def output_schema(self) -> RelationSchema:
         return self.child.output_schema()
 
-    def iter_batches(self) -> Iterator[Batch]:
-        def expansions() -> Iterator[Sequence[NFRTuple]]:
-            for child_batch in self.child.iter_batches():
-                for t in child_batch:
-                    if t.is_all_singleton():
-                        yield (t,)
-                    else:
-                        yield tuple(
-                            NFRTuple.from_flat(flat) for flat in t.flats()
-                        )
-
+    def iter_col_batches(self) -> Iterator[ColumnBatch]:
         rows = 0
-        for batch in self._rebatch(expansions()):
-            rows += len(batch)
-            yield batch
+        for batch in self.child.iter_col_batches():
+            if all(off is None for off, _ in batch.columns):
+                rows += batch.n
+                self._note_rows(batch.n)
+                yield batch
+                continue
+            k = len(batch.names)
+            out_codes: list[list[int]] = [[] for _ in range(k)]
+            count = 0
+            for i in range(batch.n):
+                per_attr = []
+                for offsets, codes in batch.columns:
+                    if offsets is None:
+                        per_attr.append((codes[i],))
+                    else:
+                        per_attr.append(
+                            tuple(codes[offsets[i] : offsets[i + 1]])
+                        )
+                for combo in product(*per_attr):
+                    for j in range(k):
+                        out_codes[j].append(combo[j])
+                    count += 1
+                    if count >= BATCH_SIZE:
+                        rows += count
+                        self._note_rows(count)
+                        yield ColumnBatch(
+                            batch.names,
+                            count,
+                            [(None, col) for col in out_codes],
+                            batch.adict,
+                        )
+                        out_codes = [[] for _ in range(k)]
+                        count = 0
+            if count:
+                rows += count
+                self._note_rows(count)
+                yield ColumnBatch(
+                    batch.names,
+                    count,
+                    [(None, col) for col in out_codes],
+                    batch.adict,
+                )
         self.actual_rows = rows
 
     def children(self):
@@ -585,7 +902,9 @@ class CanonicalOp(PhysicalOp):
 
 def nf2_hash_join(left: NFRelation, right: NFRelation) -> NFRelation:
     """Jaeschke-Schek NF2 natural join, hashing the *smaller* input on
-    its shared component sets and probing with the larger."""
+    its shared component sets and probing with the larger.  (The
+    materialised reference implementation; :class:`HashJoin` runs the
+    same algorithm over dictionary codes.)"""
     shared = left.schema.common_names(right.schema)
     right_only = [n for n in right.schema.names if n not in shared]
     schema = (
@@ -619,8 +938,12 @@ def nf2_hash_join(left: NFRelation, right: NFRelation) -> NFRelation:
     return NFRelation(schema, out)
 
 
-class _JoinOp(PhysicalOp):
-    """Shared schema derivation for the two hash joins."""
+class HashJoin(ColumnarOp):
+    """NF2 natural join (shared components set-equal), hash-based, run
+    over dictionary codes at the barrier: both children's column
+    streams are collected, the right stream is translated onto the
+    left's dictionary, and components hash by their frozenset of
+    codes."""
 
     def __init__(
         self, left: PhysicalOp, right: PhysicalOp, est: CostEstimate
@@ -638,15 +961,85 @@ class _JoinOp(PhysicalOp):
     def children(self):
         return (self.left, self.right)
 
-
-class HashJoin(_JoinOp):
-    """NF2 natural join (shared components set-equal), hash-based."""
-
-    def _run(self) -> NFRelation:
-        return nf2_hash_join(self.left.execute(), self.right.execute())
+    def iter_col_batches(self) -> Iterator[ColumnBatch]:
+        left_batches = list(self.left.iter_col_batches())
+        right_batches = list(self.right.iter_col_batches())
+        rows = 0
+        if left_batches and right_batches:
+            lhs = concat_batches(left_batches)
+            adict = lhs.adict
+            rhs = concat_batches(right_batches).translated(adict)
+            shared = [n for n in lhs.names if n in rhs.names]
+            right_only = [n for n in rhs.names if n not in lhs.names]
+            if not shared:
+                pairs = [
+                    (i, j) for i in range(lhs.n) for j in range(rhs.n)
+                ]
+            elif lhs.n <= rhs.n:
+                buckets: dict = {}
+                for i, key in enumerate(lhs.component_keys(shared)):
+                    buckets.setdefault(key, []).append(i)
+                pairs = [
+                    (i, j)
+                    for j, key in enumerate(rhs.component_keys(shared))
+                    for i in buckets.get(key, _EMPTY)
+                ]
+            else:
+                buckets = {}
+                for j, key in enumerate(rhs.component_keys(shared)):
+                    buckets.setdefault(key, []).append(j)
+                pairs = [
+                    (i, j)
+                    for i, key in enumerate(lhs.component_keys(shared))
+                    for j in buckets.get(key, _EMPTY)
+                ]
+            if pairs:
+                out_names = lhs.names + tuple(right_only)
+                lout = lhs.take([p[0] for p in pairs])
+                columns = list(lout.columns)
+                if right_only:
+                    rout = rhs.take([p[1] for p in pairs]).project(
+                        right_only
+                    )
+                    columns.extend(rout.columns)
+                combined = ColumnBatch(
+                    out_names, len(pairs), columns, adict
+                )
+                if combined.n <= BATCH_SIZE:
+                    rows += combined.n
+                    self._note_rows(combined.n)
+                    yield combined
+                else:
+                    for start in range(0, combined.n, BATCH_SIZE):
+                        stop = min(start + BATCH_SIZE, combined.n)
+                        out = combined.take(range(start, stop))
+                        rows += out.n
+                        self._note_rows(out.n)
+                        yield out
+        self.actual_rows = rows
 
     def describe(self) -> str:
         return "HashJoin [nf2-natural, set-equal components]"
+
+
+class _JoinOp(PhysicalOp):
+    """Shared schema derivation for row-level joins."""
+
+    def __init__(
+        self, left: PhysicalOp, right: PhysicalOp, est: CostEstimate
+    ):
+        super().__init__(est)
+        self.left = left
+        self.right = right
+
+    def output_schema(self) -> RelationSchema:
+        ls = self.left.output_schema()
+        rs = self.right.output_schema()
+        right_only = [n for n in rs.names if n not in ls.names]
+        return ls.concat(rs.project(right_only)) if right_only else ls
+
+    def children(self):
+        return (self.left, self.right)
 
 
 class FlatHashJoin(_JoinOp):

@@ -32,11 +32,11 @@ from repro.planner import physical as P
 from repro.planner.explain import render_plan
 from repro.planner.rules import RewriteContext, rewrite
 from repro.planner.stats import RelationStats
+from repro.query import ast
 from repro.query.params import ParamSlots
-from repro.storage.engine import ScanStats
+from repro.storage.engine import NFRStore, ScanStats
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.query import ast
     from repro.query.catalog import Catalog
 
 #: Cumulative count of :func:`plan` invocations this process.  The plan
@@ -296,7 +296,13 @@ class _Builder:
             cost=child.est.cost + child.est.rows * costs.TUPLE_CPU_COST,
             pages=child.est.pages,
         )
-        return P.Filter(child, predicate, est)
+        return P.Filter(
+            child,
+            predicate,
+            est,
+            conjuncts=node.conjuncts,
+            slots=self.slots,
+        )
 
     def _unnest_op(
         self, node: L.LUnnest, child: P.PhysicalOp
@@ -378,32 +384,59 @@ class _Builder:
                 rows=base.rows * sel, cost=base.cost, pages=0.0
             )
             scan = P.MemoryScan(relation, name, base)
-            return P.Filter(scan, predicate, est)
+            return P.Filter(
+                scan,
+                predicate,
+                est,
+                conjuncts=conjuncts,
+                slots=self.slots,
+            )
 
         heap_est = costs.heap_scan_cost(stats, decode_fraction)
-        index_allowed = (
-            store.index is not None
-            and conjuncts
-            and self.use_index is not False
-        )
-        if index_allowed:
+        if conjuncts and self.use_index is not False:
+            # Window conjuncts contribute no probe atoms (no single atom
+            # is implied), so a pure-inequality predicate must not fall
+            # into an atom-less IndexScan — lookup_all([]) would return
+            # the empty candidate set and silently drop every row.
             atoms: list[tuple[str, object]] = []
             for c in conjuncts:
                 atoms.extend(L.indexable_atoms(c))
-            idx_est = costs.index_scan_cost(
-                stats, conjuncts, len(atoms), decode_fraction
-            )
-            if self.use_index or idx_est.cost < heap_est.cost:
-                assert predicate is not None
-                return P.IndexScan(
-                    store,
-                    name,
-                    atoms,
-                    predicate,
-                    idx_est,
-                    needed=decode,
-                    slots=self.slots,
+            if store.index is not None and atoms:
+                idx_est = costs.index_scan_cost(
+                    stats, conjuncts, len(atoms), decode_fraction
                 )
+                if self.use_index or idx_est.cost < heap_est.cost:
+                    assert predicate is not None
+                    return P.IndexScan(
+                        store,
+                        name,
+                        atoms,
+                        predicate,
+                        idx_est,
+                        needed=decode,
+                        slots=self.slots,
+                        conjuncts=conjuncts,
+                    )
+            if store.rindex is not None:
+                ranged = self._range_candidate(
+                    store, stats, conjuncts, decode_fraction
+                )
+                if ranged is not None:
+                    bounds, rng_est = ranged
+                    if (
+                        self.use_index and not atoms
+                    ) or rng_est.cost < heap_est.cost:
+                        assert predicate is not None
+                        return P.RangeScan(
+                            store,
+                            name,
+                            bounds,
+                            predicate,
+                            rng_est,
+                            needed=decode,
+                            slots=self.slots,
+                            conjuncts=conjuncts,
+                        )
 
         if predicate is not None:
             sel = costs.conjunct_selectivity(conjuncts, stats)
@@ -413,9 +446,80 @@ class _Builder:
                 pages=heap_est.pages,
             )
             return P.HeapScan(
-                store, name, est, predicate=predicate, needed=decode
+                store,
+                name,
+                est,
+                predicate=predicate,
+                needed=decode,
+                conjuncts=conjuncts,
+                slots=self.slots,
             )
         return P.HeapScan(store, name, heap_est, needed=decode)
+
+    def _range_candidate(
+        self,
+        store: NFRStore,
+        stats: RelationStats,
+        conjuncts: tuple["ast.Condition", ...],
+        decode_fraction: float,
+    ) -> tuple[L.RangeBounds, costs.CostEstimate] | None:
+        """The cheapest RangeIndex window the conjunct list offers, with
+        its cost — None when no conjunct is a window predicate.  Two
+        one-sided windows on the same attribute additionally offer their
+        merged two-sided window, but only when the attribute is flat:
+        with set-valued components two different atoms may witness the
+        two sides, so the merged probe would drop matches."""
+        by_attr: dict[str, list[L.RangeBounds]] = {}
+        for c in conjuncts:
+            b = L.comparison_bounds(c)
+            if b is not None:
+                by_attr.setdefault(b.attribute, []).append(b)
+        if not by_attr:
+            return None
+        candidates: list[L.RangeBounds] = []
+        for attribute, bs in by_attr.items():
+            candidates.extend(bs)
+            if len(bs) == 2:
+                attr = stats.attribute(attribute)
+                if attr is not None and attr.is_flat:
+                    merged = L.merge_bounds(bs[0], bs[1])
+                    if merged is not None:
+                        candidates.append(merged)
+        residual = costs.conjunct_selectivity(conjuncts, stats)
+        best: tuple[L.RangeBounds, costs.CostEstimate] | None = None
+        for b in candidates:
+            est = costs.range_scan_cost(
+                stats,
+                self._bound_fraction(store, b),
+                residual,
+                decode_fraction,
+            )
+            if best is None or est.cost < best[1].cost:
+                best = (b, est)
+        return best
+
+    def _bound_fraction(
+        self, store: NFRStore, bounds: L.RangeBounds
+    ) -> float:
+        """Estimated fraction of records the window probe returns:
+        the index's distinct-key fraction for literal bounds, a default
+        for parameter placeholders (their values are unknown at plan
+        time)."""
+        if isinstance(bounds.low, ast.Parameter) or isinstance(
+            bounds.high, ast.Parameter
+        ):
+            return costs.DEFAULT_RANGE_SELECTIVITY
+        assert store.rindex is not None
+        fraction = store.rindex.key_fraction(
+            bounds.attribute,
+            bounds.low,
+            bounds.high,
+            bounds.low_inclusive,
+            bounds.high_inclusive,
+        )
+        if fraction is None:
+            return costs.DEFAULT_RANGE_SELECTIVITY
+        return fraction
 
     # -- statistics plumbing ---------------------------------------------------
 

@@ -65,6 +65,31 @@ class SingletonEquals(Condition):
 
 
 @dataclass(frozen=True)
+class Comparison(Condition):
+    """``attribute OP literal`` with OP one of ``<``, ``<=``, ``>``,
+    ``>=`` — holds when *some* atom of the component satisfies the
+    comparison under the library's total order
+    (:mod:`repro.util.ordering`).  On flat (singleton) components this
+    is the ordinary scalar comparison."""
+
+    attribute: str
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Between(Condition):
+    """``attribute BETWEEN low AND high`` — some *single* atom lies in
+    the inclusive ``[low, high]`` window.  Not the same as
+    ``attribute >= low AND attribute <= high`` on set-valued
+    components, where two different atoms may witness the two bounds."""
+
+    attribute: str
+    low: Any
+    high: Any
+
+
+@dataclass(frozen=True)
 class And(Condition):
     left: Condition
     right: Condition

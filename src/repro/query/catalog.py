@@ -51,6 +51,10 @@ class Catalog:
         #: I/O accounting of the most recent statement that touched
         #: pages or the index (INSERT/DELETE, or a planned query).
         self.last_io: ScanStats | None = None
+        #: One-line shape of the most recent planned query's physical
+        #: plan (operator names + batch formats); None after DML or
+        #: naive evaluation.
+        self.last_plan_summary: str | None = None
         self._version = 0
         self._undo: list[Callable[[], None]] | None = None
         #: The :class:`~repro.storage.durable.DurableEngine` backing
@@ -477,6 +481,7 @@ class Catalog:
 
     def record_io(self, stats: MutationStats) -> ScanStats:
         """Fold one mutation's I/O accounting into :attr:`last_io`."""
+        self.last_plan_summary = None
         self.last_io = ScanStats(
             page_reads=stats.page_reads,
             records_visited=stats.records_touched,

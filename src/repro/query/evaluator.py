@@ -59,6 +59,7 @@ from repro.query.params import bind_statement, has_parameters
 from repro.relational.algebra import natural_join
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import FlatTuple
+from repro.util.ordering import between_test, range_test
 
 if False:  # pragma: no cover - typing only, avoids a circular import
     from repro.planner.explain import ExplainResult
@@ -139,6 +140,9 @@ def stream_plan(physical: "PhysicalPlan", catalog: Catalog):
     """Stream an already-planned (possibly cached and freshly re-bound)
     physical plan, folding its I/O accounting into ``catalog.last_io``
     once the stream is exhausted."""
+    from repro.planner.explain import plan_summary
+
+    catalog.last_plan_summary = plan_summary(physical.root)
     yield from physical.root.iter_batches()
     io = physical.scan_stats()
     if io.page_reads or io.index_lookups:
@@ -149,9 +153,11 @@ def _run_planned(node: ast.Expression, catalog: Catalog) -> NFRelation:
     # Imported lazily: the planner subsystem itself imports query.ast,
     # so a module-level import here would be circular.
     from repro.planner import plan
+    from repro.planner.explain import plan_summary
 
     physical = plan(node, catalog)
     result = physical.execute()
+    catalog.last_plan_summary = plan_summary(physical.root)
     io = physical.scan_stats()
     if io.page_reads or io.index_lookups:
         catalog.last_io = io
@@ -214,7 +220,10 @@ def _execute(
 
         physical = plan(node.target, catalog)
         if node.analyze:
+            from repro.planner.explain import plan_summary
+
             physical.execute()
+            catalog.last_plan_summary = plan_summary(physical.root)
             io = physical.scan_stats()
             if io.page_reads or io.index_lookups:
                 catalog.last_io = io
@@ -367,6 +376,16 @@ def _compile_condition(cond: ast.Condition, schema: RelationSchema):
         attribute = cond.attribute
         target = _as_value_set([cond.value])
         return lambda t: t[attribute] == target
+    if isinstance(cond, ast.Comparison):
+        schema.require([cond.attribute])
+        attribute = cond.attribute
+        test = range_test(cond.op, cond.value)
+        return lambda t: any(test(v) for v in t[attribute])
+    if isinstance(cond, ast.Between):
+        schema.require([cond.attribute])
+        attribute = cond.attribute
+        test = between_test(cond.low, cond.high)
+        return lambda t: any(test(v) for v in t[attribute])
     raise EvaluationError(f"unknown condition {cond!r}")
 
 

@@ -31,6 +31,7 @@ KEYWORDS = frozenset(
         "ORDER",
         "AND",
         "CONTAINS",
+        "BETWEEN",
         "LET",
         "INSERT",
         "DELETE",
@@ -51,7 +52,8 @@ _SYMBOLS = {"(", ")", "{", "}", ",", "=", ";"}
 @dataclass(frozen=True)
 class Token:
     """One lexical token: kind is KEYWORD, IDENT, STRING, NUMBER, PARAM
-    or a literal symbol character.  A PARAM token is a ``?`` positional
+    or a literal symbol (single characters plus the comparison
+    operators ``<``, ``<=``, ``>``, ``>=``).  A PARAM token is a ``?`` positional
     placeholder (value None) or a ``:name`` named placeholder (value is
     the name).  ``position`` is the absolute character offset;
     ``line``/``column`` are 1-based."""
@@ -102,6 +104,15 @@ def _scan(text: str) -> Iterator[Token]:
         ch = text[i]
         if ch.isspace():
             i += 1
+            continue
+        if ch in "<>":
+            # Comparison operators: <, <=, >, >= (token kind == lexeme).
+            if i + 1 < n and text[i + 1] == "=":
+                yield tok(ch + "=", ch + "=", i)
+                i += 2
+            else:
+                yield tok(ch, ch, i)
+                i += 1
             continue
         if ch in _SYMBOLS:
             yield tok(ch, ch, i)

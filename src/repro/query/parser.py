@@ -27,6 +27,8 @@ Grammar (keywords case-insensitive)::
 
     condition  := atom (AND atom)*
     atom       := IDENT CONTAINS literal
+                | IDENT BETWEEN literal AND literal
+                | IDENT ('<' | '<=' | '>' | '>=') literal
                 | IDENT '=' '{' literals '}'
                 | IDENT '=' literal
 
@@ -266,10 +268,21 @@ class _Parser:
         if self._at_keyword("CONTAINS"):
             self._next()
             return ast.Contains(attribute, self._parse_literal())
+        if self._at_keyword("BETWEEN"):
+            # BETWEEN binds its AND eagerly: the first AND after the
+            # low bound belongs to the BETWEEN, later ones conjoin.
+            self._next()
+            low = self._parse_literal()
+            self._eat_keyword("AND")
+            return ast.Between(attribute, low, self._parse_literal())
         tok = self._next()
+        if tok.kind in ("<", "<=", ">", ">="):
+            return ast.Comparison(attribute, tok.kind, self._parse_literal())
         if tok.kind != "=":
             raise self._error(
-                f"expected CONTAINS or '=', got {self._show(tok)}", tok
+                "expected CONTAINS, BETWEEN, '=' or a comparison "
+                f"operator, got {self._show(tok)}",
+                tok,
             )
         nxt = self._peek()
         if nxt is not None and nxt.kind == "{":

@@ -1,0 +1,402 @@
+"""Dictionary-encoded columnar batches.
+
+The streaming executor's native vector format: a :class:`ColumnBatch`
+holds one array pair per attribute instead of a list of
+:class:`~repro.core.nfr_tuple.NFRTuple` objects.  Atom values are
+dictionary-encoded through a per-store :class:`AtomDict` — operators
+compare small ints, not Python objects — and set-valued components are
+run-encoded as ``(offsets, codes)``:
+
+- ``offsets is None``: every component is a singleton and ``codes[i]``
+  is row *i*'s single atom code (possible exactly when
+  ``len(codes) == n``, since components are never empty);
+- otherwise ``codes[offsets[i]:offsets[i+1]]`` is row *i*'s component,
+  codes sorted by insertion order within the run for a canonical
+  representation per source.
+
+All batches of one operator stream share a single dictionary, so codes
+are comparable across batches; streams from different dictionaries are
+aligned with :meth:`ColumnBatch.translated` before joining.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterable, Sequence
+
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.relational.schema import RelationSchema
+from repro.storage.encoding import decode_value_bytes
+from repro.util.ordering import sort_key
+
+_U32 = struct.Struct(">I")
+
+#: (offsets, codes) column pair; ``offsets is None`` == all singleton.
+Column = tuple  # tuple[list[int] | None, list[int]]
+
+
+class AtomDict:
+    """Append-only dictionary mapping atoms to dense integer codes.
+
+    Keys are ``(type, value)`` pairs so ``1`` / ``1.0`` / ``True`` stay
+    distinct (they are equal and hash alike in Python but encode with
+    different storage tags).  Beside the typed map the dictionary keeps
+    raw-bytes caches for the storage decoder — the byte span of an
+    encoded value (or of a whole encoded component) maps straight to
+    its code(s), so repeated stored values cost one ``dict`` probe
+    instead of a payload decode — and hash-cons caches for turning code
+    runs back into shared :class:`ValueSet` objects at the row
+    boundary.
+    """
+
+    __slots__ = (
+        "_codes",
+        "atoms",
+        "_raw",
+        "_comp_raw",
+        "_vset_single",
+        "_vset_runs",
+        "_masks",
+        "record_cache",
+    )
+
+    def __init__(self) -> None:
+        self._codes: dict[tuple[type, Any], int] = {}
+        #: code -> canonical atom object (first-seen instance).
+        self.atoms: list[Any] = []
+        self._raw: dict[bytes, int] = {}
+        self._comp_raw: dict[bytes, tuple[int, ...]] = {}
+        #: record bytes -> (per-component code runs, per-component byte
+        #: spans); content-addressed, so page rewrites (vacuum) keep
+        #: hitting and stale entries for deleted records are harmless.
+        self.record_cache: dict[
+            bytes, tuple[tuple[tuple[int, ...], ...], tuple[int, ...]]
+        ] = {}
+        self._vset_single: list[ValueSet | None] = []
+        self._vset_runs: dict[tuple[int, ...], ValueSet] = {}
+        # Boolean masks (indexed by code) for range predicates, keyed
+        # by the (lo_key, lo_incl, hi_key, hi_incl) window and extended
+        # lazily as the dictionary grows.
+        self._masks: dict[tuple, list[bool]] = {}
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def _add(self, key: tuple[type, Any], value: Any) -> int:
+        code = len(self.atoms)
+        self._codes[key] = code
+        self.atoms.append(value)
+        self._vset_single.append(None)
+        return code
+
+    def code(self, value: Any) -> int:
+        """The code for ``value``, assigning a fresh one if unseen."""
+        key = (value.__class__, value)
+        code = self._codes.get(key)
+        if code is None:
+            code = self._add(key, value)
+        return code
+
+    def try_code(self, value: Any) -> int | None:
+        """The code for ``value``, or None when the dictionary has
+        never seen it (useful for equality kernels: an unseen constant
+        matches nothing)."""
+        return self._codes.get((value.__class__, value))
+
+    def equal_codes(self, value: Any) -> tuple[int, ...]:
+        """All codes whose atom compares *equal* to ``value`` under
+        Python equality.  The typed map keeps ``1`` / ``1.0`` / ``True``
+        distinct, but tuple and set containment (the row-level predicate
+        semantics) use plain ``==``, where the numeric types compare
+        equal — so equality kernels must probe every numeric class.
+        A probe key ``(cls, value)`` hashes and compares like the stored
+        ``(cls, atom)`` whenever ``value == atom``, so each class costs
+        one dict probe."""
+        get = self._codes.get
+        if isinstance(value, (bool, int, float)):
+            out = []
+            for cls in (bool, int, float):
+                code = get((cls, value))
+                if code is not None:
+                    out.append(code)
+            return tuple(out)
+        code = get((value.__class__, value))
+        return () if code is None else (code,)
+
+    def intern_typed(self, key: tuple[type, Any]) -> Any:
+        """Intern by pre-built ``(type, value)`` key, returning the
+        canonical atom object."""
+        code = self._codes.get(key)
+        if code is None:
+            code = self._add(key, key[1])
+        return self.atoms[code]
+
+    # -- storage-byte fast paths ------------------------------------------------
+
+    def code_for_raw(self, raw: bytes) -> int:
+        """Code for one encoded value span (tag + length + payload)."""
+        code = self._raw.get(raw)
+        if code is None:
+            code = self.code(decode_value_bytes(raw))
+            self._raw[raw] = code
+        return code
+
+    def component_codes(self, raw: bytes) -> tuple[int, ...]:
+        """Code run for one encoded component's value spans (the bytes
+        after its ``u16`` count header).  Whole-component spans are
+        cached, so a repeated stored component is one ``dict`` probe."""
+        run = self._comp_raw.get(raw)
+        if run is None:
+            codes = []
+            offset = 0
+            total = len(raw)
+            unpack = _U32.unpack_from
+            while offset < total:
+                end = offset + 5 + unpack(raw, offset + 1)[0]
+                codes.append(self.code_for_raw(raw[offset:end]))
+                offset = end
+            run = tuple(codes)
+            self._comp_raw[raw] = run
+        return run
+
+    # -- decode-side hash consing ------------------------------------------------
+
+    def value_set_single(self, code: int) -> ValueSet:
+        vs = self._vset_single[code]
+        if vs is None:
+            vs = ValueSet._from_frozenset(frozenset((self.atoms[code],)))
+            self._vset_single[code] = vs
+        return vs
+
+    def value_set(self, run: tuple[int, ...]) -> ValueSet:
+        if len(run) == 1:
+            return self.value_set_single(run[0])
+        vs = self._vset_runs.get(run)
+        if vs is None:
+            atoms = self.atoms
+            vs = ValueSet._from_frozenset(frozenset(atoms[c] for c in run))
+            self._vset_runs[run] = vs
+        return vs
+
+    # -- predicates over codes ----------------------------------------------------
+
+    def range_mask(
+        self,
+        low: Any,
+        low_inclusive: bool,
+        high: Any,
+        high_inclusive: bool,
+    ) -> list[bool]:
+        """``mask[code]`` == does the atom fall in the window under the
+        library's total order (:mod:`repro.util.ordering`)?  ``None``
+        bounds are open.  Masks are cached per window and extended in
+        place when the dictionary has grown since the last call."""
+        lo_key = None if low is None else sort_key(low)
+        hi_key = None if high is None else sort_key(high)
+        window = (lo_key, low_inclusive, hi_key, high_inclusive)
+        mask = self._masks.get(window)
+        if mask is None:
+            mask = []
+            self._masks[window] = mask
+        atoms = self.atoms
+        if len(mask) < len(atoms):
+            for code in range(len(mask), len(atoms)):
+                k = sort_key(atoms[code])
+                ok = True
+                if lo_key is not None:
+                    ok = k > lo_key or (low_inclusive and k == lo_key)
+                if ok and hi_key is not None:
+                    ok = k < hi_key or (high_inclusive and k == hi_key)
+                mask.append(ok)
+        return mask
+
+    # -- cross-dictionary alignment ----------------------------------------------
+
+    def translation_from(self, other: "AtomDict") -> list[int] | None:
+        """Code-translation table ``other`` -> self (None when they are
+        the same dictionary and no translation is needed).  New atoms
+        are interned on the fly."""
+        if other is self:
+            return None
+        code = self.code
+        return [code(v) for v in other.atoms]
+
+
+class ColumnBatch:
+    """One batch of ``n`` NFR tuples in columnar, dictionary-encoded
+    form (see module docstring for the column layout)."""
+
+    __slots__ = ("names", "n", "columns", "adict")
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        n: int,
+        columns: list[Column],
+        adict: AtomDict,
+    ) -> None:
+        self.names = names
+        self.n = n
+        self.columns = columns
+        self.adict = adict
+
+    @classmethod
+    def from_rows(
+        cls,
+        names: Sequence[str],
+        rows: Iterable[NFRTuple],
+        adict: AtomDict,
+    ) -> "ColumnBatch":
+        """Encode row tuples (sorting codes inside each run so equal
+        components encode to equal runs within this dictionary)."""
+        names = tuple(names)
+        k = len(names)
+        offsets: list[list[int]] = [[0] for _ in range(k)]
+        codes: list[list[int]] = [[] for _ in range(k)]
+        code = adict.code
+        n = 0
+        for t in rows:
+            n += 1
+            for j in range(k):
+                comp = t[names[j]]
+                col = codes[j]
+                if comp.is_singleton:
+                    for v in comp:
+                        col.append(code(v))
+                else:
+                    col.extend(sorted(code(v) for v in comp))
+                offsets[j].append(len(col))
+        columns: list[Column] = []
+        for j in range(k):
+            if len(codes[j]) == n:
+                columns.append((None, codes[j]))
+            else:
+                columns.append((offsets[j], codes[j]))
+        return cls(names, n, columns, adict)
+
+    def to_rows(self, schema: RelationSchema) -> list[NFRTuple]:
+        """Decode back to NFR tuples on ``schema`` (which must carry
+        exactly this batch's attribute names, in order)."""
+        n = self.n
+        if n == 0:
+            return []
+        adict = self.adict
+        single = adict.value_set_single
+        vset = adict.value_set
+        per_col: list[list[ValueSet]] = []
+        for offsets, codes in self.columns:
+            if offsets is None:
+                per_col.append([single(c) for c in codes])
+            else:
+                per_col.append(
+                    [
+                        vset(tuple(codes[offsets[i] : offsets[i + 1]]))
+                        for i in range(n)
+                    ]
+                )
+        unchecked = NFRTuple._unchecked
+        if len(per_col) == 1:
+            return [unchecked(schema, (vs,)) for vs in per_col[0]]
+        return [unchecked(schema, comps) for comps in zip(*per_col)]
+
+    # -- structural transforms ----------------------------------------------------
+
+    def take(self, rows: Sequence[int]) -> "ColumnBatch":
+        """New batch holding the given row positions, in order."""
+        m = len(rows)
+        columns: list[Column] = []
+        for offsets, codes in self.columns:
+            if offsets is None:
+                columns.append((None, [codes[i] for i in rows]))
+                continue
+            new_offsets = [0]
+            new_codes: list[int] = []
+            for i in rows:
+                new_codes.extend(codes[offsets[i] : offsets[i + 1]])
+                new_offsets.append(len(new_codes))
+            if len(new_codes) == m:
+                columns.append((None, new_codes))
+            else:
+                columns.append((new_offsets, new_codes))
+        return ColumnBatch(self.names, m, columns, self.adict)
+
+    def project(self, names: Sequence[str]) -> "ColumnBatch":
+        index = self.names.index
+        return ColumnBatch(
+            tuple(names),
+            self.n,
+            [self.columns[index(nm)] for nm in names],
+            self.adict,
+        )
+
+    def with_column(self, j: int, column: Column) -> "ColumnBatch":
+        columns = list(self.columns)
+        columns[j] = column
+        return ColumnBatch(self.names, self.n, columns, self.adict)
+
+    def translated(self, adict: AtomDict) -> "ColumnBatch":
+        """This batch re-coded under ``adict`` (self when it already is)."""
+        mapping = adict.translation_from(self.adict)
+        if mapping is None:
+            return self
+        columns: list[Column] = [
+            (offsets, [mapping[c] for c in codes])
+            for offsets, codes in self.columns
+        ]
+        return ColumnBatch(self.names, self.n, columns, adict)
+
+    # -- per-row keys --------------------------------------------------------------
+
+    def component_keys(self, names: Sequence[str]) -> list:
+        """One hashable key per row over the given attributes, equal
+        iff the components are set-equal (within one dictionary):
+        singleton components key by their code, larger ones by the
+        frozenset of codes."""
+        cols = []
+        index = self.names.index
+        n = self.n
+        for nm in names:
+            offsets, codes = self.columns[index(nm)]
+            if offsets is None:
+                cols.append(codes)
+            else:
+                col = []
+                for i in range(n):
+                    a, b = offsets[i], offsets[i + 1]
+                    col.append(codes[a] if b - a == 1 else frozenset(codes[a:b]))
+                cols.append(col)
+        if len(cols) == 1:
+            return cols[0]
+        return list(zip(*cols))
+
+
+def concat_batches(batches: Sequence[ColumnBatch]) -> ColumnBatch:
+    """Concatenate batches that share names and a dictionary."""
+    if len(batches) == 1:
+        return batches[0]
+    first = batches[0]
+    k = len(first.names)
+    n = sum(b.n for b in batches)
+    columns: list[Column] = []
+    for j in range(k):
+        if all(b.columns[j][0] is None for b in batches):
+            codes: list[int] = []
+            for b in batches:
+                codes.extend(b.columns[j][1])
+            columns.append((None, codes))
+            continue
+        offsets = [0]
+        codes = []
+        for b in batches:
+            boff, bcodes = b.columns[j]
+            if boff is None:
+                for c in bcodes:
+                    codes.append(c)
+                    offsets.append(len(codes))
+            else:
+                base = len(codes)
+                codes.extend(bcodes)
+                offsets.extend(base + o for o in boff[1:])
+        columns.append((offsets, codes))
+    return ColumnBatch(first.names, n, columns, first.adict)

@@ -111,6 +111,67 @@ def _skip_value(data: bytes, offset: int) -> int:
     return offset + 5 + length
 
 
+def decode_value_bytes(raw: bytes) -> Any:
+    """Decode exactly one value from its full encoded byte span."""
+    value, end = _decode_value(raw, 0)
+    if end != len(raw):
+        raise StorageError(
+            f"trailing bytes in value span ({len(raw) - end} unread)"
+        )
+    return value
+
+
+_U16 = struct.Struct(">H")
+_U32_LEN = struct.Struct(">I")
+
+
+def decode_columns_partial(
+    data: bytes, degree: int, needed: frozenset, adict
+) -> tuple[list[tuple[int, ...] | None], int]:
+    """Column-wise partial decode: walk one record's components and
+    return the dictionary-code run (see
+    :class:`repro.storage.columnar.AtomDict`) for each component index
+    in ``needed`` — skipped components come back as None.  The byte
+    span of a wanted component goes to the dictionary *as bytes*, so a
+    repeated component costs one cache probe, no payload decode; a
+    whole repeated *record* costs one probe of the dictionary's
+    content-addressed record cache, no byte walk at all.
+
+    Returns ``(runs, bytes_decoded)`` with the same accounting as
+    :func:`decode_components_partial`: count header plus value spans of
+    the materialised components (the record cache holds every
+    component's run, but only the ``needed`` spans are billed).
+    """
+    cached = adict.record_cache.get(data)
+    if cached is None:
+        offset = 0
+        all_runs: list[tuple[int, ...]] = []
+        spans: list[int] = []
+        u16 = _U16.unpack_from
+        u32 = _U32_LEN.unpack_from
+        for _ in range(degree):
+            (count,) = u16(data, offset)
+            offset += 2
+            start = offset
+            for _ in range(count):
+                offset += 5 + u32(data, offset + 1)[0]
+            all_runs.append(adict.component_codes(data[start:offset]))
+            spans.append(2 + (offset - start))
+        if offset != len(data):
+            raise StorageError(
+                f"trailing bytes in record ({len(data) - offset} unread)"
+            )
+        cached = (tuple(all_runs), tuple(spans))
+        adict.record_cache[data] = cached
+    all_runs, spans = cached
+    runs: list[tuple[int, ...] | None] = [None] * degree
+    bytes_decoded = 0
+    for i in needed:
+        runs[i] = all_runs[i]
+        bytes_decoded += spans[i]
+    return runs, bytes_decoded
+
+
 def decode_components_partial(
     data: bytes, degree: int, needed: Iterable[int]
 ) -> tuple[list[list[Any] | None], int]:

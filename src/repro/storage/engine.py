@@ -51,7 +51,9 @@ from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import FlatTuple
 from repro.core.values import ValueSet
+from repro.storage.columnar import AtomDict, ColumnBatch
 from repro.storage.encoding import (
+    decode_columns_partial,
     decode_components,
     decode_components_partial,
     decode_flat_tuple,
@@ -60,7 +62,7 @@ from repro.storage.encoding import (
     encode_nfr_tuple,
 )
 from repro.storage.heap import HeapFile, RecordId
-from repro.storage.index import AtomIndex
+from repro.storage.index import AtomIndex, RangeIndex
 
 
 @dataclass(frozen=True)
@@ -139,6 +141,11 @@ class NFRStore:
         self.index: AtomIndex | None = (
             AtomIndex(schema.names) if indexed else None
         )
+        # Ordered companion to the AtomIndex: same postings layout,
+        # maintained by the same DML hooks, answers window probes.
+        self.rindex: RangeIndex | None = (
+            RangeIndex(schema.names) if indexed else None
+        )
         self._order = tuple(order) if order else schema.names
         if sorted(self._order) != sorted(schema.names):
             raise StorageError(
@@ -150,13 +157,13 @@ class NFRStore:
         self._rids: dict[Any, RecordId] = {}
         # Per-store atom dictionary: decoded atoms are interned here so
         # the same stored value is one Python object across all decoded
-        # tuples.  Keyed by (type, value) because dict equality would
-        # otherwise conflate 1 / 1.0 / True.
-        self._atoms: dict[tuple[type, Any], Any] = {}
+        # tuples, and so columnar scans can compare dictionary codes
+        # instead of values.  Typed keys keep 1 / 1.0 / True distinct.
+        self._dict = AtomDict()
         # Hash-cons table for decoded components: equal component sets
         # map to one ValueSet whose hash is computed once.  Keyed by the
-        # (type, value) pairs, like _atoms, so {1} / {True} / {1.0}
-        # stay distinct.
+        # (type, value) pairs, like the dictionary, so {1} / {True} /
+        # {1.0} stay distinct.
         self._vsets: dict[frozenset, ValueSet] = {}
         self._bytes_decoded = 0
         # §4 maintenance engine, built lazily on first nfr-mode mutation.
@@ -238,12 +245,14 @@ class NFRStore:
                 if store.index is not None:
                     for name in schema.names:
                         store.index.add_component(name, t[name], rid)
+                        store.rindex.add_component(name, t[name], rid)
             else:
                 f = decode_flat_tuple(record, schema)
                 store._rids[f] = rid
                 if store.index is not None:
                     for name in schema.names:
                         store.index.add(name, f[name], rid)
+                        store.rindex.add(name, f[name], rid)
         store.heap.stats.reset()
         return store
 
@@ -305,6 +314,7 @@ class NFRStore:
         if self.index is not None:
             for name in self.schema.names:
                 self.index.add(name, t[name], rid)
+                self.rindex.add(name, t[name], rid)
         return rid
 
     def _insert_nfr_record(self, t: NFRTuple) -> RecordId:
@@ -314,6 +324,7 @@ class NFRStore:
         if self.index is not None:
             for name in self.schema.names:
                 self.index.add_component(name, t[name], rid)
+                self.rindex.add_component(name, t[name], rid)
         return rid
 
     def _insert_nfr_records_batch(self, tuples: Iterable[NFRTuple]) -> None:
@@ -325,6 +336,7 @@ class NFRStore:
             if self.index is not None:
                 for name in self.schema.names:
                     self.index.add_component(name, t[name], rid)
+                    self.rindex.add_component(name, t[name], rid)
 
     def _delete_flat_record(self, t: FlatTuple) -> None:
         rid = self._rids.pop(t)
@@ -333,6 +345,7 @@ class NFRStore:
         if self.index is not None:
             for name in self.schema.names:
                 self.index.remove(name, t[name], rid)
+                self.rindex.remove(name, t[name], rid)
 
     def _delete_nfr_record(self, t: NFRTuple) -> None:
         rid = self._rids.pop(t)
@@ -341,6 +354,7 @@ class NFRStore:
         if self.index is not None:
             for name in self.schema.names:
                 self.index.remove_component(name, t[name], rid)
+                self.rindex.remove_component(name, t[name], rid)
 
     def _delete_nfr_records_batch(self, tuples: Iterable[NFRTuple]) -> None:
         ordered = sorted(tuples, key=lambda t: t.sort_key())
@@ -352,6 +366,7 @@ class NFRStore:
             if self.index is not None:
                 for name in self.schema.names:
                     self.index.remove_component(name, t[name], rid)
+                    self.rindex.remove_component(name, t[name], rid)
         self.heap.delete_many(rids)
 
     # -- §4 maintenance plumbing --------------------------------------------------
@@ -540,6 +555,7 @@ class NFRStore:
                 if self.index is not None:
                     for name in self.schema.names:
                         self.index.add(name, f[name], rid)
+                        self.rindex.add(name, f[name], rid)
         else:
             with self._buffered_writes(canon):
                 applied = canon.insert_batch_applied(normalized)
@@ -568,6 +584,7 @@ class NFRStore:
                     if self.index is not None:
                         for name in self.schema.names:
                             self.index.remove(name, f[name], rid)
+                            self.rindex.remove(name, f[name], rid)
                     count += 1
             finally:
                 self.heap.delete_many(rids)
@@ -591,14 +608,21 @@ class NFRStore:
         mapping = self.heap.vacuum()
         # Vacuum is the compaction event: also drop the decode caches so
         # atoms/components that only long-deleted records used stop
-        # being retained.
-        self._atoms.clear()
+        # being retained.  Columnar streams opened before the vacuum
+        # keep their reference to the old dictionary, like they keep
+        # the old page list.
+        self._dict = AtomDict()
         self._vsets.clear()
         if mapping:
             for key, rid in list(self._rids.items()):
                 self._rids[key] = mapping.get(rid, rid)
             if self.index is not None:
                 self.index.remap_rids(mapping)
+            if self.rindex is not None:
+                # The range index keys record ids the same way; skipping
+                # this remap would leave window probes pointing at moved
+                # (or reused) slots after compaction.
+                self.rindex.remap_rids(mapping)
             self._notify_mutation()
         return {
             "records_moved": len(mapping),
@@ -619,13 +643,13 @@ class NFRStore:
         atom dictionary and the ValueSet hash-cons table: repeated atoms
         and repeated component sets come back as the same objects, with
         validation and hashing paid once."""
-        atoms = self._atoms
+        intern = self._dict.intern_typed
         typed = [(v.__class__, v) for v in values]
         key = frozenset(typed)
         cached = self._vsets.get(key)
         if cached is None:
             cached = ValueSet._from_frozenset(
-                frozenset(atoms.setdefault(t, t[1]) for t in typed)
+                frozenset(intern(t) for t in typed)
             )
             self._vsets[key] = cached
         return cached
@@ -726,7 +750,8 @@ class NFRStore:
         return (
             self.heap.stats.page_reads,
             self.heap.stats.records_visited,
-            self.index.lookups if self.index else 0,
+            (self.index.lookups if self.index else 0)
+            + (self.rindex.lookups if self.rindex else 0),
             self._bytes_decoded,
             self.heap.disk_reads(),
             self.heap.disk_writes(),
@@ -789,6 +814,136 @@ class NFRStore:
         for record in self.heap.iter_read(rids):
             yield self._tuple_from_record(record, proj)
 
+    def stream_range(
+        self,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        needed: Iterable[str] | None = None,
+    ) -> Iterator[NFRTuple]:
+        """Lazy :class:`RangeIndex` candidate fetch at the NFR-tuple
+        level: records whose component for ``attribute`` contains some
+        atom inside the window (callers recheck the full predicate)."""
+        if self.rindex is None:
+            raise StorageError("store was built without an index")
+        self.schema.require([attribute])
+        proj = self.projection_plan(needed)
+        rids = sorted(
+            self.rindex.range_lookup(
+                attribute, low, high, low_inclusive, high_inclusive
+            )
+        )
+        for record in self.heap.iter_read(rids):
+            yield self._tuple_from_record(record, proj)
+
+    # -- columnar streams ---------------------------------------------------------
+
+    def _column_batches(
+        self,
+        records: Iterator[bytes],
+        proj: tuple[tuple[int, ...], RelationSchema] | None,
+        batch_rows: int,
+    ) -> Iterator[ColumnBatch]:
+        """Assemble ColumnBatches of up to ``batch_rows`` rows straight
+        from record bytes, through the per-store dictionary.  Batches
+        are built without read-ahead (the loop pulls exactly the
+        records of the batch being assembled), so wrapping each
+        ``next()`` in a stats window bills I/O to the right stream."""
+        if proj is None:
+            indices: tuple[int, ...] = tuple(range(self.schema.degree))
+            schema = self.schema
+        else:
+            indices, schema = proj
+        names = schema.names
+        degree = self.schema.degree
+        wanted = frozenset(indices)
+        adict = self._dict
+        k = len(indices)
+        while True:
+            offsets: list[list[int]] = [[0] for _ in range(k)]
+            codes: list[list[int]] = [[] for _ in range(k)]
+            n = 0
+            nbytes = 0
+            for record in records:
+                runs, rb = decode_columns_partial(
+                    record, degree, wanted, adict
+                )
+                nbytes += rb
+                for j in range(k):
+                    run = runs[indices[j]]
+                    col = codes[j]
+                    col.extend(run)
+                    offsets[j].append(len(col))
+                n += 1
+                if n >= batch_rows:
+                    break
+            self._bytes_decoded += nbytes
+            if n == 0:
+                return
+            columns: list[tuple[list[int] | None, list[int]]] = []
+            for j in range(k):
+                if len(codes[j]) == n:
+                    columns.append((None, codes[j]))
+                else:
+                    columns.append((offsets[j], codes[j]))
+            yield ColumnBatch(names, n, columns, adict)
+            if n < batch_rows:
+                return
+
+    def stream_scan_columns(
+        self,
+        needed: Iterable[str] | None = None,
+        batch_rows: int = 256,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar full scan: :meth:`stream_scan` semantics, but the
+        rows come back dictionary-encoded in ColumnBatches."""
+        proj = self.projection_plan(needed)
+        records = (record for _, record in self.heap.scan())
+        yield from self._column_batches(records, proj, batch_rows)
+
+    def stream_probe_columns(
+        self,
+        atoms: Sequence[tuple[str, Any]],
+        needed: Iterable[str] | None = None,
+        batch_rows: int = 256,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar :meth:`stream_probe` (index-assisted candidates)."""
+        if self.index is None:
+            raise StorageError("store was built without an index")
+        for a, _ in atoms:
+            self.schema.require([a])
+        proj = self.projection_plan(needed)
+        rids = sorted(self.index.lookup_all(atoms))
+        yield from self._column_batches(
+            self.heap.iter_read(rids), proj, batch_rows
+        )
+
+    def stream_range_columns(
+        self,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        needed: Iterable[str] | None = None,
+        batch_rows: int = 256,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar :meth:`stream_range` (window candidates)."""
+        if self.rindex is None:
+            raise StorageError("store was built without an index")
+        self.schema.require([attribute])
+        proj = self.projection_plan(needed)
+        rids = sorted(
+            self.rindex.range_lookup(
+                attribute, low, high, low_inclusive, high_inclusive
+            )
+        )
+        yield from self._column_batches(
+            self.heap.iter_read(rids), proj, batch_rows
+        )
+
     def scan_tuples(
         self, needed: Iterable[str] | None = None
     ) -> tuple[list[NFRTuple], ScanStats]:
@@ -830,4 +985,7 @@ class NFRStore:
             "payload_bytes": self.heap.used_bytes(),
             "allocated_bytes": self.heap.allocated_bytes(),
             "index_postings": self.index.entry_count() if self.index else 0,
+            "range_postings": (
+                self.rindex.entry_count() if self.rindex else 0
+            ),
         }

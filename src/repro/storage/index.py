@@ -5,13 +5,22 @@ for that attribute *contains* the value.  For 1NF storage this is an
 ordinary secondary index; for NFR storage one entry covers every flat
 tuple the component represents — the indexed embodiment of the paper's
 "reduction of logical search space".
+
+Two flavours share the posting-list layout and maintenance API:
+
+- :class:`AtomIndex` — hash-only, answers equality/membership probes;
+- :class:`RangeIndex` — keeps a lazily rebuilt sorted run of the keys
+  per attribute, answering *window* probes (``lo <= value <= hi`` under
+  the library's total order) by bisection.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Any, Iterable
 
 from repro.storage.heap import RecordId
+from repro.util.ordering import sort_key
 
 
 class AtomIndex:
@@ -69,6 +78,157 @@ class AtomIndex:
 
     def entry_count(self) -> int:
         """Total (value -> rid) postings across all attributes."""
+        return sum(
+            len(rids)
+            for attr_map in self._maps.values()
+            for rids in attr_map.values()
+        )
+
+    def distinct_keys(self) -> int:
+        return sum(len(m) for m in self._maps.values())
+
+
+class RangeIndex:
+    """Ordered secondary index: posting lists plus a sorted key run.
+
+    The sorted-run design keeps DML O(1) per posting — mutations just
+    dirty the attribute's run — and rebuilds the run (O(k log k) in
+    distinct keys) on the first range probe afterwards, amortised over
+    all probes between mutations.  Window probes then cost two
+    bisections plus the union of the covered posting lists, i.e.
+    O(matches)."""
+
+    def __init__(self, attributes: Iterable[str]):
+        # Buckets key on ``(type, value)`` so 1 / 1.0 / True — equal and
+        # hash-alike in Python — keep their *own* sort positions: the
+        # total order of :func:`repro.util.ordering.sort_key` places
+        # bools before numbers, so collapsing them into one bucket
+        # would let window probes miss matching records.
+        self._maps: dict[str, dict[Any, set[RecordId]]] = {
+            a: {} for a in attributes
+        }
+        # attribute -> (sort keys, typed keys in that order), None ==
+        # dirty.
+        self._runs: dict[str, tuple[list, list] | None] = {
+            a: None for a in self._maps
+        }
+        self.lookups = 0
+
+    def add(self, attribute: str, value: Any, rid: RecordId) -> None:
+        attr_map = self._maps[attribute]
+        key = (value.__class__, value)
+        bucket = attr_map.get(key)
+        if bucket is None:
+            attr_map[key] = {rid}
+            self._runs[attribute] = None
+        else:
+            bucket.add(rid)
+
+    def add_component(
+        self, attribute: str, values: Iterable[Any], rid: RecordId
+    ) -> None:
+        for v in values:
+            self.add(attribute, v, rid)
+
+    def remove(self, attribute: str, value: Any, rid: RecordId) -> None:
+        key = (value.__class__, value)
+        bucket = self._maps[attribute].get(key)
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self._maps[attribute][key]
+                self._runs[attribute] = None
+
+    def remove_component(
+        self, attribute: str, values: Iterable[Any], rid: RecordId
+    ) -> None:
+        for v in values:
+            self.remove(attribute, v, rid)
+
+    def remap_rids(self, mapping: dict[RecordId, RecordId]) -> None:
+        """Rewrite record ids after the heap moved records (vacuum).
+        Ids absent from ``mapping`` are kept as-is.  The sorted runs
+        key on values, not rids, so they stay valid."""
+        for attr_map in self._maps.values():
+            for key, rids in attr_map.items():
+                if any(r in mapping for r in rids):
+                    attr_map[key] = {mapping.get(r, r) for r in rids}
+
+    def _run(self, attribute: str) -> tuple[list, list]:
+        run = self._runs[attribute]
+        if run is None:
+            keys = sorted(
+                self._maps[attribute], key=lambda k: sort_key(k[1])
+            )
+            run = ([sort_key(k[1]) for k in keys], keys)
+            self._runs[attribute] = run
+        return run
+
+    def _window(
+        self,
+        keys: list,
+        low: Any,
+        high: Any,
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> tuple[int, int]:
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect_left(keys, sort_key(low))
+        else:
+            start = bisect_right(keys, sort_key(low))
+        if high is None:
+            end = len(keys)
+        elif high_inclusive:
+            end = bisect_right(keys, sort_key(high))
+        else:
+            end = bisect_left(keys, sort_key(high))
+        return start, end
+
+    def range_lookup(
+        self,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> frozenset[RecordId]:
+        """Record ids whose component for ``attribute`` contains some
+        atom inside the window (None bounds are open)."""
+        self.lookups += 1
+        keys, values = self._run(attribute)
+        start, end = self._window(
+            keys, low, high, low_inclusive, high_inclusive
+        )
+        if start >= end:
+            return frozenset()
+        attr_map = self._maps[attribute]
+        out: set[RecordId] = set()
+        for v in values[start:end]:
+            out |= attr_map[v]
+        return frozenset(out)
+
+    def key_fraction(
+        self,
+        attribute: str,
+        low: Any,
+        high: Any,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> float | None:
+        """Fraction of this attribute's distinct keys inside the window
+        — the planner's selectivity estimate for literal bounds.  None
+        when the attribute has no keys.  Not billed as a lookup."""
+        keys, _ = self._run(attribute)
+        if not keys:
+            return None
+        start, end = self._window(
+            keys, low, high, low_inclusive, high_inclusive
+        )
+        return max(0, end - start) / len(keys)
+
+    def entry_count(self) -> int:
         return sum(
             len(rids)
             for attr_map in self._maps.values()

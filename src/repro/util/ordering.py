@@ -45,3 +45,29 @@ def sort_key(value: Any) -> tuple:
 def sorted_values(values: Iterable[Any]) -> list:
     """Sort mixed atomic values deterministically (see :func:`sort_key`)."""
     return sorted(values, key=sort_key)
+
+
+#: The comparison operators the query language supports.
+COMPARISON_OPS = ("<", "<=", ">", ">=")
+
+
+def range_test(op: str, value: Any):
+    """``atom -> bool`` test for ``atom OP value`` under this module's
+    total order (the semantics of every inequality in the library)."""
+    key = sort_key(value)
+    if op == "<":
+        return lambda v: sort_key(v) < key
+    if op == "<=":
+        return lambda v: sort_key(v) <= key
+    if op == ">":
+        return lambda v: sort_key(v) > key
+    if op == ">=":
+        return lambda v: sort_key(v) >= key
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def between_test(low: Any, high: Any):
+    """``atom -> bool`` test for ``low <= atom <= high`` (both bounds
+    inclusive, witnessed by the *same* atom)."""
+    lo, hi = sort_key(low), sort_key(high)
+    return lambda v: lo <= sort_key(v) <= hi

@@ -1,0 +1,349 @@
+"""Inequality predicates end to end: lexer and parser forms, the
+existential evaluation semantics, RangeIndex-backed RangeScan plans,
+parameter binding, and the vacuum/rid-remap regression."""
+
+import pytest
+
+from repro.cli import main
+from repro.planner import plan
+from repro.planner import physical as P
+from repro.query import Catalog, evaluate_naive, parse, run
+from repro.query import ast
+from repro.query.lexer import tokenize
+from repro.errors import ParseError
+from repro.relational import io as rio
+from repro.relational.relation import Relation
+from repro.relational.tuples import FlatTuple
+from repro.storage.engine import NFRStore
+from repro.workloads.synthetic import random_relation
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_rows(
+        ["Student", "Score", "Club"],
+        [
+            ("s1", 55, "b1"),
+            ("s2", 70, "b1"),
+            ("s3", 85, "b2"),
+            ("s4", 92, "b2"),
+        ],
+    )
+
+
+@pytest.fixture
+def catalog(rel):
+    cat = Catalog()
+    cat.register("R", rel)
+    return cat
+
+
+class TestLexerComparisons:
+    def test_operator_tokens(self):
+        kinds = [t.kind for t in tokenize("a < 1 <= 2 > b >= 3")]
+        assert kinds == [
+            "IDENT", "<", "NUMBER", "<=", "NUMBER", ">", "IDENT",
+            ">=", "NUMBER",
+        ]
+
+    def test_no_space_needed(self):
+        kinds = [t.kind for t in tokenize("A<=3")]
+        assert kinds == ["IDENT", "<=", "NUMBER"]
+
+    def test_between_is_keyword(self):
+        toks = tokenize("between BETWEEN")
+        assert all(t.kind == "KEYWORD" and t.value == "BETWEEN" for t in toks)
+
+
+class TestParserComparisons:
+    def test_comparison_forms(self):
+        for op in ("<", "<=", ">", ">="):
+            node = parse(f"SELECT R WHERE Score {op} 70")
+            assert node == ast.Select(
+                ast.Name("R"), ast.Comparison("Score", op, 70)
+            )
+
+    def test_between_form(self):
+        node = parse("SELECT R WHERE Score BETWEEN 60 AND 90")
+        assert node == ast.Select(
+            ast.Name("R"), ast.Between("Score", 60, 90)
+        )
+
+    def test_between_binds_and_eagerly(self):
+        # The first AND closes the BETWEEN; the second one conjoins.
+        node = parse(
+            "SELECT R WHERE Score BETWEEN 60 AND 90 AND Club CONTAINS 'b1'"
+        )
+        assert node == ast.Select(
+            ast.Name("R"),
+            ast.And(
+                ast.Between("Score", 60, 90),
+                ast.Contains("Club", "b1"),
+            ),
+        )
+
+    def test_between_missing_and_is_error(self):
+        with pytest.raises(ParseError):
+            parse("SELECT R WHERE Score BETWEEN 60, 90")
+
+    def test_comparison_needs_literal(self):
+        with pytest.raises(ParseError):
+            parse("SELECT R WHERE Score < <")
+
+    def test_parameters_in_window_positions(self):
+        node = parse("SELECT R WHERE Score BETWEEN ? AND :hi")
+        cond = node.condition
+        assert cond == ast.Between("Score", ast.Parameter(0), ast.Parameter("hi"))
+
+
+class TestEvaluationSemantics:
+    QUERIES = [
+        "SELECT R WHERE Score < 85",
+        "SELECT R WHERE Score <= 85",
+        "SELECT R WHERE Score > 85",
+        "SELECT R WHERE Score >= 85",
+        "SELECT R WHERE Score BETWEEN 60 AND 90",
+        "SELECT R WHERE Score >= 60 AND Score <= 90",
+        "SELECT R WHERE Score > 55 AND Club CONTAINS 'b1'",
+        "SELECT R WHERE Student >= 's2' AND Student < 's4'",
+    ]
+
+    def test_naive_results(self, catalog):
+        out = evaluate_naive(parse("SELECT R WHERE Score < 85"), catalog)
+        assert {t["Student"].only for t in out} == {"s1", "s2"}
+        out = evaluate_naive(
+            parse("SELECT R WHERE Score BETWEEN 70 AND 85"), catalog
+        )
+        assert {t["Student"].only for t in out} == {"s2", "s3"}
+
+    def test_planned_matches_naive(self, catalog):
+        for q in self.QUERIES:
+            assert run(q, catalog) == evaluate_naive(parse(q), catalog), q
+
+    def test_planned_matches_naive_after_analyze(self, catalog):
+        run("ANALYZE R", catalog)
+        for q in self.QUERIES:
+            assert run(q, catalog) == evaluate_naive(parse(q), catalog), q
+
+    @pytest.fixture
+    def nested_catalog(self, catalog):
+        # Nesting by Score groups rows agreeing on (Student, Club):
+        # s1 carries {55, 70}, s3 carries {85, 92}.
+        scores = Relation.from_rows(
+            ["Student", "Score", "Club"],
+            [
+                ("s1", 55, "b1"),
+                ("s1", 70, "b1"),
+                ("s3", 85, "b2"),
+                ("s3", 92, "b2"),
+            ],
+        )
+        catalog.register("S", scores)
+        run("LET N = NEST S BY (Score)", catalog)
+        assert catalog.get("N").cardinality == 2
+        return catalog
+
+    def test_existential_over_set_valued_component(self, nested_catalog):
+        # s1 holds {55, 70}: "some atom < 60" holds via 55 even though
+        # 70 fails it; "some atom in [60, 75]" holds via 70.
+        low = run("SELECT N WHERE Score < 60", nested_catalog)
+        assert {t["Club"].only for t in low} == {"b1"}
+        mid = run("SELECT N WHERE Score BETWEEN 60 AND 75", nested_catalog)
+        assert {t["Club"].only for t in mid} == {"b1"}
+        naive = evaluate_naive(
+            parse("SELECT N WHERE Score BETWEEN 60 AND 75"), nested_catalog
+        )
+        assert mid == naive
+
+    def test_between_needs_single_witness(self, nested_catalog):
+        # On a set-valued component, BETWEEN lo AND hi is *not* the
+        # conjunction of >= lo and <= hi: the conjunction may be
+        # witnessed by two different atoms.
+        between = run(
+            "SELECT N WHERE Score BETWEEN 87 AND 89", nested_catalog
+        )
+        assert between.cardinality == 0
+        split = run(
+            "SELECT N WHERE Score >= 87 AND Score <= 89", nested_catalog
+        )
+        # s3 holds {85, 92}: 92 witnesses >= 87, 85 witnesses <= 89.
+        assert {t["Club"].only for t in split} == {"b2"}
+
+    def test_mixed_type_ordering(self, catalog):
+        # The library total order sorts bools before numbers and
+        # numbers before strings; comparisons never raise on mixed rows.
+        mixed = Relation.from_rows(
+            ["K", "V"], [("k1", 5), ("k2", "five"), ("k3", True)]
+        )
+        catalog.register("M", mixed)
+        out = run("SELECT M WHERE V < 100", catalog)
+        assert {t["K"].only for t in out} == {"k1", "k3"}
+        assert out == evaluate_naive(parse("SELECT M WHERE V < 100"), catalog)
+
+
+class TestRangeScanPlans:
+    @pytest.fixture
+    def big_catalog(self):
+        cat = Catalog()
+        cat.register(
+            "Big",
+            random_relation(["A", "B", "C"], 2000, domain_size=40, seed=7),
+            mode="1nf",
+        )
+        run("ANALYZE Big", cat)
+        return cat
+
+    def test_range_scan_chosen_for_selective_window(self, big_catalog):
+        text = run(
+            "EXPLAIN SELECT Big WHERE A < 'a1'", big_catalog
+        ).to_table()
+        assert "RangeScan" in text
+        assert "RangeIndex(A)" in text
+        assert "range=[-inf, 'a1')" in text
+
+    def test_range_scan_matches_heap_scan(self, big_catalog):
+        for q in (
+            "SELECT Big WHERE A < 'a1'",
+            "SELECT Big WHERE A >= 'a38'",
+            "SELECT Big WHERE A BETWEEN 'a1' AND 'a12'",
+        ):
+            node = parse(q)
+            ranged = plan(node, big_catalog).execute()
+            heap = plan(node, big_catalog, use_index=False).execute()
+            assert ranged == heap, q
+
+    def test_range_scan_reads_fewer_pages(self, big_catalog):
+        node = parse("SELECT Big WHERE A < 'a1'")
+        ranged = plan(node, big_catalog)
+        assert isinstance(ranged.root, P.RangeScan)
+        ranged.execute()
+        heap = plan(node, big_catalog, use_index=False)
+        heap.execute()
+        assert ranged.root.total_pages_read() < heap.root.total_pages_read()
+        assert ranged.root.total_index_lookups() >= 1
+
+    def test_unselective_window_stays_on_heap(self, big_catalog):
+        text = run(
+            "EXPLAIN SELECT Big WHERE A >= 'a0'", big_catalog
+        ).to_table()
+        assert "HeapScan" in text
+        assert "RangeScan" not in text
+
+    def test_forced_index_on_pure_inequality_uses_range_scan(
+        self, big_catalog
+    ):
+        # Regression: window conjuncts contribute no AtomIndex probe
+        # atoms.  With use_index forced, the planner must not emit an
+        # IndexScan with an empty probe list (its candidate set would
+        # be empty) — it routes to the RangeIndex instead.
+        node = parse("SELECT Big WHERE A < 'a1'")
+        forced = plan(node, big_catalog, use_index=True)
+        assert isinstance(forced.root, P.RangeScan)
+        assert forced.execute() == evaluate_naive(node, big_catalog)
+
+    def test_equality_conjunct_still_prefers_atom_index(self, big_catalog):
+        text = run(
+            "EXPLAIN SELECT Big WHERE A = 'a3' AND B < 'b2'", big_catalog
+        ).to_table()
+        assert "IndexScan" in text
+
+    def test_two_sided_window_merges_on_flat_attribute(self, big_catalog):
+        node = parse("SELECT Big WHERE A >= 'a1' AND A <= 'a12'")
+        physical = plan(node, big_catalog)
+        assert isinstance(physical.root, P.RangeScan)
+        b = physical.root.bounds
+        assert (b.low, b.high) == ("a1", "a12")
+        assert physical.execute() == evaluate_naive(node, big_catalog)
+
+    def test_parameterized_window_binds_per_execution(self, big_catalog):
+        from repro.query.params import collect_parameters, make_binding
+
+        node = parse("SELECT Big WHERE A < ?")
+        physical = plan(node, big_catalog)
+        slots = collect_parameters(node)
+        for hi in ("a1", "a3"):
+            physical.params.bind(make_binding(slots, [hi]))
+            got = physical.execute()
+            want = evaluate_naive(parse(f"SELECT Big WHERE A < '{hi}'"),
+                                  big_catalog)
+            assert got == want, hi
+
+    def test_explain_analyze_shows_batch_format(self, big_catalog):
+        text = run(
+            "EXPLAIN ANALYZE SELECT Big WHERE A < 'a1'", big_catalog
+        ).to_table()
+        assert "batch=codes" in text
+        assert "RangeScan" in text
+
+
+class TestRangeIndexMaintenance:
+    def _store(self, rel):
+        return NFRStore.from_relation(rel, order=list(rel.schema.names))
+
+    def test_vacuum_remaps_range_index_rids(self, rel):
+        # Regression: vacuum moves records to new rids; the RangeIndex
+        # postings must be remapped exactly like the AtomIndex ones, or
+        # a post-vacuum window probe returns rids pointing at freed
+        # slots.
+        store = self._store(rel)
+        victims = [
+            FlatTuple(rel.schema, ["s1", 55, "b1"]),
+            FlatTuple(rel.schema, ["s2", 70, "b1"]),
+        ]
+        store.delete_batch(victims)
+        summary = store.vacuum()
+        assert summary["pages_after"] <= summary["pages_before"]
+        got = {
+            t["Student"].only
+            for t in store.stream_range("Score", 80, None, True, True)
+        }
+        assert got == {"s3", "s4"}
+
+    def test_range_probe_open_across_vacuum_window(self, rel):
+        store = self._store(rel)
+        before = set(store.stream_range("Score", None, 90, True, True))
+        store.delete_batch([FlatTuple(rel.schema, ["s1", 55, "b1"])])
+        store.vacuum()
+        after = set(store.stream_range("Score", None, 90, True, True))
+        assert {t["Student"].only for t in after} == {"s2", "s3"}
+        assert after < before
+
+    def test_dml_keeps_range_index_current(self, rel):
+        store = self._store(rel)
+        store.insert_flat(FlatTuple(rel.schema, ["s5", 40, "b3"]))
+        got = {
+            t["Student"].only
+            for t in store.stream_range("Score", None, 50, True, True)
+        }
+        assert got == {"s5"}
+        store.delete_flat(FlatTuple(rel.schema, ["s5", 40, "b3"]))
+        assert (
+            list(store.stream_range("Score", None, 50, True, True)) == []
+        )
+
+
+class TestCliPlanLine:
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        rel = Relation.from_rows(
+            ["Student", "Course", "Club"],
+            [("s1", "c1", "b1"), ("s1", "c2", "b1"), ("s2", "c1", "b2")],
+        )
+        path = tmp_path / "enrollment.txt"
+        path.write_text(rio.dumps(rel))
+        return str(path)
+
+    def test_query_stats_prints_plan_shape(self, data_file, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT E WHERE Student < 's2'",
+                "--load",
+                f"E={data_file}",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- plan:" in out
+        assert "[codes]" in out

@@ -1,5 +1,7 @@
 """Tests for repro.storage.index."""
 
+import pytest
+
 from repro.storage.index import AtomIndex
 
 
@@ -55,3 +57,107 @@ class TestAtomIndex:
         idx.lookup("A", "x")
         idx.lookup("A", "y")
         assert idx.lookups == 2
+
+
+class TestRangeIndex:
+    def _index(self):
+        from repro.storage.index import RangeIndex
+
+        idx = RangeIndex(["A", "B"])
+        idx.add("A", 10, (0, 0))
+        idx.add("A", 20, (0, 1))
+        idx.add("A", 30, (1, 0))
+        idx.add("A", 20, (1, 1))
+        return idx
+
+    def test_window_lookup(self):
+        idx = self._index()
+        assert idx.range_lookup("A", 15, 25) == {(0, 1), (1, 1)}
+        assert idx.range_lookup("A", low=20) == {(0, 1), (1, 0), (1, 1)}
+        assert idx.range_lookup("A", high=10) == {(0, 0)}
+
+    def test_open_bounds_cover_everything(self):
+        idx = self._index()
+        assert len(idx.range_lookup("A")) == 4
+
+    def test_inclusivity(self):
+        idx = self._index()
+        assert idx.range_lookup("A", 20, 30, low_inclusive=False) == {
+            (1, 0)
+        }
+        assert idx.range_lookup("A", 10, 20, high_inclusive=False) == {
+            (0, 0)
+        }
+
+    def test_empty_window(self):
+        idx = self._index()
+        assert idx.range_lookup("A", 21, 29) == frozenset()
+        assert idx.range_lookup("B", 0, 100) == frozenset()
+
+    def test_remove_shrinks_window(self):
+        idx = self._index()
+        idx.remove("A", 20, (0, 1))
+        assert idx.range_lookup("A", 15, 25) == {(1, 1)}
+        idx.remove("A", 20, (1, 1))
+        assert idx.range_lookup("A", 15, 25) == frozenset()
+
+    def test_run_rebuilt_after_mutation(self):
+        idx = self._index()
+        assert idx.range_lookup("A", high=15) == {(0, 0)}
+        idx.add("A", 5, (2, 0))
+        assert idx.range_lookup("A", high=15) == {(0, 0), (2, 0)}
+
+    def test_lookup_counter(self):
+        idx = self._index()
+        idx.range_lookup("A", 0, 100)
+        idx.range_lookup("A", 0, 1)
+        assert idx.lookups == 2
+
+    def test_key_fraction(self):
+        idx = self._index()
+        assert idx.key_fraction("A", 15, 25) == pytest.approx(1 / 3)
+        assert idx.key_fraction("A", None, None) == 1.0
+        assert idx.key_fraction("B", 0, 1) is None
+
+    def test_key_fraction_not_billed_as_lookup(self):
+        idx = self._index()
+        idx.key_fraction("A", 0, 100)
+        assert idx.lookups == 0
+
+    def test_remap_rids(self):
+        idx = self._index()
+        idx.remap_rids({(1, 0): (0, 2), (1, 1): (0, 3)})
+        assert idx.range_lookup("A", 25, 35) == {(0, 2)}
+        assert idx.range_lookup("A", 15, 25) == {(0, 1), (0, 3)}
+
+    def test_numeric_types_keep_their_sort_positions(self):
+        # 1 / 1.0 / True hash alike in Python; the index must keep them
+        # apart because the library total order sorts bools *before*
+        # numbers — collapsed buckets would make window probes miss.
+        from repro.storage.index import RangeIndex
+
+        idx = RangeIndex(["A"])
+        idx.add("A", True, (0, 0))
+        idx.add("A", 0, (0, 1))
+        idx.add("A", 1, (0, 2))
+        assert idx.range_lookup("A", low=1) == {(0, 2)}
+        assert idx.range_lookup("A", high=0) == {(0, 0), (0, 1)}
+
+    def test_mixed_types_sort_without_error(self):
+        from repro.storage.index import RangeIndex
+
+        idx = RangeIndex(["A"])
+        idx.add("A", "x", (0, 0))
+        idx.add("A", 7, (0, 1))
+        idx.add("A", None, (0, 2))
+        idx.add("A", 7.0, (0, 3))
+        # None < numbers < strings under the library order; 7 and 7.0
+        # share a sort position but keep distinct buckets.
+        assert idx.range_lookup("A", high=0) == {(0, 2)}
+        assert idx.range_lookup("A", 5, 10) == {(0, 1), (0, 3)}
+        assert idx.range_lookup("A", low="a") == {(0, 0)}
+
+    def test_entry_and_key_counts(self):
+        idx = self._index()
+        assert idx.entry_count() == 4
+        assert idx.distinct_keys() == 3
