@@ -1,0 +1,227 @@
+"""OBS-OVERHEAD — cost of the observability layer.
+
+The tentpole claim of the observability subsystem is that it is free
+when you are not looking: with tracing **disabled** (``enabled=False``
+on the hub) the cursor execution path adds at most a few attribute
+reads per statement, so a scan-heavy workload through a ``Database``
+with tracing off must run within 5% of the *identical* facade workload
+with the observer detached from the catalog entirely
+(``catalog.observer = None`` — the pre-observability configuration).
+The enabled cost (trace objects, span diffs) and the fully
+instrumented cost (per-operator wall timing) are reported alongside
+for context but not gated — they are the price of looking.  A bare
+catalog streamed straight through the planner is also reported to show
+what the facade itself (cursor, dedup, statement cache) costs.
+
+Besides the usual ``benchmarks/results/<id>.txt`` report, the headline
+numbers land in ``benchmarks/results/BENCH_observability.json`` for the
+CI artifact.
+
+Set ``BENCH_SMOKE=1`` to run a tiny CI-sized configuration.
+"""
+
+import json
+import math
+import os
+import pathlib
+import time
+
+import repro.db as db
+from repro.analysis.report import ExperimentReport
+from repro.planner import plan
+from repro.query import Catalog, parse
+from repro.query.evaluator import stream_plan
+from repro.workloads.synthetic import random_relation
+
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+ROWS = 2000 if _SMOKE else 8000
+DOMAIN = 24
+REPEAT = 5 if _SMOKE else 7
+#: OBS-OVERHEAD acceptance bound: tracing-disabled facade vs bare catalog.
+MAX_DISABLED_OVERHEAD = 1.05
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SQL = "SELECT R WHERE A CONTAINS 'a1'"
+
+
+def _best_seconds(fn, repeat=REPEAT):
+    best = math.inf
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _write_json(section: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_observability.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _relation():
+    return random_relation(["A", "B", "C"], ROWS, DOMAIN, seed=23)
+
+
+def test_observability_overhead(benchmark, report_sink):
+    """OBS-OVERHEAD: tracing disabled costs <=5% vs no observer."""
+    # Context row: a bare catalog streamed directly through the planner
+    # — no Database, no cursor, no dedup.  Shows the facade's own cost.
+    bare = Catalog()
+    bare.register("R", _relation(), mode="1nf")
+    expr = parse(SQL)
+    bare_plan = plan(expr, bare)
+
+    def bare_stream():
+        total = 0
+        for batch in stream_plan(bare_plan, bare):
+            total += len(batch)
+        return total
+
+    # Facade paths: same data behind a Database connection, with the
+    # observer detached / tracing off / on / on with operator timing.
+    conn = db.connect()
+    database = conn.database
+    database.register("R", _relation(), mode="1nf")
+    conn.execute(SQL).fetchall()  # warm the plan and statement caches
+
+    def facade():
+        return len(conn.execute(SQL).fetchall())
+
+    expected = facade()
+    assert bare_stream() >= expected  # stream is pre-dedup
+
+    def measure_pair():
+        # Baseline: the identical workload with no observer attached to
+        # the catalog at all — the pre-observability configuration.
+        database.catalog.observer = None
+        baseline = _best_seconds(facade)
+        database.catalog.observer = database.obs
+        database.set_tracing(enabled=False)
+        disabled = _best_seconds(facade)
+        return baseline, disabled
+
+    baseline_seconds, disabled_seconds = measure_pair()
+    ratio = disabled_seconds / baseline_seconds if baseline_seconds else 1.0
+    if ratio > MAX_DISABLED_OVERHEAD:
+        # One retry absorbs a noisy-neighbour measurement before the
+        # check fails a CI run.
+        baseline_seconds, disabled_seconds = measure_pair()
+        ratio = (
+            disabled_seconds / baseline_seconds if baseline_seconds else 1.0
+        )
+
+    bare_seconds = _best_seconds(bare_stream)
+    database.set_tracing(enabled=True)
+    enabled_seconds = _best_seconds(facade)
+    database.set_tracing(operator_timing=True)
+    timed_seconds = _best_seconds(facade)
+    database.set_tracing(enabled=False, operator_timing=False)
+
+    benchmark(facade)
+
+    traced_ratio = (
+        enabled_seconds / disabled_seconds if disabled_seconds else 1.0
+    )
+
+    report = ExperimentReport(
+        experiment_id="OBS-OVERHEAD",
+        title="Observability overhead on a scan-heavy workload",
+        paper_claim=(
+            "per-query tracing hooks cost nothing when disabled: the "
+            "facade with tracing off runs within 5% of the identical "
+            "workload with no observer attached to the catalog"
+        ),
+        headers=["path", "seconds", "vs no observer"],
+    )
+    report.add_row(
+        "facade, no observer", f"{baseline_seconds:.4f}", "1.00x"
+    )
+    report.add_row(
+        "facade, tracing disabled",
+        f"{disabled_seconds:.4f}",
+        f"{ratio:.2f}x",
+    )
+    report.add_row(
+        "facade, tracing enabled",
+        f"{enabled_seconds:.4f}",
+        f"{enabled_seconds / baseline_seconds:.2f}x"
+        if baseline_seconds
+        else "n/a",
+    )
+    report.add_row(
+        "facade, operator timing",
+        f"{timed_seconds:.4f}",
+        f"{timed_seconds / baseline_seconds:.2f}x"
+        if baseline_seconds
+        else "n/a",
+    )
+    report.add_row(
+        "bare catalog stream (no facade)",
+        f"{bare_seconds:.4f}",
+        f"{bare_seconds / baseline_seconds:.2f}x"
+        if baseline_seconds
+        else "n/a",
+    )
+    report.add_check(
+        "tracing-disabled overhead <= 5%", ratio <= MAX_DISABLED_OVERHEAD
+    )
+    report.add_check(
+        "facade returns the expected rows", facade() == expected
+    )
+    report_sink(report)
+    _write_json(
+        "OBS-OVERHEAD",
+        {
+            "rows": ROWS,
+            "baseline_seconds": baseline_seconds,
+            "disabled_seconds": disabled_seconds,
+            "enabled_seconds": enabled_seconds,
+            "operator_timing_seconds": timed_seconds,
+            "bare_stream_seconds": bare_seconds,
+            "disabled_overhead": ratio,
+            "enabled_over_disabled": traced_ratio,
+            "bound": MAX_DISABLED_OVERHEAD,
+        },
+    )
+    assert report.passed, report.render()
+
+
+def test_metrics_scrape_cost(benchmark, report_sink):
+    """OBS-SCRAPE: a registry exposition is milliseconds, not seconds."""
+    conn = db.connect()
+    conn.database.register("R", _relation(), mode="1nf")
+    for _ in range(5):
+        conn.execute(SQL).fetchall()
+    database = conn.database
+
+    def scrape():
+        return database.metrics_text()
+
+    text = benchmark(scrape)
+    seconds = _best_seconds(scrape)
+
+    report = ExperimentReport(
+        experiment_id="OBS-SCRAPE",
+        title="Prometheus exposition cost",
+        paper_claim=(
+            "pull-model collectors refresh every instrument at scrape "
+            "time; a full exposition stays well under a millisecond "
+            "budget per series"
+        ),
+        headers=["measure", "value"],
+    )
+    lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+    report.add_row("series", len(lines))
+    report.add_row("seconds per scrape", f"{seconds:.5f}")
+    report.add_check("exposition has series", len(lines) > 5)
+    report.add_check("scrape under 50ms", seconds < 0.050)
+    report_sink(report)
+    _write_json(
+        "OBS-SCRAPE",
+        {"series": len(lines), "seconds": seconds},
+    )
+    assert report.passed, report.render()

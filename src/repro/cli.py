@@ -15,8 +15,11 @@ Usage::
 ``--db PATH`` opens (or creates) an on-disk database: relations loaded
 with ``--load`` and every committed statement persist across runs, and
 a crashed run recovers through the write-ahead log on the next open.
-Inside the REPL, ``.open PATH`` switches to another database file and
-``.checkpoint`` folds the WAL into the data file on demand.
+Inside the REPL, ``.open PATH`` switches to another database file,
+``.checkpoint`` folds the WAL into the data file on demand, and
+``.metrics`` / ``.slow`` print the observability hub's metrics registry
+and slow-query log (``MONITOR [section]`` is the statement-level
+equivalent).
 
 The CLI runs entirely through the embedded facade (:mod:`repro.db`):
 each command opens a :class:`~repro.db.database.Database`, registers the
@@ -138,7 +141,9 @@ def _cmd_repl(args: argparse.Namespace) -> int:
         "shows query plans, ANALYZE <name> collects statistics; "
         "BEGIN/COMMIT/ROLLBACK scope transactions; '.open PATH' "
         "switches to an on-disk database, '.checkpoint' folds its WAL "
-        "into the data file."
+        "into the data file; '.metrics' dumps the metrics registry, "
+        "'.slow' the slow-query log (MONITOR "
+        "[metrics|traces|slow|workload] works as a statement too)."
     )
     if database.durable:
         print(f"database: {database.path}")
@@ -185,6 +190,12 @@ def _cmd_repl(args: argparse.Namespace) -> int:
                     f"database: {database.path} — catalog: "
                     f"{', '.join(conn.catalog.names()) or '(empty)'}"
                 )
+                continue
+            if line.lower() in (".metrics", "metrics"):
+                print(database.obs.render("metrics"))
+                continue
+            if line.lower() in (".slow", "slow"):
+                print(database.obs.render("slow"))
                 continue
             if line.lower() in (".checkpoint", "checkpoint"):
                 if not database.durable:

@@ -50,12 +50,17 @@ class Connection:
         self._database = database
         self._plan_cache = PlanCache(plan_cache_size)
         self._ast_cache = PlanCache(AST_CACHE_SIZE)
+        # shape -> statistics version of its cached plan, so a version
+        # bump turns the stale entry into a counted invalidation rather
+        # than dead weight aging out of the LRU.
+        self._plan_versions: dict[ast.Expression, int] = {}
         self._closed = False
         # The catalog's transaction scope is shared by every connection
         # on the database; this flag marks whether *this* session opened
         # the current one, so close()/commit()/rollback()/__exit__ never
         # end a transaction another session owns.
         self._owns_transaction = False
+        database._register_connection(self)
 
     # -- introspection ---------------------------------------------------------
 
@@ -99,12 +104,21 @@ class Connection:
 
     def _plan_for(self, node: ast.Expression) -> PhysicalPlan:
         """The cached physical plan for an expression shape, planning
-        (and caching) on first use per statistics version."""
-        key = (node, self.catalog.stats_version)
+        (and caching) on first use per statistics version.  Replanning a
+        shape whose statistics moved discards the stale entry, counted
+        as an invalidation on the cache."""
+        version = self.catalog.stats_version
+        key = (node, version)
         cached = self._plan_cache.get(key)
         if cached is None:
+            stale = self._plan_versions.get(node)
+            if stale is not None and stale != version:
+                self._plan_cache.discard((node, stale))
             cached = plan(node, self.catalog)
             self._plan_cache.put(key, cached)
+            if len(self._plan_versions) >= 4 * self._plan_cache.capacity:
+                self._plan_versions.clear()
+            self._plan_versions[node] = version
         return cached
 
     # -- cursors and execution -------------------------------------------------
@@ -205,8 +219,10 @@ class Connection:
         if self.catalog.in_transaction and self._owns_transaction:
             self.catalog.rollback()
             self._owns_transaction = False
+        self._database._retire_connection(self)
         self._plan_cache.clear()
         self._ast_cache.clear()
+        self._plan_versions.clear()
         self._closed = True
 
     def __enter__(self) -> "Connection":
@@ -250,7 +266,8 @@ class PreparedStatement:
         """Bind ``params`` and execute, returning a new cursor."""
         cursor = self._connection.cursor()
         return cursor._execute_node(
-            self.node, params, parameters=self.parameters
+            self.node, params, parameters=self.parameters,
+            statement=self.text,
         )
 
     def __repr__(self) -> str:

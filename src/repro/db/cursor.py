@@ -14,11 +14,21 @@ operation is recorded for ``ROLLBACK``.  ``executemany`` batches
 INSERTs through :meth:`~repro.storage.engine.NFRStore.insert_many`
 (one batched page-write pass instead of one per statement);
 ``executescript`` runs a ``;``-separated script statement by statement.
+
+When the database's observability hub is enabled the cursor is also the
+trace producer: every top-level ``execute`` builds a
+:class:`~repro.obs.trace.QueryTrace` with parse/plan/execute timings
+(queries additionally carry a per-operator span tree diffed off the
+cached plan's actuals) and records it when the result stream ends.
+``executescript`` and ``executemany`` record **one** trace whose ``io``
+window is the catalog's running total across every inner statement —
+not just the last one, which is all ``Catalog.last_io`` remembers.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter, time
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.nfr_relation import NFRelation
@@ -29,6 +39,12 @@ from repro.db.exceptions import (
     translating_engine_errors,
 )
 from repro.errors import BindingError
+from repro.obs.trace import (
+    QueryTrace,
+    enable_timing,
+    snapshot_plan,
+    spans_from_plan,
+)
 from repro.planner.explain import ExplainResult
 from repro.query import ast
 from repro.query.evaluator import evaluate, stream_plan
@@ -40,8 +56,26 @@ from repro.query.params import (
 )
 from repro.query.parser import parse_script
 from repro.relational.tuples import FlatTuple
+from repro.util.counters import OperationDelta
 
 Row = tuple
+
+#: Trace ``kind`` per statement node type.
+_STATEMENT_KINDS = {
+    ast.Let: "let",
+    ast.InsertValues: "insert",
+    ast.DeleteValues: "delete",
+    ast.Explain: "explain",
+    ast.AnalyzeStmt: "analyze",
+    ast.Monitor: "monitor",
+    ast.Begin: "begin",
+    ast.Commit: "commit",
+    ast.Rollback: "rollback",
+}
+
+
+def _statement_kind(node: ast.Node) -> str:
+    return _STATEMENT_KINDS.get(type(node), type(node).__name__.lower())
 
 
 class Cursor:
@@ -93,17 +127,30 @@ class Cursor:
         cursor itself, so results chain: ``for row in
         conn.execute(...)``."""
         self._check_open()
-        return self._execute_node(self._connection._parse(sql), params)
+        obs = self._connection.catalog.observer
+        if obs is None or not obs.enabled:
+            return self._execute_node(self._connection._parse(sql), params)
+        t0 = perf_counter()
+        node = self._connection._parse(sql)
+        parse_s = perf_counter() - t0
+        return self._execute_node(
+            node, params, statement=sql, parse_s=parse_s
+        )
 
     def _execute_node(
         self,
         node: ast.Node,
         params: Sequence[Any] | Mapping[str, Any] | None,
         parameters: tuple[ast.Parameter, ...] | None = None,
+        statement: str | None = None,
+        parse_s: float = 0.0,
+        record: bool = True,
     ) -> "Cursor":
         self._check_open()
         self._reset()
         catalog = self._connection.catalog
+        obs = catalog.observer
+        tracing = record and obs is not None and obs.enabled
         if parameters is None:
             # A prepared statement passes its precomputed placeholder
             # list; ad-hoc execution collects it here.
@@ -113,9 +160,43 @@ class Cursor:
         except BindingError as exc:
             raise ProgrammingError(str(exc)) from exc
         if isinstance(node, ast.Expression):
-            physical = self._connection._plan_for(node)
+            if not tracing:
+                physical = self._connection._plan_for(node)
+                self._schema = physical.root.output_schema()
+                self._batches = self._bound_stream(physical, binding)
+                self._set_description(self._schema.names)
+                return self
+            cache = self._connection.plan_cache
+            hits_before = cache.hits
+            started = time()
+            t0 = perf_counter()
+            try:
+                physical = self._connection._plan_for(node)
+            except Exception as exc:
+                trace = QueryTrace(
+                    statement=statement,
+                    kind="query",
+                    started_at=started,
+                    parse_s=parse_s,
+                    plan_s=perf_counter() - t0,
+                    shape=node,
+                )
+                trace.error = f"{type(exc).__name__}: {exc}"
+                trace.complete = False
+                obs.record(trace)
+                raise
+            plan_s = perf_counter() - t0
+            trace = QueryTrace(
+                statement=statement,
+                kind="query",
+                started_at=started,
+                parse_s=parse_s,
+                plan_s=plan_s,
+                shape=node,
+                cached_plan=cache.hits > hits_before,
+            )
             self._schema = physical.root.output_schema()
-            self._batches = self._bound_stream(physical, binding)
+            self._batches = self._traced_stream(physical, binding, trace, obs)
             self._set_description(self._schema.names)
             return self
         bound = bind_node(node, binding)
@@ -128,8 +209,30 @@ class Cursor:
                 "transaction was opened by another session"
             )
         previous_io = catalog.last_io
-        with translating_engine_errors():
-            result = evaluate(bound, catalog)
+        trace = None
+        io_before = None
+        if tracing:
+            trace = QueryTrace(
+                statement=statement,
+                kind=_statement_kind(node),
+                started_at=time(),
+                parse_s=parse_s,
+                shape=node,
+            )
+            io_before = catalog.io_totals
+            t0 = perf_counter()
+        try:
+            with translating_engine_errors():
+                result = evaluate(bound, catalog)
+        except Exception as exc:
+            if trace is not None:
+                trace.execute_s = perf_counter() - t0
+                self._finish_statement_trace(
+                    trace, obs, io_before, error=exc
+                )
+            raise
+        if trace is not None:
+            trace.execute_s = perf_counter() - t0
         self._connection._note_transaction_statement(node)
         if isinstance(result, ExplainResult):
             self._explain = result
@@ -143,7 +246,36 @@ class Cursor:
                     if io is not None and io is not previous_io
                     else 0
                 )
+        if trace is not None:
+            if self.rowcount >= 0:
+                trace.rows = self.rowcount
+            elif self._relation is not None:
+                trace.rows = len(self._relation)
+            self._finish_statement_trace(trace, obs, io_before)
         return self
+
+    def _finish_statement_trace(
+        self, trace, obs, io_before, error=None, statements=None
+    ) -> None:
+        """Close out a non-streaming trace: the I/O window is the
+        :attr:`~repro.query.catalog.Catalog.io_totals` delta, which
+        accumulates *every* statement's accounting (``last_io`` only
+        remembers the final statement of a script)."""
+        catalog = self._connection.catalog
+        io = catalog.io_totals - io_before
+        trace.io = io
+        if io.compositions or io.decompositions or io.tuple_probes:
+            trace.ops = OperationDelta(
+                compositions=io.compositions,
+                decompositions=io.decompositions,
+                tuple_probes=io.tuple_probes,
+            )
+        if statements is not None:
+            trace.statements = statements
+        if error is not None:
+            trace.error = f"{type(error).__name__}: {error}"
+            trace.complete = False
+        obs.record(trace)
 
     def _bound_stream(self, physical, binding):
         """Stream a (possibly shared, cached) plan under this cursor's
@@ -163,6 +295,50 @@ class Cursor:
                 return
             yield batch
 
+    def _traced_stream(self, physical, binding, trace, obs):
+        """:meth:`_bound_stream` plus trace accounting: execute time
+        accumulates around every batch pull, and when the stream ends
+        (or is abandoned — the ``finally``) the trace is finalized from
+        the plan's own actuals and recorded.  Spans diff against a
+        pre-execution snapshot, so a cached plan's accumulated batch
+        counts and wall time attribute only this execution's share."""
+        catalog = self._connection.catalog
+        if obs.operator_timing:
+            enable_timing(physical.root)
+        before = snapshot_plan(physical.root)
+        ops_before = physical.ops.snapshot()
+        io_before = catalog.io_totals
+        inner = self._bound_stream(physical, binding)
+        recorded = False
+
+        def finalize() -> None:
+            nonlocal recorded
+            if recorded:
+                return
+            recorded = True
+            trace.ops = physical.ops.snapshot() - ops_before
+            trace.io = catalog.io_totals - io_before
+            trace.root = spans_from_plan(physical.root, before)
+            trace.rows = trace.root.rows or 0
+            trace.batches = trace.root.batches
+            obs.record(trace)
+
+        try:
+            while True:
+                t0 = perf_counter()
+                try:
+                    batch = next(inner)
+                except StopIteration:
+                    trace.execute_s += perf_counter() - t0
+                    finalize()
+                    return
+                trace.execute_s += perf_counter() - t0
+                yield batch
+        finally:
+            if not recorded:
+                trace.complete = False
+                finalize()
+
     def executemany(
         self,
         sql: str,
@@ -180,15 +356,52 @@ class Cursor:
             raise ProgrammingError(
                 "executemany() cannot run queries; use execute()"
             )
+        obs = self._connection.catalog.observer
+        if obs is None or not obs.enabled:
+            return self._executemany_inner(node, seq_of_params)
+        trace = QueryTrace(
+            statement=sql,
+            kind=_statement_kind(node),
+            started_at=time(),
+            shape=node,
+        )
+        io_before = self._connection.catalog.io_totals
+        t0 = perf_counter()
+        try:
+            self._executemany_inner(node, seq_of_params, trace=trace)
+        except Exception as exc:
+            trace.execute_s = perf_counter() - t0
+            self._finish_statement_trace(
+                trace, obs, io_before, error=exc,
+                statements=trace.statements,
+            )
+            raise
+        trace.execute_s = perf_counter() - t0
+        trace.rows = self.rowcount if self.rowcount >= 0 else 0
+        self._finish_statement_trace(
+            trace, obs, io_before, statements=trace.statements
+        )
+        return self
+
+    def _executemany_inner(
+        self,
+        node: ast.Node,
+        seq_of_params: Iterable[Sequence[Any] | Mapping[str, Any]],
+        trace: QueryTrace | None = None,
+    ) -> "Cursor":
         if isinstance(node, ast.InsertValues):
-            return self._insert_many(node, seq_of_params)
+            return self._insert_many(node, seq_of_params, trace=trace)
         total = 0
         any_dml = False
+        count = 0
         for params in seq_of_params:
-            self._execute_node(node, params)
+            count += 1
+            self._execute_node(node, params, record=False)
             if self.rowcount >= 0:
                 any_dml = True
                 total += self.rowcount
+        if trace is not None:
+            trace.statements = count
         self.rowcount = total if any_dml else -1
         return self
 
@@ -196,6 +409,7 @@ class Cursor:
         self,
         node: ast.InsertValues,
         seq_of_params: Iterable[Sequence[Any] | Mapping[str, Any]],
+        trace: QueryTrace | None = None,
     ) -> "Cursor":
         catalog = self._connection.catalog
         store = catalog.store_for(node.name)
@@ -206,6 +420,8 @@ class Cursor:
             except BindingError as exc:
                 raise ProgrammingError(str(exc)) from exc
             flats.append(FlatTuple(store.schema, list(bound.values)))
+        if trace is not None:
+            trace.statements = len(flats)
         with translating_engine_errors():
             applied, mstats = store.insert_many(flats)
         if applied:
@@ -229,8 +445,38 @@ class Cursor:
         statement's result.  A parse error names the failing statement's
         index."""
         self._check_open()
-        for node in parse_script(script):
-            self._execute_node(node, None)
+        catalog = self._connection.catalog
+        obs = catalog.observer
+        if obs is None or not obs.enabled:
+            for node in parse_script(script):
+                self._execute_node(node, None)
+            return self
+        started = time()
+        t0 = perf_counter()
+        nodes = parse_script(script)
+        parse_s = perf_counter() - t0
+        trace = QueryTrace(
+            statement=script,
+            kind="script",
+            started_at=started,
+            parse_s=parse_s,
+        )
+        io_before = catalog.io_totals
+        t0 = perf_counter()
+        try:
+            for node in nodes:
+                self._execute_node(node, None, record=False)
+        except Exception as exc:
+            trace.execute_s = perf_counter() - t0
+            self._finish_statement_trace(
+                trace, obs, io_before, error=exc, statements=len(nodes)
+            )
+            raise
+        trace.execute_s = perf_counter() - t0
+        trace.rows = self.rowcount if self.rowcount >= 0 else 0
+        self._finish_statement_trace(
+            trace, obs, io_before, statements=len(nodes)
+        )
         return self
 
     # -- fetching --------------------------------------------------------------

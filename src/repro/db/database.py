@@ -23,10 +23,12 @@ Two storage regimes share this one surface:
 from __future__ import annotations
 
 import os
+import weakref
 from typing import Sequence
 
 from repro.core.nfr_relation import NFRelation
 from repro.db.exceptions import ProgrammingError
+from repro.obs import Observability, QueryTrace
 from repro.query.catalog import Catalog
 from repro.relational.relation import Relation
 from repro.storage.bufferpool import DEFAULT_FRAME_BUDGET
@@ -65,6 +67,189 @@ class Database:
                 path, frames=frames, fault_hook=_fault_hook
             )
             self._engine.load_catalog(self.catalog)
+        #: The observability hub: metrics registry, trace ring buffer,
+        #: slow-query log and workload recorder.  Cursors on any
+        #: connection over this database report their traces into it.
+        self.obs = Observability()
+        self.catalog.observer = self.obs
+        self._connections: "weakref.WeakSet" = weakref.WeakSet()
+        # Plan-cache counters of closed sessions, folded in so the
+        # exposed totals stay monotone as connections come and go.
+        self._retired_plan_stats = [0, 0, 0]
+        self._register_collectors()
+
+    # -- observability -----------------------------------------------------------
+
+    def _register_connection(self, connection) -> None:
+        self._connections.add(connection)
+
+    def _retire_connection(self, connection) -> None:
+        """Fold a closing session's plan-cache counters into the
+        retained totals (see :meth:`_register_collectors`)."""
+        cache = connection.plan_cache
+        self._retired_plan_stats[0] += cache.hits
+        self._retired_plan_stats[1] += cache.misses
+        self._retired_plan_stats[2] += cache.invalidations
+        self._connections.discard(connection)
+
+    def _register_collectors(self) -> None:
+        """Install pull-model collectors: the storage and cache layers
+        keep their own counters, and these refresh the registry's view
+        at scrape time (``metrics()`` / ``MONITOR`` / Prometheus), so
+        the hot paths never touch the registry."""
+        reg = self.obs.registry
+        relations = reg.gauge(
+            "repro_catalog_relations", "Relations registered in the catalog."
+        )
+        stats_version = reg.gauge(
+            "repro_catalog_stats_version",
+            "Catalog statistics version (plan caches key on it).",
+        )
+        plan_entries = reg.gauge(
+            "repro_plan_cache_entries",
+            "Cached physical plans across live sessions.",
+        )
+        plan_hits = reg.counter(
+            "repro_plan_cache_hits_total", "Plan-cache hits, all sessions."
+        )
+        plan_misses = reg.counter(
+            "repro_plan_cache_misses_total",
+            "Plan-cache misses, all sessions.",
+        )
+        plan_invalidations = reg.counter(
+            "repro_plan_cache_invalidations_total",
+            "Cached plans discarded because their statistics went stale.",
+        )
+        heap_ops = reg.counter(
+            "repro_heap_ops_total",
+            "Heap-file operations, by relation and operation.",
+        )
+        sect_ops = reg.counter(
+            "repro_nfr_ops_total",
+            "Paper §4 store operations since start, by relation and kind.",
+        )
+
+        def refresh() -> None:
+            relations.set(len(self.catalog))
+            stats_version.set(self.catalog.stats_version)
+            entries = 0
+            hits, misses, invalidations = self._retired_plan_stats
+            for conn in list(self._connections):
+                if conn.closed:
+                    continue
+                cache = conn.plan_cache
+                entries += len(cache)
+                hits += cache.hits
+                misses += cache.misses
+                invalidations += cache.invalidations
+            plan_entries.set(entries)
+            plan_hits.set_total(hits)
+            plan_misses.set_total(misses)
+            plan_invalidations.set_total(invalidations)
+            for name in self.catalog.names():
+                store = self.catalog.store_if_open(name)
+                if store is None:
+                    continue
+                for op, value in store.heap.stats.as_dict().items():
+                    heap_ops.set_total(value, rel=name, op=op)
+                counter = store.counter
+                if counter is not None:
+                    sect_ops.set_total(
+                        counter.compositions, rel=name, kind="composition"
+                    )
+                    sect_ops.set_total(
+                        counter.decompositions, rel=name, kind="decomposition"
+                    )
+                    sect_ops.set_total(
+                        counter.tuple_probes, rel=name, kind="tuple_probe"
+                    )
+
+        reg.register_collector(refresh)
+        if self._engine is not None:
+            self._register_engine_collectors()
+
+    def _register_engine_collectors(self) -> None:
+        engine = self._engine
+        reg = self.obs.registry
+        pool_ops = reg.counter(
+            "repro_buffer_pool_ops_total", "Buffer-pool operations, by op."
+        )
+        pool_frames = reg.gauge(
+            "repro_buffer_pool_frames", "Resident buffer-pool frames."
+        )
+        file_ops = reg.counter(
+            "repro_file_ops_total", "Data-file page operations, by op."
+        )
+        file_pages = reg.gauge(
+            "repro_file_pages", "Pages in the data file."
+        )
+        wal_frames = reg.counter(
+            "repro_wal_frames_total", "Frames appended to the WAL."
+        )
+        wal_commits = reg.counter(
+            "repro_wal_commits_total", "WAL commit records written."
+        )
+        wal_syncs = reg.counter(
+            "repro_wal_syncs_total", "fsync() calls issued by the WAL."
+        )
+        wal_size = reg.gauge("repro_wal_bytes", "Current WAL size.")
+        fsync_seconds = reg.histogram(
+            "repro_wal_fsync_seconds", "WAL fsync latency."
+        )
+        # Push hook: fsync latencies stream into the histogram as they
+        # happen (a pull collector would only see the last one).
+        engine.wal.fsync_hook = fsync_seconds.observe
+
+        def refresh() -> None:
+            for op, value in engine.pool.stats.as_dict().items():
+                pool_ops.set_total(value, op=op)
+            pool_frames.set(engine.pool.frame_count)
+            for op, value in engine.filemgr.stats.as_dict().items():
+                file_ops.set_total(value, op=op)
+            file_pages.set(engine.filemgr.num_pages)
+            wal_frames.set_total(engine.wal.frames_logged)
+            wal_commits.set_total(engine.wal.commits)
+            wal_syncs.set_total(engine.wal.syncs)
+            wal_size.set(engine.wal.size)
+
+        reg.register_collector(refresh)
+
+    def metrics(self) -> dict:
+        """Every registry instrument as a plain dict (collectors are
+        refreshed first)."""
+        return self.obs.registry.to_dict()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the registry — serve this from
+        a ``/metrics`` endpoint to scrape the embedded engine."""
+        return self.obs.registry.to_prometheus()
+
+    def traces(self, limit: int | None = None) -> "list[QueryTrace]":
+        """Recent query traces, most recent first."""
+        return self.obs.traces(limit)
+
+    def slow_queries(self, limit: int | None = None) -> "list[QueryTrace]":
+        """Traces that crossed the slow-query threshold, most recent
+        first."""
+        return self.obs.slow_queries(limit)
+
+    def workload(self):
+        """The per-statement-shape workload aggregates."""
+        return self.obs.workload
+
+    def set_tracing(
+        self,
+        enabled: bool | None = None,
+        operator_timing: bool | None = None,
+        slow_threshold_s: float | None = None,
+    ) -> None:
+        """Reconfigure tracing: the master switch, per-operator wall
+        timing, and the slow-query threshold (seconds)."""
+        self.obs.set_tracing(
+            enabled=enabled,
+            operator_timing=operator_timing,
+            slow_threshold_s=slow_threshold_s,
+        )
 
     # -- durability --------------------------------------------------------------
 

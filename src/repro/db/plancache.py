@@ -26,6 +26,9 @@ class PlanCache:
         self._plans: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Entries dropped because their statistics version went stale
+        #: (see :meth:`discard`) — distinct from capacity evictions.
+        self.invalidations = 0
 
     def get(self, key: Hashable) -> Any | None:
         """The cached plan for ``key``, refreshing its recency; None on
@@ -45,6 +48,12 @@ class PlanCache:
         self._plans.move_to_end(key)
         while len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
+
+    def discard(self, key: Hashable) -> None:
+        """Drop a stale entry (statistics changed under it), counting
+        it as an invalidation.  Missing keys are ignored."""
+        if self._plans.pop(key, None) is not None:
+            self.invalidations += 1
 
     def clear(self) -> None:
         self._plans.clear()

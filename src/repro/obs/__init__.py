@@ -1,0 +1,48 @@
+"""Engine-wide observability: metrics, per-query traces, workload stats.
+
+Three layers, all dependency-free:
+
+- :mod:`repro.obs.metrics` — named counters/gauges/histograms with a
+  registry that renders Prometheus text, JSON, and a compact text form.
+- :mod:`repro.obs.trace` — :class:`QueryTrace` (phase timings, I/O and
+  §4 operation accounting) with per-operator :class:`OperatorSpan`
+  trees derived from the executor's own actuals.
+- :mod:`repro.obs.recorder` — the per-database :class:`Observability`
+  hub: trace ring buffer, slow-query log, and per-AST-shape workload
+  aggregates (the physical-design advisor's feed).
+
+``Database`` owns an :class:`Observability` and wires the storage
+engine's components into its registry; see
+:meth:`repro.db.database.Database.metrics`.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    MONITOR_SECTIONS,
+    Observability,
+    ShapeStats,
+    WorkloadStats,
+)
+from repro.obs.trace import (
+    OperatorSpan,
+    QueryTrace,
+    enable_timing,
+    snapshot_plan,
+    spans_from_plan,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MONITOR_SECTIONS",
+    "Observability",
+    "OperatorSpan",
+    "QueryTrace",
+    "ShapeStats",
+    "WorkloadStats",
+    "enable_timing",
+    "snapshot_plan",
+    "spans_from_plan",
+]

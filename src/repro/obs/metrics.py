@@ -1,0 +1,294 @@
+"""Zero-dependency metrics instruments and their registry.
+
+Three instrument families, Prometheus-flavoured:
+
+- :class:`Counter` — a monotone total.  Components that keep their own
+  cumulative tallies (``PoolStats``, ``FileStats``, the WAL's byte
+  count) publish by *sampling*: a collector callback copies the
+  component value in at scrape time via :meth:`Counter.set_total`, so
+  the hot paths pay nothing.  Push-style sources call :meth:`Counter.inc`.
+- :class:`Gauge` — a point-in-time value (frames in use, relations).
+- :class:`Histogram` — fixed log-scale buckets (geometric boundaries,
+  chosen at construction), so p50/p95/p99 come from a bucket walk with
+  bounded relative error and O(1) memory, no samples retained.
+
+Every instrument supports labels (``counter.inc(1, rel="Enrollment")``);
+a labelled family holds one value per label combination.  The registry
+renders two exposition formats: Prometheus text (:meth:`to_prometheus`)
+and a JSON-able dict (:meth:`to_dict`).  Registered *collectors* run
+before either, pulling fresh values out of the engine components.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterator
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class _Instrument:
+    """Shared naming/help plumbing; concrete families add semantics."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def value(self, **labels: object) -> float:
+        """Current value for one label combination (0 when unseen)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        return dict(self._values)
+
+    def _lines(self) -> Iterator[str]:
+        for key in sorted(self._values):
+            yield (
+                f"{self.name}{_render_labels(key)} "
+                f"{_fmt_value(self._values[key])}"
+            )
+
+    def _as_dict(self) -> dict:
+        values = {
+            _render_labels(key) or "": v for key, v in self._values.items()
+        }
+        return {"type": self.kind, "help": self.help, "values": values}
+
+
+class Counter(_Instrument):
+    """A monotone total; ``inc`` pushes, ``set_total`` samples a
+    component's own cumulative tally at scrape time."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, total: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = float(total)
+
+
+class Gauge(_Instrument):
+    """A point-in-time value."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+
+class Histogram:
+    """Fixed log-scale-bucket histogram: boundaries are
+    ``start * factor**i``, so quantile estimates carry at most one
+    bucket-ratio of relative error while storage stays O(buckets).
+
+    Defaults suit latencies in seconds: 1µs .. ~69s at ×2 steps."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        start: float = 1e-6,
+        factor: float = 2.0,
+        buckets: int = 27,
+    ):
+        if start <= 0 or factor <= 1 or buckets < 1:
+            raise ValueError("histogram needs start>0, factor>1, buckets>=1")
+        self.name = name
+        self.help = help
+        self.bounds: list[float] = []
+        edge = start
+        for _ in range(buckets):
+            self.bounds.append(edge)
+            edge *= factor
+        self._counts = [0] * (buckets + 1)  # +1: overflow (+Inf) bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket boundary at or above the q-quantile (0 when the
+        histogram is empty); the +Inf bucket reports the observed max."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self._counts):
+            seen += n
+            if seen >= target:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max if self.max is not None else 0.0
+        return self.max if self.max is not None else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def _lines(self) -> Iterator[str]:
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            cumulative += self._counts[i]
+            yield (
+                f"{self.name}_bucket{_render_labels((), (('le', repr(bound)),))}"
+                f" {cumulative}"
+            )
+        yield (
+            f"{self.name}_bucket{_render_labels((), (('le', '+Inf'),))}"
+            f" {self.count}"
+        )
+        yield f"{self.name}_sum {_fmt_value(self.sum)}"
+        yield f"{self.name}_count {self.count}"
+
+    def _as_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments plus the collectors that refresh them.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the existing instrument after (re-registration with a conflicting
+    kind raises).  Collectors are callbacks that copy engine-component
+    tallies into instruments; they run before every exposition, so
+    sampling sources cost nothing between scrapes."""
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        instrument = cls(name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        start: float = 1e-6,
+        factor: float = 2.0,
+        buckets: int = 27,
+    ) -> Histogram:
+        return self._get(
+            Histogram, name, help,
+            start=start, factor=factor, buckets=buckets,
+        )
+
+    def register_collector(self, fn: Callable[[], None]) -> None:
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        """Run every collector, refreshing sampled instruments."""
+        for fn in self._collectors:
+            fn()
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot: ``{name: {type, help, values|quantiles}}``."""
+        self.collect()
+        return {
+            name: self._instruments[name]._as_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        self.collect()
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            lines.extend(instrument._lines())
+        return "\n".join(lines) + "\n"
+
+    def to_text(self) -> str:
+        """Compact ``name value`` lines (the ``MONITOR``/REPL format):
+        histograms show count/sum and the three headline quantiles."""
+        self.collect()
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                lines.append(f"{name}_count {instrument.count}")
+                lines.append(f"{name}_sum {_fmt_value(instrument.sum)}")
+                for q in ("p50", "p95", "p99"):
+                    lines.append(
+                        f"{name}_{q} {_fmt_value(getattr(instrument, q))}"
+                    )
+            else:
+                lines.extend(instrument._lines())
+        return "\n".join(lines)

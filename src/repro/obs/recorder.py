@@ -1,0 +1,297 @@
+"""Trace recording: ring buffer, slow-query log, workload aggregates.
+
+:class:`Observability` is the per-database hub the execution layer
+reports into.  Every finished :class:`~repro.obs.trace.QueryTrace` flows
+through :meth:`Observability.record`, which
+
+- keeps the last *N* traces in a ring buffer (``traces()``),
+- copies traces slower than the slow threshold into the slow log,
+- feeds the query-level registry instruments
+  (``repro_queries_total``, ``repro_query_seconds``, ...), and
+- folds the trace into per-AST-shape aggregates.  The *shape* is the
+  parsed AST node — the same hashable object the plan cache keys on —
+  so the workload profile lines up one-to-one with cached plans.  This
+  table is the input the ROADMAP's physical-design advisor reads: which
+  shapes run often, how much they cost, and what they touch.
+
+``enabled`` is the master tracing switch: when off, the execution layer
+skips trace construction entirely (cursors check the flag before doing
+any timing), so the disabled overhead is a couple of attribute reads
+per statement.  ``operator_timing`` additionally wraps plan operators
+with wall-clock accounting (see :func:`repro.obs.trace.enable_timing`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import QueryTrace
+
+DEFAULT_TRACE_BUFFER = 128
+DEFAULT_SLOW_CAPACITY = 64
+DEFAULT_SLOW_THRESHOLD_S = 0.100
+
+MONITOR_SECTIONS = ("metrics", "traces", "slow", "workload")
+
+
+def _shape_text(shape: Any, fallback: str | None) -> str:
+    if fallback:
+        return fallback
+    return repr(shape) if shape is not None else "<unknown>"
+
+
+@dataclass
+class ShapeStats:
+    """Aggregate execution profile of one AST shape."""
+
+    shape: Any
+    example: str
+    kind: str
+    count: int = 0
+    errors: int = 0
+    cached_plans: int = 0
+    rows: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    page_reads: int = 0
+    page_writes: int = 0
+    disk_reads: int = 0
+    bytes_decoded: int = 0
+    index_lookups: int = 0
+    wal_bytes: int = 0
+    compositions: int = 0
+    decompositions: int = 0
+    tuple_probes: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def note(self, trace: QueryTrace) -> None:
+        self.count += 1
+        if trace.error:
+            self.errors += 1
+        if trace.cached_plan:
+            self.cached_plans += 1
+        self.rows += trace.rows
+        self.total_s += trace.total_s
+        self.max_s = max(self.max_s, trace.total_s)
+        if trace.io is not None:
+            self.page_reads += trace.io.page_reads
+            self.page_writes += trace.io.page_writes
+            self.disk_reads += trace.io.disk_reads
+            self.bytes_decoded += trace.io.bytes_decoded
+            self.index_lookups += trace.io.index_lookups
+            self.wal_bytes += trace.io.wal_bytes
+        if trace.ops is not None:
+            self.compositions += trace.ops.compositions
+            self.decompositions += trace.ops.decompositions
+            self.tuple_probes += trace.ops.tuple_probes
+
+    def to_dict(self) -> dict:
+        return {
+            "example": self.example,
+            "kind": self.kind,
+            "count": self.count,
+            "errors": self.errors,
+            "cached_plans": self.cached_plans,
+            "rows": self.rows,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "disk_reads": self.disk_reads,
+            "bytes_decoded": self.bytes_decoded,
+            "index_lookups": self.index_lookups,
+            "wal_bytes": self.wal_bytes,
+            "compositions": self.compositions,
+            "decompositions": self.decompositions,
+            "tuple_probes": self.tuple_probes,
+        }
+
+
+@dataclass
+class WorkloadStats:
+    """Per-shape aggregates — the advisor's view of the workload."""
+
+    _shapes: dict[Any, ShapeStats] = field(default_factory=dict)
+
+    def note(self, trace: QueryTrace) -> None:
+        key = trace.shape if trace.shape is not None else trace.kind
+        entry = self._shapes.get(key)
+        if entry is None:
+            entry = ShapeStats(
+                shape=key,
+                example=_shape_text(trace.shape, trace.statement),
+                kind=trace.kind,
+            )
+            self._shapes[key] = entry
+        entry.note(trace)
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def top(self, n: int = 10, by: str = "total_s") -> list[ShapeStats]:
+        return sorted(
+            self._shapes.values(),
+            key=lambda s: getattr(s, by),
+            reverse=True,
+        )[:n]
+
+    def to_dict(self) -> dict:
+        return {
+            entry.example: entry.to_dict()
+            for entry in self.top(n=len(self._shapes) or 1)
+        }
+
+    def render(self, n: int = 10) -> str:
+        entries = self.top(n)
+        if not entries:
+            return "(no recorded workload)"
+        lines = ["calls  mean_ms  total_ms  rows  pages  statement"]
+        for e in entries:
+            text = e.example
+            if len(text) > 48:
+                text = text[:45] + "..."
+            lines.append(
+                f"{e.count:>5}  {e.mean_s * 1000:>7.2f}  "
+                f"{e.total_s * 1000:>8.2f}  {e.rows:>4}  "
+                f"{e.page_reads:>5}  {text}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._shapes.clear()
+
+
+class Observability:
+    """Per-database observability hub: registry + trace sinks."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        trace_buffer: int = DEFAULT_TRACE_BUFFER,
+        slow_threshold_s: float = DEFAULT_SLOW_THRESHOLD_S,
+        slow_capacity: int = DEFAULT_SLOW_CAPACITY,
+        enabled: bool = True,
+        operator_timing: bool = False,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.enabled = enabled
+        self.operator_timing = operator_timing
+        self.slow_threshold_s = slow_threshold_s
+        self._traces: deque[QueryTrace] = deque(maxlen=trace_buffer)
+        self._slow: deque[QueryTrace] = deque(maxlen=slow_capacity)
+        self.workload = WorkloadStats()
+        self.on_slow: Callable[[QueryTrace], None] | None = None
+
+        reg = self.registry
+        self._queries = reg.counter(
+            "repro_queries_total", "Statements traced, by kind."
+        )
+        self._errors = reg.counter(
+            "repro_query_errors_total", "Traced statements that raised."
+        )
+        self._slow_total = reg.counter(
+            "repro_slow_queries_total",
+            "Traces slower than the slow-query threshold.",
+        )
+        self._rows_total = reg.counter(
+            "repro_rows_returned_total", "Rows produced by traced queries."
+        )
+        self._seconds = reg.histogram(
+            "repro_query_seconds", "End-to-end statement latency."
+        )
+        # Materialise the push-only series so expositions have a stable
+        # shape before the first query runs.
+        self._slow_total.inc(0)
+        self._rows_total.inc(0)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, trace: QueryTrace) -> None:
+        """Fold one finished trace into every sink."""
+        self._traces.append(trace)
+        self._queries.inc(kind=trace.kind)
+        if trace.error:
+            self._errors.inc(kind=trace.kind)
+        self._rows_total.inc(trace.rows)
+        self._seconds.observe(trace.total_s)
+        self.workload.note(trace)
+        if trace.total_s >= self.slow_threshold_s:
+            self._slow.append(trace)
+            self._slow_total.inc()
+            if self.on_slow is not None:
+                self.on_slow(trace)
+
+    # -- views -------------------------------------------------------------
+
+    def traces(self, limit: int | None = None) -> list[QueryTrace]:
+        """Most recent first."""
+        out = list(self._traces)
+        out.reverse()
+        return out if limit is None else out[:limit]
+
+    def slow_queries(self, limit: int | None = None) -> list[QueryTrace]:
+        """Most recent first."""
+        out = list(self._slow)
+        out.reverse()
+        return out if limit is None else out[:limit]
+
+    @property
+    def last_trace(self) -> QueryTrace | None:
+        return self._traces[-1] if self._traces else None
+
+    def clear(self) -> None:
+        self._traces.clear()
+        self._slow.clear()
+        self.workload.clear()
+
+    # -- configuration -----------------------------------------------------
+
+    def set_tracing(
+        self,
+        enabled: bool | None = None,
+        operator_timing: bool | None = None,
+        slow_threshold_s: float | None = None,
+    ) -> None:
+        if enabled is not None:
+            self.enabled = bool(enabled)
+        if operator_timing is not None:
+            self.operator_timing = bool(operator_timing)
+        if slow_threshold_s is not None:
+            self.slow_threshold_s = float(slow_threshold_s)
+
+    # -- exposition --------------------------------------------------------
+
+    def _render_traces(self, traces: Iterable[QueryTrace], empty: str) -> str:
+        lines = [t.summary() for t in traces]
+        return "\n".join(lines) if lines else empty
+
+    def render(self, section: str = "metrics") -> str:
+        """The ``MONITOR <section>`` / REPL text views."""
+        if section == "metrics":
+            return self.registry.to_text()
+        if section == "traces":
+            return self._render_traces(
+                self.traces(limit=20), "(no recorded traces)"
+            )
+        if section == "slow":
+            header = (
+                f"slow-query threshold: "
+                f"{self.slow_threshold_s * 1000:.0f}ms"
+            )
+            body = self._render_traces(
+                self.slow_queries(limit=20), "(no slow queries)"
+            )
+            return f"{header}\n{body}"
+        if section == "workload":
+            return self.workload.render()
+        raise ValueError(
+            f"unknown MONITOR section {section!r}; "
+            f"expected one of {', '.join(MONITOR_SECTIONS)}"
+        )

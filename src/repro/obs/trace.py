@@ -1,0 +1,292 @@
+"""Per-query tracing: phase timings and per-operator spans.
+
+A :class:`QueryTrace` is the record of one top-level statement: what it
+was (text and AST shape), the parse/plan/execute phase timings, how many
+rows it produced, the I/O it charged (a
+:class:`~repro.storage.engine.ScanStats` window), the §4 operation
+counts (:class:`~repro.util.counters.OperationDelta` — the paper's
+complexity measure, Theorem A-4), and — for planned queries — a tree of
+:class:`OperatorSpan` nodes mirroring the physical plan.
+
+Spans are *derived from the executor's own actuals*: the physical
+operators already account rows, batches, pages, disk reads and decoded
+bytes per operator (see :mod:`repro.planner.physical`), so
+:func:`spans_from_plan` reads those fields rather than keeping a second
+set of books — ``EXPLAIN ANALYZE`` renders from the same spans.  Batch
+counts and wall time *accumulate* across executions of a cached plan;
+:func:`snapshot_plan` taken before execution lets the span diff out
+just this query's share.
+
+Per-operator wall time is opt-in: :func:`enable_timing` wraps each
+operator's native batch stream with a ``perf_counter`` pair around every
+``next()``.  Nothing is wrapped when tracing is disabled, so the
+disabled path adds zero per-batch work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.planner.physical import PhysicalOp
+    from repro.storage.engine import ScanStats
+    from repro.util.counters import OperationDelta
+
+
+# -- operator spans --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperatorSpan:
+    """One physical operator's share of a query execution."""
+
+    op: str
+    describe: str
+    batch_format: str
+    est_rows: float
+    est_cost: float
+    est_pages: float
+    rows: int | None
+    batches: int
+    peak_batch: int
+    pages: int | None
+    disk_reads: int | None
+    index_lookups: int | None
+    bytes_decoded: int | None
+    pages_written: int | None
+    wal_bytes: int | None
+    time_s: float | None
+    children: tuple["OperatorSpan", ...] = ()
+
+    @property
+    def rows_in(self) -> int:
+        """Rows the children fed this operator (0 for leaves)."""
+        return sum(c.rows or 0 for c in self.children)
+
+    def walk(self) -> Iterator["OperatorSpan"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def total(self, field_name: str) -> int:
+        """Sum one actuals field over the subtree (None counts as 0)."""
+        return sum(getattr(s, field_name) or 0 for s in self.walk())
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "describe": self.describe,
+            "batch_format": self.batch_format,
+            "est_rows": self.est_rows,
+            "rows": self.rows,
+            "rows_in": self.rows_in,
+            "batches": self.batches,
+            "peak_batch": self.peak_batch,
+            "pages": self.pages,
+            "disk_reads": self.disk_reads,
+            "index_lookups": self.index_lookups,
+            "bytes_decoded": self.bytes_decoded,
+            "pages_written": self.pages_written,
+            "wal_bytes": self.wal_bytes,
+            "time_s": self.time_s,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+def snapshot_plan(root: "PhysicalOp") -> dict[int, tuple[int, float]]:
+    """Per-operator (batches_emitted, time_s) before an execution of a
+    possibly cached, previously executed plan — spans diff against it."""
+    snap: dict[int, tuple[int, float]] = {}
+    stack = [root]
+    while stack:
+        op = stack.pop()
+        snap[id(op)] = (op.batches_emitted, op.time_s)
+        stack.extend(op.children())
+    return snap
+
+
+def spans_from_plan(
+    root: "PhysicalOp",
+    before: dict[int, tuple[int, float]] | None = None,
+) -> OperatorSpan:
+    """Build the span tree from the operator tree's actuals.  ``before``
+    (a :func:`snapshot_plan`) restricts the accumulating fields — batch
+    count and wall time — to the execution since the snapshot."""
+    batches_0, time_0 = (before or {}).get(id(root), (0, 0.0))
+    batches = root.batches_emitted - batches_0
+    elapsed = root.time_s - time_0
+    return OperatorSpan(
+        op=type(root).__name__,
+        describe=root.describe(),
+        batch_format=root.batch_format,
+        est_rows=root.est.rows,
+        est_cost=root.est.cost,
+        est_pages=root.est.pages,
+        rows=root.actual_rows,
+        batches=batches,
+        peak_batch=root.peak_batch_tuples,
+        pages=root.actual_pages,
+        disk_reads=root.actual_disk_reads,
+        index_lookups=root.actual_index_lookups,
+        bytes_decoded=root.actual_bytes_decoded,
+        pages_written=root.actual_pages_written,
+        wal_bytes=root.actual_wal_bytes,
+        time_s=elapsed if (root.timed or elapsed) else None,
+        children=tuple(
+            spans_from_plan(c, before) for c in root.children()
+        ),
+    )
+
+
+# -- per-operator wall time ------------------------------------------------------
+
+
+def _timed_stream(op: "PhysicalOp", inner):
+    """Wrap one operator's batch generator so the time spent producing
+    each batch (inclusive of children — the EXPLAIN ANALYZE convention)
+    accumulates in ``op.time_s``."""
+
+    def stream(*args: Any, **kwargs: Any):
+        it = inner(*args, **kwargs)
+        while True:
+            t0 = perf_counter()
+            try:
+                item = next(it)
+            except StopIteration:
+                op.time_s += perf_counter() - t0
+                return
+            op.time_s += perf_counter() - t0
+            yield item
+
+    return stream
+
+
+def enable_timing(root: "PhysicalOp") -> None:
+    """Instrument every operator's *native* stream with wall-time
+    accounting.  Idempotent per operator; cached plans stay wrapped for
+    their lifetime (re-binding never re-wraps)."""
+    stack = [root]
+    while stack:
+        op = stack.pop()
+        if not op.timed:
+            # Columnar operators' row protocol decodes from their own
+            # column stream, so wrapping the native stream covers both.
+            name = (
+                "iter_col_batches"
+                if op.batch_format == "codes"
+                else "iter_batches"
+            )
+            setattr(op, name, _timed_stream(op, getattr(op, name)))
+            op.timed = True
+        stack.extend(op.children())
+
+
+# -- query traces ----------------------------------------------------------------
+
+
+@dataclass
+class QueryTrace:
+    """The record of one top-level statement execution."""
+
+    statement: str | None
+    kind: str
+    started_at: float
+    parse_s: float = 0.0
+    plan_s: float = 0.0
+    execute_s: float = 0.0
+    rows: int = 0
+    batches: int = 0
+    io: "ScanStats | None" = None
+    ops: "OperationDelta | None" = None
+    root: OperatorSpan | None = None
+    #: The AST shape (hashable, parameters as placeholders) — the same
+    #: object the plan cache keys on; the workload recorder aggregates
+    #: per shape.
+    shape: Any = None
+    cached_plan: bool = False
+    complete: bool = True
+    #: Top-level statements folded into this trace (scripts and
+    #: executemany report one trace whose ``io`` is the per-script
+    #: total — every statement's accounting, not just the last one's).
+    statements: int = 1
+    error: str | None = None
+    _extra: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def total_s(self) -> float:
+        return self.parse_s + self.plan_s + self.execute_s
+
+    def summary(self) -> str:
+        """One log line: timings, rows, I/O headline."""
+        text = self.statement or f"<{self.kind}>"
+        if len(text) > 60:
+            text = text[:57] + "..."
+        parts = [
+            f"{self.total_s * 1000:.2f}ms",
+            f"(parse={self.parse_s * 1000:.2f} "
+            f"plan={self.plan_s * 1000:.2f} "
+            f"exec={self.execute_s * 1000:.2f})",
+            f"rows={self.rows}",
+        ]
+        if self.io is not None and (self.io.page_reads or self.io.page_writes):
+            parts.append(
+                f"pages={self.io.page_reads}r/{self.io.page_writes}w"
+            )
+        if self.ops is not None and (
+            self.ops.compositions
+            or self.ops.decompositions
+            or self.ops.tuple_probes
+        ):
+            parts.append(
+                f"ops={self.ops.compositions}c/"
+                f"{self.ops.decompositions}d/{self.ops.tuple_probes}p"
+            )
+        if self.cached_plan:
+            parts.append("[cached]")
+        if self.statements > 1:
+            parts.append(f"[{self.statements} stmts]")
+        if not self.complete:
+            parts.append("[partial]")
+        if self.error:
+            parts.append(f"[error: {self.error}]")
+        return f"{' '.join(parts)} {self.kind}: {text}"
+
+    def to_dict(self) -> dict:
+        out = {
+            "statement": self.statement,
+            "kind": self.kind,
+            "started_at": self.started_at,
+            "parse_s": self.parse_s,
+            "plan_s": self.plan_s,
+            "execute_s": self.execute_s,
+            "total_s": self.total_s,
+            "rows": self.rows,
+            "batches": self.batches,
+            "cached_plan": self.cached_plan,
+            "complete": self.complete,
+            "statements": self.statements,
+            "error": self.error,
+        }
+        if self.io is not None:
+            out["io"] = {
+                "page_reads": self.io.page_reads,
+                "page_writes": self.io.page_writes,
+                "records_visited": self.io.records_visited,
+                "flats_produced": self.io.flats_produced,
+                "index_lookups": self.io.index_lookups,
+                "bytes_decoded": self.io.bytes_decoded,
+                "disk_reads": self.io.disk_reads,
+                "pages_written": self.io.pages_written,
+                "wal_bytes": self.io.wal_bytes,
+            }
+        if self.ops is not None:
+            out["ops"] = {
+                "compositions": self.ops.compositions,
+                "decompositions": self.ops.decompositions,
+                "tuple_probes": self.ops.tuple_probes,
+            }
+        if self.root is not None:
+            out["plan"] = self.root.to_dict()
+        return out

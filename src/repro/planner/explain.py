@@ -6,11 +6,21 @@ appends what actually happened — rows produced, pages read and index
 probes per operator, plus plan totals.  The result object renders
 through :meth:`ExplainResult.to_table` so the CLI prints it exactly
 like a relation.
+
+The per-operator lines are rendered from :class:`OperatorSpan` trees
+(:func:`repro.obs.trace.spans_from_plan`) — the same span data the
+query tracer records — so ``EXPLAIN ANALYZE`` and a ``QueryTrace`` of
+the same statement report from one set of books.  When per-operator
+timing ran (tracing with ``operator_timing`` on), each line also shows
+``time=``; the §4 operation totals line appears when the caller passes
+the execution's :class:`~repro.util.counters.OperationDelta`.
 """
 
 from __future__ import annotations
 
+from repro.obs.trace import OperatorSpan, spans_from_plan
 from repro.planner.physical import PhysicalOp
+from repro.util.counters import OperationDelta
 
 
 class ExplainResult:
@@ -30,53 +40,77 @@ class ExplainResult:
         return f"ExplainResult({self.text.splitlines()[0]!r}...)"
 
 
-def render_plan(root: PhysicalOp, analyze: bool = False) -> str:
+def render_plan(
+    root: PhysicalOp,
+    analyze: bool = False,
+    ops: OperationDelta | None = None,
+) -> str:
     """Render an operator tree, one node per line, estimates (and
     actuals, after execution) in parentheses."""
+    return render_spans(spans_from_plan(root), analyze=analyze, ops=ops)
+
+
+def render_spans(
+    root: OperatorSpan,
+    analyze: bool = False,
+    ops: OperationDelta | None = None,
+) -> str:
+    """Render a span tree — the shared backend of ``EXPLAIN`` and the
+    tracer's plan view."""
     lines = ["QUERY PLAN"]
     _render(root, 0, analyze, lines)
     if analyze:
         total = (
-            f"total: pages read={root.total_pages_read()}, "
-            f"index lookups={root.total_index_lookups()}, "
-            f"bytes decoded={root.total_bytes_decoded()}"
+            f"total: pages read={root.total('pages')}, "
+            f"index lookups={root.total('index_lookups')}, "
+            f"bytes decoded={root.total('bytes_decoded')}"
         )
         # Physical layer, shown only when a durable store was touched:
         # disk reads split buffer-pool misses out of the page touches;
         # pages written / wal bytes surface writeback and logging that
         # happened inside the statement's window.
-        disk = root.total_disk_reads()
-        written = root.total_pages_written()
-        wal = root.total_wal_bytes()
+        disk = root.total("disk_reads")
+        written = root.total("pages_written")
+        wal = root.total("wal_bytes")
         if disk or written or wal:
             total += (
                 f", disk reads={disk}, pages written={written}, "
                 f"wal bytes={wal}"
             )
         lines.append(total)
+        if ops is not None and (
+            ops.compositions or ops.decompositions or ops.tuple_probes
+        ):
+            lines.append(
+                f"ops: compositions={ops.compositions}, "
+                f"decompositions={ops.decompositions}, "
+                f"tuple probes={ops.tuple_probes}"
+            )
     return "\n".join(lines)
 
 
 def _render(
-    op: PhysicalOp, depth: int, analyze: bool, lines: list[str]
+    span: OperatorSpan, depth: int, analyze: bool, lines: list[str]
 ) -> None:
-    parts = [f"est rows≈{_fmt(op.est.rows)}", f"cost≈{op.est.cost:.2f}"]
-    if op.est.pages:
-        parts.append(f"est pages≈{_fmt(op.est.pages)}")
+    parts = [f"est rows≈{_fmt(span.est_rows)}", f"cost≈{span.est_cost:.2f}"]
+    if span.est_pages:
+        parts.append(f"est pages≈{_fmt(span.est_pages)}")
     if analyze:
-        parts.append(f"actual rows={op.actual_rows}")
-        parts.append(f"batch={op.batch_format}")
-        if op.actual_pages is not None:
-            parts.append(f"pages read={op.actual_pages}")
-        if op.actual_disk_reads:
-            parts.append(f"disk reads={op.actual_disk_reads}")
-        if op.actual_index_lookups:
-            parts.append(f"index lookups={op.actual_index_lookups}")
-        if op.actual_bytes_decoded is not None:
-            parts.append(f"bytes decoded={op.actual_bytes_decoded}")
+        parts.append(f"actual rows={span.rows}")
+        parts.append(f"batch={span.batch_format}")
+        if span.pages is not None:
+            parts.append(f"pages read={span.pages}")
+        if span.disk_reads:
+            parts.append(f"disk reads={span.disk_reads}")
+        if span.index_lookups:
+            parts.append(f"index lookups={span.index_lookups}")
+        if span.bytes_decoded is not None:
+            parts.append(f"bytes decoded={span.bytes_decoded}")
+        if span.time_s is not None:
+            parts.append(f"time={span.time_s * 1000:.2f}ms")
     prefix = "  " * depth + ("-> " if depth else "")
-    lines.append(f"{prefix}{op.describe()} ({', '.join(parts)})")
-    for child in op.children():
+    lines.append(f"{prefix}{span.describe} ({', '.join(parts)})")
+    for child in span.children:
         _render(child, depth + 1, analyze, lines)
 
 

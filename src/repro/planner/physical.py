@@ -66,6 +66,7 @@ from repro.storage.engine import NFRStore
 if TYPE_CHECKING:  # pragma: no cover
     from repro.planner.logical import RangeBounds
     from repro.query.params import ParamSlots
+    from repro.util.counters import OperationCounter
 
 #: Tuples per streamed batch.  Small enough that a pipeline's working
 #: set stays a few hundred tuples regardless of input cardinality,
@@ -214,6 +215,16 @@ class PhysicalOp:
         #: ever held (the per-operator peak working set).
         self.batches_emitted = 0
         self.peak_batch_tuples = 0
+        #: Wall time accumulated by the tracing wrapper (see
+        #: :func:`repro.obs.trace.enable_timing`); ``timed`` marks the
+        #: operator as wrapped so re-tracing a cached plan is a no-op.
+        self.time_s = 0.0
+        self.timed = False
+        #: Plan-level §4 operation counter, shared by every operator of
+        #: one plan tree (attached by the planner).  Operators charge
+        #: compositions/decompositions/tuple probes into it as they
+        #: stream; callers diff snapshots around an execution.
+        self.ops: "OperationCounter | None" = None
 
     # -- execution protocol ----------------------------------------------------
 
@@ -455,6 +466,10 @@ class _StoreScan(ColumnarOp):
             wal += after[6] - before[6]
             if batch is None:
                 break
+            if self.ops is not None:
+                # Candidate tuples examined by this access path — the
+                # paper's ``searcht`` probes, at batch granularity.
+                self.ops.tuple_probes += batch.n
             if conjuncts:
                 kept = _filter_rows(conjuncts, batch, resolve)
                 if kept is not None:
@@ -645,11 +660,14 @@ class Filter(ColumnarOp):
 
     def iter_col_batches(self) -> Iterator[ColumnBatch]:
         rows = 0
+        ops = self.ops
         if not self.conjuncts:
             predicate = self.predicate
             adict = AtomDict()
             names = tuple(self.output_schema().names)
             for batch in self.child.iter_batches():
+                if ops is not None:
+                    ops.tuple_probes += len(batch)
                 kept = [t for t in batch if predicate(t)]
                 if kept:
                     rows += len(kept)
@@ -662,6 +680,8 @@ class Filter(ColumnarOp):
             self.slots.resolve if self.slots is not None else _identity
         )
         for batch in self.child.iter_col_batches():
+            if ops is not None:
+                ops.tuple_probes += batch.n
             kept = _filter_rows(conjuncts, batch, resolve)
             if kept is not None:
                 if not kept:
@@ -759,6 +779,10 @@ class UnnestOp(ColumnarOp):
                 for p in range(offsets[i], offsets[i + 1]):
                     src.append(i)
                     flat.append(codes[p])
+            if self.ops is not None:
+                # Def. 2: each extra row splits one atom out of its
+                # source component.
+                self.ops.decompositions += len(src) - batch.n
             for start in range(0, len(src), BATCH_SIZE):
                 end = start + BATCH_SIZE
                 out = batch.take(src[start:end]).with_column(
@@ -798,6 +822,7 @@ class FlattenOp(ColumnarOp):
             k = len(batch.names)
             out_codes: list[list[int]] = [[] for _ in range(k)]
             count = 0
+            produced = 0
             for i in range(batch.n):
                 per_attr = []
                 for offsets, codes in batch.columns:
@@ -811,6 +836,7 @@ class FlattenOp(ColumnarOp):
                     for j in range(k):
                         out_codes[j].append(combo[j])
                     count += 1
+                    produced += 1
                     if count >= BATCH_SIZE:
                         rows += count
                         self._note_rows(count)
@@ -831,6 +857,10 @@ class FlattenOp(ColumnarOp):
                     [(None, col) for col in out_codes],
                     batch.adict,
                 )
+            if self.ops is not None:
+                # Each product row beyond the source rows is one Def. 2
+                # split of a component value into its own tuple.
+                self.ops.decompositions += max(produced - batch.n, 0)
         self.actual_rows = rows
 
     def children(self):
@@ -862,7 +892,7 @@ class NestOp(PhysicalOp):
     def _run(self) -> NFRelation:
         src = self.child.execute()
         src.schema.require(self.attributes)
-        return nest_sequence(src, list(self.attributes))
+        return nest_sequence(src, list(self.attributes), counter=self.ops)
 
     def children(self):
         return (self.child,)
@@ -887,7 +917,9 @@ class CanonicalOp(PhysicalOp):
 
     def _run(self) -> NFRelation:
         return canonical_form(
-            self.child.execute().to_1nf(), list(self.order)
+            self.child.execute().to_1nf(),
+            list(self.order),
+            counter=self.ops,
         )
 
     def children(self):
@@ -993,6 +1025,11 @@ class HashJoin(ColumnarOp):
                     for i, key in enumerate(lhs.component_keys(shared))
                     for j in buckets.get(key, _EMPTY)
                 ]
+            if self.ops is not None:
+                # Def. 1: each emitted pair merges a left and a right
+                # tuple into one.
+                self.ops.compositions += len(pairs)
+                self.ops.tuple_probes += lhs.n + rhs.n
             if pairs:
                 out_names = lhs.names + tuple(right_only)
                 lout = lhs.take([p[0] for p in pairs])
@@ -1047,9 +1084,14 @@ class FlatHashJoin(_JoinOp):
     keys), returned in all-singleton form."""
 
     def _run(self) -> NFRelation:
-        joined = natural_join(
-            self.left.execute().to_1nf(), self.right.execute().to_1nf()
-        )
+        lhs = self.left.execute().to_1nf()
+        rhs = self.right.execute().to_1nf()
+        joined = natural_join(lhs, rhs)
+        if self.ops is not None:
+            # Each surviving flat pair is one Def. 1 composition; both
+            # inputs' flats were probed against the hash table.
+            self.ops.compositions += len(joined)
+            self.ops.tuple_probes += len(lhs) + len(rhs)
         return NFRelation.from_1nf(joined)
 
     def describe(self) -> str:

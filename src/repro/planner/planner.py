@@ -35,6 +35,7 @@ from repro.planner.stats import RelationStats
 from repro.query import ast
 from repro.query.params import ParamSlots
 from repro.storage.engine import NFRStore, ScanStats
+from repro.util.counters import OperationCounter, OperationDelta
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.query.catalog import Catalog
@@ -70,14 +71,30 @@ class PhysicalPlan:
         self.logical = logical
         self.params = params if params is not None else ParamSlots()
         self.executed = False
+        #: Plan-level §4 operation counter, shared by every operator in
+        #: the tree (the paper's complexity measure, reported per
+        #: query).  Cumulative across executions of a cached plan —
+        #: callers diff :meth:`ops_snapshot` readings around a run.
+        self.ops = OperationCounter()
+        stack = [root]
+        while stack:
+            op = stack.pop()
+            op.ops = self.ops
+            stack.extend(op.children())
 
     def execute(self) -> NFRelation:
         result = self.root.execute()
         self.executed = True
         return result
 
-    def explain(self, analyze: bool = False) -> str:
-        return render_plan(self.root, analyze=analyze)
+    def ops_snapshot(self) -> OperationDelta:
+        """Immutable reading of the plan's cumulative operation tallies."""
+        return self.ops.snapshot()
+
+    def explain(
+        self, analyze: bool = False, ops: OperationDelta | None = None
+    ) -> str:
+        return render_plan(self.root, analyze=analyze, ops=ops)
 
     def scan_stats(self) -> ScanStats:
         """Aggregate I/O accounting of the last execution."""

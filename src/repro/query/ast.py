@@ -243,6 +243,17 @@ class AnalyzeStmt(Statement):
 
 
 @dataclass(frozen=True)
+class Monitor(Statement):
+    """``MONITOR [section]`` — render the database's observability
+    views: ``metrics`` (the default — registry counters/gauges/
+    histograms), ``traces`` (recent query traces), ``slow`` (the
+    slow-query log) or ``workload`` (per-statement-shape aggregates).
+    Returns an :class:`~repro.planner.explain.ExplainResult`."""
+
+    section: str = "metrics"
+
+
+@dataclass(frozen=True)
 class Begin(Statement):
     """``BEGIN`` — open a transaction: subsequent catalog and store
     mutations are recorded in an undo log until COMMIT or ROLLBACK."""

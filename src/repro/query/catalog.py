@@ -51,6 +51,23 @@ class Catalog:
         #: I/O accounting of the most recent statement that touched
         #: pages or the index (INSERT/DELETE, or a planned query).
         self.last_io: ScanStats | None = None
+        #: Running total of *every* statement's I/O since the catalog
+        #: was created (unlike :attr:`last_io`, which a multi-statement
+        #: script overwrites per statement).  Diff two readings to
+        #: account a window — the cursor layer does exactly that to
+        #: report per-script totals through its traces.
+        self.io_totals: ScanStats = ScanStats(
+            page_reads=0,
+            records_visited=0,
+            flats_produced=0,
+            index_lookups=0,
+        )
+        #: §4 operation counts of the most recent planned execution.
+        self.last_ops = None
+        #: The :class:`~repro.obs.recorder.Observability` hub traces
+        #: report into (set by the database facade; None for a bare
+        #: catalog — the zero-overhead path).
+        self.observer = None
         #: One-line shape of the most recent planned query's physical
         #: plan (operator names + batch formats); None after DML or
         #: naive evaluation.
@@ -480,7 +497,8 @@ class Catalog:
         return stats
 
     def record_io(self, stats: MutationStats) -> ScanStats:
-        """Fold one mutation's I/O accounting into :attr:`last_io`."""
+        """Fold one mutation's I/O accounting into :attr:`last_io` and
+        the running :attr:`io_totals`."""
         self.last_plan_summary = None
         self.last_io = ScanStats(
             page_reads=stats.page_reads,
@@ -490,5 +508,18 @@ class Catalog:
             page_writes=stats.page_writes,
             pages_written=stats.pages_written,
             wal_bytes=stats.wal_bytes,
+            compositions=stats.compositions,
+            decompositions=stats.decompositions,
+            tuple_probes=stats.tuple_probes,
         )
+        self.io_totals = self.io_totals + self.last_io
         return self.last_io
+
+    def note_query_io(self, io: ScanStats) -> None:
+        """Fold one planned execution's accounting in: always into
+        :attr:`io_totals`, and into :attr:`last_io` when the statement
+        actually touched pages or the index (the CLI's ``io`` view
+        ignores purely in-memory evaluations)."""
+        self.io_totals = self.io_totals + io
+        if io.page_reads or io.index_lookups:
+            self.last_io = io

@@ -127,11 +127,85 @@ def evaluate_stream(
     if not isinstance(node, ast.Expression):
         raise EvaluationError(f"cannot stream node {node!r}")
     binding = make_binding(collect_parameters(node), params)
+    obs = catalog.observer
+    if obs is None or not obs.enabled:
+        # The zero-overhead path: no timing, no trace objects.
+        physical = plan(node, catalog)
+        physical.params.bind(binding)
+
+        def generate():
+            yield from stream_plan(physical, catalog)
+
+        return generate()
+
+    from time import perf_counter, time
+
+    from repro.obs.trace import QueryTrace
+
+    started = time()
+    t0 = perf_counter()
     physical = plan(node, catalog)
+    plan_s = perf_counter() - t0
     physical.params.bind(binding)
+    trace = QueryTrace(
+        statement=None,
+        kind="query",
+        started_at=started,
+        plan_s=plan_s,
+        shape=node,
+    )
+    return _traced_stream(physical, catalog, obs, trace)
+
+
+def _traced_stream(physical, catalog, obs, trace):
+    """Stream a plan while filling ``trace``, recording it when the
+    stream is exhausted (or abandoned — closing the generator records a
+    partial trace)."""
+    from time import perf_counter
+
+    from repro.obs.trace import enable_timing, snapshot_plan, spans_from_plan
+
+    if obs.operator_timing:
+        enable_timing(physical.root)
+    before = snapshot_plan(physical.root)
+    ops_before = physical.ops.snapshot()
+    done = False
+
+    def finalize():
+        trace.ops = physical.ops.snapshot() - ops_before
+        io = physical.scan_stats()
+        if trace.ops:
+            from dataclasses import replace
+
+            io = replace(
+                io,
+                compositions=trace.ops.compositions,
+                decompositions=trace.ops.decompositions,
+                tuple_probes=trace.ops.tuple_probes,
+            )
+        trace.io = io
+        trace.root = spans_from_plan(physical.root, before)
+        trace.batches = trace.root.batches
+        catalog.last_ops = trace.ops
+        obs.record(trace)
 
     def generate():
-        yield from stream_plan(physical, catalog)
+        nonlocal done
+        t0 = perf_counter()
+        try:
+            for batch in stream_plan(physical, catalog):
+                trace.execute_s += perf_counter() - t0
+                trace.rows += len(batch)
+                yield batch
+                t0 = perf_counter()
+            trace.execute_s += perf_counter() - t0
+            done = True
+            finalize()
+        finally:
+            if not done:
+                trace.execute_s += perf_counter() - t0
+                trace.complete = False
+                finalize()
 
     return generate()
 
@@ -139,14 +213,15 @@ def evaluate_stream(
 def stream_plan(physical: "PhysicalPlan", catalog: Catalog):
     """Stream an already-planned (possibly cached and freshly re-bound)
     physical plan, folding its I/O accounting into ``catalog.last_io``
-    once the stream is exhausted."""
+    (and the running ``catalog.io_totals``) once the stream is
+    exhausted."""
     from repro.planner.explain import plan_summary
 
     catalog.last_plan_summary = plan_summary(physical.root)
+    ops_before = physical.ops.snapshot()
     yield from physical.root.iter_batches()
-    io = physical.scan_stats()
-    if io.page_reads or io.index_lookups:
-        catalog.last_io = io
+    catalog.last_ops = physical.ops.snapshot() - ops_before
+    catalog.note_query_io(physical.scan_stats())
 
 
 def _run_planned(node: ast.Expression, catalog: Catalog) -> NFRelation:
@@ -156,11 +231,11 @@ def _run_planned(node: ast.Expression, catalog: Catalog) -> NFRelation:
     from repro.planner.explain import plan_summary
 
     physical = plan(node, catalog)
+    ops_before = physical.ops.snapshot()
     result = physical.execute()
     catalog.last_plan_summary = plan_summary(physical.root)
-    io = physical.scan_stats()
-    if io.page_reads or io.index_lookups:
-        catalog.last_io = io
+    catalog.last_ops = physical.ops.snapshot() - ops_before
+    catalog.note_query_io(physical.scan_stats())
     return result
 
 
@@ -222,12 +297,30 @@ def _execute(
         if node.analyze:
             from repro.planner.explain import plan_summary
 
+            obs = catalog.observer
+            if obs is not None and obs.enabled and obs.operator_timing:
+                from repro.obs.trace import enable_timing
+
+                enable_timing(physical.root)
+            ops_before = physical.ops.snapshot()
             physical.execute()
             catalog.last_plan_summary = plan_summary(physical.root)
-            io = physical.scan_stats()
-            if io.page_reads or io.index_lookups:
-                catalog.last_io = io
-        return ExplainResult(physical.explain(analyze=node.analyze))
+            catalog.last_ops = physical.ops.snapshot() - ops_before
+            catalog.note_query_io(physical.scan_stats())
+            return ExplainResult(
+                physical.explain(analyze=True, ops=catalog.last_ops)
+            )
+        return ExplainResult(physical.explain(analyze=False))
+    if isinstance(node, ast.Monitor):
+        from repro.planner import ExplainResult
+
+        obs = catalog.observer
+        if obs is None:
+            return ExplainResult(
+                "(observability not attached — open the catalog through "
+                "repro.db to record metrics and traces)"
+            )
+        return ExplainResult(obs.render(node.section))
     if isinstance(node, ast.AnalyzeStmt):
         from repro.planner import ExplainResult
 

@@ -43,6 +43,7 @@ KEYWORDS = frozenset(
         "BEGIN",
         "COMMIT",
         "ROLLBACK",
+        "MONITOR",
     }
 )
 

@@ -9,6 +9,7 @@ Grammar (keywords case-insensitive)::
                 | DELETE FROM IDENT VALUES '(' literals ')'
                 | EXPLAIN [ANALYZE] expr
                 | ANALYZE IDENT
+                | MONITOR [IDENT]
                 | BEGIN | COMMIT | ROLLBACK
                 | expr
 
@@ -47,6 +48,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import ParseError
+from repro.obs.recorder import MONITOR_SECTIONS
 from repro.query import ast
 from repro.query.lexer import Token, tokenize
 
@@ -186,6 +188,20 @@ class _Parser:
         if self._at_keyword("ANALYZE"):
             self._next()
             return ast.AnalyzeStmt(self._eat_ident())
+        if self._at_keyword("MONITOR"):
+            tok = self._next()
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "IDENT":
+                section = str(self._next().value).lower()
+            else:
+                section = "metrics"
+            if section not in MONITOR_SECTIONS:
+                raise self._error(
+                    f"unknown MONITOR section {section!r}; expected one "
+                    f"of {', '.join(MONITOR_SECTIONS)}",
+                    tok,
+                )
+            return ast.Monitor(section)
         if self._at_keyword("BEGIN"):
             self._next()
             return ast.Begin()

@@ -150,6 +150,16 @@ class PoolStats:
         self.writebacks = 0
         self.overflows = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot for the metrics collectors."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "overflows": self.overflows,
+        }
+
 
 class BufferPool:
     """A budgeted frame cache over a :class:`FileManager` with CLOCK

@@ -89,6 +89,47 @@ class ScanStats:
     disk_reads: int = 0
     pages_written: int = 0
     wal_bytes: int = 0
+    #: §4 primitive-operation counts (Theorem A-4's complexity measure)
+    #: charged inside the window — nonzero when NFR canonical
+    #: maintenance or restructuring operators ran.
+    compositions: int = 0
+    decompositions: int = 0
+    tuple_probes: int = 0
+
+    def __add__(self, other: "ScanStats") -> "ScanStats":
+        """Field-wise sum — the per-script accumulation the catalog
+        keeps so multi-statement work reports *total* I/O."""
+        return ScanStats(
+            page_reads=self.page_reads + other.page_reads,
+            records_visited=self.records_visited + other.records_visited,
+            flats_produced=self.flats_produced + other.flats_produced,
+            index_lookups=self.index_lookups + other.index_lookups,
+            page_writes=self.page_writes + other.page_writes,
+            bytes_decoded=self.bytes_decoded + other.bytes_decoded,
+            disk_reads=self.disk_reads + other.disk_reads,
+            pages_written=self.pages_written + other.pages_written,
+            wal_bytes=self.wal_bytes + other.wal_bytes,
+            compositions=self.compositions + other.compositions,
+            decompositions=self.decompositions + other.decompositions,
+            tuple_probes=self.tuple_probes + other.tuple_probes,
+        )
+
+    def __sub__(self, other: "ScanStats") -> "ScanStats":
+        """Field-wise difference (diff two accumulator snapshots)."""
+        return ScanStats(
+            page_reads=self.page_reads - other.page_reads,
+            records_visited=self.records_visited - other.records_visited,
+            flats_produced=self.flats_produced - other.flats_produced,
+            index_lookups=self.index_lookups - other.index_lookups,
+            page_writes=self.page_writes - other.page_writes,
+            bytes_decoded=self.bytes_decoded - other.bytes_decoded,
+            disk_reads=self.disk_reads - other.disk_reads,
+            pages_written=self.pages_written - other.pages_written,
+            wal_bytes=self.wal_bytes - other.wal_bytes,
+            compositions=self.compositions - other.compositions,
+            decompositions=self.decompositions - other.decompositions,
+            tuple_probes=self.tuple_probes - other.tuple_probes,
+        )
 
 
 @dataclass(frozen=True)
@@ -114,6 +155,11 @@ class MutationStats:
     page_writes: int
     pages_written: int = 0
     wal_bytes: int = 0
+    #: §4 primitive-operation counts charged by canonical write-through
+    #: maintenance (0 in ``1nf`` mode, where no restructuring happens).
+    compositions: int = 0
+    decompositions: int = 0
+    tuple_probes: int = 0
 
     @property
     def records_touched(self) -> int:
@@ -435,6 +481,7 @@ class NFRStore:
 
     def _snapshot(self) -> tuple[int, ...]:
         s = self.heap.stats
+        ops = self.counter
         return (
             self._records_written,
             self._records_deleted,
@@ -442,12 +489,16 @@ class NFRStore:
             s.page_writes,
             self.heap.disk_writes(),
             self.heap.wal_bytes(),
+            ops.compositions if ops is not None else 0,
+            ops.decompositions if ops is not None else 0,
+            ops.tuple_probes if ops is not None else 0,
         )
 
     def _delta(
         self, before: tuple[int, ...], flats_applied: int
     ) -> MutationStats:
         s = self.heap.stats
+        ops = self.counter
         return MutationStats(
             flats_applied=flats_applied,
             records_written=self._records_written - before[0],
@@ -456,6 +507,15 @@ class NFRStore:
             page_writes=s.page_writes - before[3],
             pages_written=self.heap.disk_writes() - before[4],
             wal_bytes=self.heap.wal_bytes() - before[5],
+            compositions=(
+                ops.compositions - before[6] if ops is not None else 0
+            ),
+            decompositions=(
+                ops.decompositions - before[7] if ops is not None else 0
+            ),
+            tuple_probes=(
+                ops.tuple_probes - before[8] if ops is not None else 0
+            ),
         )
 
     def insert_flat(self, flat: FlatTuple) -> tuple[bool, MutationStats]:
@@ -746,7 +806,10 @@ class NFRStore:
         """Snapshot of the cumulative counters a query window diffs
         against (pairs with :meth:`stats_since`): logical page reads,
         record visits, index lookups, bytes decoded, then the physical
-        layer — disk reads, disk page writes, WAL bytes."""
+        layer — disk reads, disk page writes, WAL bytes — and finally
+        the §4 operation counter (zeros without canonical
+        maintenance)."""
+        ops = self.counter
         return (
             self.heap.stats.page_reads,
             self.heap.stats.records_visited,
@@ -756,6 +819,9 @@ class NFRStore:
             self.heap.disk_reads(),
             self.heap.disk_writes(),
             self.heap.wal_bytes(),
+            ops.compositions if ops is not None else 0,
+            ops.decompositions if ops is not None else 0,
+            ops.tuple_probes if ops is not None else 0,
         )
 
     def stats_since(
@@ -773,6 +839,9 @@ class NFRStore:
             disk_reads=after[4] - before[4],
             pages_written=after[5] - before[5],
             wal_bytes=after[6] - before[6],
+            compositions=after[7] - before[7],
+            decompositions=after[8] - before[8],
+            tuple_probes=after[9] - before[9],
         )
 
     def stream_scan(

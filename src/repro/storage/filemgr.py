@@ -40,6 +40,14 @@ class FileStats:
         self.writes = 0
         self.syncs = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot for the metrics collectors."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "syncs": self.syncs,
+        }
+
 
 class FileManager:
     """Reads and writes :data:`PAGE_SIZE` page images at offsets in a

@@ -70,6 +70,15 @@ class HeapStats:
         self.records_visited = 0
         self.pages_probed = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot for the metrics collectors."""
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "records_visited": self.records_visited,
+            "pages_probed": self.pages_probed,
+        }
+
 
 class HeapFile:
     """An ordered set of pager-managed pages with free-space-map

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from typing import Callable
 
@@ -135,6 +136,15 @@ class WriteAheadLog:
         #: Cumulative bytes appended to the buffer (the ``wal_bytes``
         #: accounting unit; counted at append, not at fsync).
         self.bytes_logged = 0
+        #: Cumulative frames appended and commits fsynced — sampled by
+        #: the metrics registry.
+        self.frames_logged = 0
+        self.commits = 0
+        self.syncs = 0
+        #: Observer for fsync latency: called with the seconds one
+        #: durability fsync took (commit and truncate).  Set by the
+        #: database's observability wiring.
+        self.fsync_hook: Callable[[float], None] | None = None
         self._closed = False
 
     # -- framing ------------------------------------------------------------------
@@ -149,6 +159,7 @@ class WriteAheadLog:
         frame = self._frame(payload)
         self._buffer.append(frame)
         self.bytes_logged += len(frame)
+        self.frames_logged += 1
 
     def _stamp(self, page: Page) -> int:
         lsn = self.next_lsn
@@ -203,10 +214,11 @@ class WriteAheadLog:
             self._file.write(frame)
             written += len(frame)
         self._fault("wal_sync", 0)
-        os.fsync(self._file.fileno())
+        self._fsync()
         self._durable_offset = self._file.tell()
         self._buffer.clear()
         self.active_dirty.clear()
+        self.commits += 1
         return written
 
     def rollback(self) -> None:
@@ -224,7 +236,7 @@ class WriteAheadLog:
         self._file.seek(0)
         self._durable_offset = 0
         self._fault("wal_sync", 0)
-        os.fsync(self._file.fileno())
+        self._fsync()
 
     # -- recovery -----------------------------------------------------------------
 
@@ -297,6 +309,17 @@ class WriteAheadLog:
         return ops, catalog, max_lsn
 
     # -- lifecycle ----------------------------------------------------------------
+
+    def _fsync(self) -> None:
+        """Durability fsync, timed for the fsync-latency histogram when
+        an observer is attached (a bare fsync otherwise)."""
+        if self.fsync_hook is None:
+            os.fsync(self._file.fileno())
+        else:
+            start = time.perf_counter()
+            os.fsync(self._file.fileno())
+            self.fsync_hook(time.perf_counter() - start)
+        self.syncs += 1
 
     def _fault(self, event: str, detail: int) -> None:
         if self.fault_hook is not None:

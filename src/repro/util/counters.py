@@ -80,3 +80,22 @@ class OperationDelta:
     @property
     def total_structural(self) -> int:
         return self.compositions + self.decompositions
+
+    def __sub__(self, other: "OperationDelta") -> "OperationDelta":
+        return OperationDelta(
+            compositions=self.compositions - other.compositions,
+            decompositions=self.decompositions - other.decompositions,
+            tuple_probes=self.tuple_probes - other.tuple_probes,
+        )
+
+    def __add__(self, other: "OperationDelta") -> "OperationDelta":
+        return OperationDelta(
+            compositions=self.compositions + other.compositions,
+            decompositions=self.decompositions + other.decompositions,
+            tuple_probes=self.tuple_probes + other.tuple_probes,
+        )
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.compositions or self.decompositions or self.tuple_probes
+        )

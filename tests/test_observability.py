@@ -1,0 +1,502 @@
+"""Engine-wide observability: metrics registry, query traces, slow log,
+workload recorder, MONITOR, and the instrumented storage layer.
+
+Covers the registry instruments (counters/gauges/histograms and both
+exposition formats), trace production through the cursor layer
+(phase timings, per-operator spans, cached-plan detection, partial and
+error traces), agreement between trace spans and ``EXPLAIN ANALYZE``,
+the per-script I/O accounting fix (``Catalog.io_totals``), §4 operation
+counts per query, and a hypothesis property pinning that tracing never
+changes results.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.db as db
+from repro.obs import MetricsRegistry, Observability, QueryTrace
+from repro.relational.relation import Relation
+from repro.workloads import paper_examples as pe
+
+
+def _total(metrics: dict, name: str) -> float:
+    """Sum a counter/gauge across labels, or a histogram's count."""
+    entry = metrics[name]
+    if "values" in entry:
+        return sum(entry["values"].values())
+    return entry["count"]
+
+
+@pytest.fixture
+def conn():
+    connection = db.connect()
+    connection.database.register(
+        "Enrollment", pe.FIG1_R1, order=["Course", "Club", "Student"]
+    )
+    return connection
+
+
+@pytest.fixture
+def flat_conn():
+    connection = db.connect()
+    connection.database.register(
+        "R",
+        Relation.from_rows(
+            ["A", "B"],
+            [("a1", "b1"), ("a1", "b2"), ("a2", "b1"), ("a3", "b3")],
+        ),
+        mode="1nf",
+    )
+    return connection
+
+
+# -- metrics registry ---------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "Requests.")
+        c.inc()
+        c.inc(2, route="a")
+        c.inc(route="a")
+        assert c.value() == 1
+        assert c.value(route="a") == 3
+
+    def test_counter_set_total(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total")
+        c.set_total(41, op="fetch")
+        c.set_total(42, op="fetch")
+        assert c.value(op="fetch") == 42
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("frames")
+        g.set(10)
+        g.set(7)
+        assert g.value() == 7
+
+    def test_histogram_quantiles_and_extremes(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds")
+        for v in (0.001, 0.002, 0.004, 0.100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(0.107)
+        assert h.min == pytest.approx(0.001)
+        assert h.max == pytest.approx(0.100)
+        # Quantiles return bucket upper bounds: ordered and bracketing.
+        assert 0.001 <= h.p50 <= h.p95 <= h.p99
+        assert h.p99 >= 0.100 * 0.5  # within a log bucket of the max
+
+    def test_empty_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("empty_seconds")
+        assert h.count == 0
+        assert h.p50 == 0.0 and h.p99 == 0.0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing_total")
+        with pytest.raises(ValueError):
+            reg.gauge("thing_total")
+
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c_total") is reg.counter("c_total")
+
+    def test_collector_runs_on_exposition(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("pulled")
+        calls = []
+        reg.register_collector(lambda: (calls.append(1), g.set(len(calls))))
+        reg.to_dict()
+        reg.to_prometheus()
+        assert len(calls) == 2
+        assert g.value() == 2
+
+    def test_prometheus_format(self):
+        reg = MetricsRegistry()
+        c = reg.counter("reqs_total", "Requests seen.")
+        c.inc(3, kind="query")
+        h = reg.histogram("lat_seconds", "Latency.")
+        h.observe(0.5)
+        text = reg.to_prometheus()
+        assert "# HELP reqs_total Requests seen." in text
+        assert "# TYPE reqs_total counter" in text
+        assert 'reqs_total{kind="query"} 3' in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+
+# -- trace production through the cursor --------------------------------------
+
+
+class TestQueryTraces:
+    def test_query_trace_phases_and_spans(self, conn):
+        obs = conn.database.obs
+        cur = conn.execute("SELECT Enrollment WHERE Course = 'NF2'")
+        cur.fetchall()
+        t = obs.last_trace
+        assert t is not None and t.kind == "query" and t.complete
+        assert t.parse_s >= 0 and t.plan_s > 0 and t.execute_s > 0
+        assert t.root is not None
+        assert t.rows == t.root.rows
+        assert t.statement == "SELECT Enrollment WHERE Course = 'NF2'"
+
+    def test_cached_plan_flag(self, conn):
+        obs = conn.database.obs
+        conn.execute("Enrollment").fetchall()
+        assert obs.last_trace.cached_plan is False
+        conn.execute("Enrollment").fetchall()
+        assert obs.last_trace.cached_plan is True
+
+    def test_partial_trace_on_abandoned_stream(self, conn):
+        obs = conn.database.obs
+        cur = conn.execute("Enrollment")
+        cur.fetchone()
+        cur._batches.close()
+        t = obs.last_trace
+        assert t.kind == "query" and t.complete is False
+
+    def test_error_trace_recorded(self, conn):
+        obs = conn.database.obs
+        with pytest.raises(Exception):
+            conn.execute("SELECT NoSuch WHERE A = 'x'").fetchall()
+        t = obs.last_trace
+        assert t.error is not None and t.complete is False
+        m = conn.database.metrics()
+        assert _total(m, "repro_query_errors_total") >= 1
+
+    def test_statement_trace_rows_and_kind(self, conn):
+        obs = conn.database.obs
+        conn.execute("INSERT INTO Enrollment VALUES ('Art', 'chess', 's9')")
+        t = obs.last_trace
+        assert t.kind == "insert" and t.rows == 1
+        assert t.io is not None and t.io.page_writes >= 1
+
+    def test_prepared_statement_traces_carry_text(self, conn):
+        obs = conn.database.obs
+        ps = conn.prepare("SELECT Enrollment WHERE Course = ?")
+        ps.execute(("NF2",)).fetchall()
+        assert obs.last_trace.statement == "SELECT Enrollment WHERE Course = ?"
+
+    def test_trace_to_dict_shape(self, conn):
+        conn.execute("Enrollment").fetchall()
+        d = conn.database.obs.last_trace.to_dict()
+        for key in ("statement", "kind", "total_s", "rows", "plan", "ops"):
+            assert key in d
+        assert d["plan"]["op"]
+
+    def test_tracing_disabled_records_nothing(self, conn):
+        database = conn.database
+        database.set_tracing(enabled=False)
+        before = len(database.traces())
+        conn.execute("Enrollment").fetchall()
+        assert len(database.traces()) == before
+
+    def test_operator_timing_fills_span_times(self, conn):
+        conn.database.set_tracing(operator_timing=True)
+        conn.execute("SELECT Enrollment WHERE Course = 'NF2'").fetchall()
+        t = conn.database.obs.last_trace
+        assert all(s.time_s is not None for s in t.root.walk())
+
+
+class TestTraceExplainAgreement:
+    def test_span_rows_and_pages_match_explain_analyze(self, conn):
+        sql = "SELECT Enrollment WHERE Course = 'NF2'"
+        conn.execute(sql).fetchall()
+        spans = list(conn.database.obs.last_trace.root.walk())
+        text = conn.execute(f"EXPLAIN ANALYZE {sql}").fetchone()[0]
+        actual_rows = [int(n) for n in re.findall(r"actual rows=(\d+)", text)]
+        # EXPLAIN ANALYZE renders the plan pre-order, as walk() does.
+        assert [s.rows for s in spans] == actual_rows
+        total_pages = int(re.search(r"pages read=(\d+)", text).group(1))
+        root = conn.database.obs.traces()[1].root  # the traced SELECT
+        assert root.total("pages") == total_pages
+
+
+# -- snapshot pinning ---------------------------------------------------------
+
+
+class TestSnapshots:
+    def test_explain_analyze_snapshot(self, flat_conn):
+        text = flat_conn.execute(
+            "EXPLAIN ANALYZE SELECT R WHERE A = 'a1'"
+        ).fetchone()[0]
+        assert text == (
+            "QUERY PLAN\n"
+            "Filter [A = {a1}] (est rows≈1.3, cost≈0.02, actual rows=2, "
+            "batch=codes)\n"
+            "  -> MemoryScan R (est rows≈4, cost≈0.02, actual rows=4, "
+            "batch=rows)\n"
+            "total: pages read=0, index lookups=0, bytes decoded=0\n"
+            "ops: compositions=0, decompositions=0, tuple probes=4"
+        )
+
+    def test_monitor_metrics_snapshot_shape(self, conn):
+        conn.execute("Enrollment").fetchall()
+        text = conn.execute("MONITOR metrics").fetchone()[0]
+        line_re = re.compile(
+            r"^repro_[a-z0-9_]+(\{[^}]*\})? -?[0-9.e+-]+$"
+        )
+        for line in text.splitlines():
+            assert line_re.match(line), line
+        names = {line.split("{")[0].split(" ")[0] for line in text.splitlines()}
+        assert {
+            "repro_catalog_relations",
+            "repro_plan_cache_hits_total",
+            "repro_plan_cache_misses_total",
+            "repro_queries_total",
+            "repro_query_seconds_count",
+        } <= names
+
+    def test_monitor_traces_and_slow_and_workload(self, conn):
+        conn.execute("Enrollment").fetchall()
+        traces = conn.execute("MONITOR traces").fetchone()[0]
+        assert "query: Enrollment" in traces
+        slow = conn.execute("MONITOR slow").fetchone()[0]
+        assert slow.startswith("slow-query threshold: 100ms")
+        workload = conn.execute("MONITOR workload").fetchone()[0]
+        assert workload.splitlines()[0] == (
+            "calls  mean_ms  total_ms  rows  pages  statement"
+        )
+
+    def test_monitor_rejects_unknown_section(self, conn):
+        with pytest.raises(Exception):
+            conn.execute("MONITOR bogus")
+
+    def test_monitor_without_observer(self):
+        from repro.query.catalog import Catalog
+        from repro.query.evaluator import evaluate
+        from repro.query.parser import parse
+
+        result = evaluate(parse("MONITOR metrics"), Catalog())
+        assert "observability not attached" in result.text
+
+
+# -- slow log and workload recorder -------------------------------------------
+
+
+class TestSlowLogAndWorkload:
+    def test_slow_log_threshold(self, conn):
+        conn.database.set_tracing(slow_threshold_s=0.0)
+        conn.execute("Enrollment").fetchall()
+        slow = conn.database.slow_queries()
+        assert slow and slow[0].kind == "query"
+        m = conn.database.metrics()
+        assert _total(m, "repro_slow_queries_total") >= 1
+
+    def test_on_slow_callback(self, conn):
+        hits = []
+        conn.database.obs.on_slow = hits.append
+        conn.database.set_tracing(slow_threshold_s=0.0)
+        conn.execute("Enrollment").fetchall()
+        assert hits and isinstance(hits[0], QueryTrace)
+
+    def test_workload_aggregates_by_shape(self, conn):
+        ps = conn.prepare("SELECT Enrollment WHERE Course = ?")
+        for course in ("NF2", "DB", "NF2"):
+            ps.execute((course,)).fetchall()
+        workload = conn.database.workload()
+        entry = max(workload.top(10), key=lambda s: s.count)
+        assert entry.count == 3
+        assert entry.kind == "query"
+        # prepare() planned the shape up front, so every execution hits.
+        assert entry.cached_plans == 3
+
+    def test_trace_ring_buffer_bounded(self, conn):
+        hub = Observability(trace_buffer=4)
+        for i in range(10):
+            hub.record(
+                QueryTrace(statement=f"q{i}", kind="query", started_at=0.0)
+            )
+        traces = hub.traces()
+        assert len(traces) == 4
+        assert traces[0].statement == "q9"
+
+
+# -- satellite 1: per-script I/O accounting -----------------------------------
+
+
+class TestScriptIOAccounting:
+    def test_script_trace_accumulates_all_statements(self, conn):
+        cur = conn.cursor()
+        cur.executescript(
+            "INSERT INTO Enrollment VALUES ('Art', 'chess', 's1');"
+            "INSERT INTO Enrollment VALUES ('Art', 'chess', 's2');"
+            "INSERT INTO Enrollment VALUES ('Art', 'chess', 's3');"
+        )
+        t = conn.database.obs.last_trace
+        assert t.kind == "script" and t.statements == 3
+        # Every statement's flats, not just the final statement's.
+        assert t.io.flats_produced >= 3
+        assert t.io.page_writes >= 3
+
+    def test_io_totals_accumulate_last_io_preserved(self, conn):
+        catalog = conn.catalog
+        before = catalog.io_totals
+        conn.cursor().executescript(
+            "INSERT INTO Enrollment VALUES ('Art', 'chess', 's1');"
+            "INSERT INTO Enrollment VALUES ('Art', 'chess', 's2');"
+        )
+        window = catalog.io_totals - before
+        assert window.flats_produced >= 2
+        # last_io keeps its old meaning: the final statement only.
+        assert catalog.last_io.flats_produced == 1
+
+    def test_executemany_single_trace(self, conn):
+        conn.executemany(
+            "INSERT INTO Enrollment VALUES ('Art', 'go', ?)",
+            [("s%d" % i,) for i in range(5)],
+        )
+        t = conn.database.obs.last_trace
+        assert t.kind == "insert" and t.statements == 5 and t.rows == 5
+        assert t.io.flats_produced >= 5
+
+
+# -- satellite 2: §4 operation counts per query -------------------------------
+
+
+class TestOperationCounts:
+    def test_scan_counts_tuple_probes(self, conn):
+        conn.execute("SELECT Enrollment WHERE Course = 'NF2'").fetchall()
+        t = conn.database.obs.last_trace
+        assert t.ops is not None and t.ops.tuple_probes > 0
+
+    def test_unnest_counts_decompositions(self, conn):
+        # Course components hold three atoms each: 3 tuples unnest to 9
+        # flats through 6 Def. 2 decompositions.
+        conn.execute("UNNEST Enrollment ON Course").fetchall()
+        t = conn.database.obs.last_trace
+        assert t.ops.decompositions == 6
+
+    def test_join_counts_compositions(self, flat_conn):
+        flat_conn.database.register(
+            "S",
+            Relation.from_rows(["B", "C"], [("b1", "c1"), ("b2", "c2")]),
+            mode="1nf",
+        )
+        flat_conn.execute("FLATJOIN R, S").fetchall()
+        t = flat_conn.database.obs.last_trace
+        assert t.ops.compositions > 0
+
+    def test_insert_reports_write_through_ops(self, conn):
+        conn.execute("ANALYZE Enrollment")  # open the paged NFR store
+        # Shares Student s1 and Club b1 with an existing tuple: the §4
+        # write-through composes the new course in rather than storing
+        # a separate flat.
+        conn.execute("INSERT INTO Enrollment VALUES ('s1', 'c9', 'b1')")
+        t = conn.database.obs.last_trace
+        assert t.ops is not None
+        assert t.ops.compositions >= 1
+
+    def test_explain_analyze_reports_ops_line(self, conn):
+        text = conn.execute(
+            "EXPLAIN ANALYZE UNNEST Enrollment ON Course"
+        ).fetchone()[0]
+        assert re.search(r"ops: compositions=\d+, decompositions=[1-9]", text)
+
+
+# -- metrics move under load --------------------------------------------------
+
+
+class TestDatabaseMetrics:
+    def test_counters_move_under_load(self, conn):
+        database = conn.database
+        m0 = database.metrics()
+        for _ in range(3):
+            conn.execute("Enrollment").fetchall()
+        conn.execute("INSERT INTO Enrollment VALUES ('Art', 'go', 's1')")
+        m1 = database.metrics()
+        assert _total(m1, "repro_queries_total") > _total(
+            m0, "repro_queries_total"
+        )
+        assert (
+            m1["repro_query_seconds"]["count"]
+            > m0["repro_query_seconds"]["count"]
+        )
+        assert _total(m1, "repro_plan_cache_hits_total") >= 2
+        assert _total(m1, "repro_rows_returned_total") > _total(
+            m0, "repro_rows_returned_total"
+        )
+
+    def test_plan_cache_invalidations_counted(self, conn):
+        conn.execute("Enrollment").fetchall()
+        conn.execute("INSERT INTO Enrollment VALUES ('Art', 'go', 's1')")
+        conn.execute("Enrollment").fetchall()
+        assert conn.plan_cache.invalidations >= 1
+        m = conn.database.metrics()
+        assert _total(m, "repro_plan_cache_invalidations_total") >= 1
+
+    def test_closed_connection_totals_retained(self, conn):
+        conn.execute("Enrollment").fetchall()
+        conn.execute("Enrollment").fetchall()
+        database = conn.database
+        live = _total(database.metrics(), "repro_plan_cache_hits_total")
+        conn.close()
+        retained = _total(
+            database.metrics(), "repro_plan_cache_hits_total"
+        )
+        assert retained == live >= 1
+
+    def test_durable_metrics_include_wal_and_pool(self, tmp_path):
+        connection = db.connect(str(tmp_path / "obs.db"))
+        database = connection.database
+        database.register(
+            "Enrollment", pe.FIG1_R1, order=["Course", "Club", "Student"]
+        )
+        connection.execute(
+            "INSERT INTO Enrollment VALUES ('Art', 'go', 's1')"
+        )
+        m = database.metrics()
+        assert _total(m, "repro_wal_frames_total") > 0
+        assert _total(m, "repro_wal_commits_total") > 0
+        assert m["repro_wal_fsync_seconds"]["count"] > 0
+        assert _total(m, "repro_buffer_pool_ops_total") > 0
+        prom = database.metrics_text()
+        assert "# TYPE repro_wal_fsync_seconds histogram" in prom
+        database.close()
+
+
+# -- property: tracing never changes results ----------------------------------
+
+
+@st.composite
+def _rows(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return [
+        (
+            f"a{draw(st.integers(0, 3))}",
+            f"b{draw(st.integers(0, 3))}",
+            f"c{draw(st.integers(0, 5))}",
+        )
+        for _ in range(n)
+    ]
+
+
+class TestTracingTransparency:
+    @settings(max_examples=25, deadline=None)
+    @given(rows=_rows(), pivot=st.integers(0, 3))
+    def test_results_identical_tracing_on_off(self, rows, pivot):
+        sql = f"SELECT T WHERE A = 'a{pivot}'"
+        results = []
+        for enabled, timing in ((False, False), (True, False), (True, True)):
+            connection = db.connect()
+            connection.database.register(
+                "T",
+                Relation.from_rows(["A", "B", "C"], rows),
+                order=["A", "B", "C"],
+            )
+            connection.database.set_tracing(
+                enabled=enabled, operator_timing=timing
+            )
+            results.append(
+                sorted(connection.execute(sql).fetchall(), key=repr)
+            )
+        assert results[0] == results[1] == results[2]
