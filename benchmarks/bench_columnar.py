@@ -20,12 +20,12 @@ accumulates the headline numbers into
 Set ``BENCH_SMOKE=1`` to run a tiny CI-sized configuration.
 """
 
-import json
 import math
 import os
 import pathlib
 import time
 
+from conftest import merge_bench_json
 from repro.analysis.report import ExperimentReport
 from repro.core.nfr_relation import NFRelation
 from repro.planner import plan
@@ -57,11 +57,7 @@ def _best_seconds(fn, repeat=3):
 
 
 def _write_json(section: str, payload: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_columnar.json"
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data[section] = payload
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    merge_bench_json("columnar", section, payload)
 
 
 def test_columnar_filter_throughput(benchmark, report_sink):

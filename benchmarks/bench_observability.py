@@ -20,13 +20,13 @@ CI artifact.
 Set ``BENCH_SMOKE=1`` to run a tiny CI-sized configuration.
 """
 
-import json
 import math
 import os
 import pathlib
 import time
 
 import repro.db as db
+from conftest import merge_bench_json
 from repro.analysis.report import ExperimentReport
 from repro.planner import plan
 from repro.query import Catalog, parse
@@ -55,11 +55,7 @@ def _best_seconds(fn, repeat=REPEAT):
 
 
 def _write_json(section: str, payload: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_observability.json"
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data[section] = payload
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    merge_bench_json("observability", section, payload)
 
 
 def _relation():

@@ -5,10 +5,20 @@ Every benchmark both *times* its computation (pytest-benchmark) and
 :class:`~repro.analysis.report.ExperimentReport` to
 ``benchmarks/results/<experiment_id>.txt`` so EXPERIMENTS.md can cite
 the measured rows.
+
+Beside the per-experiment ``.txt``, every ``bench_<name>.py`` module
+also accumulates a machine-readable ``BENCH_<name>.json``: the
+``report_sink`` fixture appends each report it renders under that
+file's ``"reports"`` section automatically, so every bench module gets
+a JSON artifact without writing any plumbing.  Modules with headline
+numbers beyond the report rows (columnar, observability, shards) merge
+extra top-level sections into the same file via
+:func:`merge_bench_json`.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -18,14 +28,53 @@ from repro.analysis.report import ExperimentReport
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-@pytest.fixture(scope="session")
-def report_sink():
-    """Write rendered experiment reports under benchmarks/results/."""
+def merge_bench_json(name: str, section: str, payload: dict) -> None:
+    """Merge ``payload`` as top-level ``section`` of
+    ``results/BENCH_<name>.json``, preserving the file's other
+    sections."""
     RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _json_cell(cell: object) -> object:
+    if isinstance(cell, (bool, int, float, str)) or cell is None:
+        return cell
+    return str(cell)
+
+
+@pytest.fixture
+def report_sink(request):
+    """Write rendered experiment reports under benchmarks/results/ —
+    the ``.txt`` per experiment id, plus the report's row data appended
+    to the owning module's ``BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    module = pathlib.Path(str(request.node.fspath)).stem
+    name = module.removeprefix("bench_")
 
     def sink(report: ExperimentReport) -> ExperimentReport:
         path = RESULTS_DIR / f"{report.experiment_id}.txt"
         path.write_text(report.render() + "\n")
+        json_path = RESULTS_DIR / f"BENCH_{name}.json"
+        data = (
+            json.loads(json_path.read_text()) if json_path.exists() else {}
+        )
+        data.setdefault("reports", {})[report.experiment_id] = {
+            "title": report.title,
+            "paper_claim": report.paper_claim,
+            "headers": [_json_cell(h) for h in report.headers],
+            "rows": [[_json_cell(c) for c in row] for row in report.rows],
+            "checks": [
+                {"label": label, "passed": ok}
+                for label, ok in report.checks
+            ],
+            "passed": report.passed,
+        }
+        json_path.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
         return report
 
     return sink

@@ -45,6 +45,7 @@ class Database:
         catalog: Catalog | None = None,
         path: str | os.PathLike | None = None,
         frames: int = DEFAULT_FRAME_BUDGET,
+        shards: int | None = None,
         _fault_hook=None,
     ):
         if catalog is not None and path is not None:
@@ -64,9 +65,14 @@ class Database:
             from repro.storage.durable import DurableEngine
 
             self._engine = DurableEngine(
-                path, frames=frames, fault_hook=_fault_hook
+                path, frames=frames, fault_hook=_fault_hook, shards=shards
             )
             self._engine.load_catalog(self.catalog)
+        elif shards is not None and shards > 1:
+            # In-memory sharding: new backing stores hash-partition
+            # over this many shards (same execution paths as a durable
+            # sharded database, minus the files).
+            self.catalog.default_shards = shards
         #: The observability hub: metrics registry, trace ring buffer,
         #: slow-query log and workload recorder.  Cursors on any
         #: connection over this database report their traces into it.
@@ -197,20 +203,27 @@ class Database:
             "repro_wal_fsync_seconds", "WAL fsync latency."
         )
         # Push hook: fsync latencies stream into the histogram as they
-        # happen (a pull collector would only see the last one).
-        engine.wal.fsync_hook = fsync_seconds.observe
+        # happen (a pull collector would only see the last one).  Every
+        # partition's WAL feeds the same histogram.
+        for part in engine.partitions:
+            part.wal.fsync_hook = fsync_seconds.observe
+        sharded = engine.shards > 1
 
         def refresh() -> None:
-            for op, value in engine.pool.stats.as_dict().items():
-                pool_ops.set_total(value, op=op)
-            pool_frames.set(engine.pool.frame_count)
-            for op, value in engine.filemgr.stats.as_dict().items():
-                file_ops.set_total(value, op=op)
-            file_pages.set(engine.filemgr.num_pages)
-            wal_frames.set_total(engine.wal.frames_logged)
-            wal_commits.set_total(engine.wal.commits)
-            wal_syncs.set_total(engine.wal.syncs)
-            wal_size.set(engine.wal.size)
+            for part in engine.partitions:
+                # Unsharded databases keep the historical unlabeled
+                # series; sharded ones add a shard label per partition.
+                labels = {"shard": str(part.index)} if sharded else {}
+                for op, value in part.pool.stats.as_dict().items():
+                    pool_ops.set_total(value, op=op, **labels)
+                pool_frames.set(part.pool.frame_count, **labels)
+                for op, value in part.filemgr.stats.as_dict().items():
+                    file_ops.set_total(value, op=op, **labels)
+                file_pages.set(part.filemgr.num_pages, **labels)
+                wal_frames.set_total(part.wal.frames_logged, **labels)
+                wal_commits.set_total(part.wal.commits, **labels)
+                wal_syncs.set_total(part.wal.syncs, **labels)
+                wal_size.set(part.wal.size, **labels)
 
         reg.register_collector(refresh)
 
@@ -340,6 +353,7 @@ class Database:
 def connect(
     database: "Database | Catalog | str | os.PathLike | None" = None,
     frames: int = DEFAULT_FRAME_BUDGET,
+    shards: int | None = None,
 ):
     """Open a connection to an embedded NF2 database.
 
@@ -352,11 +366,17 @@ def connect(
     :class:`Database` to open another session over it, or a bare
     :class:`~repro.query.catalog.Catalog` to adopt one built by the
     compatibility API.
+
+    ``shards=N`` hash-partitions every relation's backing store over N
+    shards (on disk: N data files + N WALs, recovered atomically via
+    commit epochs).  The shard count is fixed at creation; reopening an
+    existing database infers it from the file and rejects a conflicting
+    explicit value.
     """
     if database is None:
-        database = Database()
+        database = Database(shards=shards)
     elif isinstance(database, (str, os.PathLike)):
-        database = Database(path=database, frames=frames)
+        database = Database(path=database, frames=frames, shards=shards)
     elif isinstance(database, Catalog):
         database = Database(database)
     return database.connect()

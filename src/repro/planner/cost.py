@@ -46,6 +46,13 @@ INDEX_LOOKUP_COST = 0.1
 RANGE_LOOKUP_COST = 0.2
 #: Selectivity assumed when no statistics are available.
 DEFAULT_SELECTIVITY = 0.25
+#: Fixed price of standing up one shard worker (fork + pipe plumbing).
+#: Keeps tiny relations on the serial path: fanning out only wins once
+#: the per-shard scan work dwarfs the startup.
+PARALLEL_STARTUP_COST = 5.0
+#: Per-row price of crossing the worker/coordinator boundary (pickle,
+#: pipe transfer, dictionary remap).
+PARALLEL_MERGE_COST = 0.002
 #: Selectivity assumed for a one-sided inequality with no usable key
 #: statistics (an average literal splits the domain in ~half, but
 #: queries skew selective; BETWEEN is assumed to halve it again).
@@ -157,6 +164,44 @@ def heap_scan_cost(
         cost=page_touch_cost(float(stats.pages), stats)
         + stats.records * RECORD_COST * decode_fraction,
         pages=float(stats.pages),
+    )
+
+
+def shard_fraction_stats(
+    stats: RelationStats, nshards: int
+) -> RelationStats:
+    """Statistics of one shard of a hash-partitioned relation: an even
+    1/N slice of the volume counts.  Per-attribute atom statistics are
+    kept whole — selectivity formulas are ratios, and hash partitioning
+    keeps value distributions representative per shard."""
+    if nshards <= 1:
+        return stats
+    from dataclasses import replace
+
+    scale = 1.0 / nshards
+    return replace(
+        stats,
+        tuple_count=max(1, round(stats.tuple_count * scale)),
+        flat_count=max(1, round(stats.flat_count * scale)),
+        pages=max(1, round(stats.pages * scale)) if stats.pages else 0,
+        records=(
+            max(1, round(stats.records * scale)) if stats.records else 0
+        ),
+    )
+
+
+def parallel_scan_cost(
+    serial: CostEstimate, nshards: int
+) -> CostEstimate:
+    """Fan a serial scan out over N shard workers: the critical path is
+    ~1/N of the scan work, paid for with per-worker startup and the
+    per-row merge toll at the coordinator."""
+    return CostEstimate(
+        rows=serial.rows,
+        cost=serial.cost / nshards
+        + nshards * PARALLEL_STARTUP_COST
+        + serial.rows * PARALLEL_MERGE_COST,
+        pages=serial.pages,
     )
 
 

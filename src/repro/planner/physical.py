@@ -615,6 +615,98 @@ class RangeScan(_StoreScan):
         )
 
 
+class ParallelShardScan(HeapScan):
+    """Fan-out scan of a hash-partitioned store: one forked worker per
+    shard streams that shard's column batches with the conjunct kernels
+    applied *worker-side*, so filtering happens in parallel and only
+    surviving rows cross the pipe.  Batches arrive re-coded onto one
+    coordinator dictionary (the shard-local remap travels with each
+    batch), so downstream columnar operators see a single-dictionary
+    stream exactly as they would from a plain :class:`HeapScan`.
+
+    When forked execution is unavailable (single core, no ``fork``, or
+    ``REPRO_PARALLEL=0``) the scan degrades to the facade's serial
+    shard-chained stream — same rows, same accounting, no processes.
+
+    Parameter placeholders need no shipping: workers fork at stream
+    start, *after* the binding, and inherit the bound
+    :class:`~repro.query.params.ParamSlots` in their memory snapshot.
+    """
+
+    def iter_col_batches(self) -> Iterator[ColumnBatch]:
+        from repro.storage.parallel import (
+            parallel_available,
+            parallel_stream,
+        )
+
+        if not parallel_available():
+            yield from super().iter_col_batches()
+            return
+        conjuncts = self.conjuncts
+        slots = self.slots
+        needed = self.needed
+
+        def make_job(shard):
+            def job():
+                resolve = (
+                    slots.resolve if slots is not None else _identity
+                )
+                before = shard.stats_window()
+                for batch in shard.stream_scan_columns(
+                    needed, batch_rows=BATCH_SIZE
+                ):
+                    if conjuncts:
+                        kept = _filter_rows(conjuncts, batch, resolve)
+                        if kept is not None:
+                            if not kept:
+                                continue
+                            batch = batch.take(kept)
+                    yield batch
+                after = shard.stats_window()
+                yield (
+                    "stats",
+                    tuple(a - b for a, b in zip(after, before)),
+                )
+
+            return job
+
+        jobs = [make_job(s) for s in self.store.shards]
+        coord = self.store.coordinator_dict()
+        rows = 0
+        totals = [0] * 7
+        for _idx, item in parallel_stream(jobs, coord):
+            if isinstance(item, ColumnBatch):
+                rows += item.n
+                self._note_rows(item.n)
+                yield item
+            else:
+                diff = item[1]
+                for i in range(7):
+                    totals[i] += diff[i]
+                if self.ops is not None:
+                    # Candidate records the worker examined — the §4
+                    # ``searcht`` probes, reported once per shard since
+                    # per-batch counts stay worker-side.
+                    self.ops.tuple_probes += diff[1]
+        self.actual_rows = rows
+        self.actual_pages = totals[0]
+        self.actual_index_lookups = totals[2]
+        self.actual_bytes_decoded = totals[3]
+        self.actual_disk_reads = totals[4]
+        self.actual_pages_written = totals[5]
+        self.actual_wal_bytes = totals[6]
+
+    def describe(self) -> str:
+        n = len(self.store.shards)
+        note = _decode_note(self.needed)
+        residual = (
+            f" [{self.predicate.description}]"
+            if self.predicate is not None
+            else ""
+        )
+        return f"ParallelShardScan {self.name} x{n}{residual}{note}"
+
+
 class EmptyResult(PhysicalOp):
     """A statically contradictory predicate: produce nothing."""
 

@@ -35,6 +35,7 @@ from repro.planner.stats import RelationStats
 from repro.query import ast
 from repro.query.params import ParamSlots
 from repro.storage.engine import NFRStore, ScanStats
+from repro.storage.parallel import parallel_available
 from repro.util.counters import OperationCounter, OperationDelta
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -346,6 +347,24 @@ class _Builder:
         needed: frozenset[str] | None = None,
     ) -> P.PhysicalOp:
         store = self.catalog.store_if_open(name)
+        nshards = 1
+        pruned = False
+        if store is not None and getattr(store, "is_sharded", False):
+            nshards = store.nshards
+            routed = self._route_shards(store, conjuncts)
+            if routed == ():
+                # Two partition-attribute atoms routing to different
+                # shards: no stored record's partition component can
+                # contain both — statically empty.
+                return P.EmptyResult(tuple(store.schema.names))
+            if routed is not None:
+                # Equality/containment on the partition attribute pins
+                # the scan to one shard: plan against that shard's
+                # plain store (its own heap, index and range index),
+                # reading 1/N of the relation.
+                store = store.shards[routed[0]]
+                pruned = True
+        fan_out = nshards > 1 and not pruned and parallel_available()
         predicate = (
             L.compile_conjuncts(conjuncts, self.slots) if conjuncts else None
         )
@@ -380,19 +399,26 @@ class _Builder:
                 pages,
                 getattr(store.heap.pager, "is_durable", False),
             )
-            return P.HeapScan(
-                store,
-                name,
-                costs.CostEstimate(
-                    rows=float(records),
-                    cost=page_cost
-                    + records * costs.RECORD_COST * decode_fraction,
-                    pages=float(pages),
-                ),
-                needed=decode,
+            est = costs.CostEstimate(
+                rows=float(records),
+                cost=page_cost
+                + records * costs.RECORD_COST * decode_fraction,
+                pages=float(pages),
             )
+            if fan_out:
+                return P.ParallelShardScan(
+                    store,
+                    name,
+                    costs.parallel_scan_cost(est, nshards),
+                    needed=decode,
+                )
+            return P.HeapScan(store, name, est, needed=decode)
 
         stats = self.catalog.stats_for(name)
+        if pruned:
+            # Cost the access paths against one shard's slice of the
+            # relation (the statistics describe the whole of it).
+            stats = costs.shard_fraction_stats(stats, nshards)
         if store is None:
             relation = self.catalog.get(name)
             base = costs.memory_scan_cost(stats)
@@ -410,6 +436,10 @@ class _Builder:
             )
 
         heap_est = costs.heap_scan_cost(stats, decode_fraction)
+        if fan_out:
+            # The heap alternative for an unpruned sharded store is the
+            # fan-out scan; index plans must beat its critical path.
+            heap_est = costs.parallel_scan_cost(heap_est, nshards)
         if conjuncts and self.use_index is not False:
             # Window conjuncts contribute no probe atoms (no single atom
             # is implied), so a pure-inequality predicate must not fall
@@ -455,6 +485,7 @@ class _Builder:
                             conjuncts=conjuncts,
                         )
 
+        scan_cls = P.ParallelShardScan if fan_out else P.HeapScan
         if predicate is not None:
             sel = costs.conjunct_selectivity(conjuncts, stats)
             est = costs.CostEstimate(
@@ -462,7 +493,7 @@ class _Builder:
                 cost=heap_est.cost,
                 pages=heap_est.pages,
             )
-            return P.HeapScan(
+            return scan_cls(
                 store,
                 name,
                 est,
@@ -471,7 +502,33 @@ class _Builder:
                 conjuncts=conjuncts,
                 slots=self.slots,
             )
-        return P.HeapScan(store, name, heap_est, needed=decode)
+        return scan_cls(store, name, heap_est, needed=decode)
+
+    def _route_shards(
+        self, store, conjuncts: tuple["ast.Condition", ...]
+    ) -> tuple[int, ...] | None:
+        """Plan-time shard routing for a sharded store: the shard
+        indices a conjunct list can be satisfied in, or None when it
+        cannot prune (no literal partition-attribute atom).  Every
+        :func:`~repro.planner.logical.indexable_atoms` pair is an atom a
+        matching record's component must *contain*, and every stored
+        partition atom routes to its own shard — so a partition-attr
+        atom pins the scan, and two routing differently are
+        unsatisfiable (``()``).  Parameter placeholders never prune at
+        plan time (the cached plan must serve every binding); the store
+        facade still prunes them per execution inside its probe
+        streams."""
+        pattr = store.partition_attr
+        targets: set[int] = set()
+        for c in conjuncts:
+            for a, v in L.indexable_atoms(c):
+                if a == pattr and not isinstance(v, ast.Parameter):
+                    targets.add(store.shard_of(v))
+        if not targets:
+            return None
+        if len(targets) > 1:
+            return ()
+        return (targets.pop(),)
 
     def _range_candidate(
         self,

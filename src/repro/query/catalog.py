@@ -48,6 +48,10 @@ class Catalog:
         self._modes: dict[str, str] = {}
         self._stores: dict[str, NFRStore] = {}
         self._stats: dict[str, RelationStats] = {}
+        #: Hash-partition new backing stores over this many shards
+        #: (1 = classic single store).  A durable engine's shard count
+        #: overrides this; setting it >1 shards in-memory stores too.
+        self.default_shards = 1
         #: I/O accounting of the most recent statement that touched
         #: pages or the index (INSERT/DELETE, or a planned query).
         self.last_io: ScanStats | None = None
@@ -99,6 +103,44 @@ class Catalog:
             return self._durability.store_context()
         return None, None
 
+    def _shard_config(self) -> tuple[int, list | None]:
+        """(shard count, per-shard contexts) for new backing stores.
+        The durable engine's partition layout wins; otherwise
+        :attr:`default_shards` shards in memory."""
+        if self._durability is not None:
+            n = getattr(self._durability, "shards", 1)
+            if n > 1:
+                return n, self._durability.shard_store_contexts()
+            return 1, None
+        return max(1, self.default_shards), None
+
+    def _new_store(self, relation, order, mode: str):
+        """Create the backing store for a relation: a plain
+        :class:`NFRStore`, or a :class:`ShardedStore` when the engine
+        (or :attr:`default_shards`) partitions stores.  NFR-mode
+        creation does *not* canonicalize here; callers that need §4
+        canonical form call ``.canonicalize()`` on the result."""
+        nshards, contexts = self._shard_config()
+        pager, journal = self._store_context()
+        if nshards > 1:
+            from repro.storage.shards import ShardedStore
+
+            if mode == "1nf":
+                return ShardedStore.from_relation(
+                    relation.to_1nf(), nshards, order=order,
+                    contexts=contexts,
+                )
+            return ShardedStore.from_nfr(
+                relation, nshards, order=order, contexts=contexts
+            )
+        if mode == "1nf":
+            return NFRStore.from_relation(
+                relation.to_1nf(), order=order, pager=pager, journal=journal
+            )
+        return NFRStore.from_nfr(
+            relation, order=order, pager=pager, journal=journal
+        )
+
     def autocommit(self) -> None:
         """Statement-level durability point: outside an explicit
         transaction, a durable catalog commits after every statement
@@ -132,16 +174,9 @@ class Catalog:
             return store
         relation = self.get(name)
         order = self._orders[name]
-        pager, journal = self._store_context()
-        if self._modes.get(name, "nfr") == "1nf":
-            store = NFRStore.from_relation(
-                relation.to_1nf(), order=order,
-                pager=pager, journal=journal,
-            )
-        else:
-            store = NFRStore.from_nfr(
-                relation, order=order, pager=pager, journal=journal
-            )
+        store = self._new_store(
+            relation, order, self._modes.get(name, "nfr")
+        )
         self._stores[name] = store
         self._entries[name] = store.relation
         store.on_mutation = lambda: self.invalidate_stats(name)
@@ -319,6 +354,11 @@ class Catalog:
         store instead."""
         if store.mode == "1nf":
             return all(t.is_all_singleton() for t in relation)
+        if getattr(store, "is_sharded", False):
+            # A sharded nfr store's representation is per-shard
+            # canonical, not the global canonical form — conservatively
+            # rebuild the store rather than silently re-nest.
+            return False
         from repro.core.canonical import canonical_form
 
         return canonical_form(flat, list(store.order)) == relation
@@ -409,16 +449,10 @@ class Catalog:
         if store is None:
             relation = self.get(name)
             order = self._orders[name]
-            pager, journal = self._store_context()
-            if self._modes.get(name, "nfr") == "1nf":
-                store = NFRStore.from_relation(
-                    relation.to_1nf(), order=order,
-                    pager=pager, journal=journal,
-                )
-            else:
-                store = NFRStore.from_nfr(
-                    relation, order=order, pager=pager, journal=journal
-                ).canonicalize()
+            mode = self._modes.get(name, "nfr")
+            store = self._new_store(relation, order, mode)
+            if mode != "1nf":
+                store = store.canonicalize()
             self._stores[name] = store
             # The catalog entry becomes the stored representation so that
             # query results and subsequent updates agree on it.

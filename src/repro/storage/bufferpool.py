@@ -21,10 +21,31 @@ dirtied by the open transaction (no-steal), which keeps uncommitted
 bytes out of the data file and recovery redo-only.  When every frame is
 pinned or gated the pool temporarily grows past its budget
 (``overflows`` counts how often) rather than deadlock.
+
+Two victim policies share that contract:
+
+- **adaptive** (default): each frame keeps an MSB-aligned hit-history
+  byte.  The aging clock is *access-driven*, not eviction-driven: once
+  every ``capacity`` fetches all frames age — history shifts right one
+  bit and the reference bit lands in the MSB; between aging ticks a
+  touched frame just sets its MSB.  Tying aging to fetches matters both
+  ways: a scan flood evicts on nearly every fetch, and aging per
+  *eviction* would decay the whole pool to zero between two touches of
+  a hot page — while an all-resident phase evicts never, and a hot page
+  could not accumulate history without fetch-driven ticks.  The victim is the evictable frame with the
+  fewest history bits set — popcount weights *frequency* over recency —
+  with raw history (recency), then clean-before-dirty breaking ties.  A
+  page streamed past once never holds more than one bit, so a
+  sequential flood cannot wash out a hot set whose members carry
+  multi-bit histories, the way a single CLOCK reference bit lets it.
+- **pure CLOCK** (``adaptive=False``, or ``REPRO_ADAPTIVE_POOL=0``):
+  the classic two-sweep second-chance ring, kept as the fallback and as
+  the BUF-ADAPT benchmark baseline.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -131,6 +152,9 @@ class _Frame:
     pins: int = 0
     dirty: bool = False
     referenced: bool = True
+    #: MSB-aligned hit history (adaptive policy): bit 7 is "touched
+    #: since the last aging sweep", bit 0 is eight sweeps ago.
+    history: int = 0
 
 
 @dataclass
@@ -173,12 +197,18 @@ class BufferPool:
         capacity: int = DEFAULT_FRAME_BUDGET,
         allocator: PageAllocator | None = None,
         evict_gate: Callable[[int], bool] | None = None,
+        adaptive: bool | None = None,
     ):
         if capacity < 1:
             raise StorageError(f"frame budget must be >= 1, got {capacity}")
         self.filemgr = filemgr
         self.capacity = capacity
         self.allocator = allocator if allocator is not None else PageAllocator()
+        if adaptive is None:
+            adaptive = os.environ.get("REPRO_ADAPTIVE_POOL", "1") != "0"
+        #: Victim policy: hit-history aging when True, pure CLOCK when
+        #: False (the fallback flag).
+        self.adaptive = adaptive
         #: May this (dirty, unpinned) page be written back and evicted?
         #: The durability engine answers False for pages dirtied by the
         #: open transaction (no-steal).
@@ -187,6 +217,8 @@ class BufferPool:
         self._frames: dict[int, _Frame] = {}
         self._clock: list[int] = []
         self._hand = 0
+        # Fetches since the last aging tick (adaptive policy).
+        self._since_age = 0
 
     # -- introspection -----------------------------------------------------------
 
@@ -216,6 +248,9 @@ class BufferPool:
         """Pin ``page_id``'s frame, reading the page image from disk on
         a miss (a zero image — an allocated page never flushed — comes
         back as a fresh empty page)."""
+        self._since_age += 1
+        if self.adaptive and self._since_age >= self.capacity:
+            self._age_frames()
         frame = self._frames.get(page_id)
         if frame is not None:
             self.stats.hits += 1
@@ -309,6 +344,50 @@ class BufferPool:
             self.stats.evictions += 1
 
     def _pick_victim(self) -> int | None:
+        if self.adaptive:
+            return self._pick_victim_adaptive()
+        return self._pick_victim_clock()
+
+    def _age_frames(self) -> None:
+        """Aging tick, once per ``capacity`` fetches: every frame's
+        history shifts right with its reference bit folded into the
+        MSB.  Ticking on *fetches* (not evictions) lets a hot page
+        accumulate history bits even through phases where everything
+        fits and nothing is evicted."""
+        self._since_age = 0
+        for frame in self._frames.values():
+            frame.history = (
+                (frame.history >> 1) | (0x80 if frame.referenced else 0)
+            )
+            frame.referenced = False
+
+    def _pick_victim_adaptive(self) -> int | None:
+        """Frequency-weighted sweep: a frame touched since the last
+        aging tick first latches its MSB, then the evictable frame with
+        the fewest history bits set loses — popcount counts the aging
+        intervals the page was touched in, so a once-streamed page (one
+        bit) is evicted before a hot page (many bits) no matter how
+        recently the flood admitted it.  Raw history (recency) then
+        clean-before-dirty break ties."""
+        best: int | None = None
+        best_key: tuple[int, int, bool, int] | None = None
+        for pid, frame in self._frames.items():
+            if frame.referenced:
+                frame.history |= 0x80
+                frame.referenced = False
+            if not self._evictable(frame):
+                continue
+            key = (
+                frame.history.bit_count(),
+                frame.history,
+                frame.dirty,
+                pid,
+            )
+            if best_key is None or key < best_key:
+                best, best_key = pid, key
+        return best
+
+    def _pick_victim_clock(self) -> int | None:
         """CLOCK with second chance, preferring clean frames: the first
         full sweep clears reference bits and takes an unreferenced
         clean frame; the second accepts an evictable dirty one."""

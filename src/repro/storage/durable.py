@@ -57,6 +57,29 @@ page ids are safe for physiological replay because every reallocation
 logs an ALLOC record whose redo clears the page's stale image first.
 A checkpoint with nothing to do writes nothing, so an idle open/close
 cannot tear the header.
+
+Shards
+------
+
+``connect(path, shards=N)`` partitions every relation over N shard
+files.  Partition 0 *is* the classic database file above (header,
+metadata, heap pages, sidecar WAL) — an unsharded database is exactly
+the ``N == 1`` case, bit-for-bit.  Partitions ``1..N-1`` each add a
+data file ``<path>.s<i>`` and WAL ``<path>.s<i>-wal`` with their own
+buffer pool, page allocator and no-steal gate; their metadata
+(allocator state, per-shard heap extents, LSN high-water marks) lives
+in partition 0's catalog blob, so side files carry no header.
+
+Cross-shard commits are made atomic by a **commit epoch**: commit
+``e`` first commits every side WAL with records in flight (each
+stamped ``e``), then commits partition 0's WAL (catalog blob + COMMIT
+stamped ``e``) — the global decision.  Recovery reads the decided
+epoch ``E`` from partition 0 (its last committed epoch, or the
+checkpointed one) and recovers side WALs with ``max_epoch=E``: a side
+transaction stamped after ``E`` lost its decision record to the crash
+and is discarded everywhere.  A failed commit retried (or rolled back
+via compensation records) re-commits under the *same* epoch, so
+already-durable side commits of the failed attempt stay consistent.
 """
 
 from __future__ import annotations
@@ -77,10 +100,34 @@ from repro.storage.bufferpool import (
 from repro.storage.engine import NFRStore
 from repro.storage.filemgr import FileManager
 from repro.storage.pages import PAGE_SIZE
+from repro.storage.shards import ShardedStore
 from repro.storage.wal import WriteAheadLog, wal_path
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.query.catalog import Catalog
+
+
+def shard_file_path(path: str, index: int) -> str:
+    """Data file of side partition ``index`` (>= 1)."""
+    return f"{path}.s{index}"
+
+
+class _Partition:
+    """One shard partition's durable artefacts."""
+
+    __slots__ = ("index", "filemgr", "wal", "pool")
+
+    def __init__(
+        self,
+        index: int,
+        filemgr: FileManager,
+        wal: WriteAheadLog,
+        pool: BufferPool,
+    ) -> None:
+        self.index = index
+        self.filemgr = filemgr
+        self.wal = wal
+        self.pool = pool
 
 _MAGIC = b"NF2REPRO"
 _FORMAT_VERSION = 1
@@ -107,7 +154,10 @@ class DurableEngine:
         path: str | os.PathLike,
         frames: int = DEFAULT_FRAME_BUDGET,
         fault_hook: Callable[[str, int], None] | None = None,
+        shards: int | None = None,
     ):
+        if shards is not None and shards < 1:
+            raise StorageError(f"shards must be >= 1, got {shards}")
         self.path = os.fspath(path)
         self.filemgr = FileManager(self.path, fault_hook=fault_hook)
         self.wal = WriteAheadLog(wal_path(self.path), fault_hook=fault_hook)
@@ -117,6 +167,14 @@ class DurableEngine:
             evict_gate=self._may_evict,
         )
         self.catalog: "Catalog | None" = None
+        self.shards = 1
+        self.epoch = 0
+        self.partitions: list[_Partition] = [
+            _Partition(0, self.filemgr, self.wal, self.pool)
+        ]
+        self._frames = frames
+        self._fault_hook = fault_hook
+        self._requested_shards = shards
         self._meta = _fresh_meta()
         self._meta_page_ids: list[int] = []
         self._last_committed_blob: bytes | None = None
@@ -127,8 +185,9 @@ class DurableEngine:
         except BaseException:
             # Never leak file handles out of a failed open (corrupt
             # file, or a fault hook firing during recovery).
-            self.filemgr.close()
-            self.wal.close()
+            for part in self.partitions:
+                part.filemgr.close()
+                part.wal.close()
             raise
 
     # -- policies ----------------------------------------------------------------
@@ -163,6 +222,10 @@ class DurableEngine:
                 )
             # Fresh database: write the initial header/metadata so an
             # untouched open/close round-trip still leaves a valid file.
+            self.shards = self._requested_shards or 1
+            self._meta["shards"] = self.shards
+            self._open_side_partitions(self._meta, max_epoch=0)
+            self._split_frame_budget()
             self._dirty_since_checkpoint = True
             self.checkpoint()
             return
@@ -175,6 +238,16 @@ class DurableEngine:
                 f"database page size {meta.get('page_size')} does not "
                 f"match this build's {PAGE_SIZE}"
             )
+        stored_shards = int(meta.get("shards", 1))
+        if (
+            self._requested_shards is not None
+            and self._requested_shards != stored_shards
+        ):
+            raise StorageError(
+                f"database {self.path!r} has {stored_shards} shard(s); "
+                f"re-sharding to {self._requested_shards} is not supported"
+            )
+        self.shards = stored_shards
         self._meta = meta
         self.pool.allocator = PageAllocator.from_state(meta["allocator"])
         header_lsn = header[2] if header is not None else 0
@@ -182,6 +255,10 @@ class DurableEngine:
             self._meta_page_ids = list(header[1])
             self.allocator.reserve(self._meta_page_ids)
         self.wal.next_lsn = max(max_lsn, header_lsn) + 1
+        # The decided epoch: partition 0 holds the global commit
+        # decisions — the newest is in its WAL, or (after a checkpoint
+        # truncated it) in the catalog blob itself.
+        self.epoch = max(int(meta.get("epoch", 0)), self.wal.recovered_epoch)
         for op in ops:
             page = self.pool.fetch(op.page_id)
             dirty = False
@@ -191,12 +268,61 @@ class DurableEngine:
                     dirty = True
             finally:
                 self.pool.release(op.page_id, dirty=dirty)
-        if ops or wal_blob is not None or self.wal.size:
+        side_recovered = self._open_side_partitions(meta, max_epoch=self.epoch)
+        self._split_frame_budget()
+        if ops or wal_blob is not None or self.wal.size or side_recovered:
             # Recovery happened (or the WAL holds already-applied
             # records): fold everything into the data file and start
             # with an empty log.
             self._dirty_since_checkpoint = True
             self.checkpoint()
+
+    def _open_side_partitions(self, meta: dict, max_epoch: int) -> bool:
+        """Open data file + WAL + pool for partitions ``1..N-1`` and
+        recover each side WAL up to the decided epoch.  Returns True
+        when any side partition replayed operations (or still holds a
+        non-empty WAL), so the caller folds them into a checkpoint."""
+        if self.shards <= 1:
+            return False
+        alloc_states = meta.get("shard_allocators") or []
+        lsn_marks = meta.get("shard_max_lsn") or []
+        recovered = False
+        for i in range(1, self.shards):
+            spath = shard_file_path(self.path, i)
+            filemgr = FileManager(spath, fault_hook=self._fault_hook)
+            wal = WriteAheadLog(wal_path(spath), fault_hook=self._fault_hook)
+            pool = BufferPool(
+                filemgr,
+                capacity=self._frames,
+                evict_gate=lambda pid, _wal=wal: pid not in _wal.active_dirty,
+            )
+            self.partitions.append(_Partition(i, filemgr, wal, pool))
+            ops, _blob, max_lsn = wal.recover(max_epoch=max_epoch)
+            if i - 1 < len(alloc_states):
+                pool.allocator = PageAllocator.from_state(alloc_states[i - 1])
+            mark = lsn_marks[i - 1] if i - 1 < len(lsn_marks) else 0
+            wal.next_lsn = max(max_lsn, mark) + 1
+            for op in ops:
+                page = pool.fetch(op.page_id)
+                dirty = False
+                try:
+                    if op.lsn > page.lsn:
+                        op.apply(page)
+                        dirty = True
+                finally:
+                    pool.release(op.page_id, dirty=dirty)
+            if ops or wal.size:
+                recovered = True
+        return recovered
+
+    def _split_frame_budget(self) -> None:
+        """Divide the database's frame budget evenly over partitions
+        (the unsharded case keeps the full budget untouched)."""
+        if self.shards <= 1:
+            return
+        per = max(8, self._frames // self.shards)
+        for part in self.partitions:
+            part.pool.capacity = per
 
     def load_catalog(self, catalog: "Catalog") -> None:
         """Populate ``catalog`` with the persisted relations (stores
@@ -204,15 +330,26 @@ class DurableEngine:
         durability hooks.  Called once, right after construction."""
         self.catalog = catalog
         for name, rel in sorted(self._meta["relations"].items()):
-            store = NFRStore.attach(
-                RelationSchema(rel["schema"]),
-                rel["mode"],
-                rel["pages"],
-                self.pool,
-                journal=self.wal,
-                indexed=rel["indexed"],
-                order=rel["order"],
-            )
+            if "shard_pages" in rel:
+                store: NFRStore | ShardedStore = ShardedStore.attach(
+                    RelationSchema(rel["schema"]),
+                    rel["mode"],
+                    rel["shard_pages"],
+                    self.shard_store_contexts(),
+                    partition_attr=rel.get("partition"),
+                    indexed=rel["indexed"],
+                    order=rel["order"],
+                )
+            else:
+                store = NFRStore.attach(
+                    RelationSchema(rel["schema"]),
+                    rel["mode"],
+                    rel["pages"],
+                    self.pool,
+                    journal=self.wal,
+                    indexed=rel["indexed"],
+                    order=rel["order"],
+                )
             catalog.adopt_store(name, store)
         catalog.attach_durability(self)
 
@@ -222,6 +359,12 @@ class DurableEngine:
         """(pager, journal) for stores the catalog creates."""
         return self.pool, self.wal
 
+    def shard_store_contexts(
+        self,
+    ) -> list[tuple[BufferPool, WriteAheadLog]]:
+        """(pager, journal) per shard for ShardedStore creation."""
+        return [(p.pool, p.wal) for p in self.partitions]
+
     # -- metadata serialization --------------------------------------------------
 
     def _serialize(self) -> bytes:
@@ -230,19 +373,40 @@ class DurableEngine:
         then skip the fsync entirely)."""
         meta = dict(self._meta)
         meta["allocator"] = self.allocator.state()
+        if self.shards > 1:
+            meta["shards"] = self.shards
+            # meta["epoch"] is refreshed only by checkpoint(): between
+            # checkpoints the WAL's COMMIT stamps carry the decided
+            # epoch (recovery takes the max of both), and a per-commit
+            # epoch here would make consecutive blobs always differ,
+            # defeating no-op commit detection.
+            meta.setdefault("epoch", 0)
+            meta["shard_allocators"] = [
+                p.pool.allocator.state() for p in self.partitions[1:]
+            ]
+            meta["shard_max_lsn"] = [
+                p.wal.next_lsn - 1 for p in self.partitions[1:]
+            ]
         if self.catalog is not None:
             relations = {}
             for name in self.catalog.names():
                 store = self.catalog.store_if_open(name)
                 if store is None:  # pragma: no cover - commit ensures
                     continue
-                relations[name] = {
+                entry = {
                     "schema": list(store.schema.names),
                     "order": list(store.order),
                     "mode": store.mode,
                     "indexed": store.index is not None,
-                    "pages": store.heap.page_ids(),
                 }
+                if getattr(store, "is_sharded", False):
+                    entry["shard_pages"] = [
+                        shard.heap.page_ids() for shard in store.shards
+                    ]
+                    entry["partition"] = store.partition_attr
+                else:
+                    entry["pages"] = store.heap.page_ids()
+                relations[name] = entry
             meta["relations"] = relations
         self._meta = meta
         return json.dumps(meta, sort_keys=True).encode("utf-8")
@@ -311,10 +475,28 @@ class DurableEngine:
             for name in self.catalog.names():
                 self.catalog.ensure_store(name)
         blob = self._serialize()
-        if not self.wal.in_flight and blob == self._last_committed_blob:
+        if (
+            not any(p.wal.in_flight for p in self.partitions)
+            and blob == self._last_committed_blob
+        ):
             return
-        self.wal.log_catalog(blob)
-        self.wal.commit()
+        if self.shards == 1:
+            self.wal.log_catalog(blob)
+            self.wal.commit()
+        else:
+            # Two-phase-ish epoch commit: side WALs first, each stamped
+            # with the candidate epoch; partition 0's COMMIT is the
+            # global decision.  self.epoch only advances after that
+            # decision is durable, so a failed attempt retries (or
+            # rolls back via CLRs) under the same epoch — consistent
+            # with side commits the failed attempt already hardened.
+            e = self.epoch + 1
+            for part in self.partitions[1:]:
+                if part.wal.in_flight:
+                    part.wal.commit(epoch=e)
+            self.wal.log_catalog(blob)
+            self.wal.commit(epoch=e)
+            self.epoch = e
         self._last_committed_blob = blob
         self._dirty_since_checkpoint = True
 
@@ -337,34 +519,57 @@ class DurableEngine:
 
     # -- checkpoint ---------------------------------------------------------------
 
+    def _used_pages(self, partition: int) -> set[int]:
+        """Live heap pages of one partition, from the open catalog (or
+        the persisted metadata before any catalog is attached)."""
+        used: set[int] = set()
+        if self.catalog is not None:
+            for name in self.catalog.names():
+                store = self.catalog.store_if_open(name)
+                if store is None:
+                    continue
+                if getattr(store, "is_sharded", False):
+                    used.update(store.shards[partition].heap.page_ids())
+                elif partition == 0:
+                    used.update(store.heap.page_ids())
+        else:
+            for rel in self._meta["relations"].values():
+                if "shard_pages" in rel:
+                    if partition < len(rel["shard_pages"]):
+                        used.update(rel["shard_pages"][partition])
+                elif partition == 0:
+                    used.update(rel["pages"])
+        return used
+
     def checkpoint(self) -> None:
         """Fold WAL-protected state into the data file: flush dirty
         frames, mark-sweep the allocator, rewrite metadata pages and
         header (fsync-fenced), truncate the WAL."""
         self._check_open()
-        if self.wal.in_flight:
+        if any(p.wal.in_flight for p in self.partitions):
             raise TransactionError(
                 "cannot checkpoint with a transaction in progress"
             )
         if not self._dirty_since_checkpoint:
             return
-        self.pool.flush_all()
-        used = {0}
-        if self.catalog is not None:
-            for name in self.catalog.names():
-                store = self.catalog.store_if_open(name)
-                if store is not None:
-                    used.update(store.heap.page_ids())
-        else:
-            for rel in self._meta["relations"].values():
-                used.update(rel["pages"])
-        self.allocator.sweep(used)
-        # Frames of swept-away pages (dropped stores, pre-vacuum
-        # extents, old metadata) are garbage now — drop them, or a
-        # later allocation of the same id would collide with the stale
-        # resident frame.
-        for pid in self.allocator.free_ids:
-            self.pool.drop_frame(pid)
+        for part in self.partitions:
+            part.pool.flush_all()
+            used = {0} if part.index == 0 else set()
+            used.update(self._used_pages(part.index))
+            part.pool.allocator.sweep(used)
+            # Frames of swept-away pages (dropped stores, pre-vacuum
+            # extents, old metadata) are garbage now — drop them, or a
+            # later allocation of the same id would collide with the
+            # stale resident frame.
+            for pid in part.pool.allocator.free_ids:
+                part.pool.drop_frame(pid)
+        # Side data files must be durable before partition 0's header
+        # commits the metadata (allocator states, heap extents) that
+        # describes them.
+        for part in self.partitions[1:]:
+            part.filemgr.sync()
+        if self.shards > 1:
+            self._meta["epoch"] = self.epoch
         blob = self._serialize()
         chunks = [
             blob[i : i + PAGE_SIZE] for i in range(0, len(blob), PAGE_SIZE)
@@ -383,6 +588,8 @@ class DurableEngine:
         self.filemgr.sync()
         self._write_header(blob, meta_pids)
         self.filemgr.sync()
+        for part in self.partitions[1:]:
+            part.wal.truncate()
         self.wal.truncate()
         self._meta_page_ids = meta_pids
         self._last_committed_blob = blob
@@ -403,14 +610,17 @@ class DurableEngine:
         the WAL instead."""
         if self._closed:
             return
-        if self.wal.in_flight:
-            self.wal.rollback()
-            self.pool.drop_all()
+        if any(p.wal.in_flight for p in self.partitions):
+            for part in self.partitions:
+                part.wal.rollback()
+                part.pool.drop_all()
         else:
             self.checkpoint()
-            self.pool.drop_all()
-        self.filemgr.close()
-        self.wal.close()
+            for part in self.partitions:
+                part.pool.drop_all()
+        for part in self.partitions:
+            part.filemgr.close()
+            part.wal.close()
         self._closed = True
 
     def abandon(self) -> None:
@@ -419,9 +629,10 @@ class DurableEngine:
         exactly the bytes the simulated crash left behind."""
         if self._closed:
             return
-        self.pool.drop_all()
-        self.filemgr.close()
-        self.wal.close()
+        for part in self.partitions:
+            part.pool.drop_all()
+            part.filemgr.close()
+            part.wal.close()
         self._closed = True
 
     def __repr__(self) -> str:

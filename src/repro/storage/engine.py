@@ -165,6 +165,22 @@ class MutationStats:
     def records_touched(self) -> int:
         return self.records_written + self.records_deleted
 
+    def __add__(self, other: "MutationStats") -> "MutationStats":
+        """Field-wise sum — a multi-shard mutation reports the total
+        I/O across every shard it touched."""
+        return MutationStats(
+            flats_applied=self.flats_applied + other.flats_applied,
+            records_written=self.records_written + other.records_written,
+            records_deleted=self.records_deleted + other.records_deleted,
+            page_reads=self.page_reads + other.page_reads,
+            page_writes=self.page_writes + other.page_writes,
+            pages_written=self.pages_written + other.pages_written,
+            wal_bytes=self.wal_bytes + other.wal_bytes,
+            compositions=self.compositions + other.compositions,
+            decompositions=self.decompositions + other.decompositions,
+            tuple_probes=self.tuple_probes + other.tuple_probes,
+        )
+
 
 class NFRStore:
     """A stored relation (1NF or NFR representation) with I/O counting

@@ -98,8 +98,9 @@ class FileManager:
             raise StorageError(f"negative page id {page_id}")
         self._fault("read", page_id)
         self.stats.reads += 1
-        self._file.seek(page_id * PAGE_SIZE)
-        data = self._file.read(PAGE_SIZE)
+        # Positioned read: the fd's offset is shared with forked shard
+        # workers, so page I/O must never depend on (or move) it.
+        data = os.pread(self._file.fileno(), PAGE_SIZE, page_id * PAGE_SIZE)
         if len(data) < PAGE_SIZE:
             data = data + b"\x00" * (PAGE_SIZE - len(data))
         return data
@@ -115,8 +116,7 @@ class FileManager:
             raise StorageError(f"negative page id {page_id}")
         self._fault("write", page_id)
         self.stats.writes += 1
-        self._file.seek(page_id * PAGE_SIZE)
-        self._file.write(data)
+        os.pwrite(self._file.fileno(), data, page_id * PAGE_SIZE)
 
     def sync(self) -> None:
         """fsync the data file — the durability barrier checkpoints

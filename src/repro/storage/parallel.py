@@ -1,0 +1,205 @@
+"""Per-query worker pool: shard streams in forked processes.
+
+A parallel scan forks one worker per shard.  ``fork`` (not ``spawn``)
+is essential: the child inherits the parent's memory image — the shard
+stores, their page caches, indexes and dictionaries — at the instant of
+the fork, so no state is pickled to start a job and every worker sees a
+consistent snapshot of the database.  Workers are strictly read-only;
+page I/O is safe because :class:`~repro.storage.filemgr.FileManager`
+uses positioned reads (``os.pread``), which never touch the file
+offset the processes share.
+
+Wire protocol (one duplex-free pipe per worker, messages are pickled
+tuples):
+
+``("b", names, n, columns, dict_key, base, atoms)``
+    One :class:`~repro.storage.columnar.ColumnBatch`.  ``columns`` are
+    the raw ``(offsets, codes)`` pairs under the *worker's* shard
+    dictionary; ``atoms`` is the tail of that dictionary the worker has
+    not shipped yet (``base`` is its starting code).  The coordinator
+    interns the tail into its own dictionary, extending a per-worker
+    translation table, and re-codes the batch — the shard-local
+    dictionary remap travels with the data, so the full dictionary is
+    never re-sent.
+``("x", item)``
+    Any picklable side item (stats snapshots, markers) — passed through.
+``("s",)``
+    End of stream for this worker.
+``("err", message)``
+    The worker raised; the coordinator terminates the pool and raises
+    :class:`~repro.errors.StorageError`.
+
+Back-pressure is the pipe itself: a worker blocks in ``send`` once the
+coordinator falls behind, so an unbounded scan cannot balloon memory.
+Abandoning the coordinator generator terminates every worker (they are
+daemons besides, so no crash can leak them).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.columnar import AtomDict, ColumnBatch
+
+#: Environment switch: ``0`` disables forked execution everywhere,
+#: ``1`` forces it on even on a single-core host (correctness tests),
+#: unset defers to :func:`parallel_available`.
+_ENV_FLAG = "REPRO_PARALLEL"
+
+
+def cpu_count() -> int:
+    """Cores this process may run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    """Does this platform support ``fork`` start method?"""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallel_available() -> bool:
+    """Should fan-out scans use forked workers?  Honors
+    ``REPRO_PARALLEL`` (``1`` forces on, ``0`` forces off); otherwise
+    requires ``fork`` and more than one usable core (forking buys
+    nothing on a single core and costs the fork)."""
+    flag = os.environ.get(_ENV_FLAG)
+    if flag == "0":
+        return False
+    if not fork_available():
+        return False
+    if flag == "1":
+        return True
+    return cpu_count() > 1
+
+
+def _worker(conn, job: Callable[[], Iterable[Any]]) -> None:
+    """Child body: drain the job, shipping batches with incremental
+    dictionary deltas."""
+    shipped: dict[int, int] = {}
+    try:
+        for item in job():
+            if isinstance(item, ColumnBatch):
+                adict = item.adict
+                key = id(adict)
+                base = shipped.get(key, 0)
+                atoms = adict.atoms[base:]
+                shipped[key] = len(adict.atoms)
+                conn.send(
+                    ("b", item.names, item.n, item.columns, key, base, atoms)
+                )
+            else:
+                conn.send(("x", item))
+        conn.send(("s",))
+    except Exception as exc:  # pragma: no cover - transported to parent
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class _Translator:
+    """Coordinator-side incremental remap of one worker dictionary."""
+
+    __slots__ = ("mapping", "identity")
+
+    def __init__(self) -> None:
+        self.mapping: list[int] = []
+        self.identity = True
+
+    def extend(self, coord: AtomDict, base: int, atoms: list) -> None:
+        if base != len(self.mapping):
+            raise StorageError(
+                f"shard dictionary delta out of order: expected base "
+                f"{len(self.mapping)}, got {base}"
+            )
+        code = coord.code
+        for atom in atoms:
+            m = code(atom)
+            if m != len(self.mapping):
+                self.identity = False
+            self.mapping.append(m)
+
+    def rebuild(
+        self, coord: AtomDict, names, n: int, columns
+    ) -> ColumnBatch:
+        if self.identity:
+            return ColumnBatch(names, n, columns, coord)
+        mapping = self.mapping
+        recoded = [
+            (offsets, [mapping[c] for c in codes])
+            for offsets, codes in columns
+        ]
+        return ColumnBatch(names, n, recoded, coord)
+
+
+def parallel_stream(
+    jobs: "list[Callable[[], Iterable[Any]]]",
+    coord_dict: AtomDict,
+) -> Iterator[tuple[int, Any]]:
+    """Run one forked worker per job and yield ``(job_index, item)`` as
+    results arrive (interleaved across workers, order within one worker
+    preserved).  ColumnBatch items come back re-coded onto
+    ``coord_dict``; other items are passed through as sent.
+
+    The caller owns lifecycle via the generator protocol: closing the
+    generator terminates outstanding workers."""
+    ctx = multiprocessing.get_context("fork")
+    procs: list = []
+    conns: dict[Any, int] = {}
+    translators: dict[tuple[int, int], _Translator] = {}
+    try:
+        for idx, job in enumerate(jobs):
+            parent, child = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_worker, args=(child, job), daemon=True)
+            proc.start()
+            child.close()
+            conns[parent] = idx
+            procs.append(proc)
+        while conns:
+            for conn in _conn_wait(list(conns)):
+                idx = conns[conn]
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    # Worker died without an end-of-stream marker.
+                    del conns[conn]
+                    conn.close()
+                    raise StorageError(
+                        f"shard worker {idx} exited unexpectedly"
+                    )
+                kind = msg[0]
+                if kind == "b":
+                    _, names, n, columns, dict_key, base, atoms = msg
+                    tr = translators.get((idx, dict_key))
+                    if tr is None:
+                        tr = translators[(idx, dict_key)] = _Translator()
+                    tr.extend(coord_dict, base, atoms)
+                    yield idx, tr.rebuild(coord_dict, names, n, columns)
+                elif kind == "x":
+                    yield idx, msg[1]
+                elif kind == "s":
+                    del conns[conn]
+                    conn.close()
+                else:  # "err"
+                    raise StorageError(f"shard worker {idx} failed: {msg[1]}")
+        for proc in procs:
+            proc.join()
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()

@@ -1,0 +1,790 @@
+"""Hash-partitioned shards: one relation, N heap files.
+
+:class:`ShardedStore` presents the full :class:`~repro.storage.engine.NFRStore`
+surface over ``N`` shard stores.  Every flat tuple routes to exactly one
+shard by the hash of its **partition attribute** atom, so
+
+- an equality probe on the partition attribute touches one shard (the
+  planner prunes the other ``N-1`` away — SHARD-PRUNE);
+- everything else fans out over all shards, serially through this
+  facade or concurrently through :mod:`repro.storage.parallel`.
+
+Routing must be *stable across processes and restarts* (``hash(str)``
+is salted per process) and must agree with Python equality (``1``,
+``1.0`` and ``True`` are one value to the query language, so they must
+land on one shard).  :func:`routing_bytes` therefore canonicalises
+numerics to their integer form when exact, and :func:`shard_of_atom`
+hashes the canonical bytes with CRC-32.
+
+The shard invariant — *every atom stored in a shard's partition
+component routes to that shard* — holds in both store modes:
+
+- ``1nf``: each record is one flat tuple, routed directly;
+- ``nfr``: tuples are split per shard on ingest (a partition component
+  is restricted to the atoms routing to each shard; flats are the
+  product of components, so the split preserves R*), and canonical
+  maintenance inside a shard only ever merges atoms that are already
+  in that shard.
+
+Consequently the sharded store's R* equals the unsharded store's R*
+exactly; in ``nfr`` mode the *tuple-level* representation may differ
+(a partition component spanning shards is stored as several tuples),
+which is the same representation freedom NF² relations already have.
+
+Columnar streams from different shards carry different per-shard
+:class:`~repro.storage.columnar.AtomDict` codes; the facade re-codes
+every batch onto one coordinator dictionary (with an incremental
+translation table per shard, extended only as shard dictionaries grow)
+so downstream operators can concatenate and join batches from any mix
+of shards.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import StorageError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import FlatTuple
+from repro.storage.columnar import AtomDict, ColumnBatch
+from repro.storage.engine import MutationStats, NFRStore, ScanStats
+from repro.storage.heap import HeapStats
+
+#: Default shard count of a :class:`ShardedStore` built without one.
+DEFAULT_SHARDS = 1
+
+
+# -- routing ---------------------------------------------------------------------
+
+
+def routing_bytes(value: Any) -> bytes:
+    """Canonical routing key of one atom.  Python-equal values produce
+    equal bytes (``1`` / ``1.0`` / ``True`` co-locate), and the bytes
+    are stable across processes and restarts."""
+    if value is None:
+        return b"z:"
+    if isinstance(value, bool) or isinstance(value, int):
+        return b"n:" + str(int(value)).encode("ascii")
+    if isinstance(value, float):
+        if value.is_integer():
+            return b"n:" + str(int(value)).encode("ascii")
+        return b"f:" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8")
+    return b"o:" + repr(value).encode("utf-8")
+
+
+def shard_of_atom(value: Any, nshards: int) -> int:
+    """The shard one atom routes to."""
+    if nshards == 1:
+        return 0
+    return zlib.crc32(routing_bytes(value)) % nshards
+
+
+# -- aggregate views -------------------------------------------------------------
+
+
+class _ShardedHeapStats:
+    """Field-wise sum of the shard heaps' :class:`HeapStats`, with the
+    same read surface (metrics collectors call ``as_dict``)."""
+
+    def __init__(self, shards: list[NFRStore]):
+        self._shards = shards
+
+    def _sum(self, field: str) -> int:
+        return sum(getattr(s.heap.stats, field) for s in self._shards)
+
+    @property
+    def page_reads(self) -> int:
+        return self._sum("page_reads")
+
+    @property
+    def page_writes(self) -> int:
+        return self._sum("page_writes")
+
+    @property
+    def records_visited(self) -> int:
+        return self._sum("records_visited")
+
+    @property
+    def pages_probed(self) -> int:
+        return self._sum("pages_probed")
+
+    def reset(self) -> None:
+        for s in self._shards:
+            s.heap.stats.reset()
+
+    def as_dict(self) -> dict[str, int]:
+        out = HeapStats().as_dict()
+        for s in self._shards:
+            for k, v in s.heap.stats.as_dict().items():
+                out[k] += v
+        return out
+
+
+class _ShardedPagerView:
+    """What the statistics collector needs to know about the pagers
+    backing the shards: durability and the total frame budget."""
+
+    def __init__(self, shards: list[NFRStore]):
+        self._shards = shards
+
+    @property
+    def is_durable(self) -> bool:
+        return bool(getattr(self._shards[0].heap.pager, "is_durable", False))
+
+    @property
+    def capacity(self) -> int:
+        return sum(
+            getattr(s.heap.pager, "capacity", 0) for s in self._shards
+        )
+
+    @property
+    def disk_reads(self) -> int:
+        return sum(s.heap.pager.disk_reads for s in self._shards)
+
+    @property
+    def disk_writes(self) -> int:
+        return sum(s.heap.pager.disk_writes for s in self._shards)
+
+
+class _ShardedHeapView:
+    """The read-only heap surface consumers introspect (planner
+    statistics, metrics collectors, CLI summaries), summed over the
+    shard heaps.  Page ids are shard-local, so there is deliberately no
+    aggregate ``page_ids()`` — per-shard layout questions go through
+    :attr:`ShardedStore.shards`."""
+
+    def __init__(self, shards: list[NFRStore]):
+        self._shards = shards
+        self.stats = _ShardedHeapStats(shards)
+        self.pager = _ShardedPagerView(shards)
+
+    @property
+    def page_count(self) -> int:
+        return sum(s.heap.page_count for s in self._shards)
+
+    @property
+    def record_count(self) -> int:
+        return sum(s.heap.record_count for s in self._shards)
+
+    def used_bytes(self) -> int:
+        return sum(s.heap.used_bytes() for s in self._shards)
+
+    def allocated_bytes(self) -> int:
+        return sum(s.heap.allocated_bytes() for s in self._shards)
+
+    def disk_reads(self) -> int:
+        return sum(s.heap.disk_reads() for s in self._shards)
+
+    def disk_writes(self) -> int:
+        return sum(s.heap.disk_writes() for s in self._shards)
+
+    def wal_bytes(self) -> int:
+        return sum(s.heap.wal_bytes() for s in self._shards)
+
+
+class _ShardedIndexView:
+    """Aggregate over the shard AtomIndexes (existence, lookup and
+    posting counts; actual probes go through the facade's stream
+    methods, which prune shards first)."""
+
+    def __init__(self, shards: list[NFRStore], kind: str):
+        self._shards = shards
+        self._kind = kind
+
+    def _each(self):
+        for s in self._shards:
+            idx = getattr(s, self._kind)
+            if idx is not None:
+                yield idx
+
+    @property
+    def lookups(self) -> int:
+        return sum(idx.lookups for idx in self._each())
+
+    def entry_count(self) -> int:
+        return sum(idx.entry_count() for idx in self._each())
+
+    def key_fraction(
+        self,
+        attribute: str,
+        low: Any,
+        high: Any,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> float | None:
+        """Mean of the shard fractions (hash partitioning spreads keys
+        evenly, so the unweighted mean tracks the global fraction)."""
+        fractions = [
+            f
+            for idx in self._each()
+            if (
+                f := idx.key_fraction(
+                    attribute, low, high, low_inclusive, high_inclusive
+                )
+            )
+            is not None
+        ]
+        if not fractions:
+            return None
+        return sum(fractions) / len(fractions)
+
+
+class _ShardedCounterView:
+    """Sum of the shards' §4 operation counters."""
+
+    def __init__(self, shards: list[NFRStore]):
+        self._shards = shards
+
+    def _sum(self, field: str) -> int:
+        total = 0
+        for s in self._shards:
+            c = s.counter
+            if c is not None:
+                total += getattr(c, field)
+        return total
+
+    @property
+    def compositions(self) -> int:
+        return self._sum("compositions")
+
+    @property
+    def decompositions(self) -> int:
+        return self._sum("decompositions")
+
+    @property
+    def tuple_probes(self) -> int:
+        return self._sum("tuple_probes")
+
+
+# -- the facade ------------------------------------------------------------------
+
+
+class ShardedStore:
+    """N hash-partitioned :class:`NFRStore` shards behind the NFRStore
+    query/mutation surface.  ``contexts`` supplies one ``(pager,
+    journal)`` pair per shard (all ``None`` in-memory)."""
+
+    is_sharded = True
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        mode: str,
+        nshards: int = DEFAULT_SHARDS,
+        partition_attr: str | None = None,
+        indexed: bool = True,
+        order: Sequence[str] | None = None,
+        contexts: Sequence[tuple] | None = None,
+    ):
+        if nshards < 1:
+            raise StorageError(f"shard count must be >= 1, got {nshards}")
+        if contexts is None:
+            contexts = [(None, None)] * nshards
+        if len(contexts) != nshards:
+            raise StorageError(
+                f"{len(contexts)} storage contexts for {nshards} shards"
+            )
+        self.schema = schema
+        self.mode = mode
+        self.nshards = nshards
+        resolved_order = tuple(order) if order else schema.names
+        if partition_attr is None:
+            partition_attr = resolved_order[0]
+        schema.require([partition_attr])
+        #: The attribute whose atom hash routes tuples to shards.
+        self.partition_attr = partition_attr
+        self.shards: list[NFRStore] = [
+            NFRStore(
+                schema, mode, indexed=indexed, order=order,
+                pager=pager, journal=journal,
+            )
+            for pager, journal in contexts
+        ]
+        self.heap = _ShardedHeapView(self.shards)
+        # Coordinator dictionary: every batch leaving this facade is
+        # re-coded onto it, so batches from different shards compare
+        # and concatenate.  One incremental translation table per shard
+        # ([shard dict, table, still-identity?]) grows with the shard
+        # dictionary; the identity fast path skips the per-code rewrite
+        # while shard and coordinator codes still agree.
+        self._dict = AtomDict()
+        self._remaps: dict[int, list] = {}
+        self.on_mutation = None
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_relation(
+        cls,
+        relation: Relation,
+        nshards: int = DEFAULT_SHARDS,
+        partition_attr: str | None = None,
+        indexed: bool = True,
+        order: Sequence[str] | None = None,
+        contexts: Sequence[tuple] | None = None,
+    ) -> "ShardedStore":
+        """Store a 1NF relation flat, one record per tuple, routed by
+        the partition attribute."""
+        store = cls(
+            relation.schema, "1nf", nshards, partition_attr=partition_attr,
+            indexed=indexed, order=order, contexts=contexts,
+        )
+        pattr = store.partition_attr
+        for t in relation.sorted_tuples():
+            store.shards[shard_of_atom(t[pattr], nshards)]._insert_flat_record(t)
+        store.heap.stats.reset()
+        return store
+
+    @classmethod
+    def from_nfr(
+        cls,
+        relation: NFRelation,
+        nshards: int = DEFAULT_SHARDS,
+        partition_attr: str | None = None,
+        indexed: bool = True,
+        order: Sequence[str] | None = None,
+        contexts: Sequence[tuple] | None = None,
+    ) -> "ShardedStore":
+        """Store an NFR, splitting each tuple's partition component by
+        shard (the split preserves R*: flats are the product of
+        components and the sub-components partition the original)."""
+        store = cls(
+            relation.schema, "nfr", nshards, partition_attr=partition_attr,
+            indexed=indexed, order=order, contexts=contexts,
+        )
+        for t in relation.sorted_tuples():
+            for i, part in store._split_nfr(t):
+                store.shards[i]._insert_nfr_record(part)
+        store.heap.stats.reset()
+        return store
+
+    @classmethod
+    def attach(
+        cls,
+        schema: RelationSchema,
+        mode: str,
+        shard_pages: Sequence[Sequence[int]],
+        contexts: Sequence[tuple],
+        partition_attr: str | None = None,
+        indexed: bool = True,
+        order: Sequence[str] | None = None,
+    ) -> "ShardedStore":
+        """Reattach to per-shard pages that already exist in a durable
+        database (shard ``i``'s pages live in shard file ``i``)."""
+        store = cls(
+            schema, mode, len(shard_pages), partition_attr=partition_attr,
+            indexed=indexed, order=order, contexts=contexts,
+        )
+        for i, page_ids in enumerate(shard_pages):
+            (pager, journal) = contexts[i]
+            store.shards[i] = NFRStore.attach(
+                schema, mode, list(page_ids), pager, journal=journal,
+                indexed=indexed, order=order,
+            )
+        # The views captured the placeholder stores; rebuild them.
+        store.heap = _ShardedHeapView(store.shards)
+        return store
+
+    # -- routing ------------------------------------------------------------------
+
+    def shard_of(self, value: Any) -> int:
+        """The shard index a partition-attribute atom routes to."""
+        return shard_of_atom(value, self.nshards)
+
+    def _split_nfr(self, t: NFRTuple) -> list[tuple[int, NFRTuple]]:
+        """Split one NFR tuple by shard: the partition component is
+        restricted to each shard's atoms; other components are shared."""
+        groups: dict[int, list] = {}
+        for v in t[self.partition_attr]:
+            groups.setdefault(self.shard_of(v), []).append(v)
+        if len(groups) == 1:
+            return [(next(iter(groups)), t)]
+        names = t.schema.names
+        out = []
+        for i in sorted(groups):
+            comps = tuple(
+                ValueSet._from_frozenset(frozenset(groups[i]))
+                if nm == self.partition_attr
+                else t[nm]
+                for nm in names
+            )
+            out.append((i, NFRTuple._unchecked(t.schema, comps)))
+        return out
+
+    def _shards_for_atoms(
+        self, pairs: Sequence[tuple[str, Any]]
+    ) -> tuple[int, ...]:
+        """Which shards can hold records matching these (attribute,
+        atom) conditions?  Conditions on the partition attribute are
+        *necessary* (a matching record's component contains the atom,
+        and every stored partition atom routes to its shard), so they
+        prune; two that route differently are unsatisfiable."""
+        targets = {
+            self.shard_of(v)
+            for a, v in pairs
+            if a == self.partition_attr
+        }
+        if not targets:
+            return tuple(range(self.nshards))
+        if len(targets) > 1:
+            return ()
+        return (targets.pop(),)
+
+    # -- notification -------------------------------------------------------------
+
+    def _notify_mutation(self) -> None:
+        if self.on_mutation is not None:
+            self.on_mutation()
+
+    # -- logical views ------------------------------------------------------------
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        return self.shards[0].order
+
+    @property
+    def index(self):
+        if self.shards[0].index is None:
+            return None
+        return _ShardedIndexView(self.shards, "index")
+
+    @property
+    def rindex(self):
+        if self.shards[0].rindex is None:
+            return None
+        return _ShardedIndexView(self.shards, "rindex")
+
+    @property
+    def relation(self) -> NFRelation:
+        tuples = []
+        for s in self.shards:
+            tuples.extend(s.relation.tuples)
+        return NFRelation(self.schema, tuples)
+
+    def to_1nf(self) -> Relation:
+        flats: set[FlatTuple] = set()
+        for s in self.shards:
+            flats.update(s.to_1nf().tuples)
+        return Relation(self.schema, flats)
+
+    def is_canonical(self) -> bool:
+        """Is every shard canonical for ``order``?  (The cross-shard
+        union may still split partition components that a single store
+        would merge — that is the representation freedom sharding
+        buys.)"""
+        return all(s.is_canonical() for s in self.shards)
+
+    def canonicalize(self) -> "ShardedStore":
+        for s in self.shards:
+            if s.mode == "nfr":
+                s.canonicalize()
+        return self
+
+    @property
+    def counter(self):
+        if all(s.counter is None for s in self.shards):
+            return None
+        return _ShardedCounterView(self.shards)
+
+    def projection_plan(self, needed: Iterable[str] | None):
+        return self.shards[0].projection_plan(needed)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _normalize_flat(self, flat: FlatTuple) -> FlatTuple:
+        if flat.schema.names == self.schema.names:
+            return flat
+        if sorted(flat.schema.names) != sorted(self.schema.names):
+            raise StorageError(
+                f"flat tuple schema {flat.schema.names} does not match "
+                f"store schema {self.schema.names}"
+            )
+        return flat.reorder(self.schema.names)
+
+    def _route(self, flat: FlatTuple) -> NFRStore:
+        return self.shards[self.shard_of(flat[self.partition_attr])]
+
+    def insert_flat(self, flat: FlatTuple) -> tuple[bool, MutationStats]:
+        flat = self._normalize_flat(flat)
+        applied, stats = self._route(flat).insert_flat(flat)
+        if applied:
+            self._notify_mutation()
+        return applied, stats
+
+    def delete_flat(self, flat: FlatTuple) -> MutationStats:
+        flat = self._normalize_flat(flat)
+        stats = self._route(flat).delete_flat(flat)
+        self._notify_mutation()
+        return stats
+
+    def update_flat(
+        self, old: FlatTuple, new: FlatTuple
+    ) -> tuple[bool, MutationStats]:
+        old = self._normalize_flat(old)
+        new = self._normalize_flat(new)
+        src = self._route(old)
+        dst = self._route(new)
+        if src is dst:
+            applied, stats = src.update_flat(old, new)
+            self._notify_mutation()
+            return applied, stats
+        # Cross-shard move: delete-then-insert, same as the single-store
+        # semantics (delete raises when ``old`` is absent).
+        del_stats = src.delete_flat(old)
+        applied, ins_stats = dst.insert_flat(new)
+        self._notify_mutation()
+        return applied, del_stats + ins_stats
+
+    def insert_many(
+        self, flats: Iterable[FlatTuple]
+    ) -> tuple[list[FlatTuple], MutationStats]:
+        normalized = [self._normalize_flat(f) for f in flats]
+        by_shard: dict[int, list[FlatTuple]] = {}
+        for f in normalized:
+            by_shard.setdefault(
+                self.shard_of(f[self.partition_attr]), []
+            ).append(f)
+        applied: list[FlatTuple] = []
+        total = _ZERO_MUTATION
+        for i in sorted(by_shard):
+            shard_applied, stats = self.shards[i].insert_many(by_shard[i])
+            applied.extend(shard_applied)
+            total = total + stats
+        if applied:
+            self._notify_mutation()
+        return applied, total
+
+    def insert_batch(
+        self, flats: Iterable[FlatTuple]
+    ) -> tuple[int, MutationStats]:
+        applied, stats = self.insert_many(flats)
+        return len(applied), stats
+
+    def delete_batch(
+        self, flats: Iterable[FlatTuple]
+    ) -> tuple[int, MutationStats]:
+        normalized = [self._normalize_flat(f) for f in flats]
+        by_shard: dict[int, list[FlatTuple]] = {}
+        for f in normalized:
+            by_shard.setdefault(
+                self.shard_of(f[self.partition_attr]), []
+            ).append(f)
+        count = 0
+        total = _ZERO_MUTATION
+        try:
+            for i in sorted(by_shard):
+                shard_count, stats = self.shards[i].delete_batch(by_shard[i])
+                count += shard_count
+                total = total + stats
+        finally:
+            if count:
+                self._notify_mutation()
+        return count, total
+
+    def vacuum(self) -> dict[str, int]:
+        out = {"records_moved": 0, "pages_before": 0, "pages_after": 0}
+        for s in self.shards:
+            result = s.vacuum()
+            for k in out:
+                out[k] += result[k]
+        # Shard dictionaries were rebuilt; start coordinator coding
+        # fresh too so retired atoms are not retained here either.
+        self._dict = AtomDict()
+        self._remaps.clear()
+        if out["records_moved"]:
+            self._notify_mutation()
+        return out
+
+    # -- statistics ---------------------------------------------------------------
+
+    def stats_window(self) -> tuple[int, ...]:
+        windows = [s.stats_window() for s in self.shards]
+        return tuple(sum(col) for col in zip(*windows))
+
+    def stats_since(self, before: tuple[int, ...], flats: int) -> ScanStats:
+        after = self.stats_window()
+        return ScanStats(
+            page_reads=after[0] - before[0],
+            records_visited=after[1] - before[1],
+            flats_produced=flats,
+            index_lookups=after[2] - before[2],
+            bytes_decoded=after[3] - before[3],
+            disk_reads=after[4] - before[4],
+            pages_written=after[5] - before[5],
+            wal_bytes=after[6] - before[6],
+            compositions=after[7] - before[7],
+            decompositions=after[8] - before[8],
+            tuple_probes=after[9] - before[9],
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def lookup(
+        self,
+        conditions: Sequence[tuple[str, Any]],
+        use_index: bool | None = None,
+    ) -> tuple[list[FlatTuple], ScanStats]:
+        for a, _ in conditions:
+            self.schema.require([a])
+        results: list[FlatTuple] = []
+        total = _ZERO_SCAN
+        for i in self._shards_for_atoms(conditions):
+            shard_results, stats = self.shards[i].lookup(
+                conditions, use_index=use_index
+            )
+            results.extend(shard_results)
+            total = total + stats
+        return results, total
+
+    def contains(self, flat: FlatTuple) -> tuple[bool, ScanStats]:
+        flat = self._normalize_flat(flat)
+        return self._route(flat).contains(flat)
+
+    def full_scan(self) -> tuple[list[FlatTuple], ScanStats]:
+        return self.lookup([], use_index=False)
+
+    def scan_tuples(
+        self, needed: Iterable[str] | None = None
+    ) -> tuple[list[NFRTuple], ScanStats]:
+        before = self.stats_window()
+        tuples = list(self.stream_scan(needed))
+        return tuples, self.stats_since(before, len(tuples))
+
+    def probe_tuples(
+        self,
+        atoms: Sequence[tuple[str, Any]],
+        needed: Iterable[str] | None = None,
+    ) -> tuple[list[NFRTuple], ScanStats]:
+        before = self.stats_window()
+        tuples = list(self.stream_probe(atoms, needed))
+        return tuples, self.stats_since(before, len(tuples))
+
+    # -- row streams --------------------------------------------------------------
+
+    def stream_scan(
+        self, needed: Iterable[str] | None = None
+    ) -> Iterator[NFRTuple]:
+        for s in self.shards:
+            yield from s.stream_scan(needed)
+
+    def stream_probe(
+        self,
+        atoms: Sequence[tuple[str, Any]],
+        needed: Iterable[str] | None = None,
+    ) -> Iterator[NFRTuple]:
+        for i in self._shards_for_atoms(atoms):
+            yield from self.shards[i].stream_probe(atoms, needed)
+
+    def stream_range(
+        self,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        needed: Iterable[str] | None = None,
+    ) -> Iterator[NFRTuple]:
+        for s in self.shards:
+            yield from s.stream_range(
+                attribute, low, high, low_inclusive, high_inclusive, needed
+            )
+
+    # -- columnar streams ---------------------------------------------------------
+
+    def coordinator_dict(self) -> AtomDict:
+        """The dictionary every batch leaving this facade is coded in —
+        parallel executors remap worker batches onto it so their stream
+        concatenates with the facade's own."""
+        return self._dict
+
+    def _remap_batch(self, shard_idx: int, batch: ColumnBatch) -> ColumnBatch:
+        """Re-code one shard batch onto the coordinator dictionary.
+        The per-shard translation table is extended incrementally as
+        the shard dictionary grows; while shard and coordinator codes
+        agree the batch's columns are reused untouched."""
+        adict = batch.adict
+        entry = self._remaps.get(shard_idx)
+        if entry is None or entry[0] is not adict:
+            entry = [adict, [], True]
+            self._remaps[shard_idx] = entry
+        mapping = entry[1]
+        atoms = adict.atoms
+        if len(mapping) < len(atoms):
+            code = self._dict.code
+            for c in range(len(mapping), len(atoms)):
+                m = code(atoms[c])
+                if m != c:
+                    entry[2] = False
+                mapping.append(m)
+        if entry[2]:
+            return ColumnBatch(batch.names, batch.n, batch.columns, self._dict)
+        columns = [
+            (offsets, [mapping[c] for c in codes])
+            for offsets, codes in batch.columns
+        ]
+        return ColumnBatch(batch.names, batch.n, columns, self._dict)
+
+    def stream_scan_columns(
+        self,
+        needed: Iterable[str] | None = None,
+        batch_rows: int = 256,
+    ) -> Iterator[ColumnBatch]:
+        for i, s in enumerate(self.shards):
+            for batch in s.stream_scan_columns(needed, batch_rows):
+                yield self._remap_batch(i, batch)
+
+    def stream_probe_columns(
+        self,
+        atoms: Sequence[tuple[str, Any]],
+        needed: Iterable[str] | None = None,
+        batch_rows: int = 256,
+    ) -> Iterator[ColumnBatch]:
+        for i in self._shards_for_atoms(atoms):
+            for batch in self.shards[i].stream_probe_columns(
+                atoms, needed, batch_rows
+            ):
+                yield self._remap_batch(i, batch)
+
+    def stream_range_columns(
+        self,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        needed: Iterable[str] | None = None,
+        batch_rows: int = 256,
+    ) -> Iterator[ColumnBatch]:
+        for i, s in enumerate(self.shards):
+            for batch in s.stream_range_columns(
+                attribute, low, high, low_inclusive, high_inclusive,
+                needed, batch_rows,
+            ):
+                yield self._remap_batch(i, batch)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def storage_summary(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self.shards:
+            for k, v in s.storage_summary().items():
+                out[k] = out.get(k, 0) + v
+        out["shards"] = self.nshards
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedStore({self.schema.names}, mode={self.mode!r}, "
+            f"shards={self.nshards}, by={self.partition_attr!r})"
+        )
+
+
+_ZERO_SCAN = ScanStats(0, 0, 0, 0)
+_ZERO_MUTATION = MutationStats(0, 0, 0, 0, 0)

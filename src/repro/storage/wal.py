@@ -8,7 +8,7 @@ The WAL is a sidecar file (``<database>-wal``) of framed records::
     INSERT  := u64 lsn, u32 page_id, u16 slot, u32 len, record bytes
     DELETE  := u64 lsn, u32 page_id, u16 slot
     CATALOG := u32 len, metadata blob (the serialized catalog)
-    COMMIT  := (empty body)
+    COMMIT  := (empty body) | u64 epoch
 
 ALLOC marks a page freshly allocated to a heap.  Page ids freed by a
 vacuum or a dropped store are recycled only by the checkpoint's
@@ -39,6 +39,14 @@ Transaction protocol (no-steal / no-force, redo-only):
 
 ``active_dirty`` is the no-steal set: pages dirtied by the open
 transaction, which the buffer pool must not write back until commit.
+
+Sharded databases stamp each COMMIT with a **commit epoch**: the side
+(shard) WALs commit epoch *e* first, then the partition-0 WAL commits
+*e* — the global decision record.  Recovery of a side WAL passes
+``max_epoch``: a transaction whose COMMIT carries a newer epoch than
+the globally decided one is discarded, because the crash hit between
+the side commit and the deciding partition-0 commit.  An empty COMMIT
+body means epoch 0 (pre-shard logs, and unsharded databases).
 """
 
 from __future__ import annotations
@@ -63,6 +71,7 @@ _INSERT_HEADER = struct.Struct(">BQIHI")
 _DELETE_HEADER = struct.Struct(">BQIH")
 _CATALOG_HEADER = struct.Struct(">BI")
 _ALLOC_HEADER = struct.Struct(">BQI")
+_COMMIT_HEADER = struct.Struct(">BQ")
 
 
 def wal_path(db_path: str | os.PathLike) -> str:
@@ -145,6 +154,9 @@ class WriteAheadLog:
         #: durability fsync took (commit and truncate).  Set by the
         #: database's observability wiring.
         self.fsync_hook: Callable[[float], None] | None = None
+        #: Highest commit epoch among the transactions the last
+        #: :meth:`recover` accepted (0 when none carried an epoch).
+        self.recovered_epoch = 0
         self._closed = False
 
     # -- framing ------------------------------------------------------------------
@@ -197,16 +209,23 @@ class WriteAheadLog:
         """Are there buffered, not-yet-durable records?"""
         return bool(self._buffer)
 
-    def commit(self) -> int:
+    def commit(self, epoch: int | None = None) -> int:
         """Append a COMMIT marker, push the buffered frames to disk and
         fsync — the durability point.  Returns bytes written.
+
+        ``epoch`` stamps the marker with a cross-shard commit epoch
+        (see the module docstring); ``None`` writes the classic empty
+        marker.
 
         Writes start at the durable end of the log, not the file
         position: a retry after a failed commit overwrites its own torn
         partial frames.  The buffer is cleared only once the fsync
         succeeded, so a failed commit can be retried (or rolled back)
         without losing records."""
-        self._append(bytes([REC_COMMIT]))
+        if epoch is None:
+            self._append(bytes([REC_COMMIT]))
+        else:
+            self._append(_COMMIT_HEADER.pack(REC_COMMIT, epoch))
         self._file.seek(self._durable_offset)
         written = 0
         for frame in self._buffer:
@@ -244,12 +263,19 @@ class WriteAheadLog:
     def size(self) -> int:
         return os.fstat(self._file.fileno()).st_size
 
-    def recover(self) -> tuple[list[WalOp], bytes | None, int]:
+    def recover(
+        self, max_epoch: int | None = None
+    ) -> tuple[list[WalOp], bytes | None, int]:
         """Scan the log and return ``(ops, catalog_blob, max_lsn)``:
         the page operations of committed transactions in log order, the
         last committed catalog blob (None if no transaction logged
         one), and the highest LSN seen anywhere in the log (committed
         or not — the LSN counter must advance past torn tails too).
+
+        ``max_epoch`` gates side-shard recovery: a transaction whose
+        COMMIT epoch exceeds it was never globally decided and is
+        discarded.  The highest accepted epoch lands in
+        :attr:`recovered_epoch`.
 
         The scan stops at the first torn frame; everything after an
         interrupted append is unreachable by construction (frames are
@@ -258,6 +284,7 @@ class WriteAheadLog:
         self._file.seek(0)
         data = self._file.read()
         self._file.seek(0, os.SEEK_END)
+        self.recovered_epoch = 0
         ops: list[WalOp] = []
         catalog: bytes | None = None
         pending_ops: list[WalOp] = []
@@ -298,11 +325,22 @@ class WriteAheadLog:
                     break
                 pending_catalog = blob
             elif kind == REC_COMMIT:
-                ops.extend(pending_ops)
-                pending_ops = []
-                if pending_catalog is not None:
-                    catalog = pending_catalog
+                if len(payload) >= _COMMIT_HEADER.size:
+                    _, epoch = _COMMIT_HEADER.unpack_from(payload, 0)
+                else:
+                    epoch = 0
+                if max_epoch is not None and epoch > max_epoch:
+                    # Side-shard commit whose global decision never hit
+                    # partition 0: the transaction did not happen.
+                    pending_ops = []
                     pending_catalog = None
+                else:
+                    self.recovered_epoch = max(self.recovered_epoch, epoch)
+                    ops.extend(pending_ops)
+                    pending_ops = []
+                    if pending_catalog is not None:
+                        catalog = pending_catalog
+                        pending_catalog = None
             else:
                 break  # unknown record type: treat as torn
             offset = end

@@ -1,0 +1,309 @@
+"""Hash-partitioned shards: routing, facade parity, planner pruning,
+durable recovery, and the adaptive buffer-pool policy.
+
+A :class:`~repro.storage.shards.ShardedStore` must be observationally
+identical to the single :class:`~repro.storage.engine.NFRStore` it
+partitions — every lookup, scan, and mutation answers the same — while
+routing each flat to the shard its partition atom hashes to.  The
+planner prunes to one shard when an equality conjunct pins the
+partition attribute, and the durable engine recovers all shards to one
+consistent commit epoch.
+"""
+
+import os
+
+import pytest
+
+import repro.db as db
+from repro.errors import StorageError
+from repro.planner import physical as P
+from repro.planner import plan
+from repro.query import Catalog, parse, run
+from repro.relational.relation import Relation
+from repro.relational.tuples import FlatTuple
+from repro.storage.bufferpool import BufferPool
+from repro.storage.engine import NFRStore
+from repro.storage.filemgr import FileManager
+from repro.storage.shards import ShardedStore, routing_bytes, shard_of_atom
+
+ATTRS = ["K", "A", "B"]
+
+
+def _rel(n=40):
+    return Relation.from_rows(
+        ATTRS, [(f"k{i:03d}", f"a{i % 5}", i % 7) for i in range(n)]
+    )
+
+
+def _flat(*row):
+    return FlatTuple(_rel(1).schema, list(row))
+
+
+class TestRouting:
+    def test_routing_bytes_distinguish_types(self):
+        assert routing_bytes("1") != routing_bytes(1)
+        assert routing_bytes("x") != routing_bytes(("x",))
+
+    def test_python_equal_numbers_colocate(self):
+        # 1 == 1.0 == True in Python, so they must land on one shard
+        # or equal flats could dodge duplicate detection.
+        assert routing_bytes(1) == routing_bytes(1.0) == routing_bytes(True)
+
+    def test_shard_of_atom_in_range_and_stable(self):
+        for n in (1, 2, 3, 4, 7):
+            for v in ("k001", 17, -3, 2.5, None, ("a", "b")):
+                s = shard_of_atom(v, n)
+                assert 0 <= s < n
+                assert s == shard_of_atom(v, n)
+
+    def test_store_routes_by_partition_attribute(self):
+        store = ShardedStore.from_relation(_rel(), nshards=4)
+        assert store.partition_attr == "K"
+        for shard_index, shard in enumerate(store.shards):
+            flats, _ = shard.full_scan()
+            for flat in flats:
+                assert shard_of_atom(flat["K"], 4) == shard_index
+
+
+class TestFacadeParity:
+    @pytest.mark.parametrize("nshards", [1, 2, 4])
+    def test_lookup_and_scan_match_single_store(self, nshards):
+        rel = _rel()
+        single = NFRStore.from_relation(rel)
+        sharded = ShardedStore.from_relation(rel, nshards=nshards)
+        assert sharded.to_1nf() == single.to_1nf() == rel
+        for conditions in ([], [("K", "k007")], [("A", "a2"), ("B", 3)]):
+            for use_index in (False, True):
+                want, _ = single.lookup(conditions, use_index=use_index)
+                got, _ = sharded.lookup(conditions, use_index=use_index)
+                assert sorted(map(repr, got)) == sorted(map(repr, want))
+
+    def test_mutations_track_single_store(self):
+        rel = _rel(20)
+        single = NFRStore.from_relation(rel)
+        sharded = ShardedStore.from_relation(rel, nshards=3)
+        new = _flat("k999", "a9", 99)
+        assert sharded.insert_flat(new)[0] == single.insert_flat(new)[0]
+        assert sharded.insert_flat(new)[0] == single.insert_flat(new)[0]
+        sharded.delete_flat(new)
+        single.delete_flat(new)
+        # cross-shard move: old and new route differently
+        old = _flat("k001", "a1", 1)
+        moved = _flat("k998", "a1", 1)
+        assert sharded.update_flat(old, moved)[0]
+        assert single.update_flat(old, moved)[0]
+        assert sorted(map(repr, sharded.full_scan()[0])) == sorted(
+            map(repr, single.full_scan()[0])
+        )
+
+    def test_views_aggregate_over_shards(self):
+        sharded = ShardedStore.from_relation(_rel(), nshards=4)
+        assert sharded.heap.page_count == sum(
+            s.heap.page_count for s in sharded.shards
+        )
+        assert sharded.heap.record_count == sum(
+            s.heap.record_count for s in sharded.shards
+        )
+
+    def test_coordinator_remap_round_trips_batches(self):
+        sharded = ShardedStore.from_relation(_rel(), nshards=4)
+        got = []
+        for batch in sharded.stream_scan_columns(None, batch_rows=7):
+            got.extend(batch.to_rows(sharded.schema))
+        want = list(NFRStore.from_relation(_rel()).stream_scan())
+        assert sorted(map(repr, got)) == sorted(map(repr, want))
+
+
+class TestPlannerPruning:
+    def _catalog(self, nshards=4):
+        catalog = Catalog()
+        catalog.default_shards = nshards
+        catalog.register("T", _rel(), mode="1nf")
+        run("ANALYZE T", catalog)
+        return catalog
+
+    def test_partition_equality_prunes_to_one_shard(self):
+        catalog = self._catalog()
+        store = catalog.store_for("T")
+        target = store.shard_of("k007")
+        before = [s.stats_window() for s in store.shards]
+        result = plan(
+            parse("SELECT T WHERE K CONTAINS 'k007'"), catalog
+        ).execute()
+        after = [s.stats_window() for s in store.shards]
+        assert result.cardinality == 1
+        touched = [
+            i
+            for i, (b, a) in enumerate(zip(before, after))
+            if a[0] - b[0] > 0 or a[2] - b[2] > 0
+        ]
+        assert touched == [target]
+
+    def test_contradictory_partition_atoms_plan_empty(self):
+        catalog = self._catalog()
+        store = catalog.store_for("T")
+        # two values that route to different shards cannot both be the
+        # partition atom of one tuple's K component
+        a, b = "k001", "k002"
+        assert store.shard_of(a) != store.shard_of(b)
+        physical = plan(
+            parse(f"SELECT T WHERE K = '{a}' AND K = '{b}'"), catalog
+        )
+        assert isinstance(physical.root, P.EmptyResult)
+        assert physical.execute().cardinality == 0
+
+    def test_parameter_never_prunes_at_plan_time(self):
+        catalog = self._catalog()
+        physical = plan(parse("SELECT T WHERE K CONTAINS ?"), catalog)
+        # one cached plan must serve bindings routed to any shard
+        for key in ("k001", "k002", "k003", "k004"):
+            physical.params.bind([key])
+            assert physical.execute().cardinality == 1
+
+    def test_full_scan_stays_serial_without_parallel_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        physical = plan(parse("T"), self._catalog())
+        assert not isinstance(physical.root, P.ParallelShardScan)
+        assert physical.execute().cardinality == 40
+
+    def test_full_scan_fans_out_with_parallel_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        catalog = self._catalog()
+        physical = plan(parse("T"), catalog)
+        assert isinstance(physical.root, P.ParallelShardScan)
+        serial = plan(parse("T"), catalog, use_index=False)
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        want = serial.execute()
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        assert physical.execute() == want
+        assert physical.root.actual_rows == 40
+
+
+class TestDurableSharding:
+    def _seed(self, path, shards=None, rows=30):
+        conn = db.connect(path, shards=shards)
+        conn.database.register("T", _rel(rows))
+        conn.execute("INSERT INTO T VALUES ('k900', 'a9', 9)")
+        return conn
+
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        path = tmp_path / "s.db"
+        conn = self._seed(path, shards=4)
+        query = "SELECT T WHERE A CONTAINS 'a2'"
+        before = sorted(map(repr, conn.execute(query).fetchall()))
+        conn.database.close()
+        assert {p.name for p in tmp_path.iterdir()} >= {
+            "s.db", "s.db.s1", "s.db.s2", "s.db.s3",
+        }
+        conn = db.connect(path)
+        assert sorted(map(repr, conn.execute(query).fetchall())) == before
+        assert conn.catalog.store_for("T").nshards == 4
+        conn.database.close()
+
+    def test_crash_discards_uncommitted_cross_shard_writes(self, tmp_path):
+        path = tmp_path / "c.db"
+        conn = self._seed(path, shards=3)
+        committed = sorted(map(repr, conn.execute("T").fetchall()))
+        conn.execute("BEGIN")
+        for i in range(10):
+            conn.execute(f"INSERT INTO T VALUES ('x{i}', 'a0', 0)")
+        conn.database.engine.abandon()  # crash before COMMIT
+        conn = db.connect(path)
+        assert (
+            sorted(map(repr, conn.execute("T").fetchall()))
+            == committed
+        )
+        conn.database.close()
+
+    def test_torn_epoch_commit_is_rolled_back_everywhere(self, tmp_path):
+        path = tmp_path / "t.db"
+        conn = self._seed(path, shards=3)
+        committed = sorted(map(repr, conn.execute("T").fetchall()))
+        conn.execute("BEGIN")
+        for i in range(10):
+            conn.execute(f"INSERT INTO T VALUES ('y{i}', 'a0', 0)")
+        engine = conn.database.engine
+        # a torn commit: the side shards' WALs record the new epoch but
+        # the crash hits before partition 0 logs the global decision
+        epoch = engine.epoch + 1
+        for part in engine.partitions[1:]:
+            if part.wal.in_flight:
+                part.wal.commit(epoch=epoch)
+        engine.abandon()
+        conn = db.connect(path)
+        assert (
+            sorted(map(repr, conn.execute("T").fetchall()))
+            == committed
+        )
+        conn.database.close()
+
+    def test_shard_count_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "m.db"
+        self._seed(path, shards=2).database.close()
+        with pytest.raises(StorageError, match="re-shard"):
+            db.connect(path, shards=4)
+        conn = db.connect(path, shards=2)  # matching count is fine
+        conn.database.close()
+
+    def test_checkpoint_truncates_every_shard_wal(self, tmp_path):
+        path = tmp_path / "w.db"
+        conn = self._seed(path, shards=3)
+        conn.database.checkpoint()
+        engine = conn.database.engine
+        for part in engine.partitions:
+            assert part.wal.size == 0
+        conn.database.close()
+
+
+class TestAdaptivePool:
+    def _pool(self, tmp_path, **kwargs):
+        filemgr = FileManager(tmp_path / "p.db")
+        pool = BufferPool(filemgr, capacity=4, **kwargs)
+        pids = []
+        for i in range(12):
+            page = pool.allocate()
+            page.insert(b"v%d" % i)
+            pids.append(page.page_id)
+            pool.release(page.page_id, dirty=True)
+        pool.flush_all()
+        return pool, pids
+
+    def test_env_flag_selects_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ADAPTIVE_POOL", "0")
+        pool, _ = self._pool(tmp_path)
+        assert pool.adaptive is False
+        monkeypatch.delenv("REPRO_ADAPTIVE_POOL")
+        pool, _ = self._pool(tmp_path)
+        assert pool.adaptive is True
+        pool, _ = self._pool(tmp_path, adaptive=False)
+        assert pool.adaptive is False
+
+    def test_multi_interval_history_survives_scan_flood(self, tmp_path):
+        pool, pids = self._pool(tmp_path, adaptive=True)
+        hot = pids[0]
+        # touch the hot page across many aging intervals
+        for _ in range(20 * pool.capacity):
+            pool.fetch(hot)
+            pool.release(hot)
+        # flood with once-touched pages: > capacity distinct victims
+        for pid in pids[1:]:
+            pool.fetch(pid)
+            pool.release(pid)
+        assert pool.resident(hot)
+
+    def test_clock_fallback_still_evicts(self, tmp_path):
+        pool, pids = self._pool(tmp_path, adaptive=False)
+        for pid in pids:
+            pool.fetch(pid)
+            pool.release(pid)
+        assert pool.frame_count <= pool.capacity
+        assert pool.stats.evictions > 0
+
+    def test_replay_identical_under_both_policies(self, tmp_path):
+        # policies change performance, never contents
+        for adaptive in (True, False):
+            pool, pids = self._pool(tmp_path, adaptive=adaptive)
+            for pid in reversed(pids):
+                page = pool.fetch(pid)
+                assert page.records()
+                pool.release(pid)
