@@ -18,6 +18,7 @@ import os
 import time
 
 import repro.db
+from conftest import merge_bench_json
 from repro.analysis.report import ExperimentReport
 from repro.storage.pages import PAGE_SIZE, Page
 from repro.workloads.synthetic import random_relation
@@ -85,6 +86,18 @@ def test_buffer_pool_serves_warm_probes(benchmark, report_sink, tmp_path):
     report.add_check("pool served every page touch", pool_hits > 0)
     report.add_check("warm disk probe within 3x of in-memory", ratio <= 3.0)
     report_sink(report)
+    merge_bench_json(
+        "durability",
+        "buffer_pool",
+        {
+            "probes": PROBES,
+            "warm_disk_reads": warm_disk_reads,
+            "pool_hits": pool_hits,
+            "disk_probe_us": round(disk_time * 1e6, 1),
+            "memory_probe_us": round(mem_time * 1e6, 1),
+            "disk_over_memory_ratio": round(ratio, 2),
+        },
+    )
     disk_conn.database.close()
     assert report.passed, report.render()
 
@@ -142,5 +155,16 @@ def test_reopen_round_trip(benchmark, report_sink, tmp_path):
         recovery_reads <= len(image) // PAGE_SIZE + 1,
     )
     report_sink(report)
+    merge_bench_json(
+        "durability",
+        "reopen",
+        {
+            "rows": ROWS + 60,
+            "heap_pages": len(heap_pages),
+            "close_ms": round(close_time * 1e3, 2),
+            "reopen_ms": round(reopen_time * 1e3, 2),
+            "recovery_reads": recovery_reads,
+        },
+    )
     conn2.database.close()
     assert report.passed, report.render()

@@ -20,6 +20,7 @@ import os
 import time
 
 import repro.db
+from conftest import merge_bench_json
 from repro.analysis.report import ExperimentReport
 from repro.planner import plan, plan_invocations
 from repro.query import parse
@@ -103,6 +104,17 @@ def test_prepared_statement_plans_once(benchmark, report_sink):
         "cached prepare >=5x faster than parse+plan", speedup >= 5.0
     )
     report_sink(report)
+    merge_bench_json(
+        "plan_cache",
+        "plan_cache",
+        {
+            "executions": CACHE_EXECUTIONS,
+            "planner_invocations": plans_used,
+            "cache_hit_us": round(hit_time * 1e6, 2),
+            "parse_plan_us": round(plan_time * 1e6, 2),
+            "speedup_x": round(speedup, 1),
+        },
+    )
     assert cached_prepare is not None
     assert report.passed, report.render()
 
@@ -177,4 +189,15 @@ def test_executemany_batches_page_writes(benchmark, report_sink):
         "executemany is not slower", batch_time <= single_time * 1.1
     )
     report_sink(report)
+    merge_bench_json(
+        "plan_cache",
+        "txn_batch",
+        {
+            "batch_size": BATCH_SIZE,
+            "per_statement_page_writes": single_writes,
+            "executemany_page_writes": batch_writes,
+            "per_statement_seconds": round(single_time, 4),
+            "executemany_seconds": round(batch_time, 4),
+        },
+    )
     assert report.passed, report.render()

@@ -1,0 +1,216 @@
+"""SRV-TPS / SRV-GROUP — the concurrent serving tier's two claims.
+
+1. **SRV-TPS**: aggregate committed-transaction throughput over the
+   socket server *rises* with concurrent client sessions.  Each
+   configuration (1, 8, 64 clients) pushes the same fixed total of
+   autocommit INSERTs through a fresh durable database, so the
+   comparison is work-for-work.  Clients live in separate *processes*
+   (as real clients are — their CPU is off the server's GIL), capped
+   at 8 driver processes that each pipeline an equal share of
+   connections async-style, so the 8-vs-64 comparison isolates
+   server-side concurrency instead of client-host scheduling.  A lone
+   client leaves the server idle for the whole client-side half of
+   every round trip, while 64 in-flight sessions keep the server
+   saturated and share group fsyncs.  64 clients must beat 1 client
+   on aggregate TPS.
+2. **SRV-GROUP**: under concurrency the group-commit coalescer issues
+   *measurably fewer* fsyncs than commits (batches of N committers
+   ride one ``fsync``), while every transaction remains individually
+   durable — the reopened database contains exactly the committed
+   rows.
+
+Set ``BENCH_SMOKE=1`` to run a tiny CI-sized configuration.
+"""
+
+import multiprocessing
+import os
+import socket as socketlib
+import time
+
+import repro.db
+from conftest import merge_bench_json
+from repro.analysis.report import ExperimentReport
+from repro.server import client, serve
+from repro.server.protocol import recv_frame, send_frame
+
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+CLIENT_COUNTS = (1, 8, 64)
+#: total committed INSERT transactions per configuration (split evenly
+#: across the clients, so every configuration does identical work).
+TOTAL_TXNS = 128 if _SMOKE else 1280
+
+
+def _fresh_server(tmp_path, tag):
+    from repro.relational.relation import Relation
+
+    path = str(tmp_path / f"served_{tag}.db")
+    seed = repro.db.Database(path=path)
+    seed.register(
+        "Log",
+        Relation.from_rows(["Event", "Worker"], [("boot", "w0")]),
+        mode="1nf",
+    )
+    seed.close()
+    return path, serve(path, port=0)
+
+
+def _client_worker(host, port, per_conn, conns, base_cid, barrier):
+    """One driver process pipelining ``conns`` client sessions:
+    connect them all, rendezvous, then per round send one INSERT on
+    every session before collecting the replies — keeping ``conns``
+    transactions in flight at the server, like an async client."""
+    socks = []
+    for _ in range(conns):
+        s = socketlib.create_connection((host, port))
+        s.setsockopt(socketlib.IPPROTO_TCP, socketlib.TCP_NODELAY, 1)
+        socks.append(s)
+    barrier.wait()
+    for i in range(per_conn):
+        for j, s in enumerate(socks):
+            cid = base_cid + j
+            send_frame(
+                s,
+                {
+                    "op": "execute",
+                    "sql": "INSERT INTO Log VALUES (?, ?)",
+                    "params": [f"c{cid}_t{i}", f"w{cid % 8}"],
+                },
+            )
+        for s in socks:
+            response = recv_frame(s)
+            assert response is not None and response.get("ok"), response
+    for s in socks:
+        send_frame(s, {"op": "close"})
+        recv_frame(s)
+        s.close()
+    # Exit without interpreter teardown: each driver is a fork of the
+    # (large) bench process, and full teardowns land inside the timed
+    # join window on small machines.
+    os._exit(0)
+
+
+def _hammer(server, clients):
+    """``clients`` concurrent sessions splitting ``TOTAL_TXNS``
+    autocommit INSERTs of distinct rows, driven by at most 8 OS
+    processes.  Returns (tps, commits, fsyncs, exitcodes)."""
+    drivers = min(clients, 8)
+    conns_per_driver = clients // drivers
+    per_conn = TOTAL_TXNS // clients
+    manager = server.database.transactions
+    coalescer = manager.coalescer
+    commits_before = manager.commits_total
+    groups_before = coalescer.groups if coalescer else 0
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(drivers + 1)
+    procs = [
+        ctx.Process(
+            target=_client_worker,
+            args=(
+                server.host,
+                server.port,
+                per_conn,
+                conns_per_driver,
+                d * conns_per_driver,
+                barrier,
+            ),
+        )
+        for d in range(drivers)
+    ]
+    for p in procs:
+        p.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for p in procs:
+        p.join()
+    elapsed = time.perf_counter() - start
+
+    commits = manager.commits_total - commits_before
+    fsyncs = (coalescer.groups if coalescer else commits) - groups_before
+    exitcodes = [p.exitcode for p in procs]
+    return commits / elapsed if elapsed else 0.0, commits, fsyncs, exitcodes
+
+
+def test_server_throughput_scales_with_clients(benchmark, report_sink, tmp_path):
+    """SRV-TPS + SRV-GROUP: the same INSERT workload at 1/8/64 clients
+    on fresh durable files; fsyncs < commits under concurrency."""
+    results = {}
+    for n in CLIENT_COUNTS:
+        path, server = _fresh_server(tmp_path, f"n{n}")
+        try:
+            tps, commits, fsyncs, exitcodes = _hammer(server, n)
+            assert all(code == 0 for code in exitcodes), exitcodes
+        finally:
+            server.shutdown()
+        reopened = repro.db.Database(path=path)
+        session = reopened.session()
+        session.execute("FLATTEN Log")
+        recovered = len(session.fetchall())
+        session.close()
+        reopened.close()
+        results[n] = (tps, commits, fsyncs, recovered)
+
+    # pytest-benchmark headline: one served autocommit round trip.
+    path, server = _fresh_server(tmp_path, "bench")
+    try:
+        bench_conn = client(server.host, server.port)
+        counter = iter(range(10**9))
+        benchmark(
+            lambda: bench_conn.execute(
+                "INSERT INTO Log VALUES (?, ?)",
+                [f"bench_t{next(counter)}", "w0"],
+            )
+        )
+        bench_conn.close()
+    finally:
+        server.shutdown()
+
+    report = ExperimentReport(
+        "SRV-TPS",
+        f"Socket server: {TOTAL_TXNS} committed INSERTs split across "
+        "1/8/64 concurrent clients — aggregate TPS and group-commit "
+        "fsyncs per configuration",
+        "a multi-client server should gain aggregate throughput from "
+        "concurrency: clients overlap round trips and group commit "
+        "lets N committers share one fsync, so 64 clients beat 1 on "
+        "TPS and fsyncs stay below commits",
+        headers=["clients", "commits", "fsyncs", "aggregate TPS"],
+    )
+    for n in CLIENT_COUNTS:
+        tps, commits, fsyncs, _ = results[n]
+        report.add_row(n, commits, fsyncs, round(tps, 1))
+    tps_1, tps_64 = results[1][0], results[64][0]
+    commits_64, fsyncs_64 = results[64][1], results[64][2]
+    report.add_check("64 clients beat 1 client on aggregate TPS", tps_64 > tps_1)
+    report.add_check(
+        "group commit: fsyncs measurably below commits at 64 clients",
+        fsyncs_64 < commits_64,
+    )
+    report.add_check(
+        "every configuration committed the full workload durably",
+        all(
+            commits == TOTAL_TXNS and recovered >= TOTAL_TXNS + 1
+            for _, commits, _, recovered in results.values()
+        ),
+    )
+    report_sink(report)
+    merge_bench_json(
+        "server",
+        "throughput",
+        {
+            "total_txns": TOTAL_TXNS,
+            "tps": {str(n): round(results[n][0], 1) for n in CLIENT_COUNTS},
+            "commits": {str(n): results[n][1] for n in CLIENT_COUNTS},
+            "tps_64_over_1": round(tps_64 / tps_1, 2) if tps_1 else None,
+        },
+    )
+    merge_bench_json(
+        "server",
+        "group_commit",
+        {
+            "fsyncs": {str(n): results[n][2] for n in CLIENT_COUNTS},
+            "commits_per_fsync_64": round(commits_64 / fsyncs_64, 2)
+            if fsyncs_64
+            else None,
+        },
+    )
+    assert report.passed, report.render()

@@ -245,6 +245,29 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import serve
+
+    try:
+        server = serve(
+            args.path, host=args.host, port=args.port, background=True
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    print(
+        f"serving {args.path} on {server.host}:{server.port} "
+        "(one snapshot-isolated session per connection; Ctrl-C stops)"
+    )
+    try:
+        server._accept_thread.join()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -292,6 +315,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help="run the Fig. 1 walkthrough")
     p_demo.set_defaults(fn=_cmd_demo)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a durable database over a socket (multi-client)",
+    )
+    p_serve.add_argument("path", help="database file to open or create")
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = pick an ephemeral port)",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
 
     return parser
 

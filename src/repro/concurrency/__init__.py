@@ -1,0 +1,30 @@
+"""Concurrent multi-client tier: MVCC snapshot isolation, per-client
+sessions and group commit over the single-writer storage engine.
+
+- :class:`~repro.concurrency.mvcc.TransactionManager` — CSN-stamped
+  snapshots, per-relation version histories, first-writer-wins
+  conflict detection (:class:`~repro.errors.SerializationError`).
+- :class:`~repro.concurrency.session.Session` — a cursor-shaped
+  handle executing NF2 statements under snapshot isolation
+  (``Database.session()`` hands these out).
+- :class:`~repro.concurrency.groupcommit.GroupCommitCoalescer` —
+  leader-elected fsync batching so N concurrent committers pay ~1
+  fsync.
+
+The socket server (:mod:`repro.server`) runs one :class:`Session` per
+connection; in-process threads can use sessions directly.
+"""
+
+from .groupcommit import GroupCommitCoalescer
+from .mvcc import Transaction, TransactionManager, VersionEntry
+from .session import Session
+from .snapshot import SnapshotCatalog
+
+__all__ = [
+    "GroupCommitCoalescer",
+    "Session",
+    "SnapshotCatalog",
+    "Transaction",
+    "TransactionManager",
+    "VersionEntry",
+]

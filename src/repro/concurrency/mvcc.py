@@ -1,0 +1,590 @@
+"""Multi-version concurrency control over the shared catalog.
+
+One :class:`TransactionManager` guards one
+:class:`~repro.query.catalog.Catalog` (and its durable engine, when
+attached).  Sessions run transactions under **snapshot isolation**:
+
+- :meth:`TransactionManager.begin` stamps the transaction with the
+  current commit sequence number (CSN); every read resolves against
+  the newest committed version at or below that stamp.  Versions are
+  kept per relation as a list of ``(csn_from, entry)`` pairs — the
+  baseline is captured lazily from the live catalog the first time a
+  relation is touched concurrently, and old versions are pruned as
+  soon as no active snapshot can reach them.
+- Writes are buffered in a per-transaction *workspace* (a net
+  added/removed flat-tuple delta plus rebind entries) and applied to
+  the shared catalog only at commit, under the manager latch, using
+  exactly the single-writer code paths (``store_for`` +
+  §4 maintenance, ``catalog.set``).  Theorem 2 (confluence of the
+  canonical form) is what makes the workspace view and the
+  commit-time store state agree.
+- Conflicts follow **first-writer-wins**: DML locks the individual
+  flat tuple, LET/ANALYZE lock the whole relation, and locking fails
+  immediately with :class:`~repro.errors.SerializationError` when a
+  concurrent transaction holds a conflicting lock *or* a conflicting
+  write committed after this transaction's snapshot.  The loser is
+  rolled back by the session layer and can simply retry.
+- Rolling back discards the workspace.  Nothing was applied to the
+  shared stores, so an aborted transaction leaves no trace — not in
+  memory and not on disk (byte-for-byte; the property suite checks).
+
+Durable catalogs commit through :meth:`DurableEngine.harden_commit`
+(WAL append + COMMIT marker, no fsync) and then sync through the
+:class:`~repro.concurrency.groupcommit.GroupCommitCoalescer` *outside*
+the manager latch, so concurrent committers coalesce onto one fsync.
+
+Mixing this subsystem with the single-connection facade's own DML on
+the same database is unsupported: legacy writes bypass the version
+history.  Use one or the other per database handle.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.canonical import canonical_form
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.errors import (
+    CatalogError,
+    FlatTupleNotFoundError,
+    SerializationError,
+    TransactionError,
+)
+from repro.planner.stats import collect_stats
+from repro.relational.relation import Relation
+from repro.relational.tuples import FlatTuple
+
+from .groupcommit import GroupCommitCoalescer
+
+
+@dataclass(frozen=True)
+class VersionEntry:
+    """One committed version of a named relation: the relation value
+    plus the registered nest order and storage mode it carried."""
+
+    relation: NFRelation
+    order: tuple[str, ...]
+    mode: str
+
+
+class Transaction:
+    """A single transaction: a snapshot stamp plus a private workspace.
+
+    The workspace holds the transaction's own writes — ``_view`` maps
+    touched names to their in-transaction entry (or ``None`` for a
+    relation the transaction removed), ``_added``/``_removed`` hold
+    the net flat-tuple delta of DML-touched relations against the
+    ``_base`` entry, and ``ops`` is the statement-order journal
+    replayed against the live catalog at commit.  Reads fall through
+    to the manager's version history for untouched names.
+    """
+
+    __slots__ = (
+        "manager",
+        "id",
+        "snapshot",
+        "status",
+        "commit_csn",
+        "ops",
+        "key_locks",
+        "rel_locks",
+        "_view",
+        "_base",
+        "_added",
+        "_removed",
+        "_base_flats",
+        "_stale",
+    )
+
+    def __init__(self, manager: "TransactionManager", txn_id: int, snapshot: int):
+        self.manager = manager
+        self.id = txn_id
+        self.snapshot = snapshot
+        self.status = "active"
+        #: CSN this transaction committed at (None until then; stays
+        #: None for read-only commits, which consume no CSN).
+        self.commit_csn: int | None = None
+        self.ops: list[tuple] = []
+        self.key_locks: set[tuple[str, FlatTuple]] = set()
+        self.rel_locks: set[str] = set()
+        self._view: dict[str, VersionEntry | None] = {}
+        #: DML baseline per touched name (the entry the deltas below
+        #: are relative to), plus the net flat-tuple delta itself.
+        #: Invariants: _added ∩ base-R* = ∅ and _removed ⊆ base-R*.
+        self._base: dict[str, VersionEntry] = {}
+        self._added: dict[str, set[FlatTuple]] = {}
+        self._removed: dict[str, set[FlatTuple]] = {}
+        #: Materialised base R* — built only when needed (nfr-mode
+        #: membership, or rebuilding the view after a write).
+        self._base_flats: dict[str, set[FlatTuple]] = {}
+        self._stale: set[str] = set()
+
+    # -- reads -----------------------------------------------------------------
+
+    def read_entry(self, name: str) -> VersionEntry | None:
+        """The transaction's view of ``name``: its own workspace first,
+        else the committed version at the snapshot."""
+        if name in self._view:
+            entry = self._view[name]
+            if entry is not None and name in self._stale:
+                entry = self._recompute(name, entry)
+            return entry
+        return self.manager.snapshot_entry(name, self.snapshot)
+
+    def _require(self, name: str) -> VersionEntry:
+        entry = self.read_entry(name)
+        if entry is None:
+            raise CatalogError(f"no relation named {name!r}")
+        return entry
+
+    def _recompute(self, name: str, entry: VersionEntry) -> VersionEntry:
+        """Rebuild the view relation from the effective R*: the §4
+        canonical form under the registered order (all-singleton in
+        1nf mode) — exactly what the backing store will hold after the
+        commit-time replay (Theorem 2)."""
+        flats = (
+            self._base_r1nf(name) | self._added[name]
+        ) - self._removed[name]
+        schema = entry.relation.schema
+        flat_rel = Relation(schema, flats)
+        if entry.mode == "1nf":
+            relation = NFRelation.from_1nf(flat_rel)
+        else:
+            relation = canonical_form(flat_rel, list(entry.order))
+        entry = VersionEntry(relation, entry.order, entry.mode)
+        self._view[name] = entry
+        self._stale.discard(name)
+        return entry
+
+    def relation_schema(self, name: str):
+        """Schema of ``name`` in this transaction's view, without
+        forcing a view rebuild (schemas are DML-invariant)."""
+        entry = self._view.get(name)
+        if entry is None:
+            entry = self.manager.snapshot_entry(name, self.snapshot)
+        if entry is None:
+            raise CatalogError(f"no relation named {name!r}")
+        return entry.relation.schema
+
+    def visible_names(self) -> list[str]:
+        names = self.manager.snapshot_names(self.snapshot)
+        for name, entry in self._view.items():
+            if entry is None:
+                names.discard(name)
+            else:
+                names.add(name)
+        return sorted(names)
+
+    # -- writes ----------------------------------------------------------------
+
+    def _check_active(self) -> None:
+        if self.status != "active":
+            raise TransactionError(
+                f"transaction is {self.status}; begin a new one"
+            )
+
+    def _workspace(
+        self, name: str, entry: VersionEntry
+    ) -> tuple[set[FlatTuple], set[FlatTuple]]:
+        """The (added, removed) delta sets for ``name``, created
+        against ``entry`` as the baseline on first write."""
+        added = self._added.get(name)
+        if added is None:
+            self._base[name] = entry
+            added = self._added[name] = set()
+            self._removed[name] = set()
+            if name not in self._view:
+                self._view[name] = entry
+        return added, self._removed[name]
+
+    def _base_r1nf(self, name: str) -> set[FlatTuple]:
+        flats = self._base_flats.get(name)
+        if flats is None:
+            flats = set(self._base[name].relation.to_1nf().tuples)
+            self._base_flats[name] = flats
+        return flats
+
+    def _represented(self, name: str, flat: FlatTuple) -> bool:
+        """Does the transaction's current view represent ``flat``?
+        O(1) in 1nf mode (the baseline NFR is all-singleton, so one
+        frozenset probe answers it); nfr mode materialises the base R*
+        once per transaction."""
+        if flat in self._added[name]:
+            return True
+        if flat in self._removed[name]:
+            return False
+        base = self._base[name]
+        if base.mode == "1nf":
+            return NFRTuple.from_flat(flat) in base.relation.tuples
+        return flat in self._base_r1nf(name)
+
+    def insert(self, name: str, values: Sequence[Any]) -> bool:
+        """Buffer ``INSERT INTO name VALUES (...)``; returns whether the
+        flat tuple was new to the transaction's view (a duplicate is a
+        no-op, as in the single-writer engine)."""
+        self._check_active()
+        entry = self._require(name)
+        flat = FlatTuple(entry.relation.schema, list(values))
+        added, removed = self._workspace(name, entry)
+        if self._represented(name, flat):
+            return False
+        self.manager.lock_key(self, name, flat)
+        if flat in removed:
+            removed.discard(flat)
+        else:
+            added.add(flat)
+        self._stale.add(name)
+        self.ops.append(("insert", name, flat))
+        return True
+
+    def delete(self, name: str, values: Sequence[Any]) -> None:
+        """Buffer ``DELETE FROM name VALUES (...)``; deleting a flat
+        tuple the view does not represent raises, like the store."""
+        self._check_active()
+        entry = self._require(name)
+        flat = FlatTuple(entry.relation.schema, list(values))
+        added, removed = self._workspace(name, entry)
+        if not self._represented(name, flat):
+            raise FlatTupleNotFoundError(
+                f"flat tuple {tuple(flat.values)!r} is not represented "
+                f"by {name!r}"
+            )
+        self.manager.lock_key(self, name, flat)
+        if flat in added:
+            added.discard(flat)
+        else:
+            removed.add(flat)
+        self._stale.add(name)
+        self.ops.append(("delete", name, flat))
+
+    def insert_many(self, name: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Buffer a batch insert; returns how many rows were new."""
+        self._check_active()
+        entry = self._require(name)
+        schema = entry.relation.schema
+        added, removed = self._workspace(name, entry)
+        applied: list[FlatTuple] = []
+        for values in rows:
+            flat = FlatTuple(schema, list(values))
+            if self._represented(name, flat):
+                continue
+            self.manager.lock_key(self, name, flat)
+            if flat in removed:
+                removed.discard(flat)
+            else:
+                added.add(flat)
+            applied.append(flat)
+        if applied:
+            self._stale.add(name)
+            self.ops.append(("insert_many", name, tuple(applied)))
+        return len(applied)
+
+    def bind(self, name: str, relation: NFRelation) -> None:
+        """Buffer ``LET name = expr`` (the whole relation is replaced;
+        order/mode carry over exactly as :meth:`Catalog.set` would)."""
+        self._check_active()
+        self.manager.lock_relation(self, name)
+        prev = self.read_entry(name)
+        if prev is not None and sorted(prev.order) == sorted(
+            relation.schema.names
+        ):
+            order = prev.order
+        else:
+            order = relation.schema.names
+        mode = prev.mode if prev is not None else "nfr"
+        if mode == "1nf":
+            # Normalise to the all-singleton form the 1nf store will
+            # hold after replay, so the view matches the committed
+            # state exactly (and stays O(1)-probeable for DML).
+            relation = NFRelation.from_1nf(relation.to_1nf())
+        self._view[name] = VersionEntry(relation, tuple(order), mode)
+        self._base.pop(name, None)
+        self._added.pop(name, None)
+        self._removed.pop(name, None)
+        self._base_flats.pop(name, None)
+        self._stale.discard(name)
+        self.ops.append(("set", name, relation))
+
+    def analyze(self, name: str):
+        """Buffer ``ANALYZE name`` (refreshes live statistics at
+        commit); returns statistics over the snapshot view now."""
+        self._check_active()
+        self.manager.lock_relation(self, name)
+        entry = self._require(name)
+        self.ops.append(("analyze", name))
+        return collect_stats(name, entry.relation, None)
+
+
+class TransactionManager:
+    """Snapshot-isolation transaction manager for one catalog.
+
+    All shared state — the CSN counter, version histories, lock tables
+    and the live catalog during commit replay — is guarded by one
+    re-entrant ``latch``.  fsyncs happen outside it (group commit)."""
+
+    def __init__(self, catalog, engine=None):
+        self.catalog = catalog
+        self.engine = engine if engine is not None else catalog._durability
+        self.latch = threading.RLock()
+        self.csn = 0
+        self._next_id = 1
+        self._active: dict[int, Transaction] = {}
+        #: name -> [(csn_from, VersionEntry|None), ...] oldest-first
+        self._history: dict[str, list[tuple[int, VersionEntry | None]]] = {}
+        self._key_locks: dict[tuple[str, FlatTuple], Transaction] = {}
+        self._rel_locks: dict[str, Transaction] = {}
+        self._key_csn: dict[tuple[str, FlatTuple], int] = {}
+        self._ddl_csn: dict[str, int] = {}
+        self._any_csn: dict[str, int] = {}
+        self.commits_total = 0
+        self.conflicts_total = 0
+        self.rollbacks_total = 0
+        self.open_sessions = 0
+        self.coalescer: GroupCommitCoalescer | None = None
+        if self.engine is not None and getattr(self.engine, "shards", 1) == 1:
+            self.coalescer = GroupCommitCoalescer(self.engine)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        with self.latch:
+            txn = Transaction(self, self._next_id, self.csn)
+            self._next_id += 1
+            self._active[txn.id] = txn
+            return txn
+
+    def commit(self, txn: Transaction) -> None:
+        ticket = None
+        with self.latch:
+            self._check_active(txn)
+            if txn.ops:
+                ticket = self._apply(txn)
+            self.commits_total += 1
+            self._finish(txn, "committed")
+        # The fsync happens outside the latch: concurrent committers
+        # coalesce onto one group fsync instead of serialising.
+        if ticket is not None and self.coalescer is not None:
+            self.coalescer.sync(ticket)
+
+    def rollback(self, txn: Transaction) -> None:
+        with self.latch:
+            self._check_active(txn)
+            self.rollbacks_total += 1
+            self._finish(txn, "aborted")
+
+    def _check_active(self, txn: Transaction) -> None:
+        if self._active.get(txn.id) is not txn:
+            raise TransactionError(
+                "transaction is not active (already committed or rolled back)"
+            )
+
+    def _finish(self, txn: Transaction, status: str) -> None:
+        for key in txn.key_locks:
+            self._key_locks.pop(key, None)
+        for name in txn.rel_locks:
+            self._rel_locks.pop(name, None)
+        txn.key_locks.clear()
+        txn.rel_locks.clear()
+        self._active.pop(txn.id, None)
+        txn.status = status
+        self._prune()
+
+    # -- locking (first-writer-wins) -------------------------------------------
+
+    def _conflict(self, message: str) -> None:
+        self.conflicts_total += 1
+        raise SerializationError(message)
+
+    def lock_key(self, txn: Transaction, name: str, flat: FlatTuple) -> None:
+        with self.latch:
+            self._check_active(txn)
+            key = (name, flat)
+            owner = self._key_locks.get(key)
+            if owner is not None and owner is not txn:
+                self._conflict(
+                    f"write-write conflict on {name!r}: a concurrent "
+                    "transaction holds this flat tuple"
+                )
+            rel_owner = self._rel_locks.get(name)
+            if rel_owner is not None and rel_owner is not txn:
+                self._conflict(
+                    f"write-write conflict: a concurrent transaction "
+                    f"rebinds {name!r}"
+                )
+            if (
+                self._key_csn.get(key, 0) > txn.snapshot
+                or self._ddl_csn.get(name, 0) > txn.snapshot
+            ):
+                self._conflict(
+                    f"write-write conflict on {name!r}: a conflicting "
+                    "write committed after this transaction's snapshot"
+                )
+            if owner is None:
+                self._key_locks[key] = txn
+                txn.key_locks.add(key)
+
+    def lock_relation(self, txn: Transaction, name: str) -> None:
+        with self.latch:
+            self._check_active(txn)
+            owner = self._rel_locks.get(name)
+            if owner is not None and owner is not txn:
+                self._conflict(
+                    f"write-write conflict: a concurrent transaction "
+                    f"rebinds {name!r}"
+                )
+            for (lock_name, _), key_owner in self._key_locks.items():
+                if lock_name == name and key_owner is not txn:
+                    self._conflict(
+                        f"write-write conflict: a concurrent transaction "
+                        f"writes tuples of {name!r}"
+                    )
+            if self._any_csn.get(name, 0) > txn.snapshot:
+                self._conflict(
+                    f"write-write conflict on {name!r}: a conflicting "
+                    "write committed after this transaction's snapshot"
+                )
+            if owner is None:
+                self._rel_locks[name] = txn
+                txn.rel_locks.add(name)
+
+    # -- version history -------------------------------------------------------
+
+    def _capture_live(self, name: str) -> VersionEntry | None:
+        catalog = self.catalog
+        if name not in catalog:
+            return None
+        return VersionEntry(
+            catalog.get(name), catalog.order_of(name), catalog.mode_of(name)
+        )
+
+    def _ensure_history(self, name: str) -> list:
+        hist = self._history.get(name)
+        if hist is None:
+            # Lazy baseline: every mutation goes through this manager,
+            # so the live state still equals the state at CSN 0 for a
+            # relation with no recorded history.
+            hist = [(0, self._capture_live(name))]
+            self._history[name] = hist
+        return hist
+
+    def snapshot_entry(self, name: str, snapshot: int) -> VersionEntry | None:
+        with self.latch:
+            hist = self._ensure_history(name)
+            for csn_from, entry in reversed(hist):
+                if csn_from <= snapshot:
+                    return entry
+            return None
+
+    def snapshot_names(self, snapshot: int) -> set[str]:
+        with self.latch:
+            names = set(self.catalog.names())
+            for name in self._history:
+                entry = self.snapshot_entry(name, snapshot)
+                if entry is None:
+                    names.discard(name)
+                else:
+                    names.add(name)
+            return names
+
+    def _prune(self) -> None:
+        """Drop versions and conflict stamps no active snapshot can
+        reach (called with the latch held)."""
+        if self._active:
+            floor = min(t.snapshot for t in self._active.values())
+        else:
+            floor = self.csn
+        for stamps in (self._key_csn, self._ddl_csn, self._any_csn):
+            dead = [k for k, v in stamps.items() if v <= floor]
+            for k in dead:
+                del stamps[k]
+        for name in list(self._history):
+            hist = self._history[name]
+            keep = 0
+            for i, (csn_from, _) in enumerate(hist):
+                if csn_from <= floor:
+                    keep = i
+                else:
+                    break
+            if keep:
+                del hist[:keep]
+            if len(hist) == 1 and not self._active:
+                # Baseline equals live state; recapture lazily.
+                del self._history[name]
+
+    # -- commit replay ---------------------------------------------------------
+
+    def _apply(self, txn: Transaction):
+        """Replay the workspace journal against the live catalog in
+        statement order (latch held).  Key/relation locks guarantee no
+        committed writer touched these tuples since the snapshot, so
+        the replay lands exactly what the workspace view predicted."""
+        catalog = self.catalog
+        touched: list[str] = []
+        seen: set[str] = set()
+        for op in txn.ops:
+            if op[1] not in seen:
+                seen.add(op[1])
+                touched.append(op[1])
+        for name in touched:
+            self._ensure_history(name)
+        resync: set[str] = set()
+        for op in txn.ops:
+            kind, name = op[0], op[1]
+            if kind == "insert":
+                store = catalog.store_for(name)
+                _, mstats = store.insert_flat(
+                    FlatTuple(store.schema, list(op[2].values))
+                )
+                catalog.record_io(mstats)
+                resync.add(name)
+            elif kind == "delete":
+                store = catalog.store_for(name)
+                mstats = store.delete_flat(
+                    FlatTuple(store.schema, list(op[2].values))
+                )
+                catalog.record_io(mstats)
+                resync.add(name)
+            elif kind == "insert_many":
+                store = catalog.store_for(name)
+                flats = [
+                    FlatTuple(store.schema, list(f.values)) for f in op[2]
+                ]
+                _, mstats = store.insert_many(flats)
+                catalog.record_io(mstats)
+                resync.add(name)
+            elif kind == "set":
+                if name in resync:
+                    resync.discard(name)
+                    catalog.sync_from_store(name)
+                catalog.set(name, op[2])
+            elif kind == "analyze":
+                if name in resync:
+                    resync.discard(name)
+                    catalog.sync_from_store(name)
+                catalog.analyze(name)
+        # One catalog refresh per DML-touched name, not one per op:
+        # store.relation rebuilds the whole NFR each time.
+        for name in resync:
+            catalog.sync_from_store(name)
+        self.csn += 1
+        csn = self.csn
+        txn.commit_csn = csn
+        for name in touched:
+            self._history[name].append((csn, self._capture_live(name)))
+        for key in txn.key_locks:
+            self._key_csn[key] = csn
+        for name in txn.rel_locks:
+            self._ddl_csn[name] = csn
+        for name in touched:
+            self._any_csn[name] = csn
+        if self.engine is None:
+            return None
+        if self.coalescer is not None:
+            # Harden (WAL append + COMMIT marker) under the latch; the
+            # fsync is deferred to the group-commit coalescer.
+            return self.engine.harden_commit()
+        self.engine.commit()
+        return None

@@ -1,0 +1,312 @@
+"""A concurrent query session: one client's cursor-shaped handle.
+
+Each :class:`Session` executes NF2 statements under the database's
+:class:`~repro.concurrency.mvcc.TransactionManager`.  Outside an
+explicit ``BEGIN``, every statement is its own transaction
+(begin → execute → commit); inside one, statements share the
+transaction's snapshot and workspace until ``COMMIT`` / ``ROLLBACK``.
+
+The surface mirrors the DB-API cursor where it can — ``execute`` /
+``executemany`` return the session, ``description`` holds 7-tuples,
+``fetchone`` / ``fetchall`` / iteration drain the result — but results
+are materialised eagerly (a snapshot read is a pure in-memory
+evaluation, and the socket server ships whole result sets anyway).
+
+Errors cross the boundary in PEP 249 shape
+(:func:`~repro.db.exceptions.translating_engine_errors`); a
+first-writer-wins conflict surfaces as
+:class:`~repro.db.exceptions.SerializationError` *and rolls the losing
+transaction back* — retry the whole transaction.
+
+Sessions are not thread-safe; give each worker thread its own (that is
+the point of having many).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.db.exceptions import (
+    InterfaceError,
+    ProgrammingError,
+    translating_engine_errors,
+)
+from repro.errors import EvaluationError, TransactionError
+from repro.errors import SerializationError as _EngineSerializationError
+from repro.query import ast
+from repro.query.evaluator import _literal_values, evaluate
+from repro.query.params import bind_statement
+from repro.query.parser import parse
+
+from .snapshot import SnapshotCatalog
+
+
+class Session:
+    """One client's handle onto the concurrent engine."""
+
+    def __init__(self, database):
+        self._db = database
+        self._mgr = database.transactions
+        self._txn = None
+        self._closed = False
+        self._parsed_cache: dict[str, ast.Node] = {}
+        self._rows: list[tuple] = []
+        self._cursor_at = 0
+        #: PEP 249 column description of the last result (None for
+        #: statements that return text, e.g. EXPLAIN).
+        self.description: list[tuple] | None = None
+        self.rowcount = -1
+        self._mgr.open_sessions += 1
+
+    # -- guards ----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("session is closed")
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- execution -------------------------------------------------------------
+
+    def _parse(self, sql: str) -> ast.Node:
+        node = self._parsed_cache.get(sql)
+        if node is None:
+            node = parse(sql)
+            self._parsed_cache[sql] = node
+        return node
+
+    def execute(
+        self,
+        sql: str,
+        params: "Sequence[Any] | Mapping[str, Any] | None" = None,
+    ) -> "Session":
+        self._check_open()
+        node = self._parse(sql)
+        with translating_engine_errors():
+            if params is not None:
+                node = bind_statement(node, params)
+            self._run(node)
+        return self
+
+    def executemany(
+        self,
+        sql: str,
+        seq_of_params: "Sequence[Sequence[Any] | Mapping[str, Any]]",
+    ) -> "Session":
+        self._check_open()
+        node = self._parse(sql)
+        if not isinstance(node, (ast.InsertValues, ast.DeleteValues)):
+            raise ProgrammingError(
+                "executemany() takes an INSERT or DELETE statement"
+            )
+        with translating_engine_errors():
+            bound = [
+                bind_statement(node, p) if p is not None else node
+                for p in seq_of_params
+            ]
+            self._run_many(node, bound)
+        return self
+
+    def _run(self, node: ast.Node) -> None:
+        if isinstance(node, ast.Begin):
+            if self._txn is not None:
+                raise TransactionError("transaction already in progress")
+            self._txn = self._mgr.begin()
+            self._finish_text("BEGIN")
+            return
+        if isinstance(node, ast.Commit):
+            if self._txn is None:
+                raise TransactionError("no transaction in progress")
+            txn, self._txn = self._txn, None
+            self._mgr.commit(txn)
+            self._finish_text("COMMIT")
+            return
+        if isinstance(node, ast.Rollback):
+            if self._txn is None:
+                raise TransactionError("no transaction in progress")
+            txn, self._txn = self._txn, None
+            self._mgr.rollback(txn)
+            self._finish_text("ROLLBACK")
+            return
+        self._in_txn(lambda txn: self._dispatch(node, txn))
+
+    def _run_many(self, node: ast.Statement, bound: list) -> None:
+        def body(txn) -> None:
+            if isinstance(node, ast.InsertValues):
+                rows = [_literal_values(b.values) for b in bound]
+                applied = txn.insert_many(node.name, rows)
+                self.rowcount = applied
+            else:
+                for b in bound:
+                    txn.delete(node.name, _literal_values(b.values))
+                self.rowcount = len(bound)
+            self._finish_dml(txn, node.name, self.rowcount)
+
+        self._in_txn(body)
+
+    def _in_txn(self, body) -> None:
+        """Run ``body(txn)`` under the session's open transaction, or
+        as a single-statement transaction outside one.  A
+        serialization conflict always rolls the transaction back
+        (first-writer-wins: the loser retries from BEGIN)."""
+        autocommit = self._txn is None
+        txn = self._mgr.begin() if autocommit else self._txn
+        try:
+            body(txn)
+            if autocommit:
+                self._mgr.commit(txn)
+        except _EngineSerializationError:
+            self._abort(txn)
+            raise
+        except BaseException:
+            if autocommit:
+                self._abort(txn)
+            raise
+
+    def _abort(self, txn) -> None:
+        if txn.status == "active":
+            try:
+                self._mgr.rollback(txn)
+            except TransactionError:
+                pass
+        if self._txn is txn:
+            self._txn = None
+
+    def _dispatch(self, node: ast.Node, txn) -> None:
+        if isinstance(node, ast.Let):
+            snap = SnapshotCatalog(txn)
+            result = evaluate(node.expression, snap)
+            txn.bind(node.name, result)
+            self._finish_relation(result)
+            return
+        if isinstance(node, ast.InsertValues):
+            applied = txn.insert(node.name, _literal_values(node.values))
+            self._finish_dml(txn, node.name, 1 if applied else 0)
+            return
+        if isinstance(node, ast.DeleteValues):
+            txn.delete(node.name, _literal_values(node.values))
+            self._finish_dml(txn, node.name, 1)
+            return
+        if isinstance(node, ast.Explain):
+            from repro.planner import plan
+
+            snap = SnapshotCatalog(txn)
+            physical = plan(node.target, snap)
+            if node.analyze:
+                ops_before = physical.ops.snapshot()
+                physical.execute()
+                text = physical.explain(
+                    analyze=True, ops=physical.ops.snapshot() - ops_before
+                )
+            else:
+                text = physical.explain(analyze=False)
+            self._finish_text(text)
+            return
+        if isinstance(node, ast.Monitor):
+            obs = getattr(self._db, "obs", None)
+            if obs is None:
+                text = (
+                    "(observability not attached — open the catalog "
+                    "through repro.db to record metrics and traces)"
+                )
+            else:
+                text = obs.render(node.section)
+            self._finish_text(text)
+            return
+        if isinstance(node, ast.AnalyzeStmt):
+            stats = txn.analyze(node.name)
+            self._finish_text(stats.render())
+            return
+        if isinstance(node, ast.Expression):
+            snap = SnapshotCatalog(txn)
+            result = evaluate(node, snap)
+            self._finish_relation(result)
+            return
+        raise EvaluationError(f"unknown statement {node!r}")
+
+    # -- results ---------------------------------------------------------------
+
+    def _finish_relation(self, relation, rowcount: int = -1) -> None:
+        self.description = [
+            (name, "SET", None, None, None, None, None)
+            for name in relation.schema.names
+        ]
+        self._rows = [
+            tuple(t.components) for t in relation.sorted_tuples()
+        ]
+        self._cursor_at = 0
+        self.rowcount = rowcount
+
+    def _finish_dml(self, txn, name: str, rowcount: int) -> None:
+        """DML returns no rows (like most DB-APIs) — materialising the
+        whole relation per INSERT/DELETE would make every write O(n)
+        and ship the entire relation over the wire in served mode."""
+        schema = txn.relation_schema(name)
+        self.description = [
+            (n, "SET", None, None, None, None, None) for n in schema.names
+        ]
+        self._rows = []
+        self._cursor_at = 0
+        self.rowcount = rowcount
+
+    def _finish_text(self, text: str) -> None:
+        self.description = None
+        self._rows = [(text,)]
+        self._cursor_at = 0
+        self.rowcount = -1
+
+    def fetchone(self):
+        self._check_open()
+        if self._cursor_at >= len(self._rows):
+            return None
+        row = self._rows[self._cursor_at]
+        self._cursor_at += 1
+        return row
+
+    def fetchall(self) -> list[tuple]:
+        self._check_open()
+        rows = self._rows[self._cursor_at :]
+        self._cursor_at = len(self._rows)
+        return rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- transactions ----------------------------------------------------------
+
+    def begin(self) -> None:
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._txn is not None:
+            txn, self._txn = self._txn, None
+            if txn.status == "active":
+                self._mgr.rollback(txn)
+        self._closed = True
+        self._mgr.open_sessions -= 1
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

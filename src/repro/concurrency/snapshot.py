@@ -1,0 +1,93 @@
+"""A read view of one transaction, shaped like a catalog.
+
+The planner and evaluator only need a small surface from
+:class:`~repro.query.catalog.Catalog` — ``get``, ``order_of``,
+``mode_of``, ``stats_for``, ``store_if_open`` and the I/O accounting
+attributes.  :class:`SnapshotCatalog` provides exactly that surface
+over a :class:`~repro.concurrency.mvcc.Transaction`: reads resolve
+through the transaction's workspace and the manager's version history,
+never against live shared stores.
+
+``store_if_open`` always answers ``None``: snapshot relations are
+in-memory values, so every plan takes the memory-scan path.  Paged
+index scans remain the single-connection facade's territory; the
+concurrent tier trades them for stable snapshots without page latching
+on the read path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.planner.stats import collect_stats
+from repro.storage.engine import ScanStats
+
+
+class SnapshotCatalog:
+    """Catalog facade over one transaction's stable snapshot."""
+
+    def __init__(self, txn):
+        self._txn = txn
+        self.last_io: ScanStats | None = None
+        self.io_totals = ScanStats(
+            page_reads=0,
+            records_visited=0,
+            flats_produced=0,
+            index_lookups=0,
+        )
+        self.last_ops = None
+        self.last_plan_summary: str | None = None
+        self.observer = None
+        self._stats: dict = {}
+
+    # -- access ----------------------------------------------------------------
+
+    def _entry(self, name: str):
+        entry = self._txn.read_entry(name)
+        if entry is None:
+            raise CatalogError(f"no relation named {name!r}")
+        return entry
+
+    def get(self, name: str):
+        return self._entry(name).relation
+
+    def order_of(self, name: str) -> tuple[str, ...]:
+        return self._entry(name).order
+
+    def mode_of(self, name: str) -> str:
+        return self._entry(name).mode
+
+    def names(self) -> list[str]:
+        return self._txn.visible_names()
+
+    def __contains__(self, name: object) -> bool:
+        return self._txn.read_entry(name) is not None
+
+    def store_if_open(self, name: str):
+        self._entry(name)
+        return None
+
+    # -- planner support ---------------------------------------------------------
+
+    @property
+    def stats_version(self) -> int:
+        return self._txn.manager.csn
+
+    @property
+    def durable(self) -> bool:
+        return False
+
+    def stats_for(self, name: str):
+        cached = self._stats.get(name)
+        if cached is None:
+            cached = collect_stats(name, self.get(name), None)
+            self._stats[name] = cached
+        return cached
+
+    def note_query_io(self, io: ScanStats) -> None:
+        self.io_totals = self.io_totals + io
+        if io.page_reads or io.index_lookups:
+            self.last_io = io
+
+    def autocommit(self) -> None:
+        """Durability is the transaction manager's job, not the
+        evaluator's — a snapshot never commits."""

@@ -22,7 +22,7 @@ from repro.util.text import format_table
 class NFRelation:
     """An immutable non-first-normal-form relation."""
 
-    __slots__ = ("_schema", "_tuples", "_hash")
+    __slots__ = ("_schema", "_tuples", "_hash", "_r1nf")
 
     def __init__(self, schema: RelationSchema, tuples: Iterable[NFRTuple] = ()):
         self._schema = schema
@@ -35,6 +35,21 @@ class NFRelation:
                 )
         self._tuples: frozenset[NFRTuple] = tups
         self._hash = hash((schema.names, self._tuples))
+        self._r1nf: Relation | None = None
+
+    @classmethod
+    def _from_validated(
+        cls, schema: RelationSchema, tuples: frozenset[NFRTuple]
+    ) -> "NFRelation":
+        """Internal constructor for tuples already validated against
+        ``schema`` — lets stores derive a new version from a previous
+        one by set algebra without re-checking every tuple."""
+        rel = object.__new__(cls)
+        rel._schema = schema
+        rel._tuples = tuples
+        rel._hash = hash((schema.names, tuples))
+        rel._r1nf = None
+        return rel
 
     # -- constructors --------------------------------------------------------
 
@@ -123,11 +138,16 @@ class NFRelation:
         sets in general, but NFRs *derived from a 1NF relation by
         compositions/decompositions* always expand disjointly (their
         flat-set partition is refined/merged, never duplicated).
+
+        Cached after the first call — the relation is immutable, and
+        R* is asked for repeatedly on hot read paths.
         """
-        flats: set[FlatTuple] = set()
-        for t in self._tuples:
-            flats.update(t.flats())
-        return Relation(self._schema, flats)
+        if self._r1nf is None:
+            flats: set[FlatTuple] = set()
+            for t in self._tuples:
+                flats.update(t.flats())
+            self._r1nf = Relation(self._schema, flats)
+        return self._r1nf
 
     @property
     def flat_count(self) -> int:

@@ -50,6 +50,7 @@ from repro.db.exceptions import (
     NotSupportedError,
     OperationalError,
     ProgrammingError,
+    SerializationError,
     Warning,
 )
 from repro.db.plancache import PlanCache
@@ -81,4 +82,24 @@ __all__ = [
     "InternalError",
     "ProgrammingError",
     "NotSupportedError",
+    "SerializationError",
+    "serve",
+    "client",
 ]
+
+
+def serve(database, host: str = "127.0.0.1", port: int = 0, **kwargs):
+    """Serve a database over a socket (see
+    :func:`repro.server.serve`).  ``database`` may be a
+    :class:`Database` or a path; ``port=0`` picks an ephemeral port."""
+    from repro.server import serve as _serve
+
+    return _serve(database, host=host, port=port, **kwargs)
+
+
+def client(host: str, port: int, **kwargs):
+    """Connect to a served database (see
+    :func:`repro.server.client`); returns a DB-API-shaped connection."""
+    from repro.server import client as _client
+
+    return _client(host, port, **kwargs)

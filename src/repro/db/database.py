@@ -23,6 +23,7 @@ Two storage regimes share this one surface:
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from typing import Sequence
 
@@ -67,7 +68,13 @@ class Database:
             self._engine = DurableEngine(
                 path, frames=frames, fault_hook=_fault_hook, shards=shards
             )
-            self._engine.load_catalog(self.catalog)
+            try:
+                self._engine.load_catalog(self.catalog)
+            except BaseException:
+                # Release file handles and the single-process lock if
+                # attaching the persisted relations fails mid-way.
+                self._engine.abandon()
+                raise
         elif shards is not None and shards > 1:
             # In-memory sharding: new backing stores hash-partition
             # over this many shards (same execution paths as a durable
@@ -82,6 +89,8 @@ class Database:
         # Plan-cache counters of closed sessions, folded in so the
         # exposed totals stay monotone as connections come and go.
         self._retired_plan_stats = [0, 0, 0]
+        self._txn_manager = None
+        self._txn_manager_lock = threading.Lock()
         self._register_collectors()
 
     # -- observability -----------------------------------------------------------
@@ -314,6 +323,73 @@ class Database:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # -- concurrent sessions -------------------------------------------------------
+
+    @property
+    def transactions(self):
+        """The database's
+        :class:`~repro.concurrency.mvcc.TransactionManager`, created on
+        first use (snapshot isolation, first-writer-wins conflicts,
+        group commit).  All sessions — in-process and served — share
+        it."""
+        if self._txn_manager is None:
+            with self._txn_manager_lock:
+                if self._txn_manager is None:
+                    from repro.concurrency import TransactionManager
+
+                    manager = TransactionManager(self.catalog, self._engine)
+                    self._register_txn_collectors(manager)
+                    self._txn_manager = manager
+        return self._txn_manager
+
+    def session(self):
+        """Open a concurrent :class:`~repro.concurrency.session.Session`
+        over this database: snapshot-isolated reads, first-writer-wins
+        writes, group-committed durability.  Each worker thread (or
+        served client) gets its own; do not mix with legacy
+        :meth:`connect` DML on the same database."""
+        from repro.concurrency.session import Session
+
+        return Session(self)
+
+    def _register_txn_collectors(self, manager) -> None:
+        reg = self.obs.registry
+        commits = reg.counter(
+            "repro_txn_commits_total",
+            "Transactions committed under snapshot isolation.",
+        )
+        conflicts = reg.counter(
+            "repro_txn_conflicts_total",
+            "First-writer-wins conflicts (losing transactions).",
+        )
+        rollbacks = reg.counter(
+            "repro_txn_rollbacks_total",
+            "Transactions rolled back (explicit or after a conflict).",
+        )
+        active = reg.gauge(
+            "repro_active_transactions",
+            "Transactions currently holding a snapshot.",
+        )
+        sessions = reg.gauge(
+            "repro_active_sessions",
+            "Open concurrent sessions (in-process and served).",
+        )
+        if manager.coalescer is not None:
+            group_size = reg.histogram(
+                "repro_group_commit_size",
+                "Commits made durable per group fsync.",
+            )
+            manager.coalescer.size_hook = group_size.observe
+
+        def refresh() -> None:
+            commits.set_total(manager.commits_total)
+            conflicts.set_total(manager.conflicts_total)
+            rollbacks.set_total(manager.rollbacks_total)
+            active.set(len(manager._active))
+            sessions.set(manager.open_sessions)
+
+        reg.register_collector(refresh)
 
     # -- sessions and registration -----------------------------------------------
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.errors import ReproError, TransactionError, UpdateError
+from repro.errors import SerializationError as _EngineSerializationError
 
 
 class Warning(ReproError):  # noqa: A001 - PEP 249 mandates the name
@@ -69,6 +70,12 @@ class NotSupportedError(DatabaseError):
     """The requested feature is not supported by this engine."""
 
 
+class SerializationError(OperationalError):
+    """A concurrent transaction committed a conflicting write first
+    (snapshot isolation, first-writer-wins).  The losing transaction
+    has been rolled back; simply retry it."""
+
+
 @contextmanager
 def translating_engine_errors():
     """Map engine-level failures onto the PEP 249 hierarchy at the
@@ -77,5 +84,7 @@ def translating_engine_errors():
         yield
     except UpdateError as exc:
         raise IntegrityError(str(exc)) from exc
+    except _EngineSerializationError as exc:
+        raise SerializationError(str(exc)) from exc
     except TransactionError as exc:
         raise OperationalError(str(exc)) from exc

@@ -108,6 +108,14 @@ class RecordNotFoundError(StorageError):
     """A record id does not exist in the heap file."""
 
 
+class DatabaseLockedError(StorageError):
+    """Another process holds the durable database file open.
+
+    One durable file admits one process; raised by ``connect(path)``
+    instead of letting the two writers corrupt each other.  Multi-
+    process access goes through server mode (``repro.db.serve``)."""
+
+
 # ---------------------------------------------------------------------------
 # Query language
 # ---------------------------------------------------------------------------
@@ -176,6 +184,14 @@ class BindingError(EvaluationError):
 class TransactionError(QueryError):
     """Transaction misuse: BEGIN inside an open transaction, or
     COMMIT/ROLLBACK without one."""
+
+
+class SerializationError(TransactionError):
+    """A concurrent transaction committed a conflicting write first.
+
+    Snapshot isolation, first-writer-wins: the losing transaction is
+    rolled back (its snapshot never saw the winner's writes) and may
+    simply be retried."""
 
 
 class PlanError(QueryError):

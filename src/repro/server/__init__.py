@@ -1,0 +1,30 @@
+"""Socket server tier: serve one database to many client processes.
+
+A durable file admits one OS process
+(:class:`~repro.errors.DatabaseLockedError`); this package is the
+multi-process answer.  :func:`serve` binds a
+:class:`~repro.server.server.DatabaseServer` over a database (each
+connection gets its own snapshot-isolated
+:class:`~repro.concurrency.session.Session`), and :func:`client`
+returns a DB-API-shaped :class:`~repro.server.client.ClientConnection`
+speaking the length-prefixed JSON wire protocol of
+:mod:`repro.server.protocol`.
+
+    server = repro.db.serve("app.db", port=0)
+    conn = repro.db.client(server.host, server.port)
+    conn.execute("INSERT INTO Enrollment VALUES ('s9', 'c1', 'b1')")
+"""
+
+from .client import ClientConnection, ClientCursor, client
+from .protocol import MAX_FRAME_BYTES, ProtocolError
+from .server import DatabaseServer, serve
+
+__all__ = [
+    "ClientConnection",
+    "ClientCursor",
+    "DatabaseServer",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "client",
+    "serve",
+]

@@ -1,0 +1,243 @@
+"""Client side of the wire protocol: a DB-API-shaped connection.
+
+:func:`repro.db.client` returns a :class:`ClientConnection`; its
+cursors speak the same ``execute`` / ``executemany`` / ``fetchone`` /
+``fetchall`` / iteration surface as the embedded
+:class:`~repro.db.cursor.Cursor`, with rows decoded back into tuples
+of :class:`~repro.core.values.ValueSet` components.  Server-side
+failures re-raise here as the matching :mod:`repro.db` exception — a
+:class:`~repro.db.exceptions.SerializationError` loser can simply
+retry its transaction.
+
+One socket means one server session: share a connection between
+threads and you share its transaction scope, so give each worker its
+own connection (they are cheap — the server runs a thread per
+connection).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.db import exceptions as dbexc
+
+from .protocol import (
+    ProtocolError,
+    decode_row,
+    encode_params,
+    recv_frame,
+    send_frame,
+)
+
+
+def _raise_remote(response: dict) -> None:
+    name = response.get("error", "OperationalError")
+    message = response.get("message", "remote error")
+    exc_type = getattr(dbexc, name, None)
+    if exc_type is None or not (
+        isinstance(exc_type, type) and issubclass(exc_type, BaseException)
+    ):
+        from repro import errors as engine_errors
+
+        exc_type = getattr(engine_errors, name, None)
+    if exc_type is None or not (
+        isinstance(exc_type, type) and issubclass(exc_type, BaseException)
+    ):
+        exc_type = dbexc.OperationalError
+    raise exc_type(message)
+
+
+class ClientConnection:
+    """A connection to a served database."""
+
+    def __init__(self, host: str, port: int, timeout: float | None = None):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+        self._in_transaction = False
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise dbexc.InterfaceError("connection is closed")
+
+    def _roundtrip(self, request: dict) -> dict:
+        self._check_open()
+        try:
+            send_frame(self._sock, request)
+            response = recv_frame(self._sock)
+        except (OSError, ProtocolError) as exc:
+            raise dbexc.OperationalError(
+                f"server connection lost: {exc}"
+            ) from exc
+        if response is None:
+            raise dbexc.OperationalError("server closed the connection")
+        if not response.get("ok"):
+            self._in_transaction = bool(response.get("in_transaction"))
+            _raise_remote(response)
+        return response
+
+    # -- DB-API surface --------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+    def cursor(self) -> "ClientCursor":
+        self._check_open()
+        return ClientCursor(self)
+
+    def execute(self, sql: str, params=None) -> "ClientCursor":
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str, seq_of_params) -> "ClientCursor":
+        return self.cursor().executemany(sql, seq_of_params)
+
+    def ping(self) -> bool:
+        return bool(self._roundtrip({"op": "ping"}).get("ok"))
+
+    def begin(self) -> None:
+        self._roundtrip({"op": "begin"})
+        self._in_transaction = True
+
+    def commit(self) -> None:
+        """Commit the open transaction (a no-op outside one, per
+        PEP 249)."""
+        self._roundtrip({"op": "commit"})
+        self._in_transaction = False
+
+    def rollback(self) -> None:
+        self._roundtrip({"op": "rollback"})
+        self._in_transaction = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            send_frame(self._sock, {"op": "close"})
+            recv_frame(self._sock)
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ClientConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed:
+            try:
+                if exc_type is None:
+                    self.commit()
+                else:
+                    self.rollback()
+            finally:
+                self.close()
+
+
+class ClientCursor:
+    """Cursor over a :class:`ClientConnection`."""
+
+    def __init__(self, connection: ClientConnection):
+        self._connection = connection
+        self.description: list[tuple] | None = None
+        self.rowcount = -1
+        self._rows: list[tuple] = []
+        self._at = 0
+        self._done = True
+        self._text = False
+
+    @property
+    def connection(self) -> ClientConnection:
+        return self._connection
+
+    def execute(
+        self,
+        sql: str,
+        params: "Sequence[Any] | Mapping[str, Any] | None" = None,
+    ) -> "ClientCursor":
+        response = self._connection._roundtrip(
+            {"op": "execute", "sql": sql, "params": encode_params(params)}
+        )
+        self._load(response)
+        return self
+
+    def executemany(self, sql: str, seq_of_params) -> "ClientCursor":
+        response = self._connection._roundtrip(
+            {
+                "op": "executemany",
+                "sql": sql,
+                "params_seq": [encode_params(p) for p in seq_of_params],
+            }
+        )
+        self._load(response)
+        return self
+
+    def _load(self, response: dict) -> None:
+        description = response.get("description")
+        self.description = (
+            [tuple(col) for col in description]
+            if description is not None
+            else None
+        )
+        self._text = self.description is None
+        self.rowcount = response.get("rowcount", -1)
+        self._rows = [
+            decode_row(r, self._text) for r in response.get("rows", [])
+        ]
+        self._at = 0
+        self._done = bool(response.get("done", True))
+        self._connection._in_transaction = bool(
+            response.get("in_transaction")
+        )
+
+    def _fetch_more(self) -> None:
+        response = self._connection._roundtrip({"op": "fetch"})
+        self._rows.extend(
+            decode_row(r, self._text) for r in response.get("rows", [])
+        )
+        self._done = bool(response.get("done", True))
+
+    def fetchone(self):
+        while self._at >= len(self._rows) and not self._done:
+            self._fetch_more()
+        if self._at >= len(self._rows):
+            return None
+        row = self._rows[self._at]
+        self._at += 1
+        return row
+
+    def fetchall(self) -> list[tuple]:
+        while not self._done:
+            self._fetch_more()
+        rows = self._rows[self._at :]
+        self._at = len(self._rows)
+        return rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        self._rows = []
+        self._done = True
+
+
+def client(
+    host: str, port: int, timeout: float | None = None
+) -> ClientConnection:
+    """Connect to a :func:`repro.server.serve` endpoint."""
+    return ClientConnection(host, port, timeout=timeout)

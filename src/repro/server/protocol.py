@@ -1,0 +1,118 @@
+"""Wire protocol for the socket server: length-prefixed JSON frames.
+
+Every message — request or response — is one frame::
+
+    +----------------+----------------------------+
+    | length (u32 BE)| UTF-8 JSON payload         |
+    +----------------+----------------------------+
+
+Requests are objects with an ``op`` plus op-specific fields:
+
+- ``{"op": "execute", "sql": ..., "params": [...]|{...}|null}``
+- ``{"op": "executemany", "sql": ..., "params_seq": [[...], ...]}``
+- ``{"op": "fetch", "limit": N}`` — next chunk of the pending result
+- ``{"op": "begin"}`` / ``{"op": "commit"}`` / ``{"op": "rollback"}``
+- ``{"op": "ping"}`` and ``{"op": "close"}``
+
+Successful responses carry ``{"ok": true, ...}``; failures carry
+``{"ok": false, "error": "<ExceptionName>", "message": ...}`` and the
+client re-raises the matching :mod:`repro.db` exception (so a
+``SerializationError`` survives the wire and stays retryable).
+
+Result cells are NF2 components — sets of atoms — encoded as sorted
+JSON arrays; a statement that returns text (EXPLAIN, MONITOR) ships
+``description: null`` and one raw string per row.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.util.ordering import sort_key
+
+#: Refuse frames larger than this (corrupt length prefix / abuse).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """The peer sent a malformed frame."""
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds limit")
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """One decoded frame, or None on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- row encoding -------------------------------------------------------------
+
+
+def encode_row(row: tuple, text: bool) -> list:
+    """A result row for the wire: raw strings for text results, sorted
+    atom arrays for NF2 component cells."""
+    if text:
+        return list(row)
+    return [sorted(cell, key=sort_key) for cell in row]
+
+
+def decode_row(row: list, text: bool) -> tuple:
+    if text:
+        return tuple(row)
+    from repro.core.values import ValueSet
+
+    return tuple(ValueSet(cell) for cell in row)
+
+
+def encode_params(params: Any) -> Any:
+    """Parameters are already JSON-shaped (atoms, sequences, mappings)."""
+    if params is None or isinstance(params, (list, dict)):
+        return params
+    if isinstance(params, tuple):
+        return list(params)
+    return list(params)
+
+
+def error_response(exc: BaseException) -> dict:
+    return {
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }

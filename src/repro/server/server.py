@@ -1,0 +1,273 @@
+"""The socket server: one concurrent session per client connection.
+
+:class:`DatabaseServer` listens on a TCP socket and runs one handler
+thread per accepted connection.  Each handler owns one
+:class:`~repro.concurrency.session.Session`, so every client gets
+snapshot-isolated transactions and first-writer-wins conflict
+detection, and concurrent committers share group fsyncs — the whole
+point of serving a durable file from one process instead of letting
+two processes fight over it (see
+:class:`~repro.errors.DatabaseLockedError`).
+
+Shutdown is graceful: the listener closes first (no new connections),
+in-flight requests finish, open transactions roll back as their
+sessions close, and only then do the handler threads exit.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import ReproError
+
+from .protocol import (
+    ProtocolError,
+    encode_row,
+    error_response,
+    recv_frame,
+    send_frame,
+)
+
+#: execute responses inline at most this many rows; the rest stream
+#: through ``fetch`` frames.
+DEFAULT_INLINE_ROWS = 256
+
+
+class DatabaseServer:
+    """Serve one :class:`~repro.db.database.Database` over TCP."""
+
+    def __init__(
+        self,
+        database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 64,
+        inline_rows: int = DEFAULT_INLINE_ROWS,
+        owns_database: bool = False,
+    ):
+        self.database = database
+        self.inline_rows = inline_rows
+        self._owns_database = owns_database
+        self._listener = socket.create_server(
+            (host, port), backlog=backlog, reuse_port=False
+        )
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._handlers: set[threading.Thread] = set()
+        self._clients: set[socket.socket] = set()
+        self._shutdown = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "DatabaseServer":
+        """Accept connections on a background thread; returns self."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept connections on the calling thread until
+        :meth:`shutdown` (the CLI's blocking mode)."""
+        self._accept_loop()
+
+    def shutdown(self) -> None:
+        """Stop accepting, let in-flight requests finish, close every
+        session, and (if this server opened the database) close the
+        database.  Idempotent."""
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        # shutdown() before close(): close alone does not wake a thread
+        # blocked in accept() on the same socket.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        # Unblock handlers parked in recv(); their sessions roll back
+        # any open transaction as they close.
+        with self._lock:
+            clients = list(self._clients)
+        for sock in clients:
+            try:
+                sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        with self._lock:
+            handlers = list(self._handlers)
+        for thread in handlers:
+            thread.join(timeout=5)
+        if self._owns_database:
+            self.database.close()
+
+    def __enter__(self) -> "DatabaseServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- accept / handle -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by shutdown()
+            thread = threading.Thread(
+                target=self._handle,
+                args=(sock,),
+                name="repro-server-conn",
+                daemon=True,
+            )
+            with self._lock:
+                self._handlers.add(thread)
+                self._clients.add(sock)
+            thread.start()
+
+    def _handle(self, sock: socket.socket) -> None:
+        session = self.database.session()
+        pending: list = []
+        pending_text = False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while not self._shutdown.is_set():
+                try:
+                    request = recv_frame(sock)
+                except (ProtocolError, OSError):
+                    break
+                if request is None:
+                    break
+                op = request.get("op")
+                if op == "close":
+                    try:
+                        send_frame(sock, {"ok": True})
+                    except OSError:
+                        pass
+                    break
+                try:
+                    response, pending, pending_text = self._dispatch(
+                        session, request, pending, pending_text
+                    )
+                except ReproError as exc:
+                    response = error_response(exc)
+                except Exception as exc:  # keep the connection alive
+                    response = error_response(exc)
+                try:
+                    send_frame(sock, response)
+                except OSError:
+                    break
+        finally:
+            session.close()
+            try:
+                sock.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._clients.discard(sock)
+                self._handlers.discard(threading.current_thread())
+
+    def _dispatch(self, session, request: dict, pending, pending_text):
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True}, pending, pending_text
+        if op in ("begin", "commit", "rollback"):
+            if op == "begin":
+                session.begin()
+            elif op == "commit":
+                if session.in_transaction:
+                    session.commit()
+            else:
+                if session.in_transaction:
+                    session.rollback()
+            return {"ok": True}, [], False
+        if op == "execute":
+            session.execute(request["sql"], request.get("params"))
+            return self._result_response(session)
+        if op == "executemany":
+            session.executemany(
+                request["sql"], request.get("params_seq") or []
+            )
+            return self._result_response(session)
+        if op == "fetch":
+            limit = request.get("limit") or self.inline_rows
+            chunk = pending[:limit]
+            rest = pending[limit:]
+            return (
+                {
+                    "ok": True,
+                    "rows": [encode_row(r, pending_text) for r in chunk],
+                    "done": not rest,
+                },
+                rest,
+                pending_text,
+            )
+        raise ProtocolError(f"unknown op {op!r}")
+
+    def _result_response(self, session):
+        rows = session.fetchall()
+        text = session.description is None
+        inline = rows[: self.inline_rows]
+        rest = rows[self.inline_rows :]
+        response = {
+            "ok": True,
+            "description": session.description,
+            "rowcount": session.rowcount,
+            "rows": [encode_row(r, text) for r in inline],
+            "done": not rest,
+            "in_transaction": session.in_transaction,
+        }
+        return response, rest, text
+
+
+def serve(
+    database,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    backlog: int = 64,
+    inline_rows: int = DEFAULT_INLINE_ROWS,
+    background: bool = True,
+):
+    """Serve a database over TCP.
+
+    ``database`` is a :class:`~repro.db.database.Database` or a path
+    (the server then opens — and on shutdown closes — the durable file
+    itself).  ``port=0`` picks an ephemeral port; read it back from
+    ``server.port``.  With ``background=True`` (default) the accept
+    loop runs on a daemon thread and the started server is returned;
+    otherwise the call blocks until :meth:`DatabaseServer.shutdown`.
+    """
+    from repro.db.database import Database
+
+    owns = False
+    if not isinstance(database, Database):
+        database = Database(path=database)
+        owns = True
+    server = DatabaseServer(
+        database,
+        host=host,
+        port=port,
+        backlog=backlog,
+        inline_rows=inline_rows,
+        owns_database=owns,
+    )
+    if background:
+        return server.start()
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+    return server

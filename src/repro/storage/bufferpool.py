@@ -46,6 +46,7 @@ Two victim policies share that contract:
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -219,6 +220,9 @@ class BufferPool:
         self._hand = 0
         # Fetches since the last aging tick (adaptive policy).
         self._since_age = 0
+        #: Latch serializing frame-table access from concurrent
+        #: sessions (the evict_gate callback runs under it).
+        self.latch = threading.RLock()
 
     # -- introspection -----------------------------------------------------------
 
@@ -238,9 +242,10 @@ class BufferPool:
         return page_id in self._frames
 
     def dirty_ids(self) -> list[int]:
-        return sorted(
-            pid for pid, f in self._frames.items() if f.dirty
-        )
+        with self.latch:
+            return sorted(
+                pid for pid, f in self._frames.items() if f.dirty
+            )
 
     # -- pin/unpin ---------------------------------------------------------------
 
@@ -248,32 +253,34 @@ class BufferPool:
         """Pin ``page_id``'s frame, reading the page image from disk on
         a miss (a zero image — an allocated page never flushed — comes
         back as a fresh empty page)."""
-        self._since_age += 1
-        if self.adaptive and self._since_age >= self.capacity:
-            self._age_frames()
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-        else:
-            self.stats.misses += 1
-            self._make_room()
-            page = Page.from_bytes(
-                self.filemgr.read_page(page_id), page_id
-            )
-            frame = _Frame(page)
-            self._frames[page_id] = frame
-            self._clock.append(page_id)
-        frame.pins += 1
-        frame.referenced = True
-        return frame.page
+        with self.latch:
+            self._since_age += 1
+            if self.adaptive and self._since_age >= self.capacity:
+                self._age_frames()
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                self._make_room()
+                page = Page.from_bytes(
+                    self.filemgr.read_page(page_id), page_id
+                )
+                frame = _Frame(page)
+                self._frames[page_id] = frame
+                self._clock.append(page_id)
+            frame.pins += 1
+            frame.referenced = True
+            return frame.page
 
     def release(self, page_id: int, dirty: bool = False) -> None:
         """Unpin; ``dirty=True`` marks the frame for writeback."""
-        frame = self._frames.get(page_id)
-        if frame is None or frame.pins <= 0:
-            raise StorageError(f"release of unpinned page {page_id}")
-        frame.pins -= 1
-        frame.dirty = frame.dirty or dirty
+        with self.latch:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pins <= 0:
+                raise StorageError(f"release of unpinned page {page_id}")
+            frame.pins -= 1
+            frame.dirty = frame.dirty or dirty
 
     def allocate(self) -> Page:
         """A fresh pinned, dirty page on a newly allocated page id.  A
@@ -281,27 +288,29 @@ class BufferPool:
         was dropped and the checkpoint sweep freed the id); the stale
         frame is discarded — or, if an abandoned stream still pins it,
         the id is skipped for now and a different one is taken."""
-        self._make_room()
-        skipped: list[int] = []
-        pid = self.allocator.allocate()
-        while not self.drop_frame(pid):
-            skipped.append(pid)
+        with self.latch:
+            self._make_room()
+            skipped: list[int] = []
             pid = self.allocator.allocate()
-        for stale in skipped:
-            self.allocator.free(stale)
-        page = Page(pid)
-        self._frames[pid] = _Frame(page, pins=1, dirty=True)
-        self._clock.append(pid)
-        return page
+            while not self.drop_frame(pid):
+                skipped.append(pid)
+                pid = self.allocator.allocate()
+            for stale in skipped:
+                self.allocator.free(stale)
+            page = Page(pid)
+            self._frames[pid] = _Frame(page, pins=1, dirty=True)
+            self._clock.append(pid)
+            return page
 
     def free(self, page_id: int) -> None:
         """Drop the frame (no writeback) and return the id to the
         allocator — the page's bytes on disk become dead."""
-        frame = self._frames.get(page_id)
-        if frame is not None and frame.pins > 0:
-            raise StorageError(f"cannot free pinned page {page_id}")
-        self.drop_frame(page_id)
-        self.allocator.free(page_id)
+        with self.latch:
+            frame = self._frames.get(page_id)
+            if frame is not None and frame.pins > 0:
+                raise StorageError(f"cannot free pinned page {page_id}")
+            self.drop_frame(page_id)
+            self.allocator.free(page_id)
 
     def drop_frame(self, page_id: int) -> bool:
         """Discard a frame without writeback (the page's contents are
@@ -309,13 +318,14 @@ class BufferPool:
         checkpoint's mark-sweep).  Pinned frames are left alone (a
         suspended scan may still be reading one); returns whether the
         frame is gone."""
-        frame = self._frames.get(page_id)
-        if frame is None:
+        with self.latch:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                return True
+            if frame.pins > 0:
+                return False
+            del self._frames[page_id]
             return True
-        if frame.pins > 0:
-            return False
-        del self._frames[page_id]
-        return True
 
     # -- eviction ----------------------------------------------------------------
 
@@ -416,23 +426,26 @@ class BufferPool:
     # -- flushing ----------------------------------------------------------------
 
     def flush_page(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
-        if frame is not None and frame.dirty:
-            self.filemgr.write_page(page_id, frame.page.to_bytes())
-            frame.dirty = False
+        with self.latch:
+            frame = self._frames.get(page_id)
+            if frame is not None and frame.dirty:
+                self.filemgr.write_page(page_id, frame.page.to_bytes())
+                frame.dirty = False
 
     def flush_all(self) -> int:
         """Write back every dirty frame (checkpoint); returns how many
         pages were written."""
-        written = 0
-        for pid in self.dirty_ids():
-            self.flush_page(pid)
-            written += 1
-        return written
+        with self.latch:
+            written = 0
+            for pid in self.dirty_ids():
+                self.flush_page(pid)
+                written += 1
+            return written
 
     def drop_all(self) -> None:
         """Discard every frame without writeback (close after
         checkpoint, or abandoning a crashed engine)."""
-        self._frames.clear()
-        self._clock.clear()
-        self._hand = 0
+        with self.latch:
+            self._frames.clear()
+            self._clock.clear()
+            self._hand = 0

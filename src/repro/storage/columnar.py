@@ -22,6 +22,7 @@ aligned with :meth:`ColumnBatch.translated` before joining.
 from __future__ import annotations
 
 import struct
+import threading
 from typing import Any, Iterable, Sequence
 
 from repro.core.nfr_tuple import NFRTuple
@@ -59,6 +60,7 @@ class AtomDict:
         "_vset_runs",
         "_masks",
         "record_cache",
+        "latch",
     )
 
     def __init__(self) -> None:
@@ -79,6 +81,10 @@ class AtomDict:
         # by the (lo_key, lo_incl, hi_key, hi_incl) window and extended
         # lazily as the dictionary grows.
         self._masks: dict[tuple, list[bool]] = {}
+        #: Latch for concurrent sessions.  Hit paths stay lock-free
+        #: (dict reads are atomic under the GIL); only code assignment
+        #: and in-place mask extension serialize.
+        self.latch = threading.RLock()
 
     def __len__(self) -> int:
         return len(self.atoms)
@@ -95,7 +101,10 @@ class AtomDict:
         key = (value.__class__, value)
         code = self._codes.get(key)
         if code is None:
-            code = self._add(key, value)
+            with self.latch:
+                code = self._codes.get(key)
+                if code is None:
+                    code = self._add(key, value)
         return code
 
     def try_code(self, value: Any) -> int | None:
@@ -129,7 +138,10 @@ class AtomDict:
         canonical atom object."""
         code = self._codes.get(key)
         if code is None:
-            code = self._add(key, key[1])
+            with self.latch:
+                code = self._codes.get(key)
+                if code is None:
+                    code = self._add(key, key[1])
         return self.atoms[code]
 
     # -- storage-byte fast paths ------------------------------------------------
@@ -195,21 +207,24 @@ class AtomDict:
         lo_key = None if low is None else sort_key(low)
         hi_key = None if high is None else sort_key(high)
         window = (lo_key, low_inclusive, hi_key, high_inclusive)
-        mask = self._masks.get(window)
-        if mask is None:
-            mask = []
-            self._masks[window] = mask
-        atoms = self.atoms
-        if len(mask) < len(atoms):
-            for code in range(len(mask), len(atoms)):
-                k = sort_key(atoms[code])
-                ok = True
-                if lo_key is not None:
-                    ok = k > lo_key or (low_inclusive and k == lo_key)
-                if ok and hi_key is not None:
-                    ok = k < hi_key or (high_inclusive and k == hi_key)
-                mask.append(ok)
-        return mask
+        with self.latch:
+            mask = self._masks.get(window)
+            if mask is None:
+                mask = []
+                self._masks[window] = mask
+            atoms = self.atoms
+            if len(mask) < len(atoms):
+                for code in range(len(mask), len(atoms)):
+                    k = sort_key(atoms[code])
+                    ok = True
+                    if lo_key is not None:
+                        ok = k > lo_key or (low_inclusive and k == lo_key)
+                    if ok and hi_key is not None:
+                        ok = k < hi_key or (
+                            high_inclusive and k == hi_key
+                        )
+                    mask.append(ok)
+            return mask
 
     # -- cross-dictionary alignment ----------------------------------------------
 

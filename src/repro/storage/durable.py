@@ -90,7 +90,12 @@ import struct
 import zlib
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import StorageError, TransactionError
+try:  # pragma: no cover - POSIX everywhere we run
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import DatabaseLockedError, StorageError, TransactionError
 from repro.relational.schema import RelationSchema
 from repro.storage.bufferpool import (
     DEFAULT_FRAME_BUDGET,
@@ -159,6 +164,7 @@ class DurableEngine:
         if shards is not None and shards < 1:
             raise StorageError(f"shards must be >= 1, got {shards}")
         self.path = os.fspath(path)
+        self._lock_file = self._acquire_file_lock()
         self.filemgr = FileManager(self.path, fault_hook=fault_hook)
         self.wal = WriteAheadLog(wal_path(self.path), fault_hook=fault_hook)
         self.pool = BufferPool(
@@ -188,14 +194,48 @@ class DurableEngine:
             for part in self.partitions:
                 part.filemgr.close()
                 part.wal.close()
+            self._release_file_lock()
             raise
+
+    # -- single-process guard ----------------------------------------------------
+
+    def _acquire_file_lock(self):
+        """Exclusive advisory lock on ``<path>-lock``: one durable file,
+        one process.  A second ``connect(path)`` fails fast with
+        :class:`DatabaseLockedError` instead of the two processes
+        silently corrupting each other's WAL and page writes."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return None
+        lock = open(self.path + "-lock", "a+b")
+        try:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            lock.close()
+            raise DatabaseLockedError(
+                f"database {self.path!r} is locked by another process; "
+                f"a durable file admits one process at a time — for "
+                f"multi-process access start a server with "
+                f"`repro serve {self.path}` (repro.db.serve) and point "
+                f"clients at it with repro.db.client(host, port)"
+            ) from None
+        return lock
+
+    def _release_file_lock(self) -> None:
+        if self._lock_file is not None:
+            try:
+                fcntl.flock(self._lock_file.fileno(), fcntl.LOCK_UN)
+            finally:
+                self._lock_file.close()
+                self._lock_file = None
 
     # -- policies ----------------------------------------------------------------
 
     def _may_evict(self, page_id: int) -> bool:
-        """No-steal: a page dirtied by the open transaction must not be
-        written back before its WAL records are durable."""
-        return page_id not in self.wal.active_dirty
+        """No-steal: a page dirtied by the open transaction — or by a
+        hardened group-commit member whose covering fsync has not
+        landed — must not be written back before its WAL records are
+        durable."""
+        return not self.wal.page_gated(page_id)
 
     @property
     def allocator(self) -> PageAllocator:
@@ -294,7 +334,7 @@ class DurableEngine:
             pool = BufferPool(
                 filemgr,
                 capacity=self._frames,
-                evict_gate=lambda pid, _wal=wal: pid not in _wal.active_dirty,
+                evict_gate=lambda pid, _wal=wal: not _wal.page_gated(pid),
             )
             self.partitions.append(_Partition(i, filemgr, wal, pool))
             ops, _blob, max_lsn = wal.recover(max_epoch=max_epoch)
@@ -500,6 +540,38 @@ class DurableEngine:
         self._last_committed_blob = blob
         self._dirty_since_checkpoint = True
 
+    def harden_commit(self) -> int | None:
+        """Group-commit durability, first half: write the catalog blob
+        + COMMIT marker to the OS and return a WAL ticket **without
+        fsyncing** — the caller (the commit coalescer) makes the group
+        durable with one :meth:`sync_to` covering many tickets.  A
+        commit that changed nothing returns None (nothing to sync).
+
+        Sharded databases fall back to the full epoch-commit protocol
+        (several WALs, ordered fsyncs) and also return None."""
+        self._check_open()
+        if self.shards > 1:
+            self.commit()
+            return None
+        if self.catalog is not None:
+            for name in self.catalog.names():
+                self.catalog.ensure_store(name)
+        blob = self._serialize()
+        if not self.wal.in_flight and blob == self._last_committed_blob:
+            return None
+        self.wal.log_catalog(blob)
+        ticket = self.wal.harden()
+        self._last_committed_blob = blob
+        self._dirty_since_checkpoint = True
+        return ticket
+
+    def sync_to(self, ticket: int) -> bool:
+        """Make every hardened commit up to ``ticket`` durable (one
+        fsync at most); returns False when an earlier group fsync
+        already covered it."""
+        self._check_open()
+        return self.wal.sync_to(ticket)
+
     def rollback(self) -> None:
         """Make a completed rollback durable.
 
@@ -552,6 +624,11 @@ class DurableEngine:
             )
         if not self._dirty_since_checkpoint:
             return
+        # Drain the group-commit pipeline: hardened-but-unsynced
+        # commits must be durable before their pages are flushed and
+        # the WAL truncated.
+        if self.wal.hardened_ticket > self.wal.synced_ticket:
+            self.wal.sync_to(self.wal.hardened_ticket)
         for part in self.partitions:
             part.pool.flush_all()
             used = {0} if part.index == 0 else set()
@@ -621,6 +698,7 @@ class DurableEngine:
         for part in self.partitions:
             part.filemgr.close()
             part.wal.close()
+        self._release_file_lock()
         self._closed = True
 
     def abandon(self) -> None:
@@ -633,6 +711,7 @@ class DurableEngine:
             part.pool.drop_all()
             part.filemgr.close()
             part.wal.close()
+        self._release_file_lock()
         self._closed = True
 
     def __repr__(self) -> str:

@@ -232,10 +232,47 @@ class NFRStore:
         self._canon: CanonicalNFR | None = None
         self._records_written = 0
         self._records_deleted = 0
+        # Cached NFRelation view of the record directory, maintained
+        # incrementally by the record helpers: deriving each new
+        # version from the previous one by frozenset algebra keeps
+        # :attr:`relation` O(delta) instead of O(n) per mutation —
+        # which is what the MVCC commit path pays, serialized, per
+        # transaction.  None = not yet built (rebuilt on next read).
+        self._nfr_cache: NFRelation | None = None
         #: Called after every mutation that changed stored state (the
         #: catalog hangs statistics invalidation here, so planner
         #: estimates never survive a DML they didn't see).
         self.on_mutation: Callable[[], None] | None = None
+
+    # -- relation-view cache -----------------------------------------------------
+
+    def _cache_add(self, lifted: NFRTuple) -> None:
+        cache = self._nfr_cache
+        if cache is not None:
+            self._nfr_cache = NFRelation._from_validated(
+                cache.schema, cache.tuples | {lifted}
+            )
+
+    def _cache_remove(self, lifted: NFRTuple) -> None:
+        cache = self._nfr_cache
+        if cache is not None:
+            self._nfr_cache = NFRelation._from_validated(
+                cache.schema, cache.tuples - {lifted}
+            )
+
+    def _cache_add_many(self, lifted: Iterable[NFRTuple]) -> None:
+        cache = self._nfr_cache
+        if cache is not None:
+            self._nfr_cache = NFRelation._from_validated(
+                cache.schema, cache.tuples | frozenset(lifted)
+            )
+
+    def _cache_remove_many(self, lifted: Iterable[NFRTuple]) -> None:
+        cache = self._nfr_cache
+        if cache is not None:
+            self._nfr_cache = NFRelation._from_validated(
+                cache.schema, cache.tuples - frozenset(lifted)
+            )
 
     def _notify_mutation(self) -> None:
         if self.on_mutation is not None:
@@ -327,12 +364,19 @@ class NFRStore:
 
     @property
     def relation(self) -> NFRelation:
-        """Snapshot of the stored relation as an NFR."""
-        if self.mode == "nfr":
-            return NFRelation(self.schema, self._rids.keys())
-        return NFRelation(
-            self.schema, (NFRTuple.from_flat(f) for f in self._rids)
-        )
+        """Snapshot of the stored relation as an NFR (cached; the
+        record helpers keep the cache current incrementally)."""
+        cached = self._nfr_cache
+        if cached is None:
+            if self.mode == "nfr":
+                cached = NFRelation(self.schema, self._rids.keys())
+            else:
+                cached = NFRelation(
+                    self.schema,
+                    (NFRTuple.from_flat(f) for f in self._rids),
+                )
+            self._nfr_cache = cached
+        return cached
 
     def to_1nf(self) -> Relation:
         """R* of the stored relation, from the record directory."""
@@ -373,6 +417,7 @@ class NFRStore:
         rid = self.heap.insert(encode_flat_tuple(t))
         self._rids[t] = rid
         self._records_written += 1
+        self._cache_add(NFRTuple.from_flat(t))
         if self.index is not None:
             for name in self.schema.names:
                 self.index.add(name, t[name], rid)
@@ -383,6 +428,7 @@ class NFRStore:
         rid = self.heap.insert(encode_nfr_tuple(t))
         self._rids[t] = rid
         self._records_written += 1
+        self._cache_add(t)
         if self.index is not None:
             for name in self.schema.names:
                 self.index.add_component(name, t[name], rid)
@@ -399,11 +445,13 @@ class NFRStore:
                 for name in self.schema.names:
                     self.index.add_component(name, t[name], rid)
                     self.rindex.add_component(name, t[name], rid)
+        self._cache_add_many(ordered)
 
     def _delete_flat_record(self, t: FlatTuple) -> None:
         rid = self._rids.pop(t)
         self.heap.delete(rid)
         self._records_deleted += 1
+        self._cache_remove(NFRTuple.from_flat(t))
         if self.index is not None:
             for name in self.schema.names:
                 self.index.remove(name, t[name], rid)
@@ -413,6 +461,7 @@ class NFRStore:
         rid = self._rids.pop(t)
         self.heap.delete(rid)
         self._records_deleted += 1
+        self._cache_remove(t)
         if self.index is not None:
             for name in self.schema.names:
                 self.index.remove_component(name, t[name], rid)
@@ -429,6 +478,7 @@ class NFRStore:
                 for name in self.schema.names:
                     self.index.remove_component(name, t[name], rid)
                     self.rindex.remove_component(name, t[name], rid)
+        self._cache_remove_many(ordered)
         self.heap.delete_many(rids)
 
     # -- §4 maintenance plumbing --------------------------------------------------
@@ -632,6 +682,7 @@ class NFRStore:
                     for name in self.schema.names:
                         self.index.add(name, f[name], rid)
                         self.rindex.add(name, f[name], rid)
+            self._cache_add_many(NFRTuple.from_flat(f) for f in applied)
         else:
             with self._buffered_writes(canon):
                 applied = canon.insert_batch_applied(normalized)
@@ -650,12 +701,14 @@ class NFRStore:
         count = 0
         if canon is None:
             rids: list[RecordId] = []
+            removed: list[FlatTuple] = []
             try:
                 for f in normalized:
                     if f not in self._rids:
                         raise FlatTupleNotFoundError(f"{f} is not stored")
                     rid = self._rids.pop(f)
                     rids.append(rid)
+                    removed.append(f)
                     self._records_deleted += 1
                     if self.index is not None:
                         for name in self.schema.names:
@@ -667,6 +720,9 @@ class NFRStore:
                 if rids:
                     # Partial work is kept on error, so invalidate even
                     # when the batch raises mid-way.
+                    self._cache_remove_many(
+                        NFRTuple.from_flat(f) for f in removed
+                    )
                     self._notify_mutation()
             # The finally block above already notified (it must, to
             # cover the partial-failure path).

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import time
 import zlib
 from typing import Callable
@@ -158,6 +159,22 @@ class WriteAheadLog:
         #: :meth:`recover` accepted (0 when none carried an epoch).
         self.recovered_epoch = 0
         self._closed = False
+        #: Latch serializing log access from concurrent sessions.  An
+        #: RLock so engine-level code may compose several log calls
+        #: under one critical section.
+        self.latch = threading.RLock()
+        #: Group-commit state: :meth:`harden` writes a transaction's
+        #: frames + COMMIT marker without fsyncing and hands back a
+        #: monotone ticket; :meth:`sync_to` fsyncs once for every
+        #: hardened-but-unsynced ticket.  Pages dirtied by a hardened
+        #: transaction stay under the no-steal gate (they may not be
+        #: written back) until the covering fsync lands — a crash
+        #: before it must find the data file untouched.
+        self._hardened_ticket = 0
+        self._synced_ticket = 0
+        self._unsynced_dirty: dict[int, set[int]] = {}
+        # Serializes group-commit fsyncs without blocking hardens.
+        self._sync_lock = threading.Lock()
 
     # -- framing ------------------------------------------------------------------
 
@@ -183,24 +200,30 @@ class WriteAheadLog:
     # -- logging ------------------------------------------------------------------
 
     def log_alloc(self, page: Page) -> None:
-        lsn = self._stamp(page)
-        self._append(_ALLOC_HEADER.pack(REC_ALLOC, lsn, page.page_id))
+        with self.latch:
+            lsn = self._stamp(page)
+            self._append(_ALLOC_HEADER.pack(REC_ALLOC, lsn, page.page_id))
 
     def log_insert(self, page: Page, slot: int, record: bytes) -> None:
-        lsn = self._stamp(page)
-        self._append(
-            _INSERT_HEADER.pack(
-                REC_INSERT, lsn, page.page_id, slot, len(record)
+        with self.latch:
+            lsn = self._stamp(page)
+            self._append(
+                _INSERT_HEADER.pack(
+                    REC_INSERT, lsn, page.page_id, slot, len(record)
+                )
+                + record
             )
-            + record
-        )
 
     def log_delete(self, page: Page, slot: int) -> None:
-        lsn = self._stamp(page)
-        self._append(_DELETE_HEADER.pack(REC_DELETE, lsn, page.page_id, slot))
+        with self.latch:
+            lsn = self._stamp(page)
+            self._append(
+                _DELETE_HEADER.pack(REC_DELETE, lsn, page.page_id, slot)
+            )
 
     def log_catalog(self, blob: bytes) -> None:
-        self._append(_CATALOG_HEADER.pack(REC_CATALOG, len(blob)) + blob)
+        with self.latch:
+            self._append(_CATALOG_HEADER.pack(REC_CATALOG, len(blob)) + blob)
 
     # -- transaction boundaries ---------------------------------------------------
 
@@ -222,6 +245,23 @@ class WriteAheadLog:
         partial frames.  The buffer is cleared only once the fsync
         succeeded, so a failed commit can be retried (or rolled back)
         without losing records."""
+        with self.latch:
+            written = self._push_frames(epoch)
+            self._fault("wal_sync", 0)
+            self._fsync()
+            self._durable_offset = self._file.tell()
+            self._buffer.clear()
+            self.active_dirty.clear()
+            self.commits += 1
+            self._hardened_ticket += 1
+            self._note_synced()
+            return written
+
+    def _push_frames(self, epoch: int | None) -> int:
+        """Append the COMMIT marker and write the buffered frames to
+        the OS from the durable offset.  Leaves the buffer and offsets
+        untouched so a failed write (fault injection, ENOSPC) can be
+        retried or rolled back.  Returns bytes written."""
         if epoch is None:
             self._append(bytes([REC_COMMIT]))
         else:
@@ -232,30 +272,104 @@ class WriteAheadLog:
             self._fault("wal_write", len(frame))
             self._file.write(frame)
             written += len(frame)
-        self._fault("wal_sync", 0)
-        self._fsync()
-        self._durable_offset = self._file.tell()
-        self._buffer.clear()
-        self.active_dirty.clear()
-        self.commits += 1
         return written
+
+    def harden(self, epoch: int | None = None) -> int:
+        """Group-commit first half: write the buffered frames and the
+        COMMIT marker to the OS **without fsyncing**, and return a
+        monotone ticket.  The transaction is durable only once a later
+        :meth:`sync_to` covering that ticket returns; until then its
+        dirtied pages stay gated (:meth:`page_gated`) so the no-steal
+        invariant holds across the fsync gap."""
+        with self.latch:
+            self._push_frames(epoch)
+            self._durable_offset = self._file.tell()
+            self._buffer.clear()
+            self._hardened_ticket += 1
+            if self.active_dirty:
+                self._unsynced_dirty[self._hardened_ticket] = set(
+                    self.active_dirty
+                )
+                self.active_dirty.clear()
+            self.commits += 1
+            return self._hardened_ticket
+
+    def sync_to(self, ticket: int) -> bool:
+        """Group-commit second half: make every hardened ticket up to
+        at least ``ticket`` durable with (at most) one fsync.  Returns
+        False when an earlier sync already covered it — the caller's
+        whole group rode a single fsync.
+
+        The fsync itself runs *outside* the latch (serialized by a
+        dedicated sync lock) so concurrent committers keep hardening
+        while it is in flight — that overlap is what lets the next
+        group form.  Only tickets hardened before the fsync started are
+        marked durable."""
+        with self._sync_lock:
+            with self.latch:
+                if self._synced_ticket >= ticket:
+                    return False
+                target = self._hardened_ticket
+            self._fault("wal_sync", 0)
+            self._fsync()
+            with self.latch:
+                if target > self._synced_ticket:
+                    self._synced_ticket = target
+                    for t in [
+                        k for k in self._unsynced_dirty if k <= target
+                    ]:
+                        del self._unsynced_dirty[t]
+            return True
+
+    def _note_synced(self) -> None:
+        """An fsync of the log file just succeeded: every hardened
+        frame is on disk, so release the hardened pages to eviction."""
+        self._synced_ticket = self._hardened_ticket
+        self._unsynced_dirty.clear()
+
+    @property
+    def synced_ticket(self) -> int:
+        return self._synced_ticket
+
+    @property
+    def hardened_ticket(self) -> int:
+        return self._hardened_ticket
+
+    def page_gated(self, page_id: int) -> bool:
+        """Is ``page_id`` still protected by no-steal — dirtied by the
+        open transaction, or by a hardened transaction whose covering
+        fsync has not landed yet?"""
+        with self.latch:
+            if page_id in self.active_dirty:
+                return True
+            return any(
+                page_id in pages for pages in self._unsynced_dirty.values()
+            )
 
     def rollback(self) -> None:
         """Discard the buffered (uncommitted) frames."""
-        self._buffer.clear()
-        self.active_dirty.clear()
+        with self.latch:
+            self._buffer.clear()
+            self.active_dirty.clear()
 
     def truncate(self) -> None:
         """Empty the log (checkpoint: the data file now carries
         everything the log protected)."""
-        if self._buffer:
-            raise StorageError("cannot truncate WAL with records in flight")
-        self._fault("wal_truncate", 0)
-        self._file.truncate(0)
-        self._file.seek(0)
-        self._durable_offset = 0
-        self._fault("wal_sync", 0)
-        self._fsync()
+        with self.latch:
+            if self._buffer:
+                raise StorageError(
+                    "cannot truncate WAL with records in flight"
+                )
+            if self._unsynced_dirty:
+                raise StorageError(
+                    "cannot truncate WAL with unsynced group commits"
+                )
+            self._fault("wal_truncate", 0)
+            self._file.truncate(0)
+            self._file.seek(0)
+            self._durable_offset = 0
+            self._fault("wal_sync", 0)
+            self._fsync()
 
     # -- recovery -----------------------------------------------------------------
 

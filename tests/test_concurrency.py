@@ -1,0 +1,472 @@
+"""The concurrent tier: MVCC snapshot isolation, sessions, first-
+writer-wins conflicts, group commit, and crash recovery around it.
+
+Contract under test:
+
+- every session reads a stable snapshot for the life of its
+  transaction; committed writes become visible only to snapshots taken
+  afterwards;
+- of two concurrent conflicting writers the second loses immediately
+  (``SerializationError``), is rolled back, and can retry;
+- rollback leaves no trace — in memory or on disk;
+- N concurrent durable committers share group fsyncs (fewer fsyncs
+  than commits), and a crash mid-stream loses nothing that was
+  committed and keeps nothing that was not.
+"""
+
+import threading
+
+import pytest
+
+import repro.db
+from repro.db import SerializationError
+from repro.errors import SerializationError as EngineSerializationError
+from repro.relational.relation import Relation
+from repro.workloads.paper_examples import FIG1_R1
+
+
+def _fresh(path=None):
+    database = (
+        repro.db.Database() if path is None else repro.db.Database(path=path)
+    )
+    database.register(
+        "Enrollment", FIG1_R1, order=["Course", "Club", "Student"]
+    )
+    return database
+
+
+def _flats(session, name="Enrollment"):
+    session.execute(f"FLATTEN {name}")
+    return tuple(
+        sorted(tuple(sorted(c)[0] for c in row) for row in session.fetchall())
+    )
+
+
+class TestSessionSurface:
+    def test_query_description_and_rows(self):
+        database = _fresh()
+        with database.session() as s:
+            s.execute("Enrollment")
+            assert [c[0] for c in s.description] == [
+                "Student", "Course", "Club",
+            ]
+            assert len(s.fetchall()) == 3
+            assert s.fetchall() == []  # drained
+
+    def test_dml_rowcount_and_duplicate_noop(self):
+        database = _fresh()
+        s = database.session()
+        s.execute("INSERT INTO Enrollment VALUES ('s9', 'c9', 'b9')")
+        assert s.rowcount == 1
+        s.execute("INSERT INTO Enrollment VALUES ('s9', 'c9', 'b9')")
+        assert s.rowcount == 0
+        s.execute("DELETE FROM Enrollment VALUES ('s9', 'c9', 'b9')")
+        assert s.rowcount == 1
+
+    def test_delete_absent_is_integrity_error(self):
+        database = _fresh()
+        s = database.session()
+        with pytest.raises(repro.db.IntegrityError):
+            s.execute("DELETE FROM Enrollment VALUES ('zz', 'zz', 'zz')")
+
+    def test_executemany_batches(self):
+        database = _fresh()
+        s = database.session()
+        s.executemany(
+            "INSERT INTO Enrollment VALUES (?, ?, ?)",
+            [["m1", "c1", "b1"], ["m2", "c1", "b1"], ["m1", "c1", "b1"]],
+        )
+        assert s.rowcount == 2  # third row duplicates the first
+
+    def test_let_explain_analyze_monitor(self):
+        database = _fresh()
+        s = database.session()
+        s.execute("LET X = PROJECT Enrollment ON (Student, Club)")
+        s.execute("X")
+        assert len(s.fetchall()) == 3
+        s.execute("EXPLAIN Enrollment")
+        assert "QUERY PLAN" in s.fetchone()[0]
+        s.execute("ANALYZE Enrollment")
+        assert "ANALYZE Enrollment" in s.fetchone()[0]
+        s.execute("MONITOR metrics")
+        assert s.fetchone() is not None
+
+    def test_closed_session_rejects_execution(self):
+        database = _fresh()
+        s = database.session()
+        s.close()
+        with pytest.raises(repro.db.InterfaceError):
+            s.execute("Enrollment")
+
+    def test_transaction_statement_misuse(self):
+        database = _fresh()
+        s = database.session()
+        with pytest.raises(repro.db.OperationalError):
+            s.execute("COMMIT")
+        s.execute("BEGIN")
+        with pytest.raises(repro.db.OperationalError):
+            s.execute("BEGIN")
+        s.execute("ROLLBACK")
+
+    def test_session_close_rolls_back_open_transaction(self):
+        database = _fresh()
+        s = database.session()
+        s.execute("BEGIN")
+        s.execute("INSERT INTO Enrollment VALUES ('zz', 'c1', 'b1')")
+        s.close()
+        check = database.session()
+        check.execute("SELECT Enrollment WHERE Student CONTAINS 'zz'")
+        assert check.fetchall() == []
+
+
+class TestSnapshotIsolation:
+    def test_reader_snapshot_is_stable(self):
+        database = _fresh()
+        reader, writer = database.session(), database.session()
+        reader.execute("BEGIN")
+        before = _flats(reader)
+        writer.execute("INSERT INTO Enrollment VALUES ('q1', 'c1', 'b1')")
+        assert _flats(reader) == before  # still the old snapshot
+        reader.execute("COMMIT")
+        assert _flats(reader) != before  # new snapshot sees the commit
+
+    def test_own_writes_visible_before_commit(self):
+        database = _fresh()
+        s, other = database.session(), database.session()
+        s.execute("BEGIN")
+        s.execute("INSERT INTO Enrollment VALUES ('q2', 'c1', 'b1')")
+        s.execute("SELECT Enrollment WHERE Student CONTAINS 'q2'")
+        assert len(s.fetchall()) == 1
+        other.execute("SELECT Enrollment WHERE Student CONTAINS 'q2'")
+        assert other.fetchall() == []  # no dirty reads
+        s.execute("ROLLBACK")
+
+    def test_rollback_leaves_no_trace_in_memory(self):
+        database = _fresh()
+        s = database.session()
+        baseline = _flats(s)
+        s.execute("BEGIN")
+        s.execute("INSERT INTO Enrollment VALUES ('t1', 'c9', 'b9')")
+        s.execute("DELETE FROM Enrollment VALUES ('s1', 'c1', 'b1')")
+        s.execute("LET Enrollment = PROJECT Enrollment ON (Student, Course, Club)")
+        s.execute("ROLLBACK")
+        assert _flats(s) == baseline
+        assert database.transactions.rollbacks_total >= 1
+
+    def test_let_binding_is_transactional(self):
+        database = _fresh()
+        s, other = database.session(), database.session()
+        s.execute("BEGIN")
+        s.execute("LET Derived = PROJECT Enrollment ON (Student)")
+        s.execute("Derived")
+        assert len(s.fetchall()) == 3
+        with pytest.raises(repro.errors.CatalogError):
+            other.execute("Derived")  # not committed yet
+        s.execute("COMMIT")
+        other.execute("Derived")
+        assert len(other.fetchall()) == 3
+
+
+class TestFirstWriterWins:
+    def test_key_conflict_loser_rolls_back_and_retries(self):
+        database = _fresh()
+        a, b = database.session(), database.session()
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("INSERT INTO Enrollment VALUES ('w1', 'c1', 'b1')")
+        with pytest.raises(SerializationError):
+            b.execute("INSERT INTO Enrollment VALUES ('w1', 'c1', 'b1')")
+        assert not b.in_transaction  # loser was rolled back
+        a.execute("COMMIT")
+        # retry after the winner committed: now a no-op duplicate
+        b.execute("INSERT INTO Enrollment VALUES ('w1', 'c1', 'b1')")
+        assert b.rowcount == 0
+
+    def test_relation_lock_conflicts_with_tuple_lock(self):
+        database = _fresh()
+        a, b = database.session(), database.session()
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("INSERT INTO Enrollment VALUES ('w2', 'c1', 'b1')")
+        with pytest.raises(SerializationError):
+            b.execute("LET Enrollment = PROJECT Enrollment ON (Student, Course, Club)")
+        a.execute("COMMIT")
+
+    def test_tuple_lock_conflicts_with_relation_lock(self):
+        database = _fresh()
+        a, b = database.session(), database.session()
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("LET Enrollment = PROJECT Enrollment ON (Student, Course, Club)")
+        with pytest.raises(SerializationError):
+            b.execute("INSERT INTO Enrollment VALUES ('w3', 'c1', 'b1')")
+        a.execute("ROLLBACK")
+
+    def test_stale_snapshot_write_conflicts_after_commit(self):
+        # No lock overlap in time: the winner commits before the loser
+        # even tries — the CSN stamp catches it.
+        database = _fresh()
+        a, b = database.session(), database.session()
+        b.execute("BEGIN")
+        b.execute("Enrollment")  # take the snapshot now
+        a.execute("DELETE FROM Enrollment VALUES ('s1', 'c1', 'b1')")
+        with pytest.raises(SerializationError):
+            b.execute("DELETE FROM Enrollment VALUES ('s1', 'c1', 'b1')")
+
+    def test_disjoint_writers_both_commit(self):
+        database = _fresh()
+        a, b = database.session(), database.session()
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("INSERT INTO Enrollment VALUES ('da', 'c1', 'b1')")
+        b.execute("INSERT INTO Enrollment VALUES ('db', 'c1', 'b1')")
+        a.execute("COMMIT")
+        b.execute("COMMIT")
+        check = database.session()
+        check.execute("SELECT Enrollment WHERE Course CONTAINS 'c1'")
+        rows = check.fetchall()
+        students = set().union(*(set(r[0]) for r in rows))
+        assert {"da", "db"} <= students
+
+    def test_conflict_metrics_flow(self):
+        database = _fresh()
+        a, b = database.session(), database.session()
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("INSERT INTO Enrollment VALUES ('m1', 'c1', 'b1')")
+        with pytest.raises(SerializationError):
+            b.execute("INSERT INTO Enrollment VALUES ('m1', 'c1', 'b1')")
+        a.execute("COMMIT")
+        metrics = database.metrics()
+        assert metrics["repro_txn_conflicts_total"]["values"][""] >= 1
+        assert metrics["repro_txn_commits_total"]["values"][""] >= 1
+
+
+class TestManagerDirect:
+    def test_commit_csn_orders_committed_transactions(self):
+        database = _fresh()
+        manager = database.transactions
+        t1, t2 = manager.begin(), manager.begin()
+        t1.insert("Enrollment", ["x1", "c1", "b1"])
+        t2.insert("Enrollment", ["x2", "c1", "b1"])
+        manager.commit(t2)
+        manager.commit(t1)
+        assert t2.commit_csn is not None and t1.commit_csn is not None
+        assert t2.commit_csn < t1.commit_csn
+
+    def test_read_only_commit_consumes_no_csn(self):
+        database = _fresh()
+        manager = database.transactions
+        before = manager.csn
+        txn = manager.begin()
+        txn.read_entry("Enrollment")
+        manager.commit(txn)
+        assert manager.csn == before
+        assert txn.commit_csn is None
+
+    def test_double_commit_rejected(self):
+        database = _fresh()
+        manager = database.transactions
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(repro.errors.TransactionError):
+            manager.commit(txn)
+
+    def test_version_history_prunes_to_live(self):
+        database = _fresh()
+        manager = database.transactions
+        s = database.session()
+        for i in range(5):
+            s.execute(
+                "INSERT INTO Enrollment VALUES (?, ?, ?)",
+                [f"p{i}", "c1", "b1"],
+            )
+        # No active snapshots: history collapses back to lazy baselines.
+        assert manager._history == {}
+        reader = database.session()
+        reader.execute("BEGIN")
+        reader.execute("Enrollment")
+        s.execute("INSERT INTO Enrollment VALUES ('p9', 'c1', 'b1')")
+        assert len(manager._history["Enrollment"]) == 2
+        reader.execute("COMMIT")
+
+    def test_engine_conflict_error_is_transaction_error(self):
+        # SerializationError must stay inside the engine hierarchy so
+        # blanket `except ReproError` callers keep working.
+        assert issubclass(
+            EngineSerializationError, repro.errors.TransactionError
+        )
+        assert issubclass(SerializationError, repro.db.OperationalError)
+
+
+class TestGroupCommit:
+    def test_concurrent_commits_share_fsyncs(self, tmp_path):
+        database = _fresh(str(tmp_path / "g.db"))
+        wal = database.engine.wal
+        syncs0, commits0 = wal.syncs, wal.commits
+
+        def worker(i):
+            s = database.session()
+            for j in range(10):
+                s.execute(
+                    "INSERT INTO Enrollment VALUES (?, ?, ?)",
+                    [f"t{i}_{j}", "c1", "b1"],
+                )
+            s.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        commits = wal.commits - commits0
+        syncs = wal.syncs - syncs0
+        assert commits == 80
+        assert syncs < commits, "group commit must batch fsyncs"
+        coalescer = database.transactions.coalescer
+        assert coalescer.commits_synced == commits
+        assert coalescer.groups == syncs
+        metrics = database.metrics()
+        hist = metrics["repro_group_commit_size"]
+        assert hist["count"] == syncs
+        assert hist["sum"] == commits
+        database.close()
+
+    def test_gather_window_still_commits_everything(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_GROUP_WINDOW_US", "2000")
+        database = _fresh(str(tmp_path / "gw.db"))
+        coalescer = database.transactions.coalescer
+        assert coalescer._window_s == pytest.approx(0.002)
+        wal = database.engine.wal
+        syncs0, commits0 = wal.syncs, wal.commits
+
+        def worker(i):
+            s = database.session()
+            for j in range(5):
+                s.execute(
+                    "INSERT INTO Enrollment VALUES (?, ?, ?)",
+                    [f"w{i}_{j}", "c1", "b1"],
+                )
+            s.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert wal.commits - commits0 == 20
+        assert wal.syncs - syncs0 < 20
+        check = database.session()
+        assert len(_flats(check)) >= 20
+        check.close()
+        database.close()
+
+    def test_group_committed_state_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "g2.db")
+        database = _fresh(path)
+
+        def worker(i):
+            s = database.session()
+            for j in range(5):
+                s.execute(
+                    "INSERT INTO Enrollment VALUES (?, ?, ?)",
+                    [f"d{i}_{j}", "c1", "b1"],
+                )
+            s.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        check = database.session()
+        expected = _flats(check)
+        check.close()
+        database.close()
+
+        reopened = repro.db.Database(path=path)
+        check = reopened.session()
+        assert _flats(check) == expected
+        reopened.close()
+
+
+class SimulatedCrash(Exception):
+    pass
+
+
+class CrashHook:
+    """Counts physical I/O events; every event from #crash_at on
+    raises (the device is gone)."""
+
+    def __init__(self):
+        self.count = 0
+        self.crash_at = None
+
+    def __call__(self, event, detail):
+        if self.crash_at is not None and self.count >= self.crash_at:
+            raise SimulatedCrash(f"{event}({detail}) @ {self.count}")
+        self.count += 1
+
+
+class TestCrashDuringGroupCommit:
+    def test_committed_group_survives_uncommitted_tail_does_not(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "c.db")
+        hook = CrashHook()
+        database = repro.db.Database(path=path, _fault_hook=hook)
+        database.register(
+            "Enrollment", FIG1_R1, order=["Course", "Club", "Student"]
+        )
+
+        # A concurrent group of committers, all successful.
+        def worker(i):
+            s = database.session()
+            for j in range(5):
+                s.execute(
+                    "INSERT INTO Enrollment VALUES (?, ?, ?)",
+                    [f"g{i}_{j}", "c1", "b1"],
+                )
+            s.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        survivor = database.session()
+        expected = _flats(survivor)
+        survivor.close()
+
+        # An uncommitted tail: an open transaction's buffered writes...
+        tail = database.session()
+        tail.execute("BEGIN")
+        tail.execute("INSERT INTO Enrollment VALUES ('lost1', 'c1', 'b1')")
+
+        # ...and a commit that dies at its first physical write.
+        hook.crash_at = hook.count
+        dying = database.session()
+        with pytest.raises(SimulatedCrash):
+            dying.execute(
+                "INSERT INTO Enrollment VALUES ('lost2', 'c1', 'b1')"
+            )
+        database.engine.abandon()
+
+        reopened = repro.db.Database(path=path)
+        check = reopened.session()
+        recovered = _flats(check)
+        assert recovered == expected
+        flat_values = {v for row in recovered for v in row}
+        assert "lost1" not in flat_values
+        assert "lost2" not in flat_values
+        reopened.close()

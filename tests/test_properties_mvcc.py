@@ -1,0 +1,208 @@
+"""Property-based tests for snapshot isolation.
+
+Two properties pin the concurrency tier down:
+
+1. **Serial equivalence** — run a generated batch of transactions on
+   concurrent threads under snapshot isolation; the surviving
+   (committed) transactions, replayed *serially* in commit-CSN order
+   against a sequential flat-set model, must produce exactly the final
+   R*.  First-writer-wins makes this hold: conflicting writers never
+   both commit, so the committed subset is serializable by
+   construction — and this test checks the whole machine (locks,
+   workspaces, version histories, commit replay) against the model.
+
+2. **Aborted transactions leave no trace, byte-for-byte** — a durable
+   database cycled open→aborted-transactions→close produces the same
+   files, to the byte, as one cycled open→close with no transactions
+   at all.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.db
+from repro.errors import FlatTupleNotFoundError, SerializationError
+from repro.relational.relation import Relation
+
+BASE_ROWS = [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]
+
+
+def _base():
+    return Relation.from_rows(["A", "B"], list(BASE_ROWS))
+
+
+def _flats(database):
+    session = database.session()
+    try:
+        session.execute("FLATTEN E")
+        return frozenset(
+            tuple(sorted(c)[0] for c in row) for row in session.fetchall()
+        )
+    finally:
+        session.close()
+
+
+values = st.tuples(
+    st.sampled_from(["a1", "a2", "a3", "a4"]),
+    st.sampled_from(["b1", "b2", "b3"]),
+)
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), values),
+    min_size=1,
+    max_size=4,
+)
+txn_batches = st.lists(ops, min_size=2, max_size=6)
+
+
+def _run_txn(manager, script):
+    """One transaction: apply the script, commit.  Returns the
+    effective journal (ops that actually landed) on commit, None on a
+    first-writer-wins abort."""
+    txn = manager.begin()
+    journal = []
+    try:
+        for kind, row in script:
+            if kind == "insert":
+                if txn.insert("E", list(row)):
+                    journal.append(("insert", row))
+            else:
+                try:
+                    txn.delete("E", list(row))
+                    journal.append(("delete", row))
+                except FlatTupleNotFoundError:
+                    pass  # absent in this snapshot: statement no-op
+        manager.commit(txn)
+        return txn.commit_csn, journal
+    except SerializationError:
+        manager.rollback(txn)
+        return None
+
+
+class TestSerialEquivalence:
+    @given(txn_batches)
+    @settings(max_examples=25, deadline=None)
+    def test_committed_transactions_form_a_serial_order(self, batch):
+        database = repro.db.Database()
+        database.register("E", _base(), mode="1nf")
+        manager = database.transactions
+        results = []
+        lock = threading.Lock()
+
+        def worker(script):
+            outcome = _run_txn(manager, script)
+            if outcome is not None:
+                with lock:
+                    results.append(outcome)
+
+        threads = [
+            threading.Thread(target=worker, args=(script,))
+            for script in batch
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Sequential model: replay each committed journal in CSN order.
+        expected = set(BASE_ROWS)
+        for _, journal in sorted(
+            results, key=lambda r: r[0] if r[0] is not None else 0
+        ):
+            for kind, row in journal:
+                if kind == "insert":
+                    expected.add(row)
+                else:
+                    expected.discard(row)
+        assert _flats(database) == frozenset(expected)
+
+    @given(txn_batches)
+    @settings(max_examples=10, deadline=None)
+    def test_serial_order_matches_single_writer_engine(self, batch):
+        """The same journals replayed through the classic single-writer
+        facade reach the same relation — SI committed work is ordinary
+        serial work."""
+        concurrent = repro.db.Database()
+        concurrent.register("E", _base(), mode="1nf")
+        manager = concurrent.transactions
+        results = []
+        lock = threading.Lock()
+
+        def worker(script):
+            outcome = _run_txn(manager, script)
+            if outcome is not None:
+                with lock:
+                    results.append(outcome)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in batch
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        serial = repro.db.connect()
+        serial.database.register("E", _base(), mode="1nf")
+        for _, journal in sorted(
+            results, key=lambda r: r[0] if r[0] is not None else 0
+        ):
+            for kind, (a, b) in journal:
+                if kind == "insert":
+                    serial.execute(f"INSERT INTO E VALUES ('{a}', '{b}')")
+                else:
+                    serial.execute(f"DELETE FROM E VALUES ('{a}', '{b}')")
+        serial_rel = serial.execute("FLATTEN E").result_relation()
+        serial_flats = frozenset(
+            tuple(t.values) for t in serial_rel.to_1nf().sorted_tuples()
+        )
+        assert _flats(concurrent) == serial_flats
+
+
+def _cycle(path, scripts):
+    """Open the durable database, run every script as a transaction
+    that always rolls back, close.  Returns {filename: bytes}."""
+    database = repro.db.Database(path=str(path / "t.db"))
+    manager = database.transactions
+    for script in scripts:
+        txn = manager.begin()
+        try:
+            for kind, row in script:
+                try:
+                    if kind == "insert":
+                        txn.insert("E", list(row))
+                    else:
+                        txn.delete("E", list(row))
+                except FlatTupleNotFoundError:
+                    pass
+        except SerializationError:
+            pass
+        manager.rollback(txn)
+    database.close()
+    return {
+        f.name: f.read_bytes()
+        for f in sorted(path.iterdir())
+        if f.is_file()
+    }
+
+
+class TestAbortedLeavesNoTrace:
+    @given(st.lists(ops, min_size=1, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_rolled_back_transactions_are_invisible_on_disk(
+        self, tmp_path_factory, scripts
+    ):
+        path = tmp_path_factory.mktemp("mvcc_trace")
+        seed = repro.db.Database(path=str(path / "t.db"))
+        seed.register("E", _base(), mode="1nf")
+        session = seed.session()
+        session.execute("INSERT INTO E VALUES ('c1', 'd1')")
+        session.close()
+        seed.close()
+
+        control = _cycle(path, [])
+        with_aborts = _cycle(path, scripts)
+        assert with_aborts == control, (
+            "aborted transactions changed the database files"
+        )

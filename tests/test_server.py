@@ -1,0 +1,272 @@
+"""The socket server tier: wire protocol, served sessions, client
+connections, error mapping, graceful shutdown, and the CLI entry.
+
+The served surface must behave like the embedded one: same rows (as
+ValueSet tuples), same rowcounts, same exception types — including
+``SerializationError`` surviving the round trip so remote losers can
+retry — with per-connection transaction scope and snapshot isolation
+between clients.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+import repro.db
+from repro.db import SerializationError
+from repro.server import DatabaseServer, ProtocolError, client, serve
+from repro.server.protocol import decode_row, encode_row, recv_frame, send_frame
+from repro.workloads.paper_examples import FIG1_R1
+
+
+@pytest.fixture
+def served():
+    database = repro.db.Database()
+    database.register(
+        "Enrollment", FIG1_R1, order=["Course", "Club", "Student"]
+    )
+    server = serve(database, port=0)
+    yield server
+    server.shutdown()
+
+
+class TestProtocol:
+    def test_frame_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "ping", "n": 1})
+            assert recv_frame(b) == {"op": "ping", "n": 1}
+            b.close()
+            assert recv_frame(a) is None  # clean EOF
+        finally:
+            a.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 1 << 31))
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_row_codec_roundtrips_value_sets(self):
+        from repro.core.values import ValueSet
+
+        row = (ValueSet(["s2", "s1"]), ValueSet([3]))
+        wire = encode_row(row, text=False)
+        assert wire == [["s1", "s2"], [3]]
+        assert decode_row(wire, text=False) == row
+
+    def test_text_rows_pass_through(self):
+        assert encode_row(("QUERY PLAN",), text=True) == ["QUERY PLAN"]
+        assert decode_row(["QUERY PLAN"], text=True) == ("QUERY PLAN",)
+
+
+class TestServedQueries:
+    def test_query_matches_embedded_results(self, served):
+        conn = client(served.host, served.port)
+        embedded = served.database.session()
+        embedded.execute("Enrollment")
+        cur = conn.execute("Enrollment")
+        assert cur.fetchall() == embedded.fetchall()
+        assert [c[0] for c in cur.description] == [
+            "Student", "Course", "Club",
+        ]
+        conn.close()
+
+    def test_dml_and_params(self, served):
+        conn = client(served.host, served.port)
+        cur = conn.execute(
+            "INSERT INTO Enrollment VALUES (?, ?, ?)", ["s9", "c9", "b9"]
+        )
+        assert cur.rowcount == 1
+        cur = conn.execute(
+            "SELECT Enrollment WHERE Student CONTAINS :who", {"who": "s9"}
+        )
+        assert len(cur.fetchall()) == 1
+        conn.close()
+
+    def test_executemany(self, served):
+        conn = client(served.host, served.port)
+        cur = conn.executemany(
+            "INSERT INTO Enrollment VALUES (?, ?, ?)",
+            [["m1", "c1", "b1"], ["m2", "c1", "b1"]],
+        )
+        assert cur.rowcount == 2
+        conn.close()
+
+    def test_text_statements(self, served):
+        conn = client(served.host, served.port)
+        cur = conn.execute("EXPLAIN Enrollment")
+        assert cur.description is None
+        assert "QUERY PLAN" in cur.fetchone()[0]
+        conn.close()
+
+    def test_large_results_stream_in_chunks(self):
+        database = repro.db.Database()
+        database.register(
+            "Enrollment", FIG1_R1, order=["Course", "Club", "Student"]
+        )
+        server = DatabaseServer(database, port=0, inline_rows=4).start()
+        try:
+            conn = client(server.host, server.port)
+            conn.executemany(
+                "INSERT INTO Enrollment VALUES (?, ?, ?)",
+                [[f"s{i}", "c1", "b1"] for i in range(30)],
+            )
+            rows = conn.execute("FLATTEN Enrollment").fetchall()
+            assert len(rows) > 30
+            # iteration also crosses chunk boundaries
+            assert sum(1 for _ in conn.execute("FLATTEN Enrollment")) == len(
+                rows
+            )
+            conn.close()
+        finally:
+            server.shutdown()
+
+    def test_remote_errors_keep_their_type(self, served):
+        conn = client(served.host, served.port)
+        with pytest.raises(repro.errors.CatalogError):
+            conn.execute("NoSuchRelation")
+        with pytest.raises(repro.db.IntegrityError):
+            conn.execute("DELETE FROM Enrollment VALUES ('zz', 'zz', 'zz')")
+        # the connection survives server-side errors
+        assert conn.ping()
+        conn.close()
+
+
+class TestServedTransactions:
+    def test_transaction_scope_per_connection(self, served):
+        a = client(served.host, served.port)
+        b = client(served.host, served.port)
+        a.begin()
+        a.execute("INSERT INTO Enrollment VALUES ('tx1', 'c1', 'b1')")
+        cur = b.execute("SELECT Enrollment WHERE Student CONTAINS 'tx1'")
+        assert cur.fetchall() == []  # not visible before commit
+        a.commit()
+        cur = b.execute("SELECT Enrollment WHERE Student CONTAINS 'tx1'")
+        assert len(cur.fetchall()) == 1
+        a.close()
+        b.close()
+
+    def test_remote_conflict_is_retryable(self, served):
+        a = client(served.host, served.port)
+        b = client(served.host, served.port)
+        a.begin()
+        b.begin()
+        a.execute("INSERT INTO Enrollment VALUES ('w1', 'c1', 'b1')")
+        with pytest.raises(SerializationError):
+            b.execute("INSERT INTO Enrollment VALUES ('w1', 'c1', 'b1')")
+        assert not b.in_transaction  # rolled back server-side
+        a.commit()
+        b.execute("INSERT INTO Enrollment VALUES ('w1', 'c1', 'b1')")
+        a.close()
+        b.close()
+
+    def test_disconnect_rolls_back_open_transaction(self, served):
+        a = client(served.host, served.port)
+        a.begin()
+        a.execute("INSERT INTO Enrollment VALUES ('drop1', 'c1', 'b1')")
+        a._sock.close()  # vanish without COMMIT
+        a._closed = True
+        b = client(served.host, served.port)
+        for _ in range(50):
+            cur = b.execute(
+                "SELECT Enrollment WHERE Student CONTAINS 'drop1'"
+            )
+            if served.database.transactions.open_sessions <= 1:
+                break
+        assert cur.fetchall() == []
+        b.close()
+
+    def test_context_manager_commits_on_success(self, served):
+        with client(served.host, served.port) as conn:
+            conn.begin()
+            conn.execute("INSERT INTO Enrollment VALUES ('cm1', 'c1', 'b1')")
+        check = client(served.host, served.port)
+        cur = check.execute("SELECT Enrollment WHERE Student CONTAINS 'cm1'")
+        assert len(cur.fetchall()) == 1
+        check.close()
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_and_ping(self, served):
+        assert served.port != 0
+        conn = client(served.host, served.port)
+        assert conn.ping()
+        conn.close()
+
+    def test_shutdown_is_graceful_and_idempotent(self):
+        database = repro.db.Database()
+        database.register(
+            "Enrollment", FIG1_R1, order=["Course", "Club", "Student"]
+        )
+        server = serve(database, port=0)
+        conns = [client(server.host, server.port) for _ in range(4)]
+        for i, c in enumerate(conns):
+            c.execute(
+                "INSERT INTO Enrollment VALUES (?, ?, ?)", [f"z{i}", "c1", "b1"]
+            )
+        server.shutdown()
+        server.shutdown()  # idempotent
+        assert database.transactions.open_sessions == 0
+        with pytest.raises(repro.db.Error):
+            conns[0].execute("Enrollment")
+
+    def test_serve_path_owns_database(self, tmp_path):
+        path = str(tmp_path / "srv.db")
+        server = serve(path, port=0)
+        conn = client(server.host, server.port)
+        conn.execute("LET R = PROJECT Enrollment ON (Student)") if False else None
+        conn.close()
+        server.shutdown()
+        # the server closed its database: the file lock is free again
+        reopened = repro.db.Database(path=path)
+        reopened.close()
+
+    def test_concurrent_client_threads_mixed_workload(self, served):
+        errors = []
+
+        def worker(i):
+            try:
+                conn = client(served.host, served.port)
+                for j in range(8):
+                    if j % 3 == 0:
+                        conn.execute(
+                            "SELECT Enrollment WHERE Course CONTAINS 'c1'"
+                        ).fetchall()
+                    else:
+                        try:
+                            conn.execute(
+                                "INSERT INTO Enrollment VALUES (?, ?, ?)",
+                                [f"cw{i}_{j}", "c1", "b1"],
+                            )
+                        except SerializationError:
+                            pass
+                conn.close()
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestCLI:
+    def test_serve_subcommand_wired(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["serve", "x.db", "--port", "7"])
+        assert args.path == "x.db"
+        assert args.port == 7
+        assert args.host == "127.0.0.1"
