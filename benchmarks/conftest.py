@@ -39,6 +39,32 @@ def merge_bench_json(name: str, section: str, payload: dict) -> None:
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Bench hygiene: every ``BENCH_*.json`` under results/ must be
+    valid JSON carrying non-empty sections — a truncated or empty
+    artifact would silently vanish from EXPERIMENTS.md and the CI
+    upload, so a malformed file fails the whole bench run."""
+    if exitstatus != 0 or not RESULTS_DIR.is_dir():
+        return
+    broken = []
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            broken.append(f"{path.name}: unreadable ({exc})")
+            continue
+        if not isinstance(data, dict) or not data:
+            broken.append(f"{path.name}: no sections")
+            continue
+        for section, payload in data.items():
+            if not payload:
+                broken.append(f"{path.name}: section {section!r} is empty")
+    if broken:
+        raise pytest.UsageError(
+            "malformed benchmark artifacts:\n  " + "\n  ".join(broken)
+        )
+
+
 def _json_cell(cell: object) -> object:
     if isinstance(cell, (bool, int, float, str)) or cell is None:
         return cell

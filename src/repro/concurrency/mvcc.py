@@ -329,7 +329,10 @@ class TransactionManager:
         self.catalog = catalog
         self.engine = engine if engine is not None else catalog._durability
         self.latch = threading.RLock()
-        self.csn = 0
+        # Seed from the engine's recovered commit-sequence number so a
+        # reopened database continues the CSN stream monotonically —
+        # replicas tailing the WAL depend on CSNs never going backwards.
+        self.csn = getattr(self.engine, "committed_csn", 0) or 0
         self._next_id = 1
         self._active: dict[int, Transaction] = {}
         #: name -> [(csn_from, VersionEntry|None), ...] oldest-first
@@ -585,6 +588,6 @@ class TransactionManager:
         if self.coalescer is not None:
             # Harden (WAL append + COMMIT marker) under the latch; the
             # fsync is deferred to the group-commit coalescer.
-            return self.engine.harden_commit()
-        self.engine.commit()
+            return self.engine.harden_commit(csn=csn)
+        self.engine.commit(csn=csn)
         return None

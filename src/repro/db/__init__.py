@@ -85,6 +85,7 @@ __all__ = [
     "SerializationError",
     "serve",
     "client",
+    "replica",
 ]
 
 
@@ -95,6 +96,21 @@ def serve(database, host: str = "127.0.0.1", port: int = 0, **kwargs):
     from repro.server import serve as _serve
 
     return _serve(database, host=host, port=port, **kwargs)
+
+
+def replica(path, **kwargs):
+    """Open a read-only replica of the durable database at ``path``:
+    it tails the primary's write-ahead logs and serves snapshot reads
+    at its applied commit-sequence number (see
+    :class:`repro.storage.replica.Replica`).  ``poll_interval=`` polls
+    in the background; otherwise call ``.poll()`` to catch up::
+
+        rep = repro.db.replica("app.db", poll_interval=0.05)
+        rep.execute("SELECT Enrollment WHERE Club CONTAINS ?", ["b1"])
+    """
+    from repro.storage.replica import Replica
+
+    return Replica(path, **kwargs)
 
 
 def client(host: str, port: int, **kwargs):

@@ -143,6 +143,23 @@ class Database:
             "repro_nfr_ops_total",
             "Paper §4 store operations since start, by relation and kind.",
         )
+        pool_workers = reg.gauge(
+            "repro_parallel_pool_workers",
+            "Live workers in the persistent parallel worker pool.",
+        )
+        pool_forks = reg.counter(
+            "repro_parallel_pool_forks_total",
+            "Workers forked by the parallel pool since start.",
+        )
+        pool_respawns = reg.counter(
+            "repro_parallel_pool_respawns_total",
+            "Pool workers killed and replaced (death, desync, abandon).",
+        )
+        pool_busy = reg.counter(
+            "repro_parallel_worker_busy_seconds",
+            "Wall-clock seconds each pool worker spent running jobs, "
+            "by shard slot.",
+        )
 
         def refresh() -> None:
             relations.set(len(self.catalog))
@@ -178,6 +195,13 @@ class Database:
                     sect_ops.set_total(
                         counter.tuple_probes, rel=name, kind="tuple_probe"
                     )
+            pool = self.catalog._pool
+            if pool is not None:
+                pool_workers.set(0 if pool.closed else pool.alive_workers)
+                pool_forks.set_total(pool.forks)
+                pool_respawns.set_total(pool.respawns)
+                for shard, seconds in enumerate(pool.busy_seconds):
+                    pool_busy.set_total(seconds, shard=shard)
 
         reg.register_collector(refresh)
         if self._engine is not None:
@@ -311,6 +335,7 @@ class Database:
             return
         if self.catalog.in_transaction:
             self.catalog.rollback()
+        self.catalog.close_parallel_pool()
         if self._engine is not None:
             # Catch catalog changes made outside the statement paths
             # (direct Catalog API use) before the final checkpoint.

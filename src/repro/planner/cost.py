@@ -53,6 +53,11 @@ PARALLEL_STARTUP_COST = 5.0
 #: Per-row price of crossing the worker/coordinator boundary (pickle,
 #: pipe transfer, dictionary remap).
 PARALLEL_MERGE_COST = 0.002
+#: Startup price per shard worker when the connection's persistent pool
+#: is already warm: a heartbeat plus a job-spec pickle over an existing
+#: pipe — an order of magnitude below a fork.  Lets parallel plans win
+#: at much smaller cardinalities once the pool exists.
+PARALLEL_WARM_STARTUP_COST = 0.5
 #: Selectivity assumed for a one-sided inequality with no usable key
 #: statistics (an average literal splits the domain in ~half, but
 #: queries skew selective; BETWEEN is assumed to halve it again).
@@ -190,8 +195,16 @@ def shard_fraction_stats(
     )
 
 
+def parallel_startup_cost(nshards: int, warm: bool) -> float:
+    """Price of standing the shard workers up for one query: a fork
+    apiece when cold, a pipe round-trip apiece when the connection's
+    persistent pool is already live."""
+    per_worker = PARALLEL_WARM_STARTUP_COST if warm else PARALLEL_STARTUP_COST
+    return nshards * per_worker
+
+
 def parallel_scan_cost(
-    serial: CostEstimate, nshards: int
+    serial: CostEstimate, nshards: int, warm: bool = False
 ) -> CostEstimate:
     """Fan a serial scan out over N shard workers: the critical path is
     ~1/N of the scan work, paid for with per-worker startup and the
@@ -199,10 +212,45 @@ def parallel_scan_cost(
     return CostEstimate(
         rows=serial.rows,
         cost=serial.cost / nshards
-        + nshards * PARALLEL_STARTUP_COST
+        + parallel_startup_cost(nshards, warm)
         + serial.rows * PARALLEL_MERGE_COST,
         pages=serial.pages,
     )
+
+
+def shard_join_cost(
+    sharded: "list[CostEstimate]",
+    broadcast: CostEstimate | None,
+    out_rows: float,
+    nshards: int,
+    warm: bool = False,
+) -> CostEstimate:
+    """Run the whole hash join inside N shard workers.
+
+    ``sharded`` holds the *parallel* estimates of the co-resident
+    side(s) — each already charges startup and a per-input-row merge
+    toll; a shard-local join never pays that input toll (batches stay
+    inside the worker) and stands the worker set up once, so the toll is
+    refunded and startup re-charged a single time.  ``broadcast`` is the
+    serial estimate of a side shipped whole into every worker (None in
+    the co-partitioned case); it pays its own cost plus N-way shipping.
+    The join CPU — build + probe + compose — divides by N, and only the
+    *joined* rows pay the coordinator merge toll."""
+    startup = parallel_startup_cost(nshards, warm)
+    cost = startup
+    rows_in = 0.0
+    pages = 0.0
+    for est in sharded:
+        cost += est.cost - startup - est.rows * PARALLEL_MERGE_COST
+        rows_in += est.rows
+        pages += est.pages
+    if broadcast is not None:
+        cost += broadcast.cost + broadcast.rows * PARALLEL_MERGE_COST * nshards
+        rows_in += broadcast.rows
+        pages += broadcast.pages
+    cost += (rows_in + out_rows) * TUPLE_CPU_COST / nshards
+    cost += out_rows * PARALLEL_MERGE_COST
+    return CostEstimate(rows=out_rows, cost=cost, pages=pages)
 
 
 def index_scan_cost(

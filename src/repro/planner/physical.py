@@ -616,32 +616,61 @@ class RangeScan(_StoreScan):
 
 
 class ParallelShardScan(HeapScan):
-    """Fan-out scan of a hash-partitioned store: one forked worker per
-    shard streams that shard's column batches with the conjunct kernels
+    """Fan-out scan of a hash-partitioned store: one worker per shard
+    streams that shard's column batches with the conjunct kernels
     applied *worker-side*, so filtering happens in parallel and only
     surviving rows cross the pipe.  Batches arrive re-coded onto one
     coordinator dictionary (the shard-local remap travels with each
     batch), so downstream columnar operators see a single-dictionary
     stream exactly as they would from a plain :class:`HeapScan`.
 
+    Workers come from the catalog's persistent
+    :class:`~repro.storage.parallel.WorkerPool` (forked once per
+    catalog generation, reused across queries) when the planner wired a
+    catalog in; otherwise the scan forks a private worker per shard,
+    as PR 8 did.  Pooled jobs travel as picklable specs, so parameter
+    placeholders are resolved through ``slots`` *before* dispatch;
+    one-shot workers inherit the bound slots in their fork snapshot.
+
     When forked execution is unavailable (single core, no ``fork``, or
     ``REPRO_PARALLEL=0``) the scan degrades to the facade's serial
     shard-chained stream — same rows, same accounting, no processes.
-
-    Parameter placeholders need no shipping: workers fork at stream
-    start, *after* the binding, and inherit the bound
-    :class:`~repro.query.params.ParamSlots` in their memory snapshot.
     """
 
+    #: The owning catalog (wired by the planner) — the handle to the
+    #: persistent worker pool.  None means fork-per-query.
+    catalog = None
+
     def iter_col_batches(self) -> Iterator[ColumnBatch]:
-        from repro.storage.parallel import (
-            parallel_available,
-            parallel_stream,
-        )
+        from repro.storage.parallel import parallel_available
 
         if not parallel_available():
             yield from super().iter_col_batches()
             return
+        pool = None
+        if self.catalog is not None:
+            pool = self.catalog.parallel_pool(len(self.store.shards))
+        if pool is not None:
+            yield from self._consume(self._pooled_stream(pool))
+        else:
+            yield from self._consume(self._forked_stream())
+
+    def _pooled_stream(self, pool):
+        from repro.planner.shardjobs import resolve_conjuncts
+
+        resolve = (
+            self.slots.resolve if self.slots is not None else _identity
+        )
+        conjuncts = resolve_conjuncts(self.conjuncts, resolve)
+        jobs = [
+            (i, ("scan", self.name, i, self.needed, conjuncts))
+            for i in range(len(self.store.shards))
+        ]
+        return pool.run(jobs, self.store.coordinator_dict())
+
+    def _forked_stream(self):
+        from repro.storage.parallel import parallel_stream
+
         conjuncts = self.conjuncts
         slots = self.slots
         needed = self.needed
@@ -671,23 +700,33 @@ class ParallelShardScan(HeapScan):
             return job
 
         jobs = [make_job(s) for s in self.store.shards]
-        coord = self.store.coordinator_dict()
+        return parallel_stream(jobs, self.store.coordinator_dict())
+
+    def _consume(self, stream) -> Iterator[ColumnBatch]:
         rows = 0
         totals = [0] * 7
-        for _idx, item in parallel_stream(jobs, coord):
-            if isinstance(item, ColumnBatch):
-                rows += item.n
-                self._note_rows(item.n)
-                yield item
-            else:
-                diff = item[1]
-                for i in range(7):
-                    totals[i] += diff[i]
-                if self.ops is not None:
-                    # Candidate records the worker examined — the §4
-                    # ``searcht`` probes, reported once per shard since
-                    # per-batch counts stay worker-side.
-                    self.ops.tuple_probes += diff[1]
+        try:
+            for _idx, item in stream:
+                if isinstance(item, ColumnBatch):
+                    rows += item.n
+                    self._note_rows(item.n)
+                    yield item
+                else:
+                    diff = item[1]
+                    for i in range(7):
+                        totals[i] += diff[i]
+                    if self.ops is not None:
+                        # Candidate records the worker examined — the §4
+                        # ``searcht`` probes, reported once per shard
+                        # since per-batch counts stay worker-side.
+                        self.ops.tuple_probes += diff[1]
+        finally:
+            # Deterministic worker teardown even when the consumer
+            # abandons this generator mid-merge (a closed cursor, a
+            # LIMIT upstream): the stream's own finally terminates (or,
+            # pooled, terminates-and-marks-for-respawn) every worker
+            # still in flight, so no forked child outlives the query.
+            stream.close()
         self.actual_rows = rows
         self.actual_pages = totals[0]
         self.actual_index_lookups = totals[2]
@@ -1062,6 +1101,50 @@ def nf2_hash_join(left: NFRelation, right: NFRelation) -> NFRelation:
     return NFRelation(schema, out)
 
 
+def hash_join_batches(
+    lhs: ColumnBatch, rhs: ColumnBatch
+) -> tuple[ColumnBatch | None, int]:
+    """NF2 natural join of two single-dictionary batches (``rhs`` must
+    already be coded under ``lhs.adict``): bucket the smaller side on
+    its shared component sets, probe with the larger, and return the
+    combined batch (left columns first, then right-only columns) plus
+    the number of emitted pairs — each pair is one Def. 1 composition.
+    Returns ``(None, 0)`` when nothing joins.  Shared by the
+    coordinator :class:`HashJoin` barrier and the shard-local join
+    workers (:mod:`repro.planner.shardjobs`)."""
+    shared = [n for n in lhs.names if n in rhs.names]
+    right_only = [n for n in rhs.names if n not in lhs.names]
+    if not shared:
+        pairs = [(i, j) for i in range(lhs.n) for j in range(rhs.n)]
+    elif lhs.n <= rhs.n:
+        buckets: dict = {}
+        for i, key in enumerate(lhs.component_keys(shared)):
+            buckets.setdefault(key, []).append(i)
+        pairs = [
+            (i, j)
+            for j, key in enumerate(rhs.component_keys(shared))
+            for i in buckets.get(key, _EMPTY)
+        ]
+    else:
+        buckets = {}
+        for j, key in enumerate(rhs.component_keys(shared)):
+            buckets.setdefault(key, []).append(j)
+        pairs = [
+            (i, j)
+            for i, key in enumerate(lhs.component_keys(shared))
+            for j in buckets.get(key, _EMPTY)
+        ]
+    if not pairs:
+        return None, 0
+    out_names = lhs.names + tuple(right_only)
+    lout = lhs.take([p[0] for p in pairs])
+    columns = list(lout.columns)
+    if right_only:
+        rout = rhs.take([p[1] for p in pairs]).project(right_only)
+        columns.extend(rout.columns)
+    return ColumnBatch(out_names, len(pairs), columns, lhs.adict), len(pairs)
+
+
 class HashJoin(ColumnarOp):
     """NF2 natural join (shared components set-equal), hash-based, run
     over dictionary codes at the barrier: both children's column
@@ -1091,49 +1174,14 @@ class HashJoin(ColumnarOp):
         rows = 0
         if left_batches and right_batches:
             lhs = concat_batches(left_batches)
-            adict = lhs.adict
-            rhs = concat_batches(right_batches).translated(adict)
-            shared = [n for n in lhs.names if n in rhs.names]
-            right_only = [n for n in rhs.names if n not in lhs.names]
-            if not shared:
-                pairs = [
-                    (i, j) for i in range(lhs.n) for j in range(rhs.n)
-                ]
-            elif lhs.n <= rhs.n:
-                buckets: dict = {}
-                for i, key in enumerate(lhs.component_keys(shared)):
-                    buckets.setdefault(key, []).append(i)
-                pairs = [
-                    (i, j)
-                    for j, key in enumerate(rhs.component_keys(shared))
-                    for i in buckets.get(key, _EMPTY)
-                ]
-            else:
-                buckets = {}
-                for j, key in enumerate(rhs.component_keys(shared)):
-                    buckets.setdefault(key, []).append(j)
-                pairs = [
-                    (i, j)
-                    for i, key in enumerate(lhs.component_keys(shared))
-                    for j in buckets.get(key, _EMPTY)
-                ]
+            rhs = concat_batches(right_batches).translated(lhs.adict)
+            combined, npairs = hash_join_batches(lhs, rhs)
             if self.ops is not None:
                 # Def. 1: each emitted pair merges a left and a right
                 # tuple into one.
-                self.ops.compositions += len(pairs)
+                self.ops.compositions += npairs
                 self.ops.tuple_probes += lhs.n + rhs.n
-            if pairs:
-                out_names = lhs.names + tuple(right_only)
-                lout = lhs.take([p[0] for p in pairs])
-                columns = list(lout.columns)
-                if right_only:
-                    rout = rhs.take([p[1] for p in pairs]).project(
-                        right_only
-                    )
-                    columns.extend(rout.columns)
-                combined = ColumnBatch(
-                    out_names, len(pairs), columns, adict
-                )
+            if combined is not None:
                 if combined.n <= BATCH_SIZE:
                     rows += combined.n
                     self._note_rows(combined.n)
@@ -1188,6 +1236,215 @@ class FlatHashJoin(_JoinOp):
 
     def describe(self) -> str:
         return "FlatHashJoin [1nf-natural, atomic keys]"
+
+
+class _ShardJoinPlumbing:
+    """Shared dispatch plumbing of the shard-local join operators.
+
+    The planner proves co-location before emitting one of these: either
+    both inputs are hash-partitioned on a shared join attribute with
+    the same shard count (set-equal shared components are then
+    necessarily co-resident, so no matching pair crosses shards), or
+    one input is partitioned and the other — priced small by ANALYZE
+    stats — is *broadcast* whole into every worker (joins are pairwise,
+    so they distribute over the sharded side's tuple-level union
+    regardless of its partition attribute).  Each worker runs the full
+    join for its shard; only joined results cross the pipe.
+    """
+
+    #: "both" (co-partitioned), "left" or "right": which child is the
+    #: partitioned side.  The other child, if any, is broadcast.
+    shard_side = "both"
+    kind = "nf2"
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        est: CostEstimate,
+        shard_side: str = "both",
+        catalog=None,
+    ):
+        super().__init__(est)
+        self.left = left
+        self.right = right
+        self.shard_side = shard_side
+        self.catalog = catalog
+
+    def children(self):
+        return (self.left, self.right)
+
+    def output_schema(self) -> RelationSchema:
+        ls = self.left.output_schema()
+        rs = self.right.output_schema()
+        right_only = [n for n in rs.names if n not in ls.names]
+        return ls.concat(rs.project(right_only)) if right_only else ls
+
+    def _sharded_children(self) -> list["ParallelShardScan"]:
+        if self.shard_side == "both":
+            return [self.left, self.right]
+        return [self.left if self.shard_side == "left" else self.right]
+
+    def _parallel_ready(self) -> bool:
+        from repro.storage.parallel import parallel_available
+
+        return self.catalog is not None and parallel_available()
+
+    def _scan_desc(self, scan: "ParallelShardScan"):
+        from repro.planner.shardjobs import resolve_conjuncts
+
+        resolve = (
+            scan.slots.resolve if scan.slots is not None else _identity
+        )
+        return (
+            "scan",
+            scan.name,
+            resolve_conjuncts(scan.conjuncts, resolve),
+            scan.needed,
+        )
+
+    def _broadcast_desc(self, op: PhysicalOp):
+        """Materialise the small side and serialise it as plain atom
+        rows (one tuple of atoms per component) — re-encoded inside
+        each worker under its shard dictionary."""
+        rel = op.execute()
+        rows = [
+            tuple(tuple(vs) for vs in t.components) for t in rel.tuples
+        ]
+        return ("rows", tuple(rel.schema.names), rows)
+
+    def _dispatch(self):
+        """One join spec per shard, streamed through the pool.  The
+        descs are built *before* the pool is fetched: materialising a
+        broadcast side may itself run a fan-out scan, and if that side
+        is sharded differently the catalog swaps the pool under us —
+        fetching afterwards always dispatches on the live pool."""
+        if self.shard_side == "both":
+            left_desc = self._scan_desc(self.left)
+            right_desc = self._scan_desc(self.right)
+            coord = self.left.store.coordinator_dict()
+        elif self.shard_side == "left":
+            left_desc = self._scan_desc(self.left)
+            right_desc = self._broadcast_desc(self.right)
+            coord = self.left.store.coordinator_dict()
+        else:
+            left_desc = self._broadcast_desc(self.left)
+            right_desc = self._scan_desc(self.right)
+            coord = self.right.store.coordinator_dict()
+        nshards = len(self._sharded_children()[0].store.shards)
+        jobs = [
+            (i, ("join", self.kind, i, left_desc, right_desc))
+            for i in range(nshards)
+        ]
+        pool = self.catalog.parallel_pool(nshards)
+        return pool.run(jobs, coord)
+
+    def _note_stats(self, item) -> None:
+        _, diffs, probes, comps = item
+        for i in range(7):
+            self._totals[i] += diffs[i]
+        if self.ops is not None:
+            self.ops.compositions += comps
+            self.ops.tuple_probes += probes
+
+    def _begin_stats(self) -> None:
+        self._totals = [0] * 7
+
+    def _flush_stats(self) -> None:
+        totals = self._totals
+        self.actual_pages = totals[0]
+        self.actual_index_lookups = totals[2]
+        self.actual_bytes_decoded = totals[3]
+        self.actual_disk_reads = totals[4]
+        self.actual_pages_written = totals[5]
+        self.actual_wal_bytes = totals[6]
+
+
+class ParallelShardJoin(_ShardJoinPlumbing, ColumnarOp):
+    """Shard-local NF2 hash join: the Jaeschke-Schek set-equality join
+    runs inside each shard worker over that shard's dictionary codes;
+    only joined column batches cross the pipe, re-coded onto the
+    partitioned side's coordinator dictionary.  Falls back to the
+    coordinator :class:`HashJoin` barrier when forked execution is
+    unavailable."""
+
+    kind = "nf2"
+
+    def iter_col_batches(self) -> Iterator[ColumnBatch]:
+        if not self._parallel_ready():
+            fallback = HashJoin(self.left, self.right, self.est)
+            fallback.ops = self.ops
+            yield from fallback.iter_col_batches()
+            self.actual_rows = fallback.actual_rows
+            return
+        rows = 0
+        self._begin_stats()
+        stream = self._dispatch()
+        try:
+            for _idx, item in stream:
+                if isinstance(item, ColumnBatch):
+                    rows += item.n
+                    self._note_rows(item.n)
+                    yield item
+                else:
+                    self._note_stats(item)
+        finally:
+            stream.close()
+        self.actual_rows = rows
+        self._flush_stats()
+
+    def describe(self) -> str:
+        n = len(self._sharded_children()[0].store.shards)
+        mode = (
+            "co-partitioned"
+            if self.shard_side == "both"
+            else f"broadcast-{'right' if self.shard_side == 'left' else 'left'}"
+        )
+        return f"ParallelShardJoin x{n} [{mode}, nf2-natural]"
+
+
+class ParallelShardFlatJoin(_ShardJoinPlumbing, PhysicalOp):
+    """Shard-local flat join: each worker natural-joins its shard's
+    R* flats (against the co-partitioned peer shard or the broadcast
+    side) and ships raw joined flats; the coordinator unions them and
+    nests once — exactly :class:`FlatHashJoin`'s result, because the
+    natural join distributes over the co-located tuple-level union."""
+
+    kind = "flat"
+
+    def _run(self) -> NFRelation:
+        if not self._parallel_ready():
+            fallback = FlatHashJoin(self.left, self.right, self.est)
+            fallback.ops = self.ops
+            return fallback._run()
+        names: tuple[str, ...] | None = None
+        flats: list[tuple] = []
+        self._begin_stats()
+        stream = self._dispatch()
+        try:
+            for _idx, item in stream:
+                if item[0] == "flat":
+                    names = item[1]
+                    flats.extend(item[2])
+                else:
+                    self._note_stats(item)
+        finally:
+            stream.close()
+        self._flush_stats()
+        if names is None or not flats:
+            return NFRelation(self.output_schema())
+        from repro.relational.relation import Relation
+
+        return NFRelation.from_1nf(Relation.from_rows(list(names), flats))
+
+    def describe(self) -> str:
+        n = len(self._sharded_children()[0].store.shards)
+        mode = (
+            "co-partitioned"
+            if self.shard_side == "both"
+            else f"broadcast-{'right' if self.shard_side == 'left' else 'left'}"
+        )
+        return f"ParallelShardFlatJoin x{n} [{mode}, 1nf-natural]"
 
 
 class UnionOp(PhysicalOp):

@@ -251,6 +251,11 @@ class _Builder:
                 * costs.TUPLE_CPU_COST,
                 pages=left.est.pages + right.est.pages,
             )
+            shard_op = self._try_shard_join(
+                node, left, right, shared, rows, est
+            )
+            if shard_op is not None:
+                return shard_op
             op = P.HashJoin if isinstance(node, L.LJoin) else P.FlatHashJoin
             return op(left, right, est)
         if isinstance(node, (L.LUnion, L.LDifference)):
@@ -406,12 +411,16 @@ class _Builder:
                 pages=float(pages),
             )
             if fan_out:
-                return P.ParallelShardScan(
+                scan = P.ParallelShardScan(
                     store,
                     name,
-                    costs.parallel_scan_cost(est, nshards),
+                    costs.parallel_scan_cost(
+                        est, nshards, self.catalog.pool_is_warm(nshards)
+                    ),
                     needed=decode,
                 )
+                scan.catalog = self.catalog
+                return scan
             return P.HeapScan(store, name, est, needed=decode)
 
         stats = self.catalog.stats_for(name)
@@ -439,7 +448,9 @@ class _Builder:
         if fan_out:
             # The heap alternative for an unpruned sharded store is the
             # fan-out scan; index plans must beat its critical path.
-            heap_est = costs.parallel_scan_cost(heap_est, nshards)
+            heap_est = costs.parallel_scan_cost(
+                heap_est, nshards, self.catalog.pool_is_warm(nshards)
+            )
         if conjuncts and self.use_index is not False:
             # Window conjuncts contribute no probe atoms (no single atom
             # is implied), so a pure-inequality predicate must not fall
@@ -493,7 +504,7 @@ class _Builder:
                 cost=heap_est.cost,
                 pages=heap_est.pages,
             )
-            return scan_cls(
+            scan = scan_cls(
                 store,
                 name,
                 est,
@@ -502,7 +513,95 @@ class _Builder:
                 conjuncts=conjuncts,
                 slots=self.slots,
             )
-        return scan_cls(store, name, heap_est, needed=decode)
+        else:
+            scan = scan_cls(store, name, heap_est, needed=decode)
+        if fan_out:
+            scan.catalog = self.catalog
+        return scan
+
+    def _try_shard_join(
+        self,
+        node: L.LogicalPlan,
+        left: P.PhysicalOp,
+        right: P.PhysicalOp,
+        shared: tuple[str, ...],
+        rows: float,
+        coord_est: costs.CostEstimate,
+    ) -> P.PhysicalOp | None:
+        """A shard-local join plan when co-location can be proved and
+        the model prices it below the coordinator join, else None.
+
+        Two provably correct shapes (see
+        :class:`~repro.planner.physical._ShardJoinPlumbing`):
+
+        - **Co-partitioned** — both children are fan-out scans of stores
+          hash-partitioned on the *same* attribute with the *same* shard
+          count, and that attribute is a join (shared) attribute.  The
+          NF2 join equates the whole shared component set-wise, so every
+          matching pair agrees on its partition atoms and lands in the
+          same shard; same for flats.
+        - **Broadcast** — exactly one child is a fan-out scan; the other
+          is materialised at the coordinator and shipped whole into
+          every worker (priced by ANALYZE row estimates).  Pairwise
+          joins distribute over the sharded side's tuple-level union
+          regardless of its partition attribute.
+
+        The pruned-/pinned-scan, ``REPRO_PARALLEL=0`` and single-shard
+        cases never reach here: they plan as plain scans, not
+        :class:`~repro.planner.physical.ParallelShardScan`."""
+        left_ps = isinstance(left, P.ParallelShardScan)
+        right_ps = isinstance(right, P.ParallelShardScan)
+        if not (left_ps or right_ps):
+            return None
+        cls = (
+            P.ParallelShardJoin
+            if isinstance(node, L.LJoin)
+            else P.ParallelShardFlatJoin
+        )
+        if left_ps and right_ps:
+            ls, rs = left.store, right.store
+            if (
+                ls.nshards == rs.nshards
+                and ls.partition_attr == rs.partition_attr
+                and ls.partition_attr in shared
+            ):
+                nshards = ls.nshards
+                est = costs.shard_join_cost(
+                    [left.est, right.est],
+                    None,
+                    rows,
+                    nshards,
+                    self.catalog.pool_is_warm(nshards),
+                )
+                if est.cost < coord_est.cost:
+                    return cls(
+                        left,
+                        right,
+                        est,
+                        shard_side="both",
+                        catalog=self.catalog,
+                    )
+            # Sharded on different attributes or counts: broadcast the
+            # smaller side into the larger side's workers.
+            side = "left" if left.est.rows >= right.est.rows else "right"
+        else:
+            side = "left" if left_ps else "right"
+        sharded, other = (
+            (left, right) if side == "left" else (right, left)
+        )
+        nshards = sharded.store.nshards
+        est = costs.shard_join_cost(
+            [sharded.est],
+            other.est,
+            rows,
+            nshards,
+            self.catalog.pool_is_warm(nshards),
+        )
+        if est.cost < coord_est.cost:
+            return cls(
+                left, right, est, shard_side=side, catalog=self.catalog
+            )
+        return None
 
     def _route_shards(
         self, store, conjuncts: tuple["ast.Condition", ...]

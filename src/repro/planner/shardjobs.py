@@ -1,0 +1,206 @@
+"""Picklable shard job specs and their worker-side interpreter.
+
+The persistent :class:`~repro.storage.parallel.WorkerPool` forks its
+workers once per catalog generation and thereafter receives jobs over a
+pipe — so a job must be a plain picklable value, not a closure.  This
+module defines that value vocabulary and the function that executes it
+inside a worker (against the catalog snapshot the fork inherited):
+
+``("scan", name, shard_idx, needed, conjuncts)``
+    Stream shard ``shard_idx`` of relation ``name`` as column batches,
+    conjunct kernels applied worker-side.  ``conjuncts`` must be
+    *literal-only* condition ASTs — :func:`resolve_conjuncts`
+    substitutes bound parameter values before dispatch, because the
+    worker's forked :class:`~repro.query.params.ParamSlots` may predate
+    the current binding.
+
+``("join", kind, shard_idx, left_desc, right_desc)``
+    Run the full NF2 (``kind == "nf2"``) or flat (``"flat"``) hash join
+    for one shard.  Each side desc is either
+
+    - ``("scan", name, conjuncts, needed)`` — that relation's shard
+      ``shard_idx`` (the co-partitioned case reads the *same* shard
+      index on both sides: set-equal shared components sharing the
+      partition attribute are necessarily co-resident), or
+    - ``("rows", names, rows)`` — a broadcast side, shipped whole as
+      plain atom rows and re-encoded under the worker's dictionary.
+
+    NF2 joins ship joined :class:`~repro.storage.columnar.ColumnBatch`
+    chunks; flat joins ship raw joined flats (the coordinator unions
+    and nests once, so the result is bit-identical to the coordinator
+    :class:`~repro.planner.physical.FlatHashJoin`).  Either kind ends
+    with a ``("stats", window_diffs, tuple_probes, compositions)``
+    marker the coordinator folds into EXPLAIN ANALYZE actuals.
+
+The interpreter lives *below* the planner's operator layer on purpose:
+:mod:`repro.storage.parallel` stays generic (any handler), and the
+physical operators build specs without importing worker internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.nfr_relation import NFRelation
+from repro.core.nfr_tuple import NFRTuple
+from repro.core.values import ValueSet
+from repro.errors import StorageError
+from repro.planner.physical import (
+    BATCH_SIZE,
+    _filter_rows,
+    _identity,
+    hash_join_batches,
+)
+from repro.query import ast
+from repro.relational.algebra import natural_join
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.storage.columnar import AtomDict, ColumnBatch, concat_batches
+
+#: Entries of a stats-window diff the coordinator consumes.
+_WINDOW = 7
+
+
+def resolve_conjuncts(
+    conjuncts: Iterable[ast.Condition], resolve: Callable[[Any], Any]
+) -> tuple[ast.Condition, ...]:
+    """Literal-only copies of ``conjuncts``: every
+    :class:`~repro.query.ast.Parameter` replaced by its bound value, so
+    the conditions pickle and evaluate identically in a worker that
+    never saw the binding."""
+    out = []
+    for cond in conjuncts:
+        if isinstance(cond, (ast.Contains, ast.SingletonEquals, ast.Comparison)):
+            cond = dataclasses.replace(cond, value=resolve(cond.value))
+        elif isinstance(cond, ast.ComponentEquals):
+            cond = dataclasses.replace(
+                cond, values=tuple(resolve(v) for v in cond.values)
+            )
+        elif isinstance(cond, ast.Between):
+            cond = dataclasses.replace(
+                cond, low=resolve(cond.low), high=resolve(cond.high)
+            )
+        out.append(cond)
+    return tuple(out)
+
+
+def make_pool_handler(catalog) -> Callable[[Any], Iterable[Any]]:
+    """The handler a catalog-owned worker pool forks with: interpret
+    job specs against ``catalog`` (the worker's inherited snapshot)."""
+
+    def handler(spec):
+        return run_spec(catalog, spec)
+
+    return handler
+
+
+def run_spec(catalog, spec) -> Iterator[Any]:
+    """Execute one job spec; yields stream items for the pool to ship."""
+    kind = spec[0]
+    if kind == "scan":
+        return _run_scan(catalog, spec)
+    if kind == "join":
+        return _run_join(catalog, spec)
+    raise StorageError(f"unknown shard job spec {kind!r}")
+
+
+def _shard(catalog, name: str, shard_idx: int):
+    store = catalog.store_if_open(name)
+    if store is None or not getattr(store, "is_sharded", False):
+        raise StorageError(
+            f"relation {name!r} is not an open sharded store in this "
+            f"worker's snapshot"
+        )
+    return store.shards[shard_idx]
+
+
+def _scan_batches(
+    shard, conjuncts, needed
+) -> Iterator[ColumnBatch]:
+    for batch in shard.stream_scan_columns(needed, batch_rows=BATCH_SIZE):
+        if conjuncts:
+            kept = _filter_rows(conjuncts, batch, _identity)
+            if kept is not None:
+                if not kept:
+                    continue
+                batch = batch.take(kept)
+        yield batch
+
+
+def _run_scan(catalog, spec) -> Iterator[Any]:
+    _, name, shard_idx, needed, conjuncts = spec
+    shard = _shard(catalog, name, shard_idx)
+    before = shard.stats_window()
+    yield from _scan_batches(shard, conjuncts, needed)
+    after = shard.stats_window()
+    yield ("stats", tuple(a - b for a, b in zip(after, before)))
+
+
+def _rows_batch(names, rows) -> ColumnBatch:
+    """Re-encode broadcast atom rows under a private dictionary."""
+    schema = RelationSchema(list(names))
+    unchecked = NFRTuple._unchecked
+    fromset = ValueSet._from_frozenset
+    tuples = [
+        unchecked(schema, tuple(fromset(frozenset(comp)) for comp in row))
+        for row in rows
+    ]
+    return ColumnBatch.from_rows(names, tuples, AtomDict())
+
+
+def _gather(catalog, desc, shard_idx):
+    """One join side as ``(batch_or_None, window_diffs, rows)``."""
+    if desc[0] == "rows":
+        _, names, rows = desc
+        if not rows:
+            return None, (0,) * _WINDOW, 0
+        batch = _rows_batch(names, rows)
+        return batch, (0,) * _WINDOW, batch.n
+    _, name, conjuncts, needed = desc
+    shard = _shard(catalog, name, shard_idx)
+    before = shard.stats_window()
+    batches = list(_scan_batches(shard, conjuncts, needed))
+    after = shard.stats_window()
+    diffs = tuple(a - b for a, b in zip(after, before))[:_WINDOW]
+    if not batches:
+        return None, diffs, 0
+    batch = concat_batches(batches)
+    return batch, diffs, batch.n
+
+
+def _batch_to_1nf(batch: ColumnBatch) -> Relation:
+    schema = RelationSchema(list(batch.names))
+    return NFRelation(schema, batch.to_rows(schema)).to_1nf()
+
+
+def _run_join(catalog, spec) -> Iterator[Any]:
+    _, kind, shard_idx, left_desc, right_desc = spec
+    lhs, ldiffs, lrows = _gather(catalog, left_desc, shard_idx)
+    rhs, rdiffs, rrows = _gather(catalog, right_desc, shard_idx)
+    diffs = tuple(a + b for a, b in zip(ldiffs, rdiffs))
+    probes = lrows + rrows
+    if lhs is None or rhs is None:
+        yield ("stats", diffs, probes, 0)
+        return
+    if kind == "flat":
+        l1 = _batch_to_1nf(lhs)
+        r1 = _batch_to_1nf(rhs)
+        joined = natural_join(l1, r1)
+        names = tuple(joined.schema.names)
+        yield (
+            "flat",
+            names,
+            [tuple(t[n] for n in names) for t in joined.tuples],
+        )
+        yield ("stats", diffs, len(l1) + len(r1), len(joined))
+        return
+    combined, npairs = hash_join_batches(lhs, rhs.translated(lhs.adict))
+    if combined is not None:
+        if combined.n <= BATCH_SIZE:
+            yield combined
+        else:
+            for start in range(0, combined.n, BATCH_SIZE):
+                stop = min(start + BATCH_SIZE, combined.n)
+                yield combined.take(range(start, stop))
+    yield ("stats", diffs, probes, npairs)

@@ -78,6 +78,9 @@ class Catalog:
         self.last_plan_summary: str | None = None
         self._version = 0
         self._undo: list[Callable[[], None]] | None = None
+        #: Persistent shard-worker pool (lazy; see :meth:`parallel_pool`).
+        self._pool = None
+        self._pool_finalizer = None
         #: The :class:`~repro.storage.durable.DurableEngine` backing
         #: this catalog, or None for a purely in-memory database.
         self._durability = None
@@ -195,6 +198,61 @@ class Catalog:
 
     def _bump(self) -> None:
         self._version += 1
+
+    # -- persistent shard-worker pool ----------------------------------------------
+
+    def parallel_pool(self, nworkers: int):
+        """This connection's persistent shard-worker pool, forked lazily
+        on first use and reused while the catalog *generation*
+        (:attr:`stats_version`) holds.  Any mutation bumps the version,
+        so a stale pool — whose forked snapshots no longer match the
+        live stores — is closed and replaced here, transparently."""
+        import weakref
+
+        from repro.storage.parallel import WorkerPool
+
+        pool = self._pool
+        if pool is not None and (
+            pool.closed
+            or pool.nworkers != nworkers
+            or pool.generation != self._version
+        ):
+            pool.close()
+            pool = self._pool = None
+        if pool is None:
+            from repro.planner.shardjobs import make_pool_handler
+
+            pool = WorkerPool(
+                nworkers, make_pool_handler(self), generation=self._version
+            )
+            self._pool = pool
+            # GC hygiene: a dropped catalog must not leak forked
+            # children.  The finalizer holds only the pool, never the
+            # catalog, so it cannot keep the catalog alive.
+            self._pool_finalizer = weakref.finalize(self, pool.close)
+        return pool
+
+    def pool_is_warm(self, nworkers: int) -> bool:
+        """Would :meth:`parallel_pool` reuse live workers right now?
+        The cost model asks this to price parallel startup as a pipe
+        round-trip instead of a fork."""
+        pool = self._pool
+        return (
+            pool is not None
+            and not pool.closed
+            and pool.nworkers == nworkers
+            and pool.generation == self._version
+            and pool.alive_workers > 0
+        )
+
+    def close_parallel_pool(self) -> None:
+        """Shut down the worker pool (no-op when none was forked)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
 
     # -- transactions -------------------------------------------------------------
 

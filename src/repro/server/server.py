@@ -253,6 +253,9 @@ def serve(
     from repro.db.database import Database
 
     owns = False
+    # A Replica (or anything else wrapping a Database) serves through
+    # its facade — reads work, writes fail with its read-only error.
+    database = getattr(database, "database", database)
     if not isinstance(database, Database):
         database = Database(path=database)
         owns = True

@@ -142,6 +142,48 @@ _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 _MAX_META_PAGES = (PAGE_SIZE - _HEADER_SIZE - 4) // 4
 
 
+def read_header(filemgr: FileManager) -> tuple[dict, list[int], int] | None:
+    """Validate and decode a database file's header page: returns
+    ``(metadata, meta page ids, max_lsn)``, or None when the header or
+    the metadata blob fails its CRC — callers fall back to the WAL's
+    catalog record (recovery) or retry later (a replica reading while
+    the primary rewrites the header mid-checkpoint)."""
+    if filemgr.num_pages == 0:
+        return None
+    raw = filemgr.read_page(0)
+    (stored_crc,) = struct.unpack_from(">I", raw, PAGE_SIZE - 4)
+    body = bytearray(raw)
+    struct.pack_into(">I", body, PAGE_SIZE - 4, 0)
+    if zlib.crc32(body) != stored_crc:
+        return None
+    magic, version, page_size, max_lsn, meta_len, meta_crc, n_pages = (
+        struct.unpack_from(_HEADER_FMT, raw, 0)
+    )
+    if magic != _MAGIC:
+        return None
+    if version != _FORMAT_VERSION:
+        raise StorageError(
+            f"database format version {version} is not supported"
+        )
+    if page_size != PAGE_SIZE:
+        raise StorageError(
+            f"database page size {page_size} does not match this "
+            f"build's {PAGE_SIZE}"
+        )
+    pids = list(
+        struct.unpack_from(f">{n_pages}I", raw, _HEADER_SIZE)
+    )
+    blob = b"".join(filemgr.read_page(pid) for pid in pids)
+    blob = blob[:meta_len]
+    if len(blob) != meta_len or zlib.crc32(blob) != meta_crc:
+        return None
+    try:
+        meta = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return meta, pids, max_lsn
+
+
 def _fresh_meta() -> dict:
     return {
         "version": _FORMAT_VERSION,
@@ -175,6 +217,13 @@ class DurableEngine:
         self.catalog: "Catalog | None" = None
         self.shards = 1
         self.epoch = 0
+        #: Highest MVCC commit-sequence number known durable — stamped
+        #: onto COMMIT markers by the transaction layer, recovered from
+        #: the WAL/metadata on open.  Replicas use it (via the COMMIT
+        #: stamps they tail) as their catch-up cursor, and a restarted
+        #: primary seeds its CSN counter from it so the stream never
+        #: goes backwards.
+        self.committed_csn = 0
         self.partitions: list[_Partition] = [
             _Partition(0, self.filemgr, self.wal, self.pool)
         ]
@@ -299,6 +348,9 @@ class DurableEngine:
         # decisions — the newest is in its WAL, or (after a checkpoint
         # truncated it) in the catalog blob itself.
         self.epoch = max(int(meta.get("epoch", 0)), self.wal.recovered_epoch)
+        self.committed_csn = max(
+            int(meta.get("csn", 0)), self.wal.recovered_csn
+        )
         for op in ops:
             page = self.pool.fetch(op.page_id)
             dirty = False
@@ -309,6 +361,10 @@ class DurableEngine:
             finally:
                 self.pool.release(op.page_id, dirty=dirty)
         side_recovered = self._open_side_partitions(meta, max_epoch=self.epoch)
+        for part in self.partitions[1:]:
+            self.committed_csn = max(
+                self.committed_csn, part.wal.recovered_csn
+            )
         self._split_frame_budget()
         if ops or wal_blob is not None or self.wal.size or side_recovered:
             # Recovery happened (or the WAL holds already-applied
@@ -413,6 +469,10 @@ class DurableEngine:
         then skip the fsync entirely)."""
         meta = dict(self._meta)
         meta["allocator"] = self.allocator.state()
+        # Like "epoch" below, "csn" is refreshed only by checkpoint():
+        # between checkpoints the COMMIT stamps carry it, and a
+        # per-commit value here would defeat no-op commit detection.
+        meta.setdefault("csn", 0)
         if self.shards > 1:
             meta["shards"] = self.shards
             # meta["epoch"] is refreshed only by checkpoint(): between
@@ -455,40 +515,7 @@ class DurableEngine:
         """(metadata, meta page ids, max_lsn) from the data file, or
         None when the header or the metadata blob fails validation —
         the caller then falls back to the WAL's catalog record."""
-        if self.filemgr.num_pages == 0:
-            return None
-        raw = self.filemgr.read_page(0)
-        (stored_crc,) = struct.unpack_from(">I", raw, PAGE_SIZE - 4)
-        body = bytearray(raw)
-        struct.pack_into(">I", body, PAGE_SIZE - 4, 0)
-        if zlib.crc32(body) != stored_crc:
-            return None
-        magic, version, page_size, max_lsn, meta_len, meta_crc, n_pages = (
-            struct.unpack_from(_HEADER_FMT, raw, 0)
-        )
-        if magic != _MAGIC:
-            return None
-        if version != _FORMAT_VERSION:
-            raise StorageError(
-                f"database format version {version} is not supported"
-            )
-        if page_size != PAGE_SIZE:
-            raise StorageError(
-                f"database page size {page_size} does not match this "
-                f"build's {PAGE_SIZE}"
-            )
-        pids = list(
-            struct.unpack_from(f">{n_pages}I", raw, _HEADER_SIZE)
-        )
-        blob = b"".join(self.filemgr.read_page(pid) for pid in pids)
-        blob = blob[:meta_len]
-        if len(blob) != meta_len or zlib.crc32(blob) != meta_crc:
-            return None
-        try:
-            meta = json.loads(blob.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            return None
-        return meta, pids, max_lsn
+        return read_header(self.filemgr)
 
     def _write_header(self, blob: bytes, meta_pids: list[int]) -> None:
         buf = bytearray(PAGE_SIZE)
@@ -506,10 +533,14 @@ class DurableEngine:
 
     # -- transaction boundaries --------------------------------------------------
 
-    def commit(self) -> None:
+    def commit(self, csn: int | None = None) -> None:
         """Durability point: persist the catalog blob + COMMIT marker
         and fsync the WAL.  A commit that changed nothing writes
-        nothing."""
+        nothing.
+
+        ``csn`` stamps the COMMIT markers with the transaction's MVCC
+        commit-sequence number — the cursor a tailing replica advances
+        by (see :mod:`repro.storage.replica`)."""
         self._check_open()
         if self.catalog is not None:
             for name in self.catalog.names():
@@ -522,7 +553,7 @@ class DurableEngine:
             return
         if self.shards == 1:
             self.wal.log_catalog(blob)
-            self.wal.commit()
+            self.wal.commit(csn=csn)
         else:
             # Two-phase-ish epoch commit: side WALs first, each stamped
             # with the candidate epoch; partition 0's COMMIT is the
@@ -533,14 +564,16 @@ class DurableEngine:
             e = self.epoch + 1
             for part in self.partitions[1:]:
                 if part.wal.in_flight:
-                    part.wal.commit(epoch=e)
+                    part.wal.commit(epoch=e, csn=csn)
             self.wal.log_catalog(blob)
-            self.wal.commit(epoch=e)
+            self.wal.commit(epoch=e, csn=csn)
             self.epoch = e
+        if csn is not None and csn > self.committed_csn:
+            self.committed_csn = csn
         self._last_committed_blob = blob
         self._dirty_since_checkpoint = True
 
-    def harden_commit(self) -> int | None:
+    def harden_commit(self, csn: int | None = None) -> int | None:
         """Group-commit durability, first half: write the catalog blob
         + COMMIT marker to the OS and return a WAL ticket **without
         fsyncing** — the caller (the commit coalescer) makes the group
@@ -551,7 +584,7 @@ class DurableEngine:
         (several WALs, ordered fsyncs) and also return None."""
         self._check_open()
         if self.shards > 1:
-            self.commit()
+            self.commit(csn=csn)
             return None
         if self.catalog is not None:
             for name in self.catalog.names():
@@ -560,7 +593,9 @@ class DurableEngine:
         if not self.wal.in_flight and blob == self._last_committed_blob:
             return None
         self.wal.log_catalog(blob)
-        ticket = self.wal.harden()
+        ticket = self.wal.harden(csn=csn)
+        if csn is not None and csn > self.committed_csn:
+            self.committed_csn = csn
         self._last_committed_blob = blob
         self._dirty_since_checkpoint = True
         return ticket
@@ -647,6 +682,7 @@ class DurableEngine:
             part.filemgr.sync()
         if self.shards > 1:
             self._meta["epoch"] = self.epoch
+        self._meta["csn"] = self.committed_csn
         blob = self._serialize()
         chunks = [
             blob[i : i + PAGE_SIZE] for i in range(0, len(blob), PAGE_SIZE)

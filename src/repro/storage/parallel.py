@@ -1,17 +1,33 @@
-"""Per-query worker pool: shard streams in forked processes.
+"""Shard worker processes: a persistent pool plus one-shot streams.
 
-A parallel scan forks one worker per shard.  ``fork`` (not ``spawn``)
-is essential: the child inherits the parent's memory image — the shard
-stores, their page caches, indexes and dictionaries — at the instant of
-the fork, so no state is pickled to start a job and every worker sees a
-consistent snapshot of the database.  Workers are strictly read-only;
-page I/O is safe because :class:`~repro.storage.filemgr.FileManager`
-uses positioned reads (``os.pread``), which never touch the file
-offset the processes share.
+Both execution styles fork (never ``spawn``) so the child inherits the
+parent's memory image — the shard stores, their page caches, indexes
+and dictionaries — at the instant of the fork: no state is pickled to
+start a worker, and every worker sees a consistent snapshot of the
+database.  Workers are strictly read-only; page I/O is safe because
+:class:`~repro.storage.filemgr.FileManager` uses positioned reads
+(``os.pread``), which never touch the file offset the processes share.
 
-Wire protocol (one duplex-free pipe per worker, messages are pickled
-tuples):
+:class:`WorkerPool` is the steady-state engine: one long-lived worker
+per shard, forked on the first parallel query of a catalog *generation*
+(the catalog's ``stats_version`` — any DML, DDL or ANALYZE starts a new
+generation, because the forked snapshots no longer match the live
+stores) and reused across queries until then.  A query costs a pipe
+round-trip instead of ``fork`` + page-cache warm-up, which is why
+:data:`~repro.planner.cost.PARALLEL_WARM_STARTUP_COST` is an order of
+magnitude below the cold constant.  Jobs are picklable *specs*
+interpreted by a handler the pool owner supplies
+(:func:`repro.planner.shardjobs.run_spec` in the engine); the handler
+itself travels by fork, never by pickle.
 
+:func:`parallel_stream` remains for one-shot fan-outs that want a
+private fork per job (benchmarks, ad-hoc tools).
+
+Wire protocol (one duplex pipe per pooled worker; the one-shot path
+uses a simplex pipe), messages are pickled tuples:
+
+``("job", spec)`` / ``("ping",)`` / ``("quit",)``
+    Parent to pooled worker: run one job spec, prove liveness, exit.
 ``("b", names, n, columns, dict_key, base, atoms)``
     One :class:`~repro.storage.columnar.ColumnBatch`.  ``columns`` are
     the raw ``(offsets, codes)`` pairs under the *worker's* shard
@@ -23,22 +39,31 @@ tuples):
     never re-sent.
 ``("x", item)``
     Any picklable side item (stats snapshots, markers) — passed through.
-``("s",)``
-    End of stream for this worker.
+``("s", busy_seconds)``
+    End of stream for this job; ``busy_seconds`` is the wall-clock the
+    worker spent on it (the one-shot path sends ``("s",)``).
+``("pong",)``
+    Heartbeat reply.
 ``("err", message)``
-    The worker raised; the coordinator terminates the pool and raises
-    :class:`~repro.errors.StorageError`.
+    The job raised.  A pooled worker survives its job's exception (the
+    coordinator raises :class:`~repro.errors.StorageError`, the worker
+    waits for the next spec); a one-shot worker exits.
 
 Back-pressure is the pipe itself: a worker blocks in ``send`` once the
 coordinator falls behind, so an unbounded scan cannot balloon memory.
-Abandoning the coordinator generator terminates every worker (they are
-daemons besides, so no crash can leak them).
+Workers are daemons besides, so no crash can leak them past process
+exit.  A consumer that abandons a result stream mid-merge leaves the
+in-flight workers' pipes desynchronized; the pool terminates exactly
+those workers in a ``finally`` and lazily respawns them (counted in
+:attr:`WorkerPool.respawns`), so an abandoned cursor can never poison
+the next query or leak a forked child.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Callable, Iterable, Iterator
 
@@ -79,23 +104,30 @@ def parallel_available() -> bool:
     return cpu_count() > 1
 
 
+def _ship(conn, shipped: dict[int, Any], item: Any) -> None:
+    """Send one stream item, batches with their dictionary delta.
+    ``shipped`` maps ``id(adict)`` to ``(adict, sent_count)`` — the
+    strong reference pins the dictionary so a recycled ``id`` can never
+    alias a new dictionary onto an old translation table."""
+    if isinstance(item, ColumnBatch):
+        adict = item.adict
+        key = id(adict)
+        entry = shipped.get(key)
+        base = entry[1] if entry is not None and entry[0] is adict else 0
+        atoms = adict.atoms[base:]
+        shipped[key] = (adict, len(adict.atoms))
+        conn.send(("b", item.names, item.n, item.columns, key, base, atoms))
+    else:
+        conn.send(("x", item))
+
+
 def _worker(conn, job: Callable[[], Iterable[Any]]) -> None:
-    """Child body: drain the job, shipping batches with incremental
-    dictionary deltas."""
-    shipped: dict[int, int] = {}
+    """One-shot child body: drain the job, shipping batches with
+    incremental dictionary deltas, then exit."""
+    shipped: dict[int, Any] = {}
     try:
         for item in job():
-            if isinstance(item, ColumnBatch):
-                adict = item.adict
-                key = id(adict)
-                base = shipped.get(key, 0)
-                atoms = adict.atoms[base:]
-                shipped[key] = len(adict.atoms)
-                conn.send(
-                    ("b", item.names, item.n, item.columns, key, base, atoms)
-                )
-            else:
-                conn.send(("x", item))
+            _ship(conn, shipped, item)
         conn.send(("s",))
     except Exception as exc:  # pragma: no cover - transported to parent
         try:
@@ -104,6 +136,38 @@ def _worker(conn, job: Callable[[], Iterable[Any]]) -> None:
             pass
     finally:
         conn.close()
+
+
+def _pool_worker(conn, handler: Callable[[Any], Iterable[Any]]) -> None:
+    """Pooled child body: serve job specs until told to quit.  The
+    dictionary-delta state spans jobs — a reused worker only ships the
+    atoms interned since its previous job."""
+    shipped: dict[int, Any] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        if kind == "quit":
+            break
+        if kind == "ping":
+            conn.send(("pong",))
+            continue
+        start = time.perf_counter()
+        try:
+            for item in handler(msg[1]):
+                _ship(conn, shipped, item)
+            conn.send(("s", time.perf_counter() - start))
+        except Exception as exc:
+            try:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
 
 
 class _Translator:
@@ -141,17 +205,205 @@ class _Translator:
         return ColumnBatch(names, n, recoded, coord)
 
 
+class _PoolWorker:
+    """Parent-side handle of one pooled worker process."""
+
+    __slots__ = ("proc", "conn", "translators")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        # (dict_key, id(coord)) -> [translator, coord strong ref]; the
+        # coord reference pins the coordinator dictionary so a recycled
+        # id cannot alias a fresh dictionary onto an old mapping.
+        self.translators: dict[tuple[int, int], list] = {}
+
+    def translator(self, dict_key: int, coord: AtomDict) -> _Translator:
+        key = (dict_key, id(coord))
+        entry = self.translators.get(key)
+        if entry is None or entry[1] is not coord:
+            entry = self.translators[key] = [_Translator(), coord]
+        return entry[0]
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join()
+
+
+class WorkerPool:
+    """A persistent set of forked shard workers (one per shard).
+
+    ``handler`` interprets job specs inside the children; it is
+    captured by the fork, so it may close over arbitrary live state
+    (the catalog).  ``generation`` tags the snapshot the workers hold;
+    the owner discards the pool once the live state moves past it.
+    """
+
+    def __init__(
+        self,
+        nworkers: int,
+        handler: Callable[[Any], Iterable[Any]],
+        generation: int = 0,
+    ) -> None:
+        if nworkers < 1:
+            raise StorageError(f"worker pool needs >= 1 worker, got {nworkers}")
+        self.nworkers = nworkers
+        self.handler = handler
+        self.generation = generation
+        self.workers: list[_PoolWorker | None] = [None] * nworkers
+        self.closed = False
+        #: Lifetime counters, sampled by the metrics registry.
+        self.forks = 0
+        self.respawns = 0
+        self.busy_seconds = [0.0] * nworkers
+        self._ctx = multiprocessing.get_context("fork")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _spawn(self, idx: int) -> _PoolWorker:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker, args=(child, self.handler), daemon=True
+        )
+        proc.start()
+        child.close()
+        worker = _PoolWorker(proc, parent)
+        self.workers[idx] = worker
+        self.forks += 1
+        return worker
+
+    def _ensure(self, idx: int) -> _PoolWorker:
+        """The live worker for slot ``idx``: heartbeat the existing one
+        and respawn it when dead (the fork is the respawn — it picks up
+        the *current* memory image, which is fine within a generation
+        because nothing mutated since the generation began)."""
+        worker = self.workers[idx]
+        if worker is not None:
+            if worker.alive() and self._heartbeat(worker):
+                return worker
+            worker.kill()
+            self.workers[idx] = None
+            self.respawns += 1
+        return self._spawn(idx)
+
+    def _heartbeat(self, worker: _PoolWorker) -> bool:
+        """Ping/pong before dispatch: a worker that died mid-idle (or a
+        pipe left desynchronized by an abandoned stream) fails here and
+        gets respawned instead of wedging the query."""
+        try:
+            worker.conn.send(("ping",))
+            while True:
+                reply = worker.conn.recv()
+                if reply[0] == "pong":
+                    return True
+        except (BrokenPipeError, EOFError, OSError):
+            return False
+
+    def _kill_slot(self, idx: int) -> None:
+        worker = self.workers[idx]
+        if worker is not None:
+            worker.kill()
+            self.workers[idx] = None
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(
+            1 for w in self.workers if w is not None and w.alive()
+        )
+
+    def close(self) -> None:
+        """Shut every worker down (polite quit, then terminate)."""
+        if self.closed:
+            return
+        self.closed = True
+        for worker in self.workers:
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(("quit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for idx in range(self.nworkers):
+            self._kill_slot(idx)
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def run(
+        self, jobs: "list[tuple[int, Any]]", coord_dict: AtomDict
+    ) -> Iterator[tuple[int, Any]]:
+        """Dispatch ``(worker_index, spec)`` jobs and yield
+        ``(worker_index, item)`` as results arrive (interleaved across
+        workers, order within one worker preserved).  ColumnBatch items
+        come back re-coded onto ``coord_dict``; other items pass
+        through.  Closing the generator terminates exactly the workers
+        still mid-stream — they respawn on next use."""
+        if self.closed:
+            raise StorageError("worker pool is closed")
+        pending: dict[Any, int] = {}
+        try:
+            for idx, spec in jobs:
+                worker = self._ensure(idx)
+                worker.conn.send(("job", spec))
+                pending[worker.conn] = idx
+            while pending:
+                for conn in _conn_wait(list(pending)):
+                    idx = pending[conn]
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        del pending[conn]
+                        self._kill_slot(idx)
+                        raise StorageError(
+                            f"shard worker {idx} exited unexpectedly"
+                        )
+                    kind = msg[0]
+                    if kind == "b":
+                        _, names, n, columns, dict_key, base, atoms = msg
+                        worker = self.workers[idx]
+                        tr = worker.translator(dict_key, coord_dict)
+                        tr.extend(coord_dict, base, atoms)
+                        yield idx, tr.rebuild(coord_dict, names, n, columns)
+                    elif kind == "x":
+                        yield idx, msg[1]
+                    elif kind == "s":
+                        self.busy_seconds[idx] += msg[1]
+                        del pending[conn]
+                    else:  # "err" — the worker itself survives.
+                        del pending[conn]
+                        raise StorageError(
+                            f"shard worker {idx} failed: {msg[1]}"
+                        )
+        finally:
+            # Abandoned mid-stream (early generator close, coordinator
+            # raise): the in-flight workers' pipes hold unread frames,
+            # so those workers are desynchronized — kill them here and
+            # let the next dispatch respawn fresh ones.
+            for _conn, idx in list(pending.items()):
+                self._kill_slot(idx)
+                self.respawns += 1
+
+
 def parallel_stream(
     jobs: "list[Callable[[], Iterable[Any]]]",
     coord_dict: AtomDict,
 ) -> Iterator[tuple[int, Any]]:
-    """Run one forked worker per job and yield ``(job_index, item)`` as
-    results arrive (interleaved across workers, order within one worker
-    preserved).  ColumnBatch items come back re-coded onto
-    ``coord_dict``; other items are passed through as sent.
+    """Run one freshly forked worker per job and yield
+    ``(job_index, item)`` as results arrive (interleaved across workers,
+    order within one worker preserved).  ColumnBatch items come back
+    re-coded onto ``coord_dict``; other items are passed through.
 
     The caller owns lifecycle via the generator protocol: closing the
-    generator terminates outstanding workers."""
+    generator — or any coordinator-side exception — terminates every
+    outstanding worker in the ``finally`` below, so an abandoned stream
+    cannot leak forked children."""
     ctx = multiprocessing.get_context("fork")
     procs: list = []
     conns: dict[Any, int] = {}

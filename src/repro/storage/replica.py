@@ -1,0 +1,645 @@
+"""WAL-shipped read replicas: snapshot reads off a primary's files.
+
+A :class:`Replica` opens a durable database *read-only* — no
+``<path>-lock`` flock, no write access to the data files — and keeps
+itself current by tailing the primary's write-ahead logs, exactly the
+way log-shipping replication works in grown-up engines:
+
+- **seed** — read the data-file header (validated by its CRCs, see
+  :func:`~repro.storage.durable.read_header`): the checkpointed
+  catalog metadata names every relation and its heap pages, and
+  carries the checkpoint's commit-sequence number (CSN) — the
+  replica's starting snapshot;
+- **tail** — each :meth:`Replica.poll` reads the WAL files past the
+  last consumed offset and applies the page operations of *complete,
+  CRC-valid, committed* transactions to its own buffer pools.  The
+  offset advances only past COMMIT frames: a torn tail (the primary
+  mid-append, or a failed commit whose frames will be overwritten by
+  the retry — see ``WriteAheadLog._durable_offset``) is simply re-read
+  on the next poll;
+- **apply** — page images are fetched through an overlay
+  (:class:`_OverlayFileManager`): reads fall through to the primary's
+  data file, writes land in a private in-memory page dict, so the
+  replica never mutates shared files.  Redo is LSN-gated exactly like
+  crash recovery, and the CATALOG blob riding every commit tells the
+  replica which relations changed (only those are re-attached);
+- **reseed** — when a WAL shrinks below the consumed offset the
+  primary checkpointed (pages flushed, log truncated): the replica
+  rebuilds from the fresh header, which by construction contains
+  everything it had applied and more, so :attr:`Replica.applied_csn`
+  never goes backwards.
+
+Sharded primaries ship one WAL per partition.  Cross-shard atomicity
+mirrors recovery's epoch rule: side-partition commits stamped with
+epoch ``e`` are held until partition 0's deciding commit for ``e`` has
+been consumed, so the replica never serves half a cross-shard
+transaction.
+
+The CSN stamped on COMMIT frames by the MVCC layer (PR 9) is the
+replication cursor: after a poll the replica knows exactly which
+snapshot it serves (:attr:`applied_csn`), and :attr:`lag_csn` is how
+far the visible log is ahead of it.  Group-committed (hardened but not
+yet fsynced) transactions are visible to the replica slightly before
+their durability fsync — they are committed in the MVCC sense, merely
+not yet crash-proof on the primary.
+
+Use through the facade::
+
+    rep = repro.db.replica("app.db")     # or repro.db.replica(path,
+                                         #     poll_interval=0.05)
+    rep.poll()                           # catch up explicitly
+    cur = rep.execute("SELECT Enrollment WHERE Club CONTAINS ?", ["b1"])
+    rep.applied_csn, rep.lag_csn         # which snapshot, how stale
+    rep.close()
+
+Writes are refused at the catalog layer (:class:`_ReplicaCatalog`), so
+every path — cursors, the socket server, parallel shard workers —
+stays read-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+
+from repro.errors import StorageError
+from repro.query.catalog import Catalog
+from repro.relational.schema import RelationSchema
+from repro.storage.bufferpool import DEFAULT_FRAME_BUDGET, BufferPool
+from repro.storage.durable import read_header, shard_file_path
+from repro.storage.engine import NFRStore
+from repro.storage.filemgr import FileManager, FileStats
+from repro.storage.pages import PAGE_SIZE
+from repro.storage.shards import ShardedStore
+from repro.storage.wal import (
+    _ALLOC_HEADER,
+    _CATALOG_HEADER,
+    _COMMIT_CSN,
+    _COMMIT_HEADER,
+    _DELETE_HEADER,
+    _FRAME_HEADER,
+    _INSERT_HEADER,
+    REC_ALLOC,
+    REC_CATALOG,
+    REC_COMMIT,
+    REC_DELETE,
+    REC_INSERT,
+    WalOp,
+    wal_path,
+)
+
+#: Consecutive polls with unconsumable tail bytes before the replica
+#: assumes the WAL was truncated and refilled past its offset (a
+#: checkpoint raced between two polls) and reseeds from the header.
+#: A torn frame from an in-flight commit resolves within a poll or
+#: two, so a small threshold separates the two cases.
+_STALL_LIMIT = 4
+
+
+class _OverlayFileManager(FileManager):
+    """Page access to a primary's data file that never writes it:
+    reads fall through to the file (opened read-only), writes land in
+    an in-memory overlay consulted first on every read.  This is what
+    lets the replica share a :class:`BufferPool` + heap + index stack
+    with the primary-side engine while redo output stays private."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self.fault_hook = None
+        self.stats = FileStats()
+        self.overlay: dict[int, bytes] = {}
+        if not os.path.exists(self.path):
+            raise StorageError(
+                f"no database file at {self.path!r} to replicate"
+            )
+        self._file = open(self.path, "rb")
+        self._closed = False
+
+    def read_page(self, page_id: int) -> bytes:
+        page = self.overlay.get(page_id)
+        if page is not None:
+            return page
+        return super().read_page(page_id)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        self._check_open()
+        if len(data) != PAGE_SIZE:
+            raise StorageError(
+                f"page image is {len(data)} bytes, expected {PAGE_SIZE}"
+            )
+        self.overlay[page_id] = bytes(data)
+        self.stats.writes += 1
+
+    def sync(self) -> None:  # the overlay needs no durability
+        self._check_open()
+
+    def truncate(self, num_pages: int) -> None:  # never shrink the primary
+        self._check_open()
+
+
+def _parse_commit(payload: bytes) -> tuple[int, int]:
+    """(epoch, csn) of a COMMIT payload — length-dispatched over the
+    three historical layouts (empty, epoch-only, epoch + CSN)."""
+    if len(payload) >= _COMMIT_CSN.size:
+        _, epoch, csn = _COMMIT_CSN.unpack_from(payload, 0)
+        return epoch, csn
+    if len(payload) >= _COMMIT_HEADER.size:
+        _, epoch = _COMMIT_HEADER.unpack_from(payload, 0)
+        return epoch, 0
+    return 0, 0
+
+
+def _frames(data: bytes, offset: int):
+    """Yield ``(kind, payload, end_offset)`` for each complete
+    CRC-valid frame from ``offset``; stops at the first torn frame."""
+    while offset + _FRAME_HEADER.size <= len(data):
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if length == 0 or end > len(data):
+            return
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return
+        yield payload[0], payload, end
+        offset = end
+
+
+class _Commit:
+    """One committed transaction read off a WAL tail."""
+
+    __slots__ = ("epoch", "csn", "ops", "blob")
+
+    def __init__(self, epoch, csn, ops, blob):
+        self.epoch = epoch
+        self.csn = csn
+        self.ops = ops
+        self.blob = blob
+
+
+class _WalTail:
+    """Incremental reader over one primary WAL file.  The offset
+    advances only past complete committed transactions, so torn tails
+    and overwrite-retried commits are naturally re-read."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.offset = 0
+
+    def _read(self) -> bytes:
+        try:
+            with open(self.path, "rb") as f:
+                return f.read()
+        except FileNotFoundError:
+            return b""
+
+    def read_commits(
+        self, max_epoch: int | None = None
+    ) -> tuple[list[_Commit], bool]:
+        """``(commits, truncated)``: the newly committed transactions
+        in log order, and whether the file shrank below the consumed
+        offset (the primary checkpointed — caller reseeds).
+
+        ``max_epoch`` gates side-partition tails: a commit stamped
+        with a newer epoch than partition 0 has decided is *held* (the
+        offset stays before it) until the decision ships."""
+        data = self._read()
+        if len(data) < self.offset:
+            return [], True
+        commits: list[_Commit] = []
+        pending_ops: list[WalOp] = []
+        pending_blob: bytes | None = None
+        for kind, payload, end in _frames(data, self.offset):
+            if kind == REC_INSERT:
+                _, lsn, pid, slot, rec_len = _INSERT_HEADER.unpack_from(
+                    payload, 0
+                )
+                record = payload[_INSERT_HEADER.size :]
+                if len(record) != rec_len:
+                    break
+                pending_ops.append(WalOp(lsn, REC_INSERT, pid, slot, record))
+            elif kind == REC_DELETE:
+                _, lsn, pid, slot = _DELETE_HEADER.unpack_from(payload, 0)
+                pending_ops.append(WalOp(lsn, REC_DELETE, pid, slot))
+            elif kind == REC_ALLOC:
+                _, lsn, pid = _ALLOC_HEADER.unpack_from(payload, 0)
+                pending_ops.append(WalOp(lsn, REC_ALLOC, pid, 0))
+            elif kind == REC_CATALOG:
+                _, blob_len = _CATALOG_HEADER.unpack_from(payload, 0)
+                blob = payload[_CATALOG_HEADER.size :]
+                if len(blob) != blob_len:
+                    break
+                pending_blob = blob
+            elif kind == REC_COMMIT:
+                epoch, csn = _parse_commit(payload)
+                if max_epoch is not None and epoch > max_epoch:
+                    break
+                commits.append(_Commit(epoch, csn, pending_ops, pending_blob))
+                pending_ops = []
+                pending_blob = None
+                self.offset = end
+            else:
+                break
+        return commits, False
+
+    def peek_csn(self) -> int:
+        """Newest CSN among complete COMMIT frames past the consumed
+        offset (0 when none) — the lag estimate, with no state change."""
+        newest = 0
+        data = self._read()
+        if len(data) < self.offset:
+            return 0
+        for kind, payload, _end in _frames(data, self.offset):
+            if kind == REC_COMMIT:
+                newest = max(newest, _parse_commit(payload)[1])
+        return newest
+
+
+class _ReplicaCatalog(Catalog):
+    """A catalog that refuses every mutation: DDL (``register`` /
+    ``set`` / ``remove``) and DML (which reaches stores only through
+    :meth:`store_for`) all raise, so cursors, served sessions and
+    parallel shard workers alike stay read-only."""
+
+    def _refuse(self):
+        raise StorageError(
+            "replica is read-only; run writes against the primary"
+        )
+
+    def register(self, *args, **kwargs):
+        self._refuse()
+
+    def set(self, *args, **kwargs):
+        self._refuse()
+
+    def remove(self, *args, **kwargs):
+        self._refuse()
+
+    def store_for(self, name: str):
+        self._refuse()
+
+
+class _ReplicaPartition:
+    """One partition's read side: overlay file manager + buffer pool."""
+
+    __slots__ = ("index", "filemgr", "pool")
+
+    def __init__(self, index: int, filemgr: _OverlayFileManager, pool):
+        self.index = index
+        self.filemgr = filemgr
+        self.pool = pool
+
+
+class Replica:
+    """A read-only database tailing a primary's WAL (see the module
+    docstring).  ``poll_interval`` starts a daemon thread calling
+    :meth:`poll` on that cadence; otherwise catch-up is explicit."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        frames: int = DEFAULT_FRAME_BUDGET,
+        poll_interval: float | None = None,
+    ):
+        self.path = os.fspath(path)
+        self._frames = frames
+        self._latch = threading.RLock()
+        self._closed = False
+        #: Newest MVCC commit-sequence number applied — the snapshot
+        #: this replica serves.  Monotone across polls and reseeds.
+        self.applied_csn = 0
+        self.applied_commits = 0
+        self.polls = 0
+        self.reseeds = 0
+        self.poll_errors = 0
+        self._epoch = 0
+        self._stall_polls = 0
+        self._meta: dict = {}
+        self._parts: list[_ReplicaPartition] = []
+        self._tails: list[_WalTail] = []
+        self._connection = None
+        self._poller = None
+        self.catalog = _ReplicaCatalog()
+        if not self._seed():
+            raise StorageError(
+                f"{self.path!r} has no valid database header; is the "
+                f"primary initialized?"
+            )
+        from repro.db.database import Database
+
+        #: The DB-API facade over the replicated catalog: ``connect()``
+        #: sessions, metrics, tracing — everything but writes.
+        self.database = Database(catalog=self.catalog)
+        self._register_collectors()
+        self.poll()
+        if poll_interval is not None:
+            self._poll_interval = poll_interval
+            self._poller = threading.Thread(
+                target=self._poll_loop, name="repro-replica-poll", daemon=True
+            )
+            self._poller.start()
+
+    # -- seeding -------------------------------------------------------------------
+
+    def _seed(self) -> bool:
+        """(Re)build the replica's state from the data-file header:
+        fresh overlays and pools, every relation re-attached, tails
+        reset to offset 0.  Returns False (state untouched) when the
+        header does not validate — the primary is mid-checkpoint, and
+        the next poll retries."""
+        filemgr = _OverlayFileManager(self.path)
+        header = read_header(filemgr)
+        if header is None:
+            filemgr.close()
+            return False
+        meta = header[0]
+        shards = int(meta.get("shards", 1))
+        parts = [self._make_partition(0, filemgr, shards)]
+        try:
+            for i in range(1, shards):
+                side = _OverlayFileManager(shard_file_path(self.path, i))
+                parts.append(self._make_partition(i, side, shards))
+        except StorageError:
+            # A side file missing mid-reseed: primary races its own
+            # creation; retry on the next poll.
+            for part in parts:
+                part.filemgr.close()
+            return False
+        old_parts, self._parts = self._parts, parts
+        self._meta = meta
+        self._epoch = int(meta.get("epoch", 0))
+        self.applied_csn = max(self.applied_csn, int(meta.get("csn", 0)))
+        self._attach_relations(meta["relations"], {})
+        self._tails = [_WalTail(wal_path(self.path))] + [
+            _WalTail(wal_path(shard_file_path(self.path, i)))
+            for i in range(1, shards)
+        ]
+        for part in old_parts:
+            part.filemgr.close()
+        if old_parts:
+            self.reseeds += 1
+        return True
+
+    def _make_partition(
+        self, index: int, filemgr: _OverlayFileManager, shards: int
+    ) -> _ReplicaPartition:
+        capacity = (
+            self._frames if shards <= 1 else max(8, self._frames // shards)
+        )
+        pool = BufferPool(filemgr, capacity=capacity)
+        return _ReplicaPartition(index, filemgr, pool)
+
+    def _attach_relations(
+        self, relations: dict, keep: dict
+    ) -> None:
+        """Bind stores for ``relations``, reusing the already-attached
+        store for any name in ``keep`` (entry unchanged and none of
+        its pages touched by the poll)."""
+        cat = self.catalog
+        for name in set(cat.names()) - set(relations):
+            cat._entries.pop(name, None)
+            cat._orders.pop(name, None)
+            cat._modes.pop(name, None)
+            cat._stores.pop(name, None)
+            cat._stats.pop(name, None)
+        for name, rel in sorted(relations.items()):
+            if name in keep:
+                continue
+            if "shard_pages" in rel:
+                store: NFRStore | ShardedStore = ShardedStore.attach(
+                    RelationSchema(rel["schema"]),
+                    rel["mode"],
+                    rel["shard_pages"],
+                    [(part.pool, None) for part in self._parts],
+                    partition_attr=rel.get("partition"),
+                    indexed=rel["indexed"],
+                    order=rel["order"],
+                )
+            else:
+                store = NFRStore.attach(
+                    RelationSchema(rel["schema"]),
+                    rel["mode"],
+                    rel["pages"],
+                    self._parts[0].pool,
+                    journal=None,
+                    indexed=rel["indexed"],
+                    order=rel["order"],
+                )
+            cat.adopt_store(name, store)
+        cat._bump()
+
+    # -- tailing -------------------------------------------------------------------
+
+    def poll(self) -> int:
+        """Apply every newly committed transaction visible in the
+        primary's WALs; returns how many were applied.  Reseeds from
+        the data-file header when the WAL was truncated (checkpoint)."""
+        with self._latch:
+            self._check_open()
+            self.polls += 1
+            commits0, truncated = self._tails[0].read_commits()
+            if truncated:
+                self._stall_polls = 0
+                if not self._seed():
+                    return 0
+                commits0, _ = self._tails[0].read_commits()
+            elif not commits0 and self._tail_behind():
+                # Bytes past the offset that refuse to parse: either a
+                # commit caught mid-write (resolves immediately) or a
+                # checkpoint truncated + refilled the log between two
+                # polls, leaving the offset pointing mid-frame.  Only
+                # the latter persists — after the threshold, reseed.
+                self._stall_polls += 1
+                if self._stall_polls >= _STALL_LIMIT and self._seed():
+                    self._stall_polls = 0
+                    commits0, _ = self._tails[0].read_commits()
+            else:
+                self._stall_polls = 0
+            for commit in commits0:
+                self._epoch = max(self._epoch, commit.epoch)
+            touched = [set() for _ in self._parts]
+            touched[0] |= self._apply(0, commits0)
+            total = len(commits0)
+            for i in range(1, len(self._parts)):
+                side, side_truncated = self._tails[i].read_commits(
+                    max_epoch=self._epoch
+                )
+                if side_truncated:
+                    # Checkpoints truncate every partition's WAL;
+                    # partition 0's own truncation (next poll) reseeds.
+                    continue
+                touched[i] |= self._apply(i, side)
+                total += len(side)
+            blob = None
+            for commit in commits0:
+                if commit.blob is not None:
+                    blob = commit.blob
+            if blob is not None or any(touched):
+                self._refresh_catalog(blob, touched)
+            for commit in commits0:
+                if commit.csn > self.applied_csn:
+                    self.applied_csn = commit.csn
+            self.applied_commits += total
+            return total
+
+    def _tail_behind(self) -> bool:
+        try:
+            size = os.path.getsize(self._tails[0].path)
+        except OSError:
+            return False
+        return size > self._tails[0].offset
+
+    def _apply(self, part_index: int, commits: list[_Commit]) -> set[int]:
+        """LSN-gated redo of the commits' page operations onto one
+        partition's pool; returns the touched page ids."""
+        pool = self._parts[part_index].pool
+        touched: set[int] = set()
+        for commit in commits:
+            for op in commit.ops:
+                page = pool.fetch(op.page_id)
+                dirty = False
+                try:
+                    if op.lsn > page.lsn:
+                        op.apply(page)
+                        dirty = True
+                finally:
+                    pool.release(op.page_id, dirty=dirty)
+                touched.add(op.page_id)
+        return touched
+
+    def _refresh_catalog(
+        self, blob: bytes | None, touched: list[set[int]]
+    ) -> None:
+        """Re-attach the relations a poll changed: those whose
+        metadata entry differs from the last applied blob, and those
+        whose heap pages took redo.  Untouched relations keep their
+        stores (and indexes) as-is."""
+        old_relations = self._meta.get("relations", {})
+        if blob is not None:
+            self._meta = json.loads(blob.decode("utf-8"))
+        relations = self._meta.get("relations", {})
+        keep = {}
+        for name, rel in relations.items():
+            if old_relations.get(name) != rel:
+                continue
+            if "shard_pages" in rel:
+                hit = any(
+                    touched[i] & set(pages)
+                    for i, pages in enumerate(rel["shard_pages"])
+                    if i < len(touched)
+                )
+            else:
+                hit = bool(touched[0] & set(rel["pages"]))
+            if not hit and self.catalog.store_if_open(name) is not None:
+                keep[name] = rel
+        self._attach_relations(relations, keep)
+
+    # -- reading -------------------------------------------------------------------
+
+    def connect(self, **kwargs):
+        """A DB-API connection over the replica's snapshot (read-only:
+        writes raise)."""
+        with self._latch:
+            self._check_open()
+            return self.database.connect(**kwargs)
+
+    def execute(self, statement: str, parameters=None):
+        """Convenience one-shot read on a shared internal connection,
+        serialized against :meth:`poll`."""
+        with self._latch:
+            self._check_open()
+            if self._connection is None:
+                self._connection = self.database.connect()
+            return self._connection.execute(statement, parameters)
+
+    @property
+    def lag_csn(self) -> int:
+        """How many CSNs the visible log is ahead of the applied
+        snapshot (0 when caught up)."""
+        with self._latch:
+            if self._closed or not self._tails:
+                return 0
+            newest = max(self._tails[0].peek_csn(), self.applied_csn)
+            return newest - self.applied_csn
+
+    # -- observability -------------------------------------------------------------
+
+    def _register_collectors(self) -> None:
+        reg = self.database.obs.registry
+        applied = reg.gauge(
+            "repro_replica_applied_csn",
+            "Newest commit-sequence number applied by this replica.",
+        )
+        lag = reg.gauge(
+            "repro_replica_lag_csn",
+            "CSNs visible in the primary's WAL but not yet applied.",
+        )
+        polls = reg.counter(
+            "repro_replica_polls_total", "WAL tail polls performed."
+        )
+        applied_commits = reg.counter(
+            "repro_replica_applied_commits_total",
+            "Committed transactions applied from the shipped WAL.",
+        )
+        reseeds = reg.counter(
+            "repro_replica_reseeds_total",
+            "Full rebuilds from the data-file header (checkpoints).",
+        )
+
+        def refresh() -> None:
+            applied.set(self.applied_csn)
+            lag.set(self.lag_csn)
+            polls.set_total(self.polls)
+            applied_commits.set_total(self.applied_commits)
+            reseeds.set_total(self.reseeds)
+
+        reg.register_collector(refresh)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def _poll_loop(self) -> None:
+        while not self._closed:
+            time.sleep(self._poll_interval)
+            if self._closed:
+                break
+            try:
+                self.poll()
+            except StorageError:
+                # Transient races with the primary (mid-checkpoint
+                # headers, vanished side files): the next tick retries.
+                self.poll_errors += 1
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"replica of {self.path!r} is closed")
+
+    def close(self) -> None:
+        """Stop polling and release the read-only file handles."""
+        with self._latch:
+            if self._closed:
+                return
+            self._closed = True
+        if self._poller is not None and self._poller.is_alive():
+            self._poller.join(timeout=2.0)
+        with self._latch:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+            self.database.close()
+            for part in self._parts:
+                part.filemgr.close()
+            self._parts = []
+            self._tails = []
+
+    def __enter__(self) -> "Replica":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"csn {self.applied_csn}"
+        return f"Replica({self.path!r}, {state})"

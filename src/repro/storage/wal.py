@@ -8,7 +8,7 @@ The WAL is a sidecar file (``<database>-wal``) of framed records::
     INSERT  := u64 lsn, u32 page_id, u16 slot, u32 len, record bytes
     DELETE  := u64 lsn, u32 page_id, u16 slot
     CATALOG := u32 len, metadata blob (the serialized catalog)
-    COMMIT  := (empty body) | u64 epoch
+    COMMIT  := (empty body) | u64 epoch | u64 epoch, u64 csn
 
 ALLOC marks a page freshly allocated to a heap.  Page ids freed by a
 vacuum or a dropped store are recycled only by the checkpoint's
@@ -47,6 +47,15 @@ Sharded databases stamp each COMMIT with a **commit epoch**: the side
 the globally decided one is discarded, because the crash hit between
 the side commit and the deciding partition-0 commit.  An empty COMMIT
 body means epoch 0 (pre-shard logs, and unsharded databases).
+
+MVCC databases additionally stamp each COMMIT with the transaction's
+**commit-sequence number** — the snapshot-isolation timestamp PR 9
+introduced.  The CSN is what makes the log a *replication stream*: a
+read-only replica tails committed frames, applies them to its own
+buffer pool, and knows exactly which snapshot it serves
+(:attr:`recovered_csn` / the replica's applied CSN).  Length dispatch
+keeps every historical layout readable: an empty body is epoch 0/CSN 0,
+an 8-byte body carries just the epoch, a 16-byte body epoch + CSN.
 """
 
 from __future__ import annotations
@@ -73,6 +82,7 @@ _DELETE_HEADER = struct.Struct(">BQIH")
 _CATALOG_HEADER = struct.Struct(">BI")
 _ALLOC_HEADER = struct.Struct(">BQI")
 _COMMIT_HEADER = struct.Struct(">BQ")
+_COMMIT_CSN = struct.Struct(">BQQ")
 
 
 def wal_path(db_path: str | os.PathLike) -> str:
@@ -158,6 +168,9 @@ class WriteAheadLog:
         #: Highest commit epoch among the transactions the last
         #: :meth:`recover` accepted (0 when none carried an epoch).
         self.recovered_epoch = 0
+        #: Highest commit-sequence number among accepted transactions
+        #: (0 when none carried a CSN — pre-MVCC logs).
+        self.recovered_csn = 0
         self._closed = False
         #: Latch serializing log access from concurrent sessions.  An
         #: RLock so engine-level code may compose several log calls
@@ -232,13 +245,16 @@ class WriteAheadLog:
         """Are there buffered, not-yet-durable records?"""
         return bool(self._buffer)
 
-    def commit(self, epoch: int | None = None) -> int:
+    def commit(
+        self, epoch: int | None = None, csn: int | None = None
+    ) -> int:
         """Append a COMMIT marker, push the buffered frames to disk and
         fsync — the durability point.  Returns bytes written.
 
         ``epoch`` stamps the marker with a cross-shard commit epoch
-        (see the module docstring); ``None`` writes the classic empty
-        marker.
+        (see the module docstring), ``csn`` with the MVCC
+        commit-sequence number (the replication cursor); ``None`` for
+        both writes the classic empty marker.
 
         Writes start at the durable end of the log, not the file
         position: a retry after a failed commit overwrites its own torn
@@ -246,7 +262,7 @@ class WriteAheadLog:
         succeeded, so a failed commit can be retried (or rolled back)
         without losing records."""
         with self.latch:
-            written = self._push_frames(epoch)
+            written = self._push_frames(epoch, csn)
             self._fault("wal_sync", 0)
             self._fsync()
             self._durable_offset = self._file.tell()
@@ -257,12 +273,16 @@ class WriteAheadLog:
             self._note_synced()
             return written
 
-    def _push_frames(self, epoch: int | None) -> int:
+    def _push_frames(
+        self, epoch: int | None, csn: int | None = None
+    ) -> int:
         """Append the COMMIT marker and write the buffered frames to
         the OS from the durable offset.  Leaves the buffer and offsets
         untouched so a failed write (fault injection, ENOSPC) can be
         retried or rolled back.  Returns bytes written."""
-        if epoch is None:
+        if csn is not None:
+            self._append(_COMMIT_CSN.pack(REC_COMMIT, epoch or 0, csn))
+        elif epoch is None:
             self._append(bytes([REC_COMMIT]))
         else:
             self._append(_COMMIT_HEADER.pack(REC_COMMIT, epoch))
@@ -274,7 +294,9 @@ class WriteAheadLog:
             written += len(frame)
         return written
 
-    def harden(self, epoch: int | None = None) -> int:
+    def harden(
+        self, epoch: int | None = None, csn: int | None = None
+    ) -> int:
         """Group-commit first half: write the buffered frames and the
         COMMIT marker to the OS **without fsyncing**, and return a
         monotone ticket.  The transaction is durable only once a later
@@ -282,7 +304,7 @@ class WriteAheadLog:
         dirtied pages stay gated (:meth:`page_gated`) so the no-steal
         invariant holds across the fsync gap."""
         with self.latch:
-            self._push_frames(epoch)
+            self._push_frames(epoch, csn)
             self._durable_offset = self._file.tell()
             self._buffer.clear()
             self._hardened_ticket += 1
@@ -399,6 +421,7 @@ class WriteAheadLog:
         data = self._file.read()
         self._file.seek(0, os.SEEK_END)
         self.recovered_epoch = 0
+        self.recovered_csn = 0
         ops: list[WalOp] = []
         catalog: bytes | None = None
         pending_ops: list[WalOp] = []
@@ -439,10 +462,13 @@ class WriteAheadLog:
                     break
                 pending_catalog = blob
             elif kind == REC_COMMIT:
-                if len(payload) >= _COMMIT_HEADER.size:
+                if len(payload) >= _COMMIT_CSN.size:
+                    _, epoch, csn = _COMMIT_CSN.unpack_from(payload, 0)
+                elif len(payload) >= _COMMIT_HEADER.size:
                     _, epoch = _COMMIT_HEADER.unpack_from(payload, 0)
+                    csn = 0
                 else:
-                    epoch = 0
+                    epoch = csn = 0
                 if max_epoch is not None and epoch > max_epoch:
                     # Side-shard commit whose global decision never hit
                     # partition 0: the transaction did not happen.
@@ -450,6 +476,7 @@ class WriteAheadLog:
                     pending_catalog = None
                 else:
                     self.recovered_epoch = max(self.recovered_epoch, epoch)
+                    self.recovered_csn = max(self.recovered_csn, csn)
                     ops.extend(pending_ops)
                     pending_ops = []
                     if pending_catalog is not None:

@@ -1,0 +1,236 @@
+"""WAL-shipped read replicas.
+
+The replication contract: a :class:`~repro.storage.replica.Replica`
+that has polled to CSN ``c`` serves exactly the primary's committed
+state as of ``c`` — under concurrent writers, across checkpoints
+(which truncate the WAL and force a reseed from the data-file header),
+for sharded and unsharded primaries alike — and refuses every write.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+import repro.db
+from repro.core.nfr_relation import NFRelation
+from repro.relational.schema import RelationSchema
+
+
+def _srt(rows):
+    return sorted(rows, key=repr)
+
+
+def _fresh_primary(tmp_path, shards=None):
+    path = os.path.join(str(tmp_path), "primary.db")
+    conn = repro.db.connect(path, shards=shards)
+    conn.database.register(
+        "R", NFRelation(RelationSchema(["A", "B"]), ()), order=["A", "B"]
+    )
+    return path, conn
+
+
+class TestReplicaTracksPrimary:
+    @pytest.mark.parametrize("shards", [None, 3])
+    def test_snapshot_equality_across_polls(self, tmp_path, shards):
+        path, conn = _fresh_primary(tmp_path, shards=shards)
+        sess = conn.database.session()
+        for i in range(12):
+            sess.execute("INSERT INTO R VALUES (?, ?)", [f"a{i}", f"b{i % 3}"])
+        rep = repro.db.replica(path)
+        try:
+            # quiescent primary: replica CSN equals the primary's, and
+            # the snapshots are identical
+            assert rep.applied_csn == conn.database.engine.committed_csn
+            assert _srt(rep.execute("R").fetchall()) == _srt(
+                sess.execute("R").fetchall()
+            )
+            for round_no in range(3):
+                for i in range(5):
+                    sess.execute(
+                        "INSERT INTO R VALUES (?, ?)",
+                        [f"r{round_no}x{i}", f"b{i % 3}"],
+                    )
+                sess.execute(
+                    "DELETE FROM R VALUES (?, ?)", [f"r{round_no}x0", "b0"]
+                )
+                assert rep.poll() > 0
+                assert rep.applied_csn == conn.database.engine.committed_csn
+                assert rep.lag_csn == 0
+                assert _srt(rep.execute("R").fetchall()) == _srt(
+                    sess.execute("R").fetchall()
+                )
+                assert _srt(rep.execute("FLATTEN R").fetchall()) == _srt(
+                    sess.execute("FLATTEN R").fetchall()
+                )
+        finally:
+            rep.close()
+            sess.close()
+            conn.close()
+
+    def test_concurrent_writer_snapshots_stay_consistent(self, tmp_path):
+        """While a writer streams commits, every polled replica state
+        is the primary's state at the replica's applied CSN: each
+        commit inserts exactly one unique flat row, so the flattened
+        cardinality at CSN ``c`` must be ``c`` — and lag is bounded by
+        what the writer managed to commit."""
+        path, conn = _fresh_primary(tmp_path)
+        sess = conn.database.session()
+        total = 60
+        sess.execute("INSERT INTO R VALUES (?, ?)", ["seed", "b0"])
+        rep = repro.db.replica(path)
+
+        def writer():
+            s2 = conn.database.session()
+            for i in range(total - 1):
+                s2.execute(
+                    "INSERT INTO R VALUES (?, ?)", [f"w{i}", f"b{i % 7}"]
+                )
+                time.sleep(0.001)
+            s2.close()
+
+        try:
+            t = threading.Thread(target=writer)
+            t.start()
+            while t.is_alive():
+                rep.poll()
+                csn = rep.applied_csn
+                rows = rep.execute("FLATTEN R").fetchall()
+                assert len(rows) == csn, (len(rows), csn)
+                time.sleep(0.002)
+            t.join()
+            rep.poll()
+            assert rep.applied_csn == total
+            assert rep.lag_csn == 0
+            assert _srt(rep.execute("R").fetchall()) == _srt(
+                sess.execute("R").fetchall()
+            )
+        finally:
+            rep.close()
+            sess.close()
+            conn.close()
+
+    @pytest.mark.parametrize("shards", [None, 3])
+    def test_checkpoint_reseed(self, tmp_path, shards):
+        path, conn = _fresh_primary(tmp_path, shards=shards)
+        sess = conn.database.session()
+        for i in range(8):
+            sess.execute("INSERT INTO R VALUES (?, ?)", [f"a{i}", "b0"])
+        rep = repro.db.replica(path)
+        try:
+            before = rep.applied_csn
+            conn.database.checkpoint()  # truncates every WAL
+            for i in range(8, 14):
+                sess.execute("INSERT INTO R VALUES (?, ?)", [f"a{i}", "b1"])
+            rep.poll()
+            assert rep.reseeds >= 1
+            assert rep.applied_csn >= before  # CSN never regresses
+            assert rep.applied_csn == conn.database.engine.committed_csn
+            assert _srt(rep.execute("R").fetchall()) == _srt(
+                sess.execute("R").fetchall()
+            )
+        finally:
+            rep.close()
+            sess.close()
+            conn.close()
+
+    def test_cross_shard_transaction_ships_atomically(self, tmp_path):
+        """A multi-statement transaction spanning shards is either
+        entirely visible on the replica or not at all — the epoch gate
+        holds side-partition commits until partition 0 decides."""
+        path, conn = _fresh_primary(tmp_path, shards=4)
+        sess = conn.database.session()
+        sess.execute("INSERT INTO R VALUES (?, ?)", ["seed", "b0"])
+        rep = repro.db.replica(path)
+        try:
+            baseline = len(rep.execute("FLATTEN R").fetchall())
+            sess.begin()
+            for i in range(10):  # spread over all four shards
+                sess.execute(
+                    "INSERT INTO R VALUES (?, ?)", [f"t{i}", f"b{i % 4}"]
+                )
+            sess.commit()
+            rep.poll()
+            rows = len(rep.execute("FLATTEN R").fetchall())
+            assert rows in (baseline, baseline + 10)
+            assert rows == baseline + 10  # the commit had landed
+        finally:
+            rep.close()
+            sess.close()
+            conn.close()
+
+
+class TestReplicaIsReadOnly:
+    def test_writes_are_refused_everywhere(self, tmp_path):
+        path, conn = _fresh_primary(tmp_path)
+        conn.execute("INSERT INTO R VALUES (?, ?)", ["a", "b"])
+        rep = repro.db.replica(path)
+        try:
+            for stmt in [
+                "INSERT INTO R VALUES ('x', 'y')",
+                "DELETE FROM R VALUES ('a', 'b')",
+                "LET S = R",
+                "ANALYZE R",
+            ]:
+                with pytest.raises(Exception):
+                    rep.execute(stmt)
+            # and the primary never saw any of it
+            assert len(conn.execute("FLATTEN R").fetchall()) == 1
+            assert len(rep.execute("FLATTEN R").fetchall()) == 1
+        finally:
+            rep.close()
+            conn.close()
+
+    def test_replica_never_takes_the_primary_lock(self, tmp_path):
+        path, conn = _fresh_primary(tmp_path)
+        conn.execute("INSERT INTO R VALUES (?, ?)", ["a", "b"])
+        rep = repro.db.replica(path)  # works while the primary is open
+        try:
+            rep2 = repro.db.replica(path)  # several replicas coexist
+            try:
+                assert len(rep2.execute("FLATTEN R").fetchall()) == 1
+            finally:
+                rep2.close()
+        finally:
+            rep.close()
+            conn.close()
+
+
+class TestReplicaLifecycle:
+    def test_background_poller(self, tmp_path):
+        path, conn = _fresh_primary(tmp_path)
+        sess = conn.database.session()
+        sess.execute("INSERT INTO R VALUES (?, ?)", ["a0", "b0"])
+        rep = repro.db.replica(path, poll_interval=0.01)
+        try:
+            sess.execute("INSERT INTO R VALUES (?, ?)", ["a1", "b1"])
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if rep.applied_csn >= conn.database.engine.committed_csn:
+                    break
+                time.sleep(0.01)
+            assert rep.applied_csn == conn.database.engine.committed_csn
+        finally:
+            rep.close()
+            sess.close()
+            conn.close()
+
+    def test_metrics_and_close(self, tmp_path):
+        path, conn = _fresh_primary(tmp_path)
+        sess = conn.database.session()
+        sess.execute("INSERT INTO R VALUES (?, ?)", ["a0", "b0"])
+        rep = repro.db.replica(path)
+        metrics = rep.database.metrics()
+        assert metrics["repro_replica_applied_csn"]["values"][""] == 1.0
+        assert "repro_replica_lag_csn" in metrics
+        rep.close()
+        rep.close()  # idempotent
+        with pytest.raises(Exception):
+            rep.execute("R")
+        sess.close()
+        conn.close()
+
+    def test_replica_of_missing_database_raises(self, tmp_path):
+        with pytest.raises(Exception):
+            repro.db.replica(os.path.join(str(tmp_path), "absent.db"))

@@ -1,0 +1,261 @@
+"""Shard-local joins and the persistent worker pool.
+
+The invariants of PR 10's scale-out joins: a join executed inside the
+shard workers (co-partitioned or broadcast) returns exactly what the
+coordinator join returns, which in turn matches the naive AST
+interpreter — for any rows, any shard count, both join flavours.  The
+worker pool underneath must be reused across queries, regenerate after
+DML (the fork snapshot went stale), survive worker death and abandoned
+streams by respawning, and die with the catalog.
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planner import plan
+from repro.planner.physical import ParallelShardFlatJoin, ParallelShardJoin
+from repro.query import Catalog, evaluate_naive, parse, run
+from repro.relational.relation import Relation
+
+JOIN_ATTRS = ["J", "A"]
+RIGHT_ATTRS = ["J", "B"]
+JOIN_ATOMS = ["j1", "j2", "j3", "j4"]
+PAYLOAD_ATOMS = ["x1", "x2", "y1", 1, 2]
+
+left_rows = st.lists(
+    st.tuples(st.sampled_from(JOIN_ATOMS), st.sampled_from(PAYLOAD_ATOMS)),
+    min_size=1,
+    max_size=8,
+).map(lambda rows: sorted(set(rows), key=repr))
+right_rows = left_rows
+
+
+def _catalogs(rows_l, rows_r, nshards, analyze=True):
+    """(plain, sharded) catalogs holding the same R and S, both
+    partitioned on the shared attribute J (the first order attr)."""
+    left = Relation.from_rows(JOIN_ATTRS, rows_l)
+    right = Relation.from_rows(RIGHT_ATTRS, rows_r)
+    plain = Catalog()
+    plain.register("R", left, order=JOIN_ATTRS)
+    plain.register("S", right, order=RIGHT_ATTRS)
+    sharded = Catalog()
+    sharded.default_shards = nshards
+    sharded.register("R", left, order=JOIN_ATTRS)
+    sharded.register("S", right, order=RIGHT_ATTRS)
+    if analyze:
+        run("ANALYZE R", plain)
+        run("ANALYZE S", plain)
+        run("ANALYZE R", sharded)
+        run("ANALYZE S", sharded)
+    return plain, sharded
+
+
+def _with_parallel(value, fn):
+    saved = os.environ.get("REPRO_PARALLEL")
+    os.environ["REPRO_PARALLEL"] = value
+    try:
+        return fn()
+    finally:
+        if saved is None:
+            del os.environ["REPRO_PARALLEL"]
+        else:
+            os.environ["REPRO_PARALLEL"] = saved
+
+
+def _forced_parallel(fn):
+    return _with_parallel("1", fn)
+
+
+def _serial(fn):
+    return _with_parallel("0", fn)
+
+
+def _bulk_catalog(nshards=4, nrows=240, small=0):
+    """A sharded catalog big enough that the cost model picks the
+    shard-local join.  ``small`` additionally registers a tiny,
+    *unsharded* S (broadcast bait) instead of the co-partitioned one."""
+    rows_l = [(JOIN_ATOMS[i % 4], f"a{i}") for i in range(nrows)]
+    cat = Catalog()
+    cat.default_shards = nshards
+    cat.register("R", Relation.from_rows(JOIN_ATTRS, rows_l), order=JOIN_ATTRS)
+    if small:
+        rows_r = [(JOIN_ATOMS[i % 4], f"b{i}") for i in range(small)]
+        cat.register(
+            "S", Relation.from_rows(RIGHT_ATTRS, rows_r), order=RIGHT_ATTRS
+        )
+        run("ANALYZE R", cat)
+    else:
+        rows_r = [(JOIN_ATOMS[i % 4], f"b{i}") for i in range(nrows)]
+        cat.register(
+            "S", Relation.from_rows(RIGHT_ATTRS, rows_r), order=RIGHT_ATTRS
+        )
+        run("ANALYZE R", cat)
+        run("ANALYZE S", cat)
+    return cat
+
+
+class TestShardJoinEqualsCoordinatorEqualsNaive:
+    @given(
+        rows_l=left_rows,
+        rows_r=right_rows,
+        nshards=st.integers(min_value=2, max_value=4),
+        flavour=st.sampled_from(["JOIN", "FLATJOIN"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_identity(self, rows_l, rows_r, nshards, flavour):
+        """Shard-local join == coordinator join == naive, all over the
+        *same* sharded catalog.  (An NF2 join's result depends on the
+        nesting of its inputs, and a sharded store's per-shard
+        canonical nesting legitimately differs from an unsharded
+        store's global nesting — so the plain catalog is not the
+        reference here; the sharded coordinator join is.)"""
+        _, sharded = _catalogs(rows_l, rows_r, nshards)
+        expr = parse(f"{flavour} R, S")
+        naive = evaluate_naive(expr, sharded)
+        coordinator = _serial(lambda: plan(expr, sharded).execute())
+        fanned = _forced_parallel(lambda: plan(expr, sharded).execute())
+        assert coordinator.to_1nf() == naive.to_1nf()
+        assert fanned.to_1nf() == coordinator.to_1nf()
+        assert fanned.to_1nf() == naive.to_1nf()
+
+    def test_co_partitioned_plan_is_chosen_and_correct(self):
+        cat = _bulk_catalog()
+        for flavour, op_cls in [
+            ("JOIN", ParallelShardJoin),
+            ("FLATJOIN", ParallelShardFlatJoin),
+        ]:
+            expr = parse(f"{flavour} R, S")
+
+            def go():
+                planned = plan(expr, cat)
+                assert isinstance(planned.root, op_cls), planned.root
+                assert planned.root.shard_side == "both"
+                return planned.execute()
+
+            fanned = _forced_parallel(go)
+            naive = evaluate_naive(expr, cat)
+            assert fanned.to_1nf() == naive.to_1nf()
+
+    def test_broadcast_small_side_plan_is_chosen_and_correct(self):
+        cat = _bulk_catalog(small=5)
+        expr = parse("JOIN R, S")
+
+        def go():
+            planned = plan(expr, cat)
+            assert isinstance(planned.root, ParallelShardJoin), planned.root
+            assert planned.root.shard_side in ("left", "right")
+            return planned.execute()
+
+        fanned = _forced_parallel(go)
+        naive = evaluate_naive(expr, cat)
+        assert fanned.to_1nf() == naive.to_1nf()
+
+    def test_serial_fallback_matches(self):
+        cat = _bulk_catalog()
+        expr = parse("JOIN R, S")
+        saved = os.environ.get("REPRO_PARALLEL")
+        os.environ["REPRO_PARALLEL"] = "0"
+        try:
+            serial = plan(expr, cat).execute()
+        finally:
+            if saved is None:
+                del os.environ["REPRO_PARALLEL"]
+            else:
+                os.environ["REPRO_PARALLEL"] = saved
+        assert serial.to_1nf() == evaluate_naive(expr, cat).to_1nf()
+
+
+class TestWorkerPoolLifecycle:
+    def test_pool_is_reused_across_queries(self):
+        cat = _bulk_catalog()
+        expr = parse("JOIN R, S")
+
+        def go():
+            plan(expr, cat).execute()
+            pool = cat._pool
+            assert pool is not None and pool.forks == 4
+            plan(expr, cat).execute()
+            plan(parse("R"), cat).execute()
+            assert cat._pool is pool
+            assert pool.forks == 4  # no refork: the pool stayed warm
+            assert pool.respawns == 0
+            assert cat.pool_is_warm(4)
+
+        _forced_parallel(go)
+        cat.close_parallel_pool()
+
+    def test_dml_regenerates_the_pool(self):
+        cat = _bulk_catalog()
+        expr = parse("R")
+
+        def go():
+            plan(expr, cat).execute()
+            first = cat._pool
+            assert first is not None
+            run("INSERT INTO R VALUES ('j1', 'fresh')", cat)
+            assert not cat.pool_is_warm(4)  # generation went stale
+            result = plan(expr, cat).execute()
+            assert cat._pool is not first
+            assert first.closed
+            assert any(
+                "fresh" in repr(t) for t in result.to_1nf().tuples
+            )
+
+        _forced_parallel(go)
+        cat.close_parallel_pool()
+
+    def test_dead_worker_is_respawned(self):
+        cat = _bulk_catalog()
+        expr = parse("R")
+
+        def go():
+            before = plan(expr, cat).execute()
+            pool = cat._pool
+            pool.workers[0].proc.kill()
+            pool.workers[0].proc.join()
+            after = plan(expr, cat).execute()
+            assert pool.respawns >= 1
+            assert after.to_1nf() == before.to_1nf()
+
+        _forced_parallel(go)
+        cat.close_parallel_pool()
+
+    def test_abandoned_stream_respawns_pending_workers(self):
+        cat = _bulk_catalog()
+
+        def go():
+            from repro.storage.columnar import AtomDict
+
+            pool = cat.parallel_pool(4)
+            jobs = [(i, ("scan", "R", i, None, ())) for i in range(4)]
+            stream = pool.run(jobs, AtomDict())
+            next(stream)
+            stream.close()  # abandon mid-stream
+            assert pool.respawns >= 1
+            # the pool still serves queries correctly afterwards
+            expr = parse("R")
+            got = plan(expr, cat).execute()
+            assert got.to_1nf() == evaluate_naive(expr, cat).to_1nf()
+
+        _forced_parallel(go)
+        cat.close_parallel_pool()
+
+    def test_close_terminates_workers(self):
+        cat = _bulk_catalog()
+
+        def go():
+            plan(parse("R"), cat).execute()
+            pool = cat._pool
+            procs = [w.proc for w in pool.workers if w is not None]
+            assert procs
+            cat.close_parallel_pool()
+            assert pool.closed
+            for proc in procs:
+                proc.join(timeout=5)
+                assert not proc.is_alive()
+            assert cat._pool is None
+            cat.close_parallel_pool()  # idempotent
+
+        _forced_parallel(go)
